@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the compressed-bitvector primitives everything is
+//! built on: `fold`, `unfold`, semi-join and clustered-semi-join (§4, §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbr_bitmat::{BitMat, BitVec, RetainDim};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const N_ROWS: u32 = 50_000;
+const N_COLS: u32 = 50_000;
+
+/// A pseudo-random matrix with both dense runs and scattered bits.
+fn sample_matrix(density_per_row: usize, n_rows: usize, seed: u64) -> BitMat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for _ in 0..n_rows {
+        let r = rng.random_range(0..N_ROWS);
+        let base = rng.random_range(0..N_COLS - 64);
+        for k in 0..density_per_row {
+            let c = if k % 3 == 0 {
+                base + k as u32 // a run
+            } else {
+                rng.random_range(0..N_COLS) // scattered
+            };
+            pairs.push((r, c));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    BitMat::from_sorted_pairs(N_ROWS, N_COLS, &pairs)
+}
+
+fn sample_mask(bits: usize, seed: u64) -> BitVec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BitVec::from_positions(N_COLS, (0..bits).map(|_| rng.random_range(0..N_COLS)))
+}
+
+fn bench_fold_unfold(c: &mut Criterion) {
+    let mat = sample_matrix(24, 8_000, 7);
+    let mask = sample_mask(20_000, 8);
+    c.bench_function("fold_cols_190k_bits", |b| {
+        b.iter(|| std::hint::black_box(mat.fold(RetainDim::Col)))
+    });
+    c.bench_function("fold_rows_190k_bits", |b| {
+        b.iter(|| std::hint::black_box(mat.fold(RetainDim::Row)))
+    });
+    c.bench_function("unfold_cols_190k_bits", |b| {
+        b.iter(|| {
+            let mut m = mat.clone();
+            m.unfold(&mask, RetainDim::Col);
+            std::hint::black_box(m.triple_count())
+        })
+    });
+    c.bench_function("unfold_rows_190k_bits", |b| {
+        let row_mask = sample_mask(20_000, 9).resized(N_ROWS);
+        b.iter(|| {
+            let mut m = mat.clone();
+            m.unfold(&row_mask, RetainDim::Row);
+            std::hint::black_box(m.triple_count())
+        })
+    });
+}
+
+fn bench_semijoin_shape(c: &mut Criterion) {
+    // A semi-join is fold + fold + AND + unfold; measure the composite.
+    let master = sample_matrix(8, 6_000, 21);
+    let slave = sample_matrix(30, 9_000, 22);
+    c.bench_function("semi_join_fold_and_unfold", |b| {
+        b.iter(|| {
+            let mut beta = master.fold(RetainDim::Col);
+            beta.and_assign(&slave.fold(RetainDim::Col));
+            let mut s = slave.clone();
+            s.unfold(&beta, RetainDim::Col);
+            std::hint::black_box(s.triple_count())
+        })
+    });
+    c.bench_function("clustered_semi_join_3_members", |b| {
+        let m3 = sample_matrix(16, 7_000, 23);
+        b.iter(|| {
+            let mut beta = master.fold(RetainDim::Col);
+            beta.and_assign(&slave.fold(RetainDim::Col));
+            beta.and_assign(&m3.fold(RetainDim::Col));
+            let mut out = 0;
+            for m in [&master, &slave, &m3] {
+                let mut x = m.clone();
+                x.unfold(&beta, RetainDim::Col);
+                out += x.triple_count();
+            }
+            std::hint::black_box(out)
+        })
+    });
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mat = sample_matrix(24, 8_000, 31);
+    c.bench_function("transpose_190k_bits", |b| {
+        b.iter(|| std::hint::black_box(mat.transpose().triple_count()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fold_unfold,
+    bench_semijoin_shape,
+    bench_transpose
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! End-to-end query benchmarks: LBR vs the pairwise baseline on one
+//! representative low-selectivity query and one highly selective query per
+//! dataset — the two regimes whose contrast is the paper's headline result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbr_baseline::{JoinOrder, PairwiseEngine};
+use lbr_bitmat::BitMatStore;
+use lbr_core::LbrEngine;
+use lbr_datagen::{dbpedia, lubm, uniprot, Dataset};
+use lbr_rdf::EncodedGraph;
+use lbr_sparql::parse_query;
+
+struct Fixture {
+    name: &'static str,
+    graph: EncodedGraph,
+    store: BitMatStore,
+    queries: Vec<(String, lbr_sparql::Query)>,
+}
+
+fn fixture(ds: Dataset, pick: &[&str]) -> Fixture {
+    let graph = ds.graph.clone().encode();
+    let store = BitMatStore::build(&graph);
+    let queries = ds
+        .queries
+        .iter()
+        .filter(|q| pick.contains(&q.id))
+        .map(|q| (q.id.to_string(), parse_query(&q.text).unwrap()))
+        .collect();
+    Fixture {
+        name: ds.name,
+        graph,
+        store,
+        queries,
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // Small-but-meaningful scale so the whole suite stays in minutes.
+    let fixtures = vec![
+        fixture(
+            lubm::dataset(&lubm::LubmConfig {
+                universities: 3,
+                departments: 8,
+                seed: 42,
+            }),
+            &["Q1", "Q6"],
+        ),
+        fixture(
+            uniprot::dataset(&uniprot::UniProtConfig {
+                proteins: 2500,
+                taxa: 30,
+                seed: 42,
+            }),
+            &["Q1", "Q5"],
+        ),
+        fixture(
+            dbpedia::dataset(&dbpedia::DbpediaConfig {
+                places: 900,
+                persons: 1200,
+                companies: 350,
+                tail_predicates: 150,
+                seed: 42,
+            }),
+            &["Q1", "Q5"],
+        ),
+    ];
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for f in &fixtures {
+        for (id, query) in &f.queries {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{id}", f.name), "lbr"),
+                query,
+                |b, q| {
+                    let engine = LbrEngine::new(&f.store, &f.graph.dict);
+                    b.iter(|| std::hint::black_box(engine.execute(q).unwrap().len()))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{id}", f.name), "pairwise"),
+                query,
+                |b, q| {
+                    let engine =
+                        PairwiseEngine::new(&f.store, &f.graph.dict, JoinOrder::Selectivity);
+                    b.iter(|| std::hint::black_box(engine.execute(q).unwrap().rows.len()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

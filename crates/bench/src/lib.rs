@@ -1,0 +1,274 @@
+//! # lbr-bench
+//!
+//! The reproduction harness for the LBR paper's evaluation (§6): generates
+//! the three workloads, runs every Appendix E query on the LBR engine and
+//! the two baseline configurations, and prints Tables 6.1–6.4 plus the
+//! index-size report and the two ablations. See `src/bin/reproduce.rs` for
+//! the command-line entry point and `benches/` for the Criterion
+//! micro-benchmarks.
+//!
+//! Methodology mirrors §6.1: each query runs `1 + RUNS` times; the first
+//! (cold) run is discarded and the remaining times averaged. Results are
+//! also emitted as JSON for EXPERIMENTS.md regeneration.
+
+use lbr_baseline::{JoinOrder, PairwiseEngine};
+use lbr_bitmat::{BitMatStore, Catalog};
+use lbr_core::{LbrEngine, LbrError, QueryOutput};
+use lbr_datagen::Dataset;
+use lbr_rdf::EncodedGraph;
+use lbr_sparql::parse_query;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Timed runs per query after the warm-up run (the paper uses 5).
+pub const RUNS: u32 = 5;
+
+/// Intermediate-row budget for the baselines (stand-in for ">30 min").
+pub const ROW_LIMIT: usize = 40_000_000;
+
+/// One row of a Table 6.2/6.3/6.4-style report.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryRow {
+    /// Query id ("Q1"…).
+    pub id: String,
+    /// LBR init time (BitMat loads + active pruning), averaged.
+    pub t_init: f64,
+    /// LBR `prune_triples` time, averaged.
+    pub t_prune: f64,
+    /// LBR end-to-end time, averaged.
+    pub t_total: f64,
+    /// Pairwise engine, selectivity-ordered (Virtuoso-analog); `None` when
+    /// the row budget was exceeded.
+    pub t_pairwise: Option<f64>,
+    /// Pairwise engine, query-ordered (MonetDB-analog).
+    pub t_query_order: Option<f64>,
+    /// Σ triples matching each TP before pruning.
+    pub initial_triples: u64,
+    /// Σ triples left after `prune_triples`.
+    pub triples_after_pruning: u64,
+    /// Result rows.
+    pub n_results: usize,
+    /// Result rows with ≥1 NULL.
+    pub n_null_results: usize,
+    /// Whether nullification/best-match were required.
+    pub best_match_required: bool,
+}
+
+/// A full dataset report.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetReport {
+    /// Dataset name.
+    pub name: String,
+    /// Triple count and per-dimension cardinalities (Table 6.1 row).
+    pub n_triples: u64,
+    /// Distinct subjects.
+    pub n_subjects: u32,
+    /// Distinct predicates.
+    pub n_predicates: u32,
+    /// Distinct objects.
+    pub n_objects: u32,
+    /// Per-query rows.
+    pub rows: Vec<QueryRow>,
+    /// Geometric means (seconds) per engine, over queries all engines
+    /// completed.
+    pub geomean_lbr: f64,
+    /// Geomean for the selectivity-ordered pairwise engine.
+    pub geomean_pairwise: f64,
+    /// Geomean for the query-ordered pairwise engine.
+    pub geomean_query_order: f64,
+}
+
+/// A prepared (indexed) dataset.
+pub struct Prepared {
+    /// The dataset (graph + queries).
+    pub dataset: Dataset,
+    /// Encoded graph.
+    pub graph: EncodedGraph,
+    /// The BitMat store.
+    pub store: BitMatStore,
+}
+
+/// Encodes and indexes a dataset.
+pub fn prepare(dataset: Dataset) -> Prepared {
+    let graph = dataset.graph.clone().encode();
+    let store = BitMatStore::build(&graph);
+    Prepared {
+        dataset,
+        graph,
+        store,
+    }
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Runs one query on the LBR engine with warm-up, returning averaged stats
+/// and the last output.
+pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, f64, f64, f64) {
+    let query = parse_query(text).expect("benchmark query parses");
+    let engine = LbrEngine::new(&p.store, &p.graph.dict);
+    let mut out = engine.execute(&query).expect("warm-up run");
+    let (mut t_init, mut t_prune, mut t_total) = (0.0, 0.0, 0.0);
+    for _ in 0..RUNS {
+        out = engine.execute(&query).expect("timed run");
+        t_init += secs(out.stats.t_init);
+        t_prune += secs(out.stats.t_prune);
+        t_total += secs(out.stats.t_total);
+    }
+    let n = RUNS as f64;
+    (out, t_init / n, t_prune / n, t_total / n)
+}
+
+/// Runs one query on a pairwise baseline; `None` when the row budget blew.
+pub fn run_pairwise(p: &Prepared, text: &str, order: JoinOrder) -> Option<f64> {
+    let query = parse_query(text).expect("benchmark query parses");
+    let engine = PairwiseEngine::new(&p.store, &p.graph.dict, order).with_row_limit(ROW_LIMIT);
+    match engine.execute(&query) {
+        Err(LbrError::ResourceLimit(_)) => return None,
+        Err(e) => panic!("baseline failed: {e}"),
+        Ok(_) => {}
+    }
+    let mut total = 0.0;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        engine.execute(&query).expect("timed run");
+        total += secs(t.elapsed());
+    }
+    Some(total / RUNS as f64)
+}
+
+fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count();
+    if n == 0 {
+        return f64::NAN;
+    }
+    (xs.map(|x| x.max(1e-9).ln()).sum::<f64>() / n as f64).exp()
+}
+
+/// Benchmarks every query of a prepared dataset.
+pub fn run_dataset(p: &Prepared) -> DatasetReport {
+    let dims = p.store.dims();
+    let mut rows = Vec::new();
+    for q in &p.dataset.queries {
+        let (out, t_init, t_prune, t_total) = run_lbr(p, &q.text);
+        let t_pairwise = run_pairwise(p, &q.text, JoinOrder::Selectivity);
+        let t_query_order = run_pairwise(p, &q.text, JoinOrder::QueryOrder);
+        rows.push(QueryRow {
+            id: q.id.to_string(),
+            t_init,
+            t_prune,
+            t_total,
+            t_pairwise,
+            t_query_order,
+            initial_triples: out.stats.initial_triples,
+            triples_after_pruning: out.stats.triples_after_pruning,
+            n_results: out.len(),
+            n_null_results: out.rows_with_nulls(),
+            best_match_required: out.stats.nb_required,
+        });
+    }
+    DatasetReport {
+        name: p.dataset.name.to_string(),
+        n_triples: dims.n_triples,
+        n_subjects: dims.n_subjects,
+        n_predicates: dims.n_predicates,
+        n_objects: dims.n_objects,
+        geomean_lbr: geomean(rows.iter().map(|r| r.t_total)),
+        geomean_pairwise: geomean(rows.iter().filter_map(|r| r.t_pairwise)),
+        geomean_query_order: geomean(rows.iter().filter_map(|r| r.t_query_order)),
+        rows,
+    }
+}
+
+/// Formats seconds the way the paper's tables do.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.0005 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Renders a dataset report as the Table 6.2-style fixed-width table.
+pub fn render_table(r: &DatasetReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<4} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "",
+        "Tinit",
+        "Tprune",
+        "Ttotal",
+        "Tpairwise",
+        "TqryOrder",
+        "#initial",
+        "#aftPrune",
+        "#results",
+        "#nulls",
+        "BM?"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            s,
+            "{:<4} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>6}",
+            row.id,
+            fmt_secs(row.t_init),
+            fmt_secs(row.t_prune),
+            fmt_secs(row.t_total),
+            row.t_pairwise.map_or(">budget".into(), fmt_secs),
+            row.t_query_order.map_or(">budget".into(), fmt_secs),
+            row.initial_triples,
+            row.triples_after_pruning,
+            row.n_results,
+            row.n_null_results,
+            if row.best_match_required { "Yes" } else { "No" },
+        );
+    }
+    let _ = writeln!(
+        s,
+        "geometric means: LBR {}, pairwise/selectivity {}, pairwise/query-order {}",
+        fmt_secs(r.geomean_lbr),
+        fmt_secs(r.geomean_pairwise),
+        fmt_secs(r.geomean_query_order),
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_datagen::lubm;
+
+    #[test]
+    fn harness_runs_a_tiny_workload() {
+        let ds = lubm::dataset(&lubm::LubmConfig {
+            universities: 1,
+            departments: 2,
+            seed: 3,
+        });
+        let p = prepare(ds);
+        let report = run_dataset(&p);
+        assert_eq!(report.rows.len(), 6);
+        assert!(report.n_triples > 0);
+        assert!(report.geomean_lbr > 0.0);
+        let table = render_table(&report);
+        assert!(table.contains("Q1") && table.contains("Q6"));
+        // Q4/Q5 are the best-match rows.
+        assert!(report.rows[3].best_match_required);
+        assert!(!report.rows[5].best_match_required);
+        // JSON round-trip for EXPERIMENTS.md.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"geomean_lbr\""));
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.0000005).ends_with("µs"));
+        assert!(fmt_secs(0.0123).ends_with("ms"));
+        assert_eq!(fmt_secs(2.5), "2.50s");
+    }
+}

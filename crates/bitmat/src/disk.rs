@@ -1,0 +1,406 @@
+//! On-disk BitMat index format and the lazy [`DiskCatalog`].
+//!
+//! The paper keeps its `2|Vp| + |Vs| + |Vo|` BitMats on disk (20–41 GB) and
+//! loads only the matrices a query's triple patterns need. We mirror that
+//! with a single index file:
+//!
+//! ```text
+//! magic "LBRBM001"
+//! dims  n_subjects u32 | n_predicates u32 | n_objects u32 | n_shared u32 | n_triples u64
+//! toc   4 families × [ n_mats u32 | (key u32, offset u64, len u64, count u64) × n_mats ]
+//! blobs per matrix:
+//!       n_rows u32 | n_cols u32 | count u64 | n_present u32
+//!       row directory: (row_id u32, row_count u32, rel_offset u32) × n_present
+//!       row payloads (BitRow::write_to)
+//! ```
+//!
+//! The row directory allows `load_*_row` (the paper's single-row loads for
+//! two-fixed-position patterns) and `count_*_row` (selectivity metadata) to
+//! read only a directory plus one row, never the whole matrix.
+
+use crate::catalog::{Catalog, CubeDims};
+use crate::error::BitMatError;
+use crate::matrix::BitMat;
+use crate::row::BitRow;
+use crate::store::BitMatStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LBRBM001";
+
+/// Cached row directory of one matrix: `row_id → (count, rel_offset)`.
+type RowDir = HashMap<u32, (u32, u32)>;
+
+/// Family tags used in the TOC, in serialization order.
+const FAMILIES: [&str; 4] = ["S-O", "O-S", "P-O", "P-S"];
+
+#[derive(Debug, Clone, Copy)]
+struct TocEntry {
+    offset: u64,
+    len: u64,
+    count: u64,
+}
+
+/// Serializes a store to `path`, returning the number of bytes written.
+pub fn save_store(store: &BitMatStore, path: &Path) -> Result<u64, BitMatError> {
+    let dims = store.dims();
+    let mut toc: [Vec<(u32, u64, u64, u64)>; 4] = Default::default();
+    let mut blobs: Vec<u8> = Vec::new();
+    for (fam, key, mat) in store.iter_families() {
+        if mat.is_empty() {
+            continue;
+        }
+        let offset = blobs.len() as u64;
+        encode_matrix(mat, &mut blobs);
+        let len = blobs.len() as u64 - offset;
+        toc[fam as usize].push((key, offset, len, mat.triple_count()));
+    }
+    let mut header: Vec<u8> = Vec::new();
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&dims.n_subjects.to_le_bytes());
+    header.extend_from_slice(&dims.n_predicates.to_le_bytes());
+    header.extend_from_slice(&dims.n_objects.to_le_bytes());
+    header.extend_from_slice(&dims.n_shared.to_le_bytes());
+    header.extend_from_slice(&dims.n_triples.to_le_bytes());
+    for entries in &toc {
+        header.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for &(key, offset, len, count) in entries {
+            header.extend_from_slice(&key.to_le_bytes());
+            header.extend_from_slice(&offset.to_le_bytes());
+            header.extend_from_slice(&len.to_le_bytes());
+            header.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    let mut f = File::create(path)?;
+    f.write_all(&header)?;
+    f.write_all(&blobs)?;
+    f.flush()?;
+    Ok(header.len() as u64 + blobs.len() as u64)
+}
+
+fn encode_matrix(mat: &BitMat, out: &mut Vec<u8>) {
+    out.extend_from_slice(&mat.n_rows().to_le_bytes());
+    out.extend_from_slice(&mat.n_cols().to_le_bytes());
+    out.extend_from_slice(&mat.triple_count().to_le_bytes());
+    out.extend_from_slice(&(mat.rows().len() as u32).to_le_bytes());
+    // Two passes: payloads first into a scratch buffer to learn offsets.
+    let mut payload: Vec<u8> = Vec::new();
+    let mut dir: Vec<(u32, u32, u32)> = Vec::with_capacity(mat.rows().len());
+    for (id, row) in mat.rows() {
+        let rel = payload.len() as u32;
+        row.write_to(&mut payload);
+        dir.push((*id, row.count_ones(), rel));
+    }
+    for (id, cnt, rel) in dir {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&cnt.to_le_bytes());
+        out.extend_from_slice(&rel.to_le_bytes());
+    }
+    out.extend_from_slice(&payload);
+}
+
+fn decode_matrix(bytes: &[u8]) -> Result<BitMat, BitMatError> {
+    let corrupt = |m: &str| BitMatError::Corrupt(m.to_string());
+    let rd_u32 = |at: usize| -> Result<u32, BitMatError> {
+        Ok(u32::from_le_bytes(
+            bytes
+                .get(at..at + 4)
+                .ok_or_else(|| corrupt("truncated u32"))?
+                .try_into()
+                .unwrap(),
+        ))
+    };
+    let n_rows = rd_u32(0)?;
+    let n_cols = rd_u32(4)?;
+    let n_present = rd_u32(16)? as usize;
+    let dir_start = 20;
+    let payload_start = dir_start + 12 * n_present;
+    let mut rows: Vec<(u32, BitRow)> = Vec::with_capacity(n_present);
+    for i in 0..n_present {
+        let id = rd_u32(dir_start + 12 * i)?;
+        let rel = rd_u32(dir_start + 12 * i + 8)? as usize;
+        let slice = bytes
+            .get(payload_start + rel..)
+            .ok_or_else(|| corrupt("bad row offset"))?;
+        let (row, _) =
+            BitRow::read_from(slice, n_cols).ok_or_else(|| corrupt("bad row payload"))?;
+        rows.push((id, row));
+    }
+    Ok(BitMat::from_rows(n_rows, n_cols, rows))
+}
+
+/// A lazily-loading catalog over the on-disk index.
+///
+/// The TOC (a few entries per matrix) lives in memory; matrix bodies are
+/// read on demand. Per-matrix row directories are cached after first touch
+/// so repeated `count_*_row` probes stay cheap.
+pub struct DiskCatalog {
+    file: Mutex<File>,
+    dims: CubeDims,
+    blob_base: u64,
+    toc: [HashMap<u32, TocEntry>; 4],
+    /// Cached row directories: (family, key) → row_id → (count, rel_offset).
+    dir_cache: Mutex<HashMap<(u8, u32), RowDir>>,
+}
+
+impl std::fmt::Debug for DiskCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskCatalog")
+            .field("dims", &self.dims)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DiskCatalog {
+    /// Opens an index written by [`save_store`].
+    pub fn open(path: &Path) -> Result<Self, BitMatError> {
+        let mut f = File::open(path)?;
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(BitMatError::Corrupt("bad magic".into()));
+        }
+        let mut fixed = [0u8; 24];
+        f.read_exact(&mut fixed)?;
+        let dims = CubeDims {
+            n_subjects: u32::from_le_bytes(fixed[0..4].try_into().unwrap()),
+            n_predicates: u32::from_le_bytes(fixed[4..8].try_into().unwrap()),
+            n_objects: u32::from_le_bytes(fixed[8..12].try_into().unwrap()),
+            n_shared: u32::from_le_bytes(fixed[12..16].try_into().unwrap()),
+            n_triples: u64::from_le_bytes(fixed[16..24].try_into().unwrap()),
+        };
+        let mut toc: [HashMap<u32, TocEntry>; 4] = Default::default();
+        for fam in toc.iter_mut() {
+            let mut nbuf = [0u8; 4];
+            f.read_exact(&mut nbuf)?;
+            let n = u32::from_le_bytes(nbuf) as usize;
+            let mut buf = vec![0u8; 28 * n];
+            f.read_exact(&mut buf)?;
+            for i in 0..n {
+                let at = 28 * i;
+                let key = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+                let offset = u64::from_le_bytes(buf[at + 4..at + 12].try_into().unwrap());
+                let len = u64::from_le_bytes(buf[at + 12..at + 20].try_into().unwrap());
+                let count = u64::from_le_bytes(buf[at + 20..at + 28].try_into().unwrap());
+                fam.insert(key, TocEntry { offset, len, count });
+            }
+        }
+        let blob_base = f.stream_position()?;
+        Ok(DiskCatalog {
+            file: Mutex::new(f),
+            dims,
+            blob_base,
+            toc,
+            dir_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, BitMatError> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(self.blob_base + offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn load_matrix(&self, fam: u8, key: u32) -> Result<Option<BitMat>, BitMatError> {
+        match self.toc[fam as usize].get(&key) {
+            None => Ok(None),
+            Some(e) => {
+                let bytes = self.read_at(e.offset, e.len as usize)?;
+                decode_matrix(&bytes).map(Some)
+            }
+        }
+    }
+
+    /// Reads (and caches) the row directory of a matrix.
+    fn row_dir(&self, fam: u8, key: u32) -> Result<Option<RowDir>, BitMatError> {
+        if let Some(dir) = self.dir_cache.lock().get(&(fam, key)) {
+            return Ok(Some(dir.clone()));
+        }
+        let Some(e) = self.toc[fam as usize].get(&key).copied() else {
+            return Ok(None);
+        };
+        let head = self.read_at(e.offset, 20.min(e.len as usize))?;
+        let n_present = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+        let dir_bytes = self.read_at(e.offset + 20, 12 * n_present)?;
+        let mut dir = RowDir::with_capacity(n_present);
+        for i in 0..n_present {
+            let at = 12 * i;
+            let id = u32::from_le_bytes(dir_bytes[at..at + 4].try_into().unwrap());
+            let cnt = u32::from_le_bytes(dir_bytes[at + 4..at + 8].try_into().unwrap());
+            let rel = u32::from_le_bytes(dir_bytes[at + 8..at + 12].try_into().unwrap());
+            dir.insert(id, (cnt, rel));
+        }
+        self.dir_cache.lock().insert((fam, key), dir.clone());
+        Ok(Some(dir))
+    }
+
+    fn load_row(&self, fam: u8, key: u32, row_id: u32) -> Result<Option<BitRow>, BitMatError> {
+        let Some(dir) = self.row_dir(fam, key)? else {
+            return Ok(None);
+        };
+        let Some(&(_, rel)) = dir.get(&row_id) else {
+            return Ok(None);
+        };
+        let e = self.toc[fam as usize][&key];
+        let n_present = dir.len();
+        let payload_start = e.offset + 20 + 12 * n_present as u64;
+        // Read from the row's offset to the end of the blob; decode stops at
+        // the row boundary.
+        let len = (e.offset + e.len - payload_start - rel as u64) as usize;
+        let bytes = self.read_at(payload_start + rel as u64, len)?;
+        let universe = match FAMILIES[fam as usize] {
+            "S-O" => self.dims.n_objects,
+            "O-S" => self.dims.n_subjects,
+            "P-O" => self.dims.n_objects,
+            _ => self.dims.n_subjects,
+        };
+        let (row, _) = BitRow::read_from(&bytes, universe)
+            .ok_or_else(|| BitMatError::Corrupt("bad row payload".into()))?;
+        Ok(Some(row))
+    }
+
+    fn count_row(&self, fam: u8, key: u32, row_id: u32) -> u64 {
+        match self.row_dir(fam, key) {
+            Ok(Some(dir)) => dir.get(&row_id).map_or(0, |&(c, _)| c as u64),
+            _ => 0,
+        }
+    }
+}
+
+impl Catalog for DiskCatalog {
+    fn dims(&self) -> CubeDims {
+        self.dims
+    }
+
+    fn load_so(&self, p: u32) -> Result<Option<BitMat>, BitMatError> {
+        self.load_matrix(0, p)
+    }
+
+    fn load_os(&self, p: u32) -> Result<Option<BitMat>, BitMatError> {
+        self.load_matrix(1, p)
+    }
+
+    fn load_po(&self, s: u32) -> Result<Option<BitMat>, BitMatError> {
+        self.load_matrix(2, s)
+    }
+
+    fn load_ps(&self, o: u32) -> Result<Option<BitMat>, BitMatError> {
+        self.load_matrix(3, o)
+    }
+
+    fn load_po_row(&self, s: u32, p: u32) -> Result<Option<BitRow>, BitMatError> {
+        self.load_row(2, s, p)
+    }
+
+    fn load_ps_row(&self, o: u32, p: u32) -> Result<Option<BitRow>, BitMatError> {
+        self.load_row(3, o, p)
+    }
+
+    fn count_so(&self, p: u32) -> u64 {
+        self.toc[0].get(&p).map_or(0, |e| e.count)
+    }
+
+    fn count_po(&self, s: u32) -> u64 {
+        self.toc[2].get(&s).map_or(0, |e| e.count)
+    }
+
+    fn count_ps(&self, o: u32) -> u64 {
+        self.toc[3].get(&o).map_or(0, |e| e.count)
+    }
+
+    fn count_po_row(&self, s: u32, p: u32) -> u64 {
+        self.count_row(2, s, p)
+    }
+
+    fn count_ps_row(&self, o: u32, p: u32) -> u64 {
+        self.count_row(3, o, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_rdf::{Graph, Term, Triple};
+
+    fn sample_store() -> BitMatStore {
+        let mut triples = Vec::new();
+        for i in 0..40 {
+            triples.push(Triple::new(
+                Term::iri(format!("s{}", i % 7)),
+                Term::iri(format!("p{}", i % 3)),
+                Term::iri(format!("o{i}")),
+            ));
+            // A chain so S and O overlap.
+            triples.push(Triple::new(
+                Term::iri(format!("o{i}")),
+                Term::iri("next"),
+                Term::iri(format!("s{}", (i + 1) % 7)),
+            ));
+        }
+        BitMatStore::build(&Graph::from_triples(triples).encode())
+    }
+
+    #[test]
+    fn save_and_reload_matches_store() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("lbr_bitmat_test_roundtrip.idx");
+        let bytes = save_store(&store, &dir).unwrap();
+        assert!(bytes > 0);
+        let cat = DiskCatalog::open(&dir).unwrap();
+        assert_eq!(cat.dims(), store.dims());
+        let dims = store.dims();
+        for p in 0..dims.n_predicates {
+            assert_eq!(cat.count_so(p), store.count_so(p), "count_so({p})");
+            match (cat.load_so(p).unwrap(), store.load_so(p).unwrap()) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "so({p})"),
+                (None, None) => {}
+                other => panic!("mismatch for so({p}): {other:?}"),
+            }
+            assert_eq!(cat.load_os(p).unwrap(), store.load_os(p).unwrap());
+        }
+        for s in 0..dims.n_subjects {
+            assert_eq!(cat.count_po(s), store.count_po(s));
+            assert_eq!(cat.load_po(s).unwrap(), store.load_po(s).unwrap());
+            for p in 0..dims.n_predicates {
+                assert_eq!(cat.count_po_row(s, p), store.count_po_row(s, p));
+                assert_eq!(
+                    cat.load_po_row(s, p).unwrap(),
+                    store.load_po_row(s, p).unwrap()
+                );
+            }
+        }
+        for o in 0..dims.n_objects {
+            assert_eq!(cat.count_ps(o), store.count_ps(o));
+            assert_eq!(cat.load_ps(o).unwrap(), store.load_ps(o).unwrap());
+        }
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let path = std::env::temp_dir().join("lbr_bitmat_test_badmagic.idx");
+        std::fs::write(&path, b"NOTANIDX________").unwrap();
+        assert!(matches!(
+            DiskCatalog::open(&path),
+            Err(BitMatError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_keys_are_none() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("lbr_bitmat_test_missing.idx");
+        save_store(&store, &path).unwrap();
+        let cat = DiskCatalog::open(&path).unwrap();
+        assert!(cat.load_so(9999).unwrap().is_none());
+        assert!(cat.load_po_row(0, 9999).unwrap().is_none());
+        assert_eq!(cat.count_ps_row(9999, 0), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

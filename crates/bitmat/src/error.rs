@@ -1,0 +1,66 @@
+//! Error type for BitMat storage.
+
+use std::fmt;
+
+/// Errors produced by index construction and (de)serialization.
+#[derive(Debug)]
+pub enum BitMatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The on-disk index is malformed.
+    Corrupt(String),
+    /// A requested matrix key is outside the catalog's dimensions.
+    KeyOutOfRange {
+        /// Which family was queried (`"S-O"`, `"P-S"`, …).
+        family: &'static str,
+        /// The offending key.
+        key: u32,
+    },
+}
+
+impl fmt::Display for BitMatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitMatError::Io(e) => write!(f, "I/O error: {e}"),
+            BitMatError::Corrupt(m) => write!(f, "corrupt BitMat index: {m}"),
+            BitMatError::KeyOutOfRange { family, key } => {
+                write!(f, "key {key} out of range for {family} BitMats")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitMatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BitMatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BitMatError {
+    fn from(e: std::io::Error) -> Self {
+        BitMatError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BitMatError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(BitMatError::KeyOutOfRange {
+            family: "S-O",
+            key: 7
+        }
+        .to_string()
+        .contains("S-O"));
+        let io = BitMatError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # lbr-bitmat
+//!
+//! Compressed BitMat indexes for RDF graphs — the index substrate of the
+//! Left Bit Right (LBR) paper (§4, Appendix D).
+//!
+//! The RDF dataset is conceptually a 3-D bitcube of dimensions
+//! `|Vs| × |Vp| × |Vo|`; a bit is set iff the corresponding `(S P O)` triple
+//! exists. Slicing the cube yields four families of 2-D BitMats:
+//!
+//! * **S-O** and **O-S** BitMats per predicate (slicing the P dimension;
+//!   O-S is the transpose of S-O),
+//! * **P-O** BitMats per subject (slicing the S dimension),
+//! * **P-S** BitMats per object (slicing the O dimension),
+//!
+//! for a total of `2·|Vp| + |Vs| + |Vo|` matrices ([`BitMatStore`]).
+//!
+//! Each matrix row is compressed with the paper's *hybrid* scheme
+//! ([`BitRow`]): run-length encoding with 4-byte run lengths, or a plain
+//! list of set-bit positions when that is smaller (the paper reports ≈40 %
+//! index-size reduction from the hybrid scheme; see
+//! [`BitMatStore::size_report`]).
+//!
+//! The two primitives every LBR semi-join is built from operate directly on
+//! the compressed rows:
+//!
+//! * [`BitMat::fold`] — project the distinct values of one dimension into a
+//!   dense bit-mask (bitwise OR over the other dimension);
+//! * [`BitMat::unfold`] — clear all bits whose coordinate in the retained
+//!   dimension is absent from a mask.
+
+pub mod bitvec;
+pub mod catalog;
+pub mod disk;
+pub mod error;
+pub mod matrix;
+pub mod row;
+pub mod store;
+
+pub use bitvec::BitVec;
+pub use catalog::{Catalog, CubeDims};
+pub use disk::DiskCatalog;
+pub use error::BitMatError;
+pub use matrix::{BitMat, RetainDim};
+pub use row::BitRow;
+pub use store::{BitMatStore, SizeReport};

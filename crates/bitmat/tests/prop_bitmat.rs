@@ -1,0 +1,113 @@
+//! Property tests: compressed rows and matrices must agree with a naive
+//! uncompressed model on every operation, and the disk codec must be
+//! lossless.
+
+use lbr_bitmat::{BitMat, BitRow, BitVec, RetainDim};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_positions(universe: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..universe, 0..(universe as usize).min(80))
+        .prop_map(|s| s.into_iter().collect())
+}
+
+/// Runs-biased rows: dense blocks interleaved with isolated bits.
+fn arb_blocky_positions(universe: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec((0..universe, 1u32..12), 0..8).prop_map(move |blocks| {
+        let mut set = BTreeSet::new();
+        for (start, len) in blocks {
+            for p in start..(start + len).min(universe) {
+                set.insert(p);
+            }
+        }
+        set.into_iter().collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn row_ops_match_reference(
+        a in arb_blocky_positions(300),
+        b in arb_positions(300),
+    ) {
+        let row = BitRow::from_sorted_positions(300, &a);
+        let mask = BitVec::from_positions(300, b.iter().copied());
+
+        // count / iterate / contains
+        prop_assert_eq!(row.count_ones() as usize, a.len());
+        prop_assert_eq!(row.iter_ones().collect::<Vec<_>>(), a.clone());
+        for p in 0..300 {
+            prop_assert_eq!(row.contains(p), a.binary_search(&p).is_ok());
+        }
+
+        // AND against the mask.
+        let expect: Vec<u32> = a.iter().copied().filter(|p| b.contains(p)).collect();
+        let got = row.and_mask(&mask);
+        prop_assert_eq!(got.iter_ones().collect::<Vec<_>>(), expect);
+
+        // OR into an accumulator seeded with b.
+        let mut acc = mask.clone();
+        row.or_into(&mut acc);
+        let expect: BTreeSet<u32> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(acc.iter_ones().collect::<Vec<_>>(), expect.into_iter().collect::<Vec<_>>());
+
+        // Hybrid is never larger than pure RLE.
+        prop_assert!(row.encoded_bytes() <= row.rle_only_bytes());
+    }
+
+    #[test]
+    fn row_codec_roundtrip(a in arb_blocky_positions(400)) {
+        let row = BitRow::from_sorted_positions(400, &a);
+        let mut buf = Vec::new();
+        row.write_to(&mut buf);
+        let (back, used) = BitRow::read_from(&buf, 400).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back, row);
+    }
+
+    #[test]
+    fn matrix_fold_unfold_match_reference(
+        pairs in prop::collection::btree_set((0u32..40, 0u32..50), 0..120),
+        row_mask in arb_positions(40),
+        col_mask in arb_positions(50),
+    ) {
+        let pairs: Vec<(u32, u32)> = pairs.into_iter().collect();
+        let m = BitMat::from_sorted_pairs(40, 50, &pairs);
+        prop_assert_eq!(m.triple_count() as usize, pairs.len());
+        prop_assert_eq!(m.iter().collect::<Vec<_>>(), pairs.clone());
+
+        // fold = projection of distinct coordinates.
+        let rows_expect: BTreeSet<u32> = pairs.iter().map(|&(r, _)| r).collect();
+        let cols_expect: BTreeSet<u32> = pairs.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(
+            m.fold(RetainDim::Row).iter_ones().collect::<BTreeSet<_>>(), rows_expect);
+        prop_assert_eq!(
+            m.fold(RetainDim::Col).iter_ones().collect::<BTreeSet<_>>(), cols_expect);
+
+        // unfold = triple filtering on the retained dimension.
+        let rmask = BitVec::from_positions(40, row_mask.iter().copied());
+        let mut mr = m.clone();
+        mr.unfold(&rmask, RetainDim::Row);
+        let expect: Vec<(u32, u32)> =
+            pairs.iter().copied().filter(|&(r, _)| row_mask.contains(&r)).collect();
+        prop_assert_eq!(mr.iter().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(mr.triple_count() as usize, expect.len());
+
+        let cmask = BitVec::from_positions(50, col_mask.iter().copied());
+        let mut mc = m.clone();
+        mc.unfold(&cmask, RetainDim::Col);
+        let expect: Vec<(u32, u32)> =
+            pairs.iter().copied().filter(|&(_, c)| col_mask.contains(&c)).collect();
+        prop_assert_eq!(mc.iter().collect::<Vec<_>>(), expect.clone());
+
+        // transpose is an involution and flips coordinates.
+        let t = m.transpose();
+        prop_assert_eq!(t.triple_count(), m.triple_count());
+        for &(r, c) in &pairs {
+            prop_assert!(t.get(c, r));
+        }
+        prop_assert_eq!(t.transpose(), m);
+    }
+}

@@ -1,0 +1,189 @@
+//! The best-match (minimum-union) operator: removes subsumed results.
+//!
+//! A row `r1` is subsumed by `r2` (`r1 ⊏ r2`) when every non-NULL binding
+//! of `r1` equals the corresponding binding of `r2` and `r2` has strictly
+//! more non-NULL bindings (§3.1). After nullification, subsumed rows also
+//! arrive as exact duplicates; best-match is set-based (Rao et al.'s
+//! minimum union), so duplicates collapse too.
+//!
+//! Implementation: rows are grouped by the values of the columns that are
+//! non-NULL in *every* row (in LBR these are the absolute-master bindings,
+//! which nullification never touches), then filtered pairwise inside each
+//! group — groups are small in practice because they share all master
+//! bindings.
+
+use crate::bindings::Binding;
+use std::collections::HashMap;
+
+/// Removes subsumed rows (and exact duplicates) in place.
+pub fn best_match(rows: &mut Vec<Vec<Option<Binding>>>) {
+    if rows.len() <= 1 {
+        rows.dedup();
+        return;
+    }
+    let width = rows[0].len();
+    // Columns bound in every row form the grouping key.
+    let always: Vec<usize> = (0..width)
+        .filter(|&i| rows.iter().all(|r| r[i].is_some()))
+        .collect();
+
+    let mut groups: HashMap<Vec<Binding>, Vec<usize>> = HashMap::new();
+    for (idx, row) in rows.iter().enumerate() {
+        let key: Vec<Binding> = always.iter().map(|&i| row[i].unwrap()).collect();
+        groups.entry(key).or_default().push(idx);
+    }
+
+    let mut keep = vec![false; rows.len()];
+    for idxs in groups.values() {
+        // Most-bound rows first; a row is dropped if some kept row covers it.
+        let mut order: Vec<usize> = idxs.clone();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(rows[i].iter().filter(|c| c.is_some()).count()),
+                i,
+            )
+        });
+        let mut kept_in_group: Vec<usize> = Vec::new();
+        'cand: for &i in &order {
+            for &k in &kept_in_group {
+                if covered_by(&rows[i], &rows[k]) {
+                    continue 'cand;
+                }
+            }
+            kept_in_group.push(i);
+            keep[i] = true;
+        }
+    }
+    let mut idx = 0;
+    rows.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+/// True when every binding of `r` is NULL or equals `k`'s binding —
+/// i.e. `r ⊑ k` (equality included, which collapses duplicates).
+fn covered_by(r: &[Option<Binding>], k: &[Option<Binding>]) -> bool {
+    r.iter().zip(k).all(|(a, b)| match (a, b) {
+        (None, _) => true,
+        (Some(x), Some(y)) => x == y,
+        (Some(_), None) => false,
+    })
+}
+
+/// Reference implementation: O(n²) literal transcription of the
+/// subsumption definition, used by property tests.
+pub fn best_match_reference(rows: &[Vec<Option<Binding>>]) -> Vec<Vec<Option<Binding>>> {
+    let nonnull = |r: &Vec<Option<Binding>>| r.iter().filter(|c| c.is_some()).count();
+    let mut out: Vec<Vec<Option<Binding>>> = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        let subsumed = rows.iter().enumerate().any(|(j, k)| {
+            j != i && covered_by(r, k) && (nonnull(k) > nonnull(r) || (r == k && j < i))
+        });
+        if !subsumed && !out.contains(r) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::BindingSpace;
+
+    fn b(id: u32) -> Option<Binding> {
+        Some(Binding {
+            id,
+            space: BindingSpace::Shared,
+        })
+    }
+
+    /// Figure 3.2, Res2 → Res3: the three nullified (Julia, NULL) rows are
+    /// subsumed by (Julia, Seinfeld); (Larry, NULL) survives.
+    #[test]
+    fn figure_3_2_res2_to_res3() {
+        // Columns: ?friend, ?sitcom. Julia=0, Larry=1, Seinfeld=10.
+        let mut rows = vec![
+            vec![b(0), b(10)],
+            vec![b(0), None],
+            vec![b(0), None],
+            vec![b(0), None],
+            vec![b(1), None],
+        ];
+        best_match(&mut rows);
+        rows.sort();
+        assert_eq!(rows, vec![vec![b(0), b(10)], vec![b(1), None]]);
+    }
+
+    #[test]
+    fn incomparable_null_patterns_survive() {
+        // (a, NULL, c) vs (a, b, NULL): neither subsumes the other.
+        let mut rows = vec![vec![b(1), None, b(3)], vec![b(1), b(2), None]];
+        best_match(&mut rows);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut rows = vec![vec![b(1), b(2)], vec![b(1), b(2)], vec![b(1), b(2)]];
+        best_match(&mut rows);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn different_master_groups_do_not_interact() {
+        let mut rows = vec![vec![b(1), None], vec![b(2), b(9)]];
+        best_match(&mut rows);
+        assert_eq!(
+            rows.len(),
+            2,
+            "(1, NULL) is not subsumed by a different master"
+        );
+    }
+
+    #[test]
+    fn chain_subsumption() {
+        // (a,b,c) ⊐ (a,b,NULL) ⊐ (a,NULL,NULL).
+        let mut rows = vec![
+            vec![b(1), None, None],
+            vec![b(1), b(2), None],
+            vec![b(1), b(2), b(3)],
+        ];
+        best_match(&mut rows);
+        assert_eq!(rows, vec![vec![b(1), b(2), b(3)]]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut rows: Vec<Vec<Option<Binding>>> = Vec::new();
+        best_match(&mut rows);
+        assert!(rows.is_empty());
+        let mut rows = vec![vec![b(1)]];
+        best_match(&mut rows);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_tricky_cases() {
+        let cases: Vec<Vec<Vec<Option<Binding>>>> = vec![
+            vec![
+                vec![b(1), None, b(3)],
+                vec![b(1), b(2), b(3)],
+                vec![b(1), b(2), None],
+                vec![b(1), None, None],
+                vec![b(1), None, b(4)],
+            ],
+            vec![vec![None, None], vec![None, b(1)], vec![b(1), None]],
+        ];
+        for rows in cases {
+            let mut fast = rows.clone();
+            best_match(&mut fast);
+            let mut slow = best_match_reference(&rows);
+            fast.sort();
+            slow.sort();
+            assert_eq!(fast, slow);
+        }
+    }
+}

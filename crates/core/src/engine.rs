@@ -1,0 +1,410 @@
+//! The query executor: Algorithm 5.1 end-to-end, plus the §5.2 handling of
+//! UNION (UNION normal form), FILTER (init masks + FaN) and Cartesian
+//! products (×-free components evaluated with LBR, combined pairwise).
+
+use crate::best_match::best_match;
+use crate::bindings::{Binding, QueryOutput, VarTable};
+use crate::error::LbrError;
+use crate::filter_eval::{self, VarLookup};
+use crate::init::{absolute_master_empty, init, TpState};
+use crate::jvar_order::get_jvar_order;
+use crate::multiway::{multi_way_join, JoinInputs};
+use crate::prune::{prune_triples, PruneOutcome};
+use crate::selectivity::estimate_all;
+use crate::QueryStats;
+use lbr_bitmat::Catalog;
+use lbr_rdf::{Dictionary, Term};
+use lbr_sparql::algebra::{Expr, GraphPattern, Query};
+use lbr_sparql::classify::analyze;
+use lbr_sparql::rewrite::rewrite_to_unf;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The Left Bit Right engine over a BitMat catalog.
+pub struct LbrEngine<'a, C: Catalog> {
+    catalog: &'a C,
+    dict: &'a Dictionary,
+}
+
+/// Result of evaluating one union-free / connected sub-pattern.
+struct PartResult {
+    vars: Vec<String>,
+    rows: Vec<Vec<Option<Binding>>>,
+    stats: QueryStats,
+    /// Whether this part may contain subsumed rows (nullification fired or
+    /// a FaN filter nullified a slave).
+    needs_best_match: bool,
+}
+
+impl<'a, C: Catalog> LbrEngine<'a, C> {
+    /// Creates an engine over a catalog and its dictionary.
+    pub fn new(catalog: &'a C, dict: &'a Dictionary) -> Self {
+        LbrEngine { catalog, dict }
+    }
+
+    /// Executes a query: UNF rewrite → per-branch LBR evaluation →
+    /// bag-union of branches (+ best-match when rule (3) was used) →
+    /// projection.
+    pub fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
+        let t0 = Instant::now();
+        let branches = rewrite_to_unf(&query.pattern);
+        let any_rule3 = branches.iter().any(|b| b.used_rule3);
+        let projection = query.projected_vars();
+
+        let mut all_rows: Vec<Vec<Option<Binding>>> = Vec::new();
+        let mut stats = QueryStats::default();
+        for branch in &branches {
+            let mut part = self.eval_pattern(&branch.pattern)?;
+            if part.needs_best_match {
+                best_match(&mut part.rows);
+            }
+            // Re-project the branch rows into the query's projection.
+            let col_of: Vec<Option<usize>> = projection
+                .iter()
+                .map(|v| part.vars.iter().position(|x| x == v))
+                .collect();
+            for row in part.rows {
+                all_rows.push(col_of.iter().map(|c| c.and_then(|i| row[i])).collect());
+            }
+            merge_stats(&mut stats, &part.stats);
+        }
+        if any_rule3 {
+            // Rule (3) branches can produce spurious subsumed rows across
+            // branches; minimum-union them away (§5.2).
+            best_match(&mut all_rows);
+        }
+        stats.n_results = all_rows.len();
+        stats.n_results_with_nulls = all_rows
+            .iter()
+            .filter(|r| r.iter().any(|c| c.is_none()))
+            .count();
+        stats.t_total = t0.elapsed();
+        Ok(QueryOutput {
+            vars: projection,
+            rows: all_rows,
+            stats,
+        })
+    }
+
+    /// Evaluates one union-free pattern; splits off Cartesian-product
+    /// components when the pattern is not variable-connected.
+    fn eval_pattern(&self, pattern: &GraphPattern) -> Result<PartResult, LbrError> {
+        let analyzed = analyze(pattern)?;
+        if analyzed.class.connected {
+            return self.eval_connected(pattern);
+        }
+        // §5.2 Cartesian handling: evaluate ×-free sub-patterns with LBR
+        // and combine pairwise at the disconnection points.
+        match pattern {
+            GraphPattern::Join(l, r) => {
+                let a = self.eval_pattern(l)?;
+                let b = self.eval_pattern(r)?;
+                Ok(combine(a, b, JoinKind::Inner))
+            }
+            GraphPattern::LeftJoin(l, r) => {
+                let a = self.eval_pattern(l)?;
+                let b = self.eval_pattern(r)?;
+                Ok(combine(a, b, JoinKind::LeftOuter))
+            }
+            GraphPattern::Filter(inner, e) => {
+                let mut part = self.eval_pattern(inner)?;
+                let vt_names = part.vars.clone();
+                part.rows.retain(|row| {
+                    let lk = NamedRowLookup {
+                        names: &vt_names,
+                        row,
+                        dict: self.dict,
+                    };
+                    filter_eval::eval(e, &lk)
+                });
+                Ok(part)
+            }
+            GraphPattern::Bgp(tps) => {
+                // Split the BGP into variable-connected components.
+                let comps = bgp_components(tps);
+                let mut acc: Option<PartResult> = None;
+                for comp in comps {
+                    let part = self.eval_pattern(&GraphPattern::Bgp(comp))?;
+                    acc = Some(match acc {
+                        None => part,
+                        Some(prev) => combine(prev, part, JoinKind::Inner),
+                    });
+                }
+                Ok(acc.expect("BGP has at least one component"))
+            }
+            GraphPattern::Union(_, _) => Err(LbrError::Unsupported(
+                "UNION survived the UNF rewrite".into(),
+            )),
+        }
+    }
+
+    /// Algorithm 5.1 for one connected, union-free pattern.
+    fn eval_connected(&self, pattern: &GraphPattern) -> Result<PartResult, LbrError> {
+        let analyzed = analyze(pattern)?;
+        let gosn = &analyzed.gosn;
+        let goj = &analyzed.goj;
+        let vt = VarTable::from_tps(gosn.tps())?;
+        let dims = self.catalog.dims();
+        let mut stats = QueryStats {
+            nb_required: analyzed.class.nb_required,
+            ..Default::default()
+        };
+
+        // Selectivity metadata + jvar orders (no loads yet).
+        let estimates = estimate_all(gosn.tps(), self.dict, self.catalog);
+        stats.initial_triples = estimates.iter().sum();
+        let jorder = get_jvar_order(gosn, goj, &vt, &estimates);
+
+        // init with active pruning.
+        let t = Instant::now();
+        let mut loaded = init(gosn, &vt, &jorder, &estimates, self.dict, self.catalog)?;
+        // Single-variable supernode filters become init-time masks; the
+        // rest go to the FaN hook.
+        let mut fan_filters: Vec<(Option<usize>, &Expr)> = Vec::new();
+        for sn in 0..gosn.n_supernodes() {
+            for expr in gosn.sn_filters(sn) {
+                if !self.apply_filter_mask(sn, expr, gosn, &vt, &mut loaded.tps) {
+                    fan_filters.push((Some(sn), expr));
+                }
+            }
+        }
+        for expr in gosn.global_filters() {
+            fan_filters.push((None, expr));
+        }
+        stats.t_init = t.elapsed();
+
+        if absolute_master_empty(gosn, &loaded.tps) {
+            stats.aborted_empty = true;
+            stats.t_total = stats.t_init;
+            return Ok(PartResult {
+                vars: vt.names().to_vec(),
+                rows: Vec::new(),
+                stats,
+                needs_best_match: false,
+            });
+        }
+
+        // prune_triples.
+        let t = Instant::now();
+        let outcome = prune_triples(&mut loaded.tps, gosn, goj, &vt, &jorder, &dims);
+        stats.t_prune = t.elapsed();
+        stats.triples_after_pruning = loaded.tps.iter().map(TpState::count).sum();
+        if outcome == PruneOutcome::EmptyAbsoluteMaster {
+            stats.aborted_empty = true;
+            return Ok(PartResult {
+                vars: vt.names().to_vec(),
+                rows: Vec::new(),
+                stats,
+                needs_best_match: false,
+            });
+        }
+
+        // Multi-way pipelined join.
+        let t = Instant::now();
+        for tp in &mut loaded.tps {
+            tp.build_adjacency();
+        }
+        let inputs = JoinInputs {
+            tps: &loaded.tps,
+            gosn,
+            vt: &vt,
+            dims,
+            dict: self.dict,
+            fan_filters,
+        };
+        let (rows, exec) = multi_way_join(&inputs);
+        stats.t_join = t.elapsed();
+        stats.nullification_fired = exec.nullification_fired;
+        stats.t_total = stats.t_init + stats.t_prune + stats.t_join;
+
+        Ok(PartResult {
+            vars: vt.names().to_vec(),
+            rows,
+            stats,
+            needs_best_match: analyzed.class.nb_required || exec.nullification_fired > 0,
+        })
+    }
+
+    /// Applies a single-variable filter as an init-time candidate mask on
+    /// every TP of the supernode containing that variable. Returns `false`
+    /// when the filter is not single-variable (the caller FaNs it).
+    fn apply_filter_mask(
+        &self,
+        sn: usize,
+        expr: &Expr,
+        gosn: &lbr_sparql::gosn::Gosn,
+        vt: &VarTable,
+        tps: &mut [TpState],
+    ) -> bool {
+        let vars: Vec<&str> = expr.vars().into_iter().collect();
+        let [name] = vars.as_slice() else {
+            return false;
+        };
+        let Some(var) = vt.id(name) else { return true }; // var unused: no-op
+        let dims = self.catalog.dims();
+        for &tp in gosn.tps_of_sn(sn) {
+            // Fold in the TP's own position dimension so candidate IDs
+            // decode through the right dictionary dimension.
+            let Some(dim) = tps[tp].dim_of(var) else {
+                continue;
+            };
+            let space_len = crate::bindings::op_space_len(&dims, [dim]);
+            let Some(cands) = tps[tp].fold_var(var, space_len) else {
+                continue;
+            };
+            let mut mask = lbr_bitmat::BitVec::zeros(space_len);
+            for id in cands.iter_ones() {
+                let term = self.dict.term(id, dim).expect("candidate decodes");
+                let holder = SingleLookup { name, term };
+                if filter_eval::eval(expr, &holder) {
+                    mask.set(id);
+                }
+            }
+            tps[tp].unfold_var(var, &mask);
+        }
+        true
+    }
+}
+
+struct SingleLookup<'a> {
+    name: &'a str,
+    term: &'a Term,
+}
+
+impl VarLookup for SingleLookup<'_> {
+    fn term(&self, name: &str) -> Option<&Term> {
+        (name == self.name).then_some(self.term)
+    }
+}
+
+struct NamedRowLookup<'a> {
+    names: &'a [String],
+    row: &'a [Option<Binding>],
+    dict: &'a Dictionary,
+}
+
+impl VarLookup for NamedRowLookup<'_> {
+    fn term(&self, name: &str) -> Option<&Term> {
+        let i = self.names.iter().position(|n| n == name)?;
+        self.row[i].as_ref().map(|b| b.decode(self.dict))
+    }
+}
+
+fn merge_stats(acc: &mut QueryStats, part: &QueryStats) {
+    acc.t_init += part.t_init;
+    acc.t_prune += part.t_prune;
+    acc.t_join += part.t_join;
+    acc.initial_triples += part.initial_triples;
+    acc.triples_after_pruning += part.triples_after_pruning;
+    acc.nb_required |= part.nb_required;
+    acc.nullification_fired += part.nullification_fired;
+    acc.aborted_empty |= part.aborted_empty;
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum JoinKind {
+    Inner,
+    LeftOuter,
+}
+
+/// Pairwise combination of two part results on their shared variables —
+/// the "standard relational technique" fallback for Cartesian patterns
+/// (§5.2). Null-intolerant on the join keys, as in Appendix B.
+fn combine(a: PartResult, b: PartResult, kind: JoinKind) -> PartResult {
+    let shared: Vec<(usize, usize)> = a
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| b.vars.iter().position(|x| x == v).map(|j| (i, j)))
+        .collect();
+    let b_only: Vec<usize> = (0..b.vars.len())
+        .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+        .collect();
+
+    let mut vars = a.vars.clone();
+    vars.extend(b_only.iter().map(|&j| b.vars[j].clone()));
+
+    // Hash the right side on the shared key.
+    let mut table: HashMap<Vec<Binding>, Vec<usize>> = HashMap::new();
+    for (idx, row) in b.rows.iter().enumerate() {
+        let Some(key) = shared
+            .iter()
+            .map(|&(_, j)| row[j])
+            .collect::<Option<Vec<Binding>>>()
+        else {
+            continue; // NULL join key: null-intolerant
+        };
+        table.entry(key).or_default().push(idx);
+    }
+
+    // No shared vars ⇒ cross product with all of b.
+    let cross: Vec<usize> = (0..b.rows.len()).collect();
+    let empty: Vec<usize> = Vec::new();
+    let mut rows = Vec::new();
+    for arow in &a.rows {
+        let matches: &[usize] = if shared.is_empty() {
+            &cross
+        } else {
+            match shared
+                .iter()
+                .map(|&(i, _)| arow[i])
+                .collect::<Option<Vec<Binding>>>()
+            {
+                Some(k) => table.get(&k).unwrap_or(&empty),
+                None => &empty, // NULL join key: null-intolerant
+            }
+        };
+        if matches.is_empty() {
+            if kind == JoinKind::LeftOuter {
+                let mut row = arow.clone();
+                row.extend(b_only.iter().map(|_| None));
+                rows.push(row);
+            }
+        } else {
+            for &m in matches {
+                let mut row = arow.clone();
+                row.extend(b_only.iter().map(|&j| b.rows[m][j]));
+                rows.push(row);
+            }
+        }
+    }
+
+    let mut stats = a.stats.clone();
+    merge_stats(&mut stats, &b.stats);
+    PartResult {
+        vars,
+        rows,
+        stats,
+        needs_best_match: a.needs_best_match || b.needs_best_match,
+    }
+}
+
+/// Splits a BGP's TPs into variable-connected components.
+fn bgp_components(
+    tps: &[lbr_sparql::algebra::TriplePattern],
+) -> Vec<Vec<lbr_sparql::algebra::TriplePattern>> {
+    let n = tps.len();
+    let mut comp = vec![usize::MAX; n];
+    let mut n_comp = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = n_comp;
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if comp[j] == usize::MAX && tps[i].vars().iter().any(|v| tps[j].has_var(v)) {
+                    comp[j] = n_comp;
+                    stack.push(j);
+                }
+            }
+        }
+        n_comp += 1;
+    }
+    let mut out = vec![Vec::new(); n_comp];
+    for (i, tp) in tps.iter().enumerate() {
+        out[comp[i]].push(tp.clone());
+    }
+    out
+}

@@ -1,0 +1,168 @@
+//! Query-plan introspection: a human-readable rendition of every decision
+//! Algorithm 5.1 makes before touching data — the GoSN, the
+//! classification, the jvar orders, the per-TP selectivity estimates, and
+//! the load order. (The paper inspects Virtuoso's plans with its `explain`
+//! tool; this is the LBR equivalent.)
+
+use crate::bindings::VarTable;
+use crate::error::LbrError;
+use crate::init::load_order;
+use crate::jvar_order::get_jvar_order;
+use crate::selectivity::estimate_all;
+use lbr_bitmat::Catalog;
+use lbr_rdf::Dictionary;
+use lbr_sparql::algebra::Query;
+use lbr_sparql::classify::analyze;
+use lbr_sparql::rewrite::rewrite_to_unf;
+use std::fmt::Write as _;
+
+/// Renders the plan of a query as text (one section per UNF branch).
+pub fn explain(
+    query: &Query,
+    dict: &Dictionary,
+    catalog: &impl Catalog,
+) -> Result<String, LbrError> {
+    let mut out = String::new();
+    let branches = rewrite_to_unf(&query.pattern);
+    let _ = writeln!(
+        out,
+        "query: {query}\nUNION normal form: {} branch(es){}",
+        branches.len(),
+        if branches.iter().any(|b| b.used_rule3) {
+            " [rule 3 used → cross-branch best-match]"
+        } else {
+            ""
+        }
+    );
+    for (i, branch) in branches.iter().enumerate() {
+        let _ = writeln!(out, "\n── branch {i} ──");
+        let analyzed = analyze(&branch.pattern)?;
+        let gosn = &analyzed.gosn;
+        let _ = writeln!(out, "GoSN: {}", gosn.serialized());
+        for sn in 0..gosn.n_supernodes() {
+            let kind = if gosn.is_absolute_master(sn) {
+                "absolute master".to_string()
+            } else {
+                format!(
+                    "slave of {:?}",
+                    gosn.masters_of(sn).iter().collect::<Vec<_>>()
+                )
+            };
+            let tps: Vec<String> = gosn
+                .tps_of_sn(sn)
+                .iter()
+                .map(|&t| gosn.tp(t).to_string())
+                .collect();
+            let _ = writeln!(out, "  SN{sn} ({kind}): {}", tps.join(" . "));
+        }
+        let c = &analyzed.class;
+        let _ = writeln!(
+            out,
+            "class: {}, GoJ {}, {}; max slave-SN jvars = {}; NB-reqd = {}",
+            if c.well_designed {
+                "well-designed"
+            } else {
+                "non-well-designed (App. B transformed)"
+            },
+            if c.cyclic { "cyclic" } else { "acyclic" },
+            if c.connected {
+                "connected"
+            } else {
+                "Cartesian product present"
+            },
+            c.max_slave_sn_jvars,
+            c.nb_required,
+        );
+
+        let vt = VarTable::from_tps(gosn.tps())?;
+        let estimates = estimate_all(gosn.tps(), dict, catalog);
+        let _ = writeln!(out, "TP selectivity estimates:");
+        for (tp_id, est) in estimates.iter().enumerate() {
+            let _ = writeln!(out, "  tp{tp_id} {}  ≈{est}", gosn.tp(tp_id));
+        }
+        let jorder = get_jvar_order(gosn, &analyzed.goj, &vt, &estimates);
+        let names = |vars: &[usize]| -> String {
+            vars.iter()
+                .map(|&v| format!("?{}", vt.name(v)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        if jorder.greedy {
+            let _ = writeln!(
+                out,
+                "jvar order (greedy, cyclic): {}",
+                names(&jorder.bottom_up)
+            );
+        } else {
+            let _ = writeln!(out, "jvar order bottom-up: {}", names(&jorder.bottom_up));
+            let _ = writeln!(out, "jvar order top-down:  {}", names(&jorder.top_down));
+        }
+        let order = load_order(gosn, &estimates);
+        let order_s: Vec<String> = order.iter().map(|t| format!("tp{t}")).collect();
+        let _ = writeln!(out, "init load order: {}", order_s.join(" → "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_bitmat::BitMatStore;
+    use lbr_rdf::{Graph, Term, Triple};
+    use lbr_sparql::parse_query;
+
+    #[test]
+    fn explains_the_running_example() {
+        let g = Graph::from_triples(vec![
+            Triple::new(
+                Term::iri("Jerry"),
+                Term::iri("hasFriend"),
+                Term::iri("Julia"),
+            ),
+            Triple::new(
+                Term::iri("Julia"),
+                Term::iri("actedIn"),
+                Term::iri("Seinfeld"),
+            ),
+            Triple::new(
+                Term::iri("Seinfeld"),
+                Term::iri("location"),
+                Term::iri("NYC"),
+            ),
+        ])
+        .encode();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NYC . } }",
+        )
+        .unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("GoSN: (SN0 ⟕ SN1)"), "{text}");
+        assert!(text.contains("absolute master"));
+        assert!(text.contains("slave of [0]"));
+        assert!(text.contains("acyclic"));
+        assert!(text.contains("NB-reqd = false"));
+        assert!(text.contains("?friend"));
+        assert!(text.contains("init load order"));
+    }
+
+    #[test]
+    fn explains_union_and_cyclic() {
+        let g = Graph::from_triples(vec![Triple::new(
+            Term::iri("a"),
+            Term::iri("p"),
+            Term::iri("b"),
+        )])
+        .encode();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE {
+               { ?a :p ?b . ?b :p ?c . ?a :q ?c . } UNION { ?a :p ?b . } }",
+        )
+        .unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("2 branch(es)"));
+        assert!(text.contains("greedy, cyclic"));
+    }
+}

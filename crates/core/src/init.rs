@@ -1,0 +1,746 @@
+//! The `init` phase of Algorithm 5.1: load one BitMat (or one BitMat row)
+//! per triple pattern, with **active pruning**.
+//!
+//! Loading rules (§5):
+//!
+//! * `(?v  f1 f2)` — one row of the P-S BitMat of `f2` (subject candidates);
+//! * `(f1  f2 ?v)` — one row of the P-O BitMat of `f1` (object candidates);
+//! * `(?a  f  ?b)` — the S-O or O-S BitMat of `f`; the variable that comes
+//!   first in `orderbu` (or the only join variable) becomes the row
+//!   dimension;
+//! * `(f   ?p ?o)` — the P-O BitMat of `f`;
+//! * `(?s  ?p f )` — the P-S BitMat of `f`;
+//! * `(f1  ?p f2)` — the P-O BitMat of `f1` masked to column `f2`
+//!   (predicate candidates);
+//! * `(f1 f2 f3)` — a membership test;
+//! * `(?s ?p ?o)` — unsupported, as in the paper ("currently under
+//!   development").
+//!
+//! *Active pruning*: while loading `BM_tpj`, the variable bindings of every
+//! already-loaded master or peer TP sharing a variable are applied as
+//! unfold masks, so empty results surface before any join work (§5's
+//! "simple optimization" aborts when an absolute-master TP empties out).
+
+use crate::bindings::{VarId, VarTable};
+use crate::error::LbrError;
+use crate::jvar_order::JvarOrder;
+use lbr_bitmat::{BitMat, BitVec, Catalog, CubeDims, RetainDim};
+use lbr_rdf::{Dictionary, Dimension};
+use lbr_sparql::algebra::{TermPattern, TriplePattern};
+use lbr_sparql::gosn::{Gosn, TpId};
+
+/// Loaded, pruneable state of one triple pattern.
+#[derive(Debug, Clone)]
+pub enum TpData {
+    /// Fully fixed pattern — a membership test.
+    Zero {
+        /// Whether the triple exists.
+        present: bool,
+    },
+    /// One variable position: a candidate set in that position's dimension.
+    One {
+        /// The variable.
+        var: VarId,
+        /// The position's dimension.
+        dim: Dimension,
+        /// Candidate IDs (dense mask over the dimension).
+        cands: BitVec,
+    },
+    /// Two variable positions: a 2-D BitMat.
+    Two {
+        /// Row variable.
+        row_var: VarId,
+        /// Row dimension.
+        row_dim: Dimension,
+        /// Column variable.
+        col_var: VarId,
+        /// Column dimension.
+        col_dim: Dimension,
+        /// The matrix (rows = `row_var` bindings).
+        mat: BitMat,
+    },
+    /// All three positions variable: `(?s ?p ?o)` — one S-O BitMat per
+    /// predicate. The paper lists this shape as "currently under
+    /// development"; here it is supported as a documented extension.
+    Three {
+        /// Subject variable.
+        s_var: VarId,
+        /// Predicate variable.
+        p_var: VarId,
+        /// Object variable.
+        o_var: VarId,
+        /// `(predicate id, S-O matrix)` per non-empty predicate.
+        mats: Vec<(u32, BitMat)>,
+    },
+}
+
+/// Sorted adjacency list: `key → sorted neighbour ids`.
+pub type Adjacency = Vec<(u32, Vec<u32>)>;
+
+/// A loaded triple pattern plus (post-pruning) adjacency for the join.
+#[derive(Debug, Clone)]
+pub struct TpState {
+    /// TP index in the query.
+    pub id: TpId,
+    /// Loaded data.
+    pub data: TpData,
+    /// `row → cols` adjacency (Two only; built by
+    /// [`TpState::build_adjacency`]).
+    pub row_adj: Adjacency,
+    /// `col → rows` adjacency (Two only).
+    pub col_adj: Adjacency,
+    /// Per-predicate adjacency (Three only): `(pid, row→cols, col→rows)`.
+    pub per_pred_adj: Vec<(u32, Adjacency, Adjacency)>,
+}
+
+impl TpState {
+    /// Number of triples currently matching the TP.
+    pub fn count(&self) -> u64 {
+        match &self.data {
+            TpData::Zero { present } => *present as u64,
+            TpData::One { cands, .. } => cands.count_ones() as u64,
+            TpData::Two { mat, .. } => mat.triple_count(),
+            TpData::Three { mats, .. } => mats.iter().map(|(_, m)| m.triple_count()).sum(),
+        }
+    }
+
+    /// True when no triples remain.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Variables with their position dimensions.
+    pub fn vars(&self) -> Vec<(VarId, Dimension)> {
+        match &self.data {
+            TpData::Zero { .. } => Vec::new(),
+            TpData::One { var, dim, .. } => vec![(*var, *dim)],
+            TpData::Two {
+                row_var,
+                row_dim,
+                col_var,
+                col_dim,
+                ..
+            } => {
+                vec![(*row_var, *row_dim), (*col_var, *col_dim)]
+            }
+            TpData::Three {
+                s_var,
+                p_var,
+                o_var,
+                ..
+            } => vec![
+                (*s_var, Dimension::Subject),
+                (*p_var, Dimension::Predicate),
+                (*o_var, Dimension::Object),
+            ],
+        }
+    }
+
+    /// The dimension `var` occupies in this TP (`None` if absent).
+    pub fn dim_of(&self, var: VarId) -> Option<Dimension> {
+        self.vars()
+            .into_iter()
+            .find(|&(v, _)| v == var)
+            .map(|(_, d)| d)
+    }
+
+    /// The paper's `fold(BMtp, dim?j)`: projects the bindings of `var` as a
+    /// mask resized into the variable's binding space.
+    pub fn fold_var(&self, var: VarId, space_len: u32) -> Option<BitVec> {
+        match &self.data {
+            TpData::Zero { .. } => None,
+            TpData::One { var: v, cands, .. } if *v == var => Some(cands.resized(space_len)),
+            TpData::One { .. } => None,
+            TpData::Two {
+                row_var,
+                col_var,
+                mat,
+                ..
+            } => {
+                if *row_var == var {
+                    Some(mat.fold(RetainDim::Row).resized(space_len))
+                } else if *col_var == var {
+                    Some(mat.fold(RetainDim::Col).resized(space_len))
+                } else {
+                    None
+                }
+            }
+            TpData::Three {
+                s_var,
+                p_var,
+                o_var,
+                mats,
+            } => {
+                let mut acc = BitVec::zeros(space_len);
+                if *p_var == var {
+                    for (pid, m) in mats {
+                        if !m.is_empty() && *pid < space_len {
+                            acc.set(*pid);
+                        }
+                    }
+                    Some(acc)
+                } else if *s_var == var || *o_var == var {
+                    let dim = if *s_var == var {
+                        RetainDim::Row
+                    } else {
+                        RetainDim::Col
+                    };
+                    for (_, m) in mats {
+                        acc.or_assign(&m.fold(dim).resized(space_len));
+                    }
+                    Some(acc)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The paper's `unfold(BMtp, β?j, dim?j)`: keeps only triples whose
+    /// `var` binding is set in `mask` (mask may be in the variable's —
+    /// possibly shorter, shared — space; missing high bits clear).
+    pub fn unfold_var(&mut self, var: VarId, mask: &BitVec) {
+        match &mut self.data {
+            TpData::Zero { .. } => {}
+            TpData::One { var: v, cands, .. } => {
+                if *v == var {
+                    cands.and_assign(&mask.resized(cands.len()));
+                }
+            }
+            TpData::Two {
+                row_var,
+                col_var,
+                mat,
+                ..
+            } => {
+                if *row_var == var {
+                    mat.unfold(&mask.resized(mat.n_rows()), RetainDim::Row);
+                } else if *col_var == var {
+                    mat.unfold(&mask.resized(mat.n_cols()), RetainDim::Col);
+                }
+            }
+            TpData::Three {
+                s_var,
+                p_var,
+                o_var,
+                mats,
+            } => {
+                if *p_var == var {
+                    mats.retain(|(pid, _)| mask.get(*pid));
+                } else if *s_var == var || *o_var == var {
+                    let dim = if *s_var == var {
+                        RetainDim::Row
+                    } else {
+                        RetainDim::Col
+                    };
+                    for (_, m) in mats.iter_mut() {
+                        let sized = if dim == RetainDim::Row {
+                            mask.resized(m.n_rows())
+                        } else {
+                            mask.resized(m.n_cols())
+                        };
+                        m.unfold(&sized, dim);
+                    }
+                    mats.retain(|(_, m)| !m.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Materializes row→cols / col→rows adjacency for the multi-way join.
+    /// (Pruning works on compressed rows; the join needs point lookups in
+    /// both directions.)
+    pub fn build_adjacency(&mut self) {
+        if let TpData::Two { mat, .. } = &self.data {
+            self.row_adj = mat
+                .rows()
+                .iter()
+                .map(|(r, row)| (*r, row.iter_ones().collect()))
+                .collect();
+            let t = mat.transpose();
+            self.col_adj = t
+                .rows()
+                .iter()
+                .map(|(c, row)| (*c, row.iter_ones().collect()))
+                .collect();
+        }
+        if let TpData::Three { mats, .. } = &self.data {
+            self.per_pred_adj = mats
+                .iter()
+                .map(|(pid, mat)| {
+                    let rows: Adjacency = mat
+                        .rows()
+                        .iter()
+                        .map(|(r, row)| (*r, row.iter_ones().collect()))
+                        .collect();
+                    let t = mat.transpose();
+                    let cols: Adjacency = t
+                        .rows()
+                        .iter()
+                        .map(|(c, row)| (*c, row.iter_ones().collect()))
+                        .collect();
+                    (*pid, rows, cols)
+                })
+                .collect();
+        }
+    }
+
+    /// Columns adjacent to `row` (Two only; empty slice when absent).
+    pub fn cols_of(&self, row: u32) -> &[u32] {
+        match self.row_adj.binary_search_by_key(&row, |&(r, _)| r) {
+            Ok(i) => &self.row_adj[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Rows adjacent to `col` (Two only).
+    pub fn rows_of(&self, col: u32) -> &[u32] {
+        match self.col_adj.binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(i) => &self.col_adj[i].1,
+            Err(_) => &[],
+        }
+    }
+}
+
+/// Result of the init phase.
+#[derive(Debug)]
+pub struct InitOutcome {
+    /// Loaded TPs, indexed by TpId.
+    pub tps: Vec<TpState>,
+}
+
+/// The order TPs are loaded in: absolute masters first (ascending estimated
+/// count), then slaves by master-hierarchy depth and estimated count — so
+/// selective masters prune their slaves during the load.
+pub fn load_order(gosn: &Gosn, estimates: &[u64]) -> Vec<TpId> {
+    let mut order: Vec<TpId> = (0..gosn.n_tps()).collect();
+    order.sort_by_key(|&tp| {
+        let sn = gosn.sn_of_tp(tp);
+        (gosn.masters_of(sn).len(), estimates[tp], tp)
+    });
+    order
+}
+
+/// Loads every TP with active pruning.
+pub fn init(
+    gosn: &Gosn,
+    vt: &VarTable,
+    jorder: &JvarOrder,
+    estimates: &[u64],
+    dict: &Dictionary,
+    catalog: &impl Catalog,
+) -> Result<InitOutcome, LbrError> {
+    let dims = catalog.dims();
+    let order = load_order(gosn, estimates);
+    let mut tps: Vec<Option<TpState>> = vec![None; gosn.n_tps()];
+    for &tp_id in &order {
+        let mut state = load_tp(tp_id, gosn.tp(tp_id), vt, jorder, dict, catalog, &dims)?;
+        // Active pruning against already-loaded masters and peers. The
+        // mask domain is per-pair: the two positions' common dimension
+        // (full S / full O, or the shared prefix for mixed joins).
+        for (v, v_dim) in state.vars() {
+            for (other_id, other) in tps.iter().enumerate() {
+                let Some(other) = other else { continue };
+                if other_id == tp_id {
+                    continue;
+                }
+                let masterish =
+                    gosn.tp_is_master_of(other_id, tp_id) || gosn.tp_are_peers(other_id, tp_id);
+                if !masterish {
+                    continue;
+                }
+                let Some(o_dim) = other.dim_of(v) else {
+                    continue;
+                };
+                let space_len = crate::bindings::op_space_len(&dims, [v_dim, o_dim]);
+                if let Some(mask) = other.fold_var(v, space_len) {
+                    state.unfold_var(v, &mask);
+                }
+            }
+        }
+        tps[tp_id] = Some(state);
+    }
+    Ok(InitOutcome {
+        tps: tps
+            .into_iter()
+            .map(|t| t.expect("all TPs loaded"))
+            .collect(),
+    })
+}
+
+/// True when some TP inside an absolute-master supernode is empty — the
+/// §5 "simple optimization" early-abort condition.
+pub fn absolute_master_empty(gosn: &Gosn, tps: &[TpState]) -> bool {
+    tps.iter()
+        .any(|t| t.is_empty() && gosn.tp_in_absolute_master(t.id))
+}
+
+fn const_id(dict: &Dictionary, t: &TermPattern, dim: Dimension) -> Option<u32> {
+    t.as_const().and_then(|c| dict.id(c, dim))
+}
+
+/// Loads one TP per the §5 rules (missing constants yield empty data).
+#[allow(clippy::too_many_arguments)]
+fn load_tp(
+    tp_id: TpId,
+    tp: &TriplePattern,
+    vt: &VarTable,
+    jorder: &JvarOrder,
+    dict: &Dictionary,
+    catalog: &impl Catalog,
+    dims: &CubeDims,
+) -> Result<TpState, LbrError> {
+    let var_of = |t: &TermPattern| t.as_var().map(|v| vt.id(v).expect("var interned"));
+    let (sv, pv, ov) = (var_of(&tp.s), var_of(&tp.p), var_of(&tp.o));
+    let s_id = const_id(dict, &tp.s, Dimension::Subject);
+    let p_id = const_id(dict, &tp.p, Dimension::Predicate);
+    let o_id = const_id(dict, &tp.o, Dimension::Object);
+    let s_known = tp.s.as_var().is_some() || s_id.is_some();
+    let p_known = tp.p.as_var().is_some() || p_id.is_some();
+    let o_known = tp.o.as_var().is_some() || o_id.is_some();
+    let known = s_known && p_known && o_known;
+
+    let data = match (sv, pv, ov) {
+        // (f1 f2 f3): membership test.
+        (None, None, None) => {
+            let present = known
+                && match catalog.load_po_row(s_id.unwrap(), p_id.unwrap())? {
+                    Some(row) => row.contains(o_id.unwrap()),
+                    None => false,
+                };
+            TpData::Zero { present }
+        }
+        // (?v f1 f2): subject candidates from one P-S row.
+        (Some(v), None, None) => {
+            let cands = if known {
+                match catalog.load_ps_row(o_id.unwrap(), p_id.unwrap())? {
+                    Some(row) => row.to_bitvec(),
+                    None => BitVec::zeros(dims.n_subjects),
+                }
+            } else {
+                BitVec::zeros(dims.n_subjects)
+            };
+            TpData::One {
+                var: v,
+                dim: Dimension::Subject,
+                cands,
+            }
+        }
+        // (f1 f2 ?v): object candidates from one P-O row.
+        (None, None, Some(v)) => {
+            let cands = if known {
+                match catalog.load_po_row(s_id.unwrap(), p_id.unwrap())? {
+                    Some(row) => row.to_bitvec(),
+                    None => BitVec::zeros(dims.n_objects),
+                }
+            } else {
+                BitVec::zeros(dims.n_objects)
+            };
+            TpData::One {
+                var: v,
+                dim: Dimension::Object,
+                cands,
+            }
+        }
+        // (?a f ?b).
+        (Some(a), None, Some(b)) if a != b => {
+            // Row dimension: the variable that comes first in orderbu; a
+            // sole join variable wins; default to the subject.
+            let (a_pos, b_pos) = (jorder.first_pos(a), jorder.first_pos(b));
+            let subject_rows = a_pos <= b_pos;
+            let loaded = if known {
+                if subject_rows {
+                    catalog.load_so(p_id.unwrap())?
+                } else {
+                    catalog.load_os(p_id.unwrap())?
+                }
+            } else {
+                None
+            };
+            let (n_rows, n_cols) = if subject_rows {
+                (dims.n_subjects, dims.n_objects)
+            } else {
+                (dims.n_objects, dims.n_subjects)
+            };
+            let mat = loaded.unwrap_or_else(|| BitMat::empty(n_rows, n_cols));
+            if subject_rows {
+                TpData::Two {
+                    row_var: a,
+                    row_dim: Dimension::Subject,
+                    col_var: b,
+                    col_dim: Dimension::Object,
+                    mat,
+                }
+            } else {
+                TpData::Two {
+                    row_var: b,
+                    row_dim: Dimension::Object,
+                    col_var: a,
+                    col_dim: Dimension::Subject,
+                    mat,
+                }
+            }
+        }
+        // (?x f ?x): the diagonal of the S-O BitMat (shared IDs only).
+        (Some(a), None, Some(_)) => {
+            let mut cands = BitVec::zeros(dims.n_subjects);
+            if known {
+                if let Some(mat) = catalog.load_so(p_id.unwrap())? {
+                    for &(r, ref row) in mat.rows() {
+                        if r < dims.n_shared && row.contains(r) {
+                            cands.set(r);
+                        }
+                    }
+                }
+            }
+            TpData::One {
+                var: a,
+                dim: Dimension::Subject,
+                cands,
+            }
+        }
+        // (f ?p ?o): the P-O BitMat of the subject.
+        (None, Some(p), Some(o)) if p != o => {
+            let mat = if known {
+                catalog.load_po(s_id.unwrap())?
+            } else {
+                None
+            }
+            .unwrap_or_else(|| BitMat::empty(dims.n_predicates, dims.n_objects));
+            TpData::Two {
+                row_var: p,
+                row_dim: Dimension::Predicate,
+                col_var: o,
+                col_dim: Dimension::Object,
+                mat,
+            }
+        }
+        // (?s ?p f): the P-S BitMat of the object.
+        (Some(s), Some(p), None) if p != s => {
+            let mat = if known {
+                catalog.load_ps(o_id.unwrap())?
+            } else {
+                None
+            }
+            .unwrap_or_else(|| BitMat::empty(dims.n_predicates, dims.n_subjects));
+            TpData::Two {
+                row_var: p,
+                row_dim: Dimension::Predicate,
+                col_var: s,
+                col_dim: Dimension::Subject,
+                mat,
+            }
+        }
+        // (f1 ?p f2): predicate candidates — the P-O BitMat of f1 masked to
+        // column f2.
+        (None, Some(p), None) => {
+            let mut cands = BitVec::zeros(dims.n_predicates);
+            if known {
+                if let Some(mat) = catalog.load_po(s_id.unwrap())? {
+                    let o = o_id.unwrap();
+                    for &(r, ref row) in mat.rows() {
+                        if row.contains(o) {
+                            cands.set(r);
+                        }
+                    }
+                }
+            }
+            TpData::One {
+                var: p,
+                dim: Dimension::Predicate,
+                cands,
+            }
+        }
+        // (?s ?p ?o): one S-O BitMat per predicate (extension; the paper
+        // lists this shape as under development).
+        (Some(s), Some(pv), Some(o)) if s != pv && pv != o && s != o => {
+            let mut mats = Vec::new();
+            for pid in 0..dims.n_predicates {
+                if let Some(m) = catalog.load_so(pid)? {
+                    if !m.is_empty() {
+                        mats.push((pid, m));
+                    }
+                }
+            }
+            TpData::Three {
+                s_var: s,
+                p_var: pv,
+                o_var: o,
+                mats,
+            }
+        }
+        (Some(_), Some(_), Some(_)) => {
+            return Err(LbrError::Unsupported(format!(
+                "triple pattern with repeated variables across all positions: {tp}"
+            )));
+        }
+        (None, Some(_), Some(_)) | (Some(_), Some(_), None) => {
+            return Err(LbrError::Unsupported(format!(
+                "triple pattern with a repeated predicate variable: {tp}"
+            )));
+        }
+    };
+    let _ = tp_id;
+    Ok(TpState {
+        id: tp_id,
+        data,
+        row_adj: Vec::new(),
+        col_adj: Vec::new(),
+        per_pred_adj: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarSpace;
+    use lbr_bitmat::BitMatStore;
+    use lbr_rdf::{Graph, Term, Triple};
+    use lbr_sparql::classify::analyze;
+    use lbr_sparql::parse_query;
+
+    fn graph() -> lbr_rdf::EncodedGraph {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        Graph::from_triples(vec![
+            t("Julia", "actedIn", "Seinfeld"),
+            t("Julia", "actedIn", "Veep"),
+            t("Julia", "actedIn", "NewAdvOldChristine"),
+            t("Julia", "actedIn", "CurbYourEnthu"),
+            t("CurbYourEnthu", "location", "LosAngeles"),
+            t("Larry", "actedIn", "CurbYourEnthu"),
+            t("Jerry", "hasFriend", "Julia"),
+            t("Jerry", "hasFriend", "Larry"),
+            t("Seinfeld", "location", "NewYorkCity"),
+            t("Veep", "location", "D.C."),
+            t("NewAdvOldChristine", "location", "Jersey"),
+        ])
+        .encode()
+    }
+
+    const Q2: &str = r#"
+        PREFIX : <>
+        SELECT * WHERE {
+          :Jerry :hasFriend ?friend .
+          OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }
+    "#;
+
+    fn setup(
+        query: &str,
+    ) -> (
+        lbr_rdf::EncodedGraph,
+        BitMatStore,
+        InitOutcome,
+        Gosn,
+        VarTable,
+    ) {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(query).unwrap();
+        let analyzed = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(analyzed.gosn.tps()).unwrap();
+        let est = crate::selectivity::estimate_all(analyzed.gosn.tps(), &g.dict, &store);
+        let jorder = crate::jvar_order::get_jvar_order(&analyzed.gosn, &analyzed.goj, &vt, &est);
+        let out = init(&analyzed.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        (g, store, out, analyzed.gosn, vt)
+    }
+
+    #[test]
+    fn loads_q2_with_active_pruning() {
+        let (_, _, out, gosn, _) = setup(Q2);
+        // tp0 = (:Jerry :hasFriend ?friend): 2 candidates.
+        assert_eq!(out.tps[0].count(), 2);
+        // tp2 = (?sitcom :location :NewYorkCity): 1 candidate.
+        assert_eq!(out.tps[2].count(), 1);
+        // tp1 = (?friend :actedIn ?sitcom): actively pruned by its master
+        // (2 friend values) and by its peer tp2 (1 sitcom value): Julia's
+        // Seinfeld role is all that is left.
+        assert_eq!(out.tps[1].count(), 1);
+        assert!(!absolute_master_empty(&gosn, &out.tps));
+    }
+
+    #[test]
+    fn unknown_constant_gives_empty_and_abort_signal() {
+        let (_, _, out, gosn, _) = setup(
+            "PREFIX : <> SELECT * WHERE { :Nobody :hasFriend ?friend . OPTIONAL { ?friend :actedIn ?s . } }",
+        );
+        assert!(out.tps[0].is_empty());
+        assert!(absolute_master_empty(&gosn, &out.tps));
+    }
+
+    #[test]
+    fn fold_unfold_roundtrip_on_state() {
+        let (_, _, mut out, _, vt) = setup(Q2);
+        let friend = vt.id("friend").unwrap();
+        let space = vt.space(friend);
+        assert_eq!(space, VarSpace::Shared);
+        let tp1 = &mut out.tps[1];
+        let before = tp1.count();
+        let mask = tp1.fold_var(friend, 100).unwrap().resized(100);
+        tp1.unfold_var(friend, &mask);
+        assert_eq!(tp1.count(), before, "self-mask is a no-op");
+    }
+
+    #[test]
+    fn adjacency_lookups() {
+        let (_, _, mut out, _, _) = setup(Q2);
+        let tp1 = &mut out.tps[1];
+        tp1.build_adjacency();
+        let TpData::Two { mat, .. } = &tp1.data else {
+            panic!("expected Two")
+        };
+        let (r, c) = mat.iter().next().unwrap();
+        assert_eq!(tp1.cols_of(r), &[c]);
+        assert_eq!(tp1.rows_of(c), &[r]);
+        assert!(tp1.cols_of(9999).is_empty());
+    }
+
+    #[test]
+    fn membership_and_predicate_var_patterns() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        // Membership: true case and false case.
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { { :Jerry :hasFriend :Julia . } { ?x :actedIn ?y . } }",
+        )
+        .unwrap();
+        let analyzed = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(analyzed.gosn.tps()).unwrap();
+        let est = crate::selectivity::estimate_all(analyzed.gosn.tps(), &g.dict, &store);
+        let jorder = crate::jvar_order::get_jvar_order(&analyzed.gosn, &analyzed.goj, &vt, &est);
+        let out = init(&analyzed.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        assert!(matches!(out.tps[0].data, TpData::Zero { present: true }));
+
+        // (s ?p ?o) and (?s ?p o) and (s ?p o).
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { { :Julia ?p ?o . } { ?s ?q :CurbYourEnthu . } { :Seinfeld ?r :NewYorkCity . } }",
+        )
+        .unwrap();
+        let analyzed = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(analyzed.gosn.tps()).unwrap();
+        let est = crate::selectivity::estimate_all(analyzed.gosn.tps(), &g.dict, &store);
+        let jorder = crate::jvar_order::get_jvar_order(&analyzed.gosn, &analyzed.goj, &vt, &est);
+        let out = init(&analyzed.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        assert_eq!(out.tps[0].count(), 4, "Julia has four triples");
+        assert_eq!(
+            out.tps[1].count(),
+            2,
+            "CurbYourEnthu as object: actedIn + location... "
+        );
+        assert_eq!(out.tps[2].count(), 1, "Seinfeld –location→ NYC");
+    }
+
+    #[test]
+    fn all_var_tp_loads_every_predicate_slice() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        let q = parse_query("SELECT * WHERE { ?s ?p ?o . }").unwrap();
+        let analyzed = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(analyzed.gosn.tps()).unwrap();
+        let est = crate::selectivity::estimate_all(analyzed.gosn.tps(), &g.dict, &store);
+        let jorder = crate::jvar_order::get_jvar_order(&analyzed.gosn, &analyzed.goj, &vt, &est);
+        let out = init(&analyzed.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        // (?s ?p ?o) matches the whole dataset: 11 triples over 3 predicates.
+        assert_eq!(out.tps[0].count(), 11);
+        assert!(matches!(&out.tps[0].data, TpData::Three { mats, .. } if mats.len() == 3));
+    }
+}

@@ -1,0 +1,249 @@
+//! `get_jvar_order` (Algorithm 3.1): the order join variables are pruned in.
+//!
+//! For an **acyclic** GoJ:
+//!
+//! * the sub-tree induced by the jvars of *absolute master* supernodes is
+//!   traversed bottom-up with the **least selective** jvar as the root (so
+//!   the most selective master jvars prune first and the root last);
+//! * the remaining (slave) supernodes are ordered masters-before-slaves
+//!   (selective peers first); each contributes the bottom-up order of its
+//!   induced jvar sub-tree, rooted at a jvar shared with a master;
+//! * the top-down order mirrors the same construction.
+//!
+//! For a **cyclic** GoJ, both orders degrade to one greedy order: all jvars
+//! by descending selectivity (most selective — fewest triples — first).
+//!
+//! Orders may repeat a jvar (a jvar shared between the master tree and a
+//! slave's sub-tree is pruned again when the slave's restrictions arrive —
+//! exactly the `orderbu = [(?friend), (?sitcom, ?friend)]` of Example-2).
+
+use crate::bindings::{VarId, VarTable};
+use crate::selectivity::{jvar_rank, sn_rank};
+use lbr_sparql::goj::Goj;
+use lbr_sparql::gosn::Gosn;
+use std::collections::BTreeSet;
+
+/// The traversal orders produced by Algorithm 3.1.
+#[derive(Debug, Clone)]
+pub struct JvarOrder {
+    /// Bottom-up pass order (jvar ids; may contain repeats).
+    pub bottom_up: Vec<VarId>,
+    /// Top-down pass order.
+    pub top_down: Vec<VarId>,
+    /// True when the greedy (cyclic) order was used for both passes.
+    pub greedy: bool,
+    n_vars: usize,
+}
+
+impl JvarOrder {
+    /// First position of a variable in the bottom-up order; `usize::MAX`
+    /// when the variable is not a join variable. Drives the S-O vs O-S
+    /// BitMat orientation choice of §5.
+    pub fn first_pos(&self, var: VarId) -> usize {
+        self.bottom_up
+            .iter()
+            .position(|&v| v == var)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// True when `var` participates in the order (is a join variable).
+    pub fn is_jvar(&self, var: VarId) -> bool {
+        self.first_pos(var) != usize::MAX
+    }
+
+    /// Number of interned variables in the query (jvars and others).
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+}
+
+/// Computes the jvar orders. `tp_estimates` are the per-TP selectivity
+/// estimates of [`crate::selectivity::estimate_all`].
+pub fn get_jvar_order(gosn: &Gosn, goj: &Goj, vt: &VarTable, tp_estimates: &[u64]) -> JvarOrder {
+    // Holders: TPs containing each GoJ node.
+    let n_nodes = goj.len();
+    let mut holders: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for tp in 0..gosn.n_tps() {
+        for &node in goj.jvars_of_tp(tp) {
+            holders[node].push(tp);
+        }
+    }
+    let rank: Vec<u64> = (0..n_nodes)
+        .map(|node| jvar_rank(&holders[node], tp_estimates))
+        .collect();
+    let to_var = |node: usize| vt.id(&goj.jvars()[node]).expect("jvar interned");
+
+    if goj.is_cyclic() {
+        // ln 1–3: greedy order, most selective jvar first.
+        let mut nodes: Vec<usize> = (0..n_nodes).collect();
+        nodes.sort_by_key(|&n| (rank[n], n));
+        let order: Vec<VarId> = nodes.into_iter().map(to_var).collect();
+        return JvarOrder {
+            bottom_up: order.clone(),
+            top_down: order,
+            greedy: true,
+            n_vars: vt.len(),
+        };
+    }
+
+    // ln 4–7: the induced sub-tree of absolute-master jvars.
+    let mut jm: BTreeSet<usize> = BTreeSet::new();
+    for tp in 0..gosn.n_tps() {
+        if gosn.tp_in_absolute_master(tp) {
+            jm.extend(goj.jvars_of_tp(tp).iter().copied());
+        }
+    }
+    let jm: Vec<usize> = jm.into_iter().collect();
+    let mut bottom_up: Vec<VarId> = Vec::new();
+    let mut top_down: Vec<VarId> = Vec::new();
+    if !jm.is_empty() {
+        // Root: least selective (largest rank) — processed last bottom-up.
+        let root = *jm.iter().max_by_key(|&&n| (rank[n], n)).unwrap();
+        bottom_up.extend(goj.bottom_up_order(&jm, root).into_iter().map(to_var));
+        top_down.extend(goj.top_down_order(&jm, root).into_iter().map(to_var));
+    }
+
+    // ln 8: slave supernodes, masters first; selective peers first.
+    let mut snss: Vec<usize> = gosn.slave_sns();
+    snss.sort_by_key(|&sn| {
+        (
+            gosn.masters_of(sn).len(),
+            sn_rank(gosn.tps_of_sn(sn), tp_estimates),
+            sn,
+        )
+    });
+
+    // ln 9–13 / 15–19: per-slave induced sub-trees.
+    for &sn in &snss {
+        let mut js: BTreeSet<usize> = BTreeSet::new();
+        for &tp in gosn.tps_of_sn(sn) {
+            js.extend(goj.jvars_of_tp(tp).iter().copied());
+        }
+        let js: Vec<usize> = js.into_iter().collect();
+        if js.is_empty() {
+            continue;
+        }
+        // Root: a jvar of the slave that also occurs in one of its masters
+        // (ln 11); tie-broken toward the least selective, mirroring the
+        // master-tree rule. Falls back to the least selective jvar of the
+        // slave when none is shared (defensive).
+        let master_sns = gosn.masters_of(sn);
+        let shared_with_master = |node: usize| {
+            holders[node]
+                .iter()
+                .any(|&tp| master_sns.contains(&gosn.sn_of_tp(tp)))
+        };
+        let root = js
+            .iter()
+            .copied()
+            .filter(|&n| shared_with_master(n))
+            .max_by_key(|&n| (rank[n], n))
+            .unwrap_or_else(|| js.iter().copied().max_by_key(|&n| (rank[n], n)).unwrap());
+        bottom_up.extend(goj.bottom_up_order(&js, root).into_iter().map(to_var));
+        top_down.extend(goj.top_down_order(&js, root).into_iter().map(to_var));
+    }
+
+    JvarOrder {
+        bottom_up,
+        top_down,
+        greedy: false,
+        n_vars: vt.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_sparql::classify::analyze;
+    use lbr_sparql::parse_query;
+
+    fn orders(query: &str, est: Vec<u64>) -> (JvarOrder, VarTable) {
+        let q = parse_query(query).unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let jo = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        (jo, vt)
+    }
+
+    /// Example-2 of §3.2: orderbu = [?friend, (?sitcom, ?friend)],
+    /// ordertd = [?friend, (?friend, ?sitcom)].
+    #[test]
+    fn example_2_orders() {
+        // tp0 = (:Jerry :hasFriend ?friend) is highly selective (est 2);
+        // tp1 (est 5) and tp2 (est 1).
+        let (jo, vt) = orders(
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
+            vec![2, 5, 1],
+        );
+        assert!(!jo.greedy);
+        let friend = vt.id("friend").unwrap();
+        let sitcom = vt.id("sitcom").unwrap();
+        assert_eq!(jo.bottom_up, vec![friend, sitcom, friend]);
+        assert_eq!(jo.top_down, vec![friend, friend, sitcom]);
+        assert_eq!(jo.first_pos(friend), 0);
+        assert!(jo.is_jvar(sitcom));
+    }
+
+    #[test]
+    fn cyclic_uses_greedy_both_ways() {
+        let (jo, vt) = orders(
+            "PREFIX : <> SELECT * WHERE { ?a :p1 ?b . ?b :p2 ?c . ?a :p3 ?c . }",
+            vec![10, 5, 7],
+        );
+        assert!(jo.greedy);
+        assert_eq!(jo.bottom_up, jo.top_down);
+        // Most selective first: ?b and ?c touch tp1 (est 5) → rank 5;
+        // ?a touches tp0 (10) and tp2 (7) → rank 7. Ties by node id
+        // (lexicographic jvar order: a, b, c).
+        let a = vt.id("a").unwrap();
+        let b = vt.id("b").unwrap();
+        let c = vt.id("c").unwrap();
+        assert_eq!(jo.bottom_up, vec![b, c, a]);
+    }
+
+    #[test]
+    fn master_tree_root_is_least_selective() {
+        // Chain ?x–?y in the absolute master; ?x more selective.
+        let (jo, vt) = orders(
+            "PREFIX : <> SELECT * WHERE { ?x :p1 ?y . ?x :p2 ?w . ?y :p3 ?z .
+               ?w :p4 ?q . ?z :p5 ?q2 . }",
+            // TPs:       x-y   x-w   y-z   w-q   z-q2
+            vec![1, 100, 100, 100, 100],
+        );
+        // jvars: w, x, y, z; ranks: w: min(100,100)=100, x: 1, y: 1, z: 100.
+        // Root = least selective (max rank, tie → larger node id): z.
+        let z = vt.id("z").unwrap();
+        assert_eq!(*jo.bottom_up.last().unwrap(), z);
+        assert_eq!(jo.top_down[0], z);
+    }
+
+    #[test]
+    fn no_jvars_yields_empty_orders() {
+        let (jo, _) = orders("PREFIX : <> SELECT * WHERE { :a :p ?x . }", vec![3]);
+        assert!(jo.bottom_up.is_empty());
+        assert!(jo.top_down.is_empty());
+        assert_eq!(jo.first_pos(0), usize::MAX);
+        assert!(!jo.is_jvar(0));
+    }
+
+    #[test]
+    fn slave_segments_follow_master_hierarchy() {
+        // Master {?a}, slave1 {?a ?b} (more selective), slave2 {?b ?c}
+        // (slave of slave1).
+        let (jo, vt) = orders(
+            "PREFIX : <> SELECT * WHERE { ?a :p0 :k .
+               OPTIONAL { ?a :p1 ?b . OPTIONAL { ?b :p2 ?c . } } }",
+            vec![2, 50, 70],
+        );
+        let a = vt.id("a").unwrap();
+        let b = vt.id("b").unwrap();
+        // ?c occurs in one TP only — it is not a join variable.
+        assert!(!jo.is_jvar(vt.id("c").unwrap()));
+        // Master tree: [a]. Slave1 (depth 1): jvars {a, b}, root shared
+        // with master = a → bu [b, a]. Slave2 (depth 2): jvars {b},
+        // root shared with its masters = b → bu [b].
+        assert_eq!(jo.bottom_up, vec![a, b, a, b]);
+        assert_eq!(jo.top_down, vec![a, a, b, b]);
+    }
+}

@@ -1,0 +1,74 @@
+//! # lbr-core
+//!
+//! The **Left Bit Right** query processor (Atre, "Left Bit Right: For
+//! SPARQL Join Queries with OPTIONAL Patterns", 2015): evaluation of nested
+//! BGP + OPTIONAL (left-outer-join) queries over compressed BitMat indexes.
+//!
+//! The pipeline, mirroring Algorithm 5.1 of the paper:
+//!
+//! 1. **analyze** — build the GoSN and GoJ, classify the query (Fig 3.1)
+//!    and decide whether nullification / best-match are required;
+//! 2. **jvar order** — `get_jvar_order` (Alg 3.1): bottom-up and top-down
+//!    traversal orders over the GoJ tree, or a greedy selectivity order for
+//!    cyclic queries;
+//! 3. **init** — load one BitMat (or one BitMat row) per triple pattern per
+//!    the §5 loading rules, *actively pruning* each against the variable
+//!    bindings of already-loaded masters and peers;
+//! 4. **prune** — `prune_triples` (Alg 3.2): semi-joins between
+//!    master/slave TPs and clustered-semi-joins among peers, implemented
+//!    with `fold`/`unfold` on the compressed BitMats (Algs 5.2, 5.3);
+//! 5. **multi-way pipelined join** (Alg 5.4) producing final rows without
+//!    pairwise intermediate results, followed by nullification and
+//!    best-match only when the classification demands them.
+//!
+//! UNION and FILTER are handled by the §5.2 rewrite to UNION normal form
+//! plus init-time filter masks and the FaN (filter-and-nullification) hook;
+//! Cartesian products fall back to evaluating ×-free components with LBR
+//! and combining them pairwise (§5.2).
+
+pub mod best_match;
+pub mod bindings;
+pub mod engine;
+pub mod error;
+pub mod explain;
+pub mod filter_eval;
+pub mod init;
+pub mod jvar_order;
+pub mod multiway;
+pub mod prune;
+pub mod selectivity;
+
+pub use bindings::{Binding, BindingSpace, QueryOutput, VarSpace, VarTable};
+pub use engine::LbrEngine;
+pub use error::LbrError;
+pub use explain::explain;
+pub use jvar_order::JvarOrder;
+pub use multiway::ExecStats;
+
+/// Per-query statistics matching the columns of Tables 6.2–6.4.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Time of the `init` phase (BitMat loading + active pruning).
+    pub t_init: std::time::Duration,
+    /// Time of `prune_triples`.
+    pub t_prune: std::time::Duration,
+    /// Time of the multi-way join (plus best-match when used).
+    pub t_join: std::time::Duration,
+    /// End-to-end time.
+    pub t_total: std::time::Duration,
+    /// Σ triples matching each TP before init/pruning ("#initial triples").
+    pub initial_triples: u64,
+    /// Σ triples left in the TP BitMats after `prune_triples`.
+    pub triples_after_pruning: u64,
+    /// Number of result rows.
+    pub n_results: usize,
+    /// Result rows with at least one NULL binding.
+    pub n_results_with_nulls: usize,
+    /// Whether nullification/best-match were required (Alg 5.1 `NB-reqd`).
+    pub nb_required: bool,
+    /// How many rows the nullification operator actually rewrote.
+    pub nullification_fired: u64,
+    /// True when the empty-absolute-master shortcut aborted the query
+    /// (§5 "simple optimization").
+    pub aborted_empty: bool,
+}

@@ -1,0 +1,658 @@
+//! The multi-way pipelined join (Algorithm 5.4), with nullification and
+//! the FaN (filter-and-nullification) hook of §5.2.
+//!
+//! TPs are visited depth-first in `stps` order (selective absolute masters
+//! first, then down the master-slave hierarchy). Each recursion level
+//! handles exactly one TP — the first unvisited one with at least one bound
+//! variable — enumerating its triples consistent with the current variable
+//! map. A slave TP with no consistent triple binds its remaining variables
+//! to NULL; an absolute-master TP with no consistent triple rolls the
+//! branch back. No pairwise intermediate results or hash tables are
+//! materialized: the only extra memory is one slot per query variable
+//! (the paper's `vmap`).
+//!
+//! Because masters precede slaves in `stps` and a level only binds
+//! still-free variables, master bindings win over slave bindings for
+//! shared variables — the paper's output rule.
+
+use crate::bindings::{Binding, VarId, VarTable};
+use crate::filter_eval::{self, VarLookup};
+use crate::init::{TpData, TpState};
+use lbr_bitmat::CubeDims;
+use lbr_rdf::{Dictionary, Dimension, Term};
+use lbr_sparql::algebra::Expr;
+use lbr_sparql::gosn::{Gosn, SnId, TpId};
+
+/// A variable slot in the paper's `vmap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Not yet bound.
+    Free,
+    /// Bound to NULL by an unmatched slave.
+    Null,
+    /// Bound to a value.
+    Val(Binding),
+}
+
+/// Inputs of the join phase.
+pub struct JoinInputs<'a> {
+    /// Loaded and pruned TPs (adjacency built).
+    pub tps: &'a [TpState],
+    /// The query's GoSN.
+    pub gosn: &'a Gosn,
+    /// Variable table.
+    pub vt: &'a VarTable,
+    /// Bitcube dimensions.
+    pub dims: CubeDims,
+    /// Dictionary (needed only to decode bindings for FaN filters).
+    pub dict: &'a Dictionary,
+    /// Filters evaluated at output time: `(Some(sn), e)` for supernode
+    /// filters (failure nullifies slave supernodes / drops master rows),
+    /// `(None, e)` for global filters (failure drops the row).
+    pub fan_filters: Vec<(Option<SnId>, &'a Expr)>,
+}
+
+/// Statistics of the join phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Rows whose bindings the nullification operator rewrote (0 for
+    /// well-designed acyclic queries — Lemma 3.3 in action).
+    pub nullification_fired: u64,
+    /// Rows dropped by FaN / global filters.
+    pub rows_filtered: u64,
+}
+
+/// The paper's `sorted-tps`: absolute masters ascending by remaining triple
+/// count, then down the master-slave hierarchy, selective TPs first.
+pub fn sort_tps(tps: &[TpState], gosn: &Gosn) -> Vec<TpId> {
+    let mut order: Vec<TpId> = (0..tps.len()).collect();
+    order.sort_by_key(|&tp| {
+        let sn = gosn.sn_of_tp(tp);
+        (gosn.masters_of(sn).len(), tps[tp].count(), tp)
+    });
+    order
+}
+
+/// Runs the multi-way join, returning full-width rows (one column per
+/// variable in [`VarTable`] order).
+pub fn multi_way_join(inp: &JoinInputs<'_>) -> (Vec<Vec<Option<Binding>>>, ExecStats) {
+    let stps = sort_tps(inp.tps, inp.gosn);
+    let mut sn_remaining = vec![0usize; inp.gosn.n_supernodes()];
+    for tp in 0..inp.tps.len() {
+        sn_remaining[inp.gosn.sn_of_tp(tp)] += 1;
+    }
+    let mut ctx = Ctx {
+        inp,
+        stps,
+        slots: vec![Slot::Free; inp.vt.len()],
+        binder: vec![usize::MAX; inp.vt.len()],
+        visited: vec![false; inp.tps.len()],
+        n_visited: 0,
+        nulled: vec![false; inp.tps.len()],
+        sn_remaining,
+        rows: Vec::new(),
+        stats: ExecStats::default(),
+    };
+    if !ctx.stps.is_empty() {
+        recurse(&mut ctx);
+    } else {
+        ctx.emit();
+    }
+    (ctx.rows, ctx.stats)
+}
+
+struct Ctx<'a, 'b> {
+    inp: &'b JoinInputs<'a>,
+    stps: Vec<TpId>,
+    slots: Vec<Slot>,
+    binder: Vec<TpId>,
+    visited: Vec<bool>,
+    n_visited: usize,
+    nulled: Vec<bool>,
+    /// Unvisited TP count per supernode; a TP only becomes eligible once
+    /// every TP of every *master* supernode is visited, so a failing slave
+    /// can never poison a master's variable with NULL.
+    sn_remaining: Vec<usize>,
+    rows: Vec<Vec<Option<Binding>>>,
+    stats: ExecStats,
+}
+
+impl Ctx<'_, '_> {
+    /// The first unvisited TP in `stps` order that (a) has a bound variable
+    /// or no variables at all, and (b) whose master supernodes are fully
+    /// visited — the strengthened form of the paper's "masters generate
+    /// variable bindings before slaves" invariant. Falls back to the first
+    /// master-complete unvisited TP (the very first call, and defensively
+    /// for Cartesian shapes the engine normally splits beforehand).
+    fn select_next(&self) -> TpId {
+        let gosn = self.inp.gosn;
+        let masters_done = |tp: TpId| {
+            gosn.masters_of(gosn.sn_of_tp(tp))
+                .iter()
+                .all(|&m| self.sn_remaining[m] == 0)
+        };
+        for &tp in &self.stps {
+            if self.visited[tp] || !masters_done(tp) {
+                continue;
+            }
+            let vars = self.inp.tps[tp].vars();
+            if vars.is_empty() || vars.iter().any(|&(v, _)| self.slots[v] != Slot::Free) {
+                return tp;
+            }
+        }
+        // Nothing bound anywhere yet: the first master-complete unvisited
+        // TP (also the very first call).
+        *self
+            .stps
+            .iter()
+            .find(|&&tp| !self.visited[tp] && masters_done(tp))
+            .expect("a master-complete unvisited TP exists")
+    }
+
+    fn bind(&mut self, var: VarId, slot: Slot, tp: TpId) {
+        debug_assert_eq!(self.slots[var], Slot::Free);
+        self.slots[var] = slot;
+        self.binder[var] = tp;
+    }
+
+    fn unbind(&mut self, var: VarId) {
+        self.slots[var] = Slot::Free;
+        self.binder[var] = usize::MAX;
+    }
+
+    /// Decoded term of a variable by name (for filter evaluation).
+    fn term_of<'d>(&self, name: &str, dict: &'d Dictionary) -> Option<&'d Term> {
+        let id = self.inp.vt.id(name)?;
+        match self.slots[id] {
+            Slot::Val(b) => Some(b.decode(dict)),
+            _ => None,
+        }
+    }
+
+    /// Emits one result row: failure closure → FaN filters → nullification
+    /// → global filters → push.
+    fn emit(&mut self) {
+        let gosn = self.inp.gosn;
+        let n_sn = gosn.n_supernodes();
+        // 1. Failed supernodes: any nulled TP fails its supernode; failure
+        //    spreads across peer groups (an inner-join group produces rows
+        //    only as a unit).
+        let mut failed = vec![false; n_sn];
+        for (tp, &nulled) in self.nulled.iter().enumerate() {
+            if nulled {
+                failed[gosn.sn_of_tp(tp)] = true;
+            }
+        }
+        close_over_peers(&mut failed, gosn);
+
+        // 2. FaN: supernode filters.
+        for (sn_opt, expr) in &self.inp.fan_filters {
+            let Some(sn) = sn_opt else { continue };
+            if failed[*sn] {
+                continue; // already NULL, nothing to test
+            }
+            let ok = {
+                let lk = CtxLookup {
+                    ctx: self,
+                    dict: self.inp.dict,
+                };
+                filter_eval::eval(expr, &lk)
+            };
+            if !ok {
+                if gosn.is_absolute_master(*sn) {
+                    self.stats.rows_filtered += 1;
+                    return; // masters cannot be nullified: drop the row
+                }
+                failed[*sn] = true;
+                close_over_peers(&mut failed, gosn);
+            }
+        }
+
+        // 3. Nullification: bindings produced by failed supernodes become
+        //    NULL (Rao et al.'s operator; a no-op when nothing failed).
+        let mut row: Vec<Option<Binding>> = Vec::with_capacity(self.slots.len());
+        let mut rewrote = false;
+        for (var, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Slot::Val(b) => {
+                    let binder_sn = gosn.sn_of_tp(self.binder[var]);
+                    if failed[binder_sn] {
+                        row.push(None);
+                        rewrote = true;
+                    } else {
+                        row.push(Some(*b));
+                    }
+                }
+                _ => row.push(None),
+            }
+        }
+        if rewrote {
+            self.stats.nullification_fired += 1;
+        }
+
+        // 4. Global filters over the (possibly nullified) row.
+        for (sn_opt, expr) in &self.inp.fan_filters {
+            if sn_opt.is_some() {
+                continue;
+            }
+            let lk = RowLookup {
+                row: &row,
+                vt: self.inp.vt,
+                dict: self.inp.dict,
+            };
+            if !filter_eval::eval(expr, &lk) {
+                self.stats.rows_filtered += 1;
+                return;
+            }
+        }
+
+        self.rows.push(row);
+    }
+}
+
+/// Spreads supernode failure across peer groups until stable.
+fn close_over_peers(failed: &mut [bool], gosn: &Gosn) {
+    for sn in 0..failed.len() {
+        if failed[sn] {
+            for peer in gosn.peers_of(sn) {
+                failed[peer] = true;
+            }
+        }
+    }
+}
+
+struct CtxLookup<'c, 'a, 'b, 'd> {
+    ctx: &'c Ctx<'a, 'b>,
+    dict: &'d Dictionary,
+}
+
+impl VarLookup for CtxLookup<'_, '_, '_, '_> {
+    fn term(&self, name: &str) -> Option<&Term> {
+        self.ctx.term_of(name, self.dict)
+    }
+}
+
+struct RowLookup<'r> {
+    row: &'r [Option<Binding>],
+    vt: &'r VarTable,
+    dict: &'r Dictionary,
+}
+
+impl VarLookup for RowLookup<'_> {
+    fn term(&self, name: &str) -> Option<&Term> {
+        let id = self.vt.id(name)?;
+        self.row[id].as_ref().map(|b| b.decode(self.dict))
+    }
+}
+
+/// One recursion level of Algorithm 5.4.
+fn recurse(ctx: &mut Ctx<'_, '_>) {
+    if ctx.n_visited == ctx.stps.len() {
+        ctx.emit();
+        return;
+    }
+    let tp = ctx.select_next();
+    let n_shared = ctx.inp.dims.n_shared;
+    let matched = match &ctx.inp.tps[tp].data {
+        TpData::Zero { present } => {
+            if *present {
+                descend(ctx, tp, &[]);
+                true
+            } else {
+                false
+            }
+        }
+        TpData::One { var, dim, cands } => match ctx.slots[*var] {
+            Slot::Val(b) => {
+                if b.probes(*dim) && cands.get(b.id) {
+                    descend(ctx, tp, &[]);
+                    true
+                } else {
+                    false
+                }
+            }
+            Slot::Null => false,
+            Slot::Free => {
+                let mut any = false;
+                let ids: Vec<u32> = cands.iter_ones().collect();
+                for id in ids {
+                    any = true;
+                    ctx.bind(*var, Slot::Val(Binding::new(id, *dim, n_shared)), tp);
+                    descend(ctx, tp, &[*var]);
+                }
+                any
+            }
+        },
+        TpData::Three {
+            s_var,
+            p_var,
+            o_var,
+            ..
+        } => {
+            let (sv, pv, ov) = (*s_var, *p_var, *o_var);
+            let state = &ctx.inp.tps[tp];
+            let mut any = false;
+            // Enumerate per predicate; each predicate slice behaves like a
+            // Two-variable matrix with the predicate binding layered on.
+            let pred_ids: Vec<u32> = state.per_pred_adj.iter().map(|(pid, _, _)| *pid).collect();
+            for (idx, pid) in pred_ids.iter().enumerate() {
+                // Predicate slot must admit this pid.
+                let p_bound_here = match ctx.slots[pv] {
+                    Slot::Val(b) => {
+                        if !(b.probes(Dimension::Predicate) && b.id == *pid) {
+                            continue;
+                        }
+                        false
+                    }
+                    Slot::Null => continue,
+                    Slot::Free => {
+                        ctx.bind(
+                            pv,
+                            Slot::Val(Binding::new(*pid, Dimension::Predicate, n_shared)),
+                            tp,
+                        );
+                        true
+                    }
+                };
+                let (rows, cols) = {
+                    let (_, r, c) = &ctx.inp.tps[tp].per_pred_adj[idx];
+                    (r.clone(), c.clone())
+                };
+                let lookup = |adj: &[(u32, Vec<u32>)], key: u32| -> Vec<u32> {
+                    match adj.binary_search_by_key(&key, |&(k, _)| k) {
+                        Ok(i) => adj[i].1.clone(),
+                        Err(_) => Vec::new(),
+                    }
+                };
+                match (ctx.slots[sv], ctx.slots[ov]) {
+                    (Slot::Null, _) | (_, Slot::Null) => {}
+                    (Slot::Val(r), Slot::Val(c)) => {
+                        if r.probes(Dimension::Subject)
+                            && c.probes(Dimension::Object)
+                            && lookup(&rows, r.id).binary_search(&c.id).is_ok()
+                        {
+                            any = true;
+                            descend(ctx, tp, &[]);
+                        }
+                    }
+                    (Slot::Val(r), Slot::Free) => {
+                        if r.probes(Dimension::Subject) {
+                            for c in lookup(&rows, r.id) {
+                                any = true;
+                                ctx.bind(
+                                    ov,
+                                    Slot::Val(Binding::new(c, Dimension::Object, n_shared)),
+                                    tp,
+                                );
+                                descend(ctx, tp, &[ov]);
+                            }
+                        }
+                    }
+                    (Slot::Free, Slot::Val(c)) => {
+                        if c.probes(Dimension::Object) {
+                            for r in lookup(&cols, c.id) {
+                                any = true;
+                                ctx.bind(
+                                    sv,
+                                    Slot::Val(Binding::new(r, Dimension::Subject, n_shared)),
+                                    tp,
+                                );
+                                descend(ctx, tp, &[sv]);
+                            }
+                        }
+                    }
+                    (Slot::Free, Slot::Free) => {
+                        for (r, cs) in &rows {
+                            ctx.bind(
+                                sv,
+                                Slot::Val(Binding::new(*r, Dimension::Subject, n_shared)),
+                                tp,
+                            );
+                            for c in cs {
+                                any = true;
+                                ctx.bind(
+                                    ov,
+                                    Slot::Val(Binding::new(*c, Dimension::Object, n_shared)),
+                                    tp,
+                                );
+                                descend(ctx, tp, &[ov]);
+                            }
+                            ctx.unbind(sv);
+                        }
+                    }
+                }
+                if p_bound_here {
+                    ctx.unbind(pv);
+                }
+            }
+            any
+        }
+        TpData::Two {
+            row_var,
+            row_dim,
+            col_var,
+            col_dim,
+            ..
+        } => {
+            let state = &ctx.inp.tps[tp];
+            let (rv, cv, rd, cd) = (*row_var, *col_var, *row_dim, *col_dim);
+            match (ctx.slots[rv], ctx.slots[cv]) {
+                (Slot::Null, _) | (_, Slot::Null) => false,
+                (Slot::Val(r), Slot::Val(c)) => {
+                    let hit = r.probes(rd)
+                        && c.probes(cd)
+                        && state.cols_of(r.id).binary_search(&c.id).is_ok();
+                    if hit {
+                        descend(ctx, tp, &[]);
+                    }
+                    hit
+                }
+                (Slot::Val(r), Slot::Free) => {
+                    if !r.probes(rd) {
+                        false
+                    } else {
+                        let cols = state.cols_of(r.id).to_vec();
+                        let any = !cols.is_empty();
+                        for c in cols {
+                            ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
+                            descend(ctx, tp, &[cv]);
+                        }
+                        any
+                    }
+                }
+                (Slot::Free, Slot::Val(c)) => {
+                    if !c.probes(cd) {
+                        false
+                    } else {
+                        let rows = state.rows_of(c.id).to_vec();
+                        let any = !rows.is_empty();
+                        for r in rows {
+                            ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
+                            descend(ctx, tp, &[rv]);
+                        }
+                        any
+                    }
+                }
+                (Slot::Free, Slot::Free) => {
+                    // Only the pipeline's first TP (or a defensive
+                    // Cartesian fallback) enumerates both dimensions.
+                    let pairs: Vec<(u32, Vec<u32>)> = state.row_adj.clone();
+                    let mut any = false;
+                    for (r, cols) in pairs {
+                        ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
+                        for c in cols {
+                            any = true;
+                            ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
+                            descend(ctx, tp, &[cv]);
+                        }
+                        ctx.unbind(rv);
+                    }
+                    any
+                }
+            }
+        }
+    };
+
+    if !matched {
+        if ctx.inp.gosn.tp_in_absolute_master(tp) {
+            // ln 27–28: an absolute master cannot have NULL bindings —
+            // roll back this branch.
+            return;
+        }
+        // ln 29–32: a slave with no consistent triple: NULL its free vars.
+        let free: Vec<VarId> = ctx.inp.tps[tp]
+            .vars()
+            .into_iter()
+            .filter(|&(v, _)| ctx.slots[v] == Slot::Free)
+            .map(|(v, _)| v)
+            .collect();
+        for &v in &free {
+            ctx.bind(v, Slot::Null, tp);
+        }
+        ctx.nulled[tp] = true;
+        descend(ctx, tp, &free);
+        ctx.nulled[tp] = false;
+    }
+}
+
+/// Marks `tp` visited, recurses, then restores `tp` and the vars this
+/// frame bound.
+fn descend(ctx: &mut Ctx<'_, '_>, tp: TpId, bound_here: &[VarId]) {
+    let sn = ctx.inp.gosn.sn_of_tp(tp);
+    ctx.visited[tp] = true;
+    ctx.n_visited += 1;
+    ctx.sn_remaining[sn] -= 1;
+    recurse(ctx);
+    ctx.sn_remaining[sn] += 1;
+    ctx.n_visited -= 1;
+    ctx.visited[tp] = false;
+    for &v in bound_here {
+        ctx.unbind(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::VarTable;
+    use crate::init::init;
+    use crate::jvar_order::get_jvar_order;
+    use crate::prune::prune_triples;
+    use crate::selectivity::estimate_all;
+    use lbr_bitmat::{BitMatStore, Catalog as _};
+    use lbr_rdf::{Graph, Triple};
+    use lbr_sparql::classify::analyze;
+    use lbr_sparql::parse_query;
+
+    fn graph() -> lbr_rdf::EncodedGraph {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        Graph::from_triples(vec![
+            t("Julia", "actedIn", "Seinfeld"),
+            t("Julia", "actedIn", "Veep"),
+            t("Julia", "actedIn", "NewAdvOldChristine"),
+            t("Julia", "actedIn", "CurbYourEnthu"),
+            t("CurbYourEnthu", "location", "LosAngeles"),
+            t("Larry", "actedIn", "CurbYourEnthu"),
+            t("Jerry", "hasFriend", "Julia"),
+            t("Jerry", "hasFriend", "Larry"),
+            t("Seinfeld", "location", "NewYorkCity"),
+            t("Veep", "location", "D.C."),
+            t("NewAdvOldChristine", "location", "Jersey"),
+        ])
+        .encode()
+    }
+
+    fn run(query: &str) -> (Vec<String>, Vec<Vec<Option<String>>>, ExecStats) {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(query).unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        for tp in &mut out.tps {
+            tp.build_adjacency();
+        }
+        let inputs = JoinInputs {
+            tps: &out.tps,
+            gosn: &a.gosn,
+            vt: &vt,
+            dims: store.dims(),
+            dict: &g.dict,
+            fan_filters: Vec::new(),
+        };
+        let (rows, stats) = multi_way_join(&inputs);
+        let decoded: Vec<Vec<Option<String>>> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|b| b.map(|x| x.decode(&g.dict).lexical_form().to_string()))
+                    .collect()
+            })
+            .collect();
+        (vt.names().to_vec(), decoded, stats)
+    }
+
+    /// The paper's running example: exactly {(Larry, NULL), (Julia,
+    /// Seinfeld)}, with no nullification (Lemma 3.3).
+    #[test]
+    fn q2_final_results() {
+        let (vars, mut rows, stats) =
+            run("PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }");
+        assert_eq!(vars, vec!["friend", "sitcom"]);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Some("Julia".to_string()), Some("Seinfeld".to_string())],
+                vec![Some("Larry".to_string()), None],
+            ]
+        );
+        assert_eq!(stats.nullification_fired, 0);
+    }
+
+    #[test]
+    fn inner_join_only() {
+        let (_, mut rows, _) =
+            run("PREFIX : <> SELECT * WHERE { ?f :actedIn ?s . ?s :location ?where . }");
+        rows.sort();
+        assert_eq!(rows.len(), 5, "every actedIn sitcom has a location");
+        assert!(rows.iter().all(|r| r.iter().all(|c| c.is_some())));
+    }
+
+    #[test]
+    fn nested_optional_nulls_cascade() {
+        // Jerry's friends, their sitcoms (optional), and inside that the
+        // sitcom's location (optional) — Larry gets NULL for both inner
+        // vars... actually Larry acted in CurbYourEnthu, so only location
+        // differs. Check cascading binding correctness.
+        let (vars, mut rows, _) = run("PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . OPTIONAL { ?sitcom :location ?loc . } } }");
+        assert_eq!(vars, vec!["friend", "sitcom", "loc"]);
+        rows.sort();
+        // Julia: 4 sitcoms each with a location; Larry: 1 sitcom with one.
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[1].is_some() && r[2].is_some()));
+    }
+
+    #[test]
+    fn empty_slave_produces_all_nulls() {
+        let (_, rows, _) = run("PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :location ?loc . } }");
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows.iter().all(|r| r[1].is_none()),
+            "no friend has a location"
+        );
+    }
+
+    #[test]
+    fn zero_var_membership_gates_results() {
+        let (_, rows, _) =
+            run("PREFIX : <> SELECT * WHERE { :Jerry :hasFriend :Julia . :Jerry :hasFriend ?f . }");
+        assert_eq!(rows.len(), 2, "membership true: acts as a no-op gate");
+    }
+}

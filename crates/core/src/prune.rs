@@ -1,0 +1,286 @@
+//! `prune_triples` (Algorithm 3.2): semi-joins and clustered-semi-joins
+//! over the jvar orders, implemented with fold/unfold (Algorithms 5.2, 5.3).
+//!
+//! For each join variable `?j` in the pass order:
+//!
+//! 1. **semi-joins** `tpj ⋉?j tpi` for every master/slave TP pair sharing
+//!    `?j` — the slave's triples are restricted to the master's bindings
+//!    (never the other way round: a master row without a slave match must
+//!    survive, that is what OPTIONAL means);
+//! 2. **clustered-semi-join** over all TPs sharing `?j` within a supernode
+//!    and its peers — inner-join restrictions flow in both directions.
+//!
+//! Acyclic well-designed queries come out *minimal* (Lemma 3.3); cyclic
+//! queries are merely reduced and may need nullification/best-match later.
+
+use crate::bindings::{op_space_len, VarTable};
+use crate::init::TpState;
+use crate::jvar_order::JvarOrder;
+use lbr_bitmat::{BitVec, CubeDims};
+use lbr_sparql::goj::Goj;
+use lbr_sparql::gosn::{Gosn, TpId};
+
+/// Outcome of the pruning phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneOutcome {
+    /// Pruning completed.
+    Done,
+    /// A TP in an absolute-master supernode became empty — the query has no
+    /// results (§5 "simple optimization").
+    EmptyAbsoluteMaster,
+}
+
+/// Algorithm 5.2: `semi-join(?j, tpj, tpi)` — prune the slave by the
+/// master's bindings.
+pub fn semi_join(dims: &CubeDims, var: usize, slave: &mut TpState, master: &TpState) {
+    let (Some(md), Some(sd)) = (master.dim_of(var), slave.dim_of(var)) else {
+        return;
+    };
+    let space_len = op_space_len(dims, [md, sd]);
+    let (Some(m), Some(s)) = (
+        master.fold_var(var, space_len),
+        slave.fold_var(var, space_len),
+    ) else {
+        return;
+    };
+    let mut beta = m;
+    beta.and_assign(&s);
+    slave.unfold_var(var, &beta);
+}
+
+/// Algorithm 5.3: `clustered-semi-join(?j, {tp1..tpk})` — intersect all
+/// members' bindings and unfold each with the intersection.
+pub fn clustered_semi_join(dims: &CubeDims, var: usize, tps: &mut [TpState], members: &[TpId]) {
+    if members.len() < 2 {
+        return;
+    }
+    let space_len = op_space_len(dims, members.iter().filter_map(|&m| tps[m].dim_of(var)));
+    let mut beta = BitVec::ones(space_len);
+    let mut any = false;
+    for &m in members {
+        if let Some(f) = tps[m].fold_var(var, space_len) {
+            beta.and_assign(&f);
+            any = true;
+        }
+    }
+    if !any {
+        return;
+    }
+    for &m in members {
+        tps[m].unfold_var(var, &beta);
+    }
+}
+
+/// Algorithm 3.2 over both passes of the [`JvarOrder`].
+pub fn prune_triples(
+    tps: &mut [TpState],
+    gosn: &Gosn,
+    goj: &Goj,
+    vt: &VarTable,
+    order: &JvarOrder,
+    dims: &CubeDims,
+) -> PruneOutcome {
+    for pass in [&order.bottom_up, &order.top_down] {
+        for &var in pass.iter() {
+            if prune_one_jvar(tps, gosn, goj, vt, var, dims) == PruneOutcome::EmptyAbsoluteMaster {
+                return PruneOutcome::EmptyAbsoluteMaster;
+            }
+        }
+    }
+    PruneOutcome::Done
+}
+
+/// One jvar step: master→slave semi-joins then per-peer-group
+/// clustered-semi-joins (Alg 3.2 lines 2–8).
+fn prune_one_jvar(
+    tps: &mut [TpState],
+    gosn: &Gosn,
+    goj: &Goj,
+    vt: &VarTable,
+    var: usize,
+    dims: &CubeDims,
+) -> PruneOutcome {
+    let name = vt.name(var);
+    let Some(node) = goj.node_of(name) else {
+        return PruneOutcome::Done;
+    };
+    let holders: Vec<TpId> = (0..gosn.n_tps())
+        .filter(|&tp| goj.jvars_of_tp(tp).contains(&node))
+        .collect();
+
+    // Master/slave semi-joins; masters iterate outermost-first so their
+    // restrictions cascade down the hierarchy in one sweep.
+    let mut by_depth = holders.clone();
+    by_depth.sort_by_key(|&tp| gosn.masters_of(gosn.sn_of_tp(tp)).len());
+    for &tp_i in &by_depth {
+        for &tp_j in &holders {
+            if gosn.tp_is_master_of(tp_i, tp_j) {
+                let (master, slave) = disjoint_pair(tps, tp_i, tp_j);
+                semi_join(dims, var, slave, master);
+            }
+        }
+    }
+
+    // Clustered-semi-joins, one per peer group containing ?j.
+    let mut groups_done: Vec<usize> = Vec::new();
+    for &tp in &holders {
+        let sn = gosn.sn_of_tp(tp);
+        let peer_sns = gosn.peers_of(sn);
+        let group_key = *peer_sns.first().unwrap();
+        if groups_done.contains(&group_key) {
+            continue;
+        }
+        groups_done.push(group_key);
+        let members: Vec<TpId> = holders
+            .iter()
+            .copied()
+            .filter(|&t| peer_sns.contains(&gosn.sn_of_tp(t)))
+            .collect();
+        clustered_semi_join(dims, var, tps, &members);
+    }
+
+    if crate::init::absolute_master_empty(gosn, tps) {
+        PruneOutcome::EmptyAbsoluteMaster
+    } else {
+        PruneOutcome::Done
+    }
+}
+
+/// Mutable access to a (master, slave) pair of distinct TPs.
+fn disjoint_pair(tps: &mut [TpState], master: TpId, slave: TpId) -> (&TpState, &mut TpState) {
+    debug_assert_ne!(master, slave);
+    if master < slave {
+        let (a, b) = tps.split_at_mut(slave);
+        (&a[master], &mut b[0])
+    } else {
+        let (a, b) = tps.split_at_mut(master);
+        (&b[0], &mut a[slave])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::VarTable;
+    use crate::init::init;
+    use crate::jvar_order::get_jvar_order;
+    use crate::selectivity::estimate_all;
+    use lbr_bitmat::{BitMatStore, Catalog as _};
+    use lbr_rdf::{Graph, Term, Triple};
+    use lbr_sparql::classify::analyze;
+    use lbr_sparql::parse_query;
+
+    fn graph() -> lbr_rdf::EncodedGraph {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        Graph::from_triples(vec![
+            t("Julia", "actedIn", "Seinfeld"),
+            t("Julia", "actedIn", "Veep"),
+            t("Julia", "actedIn", "NewAdvOldChristine"),
+            t("Julia", "actedIn", "CurbYourEnthu"),
+            t("CurbYourEnthu", "location", "LosAngeles"),
+            t("Larry", "actedIn", "CurbYourEnthu"),
+            t("Jerry", "hasFriend", "Julia"),
+            t("Jerry", "hasFriend", "Larry"),
+            t("Seinfeld", "location", "NewYorkCity"),
+            t("Veep", "location", "D.C."),
+            t("NewAdvOldChristine", "location", "Jersey"),
+        ])
+        .encode()
+    }
+
+    /// Example-1 of §3.1 end-to-end at the pruning level: tp1 keeps both
+    /// friends, tp2 is reduced to the single (Julia, Seinfeld) triple, tp3
+    /// keeps Seinfeld.
+    #[test]
+    fn example_1_minimality() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
+        )
+        .unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        let outcome = prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        assert_eq!(outcome, PruneOutcome::Done);
+        assert_eq!(
+            out.tps[0].count(),
+            2,
+            "master keeps both friends (Larry → NULL row)"
+        );
+        assert_eq!(out.tps[1].count(), 1, "only (Julia, Seinfeld) remains");
+        assert_eq!(out.tps[2].count(), 1);
+    }
+
+    /// The master must never be pruned by its slave.
+    #[test]
+    fn master_not_pruned_by_slave() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        // ?sitcom's location list would shrink the master if this were an
+        // inner join; with OPTIONAL every actedIn triple must survive in
+        // the master.
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { ?f :actedIn ?sitcom .
+               OPTIONAL { ?sitcom :location :NewYorkCity . } }",
+        )
+        .unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        assert_eq!(out.tps[0].count(), 5, "all actedIn triples survive");
+        assert_eq!(
+            out.tps[1].count(),
+            1,
+            "slave restricted to master's sitcoms ∩ NYC"
+        );
+    }
+
+    /// Inner-join peers prune each other (both directions).
+    #[test]
+    fn peers_prune_bidirectionally() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { ?f :actedIn ?sitcom . ?sitcom :location :NewYorkCity . }",
+        )
+        .unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        assert_eq!(out.tps[0].count(), 1, "only Julia–Seinfeld joins NYC");
+        assert_eq!(out.tps[1].count(), 1);
+    }
+
+    /// Early abort: an absolute-master TP emptied by pruning.
+    #[test]
+    fn empty_absolute_master_detected() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        // Larry acted only in CurbYourEnthu, which is in LosAngeles; the
+        // peer join on ?s empties the second TP.
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { :Larry :actedIn ?s . ?s :location :NewYorkCity . }",
+        )
+        .unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        // Active pruning already empties it at init; prune_triples must
+        // report the abort either way.
+        let outcome = prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        assert_eq!(outcome, PruneOutcome::EmptyAbsoluteMaster);
+    }
+}

@@ -1,0 +1,484 @@
+//! DBPedia-like heterogeneous data and the Appendix E.3 queries.
+//!
+//! DBPedia's defining features for the paper's evaluation: a very large,
+//! long-tailed predicate vocabulary (57 453 predicates — the reason
+//! MonetDB could not build per-predicate tables), heterogeneous entity
+//! types (places, people, soccer players, airports, companies) and heavy
+//! use of OPTIONAL-friendly incomplete attributes. Queries Q2 and Q3 are
+//! tuned to produce empty results that active pruning detects early, as in
+//! Table 6.4.
+
+use crate::{BenchQuery, Dataset};
+use lbr_rdf::{Term, Triple};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// `dbpowl:` namespace.
+pub const OWL: &str = "urn:dbpowl:";
+/// `dbpprop:` namespace.
+pub const PROP: &str = "urn:dbpprop:";
+/// `foaf:` namespace.
+pub const FOAF: &str = "urn:foaf:";
+/// `rdfs:` namespace.
+pub const RDFS: &str = "urn:rdfs:";
+/// `geo:` namespace.
+pub const GEO: &str = "urn:geo:";
+/// `skos:` namespace.
+pub const SKOS: &str = "urn:skos:";
+/// `georss:` namespace.
+pub const GEORSS: &str = "urn:georss:";
+/// Resource namespace.
+pub const RES: &str = "urn:dbp:";
+/// `rdf:type`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct DbpediaConfig {
+    /// Populated places (each may also be a Settlement).
+    pub places: usize,
+    /// Persons (some are soccer players).
+    pub persons: usize,
+    /// Companies.
+    pub companies: usize,
+    /// Long-tail predicates (mimics the 57 453-predicate vocabulary).
+    pub tail_predicates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DbpediaConfig {
+    fn default() -> Self {
+        DbpediaConfig {
+            places: 2500,
+            persons: 3500,
+            companies: 900,
+            tail_predicates: 400,
+            seed: 44,
+        }
+    }
+}
+
+impl DbpediaConfig {
+    /// Scales the default configuration.
+    pub fn scaled(scale: f64, seed: u64) -> DbpediaConfig {
+        let d = DbpediaConfig::default();
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(5);
+        DbpediaConfig {
+            places: s(d.places),
+            persons: s(d.persons),
+            companies: s(d.companies),
+            tail_predicates: s(d.tail_predicates),
+            seed,
+        }
+    }
+}
+
+fn res(local: impl AsRef<str>) -> Term {
+    Term::iri(format!("{RES}{}", local.as_ref()))
+}
+
+fn p(ns: &str, local: &str) -> Term {
+    Term::iri(format!("{ns}{local}"))
+}
+
+/// Generates the triples.
+pub fn generate(cfg: &DbpediaConfig) -> Vec<Triple> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out: Vec<Triple> = Vec::new();
+    let mut t = |s: &Term, pred: Term, o: Term| out.push(Triple::new(s.clone(), pred, o));
+    let ty = p("", RDF_TYPE);
+
+    let categories: Vec<Term> = (0..60).map(|i| res(format!("Category/C{i}"))).collect();
+    let countries: Vec<Term> = (0..25).map(|i| res(format!("Country{i}"))).collect();
+
+    // Populated places / settlements.
+    let mut places: Vec<Term> = Vec::with_capacity(cfg.places);
+    for i in 0..cfg.places {
+        let place = res(format!("Place{i}"));
+        t(&place, ty.clone(), p(OWL, "PopulatedPlace"));
+        t(
+            &place,
+            p(OWL, "abstract"),
+            Term::literal(format!("Abstract of place {i}")),
+        );
+        t(
+            &place,
+            p(RDFS, "label"),
+            Term::literal(format!("Place {i}")),
+        );
+        t(
+            &place,
+            p(GEO, "lat"),
+            Term::literal(format!("{}.{}", i % 90, i % 100)),
+        );
+        t(
+            &place,
+            p(GEO, "long"),
+            Term::literal(format!("{}.{}", i % 180, i % 100)),
+        );
+        if rng.random_bool(0.45) {
+            t(
+                &place,
+                p(FOAF, "depiction"),
+                res(format!("img/Place{i}.jpg")),
+            );
+        }
+        if rng.random_bool(0.3) {
+            t(
+                &place,
+                p(FOAF, "homepage"),
+                res(format!("http/place{i}.example")),
+            );
+        }
+        if rng.random_bool(0.6) {
+            t(
+                &place,
+                p(OWL, "populationTotal"),
+                Term::integer(rng.random_range(500..9_000_000)),
+            );
+        }
+        if rng.random_bool(0.4) {
+            t(
+                &place,
+                p(OWL, "thumbnail"),
+                res(format!("thumb/Place{i}.png")),
+            );
+        }
+        if rng.random_bool(0.5) {
+            t(
+                &place,
+                p(GEORSS, "point"),
+                Term::literal(format!("{} {}", i % 90, i % 180)),
+            );
+        }
+        if rng.random_bool(0.55) {
+            let settlement = rng.random_bool(0.5);
+            if settlement {
+                t(&place, ty.clone(), p(OWL, "Settlement"));
+            }
+        }
+        places.push(place);
+    }
+
+    // Airports: city links into settlements; iata codes; some homepages.
+    let n_airports = (cfg.places / 6).max(3);
+    for i in 0..n_airports {
+        let ap = res(format!("Airport{i}"));
+        t(&ap, ty.clone(), p(OWL, "Airport"));
+        let city = &places[rng.random_range(0..places.len())];
+        t(&ap, p(OWL, "city"), city.clone());
+        t(&ap, p(PROP, "iata"), Term::literal(format!("A{i:03}")));
+        if rng.random_bool(0.4) {
+            t(
+                &ap,
+                p(FOAF, "homepage"),
+                res(format!("http/airport{i}.example")),
+            );
+        }
+        if rng.random_bool(0.5) {
+            t(
+                &ap,
+                p(PROP, "nativename"),
+                Term::literal(format!("Aeropuerto {i}")),
+            );
+        }
+    }
+
+    // Clubs for soccer players.
+    let clubs: Vec<Term> = (0..(cfg.persons / 40).max(3))
+        .map(|i| {
+            let club = res(format!("Club{i}"));
+            out.push(Triple::new(
+                club.clone(),
+                p(OWL, "capacity"),
+                Term::integer(10_000 + 500 * i as i64),
+            ));
+            club
+        })
+        .collect();
+    let mut t = |s: &Term, pred: Term, o: Term| out.push(Triple::new(s.clone(), pred, o));
+
+    // Persons; a fraction are soccer players.
+    for i in 0..cfg.persons {
+        let person = res(format!("Person{i}"));
+        let soccer = i % 5 == 0;
+        t(&person, ty.clone(), p(OWL, "Person"));
+        t(
+            &person,
+            p(RDFS, "label"),
+            Term::literal(format!("Person {i}")),
+        );
+        t(
+            &person,
+            p(FOAF, "name"),
+            Term::literal(format!("P. Erson {i}")),
+        );
+        // NOTE for Q2: soccer players never get foaf:page, so Q2's join of
+        // page ∧ SoccerPlayer is empty (Table 6.4's early-abort row).
+        if !soccer && rng.random_bool(0.75) {
+            t(&person, p(FOAF, "page"), res(format!("wiki/Person{i}")));
+        }
+        if rng.random_bool(0.25) {
+            t(
+                &person,
+                p(FOAF, "homepage"),
+                res(format!("http/person{i}.example")),
+            );
+        }
+        // NOTE for Q3: persons never get dbpowl:thumbnail — the
+        // (thumbnail ∧ type Person) intersection is empty, giving the
+        // early-abort empty result of Table 6.4.
+        if rng.random_bool(0.5) {
+            t(
+                &person,
+                p(SKOS, "subject"),
+                categories[rng.random_range(0..categories.len())].clone(),
+            );
+        }
+        if rng.random_bool(0.35) {
+            t(
+                &person,
+                p(RDFS, "comment"),
+                Term::literal(format!("Comment on person {i}")),
+            );
+        }
+        if soccer {
+            t(&person, ty.clone(), p(OWL, "SoccerPlayer"));
+            t(
+                &person,
+                p(PROP, "position"),
+                Term::literal(["GK", "DF", "MF", "FW"][i % 4]),
+            );
+            t(
+                &person,
+                p(PROP, "clubs"),
+                clubs[rng.random_range(0..clubs.len())].clone(),
+            );
+            t(
+                &person,
+                p(OWL, "birthPlace"),
+                places[rng.random_range(0..places.len())].clone(),
+            );
+            if rng.random_bool(0.5) {
+                t(
+                    &person,
+                    p(OWL, "number"),
+                    Term::integer(rng.random_range(1..35)),
+                );
+            }
+        }
+    }
+
+    // Companies with industry/location/products chains (query Q6 food).
+    for i in 0..cfg.companies {
+        let c = res(format!("Company{i}"));
+        t(
+            &c,
+            p(RDFS, "comment"),
+            Term::literal(format!("Company {i} comment")),
+        );
+        if rng.random_bool(0.8) {
+            t(&c, p(FOAF, "page"), res(format!("wiki/Company{i}")));
+        }
+        if rng.random_bool(0.5) {
+            t(
+                &c,
+                p(SKOS, "subject"),
+                categories[rng.random_range(0..categories.len())].clone(),
+            );
+        }
+        if rng.random_bool(0.5) {
+            t(
+                &c,
+                p(PROP, "industry"),
+                Term::literal(format!("Industry{}", i % 12)),
+            );
+        }
+        if rng.random_bool(0.5) {
+            t(
+                &c,
+                p(PROP, "location"),
+                places[rng.random_range(0..places.len())].clone(),
+            );
+        }
+        if rng.random_bool(0.4) {
+            t(
+                &c,
+                p(PROP, "locationCountry"),
+                countries[rng.random_range(0..countries.len())].clone(),
+            );
+        }
+        if rng.random_bool(0.3) {
+            t(
+                &c,
+                p(PROP, "locationCity"),
+                places[rng.random_range(0..places.len())].clone(),
+            );
+            let product = res(format!("Product{i}"));
+            t(&product, p(PROP, "manufacturer"), c.clone());
+        }
+        if rng.random_bool(0.3) {
+            t(
+                &c,
+                p(PROP, "products"),
+                Term::literal(format!("Product line {i}")),
+            );
+            let model = res(format!("Model{i}"));
+            t(&model, p(PROP, "model"), c.clone());
+        }
+        if rng.random_bool(0.3) {
+            t(
+                &c,
+                p(GEORSS, "point"),
+                Term::literal(format!("{} {}", i % 90, i % 180)),
+            );
+        }
+        if rng.random_bool(0.6) {
+            t(&c, ty.clone(), p(OWL, "Company"));
+        }
+    }
+
+    // Long-tail predicates: hundreds of rarely-used properties.
+    for i in 0..cfg.tail_predicates {
+        let pred = p(PROP, &format!("tail{i}"));
+        let uses = 1 + (rng.random_range(0..100) / (1 + i % 17)); // Zipf-ish
+        for u in 0..uses {
+            let s = res(format!("Place{}", (i * 7 + u * 13) % cfg.places.max(1)));
+            t(
+                &s,
+                pred.clone(),
+                Term::literal(format!("tail value {i}/{u}")),
+            );
+        }
+    }
+
+    out
+}
+
+/// The Appendix E.3 DBPedia queries, ported to the generated vocabulary
+/// (UNION/FILTER-free, as in the paper's methodology).
+pub fn queries() -> Vec<BenchQuery> {
+    let prefix = format!(
+        "PREFIX dbpowl: <{OWL}>\nPREFIX dbpprop: <{PROP}>\nPREFIX foaf: <{FOAF}>\nPREFIX rdfs: <{RDFS}>\nPREFIX geo: <{GEO}>\nPREFIX skos: <{SKOS}>\nPREFIX georss: <{GEORSS}>\n"
+    );
+    let q = |id, body: &str, note| BenchQuery {
+        id,
+        text: format!("{prefix}{body}"),
+        note,
+    };
+    vec![
+        q(
+            "Q1",
+            "SELECT * WHERE {
+               { ?v6 a dbpowl:PopulatedPlace . ?v6 dbpowl:abstract ?v1 . ?v6 rdfs:label ?v2 .
+                 ?v6 geo:lat ?v3 . ?v6 geo:long ?v4 .
+                 OPTIONAL { ?v6 foaf:depiction ?v8 . } }
+               OPTIONAL { ?v6 foaf:homepage ?v10 . }
+               OPTIONAL { ?v6 dbpowl:populationTotal ?v12 . }
+               OPTIONAL { ?v6 dbpowl:thumbnail ?v14 . } }",
+            "low selectivity, four OPTIONALs over places",
+        ),
+        q(
+            "Q2",
+            "SELECT * WHERE { ?v3 foaf:page ?v0 . ?v3 a dbpowl:SoccerPlayer .
+               ?v3 dbpprop:position ?v6 . ?v3 dbpprop:clubs ?v8 .
+               ?v8 dbpowl:capacity ?v1 . ?v3 dbpowl:birthPlace ?v5 .
+               OPTIONAL { ?v3 dbpowl:number ?v9 . } }",
+            "empty result: soccer players have no foaf:page",
+        ),
+        q(
+            "Q3",
+            "SELECT * WHERE { ?v5 dbpowl:thumbnail ?v4 . ?v5 a dbpowl:Person .
+               ?v5 rdfs:label ?v . ?v5 foaf:page ?v8 .
+               OPTIONAL { ?v5 foaf:homepage ?v10 . } }",
+            "empty result: persons have no thumbnails",
+        ),
+        q(
+            "Q4",
+            "SELECT * WHERE {
+               { ?v2 a dbpowl:Settlement . ?v2 rdfs:label ?v .
+                 ?v6 a dbpowl:Airport . ?v6 dbpowl:city ?v2 . ?v6 dbpprop:iata ?v5 .
+                 OPTIONAL { ?v6 foaf:homepage ?v7 . } }
+               OPTIONAL { ?v6 dbpprop:nativename ?v8 . } }",
+            "selective settlement/airport join",
+        ),
+        q(
+            "Q5",
+            "SELECT * WHERE { ?v4 skos:subject ?v . ?v4 foaf:name ?v6 .
+               OPTIONAL { ?v4 rdfs:comment ?v8 . } }",
+            "medium selectivity star",
+        ),
+        q(
+            "Q6",
+            "SELECT * WHERE { ?v0 rdfs:comment ?v1 . ?v0 foaf:page ?v .
+               OPTIONAL { ?v0 skos:subject ?v6 . }
+               OPTIONAL { ?v0 dbpprop:industry ?v5 . }
+               OPTIONAL { ?v0 dbpprop:location ?v2 . }
+               OPTIONAL { ?v0 dbpprop:locationCountry ?v3 . }
+               OPTIONAL { ?v0 dbpprop:locationCity ?v9 . ?a dbpprop:manufacturer ?v0 . }
+               OPTIONAL { ?v0 dbpprop:products ?v11 . ?b dbpprop:model ?v0 . }
+               OPTIONAL { ?v0 georss:point ?v10 . }
+               OPTIONAL { ?v0 a ?v7 . } }",
+            "eight OPTIONALs (the DBPedia-log maximum the paper cites)",
+        ),
+    ]
+}
+
+/// The full DBPedia dataset bundle.
+pub fn dataset(cfg: &DbpediaConfig) -> Dataset {
+    Dataset::new("DBPedia", generate(cfg), queries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_premises() {
+        let cfg = DbpediaConfig {
+            places: 80,
+            persons: 120,
+            companies: 30,
+            tail_predicates: 50,
+            seed: 6,
+        };
+        let triples = generate(&cfg);
+        assert_eq!(triples, generate(&cfg));
+        assert!(triples.len() > 1000, "got {}", triples.len());
+        // Many distinct predicates (long tail).
+        let mut preds: Vec<&Term> = triples.iter().map(|t| &t.p).collect();
+        preds.sort();
+        preds.dedup();
+        assert!(preds.len() > 50, "got {} predicates", preds.len());
+        // Q3 premise: no person has a thumbnail.
+        let persons: Vec<&Term> = triples
+            .iter()
+            .filter(|t| t.p == Term::iri(RDF_TYPE) && t.o == p(OWL, "Person"))
+            .map(|t| &t.s)
+            .collect();
+        assert!(!persons.is_empty());
+        let thumb = p(OWL, "thumbnail");
+        for person in persons {
+            assert!(!triples.iter().any(|t| &t.s == person && t.p == thumb));
+        }
+        // Q2 premise: no soccer player has a foaf:page.
+        let soccer: Vec<&Term> = triples
+            .iter()
+            .filter(|t| t.p == Term::iri(RDF_TYPE) && t.o == p(OWL, "SoccerPlayer"))
+            .map(|t| &t.s)
+            .collect();
+        assert!(!soccer.is_empty());
+        let page = p(FOAF, "page");
+        for s in soccer {
+            assert!(!triples.iter().any(|t| &t.s == s && t.p == page));
+        }
+    }
+
+    #[test]
+    fn queries_parse() {
+        for q in queries() {
+            lbr_sparql::parse_query(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! LUBM-like university benchmark data and the Appendix E.1 queries.
+//!
+//! The shape follows the Lehigh University Benchmark ontology: universities
+//! contain departments; departments employ full/associate/assistant
+//! professors and host undergraduate/graduate students, courses and
+//! publications. Contact details (email / telephone) and research interests
+//! are *optionally* present — that incompleteness is what makes the
+//! OPTIONAL queries meaningful (paper §1).
+
+use crate::{BenchQuery, Dataset};
+use lbr_rdf::{Term, Triple};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Namespace of the generated vocabulary.
+pub const UB: &str = "urn:ub:";
+/// `rdf:type`, as expanded by the parser's `a` keyword.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct LubmConfig {
+    /// Number of universities.
+    pub universities: usize,
+    /// Departments per university.
+    pub departments: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 10,
+            departments: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// Scales the default configuration.
+    pub fn scaled(scale: f64, seed: u64) -> LubmConfig {
+        let d = LubmConfig::default();
+        LubmConfig {
+            universities: ((d.universities as f64 * scale).round() as usize).max(1),
+            departments: d.departments,
+            seed,
+        }
+    }
+}
+
+fn iri(local: impl AsRef<str>) -> Term {
+    Term::iri(format!("{UB}{}", local.as_ref()))
+}
+
+struct Emit<'a> {
+    out: &'a mut Vec<Triple>,
+}
+
+impl Emit<'_> {
+    fn t(&mut self, s: &Term, p: &str, o: Term) {
+        self.out.push(Triple::new(s.clone(), iri(p), o));
+    }
+
+    fn ty(&mut self, s: &Term, class: &str) {
+        self.out
+            .push(Triple::new(s.clone(), Term::iri(RDF_TYPE), iri(class)));
+    }
+}
+
+/// Generates the triples.
+pub fn generate(cfg: &LubmConfig) -> Vec<Triple> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out: Vec<Triple> = Vec::new();
+    let mut e = Emit { out: &mut out };
+    let interests: Vec<Term> = (0..20)
+        .map(|i| Term::literal(format!("Research{i}")))
+        .collect();
+
+    let universities: Vec<Term> = (0..cfg.universities)
+        .map(|u| iri(format!("University{u}")))
+        .collect();
+    for (u, univ) in universities.iter().enumerate() {
+        e.ty(univ, "University");
+        e.t(univ, "name", Term::literal(format!("University {u}")));
+
+        for d in 0..cfg.departments {
+            let dept = iri(format!("Department{d}.University{u}"));
+            e.ty(&dept, "Department");
+            e.t(&dept, "subOrganizationOf", univ.clone());
+
+            // Professors.
+            let mut profs: Vec<Term> = Vec::new();
+            for (class, count) in [
+                ("FullProfessor", 5usize),
+                ("AssociateProfessor", 6),
+                ("AssistantProfessor", 7),
+            ] {
+                for i in 0..count {
+                    let p = iri(format!("{class}{i}.Department{d}.University{u}"));
+                    e.ty(&p, class);
+                    e.t(&p, "worksFor", dept.clone());
+                    e.t(&p, "name", Term::literal(format!("{class} {i} d{d} u{u}")));
+                    e.t(
+                        &p,
+                        "doctoralDegreeFrom",
+                        universities[rng.random_range(0..universities.len())].clone(),
+                    );
+                    e.t(
+                        &p,
+                        "undergraduateDegreeFrom",
+                        universities[rng.random_range(0..universities.len())].clone(),
+                    );
+                    if rng.random_bool(0.65) {
+                        e.t(
+                            &p,
+                            "emailAddress",
+                            Term::literal(format!("{class}{i}.{d}.{u}@uni")),
+                        );
+                    }
+                    if rng.random_bool(0.55) {
+                        e.t(
+                            &p,
+                            "telephone",
+                            Term::literal(format!("+1-555-{u:03}-{d:02}{i:02}")),
+                        );
+                    }
+                    if rng.random_bool(0.7) {
+                        e.t(
+                            &p,
+                            "researchInterest",
+                            interests[rng.random_range(0..interests.len())].clone(),
+                        );
+                    }
+                    profs.push(p);
+                }
+            }
+            e.t(&profs[0], "headOf", dept.clone());
+
+            // Courses, taught by professors.
+            let mut courses: Vec<Term> = Vec::new();
+            for c in 0..14 {
+                let course = iri(format!("Course{c}.Department{d}.University{u}"));
+                e.ty(&course, if c < 10 { "Course" } else { "GraduateCourse" });
+                let teacher = &profs[rng.random_range(0..profs.len())];
+                e.t(teacher, "teacherOf", course.clone());
+                courses.push(course);
+            }
+
+            // Students.
+            let mut grads: Vec<Term> = Vec::new();
+            for s in 0..18 {
+                let st = iri(format!("GraduateStudent{s}.Department{d}.University{u}"));
+                e.ty(&st, "GraduateStudent");
+                e.t(&st, "memberOf", dept.clone());
+                e.t(
+                    &st,
+                    "undergraduateDegreeFrom",
+                    universities[rng.random_range(0..universities.len())].clone(),
+                );
+                let advisor = &profs[rng.random_range(0..profs.len())];
+                e.t(&st, "advisor", advisor.clone());
+                for _ in 0..rng.random_range(1..4) {
+                    let c = &courses[rng.random_range(0..courses.len())];
+                    e.t(&st, "takesCourse", c.clone());
+                }
+                if rng.random_bool(0.5) {
+                    let c = &courses[rng.random_range(0..courses.len())];
+                    e.t(&st, "teachingAssistantOf", c.clone());
+                }
+                if rng.random_bool(0.6) {
+                    e.t(
+                        &st,
+                        "emailAddress",
+                        Term::literal(format!("gs{s}.{d}.{u}@uni")),
+                    );
+                }
+                if rng.random_bool(0.4) {
+                    e.t(
+                        &st,
+                        "telephone",
+                        Term::literal(format!("+1-555-9{u:02}-{d:02}{s:02}")),
+                    );
+                }
+                grads.push(st);
+            }
+            for s in 0..40 {
+                let st = iri(format!(
+                    "UndergraduateStudent{s}.Department{d}.University{u}"
+                ));
+                e.ty(&st, "UndergraduateStudent");
+                e.t(&st, "memberOf", dept.clone());
+                for _ in 0..rng.random_range(1..4) {
+                    let c = &courses[rng.random_range(0..courses.len())];
+                    e.t(&st, "takesCourse", c.clone());
+                }
+                if rng.random_bool(0.3) {
+                    let advisor = &profs[rng.random_range(0..profs.len())];
+                    e.t(&st, "advisor", advisor.clone());
+                }
+            }
+
+            // Publications: authored by professors and graduate students.
+            for pnum in 0..25 {
+                let publ = iri(format!("Publication{pnum}.Department{d}.University{u}"));
+                e.ty(&publ, "Publication");
+                let author = &profs[rng.random_range(0..profs.len())];
+                e.t(&publ, "publicationAuthor", author.clone());
+                if rng.random_bool(0.6) {
+                    let co = &grads[rng.random_range(0..grads.len())];
+                    e.t(&publ, "publicationAuthor", co.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The Appendix E.1 LUBM queries, ported to the generated vocabulary.
+pub fn queries() -> Vec<BenchQuery> {
+    let prefix =
+        format!("PREFIX ub: <{UB}>\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n");
+    let q = |id, body: &str, note| BenchQuery {
+        id,
+        text: format!("{prefix}{body}"),
+        note,
+    };
+    vec![
+        q(
+            "Q1",
+            "SELECT * WHERE {
+               { ?st ub:teachingAssistantOf ?course .
+                 OPTIONAL { ?st ub:takesCourse ?course2 . ?pub1 ub:publicationAuthor ?st . } }
+               { ?prof ub:teacherOf ?course . ?st ub:advisor ?prof .
+                 OPTIONAL { ?prof ub:researchInterest ?resint . ?pub2 ub:publicationAuthor ?prof . } } }",
+            "low selectivity, two OPT blocks, cyclic GoJ with 1-jvar slaves",
+        ),
+        q(
+            "Q2",
+            "SELECT * WHERE {
+               { ?pub a ub:Publication . ?pub ub:publicationAuthor ?st .
+                 ?pub ub:publicationAuthor ?prof .
+                 OPTIONAL { ?st ub:emailAddress ?ste . ?st ub:telephone ?sttel . } }
+               { ?st ub:undergraduateDegreeFrom ?univ . ?dept ub:subOrganizationOf ?univ .
+                 OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } }
+               { ?st ub:memberOf ?dept . ?prof ub:worksFor ?dept .
+                 OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ1 . ?prof ub:researchInterest ?resint1 . } } }",
+            "large multi-block query over >50% of the data",
+        ),
+        q(
+            "Q3",
+            "SELECT * WHERE {
+               { ?pub ub:publicationAuthor ?st . ?pub ub:publicationAuthor ?prof .
+                 ?st a ub:GraduateStudent .
+                 OPTIONAL { ?st ub:undergraduateDegreeFrom ?univ1 . ?st ub:telephone ?sttel . } }
+               { ?st ub:advisor ?prof .
+                 OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ . ?prof ub:researchInterest ?resint . } }
+               { ?st ub:memberOf ?dept . ?prof ub:worksFor ?dept . ?prof a ub:FullProfessor .
+                 OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } } }",
+            "low selectivity, advisor/co-author join",
+        ),
+        q(
+            "Q4",
+            "SELECT * WHERE { ?x ub:worksFor ub:Department0.University0 . ?x a ub:FullProfessor .
+               OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . } }",
+            "highly selective master; cyclic slave with 3 jvars → best-match required",
+        ),
+        q(
+            "Q5",
+            "SELECT * WHERE { ?x ub:worksFor ub:Department1.University0 . ?x a ub:FullProfessor .
+               OPTIONAL { ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . } }",
+            "same shape as Q4 on another department",
+        ),
+        q(
+            "Q6",
+            "SELECT * WHERE { ?x ub:worksFor ub:Department1.University0 . ?x a ub:FullProfessor .
+               OPTIONAL { ?x ub:emailAddress ?y1 . ?x ub:telephone ?y2 . ?x ub:name ?y3 . } }",
+            "highly selective, acyclic, single-entity OPTIONAL",
+        ),
+    ]
+}
+
+/// The full LUBM dataset bundle.
+pub fn dataset(cfg: &LubmConfig) -> Dataset {
+    Dataset::new("LUBM", generate(cfg), queries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_shape() {
+        let cfg = LubmConfig {
+            universities: 2,
+            departments: 3,
+            seed: 1,
+        };
+        let triples = generate(&cfg);
+        assert!(triples.len() > 1500, "got {}", triples.len());
+        // Department0.University0 must exist for Q4–Q6.
+        let dept = iri("Department0.University0");
+        assert!(triples.iter().any(|t| t.o == dept));
+        // Optional attributes are present but not universal.
+        let emails = triples
+            .iter()
+            .filter(|t| t.p == iri("emailAddress"))
+            .count();
+        let profs = triples
+            .iter()
+            .filter(|t| t.p == Term::iri(RDF_TYPE) && t.o == iri("FullProfessor"))
+            .count();
+        assert!(emails > 0);
+        assert!(profs > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = LubmConfig {
+            universities: 1,
+            departments: 2,
+            seed: 9,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for q in queries() {
+            lbr_sparql::parse_query(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+}

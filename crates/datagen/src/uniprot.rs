@@ -1,0 +1,335 @@
+//! UniProt-like protein network data and the Appendix E.2 queries.
+//!
+//! Proteins carry a recommended name, an encoding gene, a sequence, an
+//! organism, and a varying number of annotations (disease, transmembrane,
+//! natural-variant) — all with realistic incompleteness so the OPTIONAL
+//! queries exercise both matched and NULL rows. Two queries are tuned to
+//! the behaviours the paper highlights: Q2 has an empty join detected by
+//! active pruning, and Q4's OPTIONAL side is emptied entirely by a single
+//! master-to-slave semi-join.
+
+use crate::{BenchQuery, Dataset};
+use lbr_rdf::{Term, Triple};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Core vocabulary namespace (`uni:`).
+pub const UNI: &str = "urn:uni:";
+/// RDF-schema-ish namespace (`schema:`).
+pub const SCHEMA: &str = "urn:schema:";
+/// `rdf:` namespace.
+pub const RDF: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct UniProtConfig {
+    /// Number of proteins.
+    pub proteins: usize,
+    /// Number of taxa (organisms).
+    pub taxa: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniProtConfig {
+    fn default() -> Self {
+        UniProtConfig {
+            proteins: 6000,
+            taxa: 40,
+            seed: 43,
+        }
+    }
+}
+
+impl UniProtConfig {
+    /// Scales the default configuration.
+    pub fn scaled(scale: f64, seed: u64) -> UniProtConfig {
+        let d = UniProtConfig::default();
+        UniProtConfig {
+            proteins: ((d.proteins as f64 * scale).round() as usize).max(10),
+            taxa: d.taxa,
+            seed,
+        }
+    }
+}
+
+fn uni(local: impl AsRef<str>) -> Term {
+    Term::iri(format!("{UNI}{}", local.as_ref()))
+}
+
+fn schema(local: &str) -> Term {
+    Term::iri(format!("{SCHEMA}{local}"))
+}
+
+fn rdf(local: &str) -> Term {
+    Term::iri(format!("{RDF}{local}"))
+}
+
+/// Generates the triples.
+pub fn generate(cfg: &UniProtConfig) -> Vec<Triple> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out: Vec<Triple> = Vec::new();
+    let mut t = |s: &Term, p: Term, o: Term| out.push(Triple::new(s.clone(), p, o));
+
+    let taxa: Vec<Term> = (0..cfg.taxa)
+        .map(|i| uni(format!("taxonomy/{i}")))
+        .collect();
+    let type_p = rdf("type");
+
+    for i in 0..cfg.proteins {
+        let prot = uni(format!("protein/P{i:05}"));
+        t(&prot, type_p.clone(), uni("Protein"));
+        t(
+            &prot,
+            uni("organism"),
+            taxa[rng.random_range(0..taxa.len())].clone(),
+        );
+
+        // Recommended name (85%).
+        if rng.random_bool(0.85) {
+            let rn = uni(format!("name/RN{i:05}"));
+            t(&prot, uni("recommendedName"), rn.clone());
+            t(&rn, type_p.clone(), uni("Structured_Name"));
+            if rng.random_bool(0.9) {
+                t(
+                    &rn,
+                    uni("fullName"),
+                    Term::literal(format!("Protein full name {i}")),
+                );
+            }
+        }
+
+        // Encoding gene (90%).
+        if rng.random_bool(0.9) {
+            let gene = uni(format!("gene/G{i:05}"));
+            t(&prot, uni("encodedBy"), gene.clone());
+            t(&gene, type_p.clone(), uni("Gene"));
+            if rng.random_bool(0.8) {
+                t(&gene, uni("name"), Term::literal(format!("GENE{i}")));
+            }
+            // NOTE for Q4: genes never get uni:context — the OPTIONAL side
+            // of Q4 is non-empty on its own (sequences have contexts) but a
+            // single semi-join against ?seq empties it, the behaviour the
+            // paper calls out for UniProt Q4.
+        }
+
+        // Sequence.
+        let seq = uni(format!("sequence/S{i:05}"));
+        t(&prot, uni("sequence"), seq.clone());
+        t(&seq, type_p.clone(), uni("Simple_Sequence"));
+        t(&seq, rdf("value"), Term::literal(format!("MSEQ{i:05}AAQQ")));
+        if rng.random_bool(0.7) {
+            t(&seq, uni("version"), Term::integer(rng.random_range(1..9)));
+        }
+        if rng.random_bool(0.3) {
+            t(
+                &seq,
+                uni("memberOf"),
+                uni(format!("cluster/C{}", rng.random_range(0..50))),
+            );
+        }
+        if rng.random_bool(0.25) {
+            // Contexts live on sequences (not genes) — see the Q4 note.
+            let m = uni(format!("context/X{i:05}"));
+            t(&seq, uni("context"), m.clone());
+            t(&m, schema("label"), Term::literal(format!("ctx {i}")));
+        }
+
+        // Annotations (0–3).
+        for a in 0..rng.random_range(0..4usize) {
+            let ann = uni(format!("annotation/A{i:05}x{a}"));
+            t(&prot, uni("annotation"), ann.clone());
+            let kind = rng.random_range(0..3);
+            match kind {
+                0 => {
+                    t(&ann, type_p.clone(), uni("Disease_Annotation"));
+                    t(
+                        &ann,
+                        schema("comment"),
+                        Term::literal(format!("disease note {i}/{a}")),
+                    );
+                }
+                1 => {
+                    t(&ann, type_p.clone(), uni("Transmembrane_Annotation"));
+                    if rng.random_bool(0.8) {
+                        let range = uni(format!("range/R{i:05}x{a}"));
+                        t(&ann, uni("range"), range.clone());
+                        t(
+                            &range,
+                            uni("begin"),
+                            Term::integer(rng.random_range(1..300)),
+                        );
+                        t(
+                            &range,
+                            uni("end"),
+                            Term::integer(rng.random_range(300..700)),
+                        );
+                    }
+                }
+                _ => {
+                    t(&ann, type_p.clone(), uni("Natural_Variant_Annotation"));
+                    t(
+                        &ann,
+                        schema("comment"),
+                        Term::literal(format!("variant note {i}/{a}")),
+                    );
+                }
+            }
+        }
+
+        // Replaces chains (12%).
+        if i > 0 && rng.random_bool(0.12) {
+            let prev = uni(format!("protein/P{:05}", rng.random_range(0..i)));
+            t(&prot, uni("replaces"), prev);
+        }
+        if rng.random_bool(0.35) {
+            t(
+                &prot,
+                schema("seeAlso"),
+                uni(format!("xref/DB{}", rng.random_range(0..200))),
+            );
+        }
+        if rng.random_bool(0.4) {
+            let day = rng.random_range(1..28);
+            t(
+                &prot,
+                uni("modified"),
+                Term::literal(format!("2008-01-{day:02}")),
+            );
+        }
+
+        // Citation statements: subjects are statement nodes; they never
+        // have uni:encodedBy, so Q2's first block is empty — the paper's
+        // "active pruning detects empty results early" case.
+        if rng.random_bool(0.2) {
+            let st = uni(format!("citation/St{i:05}"));
+            t(&st, rdf("subject"), prot.clone());
+            t(&st, type_p.clone(), uni("Citation_Statement"));
+        }
+    }
+    out
+}
+
+/// The Appendix E.2 UniProt queries, ported to the generated vocabulary.
+pub fn queries() -> Vec<BenchQuery> {
+    let prefix = format!("PREFIX uni: <{UNI}>\nPREFIX schema: <{SCHEMA}>\nPREFIX rdf: <{RDF}>\n");
+    let q = |id, body: &str, note| BenchQuery {
+        id,
+        text: format!("{prefix}{body}"),
+        note,
+    };
+    vec![
+        q(
+            "Q1",
+            "SELECT * WHERE {
+               { ?protein rdf:type uni:Protein . ?protein uni:recommendedName ?rn .
+                 OPTIONAL { ?rn uni:fullName ?name . ?rn rdf:type ?rntype . } }
+               { ?protein uni:encodedBy ?gene .
+                 OPTIONAL { ?gene uni:name ?gn . ?gene rdf:type ?gtype . } }
+               { ?protein uni:sequence ?seq . ?seq a ?stype . } }",
+            "low selectivity, three blocks, two OPTIONALs",
+        ),
+        q(
+            "Q2",
+            "SELECT * WHERE {
+               { ?a rdf:subject ?b . ?a uni:encodedBy ?vo .
+                 OPTIONAL { ?a schema:seeAlso ?x . } }
+               { ?b a uni:Protein . ?b uni:sequence ?z .
+                 OPTIONAL { ?b uni:replaces ?c . } }
+               { ?z a uni:Simple_Sequence . OPTIONAL { ?z uni:version ?v . } } }",
+            "empty result detected by active pruning (statements lack encodedBy)",
+        ),
+        q(
+            "Q3",
+            "SELECT * WHERE {
+               { ?protein rdf:type uni:Protein . ?protein uni:organism uni:taxonomy/9 .
+                 OPTIONAL { ?protein uni:encodedBy ?gene . ?gene uni:name ?gname . } }
+               { ?protein uni:annotation ?an .
+                 OPTIONAL { ?an rdf:type uni:Disease_Annotation . ?an schema:comment ?text . } } }",
+            "per-organism slice with annotation OPTIONAL",
+        ),
+        q(
+            "Q4",
+            "SELECT * WHERE { ?s uni:encodedBy ?seq .
+               OPTIONAL { ?seq uni:context ?m . ?m schema:label ?b . } }",
+            "semi-join empties the whole OPTIONAL: every row has NULLs",
+        ),
+        q(
+            "Q5",
+            "SELECT * WHERE {
+               { ?a uni:replaces ?b .
+                 OPTIONAL { ?a uni:encodedBy ?gene . ?gene uni:name ?name . ?gene rdf:type uni:Gene . } }
+               { ?b rdf:type uni:Protein . ?b uni:modified \"2008-01-15\" .
+                 OPTIONAL { ?b uni:sequence ?seq . ?seq uni:memberOf ?m . } } }",
+            "highly selective literal lookup",
+        ),
+        q(
+            "Q6",
+            "SELECT * WHERE {
+               { ?protein a uni:Protein . ?protein uni:organism uni:taxonomy/7 .
+                 OPTIONAL { ?protein uni:annotation ?an . ?an a uni:Natural_Variant_Annotation .
+                            ?an schema:comment ?text . } }
+               { ?protein uni:sequence ?seq . ?seq rdf:value ?val . } }",
+            "organism slice with variant annotations",
+        ),
+        q(
+            "Q7",
+            "SELECT * WHERE { ?protein a uni:Protein . ?protein uni:annotation ?an .
+               ?an a uni:Transmembrane_Annotation .
+               OPTIONAL { ?an uni:range ?range . ?range uni:begin ?begin . ?range uni:end ?end . } }",
+            "transmembrane annotations with optional ranges",
+        ),
+    ]
+}
+
+/// The full UniProt dataset bundle.
+pub fn dataset(cfg: &UniProtConfig) -> Dataset {
+    Dataset::new("UniProt", generate(cfg), queries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = UniProtConfig {
+            proteins: 200,
+            taxa: 8,
+            seed: 5,
+        };
+        let a = generate(&cfg);
+        assert_eq!(a, generate(&cfg));
+        assert!(a.len() > 1500, "got {}", a.len());
+        // Citation statements exist and never carry encodedBy (Q2 premise).
+        let statements: Vec<&Term> = a
+            .iter()
+            .filter(|t| t.p == rdf("subject"))
+            .map(|t| &t.s)
+            .collect();
+        assert!(!statements.is_empty());
+        for st in statements {
+            assert!(
+                !a.iter().any(|t| &t.s == st && t.p == uni("encodedBy")),
+                "statement with encodedBy breaks the Q2 premise"
+            );
+        }
+        // Genes never have contexts (Q4 premise); sequences sometimes do.
+        assert!(a.iter().any(|t| t.p == uni("context")));
+        let genes: Vec<&Term> = a
+            .iter()
+            .filter(|t| t.p == uni("encodedBy"))
+            .map(|t| &t.o)
+            .collect();
+        for g in genes {
+            assert!(!a.iter().any(|t| &t.s == g && t.p == uni("context")));
+        }
+    }
+
+    #[test]
+    fn queries_parse() {
+        for q in queries() {
+            lbr_sparql::parse_query(&q.text).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Dictionary encoding with the paper's bitcube coordinate assignment.
+//!
+//! Appendix D of the paper: let `Vs`, `Vp`, `Vo` be the sets of unique
+//! subject, predicate and object values and `Vso = Vs ∩ Vo`. Then
+//!
+//! * `Vso` is mapped to IDs `0 .. |Vso|` **in both** the subject and object
+//!   dimensions (the paper uses 1-based IDs; we are 0-based),
+//! * `Vs \ Vso` is mapped to `|Vso| .. |Vs|` in the subject dimension,
+//! * `Vo \ Vso` is mapped to `|Vso| .. |Vo|` in the object dimension,
+//! * `Vp` gets its own dense ID space `0 .. |Vp|`.
+//!
+//! The shared `Vso` prefix is what makes S-O joins comparisons of raw IDs,
+//! which the whole fold/unfold machinery of `lbr-bitmat` relies on.
+
+use crate::error::RdfError;
+use crate::term::Term;
+use crate::triple::{EncodedTriple, Triple};
+use crate::Id;
+use std::collections::HashMap;
+
+/// A bitcube dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Subject dimension.
+    Subject,
+    /// Predicate dimension.
+    Predicate,
+    /// Object dimension.
+    Object,
+}
+
+impl Dimension {
+    fn name(self) -> &'static str {
+        match self {
+            Dimension::Subject => "subject",
+            Dimension::Predicate => "predicate",
+            Dimension::Object => "object",
+        }
+    }
+}
+
+// A tiny internal role bit-set; avoids pulling in a bitflags dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Roles(u8);
+
+impl Roles {
+    const S: u8 = 1;
+    const P: u8 = 2;
+    const O: u8 = 4;
+
+    fn add(&mut self, r: u8) {
+        self.0 |= r;
+    }
+    fn has(self, r: u8) -> bool {
+        self.0 & r != 0
+    }
+}
+
+/// Accumulates terms with their roles; [`DictionaryBuilder::build`] performs
+/// the Appendix-D ID assignment.
+#[derive(Debug, Default)]
+pub struct DictionaryBuilder {
+    /// All distinct terms in first-seen order, with their role set.
+    terms: Vec<(Term, Roles)>,
+    index: HashMap<Term, u32>,
+}
+
+impl DictionaryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, t: &Term, role: u8) {
+        if let Some(&i) = self.index.get(t) {
+            self.terms[i as usize].1.add(role);
+        } else {
+            let i = self.terms.len() as u32;
+            self.index.insert(t.clone(), i);
+            let mut r = Roles::default();
+            r.add(role);
+            self.terms.push((t.clone(), r));
+        }
+    }
+
+    /// Records one triple's terms.
+    pub fn add_triple(&mut self, t: &Triple) {
+        self.intern(&t.s, Roles::S);
+        self.intern(&t.p, Roles::P);
+        self.intern(&t.o, Roles::O);
+    }
+
+    /// Records every triple of an iterator.
+    pub fn add_all<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) {
+        for t in triples {
+            self.add_triple(t);
+        }
+    }
+
+    /// Performs the Appendix-D assignment and freezes the dictionary.
+    ///
+    /// ID layout per dimension (0-based):
+    ///
+    /// * subject dim: `Vso` terms first (`0..n_so`), then subject-only terms;
+    /// * object dim: the same `Vso` terms occupy `0..n_so` (identical IDs!),
+    ///   then object-only terms;
+    /// * predicate dim: independent dense IDs.
+    ///
+    /// Within each group, IDs follow first-seen order, which keeps the
+    /// assignment deterministic for a given input order.
+    pub fn build(self) -> Dictionary {
+        let mut term_of_s: Vec<u32> = Vec::new(); // term index per subject ID
+        let mut term_of_o: Vec<u32> = Vec::new();
+        let mut term_of_p: Vec<u32> = Vec::new();
+
+        // Pass 1: Vso terms get the shared prefix.
+        for (i, (_, roles)) in self.terms.iter().enumerate() {
+            if roles.has(Roles::S) && roles.has(Roles::O) {
+                term_of_s.push(i as u32);
+                term_of_o.push(i as u32);
+            }
+        }
+        let n_so = term_of_s.len() as u32;
+        // Pass 2: role-exclusive S / O terms, and predicates.
+        for (i, (_, roles)) in self.terms.iter().enumerate() {
+            let s = roles.has(Roles::S);
+            let o = roles.has(Roles::O);
+            if s && !o {
+                term_of_s.push(i as u32);
+            } else if o && !s {
+                term_of_o.push(i as u32);
+            }
+            if roles.has(Roles::P) {
+                term_of_p.push(i as u32);
+            }
+        }
+
+        let terms: Vec<Term> = self.terms.into_iter().map(|(t, _)| t).collect();
+        let mut s_of_term = vec![u32::MAX; terms.len()];
+        let mut o_of_term = vec![u32::MAX; terms.len()];
+        let mut p_of_term = vec![u32::MAX; terms.len()];
+        for (id, &ti) in term_of_s.iter().enumerate() {
+            s_of_term[ti as usize] = id as u32;
+        }
+        for (id, &ti) in term_of_o.iter().enumerate() {
+            o_of_term[ti as usize] = id as u32;
+        }
+        for (id, &ti) in term_of_p.iter().enumerate() {
+            p_of_term[ti as usize] = id as u32;
+        }
+
+        Dictionary {
+            index: self.index,
+            terms,
+            term_of_s,
+            term_of_o,
+            term_of_p,
+            s_of_term,
+            o_of_term,
+            p_of_term,
+            n_so,
+        }
+    }
+}
+
+/// Frozen term ↔ ID mapping (see module docs for the layout).
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    index: HashMap<Term, u32>,
+    terms: Vec<Term>,
+    term_of_s: Vec<u32>,
+    term_of_o: Vec<u32>,
+    term_of_p: Vec<u32>,
+    s_of_term: Vec<u32>,
+    o_of_term: Vec<u32>,
+    p_of_term: Vec<u32>,
+    n_so: u32,
+}
+
+impl Dictionary {
+    /// Number of distinct subjects (`|Vs|`).
+    pub fn n_subjects(&self) -> u32 {
+        self.term_of_s.len() as u32
+    }
+
+    /// Number of distinct predicates (`|Vp|`).
+    pub fn n_predicates(&self) -> u32 {
+        self.term_of_p.len() as u32
+    }
+
+    /// Number of distinct objects (`|Vo|`).
+    pub fn n_objects(&self) -> u32 {
+        self.term_of_o.len() as u32
+    }
+
+    /// Number of terms in the shared `Vso = Vs ∩ Vo` prefix.
+    pub fn n_shared(&self) -> u32 {
+        self.n_so
+    }
+
+    /// Size of a dimension.
+    pub fn dim_size(&self, dim: Dimension) -> u32 {
+        match dim {
+            Dimension::Subject => self.n_subjects(),
+            Dimension::Predicate => self.n_predicates(),
+            Dimension::Object => self.n_objects(),
+        }
+    }
+
+    fn id_in(&self, term_idx: u32, dim: Dimension) -> Option<Id> {
+        let v = match dim {
+            Dimension::Subject => &self.s_of_term,
+            Dimension::Predicate => &self.p_of_term,
+            Dimension::Object => &self.o_of_term,
+        };
+        match v.get(term_idx as usize) {
+            Some(&id) if id != u32::MAX => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Looks up a term's ID in a dimension.
+    pub fn id(&self, term: &Term, dim: Dimension) -> Option<Id> {
+        self.index.get(term).and_then(|&ti| self.id_in(ti, dim))
+    }
+
+    /// Like [`Dictionary::id`] but returns an error naming the dimension.
+    pub fn id_or_err(&self, term: &Term, dim: Dimension) -> Result<Id, RdfError> {
+        self.id(term, dim).ok_or_else(|| RdfError::UnknownTerm {
+            term: term.to_string(),
+            dimension: dim.name(),
+        })
+    }
+
+    /// Resolves an ID back to its term.
+    pub fn term(&self, id: Id, dim: Dimension) -> Option<&Term> {
+        let v = match dim {
+            Dimension::Subject => &self.term_of_s,
+            Dimension::Predicate => &self.term_of_p,
+            Dimension::Object => &self.term_of_o,
+        };
+        v.get(id as usize).map(|&ti| &self.terms[ti as usize])
+    }
+
+    /// Like [`Dictionary::term`] but returns an error naming the dimension.
+    pub fn term_or_err(&self, id: Id, dim: Dimension) -> Result<&Term, RdfError> {
+        self.term(id, dim).ok_or(RdfError::UnknownId {
+            id,
+            dimension: dim.name(),
+        })
+    }
+
+    /// Encodes a raw triple. Returns `None` if any term is unknown in the
+    /// required role (only happens for triples not supplied at build time).
+    pub fn encode(&self, t: &Triple) -> Option<EncodedTriple> {
+        Some(EncodedTriple {
+            s: self.id(&t.s, Dimension::Subject)?,
+            p: self.id(&t.p, Dimension::Predicate)?,
+            o: self.id(&t.o, Dimension::Object)?,
+        })
+    }
+
+    /// Decodes an encoded triple back to terms.
+    pub fn decode(&self, t: &EncodedTriple) -> Option<Triple> {
+        Some(Triple {
+            s: self.term(t.s, Dimension::Subject)?.clone(),
+            p: self.term(t.p, Dimension::Predicate)?.clone(),
+            o: self.term(t.o, Dimension::Object)?.clone(),
+        })
+    }
+
+    /// True when `id` (valid in both S and O dimensions iff `id < n_shared`)
+    /// denotes the same term in either dimension — i.e. it is joinable
+    /// across S-O positions.
+    pub fn is_shared(&self, id: Id) -> bool {
+        id < self.n_so
+    }
+
+    /// Iterates all terms of a dimension in ID order.
+    pub fn terms_of(&self, dim: Dimension) -> impl Iterator<Item = (Id, &Term)> + '_ {
+        let v = match dim {
+            Dimension::Subject => &self.term_of_s,
+            Dimension::Predicate => &self.term_of_p,
+            Dimension::Object => &self.term_of_o,
+        };
+        v.iter()
+            .enumerate()
+            .map(move |(id, &ti)| (id as Id, &self.terms[ti as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn sample() -> Vec<Triple> {
+        vec![
+            t("a", "p1", "b"), // a: S-only?, b: O… also subject below
+            t("b", "p2", "c"),
+            t("c", "p1", "d"),
+            t("e", "p3", "a"), // now a is S and O → shared
+        ]
+    }
+
+    #[test]
+    fn shared_prefix_assignment() {
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&sample());
+        let d = b.build();
+        // Shared terms: a (S in tp1, O in tp4), b (O in tp1, S in tp2),
+        // c (O in tp2, S in tp3). d is O-only, e is S-only.
+        assert_eq!(d.n_shared(), 3);
+        assert_eq!(d.n_subjects(), 4); // a b c e
+        assert_eq!(d.n_objects(), 4); // a b c d
+        assert_eq!(d.n_predicates(), 3);
+        for name in ["a", "b", "c"] {
+            let term = Term::iri(name);
+            let s = d.id(&term, Dimension::Subject).unwrap();
+            let o = d.id(&term, Dimension::Object).unwrap();
+            assert_eq!(s, o, "shared term {name} must share coordinates");
+            assert!(d.is_shared(s));
+        }
+        // Role-exclusive terms sit above the shared prefix.
+        let e = d.id(&Term::iri("e"), Dimension::Subject).unwrap();
+        assert!(e >= d.n_shared());
+        assert_eq!(d.id(&Term::iri("e"), Dimension::Object), None);
+        let dd = d.id(&Term::iri("d"), Dimension::Object).unwrap();
+        assert!(dd >= d.n_shared());
+        assert_eq!(d.id(&Term::iri("d"), Dimension::Subject), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let triples = sample();
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&triples);
+        let d = b.build();
+        for tr in &triples {
+            let enc = d.encode(tr).unwrap();
+            let dec = d.decode(&enc).unwrap();
+            assert_eq!(&dec, tr);
+        }
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let triples = sample();
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&triples);
+        let d = b.build();
+        let mut seen: Vec<Id> = d.terms_of(Dimension::Subject).map(|(i, _)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..d.n_subjects()).collect::<Vec<_>>());
+        let mut seen: Vec<Id> = d.terms_of(Dimension::Object).map(|(i, _)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..d.n_objects()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let d = DictionaryBuilder::new().build();
+        let term = Term::iri("nope");
+        assert_eq!(d.id(&term, Dimension::Subject), None);
+        assert!(d.id_or_err(&term, Dimension::Predicate).is_err());
+        assert!(d.term_or_err(0, Dimension::Object).is_err());
+        assert!(d.encode(&t("x", "y", "z")).is_none());
+    }
+
+    #[test]
+    fn predicate_space_is_independent() {
+        let triples = vec![t("p1", "p1", "p1")]; // same IRI in all roles
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&triples);
+        let d = b.build();
+        let term = Term::iri("p1");
+        // Shared S/O coordinate...
+        assert_eq!(
+            d.id(&term, Dimension::Subject).unwrap(),
+            d.id(&term, Dimension::Object).unwrap()
+        );
+        // ...and an unrelated predicate coordinate.
+        assert_eq!(d.id(&term, Dimension::Predicate), Some(0));
+    }
+
+    #[test]
+    fn literals_object_only() {
+        let triples = vec![Triple::new(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::literal("x"),
+        )];
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&triples);
+        let d = b.build();
+        assert_eq!(d.n_shared(), 0);
+        let lit = Term::literal("x");
+        assert!(d.id(&lit, Dimension::Object).is_some());
+        assert!(d.id(&lit, Dimension::Subject).is_none());
+    }
+}

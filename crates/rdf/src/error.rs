@@ -1,0 +1,72 @@
+//! Error type for RDF parsing and encoding.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// N-Triples syntax error with line number (1-based) and message.
+    Syntax {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A term was looked up in a [`crate::Dictionary`] under a role it never
+    /// appeared in (e.g. asking for the subject ID of an object-only term).
+    UnknownTerm {
+        /// Display form of the term.
+        term: String,
+        /// The dimension that was queried.
+        dimension: &'static str,
+    },
+    /// An ID was out of range for the queried dictionary dimension.
+    UnknownId {
+        /// The offending ID.
+        id: u32,
+        /// The dimension that was queried.
+        dimension: &'static str,
+    },
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "N-Triples syntax error on line {line}: {message}")
+            }
+            RdfError::UnknownTerm { term, dimension } => {
+                write!(f, "term {term} has no ID in the {dimension} dimension")
+            }
+            RdfError::UnknownId { id, dimension } => {
+                write!(f, "ID {id} is out of range for the {dimension} dimension")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RdfError::Syntax {
+            line: 3,
+            message: "bad IRI".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = RdfError::UnknownTerm {
+            term: "<x>".into(),
+            dimension: "subject",
+        };
+        assert!(e.to_string().contains("subject"));
+        let e = RdfError::UnknownId {
+            id: 9,
+            dimension: "object",
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

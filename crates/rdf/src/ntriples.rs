@@ -1,0 +1,345 @@
+//! Line-oriented N-Triples parser and writer (RDF 1.1 N-Triples subset).
+//!
+//! Supported term forms: `<iri>`, `_:label`, `"literal"`, `"literal"@lang`,
+//! `"literal"^^<datatype>`; `\" \\ \n \r \t \u{XXXX} \U{XXXXXXXX}` literal
+//! escapes; `#` comment lines and blank lines.
+
+use crate::error::RdfError;
+use crate::term::Term;
+use crate::triple::Triple;
+use std::fmt::Write as _;
+
+/// The `xsd:integer` datatype IRI, used by [`Term::integer`].
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+
+/// Parses an N-Triples document into triples.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, RdfError> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line, lineno + 1)?);
+    }
+    Ok(out)
+}
+
+/// Serializes triples as an N-Triples document (one line per triple).
+pub fn write_ntriples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    let mut s = String::new();
+    for t in triples {
+        let _ = writeln!(s, "{t}");
+    }
+    s
+}
+
+/// Escapes a literal's lexical form for N-Triples output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), RdfError> {
+        match self.bump() {
+            Some(x) if x == b => Ok(()),
+            other => Err(self.err(format!(
+                "expected '{}', found {:?}",
+                b as char,
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    fn take_until(&mut self, stop: u8, what: &str) -> Result<&'a str, RdfError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == stop {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?;
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("unterminated {what}")))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                self.pos += 1;
+                Ok(Term::Iri(self.take_until(b'>', "IRI")?.to_owned()))
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                self.expect(b':')?;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err(self.err("empty blank node label"));
+                }
+                Ok(Term::BlankNode(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .unwrap()
+                        .to_owned(),
+                ))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let lexical = self.parse_quoted()?;
+                match self.peek() {
+                    Some(b'^') => {
+                        self.pos += 1;
+                        self.expect(b'^')?;
+                        self.expect(b'<')?;
+                        let dt = self.take_until(b'>', "datatype IRI")?.to_owned();
+                        Ok(Term::Literal {
+                            lexical,
+                            datatype: Some(dt),
+                            lang: None,
+                        })
+                    }
+                    Some(b'@') => {
+                        self.pos += 1;
+                        let start = self.pos;
+                        while let Some(b) = self.peek() {
+                            if b.is_ascii_alphanumeric() || b == b'-' {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        if self.pos == start {
+                            return Err(self.err("empty language tag"));
+                        }
+                        let lang = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .unwrap()
+                            .to_owned();
+                        Ok(Term::Literal {
+                            lexical,
+                            datatype: None,
+                            lang: Some(lang),
+                        })
+                    }
+                    _ => Ok(Term::Literal {
+                        lexical,
+                        datatype: None,
+                        lang: None,
+                    }),
+                }
+            }
+            other => Err(self.err(format!(
+                "unexpected term start {:?}",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    /// Parses the remainder of a quoted literal (opening quote consumed).
+    fn parse_quoted(&mut self) -> Result<String, RdfError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated literal")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.parse_unicode(4)?),
+                    Some(b'U') => out.push(self.parse_unicode(8)?),
+                    other => {
+                        return Err(self.err(format!("bad escape {:?}", other.map(|c| c as char))));
+                    }
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode a multibyte UTF-8 sequence.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in literal"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode(&mut self, digits: usize) -> Result<char, RdfError> {
+        let mut v: u32 = 0;
+        for _ in 0..digits {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or_else(|| self.err("invalid unicode scalar"))
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Triple, RdfError> {
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: lineno,
+    };
+    let s = c.parse_term()?;
+    let p = c.parse_term()?;
+    let o = c.parse_term()?;
+    c.skip_ws();
+    match c.bump() {
+        Some(b'.') => {}
+        other => {
+            return Err(c.err(format!(
+                "expected '.', found {:?}",
+                other.map(|x| x as char)
+            )));
+        }
+    }
+    c.skip_ws();
+    if c.peek().is_some() {
+        return Err(c.err("trailing characters after '.'"));
+    }
+    Ok(Triple::new(s, p, o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_forms() {
+        let doc = r#"
+# a comment
+<http://ex/s> <http://ex/p> <http://ex/o> .
+_:b0 <http://ex/p> "plain" .
+<http://ex/s> <http://ex/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/s> <http://ex/p> "hola"@es .
+"#;
+        let ts = parse_ntriples(doc).unwrap();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[0].s, Term::iri("http://ex/s"));
+        assert_eq!(ts[1].s, Term::blank("b0"));
+        assert_eq!(ts[2].o, Term::typed_literal("5", XSD_INTEGER));
+        assert_eq!(ts[3].o, Term::lang_literal("hola", "es"));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let doc = "<s> <p> \"a\\\"b\\\\c\\nd\\u0041\" .";
+        let ts = parse_ntriples(doc).unwrap();
+        assert_eq!(ts[0].o, Term::literal("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn parses_multibyte_utf8() {
+        let doc = "<s> <p> \"héllo wörld ☃\" .";
+        let ts = parse_ntriples(doc).unwrap();
+        assert_eq!(ts[0].o, Term::literal("héllo wörld ☃"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ntriples("<s> <p> .").is_err());
+        assert!(parse_ntriples("<s> <p> <o>").is_err());
+        assert!(parse_ntriples("<s> <p> \"unterminated .").is_err());
+        assert!(parse_ntriples("<s <p> <o> .").is_err());
+        assert!(parse_ntriples("<s> <p> <o> . junk").is_err());
+        assert!(parse_ntriples("_: <p> <o> .").is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let doc = "<s> <p> <o> .\nbogus line here\n";
+        match parse_ntriples(doc) {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let triples = vec![
+            Triple::new(
+                Term::iri("http://ex/s"),
+                Term::iri("http://ex/p"),
+                Term::literal("x\ny"),
+            ),
+            Triple::new(
+                Term::blank("b"),
+                Term::iri("p"),
+                Term::lang_literal("ciao", "it"),
+            ),
+            Triple::new(
+                Term::iri("s"),
+                Term::iri("p"),
+                Term::typed_literal("7", XSD_INTEGER),
+            ),
+        ];
+        let doc = write_ntriples(&triples);
+        let back = parse_ntriples(&doc).unwrap();
+        assert_eq!(back, triples);
+    }
+}

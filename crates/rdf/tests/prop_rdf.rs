@@ -1,0 +1,93 @@
+//! Property tests for the RDF substrate: dictionary invariants and
+//! N-Triples round-tripping over arbitrary term content.
+
+use lbr_rdf::{parse_ntriples, write_ntriples, Dimension, Graph, Term, Triple};
+use proptest::prelude::*;
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-zA-Z][a-zA-Z0-9:/#._-]{0,24}".prop_map(Term::iri)
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    // Includes quotes, backslashes, newlines and non-ASCII to stress escaping.
+    prop_oneof![
+        "[ -~]{0,16}".prop_map(Term::literal),
+        "[\\\\\"\n\r\tâ˜ƒÃ©a-z]{0,8}".prop_map(Term::literal),
+        any::<i64>().prop_map(Term::integer),
+        ("[a-z]{1,6}", "[a-z]{2}").prop_map(|(l, t)| Term::lang_literal(l, t)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => arb_iri(),
+        1 => "[a-zA-Z0-9_]{1,8}".prop_map(Term::blank),
+        2 => arb_literal(),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_term(), arb_iri(), arb_term()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ntriples_roundtrip(triples in prop::collection::vec(arb_triple(), 0..40)) {
+        let doc = write_ntriples(&triples);
+        let back = parse_ntriples(&doc).unwrap();
+        prop_assert_eq!(back, triples);
+    }
+
+    #[test]
+    fn dictionary_roundtrips_every_triple(triples in prop::collection::vec(arb_triple(), 0..60)) {
+        let graph = Graph::from_triples(triples);
+        let originals: Vec<Triple> = graph.triples().to_vec();
+        let eg = graph.encode();
+        prop_assert_eq!(eg.triples.len(), originals.len());
+        for (enc, orig) in eg.triples.iter().zip(&originals) {
+            let dec = eg.dict.decode(enc).unwrap();
+            prop_assert_eq!(&dec, orig);
+        }
+    }
+
+    #[test]
+    fn shared_prefix_invariant(triples in prop::collection::vec(arb_triple(), 0..60)) {
+        let eg = Graph::from_triples(triples).encode();
+        let d = &eg.dict;
+        // Every term in the shared prefix has identical S and O IDs; every
+        // term above the prefix exists in exactly one of the two dimensions.
+        for (sid, term) in d.terms_of(Dimension::Subject) {
+            match d.id(term, Dimension::Object) {
+                Some(oid) => {
+                    prop_assert_eq!(sid, oid);
+                    prop_assert!(d.is_shared(sid));
+                }
+                None => prop_assert!(!d.is_shared(sid)),
+            }
+        }
+        for (oid, term) in d.terms_of(Dimension::Object) {
+            if d.id(term, Dimension::Subject).is_none() {
+                prop_assert!(oid >= d.n_shared());
+            }
+        }
+    }
+
+    #[test]
+    fn ids_dense_and_unique(triples in prop::collection::vec(arb_triple(), 0..60)) {
+        let eg = Graph::from_triples(triples).encode();
+        let d = &eg.dict;
+        for dim in [Dimension::Subject, Dimension::Predicate, Dimension::Object] {
+            let n = d.dim_size(dim) as usize;
+            let mut seen = vec![false; n];
+            for (id, term) in d.terms_of(dim) {
+                prop_assert!(!seen[id as usize], "duplicate id");
+                seen[id as usize] = true;
+                // Forward lookup agrees with reverse lookup.
+                prop_assert_eq!(d.id(term, dim), Some(id));
+            }
+            prop_assert!(seen.into_iter().all(|b| b));
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The pattern algebra: triple patterns, graph patterns, expressions and
+//! SELECT queries.
+//!
+//! A nested BGP-OPT query is a tree over [`GraphPattern`]: `Bgp` leaves
+//! joined by `Join` (SPARQL group juxtaposition, SQL inner join ⋈) and
+//! `LeftJoin` (SPARQL OPTIONAL, SQL left-outer join ⟕), with `Union` and
+//! `Filter` for §5.2.
+
+use lbr_rdf::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A position in a triple pattern: a variable or a constant term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermPattern {
+    /// A query variable (name without the leading `?`).
+    Var(String),
+    /// A constant RDF term.
+    Const(Term),
+}
+
+impl TermPattern {
+    /// Variable name, if this position is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Const(_) => None,
+        }
+    }
+
+    /// Constant term, if this position is fixed.
+    pub fn as_const(&self) -> Option<&Term> {
+        match self {
+            TermPattern::Var(_) => None,
+            TermPattern::Const(t) => Some(t),
+        }
+    }
+}
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Var(v) => write!(f, "?{v}"),
+            TermPattern::Const(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern `(s p o)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermPattern,
+    /// Predicate position.
+    pub p: TermPattern,
+    /// Object position.
+    pub o: TermPattern,
+}
+
+impl TriplePattern {
+    /// Creates a triple pattern.
+    pub fn new(s: TermPattern, p: TermPattern, o: TermPattern) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// The variables of this pattern in S, P, O order (deduplicated,
+    /// preserving first occurrence).
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(3);
+        for tp in [&self.s, &self.p, &self.o] {
+            if let Some(v) = tp.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the variable occurs in this pattern.
+    pub fn has_var(&self, name: &str) -> bool {
+        self.vars().contains(&name)
+    }
+
+    /// Number of fixed (constant) positions.
+    pub fn n_fixed(&self) -> usize {
+        [&self.s, &self.p, &self.o]
+            .iter()
+            .filter(|t| t.as_const().is_some())
+            .count()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.s, self.p, self.o)
+    }
+}
+
+/// A FILTER expression (safe-filter subset of §5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Variable reference.
+    Var(String),
+    /// Constant term.
+    Const(Term),
+    /// `=` on RDF terms.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `!=`.
+    Ne(Box<Expr>, Box<Expr>),
+    /// `<` (numeric when both sides parse as integers, else lexical).
+    Lt(Box<Expr>, Box<Expr>),
+    /// `<=`.
+    Le(Box<Expr>, Box<Expr>),
+    /// `>`.
+    Gt(Box<Expr>, Box<Expr>),
+    /// `>=`.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `BOUND(?v)`.
+    Bound(String),
+}
+
+impl Expr {
+    /// All variables referenced by the expression.
+    pub fn vars(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Expr::Var(v) | Expr::Bound(v) => {
+                out.insert(v.as_str());
+            }
+            Expr::Const(_) => {}
+            Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(a) => a.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "?{v}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Eq(a, b) => write!(f, "({a} = {b})"),
+            Expr::Ne(a, b) => write!(f, "({a} != {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Le(a, b) => write!(f, "({a} <= {b})"),
+            Expr::Gt(a, b) => write!(f, "({a} > {b})"),
+            Expr::Ge(a, b) => write!(f, "({a} >= {b})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Not(a) => write!(f, "(!{a})"),
+            Expr::Bound(v) => write!(f, "BOUND(?{v})"),
+        }
+    }
+}
+
+/// A graph pattern tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphPattern {
+    /// A basic graph pattern: a set of triple patterns (inner joins).
+    Bgp(Vec<TriplePattern>),
+    /// Inner join `⋈` of two sub-patterns.
+    Join(Box<GraphPattern>, Box<GraphPattern>),
+    /// Left-outer join `⟕` (SPARQL OPTIONAL).
+    LeftJoin(Box<GraphPattern>, Box<GraphPattern>),
+    /// SPARQL UNION (bag semantics).
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// FILTER applied to a sub-pattern.
+    Filter(Box<GraphPattern>, Expr),
+}
+
+impl GraphPattern {
+    /// Convenience constructor for joins.
+    pub fn join(l: GraphPattern, r: GraphPattern) -> Self {
+        GraphPattern::Join(Box::new(l), Box::new(r))
+    }
+
+    /// Convenience constructor for left-outer joins.
+    pub fn left_join(l: GraphPattern, r: GraphPattern) -> Self {
+        GraphPattern::LeftJoin(Box::new(l), Box::new(r))
+    }
+
+    /// Convenience constructor for unions.
+    pub fn union(l: GraphPattern, r: GraphPattern) -> Self {
+        GraphPattern::Union(Box::new(l), Box::new(r))
+    }
+
+    /// Convenience constructor for filters.
+    pub fn filter(p: GraphPattern, e: Expr) -> Self {
+        GraphPattern::Filter(Box::new(p), e)
+    }
+
+    /// All triple patterns, left-to-right.
+    pub fn triple_patterns(&self) -> Vec<&TriplePattern> {
+        let mut out = Vec::new();
+        self.walk_tps(&mut out);
+        out
+    }
+
+    fn walk_tps<'a>(&'a self, out: &mut Vec<&'a TriplePattern>) {
+        match self {
+            GraphPattern::Bgp(tps) => out.extend(tps.iter()),
+            GraphPattern::Join(l, r) | GraphPattern::LeftJoin(l, r) | GraphPattern::Union(l, r) => {
+                l.walk_tps(out);
+                r.walk_tps(out);
+            }
+            GraphPattern::Filter(p, _) => p.walk_tps(out),
+        }
+    }
+
+    /// All variables mentioned in triple patterns (not filters), sorted.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        self.triple_patterns()
+            .into_iter()
+            .flat_map(|tp| tp.vars())
+            .collect()
+    }
+
+    /// True if the subtree contains no `LeftJoin` — an *OPT-free* pattern,
+    /// the unit from which GoSN supernodes are made (§2.1).
+    pub fn is_opt_free(&self) -> bool {
+        match self {
+            GraphPattern::Bgp(_) => true,
+            GraphPattern::Join(l, r) | GraphPattern::Union(l, r) => {
+                l.is_opt_free() && r.is_opt_free()
+            }
+            GraphPattern::LeftJoin(_, _) => false,
+            GraphPattern::Filter(p, _) => p.is_opt_free(),
+        }
+    }
+
+    /// True if the subtree contains a `Union`.
+    pub fn has_union(&self) -> bool {
+        match self {
+            GraphPattern::Bgp(_) => false,
+            GraphPattern::Union(_, _) => true,
+            GraphPattern::Join(l, r) | GraphPattern::LeftJoin(l, r) => {
+                l.has_union() || r.has_union()
+            }
+            GraphPattern::Filter(p, _) => p.has_union(),
+        }
+    }
+
+    /// True if the subtree contains a `Filter`.
+    pub fn has_filter(&self) -> bool {
+        match self {
+            GraphPattern::Bgp(_) => false,
+            GraphPattern::Filter(_, _) => true,
+            GraphPattern::Join(l, r) | GraphPattern::LeftJoin(l, r) | GraphPattern::Union(l, r) => {
+                l.has_filter() || r.has_filter()
+            }
+        }
+    }
+
+    /// The paper's serialized-parenthesized form, e.g.
+    /// `((Pa ⟕ Pb) ⋈ (Pc ⟕ Pd))` with BGPs shown as `{tp . tp}`.
+    pub fn serialized(&self) -> String {
+        match self {
+            GraphPattern::Bgp(tps) => {
+                let inner: Vec<String> = tps.iter().map(|t| t.to_string()).collect();
+                format!("{{{}}}", inner.join(" . "))
+            }
+            GraphPattern::Join(l, r) => format!("({} ⋈ {})", l.serialized(), r.serialized()),
+            GraphPattern::LeftJoin(l, r) => {
+                format!("({} ⟕ {})", l.serialized(), r.serialized())
+            }
+            GraphPattern::Union(l, r) => format!("({} ∪ {})", l.serialized(), r.serialized()),
+            GraphPattern::Filter(p, e) => format!("Filter({}, {})", p.serialized(), e),
+        }
+    }
+}
+
+/// SELECT projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// `SELECT *` — the common case (the paper notes >95 % of DBPedia
+    /// queries select all variables, §5.2).
+    All,
+    /// `SELECT ?a ?b …`.
+    Vars(Vec<String>),
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Projection list.
+    pub select: Selection,
+    /// The WHERE pattern.
+    pub pattern: GraphPattern,
+}
+
+impl Query {
+    /// The variables the query projects, in a deterministic order
+    /// (declaration order for explicit SELECT, first-occurrence order of
+    /// triple-pattern variables for `SELECT *`).
+    pub fn projected_vars(&self) -> Vec<String> {
+        match &self.select {
+            Selection::Vars(vs) => vs.clone(),
+            Selection::All => {
+                let mut seen = Vec::new();
+                for tp in self.pattern.triple_patterns() {
+                    for v in tp.vars() {
+                        if !seen.iter().any(|s: &String| s == v) {
+                            seen.push(v.to_string());
+                        }
+                    }
+                }
+                seen
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.select {
+            Selection::All => write!(f, "SELECT * WHERE {}", self.pattern.serialized()),
+            Selection::Vars(vs) => {
+                let names: Vec<String> = vs.iter().map(|v| format!("?{v}")).collect();
+                write!(
+                    f,
+                    "SELECT {} WHERE {}",
+                    names.join(" "),
+                    self.pattern.serialized()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn var(v: &str) -> TermPattern {
+        TermPattern::Var(v.into())
+    }
+
+    pub(crate) fn iri(v: &str) -> TermPattern {
+        TermPattern::Const(Term::iri(v))
+    }
+
+    fn tp(s: TermPattern, p: TermPattern, o: TermPattern) -> TriplePattern {
+        TriplePattern::new(s, p, o)
+    }
+
+    #[test]
+    fn tp_vars_dedup_and_order() {
+        let t = tp(var("x"), iri("p"), var("x"));
+        assert_eq!(t.vars(), vec!["x"]);
+        let t = tp(var("b"), var("a"), var("c"));
+        assert_eq!(t.vars(), vec!["b", "a", "c"]);
+        assert!(t.has_var("a"));
+        assert!(!t.has_var("z"));
+        assert_eq!(t.n_fixed(), 0);
+        assert_eq!(tp(iri("s"), iri("p"), var("o")).n_fixed(), 2);
+    }
+
+    #[test]
+    fn opt_free_detection() {
+        let bgp = GraphPattern::Bgp(vec![tp(var("x"), iri("p"), var("y"))]);
+        assert!(bgp.is_opt_free());
+        let lj = GraphPattern::left_join(bgp.clone(), bgp.clone());
+        assert!(!lj.is_opt_free());
+        assert!(GraphPattern::join(bgp.clone(), bgp.clone()).is_opt_free());
+        assert!(!GraphPattern::join(bgp.clone(), lj.clone()).is_opt_free());
+        assert!(GraphPattern::filter(bgp.clone(), Expr::Bound("x".into())).is_opt_free());
+    }
+
+    #[test]
+    fn serialized_form_matches_paper_style() {
+        let pa = GraphPattern::Bgp(vec![tp(var("a"), iri("p"), var("b"))]);
+        let pb = GraphPattern::Bgp(vec![tp(var("b"), iri("q"), var("c"))]);
+        let q = GraphPattern::left_join(pa, pb);
+        assert_eq!(q.serialized(), "({?a <p> ?b} ⟕ {?b <q> ?c})");
+    }
+
+    #[test]
+    fn query_projection() {
+        let p = GraphPattern::Bgp(vec![
+            tp(var("b"), iri("p"), var("a")),
+            tp(var("a"), iri("q"), var("c")),
+        ]);
+        let q = Query {
+            select: Selection::All,
+            pattern: p.clone(),
+        };
+        assert_eq!(q.projected_vars(), vec!["b", "a", "c"]);
+        let q = Query {
+            select: Selection::Vars(vec!["c".into()]),
+            pattern: p,
+        };
+        assert_eq!(q.projected_vars(), vec!["c"]);
+    }
+
+    #[test]
+    fn expr_vars() {
+        let e = Expr::And(
+            Box::new(Expr::Gt(
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Const(Term::integer(3))),
+            )),
+            Box::new(Expr::Bound("y".into())),
+        );
+        let vs: Vec<&str> = e.vars().into_iter().collect();
+        assert_eq!(vs, vec!["x", "y"]);
+        assert_eq!(
+            e.to_string(),
+            "((?x > \"3\"^^<http://www.w3.org/2001/XMLSchema#integer>) && BOUND(?y))"
+        );
+    }
+
+    #[test]
+    fn union_filter_detection() {
+        let bgp = GraphPattern::Bgp(vec![tp(var("x"), iri("p"), var("y"))]);
+        let u = GraphPattern::union(bgp.clone(), bgp.clone());
+        assert!(u.has_union());
+        assert!(!bgp.has_union());
+        assert!(GraphPattern::filter(bgp.clone(), Expr::Bound("x".into())).has_filter());
+        assert!(!u.has_filter());
+    }
+}

@@ -1,0 +1,213 @@
+//! Query classification (Figure 3.1): decides whether a nested BGP-OPT
+//! query can skip nullification / best-match under LBR.
+//!
+//! For **well-designed** queries (and for non-well-designed queries after
+//! the Appendix-B GoSN transformation):
+//!
+//! * acyclic GoJ → nullification / best-match avoidable (Lemma 3.3);
+//! * cyclic GoJ with at most one join variable per slave supernode →
+//!   avoidable (Lemma 3.4);
+//! * cyclic GoJ with a slave supernode containing more than one join
+//!   variable → nullification + best-match required.
+
+use crate::algebra::GraphPattern;
+use crate::error::SparqlError;
+use crate::goj::Goj;
+use crate::gosn::Gosn;
+use crate::well_designed::{transform_nwd, violations_with};
+use std::collections::BTreeSet;
+
+/// The classification of one UNION-free query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryClass {
+    /// Pérez et al. well-designedness.
+    pub well_designed: bool,
+    /// Whether the GoJ contains a cycle.
+    pub cyclic: bool,
+    /// Whether the query is free of Cartesian products (its TPs form one
+    /// variable-connected component).
+    pub connected: bool,
+    /// Maximum number of distinct join variables in any slave supernode
+    /// (on the NWD-transformed GoSN if the query was not well-designed).
+    pub max_slave_sn_jvars: usize,
+    /// `NB-reqd` of Alg 5.1: nullification and best-match are required.
+    pub nb_required: bool,
+}
+
+/// Everything the engine needs to know about a UNION-free pattern: the
+/// (possibly NWD-transformed) GoSN, the GoJ, and the classification.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    /// GoSN after the Appendix-B transformation (identity for
+    /// well-designed queries).
+    pub gosn: Gosn,
+    /// Graph of join variables.
+    pub goj: Goj,
+    /// Classification.
+    pub class: QueryClass,
+}
+
+/// Classifies a UNION-free pattern.
+pub fn classify(pattern: &GraphPattern) -> Result<QueryClass, SparqlError> {
+    analyze(pattern).map(|a| a.class)
+}
+
+/// Builds the full analysis: GoSN (transformed if NWD), GoJ, classification.
+pub fn analyze(pattern: &GraphPattern) -> Result<Analyzed, SparqlError> {
+    let gosn0 = Gosn::from_pattern(pattern)?;
+    let viols = violations_with(pattern, &gosn0);
+    let well_designed = viols.is_empty();
+    let gosn = if well_designed {
+        gosn0
+    } else {
+        transform_nwd(&gosn0, &viols)
+    };
+
+    let goj = Goj::from_tps(gosn.tps());
+    let cyclic = goj.is_cyclic();
+
+    // Slave supernode jvar counts (on the transformed GoSN).
+    let mut max_slave_sn_jvars = 0usize;
+    for sn in gosn.slave_sns() {
+        let mut jvars: BTreeSet<usize> = BTreeSet::new();
+        for &tp in gosn.tps_of_sn(sn) {
+            jvars.extend(goj.jvars_of_tp(tp).iter().copied());
+        }
+        max_slave_sn_jvars = max_slave_sn_jvars.max(jvars.len());
+    }
+
+    let nb_required = cyclic && max_slave_sn_jvars > 1;
+    let connected = tp_graph_connected(&gosn);
+    Ok(Analyzed {
+        gosn,
+        goj,
+        class: QueryClass {
+            well_designed,
+            cyclic,
+            connected,
+            max_slave_sn_jvars,
+            nb_required,
+        },
+    })
+}
+
+/// True when the TPs form a single component under shared-variable edges
+/// (no Cartesian product). Queries with zero or one TP are connected.
+fn tp_graph_connected(gosn: &Gosn) -> bool {
+    let n = gosn.n_tps();
+    if n <= 1 {
+        return true;
+    }
+    let tps = gosn.tps();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut visited = 1usize;
+    while let Some(i) = stack.pop() {
+        for (j, seen_j) in seen.iter_mut().enumerate() {
+            if !*seen_j && tps[i].vars().iter().any(|v| tps[j].has_var(v)) {
+                *seen_j = true;
+                visited += 1;
+                stack.push(j);
+            }
+        }
+    }
+    visited == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{TermPattern, TriplePattern};
+    use lbr_rdf::Term;
+
+    fn bgp(tps: &[(&str, &str, &str)]) -> GraphPattern {
+        let f = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermPattern::Var(v.to_string())
+            } else {
+                TermPattern::Const(Term::iri(x))
+            }
+        };
+        GraphPattern::Bgp(
+            tps.iter()
+                .map(|&(s, p, o)| TriplePattern::new(f(s), f(p), f(o)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn acyclic_well_designed_avoids_nb() {
+        let q = GraphPattern::left_join(
+            bgp(&[("Jerry", "hasFriend", "?friend")]),
+            bgp(&[
+                ("?friend", "actedIn", "?sitcom"),
+                ("?sitcom", "location", "NewYorkCity"),
+            ]),
+        );
+        let c = classify(&q).unwrap();
+        assert!(c.well_designed);
+        assert!(!c.cyclic);
+        assert!(c.connected);
+        assert!(!c.nb_required);
+    }
+
+    #[test]
+    fn cyclic_one_jvar_per_slave_avoids_nb() {
+        // Master has the triangle; the slave touches only ?a.
+        let q = GraphPattern::left_join(
+            bgp(&[("?a", "p1", "?b"), ("?b", "p2", "?c"), ("?a", "p3", "?c")]),
+            bgp(&[("?a", "p4", "?z")]),
+        );
+        let c = classify(&q).unwrap();
+        assert!(c.well_designed);
+        assert!(c.cyclic);
+        assert_eq!(c.max_slave_sn_jvars, 1);
+        assert!(!c.nb_required, "Lemma 3.4");
+    }
+
+    #[test]
+    fn cyclic_multi_jvar_slave_needs_nb() {
+        // tp1 ⟕ (tp2 ⋈ tp3) with a jvar triangle crossing the slave.
+        let q = GraphPattern::left_join(
+            bgp(&[("?a", "p1", "?b")]),
+            bgp(&[("?a", "p2", "?c"), ("?c", "p3", "?b")]),
+        );
+        let c = classify(&q).unwrap();
+        assert!(c.well_designed);
+        assert!(c.cyclic);
+        assert_eq!(c.max_slave_sn_jvars, 3);
+        assert!(c.nb_required);
+    }
+
+    #[test]
+    fn nwd_is_classified_on_transformed_gosn() {
+        // Px ⟕ (Py ⟕ Pz), Pz violating with Px: after the transformation
+        // Pz is a peer of Px, so only Py-side slaves remain.
+        let q = GraphPattern::left_join(
+            bgp(&[("?j", "p1", "?x")]),
+            GraphPattern::left_join(bgp(&[("?x", "p2", "?y")]), bgp(&[("?j", "p3", "?z")])),
+        );
+        let a = analyze(&q).unwrap();
+        assert!(!a.class.well_designed);
+        // Pz (SN2) became a peer of Px (SN0).
+        assert!(a.gosn.are_peers(0, 2));
+        assert!(!a.class.nb_required);
+    }
+
+    #[test]
+    fn cartesian_product_detected() {
+        let q = GraphPattern::join(bgp(&[("?a", "p1", "?b")]), bgp(&[("?c", "p2", "?d")]));
+        let c = classify(&q).unwrap();
+        assert!(!c.connected);
+        let q = bgp(&[("?a", "p1", "?b"), ("?b", "p2", "?c")]);
+        assert!(classify(&q).unwrap().connected);
+    }
+
+    #[test]
+    fn single_tp_query() {
+        let c = classify(&bgp(&[("?a", "p1", "?b")])).unwrap();
+        assert!(c.well_designed && !c.cyclic && c.connected && !c.nb_required);
+        assert_eq!(c.max_slave_sn_jvars, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for query parsing and analysis.
+
+use std::fmt;
+
+/// Errors produced by the SPARQL front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Parse error at a byte offset with a message.
+    Parse {
+        /// Byte offset into the query text.
+        at: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An undeclared prefix was used.
+    UnknownPrefix(String),
+    /// A construct outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Parse { at, message } => {
+                write!(f, "parse error at byte {at}: {message}")
+            }
+            SparqlError::UnknownPrefix(p) => write!(f, "undeclared prefix '{p}:'"),
+            SparqlError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SparqlError::Parse {
+            at: 5,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 5"));
+        assert!(SparqlError::UnknownPrefix("ub".into())
+            .to_string()
+            .contains("ub:"));
+        assert!(SparqlError::Unsupported("ASK".into())
+            .to_string()
+            .contains("ASK"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # lbr-sparql
+//!
+//! The query model of the Left Bit Right (LBR) paper: a SPARQL subset
+//! covering **basic graph patterns (BGPs), OPTIONAL, UNION and FILTER**,
+//! plus the structures LBR's optimizer is built on:
+//!
+//! * [`algebra`] — triple patterns, the `Bgp / Join / LeftJoin / Union /
+//!   Filter` pattern algebra, and SELECT queries;
+//! * [`parser`] — a recursive-descent parser for the SPARQL subset;
+//! * [`gosn`] — the **graph of supernodes** (§2): OPT-free BGPs as
+//!   supernodes, unidirectional edges for left-outer joins, bidirectional
+//!   edges for inner joins, and the derived *master / slave / peer /
+//!   absolute-master* relations;
+//! * [`goj`] — the graphs of triple patterns (GoT) and of join variables
+//!   (GoJ) with acyclicity tests (§3.1, Lemma 3.2);
+//! * [`well_designed`] — Pérez et al.'s well-designedness test and the
+//!   Appendix-B transformation for non-well-designed queries;
+//! * [`classify`] — the Figure 3.1 classification that decides whether
+//!   nullification / best-match can be avoided;
+//! * [`rewrite`] — the §5.2 UNION-normal-form and filter push-in rewrites.
+
+pub mod algebra;
+pub mod classify;
+pub mod error;
+pub mod goj;
+pub mod gosn;
+pub mod parser;
+pub mod rewrite;
+pub mod serialize;
+pub mod well_designed;
+
+pub use algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+pub use classify::{classify, QueryClass};
+pub use error::SparqlError;
+pub use goj::{Goj, Got};
+pub use gosn::{Gosn, SnId, TpId};
+pub use parser::parse_query;
+pub use rewrite::{rewrite_to_unf, UnfBranch};
+pub use serialize::to_sparql;
+pub use well_designed::{is_well_designed, transform_nwd_pattern, violations, Violation};

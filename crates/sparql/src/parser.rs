@@ -1,0 +1,728 @@
+//! Recursive-descent parser for the SPARQL subset of the paper:
+//! `SELECT (*|vars) WHERE { BGPs, OPTIONAL, nested groups, UNION, FILTER }`
+//! with `PREFIX` declarations, qnames, `a` for `rdf:type`, string /
+//! integer literals, and comparison / boolean FILTER expressions.
+
+use crate::algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+use crate::error::SparqlError;
+use lbr_rdf::Term;
+use std::collections::HashMap;
+
+/// The `rdf:type` IRI that the keyword `a` expands to.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Parses a query text.
+pub fn parse_query(input: &str) -> Result<Query, SparqlError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
+    p.skip_ws();
+    while p.eat_keyword("PREFIX") {
+        p.parse_prefix_decl()?;
+    }
+    if !p.eat_keyword("SELECT") {
+        return Err(p.err("expected SELECT"));
+    }
+    let select = p.parse_selection()?;
+    p.eat_keyword("WHERE"); // WHERE keyword is optional in SPARQL
+    let pattern = p.parse_group()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(Query { select, pattern })
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+/// One element of a group body, before SPARQL's left-fold translation.
+enum Element {
+    Triples(Vec<TriplePattern>),
+    Optional(GraphPattern),
+    Sub(GraphPattern),
+    Filter(Expr),
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError::Parse {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Case-insensitive keyword matcher; only fires on a word boundary.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if end > self.input.len() {
+            return false;
+        }
+        let slice = &self.input[self.pos..end];
+        if !slice.eq_ignore_ascii_case(kw.as_bytes()) {
+            return false;
+        }
+        if let Some(&next) = self.input.get(end) {
+            if next.is_ascii_alphanumeric() || next == b'_' {
+                return false;
+            }
+        }
+        self.pos = end;
+        true
+    }
+
+    fn eat_char(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, c: u8) -> Result<(), SparqlError> {
+        if self.eat_char(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn parse_prefix_decl(&mut self) -> Result<(), SparqlError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b':' {
+                break;
+            }
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                self.pos += 1;
+            } else {
+                return Err(self.err("bad prefix name"));
+            }
+        }
+        let name = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        self.expect_char(b':')?;
+        self.skip_ws();
+        self.expect_char(b'<')?;
+        let iri = self.take_until(b'>')?;
+        self.prefixes.insert(name, iri);
+        Ok(())
+    }
+
+    fn take_until(&mut self, stop: u8) -> Result<String, SparqlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == stop {
+                let s = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("unterminated, expected '{}'", stop as char)))
+    }
+
+    fn parse_selection(&mut self) -> Result<Selection, SparqlError> {
+        self.skip_ws();
+        if self.eat_char(b'*') {
+            return Ok(Selection::All);
+        }
+        let mut vars = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'?') || self.peek() == Some(b'$') {
+                vars.push(self.parse_var()?);
+            } else {
+                break;
+            }
+        }
+        if vars.is_empty() {
+            return Err(self.err("expected '*' or variables after SELECT"));
+        }
+        Ok(Selection::Vars(vars))
+    }
+
+    fn parse_var(&mut self) -> Result<String, SparqlError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'?') | Some(b'$') => self.pos += 1,
+            _ => return Err(self.err("expected variable")),
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("empty variable name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// `{ … }` group; applies the SPARQL left-fold translation to
+    /// Join / LeftJoin / Filter.
+    fn parse_group(&mut self) -> Result<GraphPattern, SparqlError> {
+        self.expect_char(b'{')?;
+        let mut elements: Vec<Element> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated group")),
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'{') => {
+                    // Sub-group, possibly a UNION chain.
+                    let mut g = self.parse_group()?;
+                    while self.eat_keyword("UNION") {
+                        let rhs = self.parse_group()?;
+                        g = GraphPattern::union(g, rhs);
+                    }
+                    elements.push(Element::Sub(g));
+                }
+                Some(b'.') => {
+                    self.pos += 1; // stray separator
+                }
+                _ => {
+                    if self.eat_keyword("OPTIONAL") {
+                        let g = self.parse_group()?;
+                        elements.push(Element::Optional(g));
+                    } else if self.eat_keyword("FILTER") {
+                        let e = self.parse_constraint()?;
+                        elements.push(Element::Filter(e));
+                    } else {
+                        let tps = self.parse_triples_block()?;
+                        elements.push(Element::Triples(tps));
+                    }
+                }
+            }
+        }
+        Ok(fold_group(elements))
+    }
+
+    /// One or more `s p o .` statements (the '.' separators are consumed by
+    /// the group loop or here).
+    fn parse_triples_block(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+        let mut tps = Vec::new();
+        loop {
+            let s = self.parse_term_pattern()?;
+            let p = self.parse_term_pattern()?;
+            let o = self.parse_term_pattern()?;
+            tps.push(TriplePattern::new(s, p, o));
+            if !self.eat_char(b'.') {
+                break;
+            }
+            self.skip_ws();
+            // A '.' may be a trailing separator before '}' / OPTIONAL / etc.
+            match self.peek() {
+                Some(b'?') | Some(b'$') | Some(b'<') | Some(b'"') | Some(b'_') => continue,
+                Some(c) if c.is_ascii_alphanumeric() || c == b':' || c == b'-' => {
+                    // Could be a qname or the OPTIONAL/FILTER keywords.
+                    if self.looking_at_keyword("OPTIONAL") || self.looking_at_keyword("FILTER") {
+                        break;
+                    }
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        Ok(tps)
+    }
+
+    fn looking_at_keyword(&self, kw: &str) -> bool {
+        let end = self.pos + kw.len();
+        if end > self.input.len() {
+            return false;
+        }
+        if !self.input[self.pos..end].eq_ignore_ascii_case(kw.as_bytes()) {
+            return false;
+        }
+        match self.input.get(end) {
+            Some(&b) => !(b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
+            None => true,
+        }
+    }
+
+    fn parse_term_pattern(&mut self) -> Result<TermPattern, SparqlError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'?') | Some(b'$') => Ok(TermPattern::Var(self.parse_var()?)),
+            _ => Ok(TermPattern::Const(self.parse_const_term()?)),
+        }
+    }
+
+    fn parse_const_term(&mut self) -> Result<Term, SparqlError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                self.pos += 1;
+                Ok(Term::iri(self.take_until(b'>')?))
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                self.expect_char(b':')?;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Term::blank(String::from_utf8_lossy(
+                    &self.input[start..self.pos],
+                )))
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                let mut lex = String::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(self.err("unterminated string literal")),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some(b'n') => lex.push('\n'),
+                                Some(b't') => lex.push('\t'),
+                                Some(b'"') => lex.push('"'),
+                                Some(b'\\') => lex.push('\\'),
+                                other => {
+                                    return Err(self.err(format!(
+                                        "bad escape {:?}",
+                                        other.map(|c| c as char)
+                                    )));
+                                }
+                            }
+                            self.pos += 1;
+                        }
+                        Some(b) if b < 0x80 => {
+                            lex.push(b as char);
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            // Multibyte UTF-8: copy the full character.
+                            let rest = std::str::from_utf8(&self.input[self.pos..])
+                                .map_err(|_| self.err("invalid UTF-8"))?;
+                            let c = rest.chars().next().unwrap();
+                            lex.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                    }
+                }
+                if self.peek() == Some(b'^') {
+                    self.pos += 1;
+                    self.expect_char(b'^')?;
+                    self.skip_ws();
+                    self.expect_char(b'<')?;
+                    let dt = self.take_until(b'>')?;
+                    Ok(Term::typed_literal(lex, dt))
+                } else if self.peek() == Some(b'@') {
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b.is_ascii_alphanumeric() || b == b'-' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(Term::lang_literal(
+                        lex,
+                        String::from_utf8_lossy(&self.input[start..self.pos]),
+                    ))
+                } else {
+                    Ok(Term::literal(lex))
+                }
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' || b == b'+' => {
+                let start = self.pos;
+                self.pos += 1;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.input[start..self.pos]);
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("bad integer '{text}'")))?;
+                Ok(Term::integer(n))
+            }
+            Some(_) => self.parse_qname_or_a(),
+            None => Err(self.err("expected term")),
+        }
+    }
+
+    fn parse_qname_or_a(&mut self) -> Result<Term, SparqlError> {
+        // `a` keyword (only when not part of a longer name / qname).
+        if self.looking_at_keyword("a") {
+            self.pos += 1;
+            return Ok(Term::iri(RDF_TYPE));
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let prefix = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        if self.peek() != Some(b':') {
+            return Err(self.err(format!("expected qname, found '{prefix}'")));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b'/' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // Trailing '.' is a triple terminator, not part of the local name.
+        let mut end = self.pos;
+        while end > start && self.input[end - 1] == b'.' {
+            end -= 1;
+        }
+        self.pos = end;
+        let local = String::from_utf8_lossy(&self.input[start..end]).into_owned();
+        match self.prefixes.get(&prefix) {
+            Some(base) => Ok(Term::iri(format!("{base}{local}"))),
+            None => Err(SparqlError::UnknownPrefix(prefix)),
+        }
+    }
+
+    /// FILTER constraint: `( expr )` or a bare function call.
+    fn parse_constraint(&mut self) -> Result<Expr, SparqlError> {
+        self.skip_ws();
+        if self.looking_at_keyword("BOUND") {
+            return self.parse_primary_expr();
+        }
+        self.expect_char(b'(')?;
+        let e = self.parse_or_expr()?;
+        self.expect_char(b')')?;
+        Ok(e)
+    }
+
+    fn parse_or_expr(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"||") {
+                self.pos += 2;
+                let right = self.parse_and_expr()?;
+                left = Expr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_and_expr(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_cmp_expr()?;
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"&&") {
+                self.pos += 2;
+                let right = self.parse_cmp_expr()?;
+                left = Expr::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_cmp_expr(&mut self) -> Result<Expr, SparqlError> {
+        type BinOp = fn(Box<Expr>, Box<Expr>) -> Expr;
+        let left = self.parse_primary_expr()?;
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let (op, len): (BinOp, usize) = if rest.starts_with(b"!=") {
+            (Expr::Ne, 2)
+        } else if rest.starts_with(b"<=") {
+            (Expr::Le, 2)
+        } else if rest.starts_with(b">=") {
+            (Expr::Ge, 2)
+        } else if rest.starts_with(b"=") {
+            (Expr::Eq, 1)
+        } else if rest.starts_with(b"<") {
+            (Expr::Lt, 1)
+        } else if rest.starts_with(b">") {
+            (Expr::Gt, 1)
+        } else {
+            return Ok(left);
+        };
+        self.pos += len;
+        let right = self.parse_primary_expr()?;
+        Ok(op(Box::new(left), Box::new(right)))
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expr, SparqlError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_or_expr()?;
+                self.expect_char(b')')?;
+                Ok(e)
+            }
+            Some(b'!') if !self.input[self.pos..].starts_with(b"!=") => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.parse_primary_expr()?)))
+            }
+            Some(b'?') | Some(b'$') => Ok(Expr::Var(self.parse_var()?)),
+            _ => {
+                if self.eat_keyword("BOUND") {
+                    self.expect_char(b'(')?;
+                    let v = self.parse_var()?;
+                    self.expect_char(b')')?;
+                    Ok(Expr::Bound(v))
+                } else {
+                    Ok(Expr::Const(self.parse_const_term()?))
+                }
+            }
+        }
+    }
+}
+
+/// SPARQL's group translation: fold elements left-to-right, merging
+/// adjacent BGPs, nesting OPTIONALs as left-outer joins, and applying the
+/// collected filters to the whole group.
+fn fold_group(elements: Vec<Element>) -> GraphPattern {
+    let mut acc: Option<GraphPattern> = None;
+    let mut filters: Vec<Expr> = Vec::new();
+    for el in elements {
+        match el {
+            Element::Triples(tps) => {
+                acc = Some(match acc.take() {
+                    None => GraphPattern::Bgp(tps),
+                    Some(GraphPattern::Bgp(mut prev)) => {
+                        prev.extend(tps);
+                        GraphPattern::Bgp(prev)
+                    }
+                    Some(other) => GraphPattern::join(other, GraphPattern::Bgp(tps)),
+                });
+            }
+            Element::Sub(p) => {
+                acc = Some(match acc.take() {
+                    None => p,
+                    Some(prev) => GraphPattern::join(prev, p),
+                });
+            }
+            Element::Optional(p) => {
+                let lhs = acc.take().unwrap_or(GraphPattern::Bgp(Vec::new()));
+                acc = Some(GraphPattern::left_join(lhs, p));
+            }
+            Element::Filter(e) => filters.push(e),
+        }
+    }
+    let mut g = acc.unwrap_or(GraphPattern::Bgp(Vec::new()));
+    for e in filters {
+        g = GraphPattern::filter(g, e);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_q2_of_the_paper() {
+        // Q2 from §1 (the running example).
+        let q = parse_query(
+            r#"
+            PREFIX : <urn:x:>
+            SELECT ?friend ?sitcom WHERE {
+              :Jerry :hasFriend ?friend .
+              OPTIONAL {
+                ?friend :actedIn ?sitcom .
+                ?sitcom :location :NewYorkCity . } }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            q.select,
+            Selection::Vars(vec!["friend".into(), "sitcom".into()])
+        );
+        match &q.pattern {
+            GraphPattern::LeftJoin(l, r) => {
+                assert_eq!(l.triple_patterns().len(), 1);
+                assert_eq!(r.triple_patterns().len(), 2);
+            }
+            other => panic!("expected LeftJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_groups_as_joins() {
+        let q = parse_query(
+            r#"
+            PREFIX u: <urn:u:>
+            SELECT * WHERE {
+              { ?a u:p1 ?b . OPTIONAL { ?b u:p2 ?c . } }
+              { ?b u:p3 ?d . OPTIONAL { ?d u:p4 ?e . } } }
+            "#,
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Join(l, r) => {
+                assert!(matches!(**l, GraphPattern::LeftJoin(_, _)));
+                assert!(matches!(**r, GraphPattern::LeftJoin(_, _)));
+            }
+            other => panic!("expected Join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_keyword_and_qnames() {
+        let q =
+            parse_query("PREFIX ub: <http://lehigh/> SELECT * WHERE { ?x a ub:FullProfessor . }")
+                .unwrap();
+        let tps = q.pattern.triple_patterns();
+        assert_eq!(tps[0].p.as_const().unwrap(), &Term::iri(RDF_TYPE));
+        assert_eq!(
+            tps[0].o.as_const().unwrap(),
+            &Term::iri("http://lehigh/FullProfessor")
+        );
+    }
+
+    #[test]
+    fn default_prefix() {
+        let q = parse_query("PREFIX : <urn:d:> SELECT * WHERE { :s :p ?o . }").unwrap();
+        let tps = q.pattern.triple_patterns();
+        assert_eq!(tps[0].s.as_const().unwrap(), &Term::iri("urn:d:s"));
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        assert_eq!(
+            parse_query("SELECT * WHERE { nope:s nope:p ?o . }"),
+            Err(SparqlError::UnknownPrefix("nope".into()))
+        );
+    }
+
+    #[test]
+    fn literals_in_patterns() {
+        let q =
+            parse_query(r#"SELECT * WHERE { ?b <urn:modified> "2008-01-15" . ?b <urn:n> 42 . }"#)
+                .unwrap();
+        let tps = q.pattern.triple_patterns();
+        assert_eq!(tps[0].o.as_const().unwrap(), &Term::literal("2008-01-15"));
+        assert_eq!(tps[1].o.as_const().unwrap(), &Term::integer(42));
+    }
+
+    #[test]
+    fn union_of_groups() {
+        let q = parse_query("SELECT * WHERE { { ?x <urn:p> ?y . } UNION { ?x <urn:q> ?y . } }")
+            .unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Union(_, _)));
+    }
+
+    #[test]
+    fn filters_with_precedence() {
+        let q = parse_query(
+            "SELECT * WHERE { ?x <urn:p> ?y . FILTER ( ?y > 3 && ?y < 10 || BOUND(?x) ) }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::Filter(_, e) => match e {
+                Expr::Or(l, _) => assert!(matches!(**l, Expr::And(_, _))),
+                other => panic!("expected Or at top, got {other:?}"),
+            },
+            other => panic!("expected Filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        // '<' in expressions must not be eaten as an IRI opener.
+        let q = parse_query("SELECT * WHERE { ?x <urn:p> ?y . FILTER(?y < 5) }").unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Filter(_, Expr::Lt(_, _))));
+    }
+
+    #[test]
+    fn multiple_optionals_nest_left() {
+        // DBPedia-style query: successive OPTIONALs fold as
+        // ((G ⟕ O1) ⟕ O2).
+        let q = parse_query(
+            "SELECT * WHERE { ?v <urn:a> ?w . OPTIONAL { ?v <urn:b> ?x . } OPTIONAL { ?v <urn:c> ?y . } }",
+        )
+        .unwrap();
+        match &q.pattern {
+            GraphPattern::LeftJoin(l, _) => assert!(matches!(**l, GraphPattern::LeftJoin(_, _))),
+            other => panic!("expected nested LeftJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_inside_group_with_more_triples_after() {
+        let q = parse_query(
+            "SELECT * WHERE { ?a <urn:p> ?b . OPTIONAL { ?b <urn:q> ?c . } ?a <urn:r> ?d . }",
+        )
+        .unwrap();
+        // (Bgp(a p b) ⟕ Bgp(b q c)) ⋈ Bgp(a r d)
+        match &q.pattern {
+            GraphPattern::Join(l, r) => {
+                assert!(matches!(**l, GraphPattern::LeftJoin(_, _)));
+                assert!(matches!(**r, GraphPattern::Bgp(_)));
+            }
+            other => panic!("expected Join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_query("SELECT WHERE { ?x <p> ?y }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y ").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y } trailing").is_err());
+        assert!(parse_query("ASK { ?x <p> ?y }").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_query("# header\nSELECT * WHERE { # inline\n ?x <urn:p> ?y . }").unwrap();
+        assert_eq!(q.pattern.triple_patterns().len(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Re-serialization of the algebra back to parseable SPARQL text.
+//!
+//! [`to_sparql`] is the inverse of [`crate::parse_query`] up to
+//! whitespace and grouping: `parse(to_sparql(q))` yields a query with the
+//! same algebra. Useful for logging, for shipping rewritten queries (UNF
+//! branches, NWD-transformed patterns) to other engines, and as a
+//! round-trip test target for the parser.
+
+use crate::algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+use std::fmt::Write as _;
+
+/// Renders a query as SPARQL text that [`crate::parse_query`] accepts.
+pub fn to_sparql(query: &Query) -> String {
+    let mut s = String::new();
+    match &query.select {
+        Selection::All => s.push_str("SELECT * WHERE "),
+        Selection::Vars(vs) => {
+            s.push_str("SELECT");
+            for v in vs {
+                let _ = write!(s, " ?{v}");
+            }
+            s.push_str(" WHERE ");
+        }
+    }
+    s.push_str(&pattern_text(&query.pattern));
+    s
+}
+
+/// Renders a pattern as a braced group.
+pub fn pattern_text(p: &GraphPattern) -> String {
+    let mut s = String::new();
+    write_group(p, &mut s);
+    s
+}
+
+fn term(t: &TermPattern, out: &mut String) {
+    match t {
+        TermPattern::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        TermPattern::Const(c) => {
+            let _ = write!(out, "{c}");
+        }
+    }
+}
+
+fn write_tp(tp: &TriplePattern, out: &mut String) {
+    term(&tp.s, out);
+    out.push(' ');
+    term(&tp.p, out);
+    out.push(' ');
+    term(&tp.o, out);
+    out.push_str(" . ");
+}
+
+/// Writes `p` as a `{ … }` group. OPTIONAL right-hand sides and UNION arms
+/// become nested groups; left-fold structure re-emerges on parse.
+fn write_group(p: &GraphPattern, out: &mut String) {
+    out.push_str("{ ");
+    write_body(p, out);
+    out.push('}');
+}
+
+fn write_body(p: &GraphPattern, out: &mut String) {
+    match p {
+        GraphPattern::Bgp(tps) => {
+            for tp in tps {
+                write_tp(tp, out);
+            }
+        }
+        GraphPattern::Join(l, r) => {
+            // Juxtaposition; UNION arms need their own braces to keep
+            // precedence.
+            if matches!(**l, GraphPattern::Union(_, _)) {
+                write_group(l, out);
+                out.push(' ');
+            } else {
+                write_body(l, out);
+            }
+            if matches!(**r, GraphPattern::Bgp(_)) {
+                write_body(r, out);
+            } else {
+                write_group(r, out);
+                out.push(' ');
+            }
+        }
+        GraphPattern::LeftJoin(l, r) => {
+            if matches!(**l, GraphPattern::Union(_, _)) {
+                write_group(l, out);
+                out.push(' ');
+            } else {
+                write_body(l, out);
+            }
+            out.push_str("OPTIONAL ");
+            write_group(r, out);
+            out.push(' ');
+        }
+        GraphPattern::Union(l, r) => {
+            write_group(l, out);
+            out.push_str(" UNION ");
+            write_group(r, out);
+            out.push(' ');
+        }
+        GraphPattern::Filter(inner, e) => {
+            write_body(inner, out);
+            out.push_str("FILTER ( ");
+            write_expr(e, out);
+            out.push_str(" ) ");
+        }
+    }
+}
+
+fn write_expr(e: &Expr, out: &mut String) {
+    let bin = |out: &mut String, a: &Expr, op: &str, b: &Expr| {
+        out.push_str("( ");
+        write_expr(a, out);
+        let _ = write!(out, " {op} ");
+        write_expr(b, out);
+        out.push_str(" )");
+    };
+    match e {
+        Expr::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        Expr::Const(t) => {
+            let _ = write!(out, "{t}");
+        }
+        Expr::Eq(a, b) => bin(out, a, "=", b),
+        Expr::Ne(a, b) => bin(out, a, "!=", b),
+        Expr::Lt(a, b) => bin(out, a, "<", b),
+        Expr::Le(a, b) => bin(out, a, "<=", b),
+        Expr::Gt(a, b) => bin(out, a, ">", b),
+        Expr::Ge(a, b) => bin(out, a, ">=", b),
+        Expr::And(a, b) => bin(out, a, "&&", b),
+        Expr::Or(a, b) => bin(out, a, "||", b),
+        Expr::Not(a) => {
+            out.push_str("!( ");
+            write_expr(a, out);
+            out.push_str(" )");
+        }
+        Expr::Bound(v) => {
+            let _ = write!(out, "BOUND(?{v})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    /// Structural equivalence modulo the parser's BGP-merging: compare the
+    /// TP sequence plus the join/OPT/union/filter skeleton.
+    fn skeleton(p: &GraphPattern) -> String {
+        match p {
+            GraphPattern::Bgp(tps) => {
+                format!(
+                    "B[{}]",
+                    tps.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(";")
+                )
+            }
+            GraphPattern::Join(l, r) => format!("J({},{})", skeleton(l), skeleton(r)),
+            GraphPattern::LeftJoin(l, r) => format!("L({},{})", skeleton(l), skeleton(r)),
+            GraphPattern::Union(l, r) => format!("U({},{})", skeleton(l), skeleton(r)),
+            GraphPattern::Filter(i, e) => format!("F({},{e})", skeleton(i)),
+        }
+    }
+
+    #[track_caller]
+    fn roundtrips(text: &str) {
+        let q1 = parse_query(text).unwrap();
+        let printed = to_sparql(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nprinted: {printed}"));
+        assert_eq!(
+            skeleton(&q1.pattern),
+            skeleton(&q2.pattern),
+            "skeleton changed;\noriginal: {text}\nprinted: {printed}"
+        );
+        assert_eq!(q1.select, q2.select);
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        roundtrips("SELECT * WHERE { ?a <p> ?b . }");
+        roundtrips("SELECT ?a ?b WHERE { ?a <p> ?b . ?b <q> <c> . }");
+        roundtrips("SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c . ?c <r> ?d . } }");
+    }
+
+    #[test]
+    fn nested_roundtrips() {
+        roundtrips(
+            "SELECT * WHERE { { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }
+               { ?a <r> ?d . OPTIONAL { ?d <s> ?e . OPTIONAL { ?e <t> ?f . } } } }",
+        );
+        roundtrips("SELECT * WHERE { { ?a <p> ?b . } UNION { ?a <q> ?b . } }");
+        roundtrips(
+            "SELECT * WHERE { ?a <p> ?b .
+               OPTIONAL { { ?b <q> ?c . } UNION { ?b <r> ?c . } } }",
+        );
+    }
+
+    #[test]
+    fn filter_roundtrips() {
+        roundtrips("SELECT * WHERE { ?a <p> ?b . FILTER ( ?b > 3 && ?b < 9 ) }");
+        roundtrips("SELECT * WHERE { ?a <p> ?b . FILTER ( BOUND(?b) || !( ?a = <x> ) ) }");
+        roundtrips("SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c . FILTER ( ?c != <z> ) } }");
+    }
+
+    #[test]
+    fn literals_roundtrip() {
+        roundtrips(r#"SELECT * WHERE { ?a <p> "lit with spaces" . ?a <q> 42 . }"#);
+    }
+}

@@ -1,0 +1,42 @@
+//! Runs the LUBM-like workload (Appendix E.1) at a small scale and prints
+//! per-query statistics — a miniature of Table 6.2.
+//!
+//! ```sh
+//! cargo run --release --example lubm_campus
+//! ```
+
+use lbr::datagen::lubm;
+use lbr::Database;
+
+fn main() {
+    let cfg = lubm::LubmConfig {
+        universities: 3,
+        departments: 6,
+        seed: 42,
+    };
+    let ds = lubm::dataset(&cfg);
+    println!(
+        "generated {} triples for {} universities",
+        ds.graph.len(),
+        cfg.universities
+    );
+
+    let db = Database::from_encoded(ds.graph.clone().encode());
+    println!(
+        "{:<4} {:>10} {:>12} {:>10} {:>10} {:>7} {:>11}",
+        "id", "results", "with-nulls", "initial", "pruned-to", "NB?", "total"
+    );
+    for q in &ds.queries {
+        let out = db.execute(&q.text).expect("query runs");
+        println!(
+            "{:<4} {:>10} {:>12} {:>10} {:>10} {:>7} {:>10.2?}",
+            q.id,
+            out.len(),
+            out.rows_with_nulls(),
+            out.stats.initial_triples,
+            out.stats.triples_after_pruning,
+            if out.stats.nb_required { "yes" } else { "no" },
+            out.stats.t_total,
+        );
+    }
+}

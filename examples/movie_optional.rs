@@ -1,0 +1,83 @@
+//! The paper's Figure 3.2 worked example, end to end.
+//!
+//! Shows what goes wrong when left-outer joins are reordered naively
+//! (`Res1`), how nullification repairs bindings (`Res2`), how best-match
+//! removes subsumed rows (`Res3`) — and how LBR's semi-join pruning reaches
+//! the same answer without either repair operator.
+//!
+//! ```sh
+//! cargo run --example movie_optional
+//! ```
+
+use lbr::baseline::ReorderedEngine;
+use lbr::{parse_query, Database, Term, Triple};
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+}
+
+fn main() {
+    // The data of Figure 3.2.
+    let db = Database::from_triples(vec![
+        t("Julia", "actedIn", "Seinfeld"),
+        t("Julia", "actedIn", "Veep"),
+        t("Julia", "actedIn", "NewAdvOldChristine"),
+        t("Julia", "actedIn", "CurbYourEnthu"),
+        t("CurbYourEnthu", "location", "LosAngeles"),
+        t("Larry", "actedIn", "CurbYourEnthu"),
+        t("Jerry", "hasFriend", "Julia"),
+        t("Jerry", "hasFriend", "Larry"),
+        t("Seinfeld", "location", "NewYorkCity"),
+        t("Veep", "location", "D.C."),
+        t("NewAdvOldChristine", "location", "Jersey"),
+    ]);
+
+    let query = parse_query(
+        "PREFIX : <> SELECT ?friend ?sitcom WHERE {
+           :Jerry :hasFriend ?friend .
+           OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
+    )
+    .unwrap();
+
+    println!("== The reordering baseline (Rao et al. style) ==");
+    let engine = ReorderedEngine::new(db.store(), db.dict());
+    let trace = engine.execute_traced(&query).unwrap();
+    let show = |label: &str, rel: &lbr::baseline::Relation| {
+        println!("{label}: {} rows", rel.rows.len());
+        let mut rows: Vec<String> = rel
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|b| {
+                        b.map_or("NULL".to_string(), |x| {
+                            x.decode(db.dict()).lexical_form().to_string()
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\t")
+            })
+            .collect();
+        rows.sort();
+        for row in rows {
+            println!("  {row}");
+        }
+    };
+    show("Res1 (reordered joins)", &trace.after_join);
+    show("Res2 (after nullification)", &trace.after_nullification);
+    show("Res3 (after best-match)", &trace.after_best_match);
+
+    println!("\n== LBR ==");
+    let out = db.execute_query(&query).unwrap();
+    let mut rows = out.render(db.dict());
+    rows.sort();
+    for row in &rows {
+        println!("  {row}");
+    }
+    println!(
+        "nullification fired: {} (Lemma 3.3: acyclic well-designed ⇒ never); \
+         triples pruned {} → {}",
+        out.stats.nullification_fired, out.stats.initial_triples, out.stats.triples_after_pruning,
+    );
+    assert_eq!(out.len(), trace.after_best_match.rows.len());
+}

@@ -1,0 +1,50 @@
+//! Quickstart: load a few triples, run an OPTIONAL query, print the rows.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lbr::Database;
+
+fn main() {
+    let db = Database::from_ntriples(
+        r#"
+        <Jerry>    <hasFriend> <Julia> .
+        <Jerry>    <hasFriend> <Larry> .
+        <Julia>    <actedIn>   <Seinfeld> .
+        <Julia>    <actedIn>   <Veep> .
+        <Larry>    <actedIn>   <CurbYourEnthusiasm> .
+        <Seinfeld> <location>  <NewYorkCity> .
+        <Veep>     <location>  <WashingtonDC> .
+        "#,
+    )
+    .expect("valid N-Triples");
+
+    // Q2 of the paper's introduction: all of Jerry's friends; for those who
+    // acted in a New York City sitcom, also the sitcom.
+    let out = db
+        .execute(
+            r#"
+            SELECT ?friend ?sitcom WHERE {
+              <Jerry> <hasFriend> ?friend .
+              OPTIONAL { ?friend <actedIn> ?sitcom .
+                         ?sitcom <location> <NewYorkCity> . } }
+            "#,
+        )
+        .expect("query runs");
+
+    println!("?friend\t?sitcom");
+    let mut rows = out.render(db.dict());
+    rows.sort();
+    for row in rows {
+        println!("{row}");
+    }
+    println!(
+        "\n{} rows ({} with NULLs) in {:?}; pruned {} → {} candidate triples",
+        out.len(),
+        out.rows_with_nulls(),
+        out.stats.t_total,
+        out.stats.initial_triples,
+        out.stats.triples_after_pruning,
+    );
+}

@@ -1,0 +1,285 @@
+//! `lbr-cli` — run SPARQL BGP/OPTIONAL queries over an N-Triples file.
+//!
+//! ```sh
+//! lbr-cli data.nt 'SELECT * WHERE { ?s <p> ?o . OPTIONAL { ?o <q> ?x . } }'
+//! lbr-cli data.nt --file query.rq --engine pairwise
+//! lbr-cli data.nt --explain 'SELECT * WHERE { … }'
+//! lbr-cli data.nt --save-index data.lbr     # build + persist the BitMat index
+//! lbr-cli --index data.lbr 'SELECT …'       # query the on-disk index lazily
+//! ```
+//!
+//! Options: `--engine lbr|pairwise|query-order|reordered` (default lbr),
+//! `--explain` (print the plan instead of executing), `--stats`,
+//! `--file <query.rq>`, `--save-index <path>`, `--index <path>`.
+
+use lbr::baseline::{JoinOrder, PairwiseEngine, ReorderedEngine};
+use lbr::bitmat::disk::save_store;
+use lbr::core::explain::explain;
+use lbr::{parse_query, Database, DiskCatalog, LbrEngine};
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Options {
+    data: Option<String>,
+    index: Option<String>,
+    save_index: Option<String>,
+    query: Option<String>,
+    query_file: Option<String>,
+    engine: String,
+    explain: bool,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        data: None,
+        index: None,
+        save_index: None,
+        query: None,
+        query_file: None,
+        engine: "lbr".into(),
+        explain: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--engine" => o.engine = args.next().ok_or("--engine needs a value")?,
+            "--file" => o.query_file = Some(args.next().ok_or("--file needs a value")?),
+            "--index" => o.index = Some(args.next().ok_or("--index needs a value")?),
+            "--save-index" => o.save_index = Some(args.next().ok_or("--save-index needs a value")?),
+            "--explain" => o.explain = true,
+            "--stats" => o.stats = true,
+            "--help" | "-h" => return Err("help".into()),
+            _ if o.data.is_none() && o.index.is_none() && a.ends_with(".nt") => o.data = Some(a),
+            _ if o.query.is_none() => o.query = Some(a),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: lbr-cli <data.nt> [QUERY] [--file query.rq] \
+         [--engine lbr|pairwise|query-order|reordered] [--explain] [--stats] \
+         [--save-index path]\n       lbr-cli --index <path.lbr> [QUERY] …"
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    // Load data (N-Triples) and/or the on-disk index.
+    let db: Option<Database> = match &opts.data {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Database::from_ntriples(&text) {
+                Ok(db) => Some(db),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    if let Some(out_path) = &opts.save_index {
+        let Some(db) = &db else {
+            eprintln!("error: --save-index needs an input .nt file");
+            return ExitCode::FAILURE;
+        };
+        match save_store(db.store(), Path::new(out_path)) {
+            Ok(bytes) => {
+                eprintln!("index written: {out_path} ({bytes} bytes)");
+                if opts.query.is_none() && opts.query_file.is_none() {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The query text.
+    let text = match (&opts.query, &opts.query_file) {
+        (Some(q), _) => q.clone(),
+        (None, Some(f)) => match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => {
+            eprintln!("error: no query given");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let query = match parse_query(&text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Querying the on-disk index lazily (LBR engine only — the disk
+    // catalog needs no dictionary-backed decoding until output, so this
+    // mode prints encoded IDs).
+    if let Some(index_path) = &opts.index {
+        let catalog = match DiskCatalog::open(Path::new(index_path)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(db) = &db else {
+            eprintln!(
+                "note: querying a bare index without the .nt file; \
+                 results print as encoded IDs"
+            );
+            // Without a dictionary we cannot resolve constants; require data.
+            eprintln!("error: --index currently requires the matching .nt file too");
+            return ExitCode::FAILURE;
+        };
+        let engine = LbrEngine::new(&catalog, db.dict());
+        return run_and_print(
+            || engine.execute(&query).map_err(|e| e.to_string()),
+            db,
+            opts.stats,
+        );
+    }
+
+    let Some(db) = &db else {
+        eprintln!("error: no input data");
+        usage();
+        return ExitCode::from(2);
+    };
+
+    if opts.explain {
+        match explain(&query, db.dict(), db.store()) {
+            Ok(text) => {
+                println!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match opts.engine.as_str() {
+        "lbr" => run_and_print(
+            || db.execute_query(&query).map_err(|e| e.to_string()),
+            db,
+            opts.stats,
+        ),
+        "pairwise" | "query-order" => {
+            let order = if opts.engine == "pairwise" {
+                JoinOrder::Selectivity
+            } else {
+                JoinOrder::QueryOrder
+            };
+            let engine = PairwiseEngine::new(db.store(), db.dict(), order);
+            match engine.execute(&query) {
+                Ok(rel) => {
+                    println!("{}", rel.vars.join("\t"));
+                    for row in &rel.rows {
+                        let line: Vec<String> = row
+                            .iter()
+                            .map(|b| b.map_or("NULL".into(), |x| x.decode(db.dict()).to_string()))
+                            .collect();
+                        println!("{}", line.join("\t"));
+                    }
+                    eprintln!("{} rows", rel.rows.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "reordered" => {
+            let engine = ReorderedEngine::new(db.store(), db.dict());
+            match engine.execute(&query) {
+                Ok(rel) => {
+                    println!("{}", rel.vars.join("\t"));
+                    for row in &rel.rows {
+                        let line: Vec<String> = row
+                            .iter()
+                            .map(|b| b.map_or("NULL".into(), |x| x.decode(db.dict()).to_string()))
+                            .collect();
+                        println!("{}", line.join("\t"));
+                    }
+                    eprintln!("{} rows", rel.rows.len());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown engine '{other}'");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_and_print(
+    run: impl FnOnce() -> Result<lbr::QueryOutput, String>,
+    db: &Database,
+    stats: bool,
+) -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{}", out.vars.join("\t"));
+            for row in out.render(db.dict()) {
+                println!("{row}");
+            }
+            eprintln!("{} rows ({} with NULLs)", out.len(), out.rows_with_nulls());
+            if stats {
+                eprintln!(
+                    "init {:?}  prune {:?}  join {:?}  total {:?}\n\
+                     candidates {} → {}  best-match required: {}",
+                    out.stats.t_init,
+                    out.stats.t_prune,
+                    out.stats.t_join,
+                    out.stats.t_total,
+                    out.stats.initial_triples,
+                    out.stats.triples_after_pruning,
+                    out.stats.nb_required,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! # lbr — Left Bit Right
+//!
+//! A reproduction of Medha Atre's *"Left Bit Right: For SPARQL Join
+//! Queries with OPTIONAL Patterns (Left-outer-joins)"* (SIGMOD-era, 2015):
+//! a query processor for SPARQL BGP + OPTIONAL queries over compressed
+//! BitMat indexes, with semi-join pruning that makes reordered left-outer
+//! joins safe without nullification / best-match on well-designed acyclic
+//! queries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbr::Database;
+//!
+//! let db = Database::from_ntriples(r#"
+//!     <Jerry> <hasFriend> <Julia> .
+//!     <Jerry> <hasFriend> <Larry> .
+//!     <Julia> <actedIn> <Seinfeld> .
+//!     <Seinfeld> <location> <NewYorkCity> .
+//! "#).unwrap();
+//!
+//! let out = db.execute(r#"
+//!     SELECT * WHERE {
+//!       <Jerry> <hasFriend> ?friend .
+//!       OPTIONAL { ?friend <actedIn> ?sitcom .
+//!                  ?sitcom <location> <NewYorkCity> . } }
+//! "#).unwrap();
+//!
+//! let mut rows = out.render(db.dict());
+//! rows.sort();
+//! assert_eq!(rows, vec![
+//!     "<Julia>\t<Seinfeld>".to_string(),
+//!     "<Larry>\tNULL".to_string(),
+//! ]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`rdf`] — terms, triples, dictionary encoding, N-Triples I/O;
+//! * [`bitmat`] — compressed bit-matrices, `fold`/`unfold`, the on-disk
+//!   index;
+//! * [`sparql`] — parser, algebra, GoSN / GoT / GoJ, well-designedness,
+//!   rewrites;
+//! * [`core`] — the LBR engine (init, `prune_triples`, multi-way join,
+//!   nullification, best-match);
+//! * [`baseline`] — comparator engines (pairwise hash joins; outer-join
+//!   reordering with repair operators; the reference oracle);
+//! * [`datagen`] — LUBM/UniProt/DBPedia-like workload generators and the
+//!   Appendix E benchmark queries.
+
+pub use lbr_baseline as baseline;
+pub use lbr_bitmat as bitmat;
+pub use lbr_core as core;
+pub use lbr_datagen as datagen;
+pub use lbr_rdf as rdf;
+pub use lbr_sparql as sparql;
+
+pub use lbr_bitmat::{BitMatStore, Catalog, DiskCatalog};
+pub use lbr_core::{LbrEngine, QueryOutput, QueryStats};
+pub use lbr_rdf::{Dictionary, EncodedGraph, Graph, Term, Triple};
+pub use lbr_sparql::{parse_query, Query};
+
+/// An in-memory RDF database: encoded graph + BitMat store + LBR engine.
+///
+/// This is the five-line entry point; the underlying pieces are all public
+/// for users who need the catalog, the baselines, or the disk index.
+pub struct Database {
+    graph: EncodedGraph,
+    store: BitMatStore,
+}
+
+impl Database {
+    /// Builds a database from raw triples.
+    pub fn from_triples(triples: Vec<Triple>) -> Database {
+        let graph = Graph::from_triples(triples).encode();
+        let store = BitMatStore::build(&graph);
+        Database { graph, store }
+    }
+
+    /// Builds a database from an N-Triples document.
+    pub fn from_ntriples(text: &str) -> Result<Database, rdf::RdfError> {
+        Ok(Self::from_triples(rdf::parse_ntriples(text)?))
+    }
+
+    /// Builds a database from an already-encoded graph.
+    pub fn from_encoded(graph: EncodedGraph) -> Database {
+        let store = BitMatStore::build(&graph);
+        Database { graph, store }
+    }
+
+    /// Parses and executes a query with the LBR engine.
+    pub fn execute(&self, query_text: &str) -> Result<QueryOutput, core::LbrError> {
+        let query = parse_query(query_text)?;
+        self.execute_query(&query)
+    }
+
+    /// Executes a parsed query with the LBR engine.
+    pub fn execute_query(&self, query: &Query) -> Result<QueryOutput, core::LbrError> {
+        LbrEngine::new(&self.store, &self.graph.dict).execute(query)
+    }
+
+    /// The dictionary (for decoding results).
+    pub fn dict(&self) -> &Dictionary {
+        &self.graph.dict
+    }
+
+    /// The BitMat store (for baselines, benches, size reports).
+    pub fn store(&self) -> &BitMatStore {
+        &self.store
+    }
+
+    /// The encoded graph.
+    pub fn graph(&self) -> &EncodedGraph {
+        &self.graph
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when the database has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+}

@@ -1,0 +1,382 @@
+//! Cross-engine equivalence: the LBR engine, the pairwise hash-join
+//! baseline, the reordering baseline and the nested-loop reference oracle
+//! must produce identical result bags on well-designed queries.
+//!
+//! This is the central correctness gate of the reproduction: Lemmas 3.1,
+//! 3.3 and 3.4 all cash out as "same rows as the SPARQL algebra".
+
+use lbr::baseline::{evaluate_reference, JoinOrder, PairwiseEngine, ReorderedEngine, Semantics};
+use lbr::{parse_query, Database, Term, Triple};
+
+/// Renders sorted rows (lexical forms, NULL as None) for bag comparison.
+fn lbr_rows(db: &Database, query: &str) -> Vec<Vec<Option<String>>> {
+    let out = db.execute(query).unwrap();
+    let mut rows: Vec<Vec<Option<String>>> = out
+        .decode(db.dict())
+        .into_iter()
+        .map(|r| r.into_iter().map(|t| t.map(|x| x.to_string())).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn oracle_rows(db: &Database, query: &str, sem: Semantics) -> Vec<Vec<Option<String>>> {
+    let q = parse_query(query).unwrap();
+    let rel = evaluate_reference(&q, db.dict(), db.store(), sem).unwrap();
+    let mut rows: Vec<Vec<Option<String>>> = rel
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|b| b.map(|x| x.decode(db.dict()).to_string()))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn pairwise_rows(db: &Database, query: &str, order: JoinOrder) -> Vec<Vec<Option<String>>> {
+    let q = parse_query(query).unwrap();
+    let rel = PairwiseEngine::new(db.store(), db.dict(), order)
+        .execute(&q)
+        .unwrap();
+    let mut rows: Vec<Vec<Option<String>>> = rel
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|b| b.map(|x| x.decode(db.dict()).to_string()))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn reordered_rows(db: &Database, query: &str) -> Vec<Vec<Option<String>>> {
+    let q = parse_query(query).unwrap();
+    let rel = ReorderedEngine::new(db.store(), db.dict())
+        .execute(&q)
+        .unwrap();
+    let mut rows: Vec<Vec<Option<String>>> = rel
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|b| b.map(|x| x.decode(db.dict()).to_string()))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Asserts all four engines agree (the oracle under SPARQL semantics is
+/// the ground truth for well-designed queries).
+#[track_caller]
+fn assert_all_agree(db: &Database, query: &str) {
+    let truth = oracle_rows(db, query, Semantics::Sparql);
+    assert_eq!(lbr_rows(db, query), truth, "LBR deviates on: {query}");
+    assert_eq!(
+        pairwise_rows(db, query, JoinOrder::Selectivity),
+        truth,
+        "pairwise/selectivity deviates on: {query}"
+    );
+    assert_eq!(
+        pairwise_rows(db, query, JoinOrder::QueryOrder),
+        truth,
+        "pairwise/query-order deviates on: {query}"
+    );
+    assert_eq!(
+        reordered_rows(db, query),
+        truth,
+        "reordered deviates on: {query}"
+    );
+}
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+}
+
+fn sitcom_db() -> Database {
+    Database::from_triples(vec![
+        t("Julia", "actedIn", "Seinfeld"),
+        t("Julia", "actedIn", "Veep"),
+        t("Julia", "actedIn", "NewAdvOldChristine"),
+        t("Julia", "actedIn", "CurbYourEnthu"),
+        t("CurbYourEnthu", "location", "LosAngeles"),
+        t("Larry", "actedIn", "CurbYourEnthu"),
+        t("Jerry", "hasFriend", "Julia"),
+        t("Jerry", "hasFriend", "Larry"),
+        t("Seinfeld", "location", "NewYorkCity"),
+        t("Veep", "location", "D.C."),
+        t("NewAdvOldChristine", "location", "Jersey"),
+        t("Jerry", "livesIn", "NewYorkCity"),
+        t("Julia", "livesIn", "NewYorkCity"),
+        t("Larry", "livesIn", "LosAngeles"),
+    ])
+}
+
+#[test]
+fn paper_q2() {
+    let db = sitcom_db();
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+           OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
+    );
+}
+
+#[test]
+fn paper_q1_shape() {
+    // Q1 of §1: one OPTIONAL block with two patterns over the same subject.
+    let db = sitcom_db();
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { ?actor :actedIn ?x .
+           OPTIONAL { ?actor :livesIn ?city . ?city :location ?where . } }",
+    );
+}
+
+#[test]
+fn nested_and_sibling_optionals() {
+    let db = sitcom_db();
+    // Nested OPT inside OPT.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s . OPTIONAL { ?s :location ?l . } } }",
+    );
+    // Two sibling OPTIONALs.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s . }
+           OPTIONAL { ?f :livesIn ?c . } }",
+    );
+    // Join of two OPT groups (Fig 2.1(b) shape).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE {
+           { ?f :actedIn ?s . OPTIONAL { ?s :location ?l . } }
+           { ?f :livesIn ?c . OPTIONAL { ?x :hasFriend ?f . } } }",
+    );
+}
+
+#[test]
+fn cyclic_queries() {
+    let db = Database::from_triples(vec![
+        t("a1", "p1", "b1"),
+        t("b1", "p2", "c1"),
+        t("a1", "p3", "c1"),
+        t("a2", "p1", "b2"),
+        t("b2", "p2", "c2"),
+        t("a2", "p3", "c9"), // breaks the cycle for a2
+        t("a1", "p4", "z1"),
+        t("a2", "p4", "z2"),
+    ]);
+    // Cyclic BGP (triangle).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { ?a :p1 ?b . ?b :p2 ?c . ?a :p3 ?c . }",
+    );
+    // Cyclic with a single-jvar slave (Lemma 3.4: no best-match needed).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { ?a :p1 ?b . ?b :p2 ?c . ?a :p3 ?c .
+           OPTIONAL { ?a :p4 ?z . } }",
+    );
+    // Cyclic crossing a slave with two jvars (nullification + best-match
+    // required, Fig 3.1's rightmost well-designed class).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { ?a :p1 ?b .
+           OPTIONAL { ?a :p3 ?c . ?b :p2 ?c . } }",
+    );
+}
+
+#[test]
+fn nb_required_query_fires_nullification_only_when_cyclic() {
+    let db = Database::from_triples(vec![
+        t("a1", "p1", "b1"),
+        t("a1", "p3", "c1"),
+        t("b1", "p2", "c2"), // c mismatch: slave cannot complete as a unit
+        t("a2", "p1", "b2"),
+        t("a2", "p3", "c3"),
+        t("b2", "p2", "c3"), // completes
+    ]);
+    let query = "PREFIX : <> SELECT * WHERE { ?a :p1 ?b .
+        OPTIONAL { ?a :p3 ?c . ?b :p2 ?c . } }";
+    let out = db.execute(query).unwrap();
+    assert!(out.stats.nb_required, "cyclic, slave has 3 jvars");
+    assert_eq!(
+        lbr_rows(&db, query),
+        oracle_rows(&db, query, Semantics::Sparql)
+    );
+    // a1's slave must be nullified as a unit: (a1, b1, NULL).
+    let rows = lbr_rows(&db, query);
+    assert!(rows.contains(&vec![
+        Some("<a1>".to_string()),
+        Some("<b1>".to_string()),
+        None
+    ]));
+}
+
+#[test]
+fn acyclic_never_fires_nullification() {
+    let db = sitcom_db();
+    let out = db
+        .execute(
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+               OPTIONAL { ?f :actedIn ?s . ?s :location ?l . } }",
+        )
+        .unwrap();
+    assert!(!out.stats.nb_required);
+    assert_eq!(out.stats.nullification_fired, 0, "Lemma 3.3");
+}
+
+#[test]
+fn empty_optional_and_empty_master() {
+    let db = sitcom_db();
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f . OPTIONAL { ?f :location ?l . } }",
+    );
+    // Unknown constant in the master: empty, via the early abort.
+    let out = db
+        .execute(
+            "PREFIX : <> SELECT * WHERE { :Nobody :hasFriend ?f . OPTIONAL { ?f :actedIn ?s . } }",
+        )
+        .unwrap();
+    assert!(out.is_empty());
+    assert!(out.stats.aborted_empty);
+}
+
+#[test]
+fn union_queries() {
+    let db = sitcom_db();
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE {
+           { ?f :actedIn ?s . ?s :location :NewYorkCity . }
+           UNION { ?f :actedIn ?s . ?s :location :LosAngeles . } }",
+    );
+    // UNION under a join.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           { { ?f :livesIn :NewYorkCity . } UNION { ?f :livesIn :LosAngeles . } } }",
+    );
+}
+
+#[test]
+fn union_inside_optional_needs_spurious_removal() {
+    // Rule (3): P1 ⟕ (P2 ∪ P3). The rewritten branches each produce a
+    // NULL row for masters matched only by the *other* branch; best-match
+    // must remove those spurious rows.
+    let db = sitcom_db();
+    let query = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+        OPTIONAL { { ?f :livesIn :NewYorkCity . } UNION { ?f :livesIn :LosAngeles . } } }";
+    // Ground truth from the oracle: both friends have a location, no NULLs.
+    let truth = oracle_rows(&db, query, Semantics::Sparql);
+    assert_eq!(lbr_rows(&db, query), truth);
+    assert!(lbr_rows(&db, query)
+        .iter()
+        .all(|r| r.iter().all(|c| c.is_some())));
+}
+
+#[test]
+fn filters() {
+    let db = sitcom_db();
+    // Filter inside the master.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f . FILTER(?f != :Larry)
+           OPTIONAL { ?f :actedIn ?s . } }",
+    );
+    // Filter inside the OPTIONAL.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s . FILTER(?s = :Seinfeld) } }",
+    );
+    // BOUND over an OPTIONAL result (global filter).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s . ?s :location :NewYorkCity . }
+           FILTER( BOUND(?s) ) }",
+    );
+}
+
+#[test]
+fn cartesian_products() {
+    let db = sitcom_db();
+    // Top-level cross product of two connected pieces.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { { :Jerry :hasFriend ?f . } { ?s :location :NewYorkCity . } }",
+    );
+    // Cross-product OPTIONAL (disconnected slave).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?s :location :D.C. . } }",
+    );
+}
+
+#[test]
+fn projection_and_bag_semantics() {
+    let db = sitcom_db();
+    let query = "PREFIX : <> SELECT ?f WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }";
+    // Julia acted in 4 sitcoms, Larry in 1 → 5 rows under bag semantics.
+    let rows = lbr_rows(&db, query);
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows, oracle_rows(&db, query, Semantics::Sparql));
+}
+
+#[test]
+fn non_well_designed_matches_sql_semantics() {
+    // The Appendix B/C class: LBR (with the GoSN transformation) follows
+    // the SQL null-intolerant semantics, like Virtuoso/MonetDB.
+    let db = Database::from_triples(vec![
+        t("Jerry", "hasFriend", "Julia"),
+        t("Jerry", "hasFriend", "Larry"),
+        t("Julia", "actedIn", "Seinfeld"),
+        t("Friends", "location", "NewYorkCity"),
+        t("Seinfeld", "location", "NewYorkCity"),
+    ]);
+    let query = "PREFIX : <> SELECT * WHERE {
+        { :Jerry :hasFriend ?f . OPTIONAL { ?f :actedIn ?s . } }
+        { ?s :location :NewYorkCity . } }";
+    let truth_sql = oracle_rows(&db, query, Semantics::NullIntolerant);
+    assert_eq!(lbr_rows(&db, query), truth_sql);
+    // And it genuinely differs from the pure-SPARQL semantics here.
+    assert_ne!(truth_sql, oracle_rows(&db, query, Semantics::Sparql));
+}
+
+#[test]
+fn deep_nesting_fig_2_1b_shape_with_data() {
+    let db = Database::from_triples(vec![
+        t("x1", "pa", "y1"),
+        t("y1", "pb", "w1"),
+        t("x1", "pc", "z1"),
+        t("z1", "pd", "v1"),
+        t("x1", "pe", "u1"),
+        t("u1", "pf", "q1"),
+        t("x2", "pa", "y2"),
+        t("x2", "pc", "z2"),
+        t("x3", "pa", "y3"),
+        t("y3", "pb", "w3"),
+        t("x3", "pc", "z3"),
+        t("z3", "pd", "v3"),
+    ]);
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE {
+           { ?x :pa ?y . OPTIONAL { ?y :pb ?w . } }
+           { ?x :pc ?z . OPTIONAL { ?z :pd ?v . } }
+           OPTIONAL { ?x :pe ?u . OPTIONAL { ?u :pf ?q . } } }",
+    );
+}

@@ -1,0 +1,155 @@
+//! End-to-end runs of the Appendix E workloads at test scale: every query
+//! must (a) agree with the pairwise baseline row-for-row, and (b) exhibit
+//! the qualitative behaviour the paper's tables report (empty results
+//! detected early, best-match requirements, NULL-heavy outputs).
+
+use lbr::baseline::{JoinOrder, PairwiseEngine};
+use lbr::datagen::{dbpedia, lubm, uniprot, Dataset};
+use lbr::{parse_query, Database};
+
+fn check_dataset(ds: &Dataset) -> Vec<(String, lbr::QueryOutput)> {
+    let db = Database::from_encoded(ds.graph.clone().encode());
+    let mut outputs = Vec::new();
+    for q in &ds.queries {
+        let query = parse_query(&q.text).unwrap();
+        let out = db
+            .execute_query(&query)
+            .unwrap_or_else(|e| panic!("{} {} failed: {e}", ds.name, q.id));
+        // Cross-check against the pairwise engine.
+        let rel = PairwiseEngine::new(db.store(), db.dict(), JoinOrder::Selectivity)
+            .execute(&query)
+            .unwrap();
+        let mut lbr_rows: Vec<Vec<Option<lbr::core::Binding>>> = out.rows.clone();
+        let proj = query.projected_vars();
+        let cols: Vec<usize> = proj
+            .iter()
+            .map(|v| rel.vars.iter().position(|x| x == v).unwrap())
+            .collect();
+        let mut base_rows: Vec<Vec<Option<lbr::core::Binding>>> = rel
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c]).collect())
+            .collect();
+        lbr_rows.sort();
+        base_rows.sort();
+        assert_eq!(
+            lbr_rows,
+            base_rows,
+            "{} {}: LBR and pairwise disagree ({} vs {} rows)",
+            ds.name,
+            q.id,
+            lbr_rows.len(),
+            base_rows.len()
+        );
+        outputs.push((q.id.to_string(), out));
+    }
+    outputs
+}
+
+#[test]
+fn lubm_workload_behaviour() {
+    let ds = lubm::dataset(&lubm::LubmConfig {
+        universities: 2,
+        departments: 4,
+        seed: 11,
+    });
+    let outputs = check_dataset(&ds);
+    let get = |id: &str| &outputs.iter().find(|(i, _)| i == id).unwrap().1;
+
+    // Q1–Q3: low-selectivity, many results, no best-match (cyclic GoJ but
+    // single-jvar slaves / acyclic).
+    for id in ["Q1", "Q2", "Q3"] {
+        let out = get(id);
+        assert!(!out.is_empty(), "LUBM {id} empty");
+        assert!(!out.stats.nb_required, "LUBM {id} should avoid best-match");
+    }
+    // Q4/Q5: cyclic with a 3-jvar slave → best-match required (Table 6.2).
+    for id in ["Q4", "Q5"] {
+        let out = get(id);
+        assert!(out.stats.nb_required, "LUBM {id} must require best-match");
+        assert!(!out.is_empty());
+    }
+    // Q6: acyclic, tiny result set over one department.
+    let q6 = get("Q6");
+    assert!(!q6.stats.nb_required);
+    assert!(!q6.is_empty());
+    // Pruning bites on the low-selectivity queries.
+    let q1 = get("Q1");
+    assert!(
+        q1.stats.triples_after_pruning < q1.stats.initial_triples,
+        "Q1 pruning had no effect"
+    );
+}
+
+#[test]
+fn uniprot_workload_behaviour() {
+    let ds = uniprot::dataset(&uniprot::UniProtConfig {
+        proteins: 400,
+        taxa: 10,
+        seed: 12,
+    });
+    let outputs = check_dataset(&ds);
+    let get = |id: &str| &outputs.iter().find(|(i, _)| i == id).unwrap().1;
+
+    // All seven queries are acyclic: no best-match anywhere (Table 6.3).
+    for (id, out) in &outputs {
+        assert!(
+            !out.stats.nb_required,
+            "UniProt {id} should not need best-match"
+        );
+    }
+    // Q2: empty, detected by active pruning.
+    let q2 = get("Q2");
+    assert!(q2.is_empty());
+    assert!(q2.stats.aborted_empty, "Q2 must abort early");
+    // Q4: all rows have NULLs (the OPTIONAL side is semi-joined away).
+    let q4 = get("Q4");
+    assert!(!q4.is_empty());
+    assert_eq!(
+        q4.rows_with_nulls(),
+        q4.len(),
+        "Q4 rows must all carry NULLs"
+    );
+    // Q1: large result with a mix of bound and NULL rows.
+    let q1 = get("Q1");
+    assert!(q1.len() > 100);
+    assert!(q1.rows_with_nulls() > 0);
+    assert!(q1.rows_with_nulls() < q1.len());
+}
+
+#[test]
+fn dbpedia_workload_behaviour() {
+    let ds = dbpedia::dataset(&dbpedia::DbpediaConfig {
+        places: 150,
+        persons: 220,
+        companies: 60,
+        tail_predicates: 40,
+        seed: 13,
+    });
+    let outputs = check_dataset(&ds);
+    let get = |id: &str| &outputs.iter().find(|(i, _)| i == id).unwrap().1;
+
+    // All six queries acyclic (Table 6.4): no best-match.
+    for (id, out) in &outputs {
+        assert!(
+            !out.stats.nb_required,
+            "DBPedia {id} should not need best-match"
+        );
+    }
+    // Q2, Q3: empty with early abort.
+    for id in ["Q2", "Q3"] {
+        let out = get(id);
+        assert!(out.is_empty(), "DBPedia {id} must be empty");
+        assert!(out.stats.aborted_empty, "DBPedia {id} must abort early");
+    }
+    // Q1: one row per populated place, NULL-heavy (most places lack some
+    // of the four optional attributes).
+    let q1 = get("Q1");
+    assert_eq!(q1.len(), 150, "Q1 yields one row per place");
+    assert!(
+        q1.rows_with_nulls() > q1.len() / 2,
+        "Q1 should be NULL-heavy"
+    );
+    // Q6: eight OPTIONALs, non-empty.
+    assert!(!get("Q6").is_empty());
+}
