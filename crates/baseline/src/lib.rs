@@ -21,12 +21,36 @@
 //!   (Appendix C).
 
 pub mod hash_join;
+pub mod kind;
 pub mod pairwise;
 pub mod reference;
 pub mod reordered;
 pub mod scan;
 
 pub use hash_join::Relation;
+pub use kind::{EngineKind, EngineOptions, ReferenceEngine};
 pub use pairwise::{JoinOrder, PairwiseEngine};
 pub use reference::{evaluate_reference, Semantics};
 pub use reordered::ReorderedEngine;
+
+use lbr_core::{QueryOutput, QueryStats};
+
+/// Lifts a baseline [`Relation`] into the shared [`QueryOutput`] shape
+/// (the baselines have no phase timings, so only the result counters of
+/// [`QueryStats`] are populated).
+pub fn relation_to_output(rel: Relation) -> QueryOutput {
+    let stats = QueryStats {
+        n_results: rel.rows.len(),
+        n_results_with_nulls: rel
+            .rows
+            .iter()
+            .filter(|r| r.iter().any(|c| c.is_none()))
+            .count(),
+        ..Default::default()
+    };
+    QueryOutput {
+        vars: rel.vars,
+        rows: rel.rows,
+        stats,
+    }
+}

@@ -153,6 +153,25 @@ impl<'a, C: Catalog> PairwiseEngine<'a, C> {
     }
 }
 
+impl<C: Catalog> lbr_core::api::Engine for PairwiseEngine<'_, C> {
+    fn name(&self) -> &'static str {
+        match self.order {
+            JoinOrder::Selectivity => "pairwise",
+            JoinOrder::QueryOrder => "query-order",
+        }
+    }
+
+    fn dict(&self) -> &Dictionary {
+        self.dict
+    }
+
+    fn execute(&self, query: &Query) -> Result<lbr_core::QueryOutput, LbrError> {
+        Ok(crate::relation_to_output(PairwiseEngine::execute(
+            self, query,
+        )?))
+    }
+}
+
 struct RowLookup<'a> {
     vars: &'a [String],
     row: &'a [Option<lbr_core::bindings::Binding>],

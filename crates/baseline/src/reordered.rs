@@ -266,6 +266,22 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
     }
 }
 
+impl<C: Catalog> lbr_core::api::Engine for ReorderedEngine<'_, C> {
+    fn name(&self) -> &'static str {
+        "reordered"
+    }
+
+    fn dict(&self) -> &Dictionary {
+        self.dict
+    }
+
+    fn execute(&self, query: &Query) -> Result<lbr_core::QueryOutput, LbrError> {
+        Ok(crate::relation_to_output(ReorderedEngine::execute(
+            self, query,
+        )?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,8 +13,8 @@
 //! Environment: `LBR_SCALE` (default 1.0) scales the generators,
 //! `LBR_SEED` (default 42) seeds them.
 
-use lbr_baseline::ReorderedEngine;
-use lbr_bench::{fmt_secs, prepare, render_table, run_dataset, run_lbr, Prepared, RUNS};
+use lbr_baseline::EngineKind;
+use lbr_bench::{fmt_secs, prepare, render_table, run_dataset, run_engine, run_lbr, Prepared};
 use lbr_bitmat::Catalog;
 use lbr_datagen::{all_datasets, Dataset};
 use lbr_sparql::parse_query;
@@ -37,7 +37,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
-    eprintln!("# LBR reproduction — scale {scale}, seed {seed}, {RUNS} timed runs per query");
+    eprintln!(
+        "# LBR reproduction — scale {scale}, seed {seed}, {} timed runs per query",
+        lbr_bench::RUNS
+    );
     let t = Instant::now();
     let datasets = all_datasets(scale, seed);
     eprintln!("# generated all datasets in {:.2?}", t.elapsed());
@@ -94,7 +97,7 @@ fn table_queries(datasets: &[Dataset], idx: usize, label: &str, json: bool) {
     let report = run_dataset(&p);
     print!("{}", render_table(&report));
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+        println!("{}", report.to_json());
     }
 }
 
@@ -163,21 +166,17 @@ fn ablation_reorder(datasets: &[Dataset]) {
         let q = &p.dataset.queries[0]; // Q1: the low-selectivity query
         let (out, _, _, t_lbr) = run_lbr(&p, &q.text);
         let query = parse_query(&q.text).unwrap();
-        let engine = ReorderedEngine::new(&p.store, &p.graph.dict);
+        let engine = EngineKind::Reordered.build(&p.store, &p.graph.dict);
         let warm = engine.execute(&query).expect("reordered warm-up");
-        assert_eq!(warm.rows.len(), out.len(), "engines disagree on {}", q.id);
-        let mut total = 0.0;
-        for _ in 0..RUNS {
-            let t = Instant::now();
-            engine.execute(&query).unwrap();
-            total += t.elapsed().as_secs_f64();
-        }
+        assert_eq!(warm.len(), out.len(), "engines disagree on {}", q.id);
+        let t_reordered =
+            run_engine(&p, &q.text, EngineKind::Reordered).expect("reordered timed runs");
         println!(
             "{:<10} {:<4} {:>10} {:>12} {:>9}",
             ds.name,
             q.id,
             fmt_secs(t_lbr),
-            fmt_secs(total / RUNS as f64),
+            fmt_secs(t_reordered),
             out.len()
         );
     }

@@ -2,22 +2,26 @@
 //!
 //! The reproduction harness for the LBR paper's evaluation (§6): generates
 //! the three workloads, runs every Appendix E query on the LBR engine and
-//! the two baseline configurations, and prints Tables 6.1–6.4 plus the
-//! index-size report and the two ablations. See `src/bin/reproduce.rs` for
-//! the command-line entry point and `benches/` for the Criterion
+//! the baseline engines, and prints Tables 6.1–6.4 plus the index-size
+//! report and the two ablations. See `src/bin/reproduce.rs` for the
+//! command-line entry point and `benches/` for the Criterion
 //! micro-benchmarks.
+//!
+//! All engines run through the shared [`lbr_core::api::Engine`] trait via
+//! [`EngineKind`], so adding an engine to the evaluation means extending
+//! [`BASELINE_KINDS`] — nothing else.
 //!
 //! Methodology mirrors §6.1: each query runs `1 + RUNS` times; the first
 //! (cold) run is discarded and the remaining times averaged. Results are
 //! also emitted as JSON for EXPERIMENTS.md regeneration.
 
-use lbr_baseline::{JoinOrder, PairwiseEngine};
+use lbr_baseline::{EngineKind, EngineOptions};
 use lbr_bitmat::{BitMatStore, Catalog};
 use lbr_core::{LbrEngine, LbrError, QueryOutput};
 use lbr_datagen::Dataset;
 use lbr_rdf::EncodedGraph;
 use lbr_sparql::parse_query;
-use serde::Serialize;
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Timed runs per query after the warm-up run (the paper uses 5).
@@ -26,8 +30,27 @@ pub const RUNS: u32 = 5;
 /// Intermediate-row budget for the baselines (stand-in for ">30 min").
 pub const ROW_LIMIT: usize = 40_000_000;
 
+/// The engines timed against LBR in the query tables. The reference
+/// oracle is excluded: it is the correctness gate of the test suite, not
+/// a performance contender.
+pub const BASELINE_KINDS: [EngineKind; 3] = [
+    EngineKind::PairwiseSelectivity,
+    EngineKind::PairwiseQueryOrder,
+    EngineKind::Reordered,
+];
+
+/// Average seconds of one engine on one query; `None` when the row
+/// budget blew (the paper's ">30 min" entries).
+#[derive(Debug, Clone)]
+pub struct EngineTime {
+    /// Engine name ([`EngineKind::name`]).
+    pub engine: &'static str,
+    /// Averaged seconds, or `None` on resource-limit abort.
+    pub secs: Option<f64>,
+}
+
 /// One row of a Table 6.2/6.3/6.4-style report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QueryRow {
     /// Query id ("Q1"…).
     pub id: String,
@@ -37,11 +60,8 @@ pub struct QueryRow {
     pub t_prune: f64,
     /// LBR end-to-end time, averaged.
     pub t_total: f64,
-    /// Pairwise engine, selectivity-ordered (Virtuoso-analog); `None` when
-    /// the row budget was exceeded.
-    pub t_pairwise: Option<f64>,
-    /// Pairwise engine, query-ordered (MonetDB-analog).
-    pub t_query_order: Option<f64>,
+    /// One entry per [`BASELINE_KINDS`] engine.
+    pub baselines: Vec<EngineTime>,
     /// Σ triples matching each TP before pruning.
     pub initial_triples: u64,
     /// Σ triples left after `prune_triples`.
@@ -55,7 +75,7 @@ pub struct QueryRow {
 }
 
 /// A full dataset report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetReport {
     /// Dataset name.
     pub name: String,
@@ -69,13 +89,11 @@ pub struct DatasetReport {
     pub n_objects: u32,
     /// Per-query rows.
     pub rows: Vec<QueryRow>,
-    /// Geometric means (seconds) per engine, over queries all engines
-    /// completed.
+    /// Geometric mean (seconds) of LBR over all queries.
     pub geomean_lbr: f64,
-    /// Geomean for the selectivity-ordered pairwise engine.
-    pub geomean_pairwise: f64,
-    /// Geomean for the query-ordered pairwise engine.
-    pub geomean_query_order: f64,
+    /// Geometric means per baseline engine, over the queries that engine
+    /// completed.
+    pub geomean_baselines: Vec<EngineTime>,
 }
 
 /// A prepared (indexed) dataset.
@@ -105,6 +123,9 @@ fn secs(d: Duration) -> f64 {
 
 /// Runs one query on the LBR engine with warm-up, returning averaged stats
 /// and the last output.
+///
+/// Each timed run is a full `execute` (planning included), matching how
+/// [`run_engine`] times the baselines — the columns stay comparable.
 pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, f64, f64, f64) {
     let query = parse_query(text).expect("benchmark query parses");
     let engine = LbrEngine::new(&p.store, &p.graph.dict);
@@ -120,13 +141,18 @@ pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, f64, f64, f64) {
     (out, t_init / n, t_prune / n, t_total / n)
 }
 
-/// Runs one query on a pairwise baseline; `None` when the row budget blew.
-pub fn run_pairwise(p: &Prepared, text: &str, order: JoinOrder) -> Option<f64> {
+/// Runs one query on any engine through the [`EngineKind`] seam with
+/// warm-up; `None` when the row budget blew.
+pub fn run_engine(p: &Prepared, text: &str, kind: EngineKind) -> Option<f64> {
     let query = parse_query(text).expect("benchmark query parses");
-    let engine = PairwiseEngine::new(&p.store, &p.graph.dict, order).with_row_limit(ROW_LIMIT);
+    let options = EngineOptions {
+        row_limit: Some(ROW_LIMIT),
+        ..EngineOptions::default()
+    };
+    let engine = kind.build_with(&p.store, &p.graph.dict, &options);
     match engine.execute(&query) {
         Err(LbrError::ResourceLimit(_)) => return None,
-        Err(e) => panic!("baseline failed: {e}"),
+        Err(e) => panic!("{kind} failed: {e}"),
         Ok(_) => {}
     }
     let mut total = 0.0;
@@ -152,15 +178,19 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
     let mut rows = Vec::new();
     for q in &p.dataset.queries {
         let (out, t_init, t_prune, t_total) = run_lbr(p, &q.text);
-        let t_pairwise = run_pairwise(p, &q.text, JoinOrder::Selectivity);
-        let t_query_order = run_pairwise(p, &q.text, JoinOrder::QueryOrder);
+        let baselines = BASELINE_KINDS
+            .iter()
+            .map(|&kind| EngineTime {
+                engine: kind.name(),
+                secs: run_engine(p, &q.text, kind),
+            })
+            .collect();
         rows.push(QueryRow {
             id: q.id.to_string(),
             t_init,
             t_prune,
             t_total,
-            t_pairwise,
-            t_query_order,
+            baselines,
             initial_triples: out.stats.initial_triples,
             triples_after_pruning: out.stats.triples_after_pruning,
             n_results: out.len(),
@@ -168,6 +198,19 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
             best_match_required: out.stats.nb_required,
         });
     }
+    let geomean_baselines = BASELINE_KINDS
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let completed = rows.iter().filter_map(|r| r.baselines[i].secs);
+            EngineTime {
+                engine: kind.name(),
+                // `None` (rendered "n/a") when the engine completed no
+                // query at all, rather than a NaN geomean.
+                secs: (completed.clone().count() > 0).then(|| geomean(completed)),
+            }
+        })
+        .collect();
     DatasetReport {
         name: p.dataset.name.to_string(),
         n_triples: dims.n_triples,
@@ -175,8 +218,7 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
         n_predicates: dims.n_predicates,
         n_objects: dims.n_objects,
         geomean_lbr: geomean(rows.iter().map(|r| r.t_total)),
-        geomean_pairwise: geomean(rows.iter().filter_map(|r| r.t_pairwise)),
-        geomean_query_order: geomean(rows.iter().filter_map(|r| r.t_query_order)),
+        geomean_baselines,
         rows,
     }
 }
@@ -192,35 +234,38 @@ pub fn fmt_secs(s: f64) -> String {
     }
 }
 
-/// Renders a dataset report as the Table 6.2-style fixed-width table.
+/// Renders a dataset report as the Table 6.2-style fixed-width table
+/// (one column per baseline engine).
 pub fn render_table(r: &DatasetReport) -> String {
-    use std::fmt::Write;
     let mut s = String::new();
+    let _ = write!(
+        s,
+        "{:<4} {:>9} {:>9} {:>9}",
+        "", "Tinit", "Tprune", "Ttotal"
+    );
+    for kind in BASELINE_KINDS {
+        let _ = write!(s, " {:>12}", format!("T{}", kind.name()));
+    }
     let _ = writeln!(
         s,
-        "{:<4} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>6}",
-        "",
-        "Tinit",
-        "Tprune",
-        "Ttotal",
-        "Tpairwise",
-        "TqryOrder",
-        "#initial",
-        "#aftPrune",
-        "#results",
-        "#nulls",
-        "BM?"
+        " {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "#initial", "#aftPrune", "#results", "#nulls", "BM?"
     );
     for row in &r.rows {
-        let _ = writeln!(
+        let _ = write!(
             s,
-            "{:<4} {:>9} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>6}",
+            "{:<4} {:>9} {:>9} {:>9}",
             row.id,
             fmt_secs(row.t_init),
             fmt_secs(row.t_prune),
             fmt_secs(row.t_total),
-            row.t_pairwise.map_or(">budget".into(), fmt_secs),
-            row.t_query_order.map_or(">budget".into(), fmt_secs),
+        );
+        for b in &row.baselines {
+            let _ = write!(s, " {:>12}", b.secs.map_or(">budget".into(), fmt_secs));
+        }
+        let _ = writeln!(
+            s,
+            " {:>12} {:>12} {:>10} {:>10} {:>6}",
             row.initial_triples,
             row.triples_after_pruning,
             row.n_results,
@@ -228,14 +273,127 @@ pub fn render_table(r: &DatasetReport) -> String {
             if row.best_match_required { "Yes" } else { "No" },
         );
     }
+    let gm: Vec<String> = r
+        .geomean_baselines
+        .iter()
+        .map(|g| format!("{} {}", g.engine, g.secs.map_or("n/a".into(), fmt_secs)))
+        .collect();
     let _ = writeln!(
         s,
-        "geometric means: LBR {}, pairwise/selectivity {}, pairwise/query-order {}",
+        "geometric means: LBR {}, {}",
         fmt_secs(r.geomean_lbr),
-        fmt_secs(r.geomean_pairwise),
-        fmt_secs(r.geomean_query_order),
+        gm.join(", "),
     );
     s
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON emission (the environment has no serde; reports are flat
+// enough to serialize by hand).
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_opt_f64(out: &mut String, x: Option<f64>) {
+    match x {
+        Some(v) => json_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+impl EngineTime {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"engine\":");
+        json_str(out, self.engine);
+        out.push_str(",\"secs\":");
+        json_opt_f64(out, self.secs);
+        out.push('}');
+    }
+}
+
+impl QueryRow {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        json_str(out, &self.id);
+        let _ = write!(
+            out,
+            ",\"t_init\":{},\"t_prune\":{}",
+            self.t_init, self.t_prune
+        );
+        let _ = write!(out, ",\"t_total\":{}", self.t_total);
+        out.push_str(",\"baselines\":[");
+        for (i, b) in self.baselines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            b.write_json(out);
+        }
+        let _ = write!(
+            out,
+            "],\"initial_triples\":{},\"triples_after_pruning\":{},\
+             \"n_results\":{},\"n_null_results\":{},\"best_match_required\":{}}}",
+            self.initial_triples,
+            self.triples_after_pruning,
+            self.n_results,
+            self.n_null_results,
+            self.best_match_required
+        );
+    }
+}
+
+impl DatasetReport {
+    /// Serializes the report as one JSON object (no external crates).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"name\":");
+        json_str(&mut out, &self.name);
+        let _ = write!(
+            out,
+            ",\"n_triples\":{},\"n_subjects\":{},\"n_predicates\":{},\"n_objects\":{}",
+            self.n_triples, self.n_subjects, self.n_predicates, self.n_objects
+        );
+        out.push_str(",\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            r.write_json(&mut out);
+        }
+        out.push_str("],\"geomean_lbr\":");
+        json_f64(&mut out, self.geomean_lbr);
+        out.push_str(",\"geomean_baselines\":[");
+        for (i, g) in self.geomean_baselines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            g.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -255,14 +413,23 @@ mod tests {
         assert_eq!(report.rows.len(), 6);
         assert!(report.n_triples > 0);
         assert!(report.geomean_lbr > 0.0);
+        // Every row carries one time per baseline engine, in kind order.
+        for row in &report.rows {
+            assert_eq!(row.baselines.len(), BASELINE_KINDS.len());
+            for (b, kind) in row.baselines.iter().zip(BASELINE_KINDS) {
+                assert_eq!(b.engine, kind.name());
+            }
+        }
         let table = render_table(&report);
         assert!(table.contains("Q1") && table.contains("Q6"));
+        assert!(table.contains("Tpairwise") && table.contains("Treordered"));
         // Q4/Q5 are the best-match rows.
         assert!(report.rows[3].best_match_required);
         assert!(!report.rows[5].best_match_required);
-        // JSON round-trip for EXPERIMENTS.md.
-        let json = serde_json::to_string(&report).unwrap();
+        // JSON for EXPERIMENTS.md regeneration.
+        let json = report.to_json();
         assert!(json.contains("\"geomean_lbr\""));
+        assert!(json.contains("\"engine\":\"pairwise\""));
     }
 
     #[test]
@@ -270,5 +437,15 @@ mod tests {
         assert!(fmt_secs(0.0000005).ends_with("µs"));
         assert!(fmt_secs(0.0123).ends_with("ms"));
         assert_eq!(fmt_secs(2.5), "2.50s");
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut out = String::new();
+        json_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+        let mut out = String::new();
+        json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
     }
 }

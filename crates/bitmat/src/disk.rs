@@ -23,11 +23,11 @@ use crate::error::BitMatError;
 use crate::matrix::BitMat;
 use crate::row::BitRow;
 use crate::store::BitMatStore;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Mutex;
 
 const MAGIC: &[u8; 8] = b"LBRBM001";
 
@@ -199,7 +199,7 @@ impl DiskCatalog {
     }
 
     fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, BitMatError> {
-        let mut f = self.file.lock();
+        let mut f = self.file.lock().expect("file lock poisoned");
         f.seek(SeekFrom::Start(self.blob_base + offset))?;
         let mut buf = vec![0u8; len];
         f.read_exact(&mut buf)?;
@@ -218,7 +218,12 @@ impl DiskCatalog {
 
     /// Reads (and caches) the row directory of a matrix.
     fn row_dir(&self, fam: u8, key: u32) -> Result<Option<RowDir>, BitMatError> {
-        if let Some(dir) = self.dir_cache.lock().get(&(fam, key)) {
+        if let Some(dir) = self
+            .dir_cache
+            .lock()
+            .expect("dir cache lock poisoned")
+            .get(&(fam, key))
+        {
             return Ok(Some(dir.clone()));
         }
         let Some(e) = self.toc[fam as usize].get(&key).copied() else {
@@ -235,7 +240,10 @@ impl DiskCatalog {
             let rel = u32::from_le_bytes(dir_bytes[at + 8..at + 12].try_into().unwrap());
             dir.insert(id, (cnt, rel));
         }
-        self.dir_cache.lock().insert((fam, key), dir.clone());
+        self.dir_cache
+            .lock()
+            .expect("dir cache lock poisoned")
+            .insert((fam, key), dir.clone());
         Ok(Some(dir))
     }
 

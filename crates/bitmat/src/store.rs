@@ -24,7 +24,7 @@ impl BitMatStore {
     /// Builds all four families from an encoded graph.
     ///
     /// The four sort-and-slice passes are independent, so they run on
-    /// separate threads (crossbeam scope) — index construction is the one
+    /// separate threads (std::thread::scope) — index construction is the one
     /// truly parallel phase of the system.
     pub fn build(graph: &EncodedGraph) -> Self {
         let dims = CubeDims {
@@ -39,8 +39,8 @@ impl BitMatStore {
         let mut os = Vec::new();
         let mut po = Vec::new();
         let mut ps = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let h_so = scope.spawn(|_| {
+        std::thread::scope(|scope| {
+            let h_so = scope.spawn(|| {
                 family(
                     t,
                     dims.n_predicates,
@@ -49,7 +49,7 @@ impl BitMatStore {
                     dims.n_objects,
                 )
             });
-            let h_os = scope.spawn(|_| {
+            let h_os = scope.spawn(|| {
                 family(
                     t,
                     dims.n_predicates,
@@ -58,7 +58,7 @@ impl BitMatStore {
                     dims.n_subjects,
                 )
             });
-            let h_po = scope.spawn(|_| {
+            let h_po = scope.spawn(|| {
                 family(
                     t,
                     dims.n_subjects,
@@ -67,7 +67,7 @@ impl BitMatStore {
                     dims.n_objects,
                 )
             });
-            let h_ps = scope.spawn(|_| {
+            let h_ps = scope.spawn(|| {
                 family(
                     t,
                     dims.n_objects,
@@ -80,8 +80,7 @@ impl BitMatStore {
             os = h_os.join().expect("O-S build panicked");
             po = h_po.join().expect("P-O build panicked");
             ps = h_ps.join().expect("P-S build panicked");
-        })
-        .expect("index build scope");
+        });
         BitMatStore {
             dims,
             so,

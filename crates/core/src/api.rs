@@ -1,0 +1,63 @@
+//! The unified engine interface.
+//!
+//! Every executor in the workspace — the LBR engine and the three §6
+//! baselines plus the reference oracle — implements [`Engine`], so
+//! callers (CLI, benches, equivalence tests, the `lbr::Database` facade)
+//! dispatch through one seam instead of string-matching on engine names.
+//!
+//! The trait is object-safe: planning hands back an opaque
+//! [`std::any::Any`] box that [`Engine::execute_planned`] downcasts, which
+//! lets engines with a real planning phase (LBR's parse → UNF rewrite →
+//! analyze/classify → jvar-order pipeline) cache it across executions
+//! while trivially-planned engines fall back to `execute`.
+
+use crate::bindings::QueryOutput;
+use crate::error::LbrError;
+use crate::solutions::Solutions;
+use lbr_rdf::Dictionary;
+use lbr_sparql::algebra::Query;
+use std::any::Any;
+
+/// A query executor over a BitMat catalog.
+///
+/// `execute` is the one required evaluation method; `solutions` streams,
+/// and `plan_query` / `execute_planned` support prepared queries.
+pub trait Engine {
+    /// Stable engine name (what `--engine` accepts, e.g. `"lbr"`).
+    fn name(&self) -> &'static str;
+
+    /// The dictionary results decode through.
+    fn dict(&self) -> &Dictionary;
+
+    /// Evaluates a query to a materialized [`QueryOutput`].
+    fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError>;
+
+    /// Evaluates a query to a streaming [`Solutions`] iterator.
+    fn solutions(&self, query: &Query) -> Result<Solutions<'_>, LbrError> {
+        Ok(self.execute(query)?.into_solutions(self.dict()))
+    }
+
+    /// Renders the engine's plan for a query as human-readable text.
+    fn explain(&self, query: &Query) -> Result<String, LbrError> {
+        Ok(format!(
+            "engine: {}\nquery: {query}\n(this engine has no planning phase to explain)",
+            self.name()
+        ))
+    }
+
+    /// Runs the engine's planning pipeline once, returning an opaque plan
+    /// that [`Engine::execute_planned`] reuses. Engines without a
+    /// planning phase return a unit plan.
+    fn plan_query(&self, query: &Query) -> Result<Box<dyn Any>, LbrError> {
+        let _ = query;
+        Ok(Box::new(()))
+    }
+
+    /// Executes with a plan from [`Engine::plan_query`]. Engines must
+    /// fall back to plain `execute` when the plan is not theirs, so a
+    /// prepared query can be re-bound to another engine.
+    fn execute_planned(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
+        let _ = plan;
+        self.execute(query)
+    }
+}

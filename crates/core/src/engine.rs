@@ -1,13 +1,26 @@
 //! The query executor: Algorithm 5.1 end-to-end, plus the §5.2 handling of
 //! UNION (UNION normal form), FILTER (init masks + FaN) and Cartesian
 //! products (×-free components evaluated with LBR, combined pairwise).
+//!
+//! Execution is split into two phases so prepared queries can cache the
+//! expensive front half:
+//!
+//! * [`LbrEngine::plan`] — UNF rewrite, per-branch GoSN/GoJ analysis and
+//!   classification, variable-table construction, selectivity estimation
+//!   and jvar ordering, producing an [`LbrPlan`];
+//! * [`LbrEngine::execute_plan`] — init, `prune_triples` and the
+//!   multi-way join against the current catalog.
+//!
+//! [`LbrEngine::execute`] simply runs both; repeated execution through a
+//! prepared query skips straight to the second phase.
 
+use crate::api::Engine;
 use crate::best_match::best_match;
 use crate::bindings::{Binding, QueryOutput, VarTable};
 use crate::error::LbrError;
 use crate::filter_eval::{self, VarLookup};
 use crate::init::{absolute_master_empty, init, TpState};
-use crate::jvar_order::get_jvar_order;
+use crate::jvar_order::{get_jvar_order, JvarOrder};
 use crate::multiway::{multi_way_join, JoinInputs};
 use crate::prune::{prune_triples, PruneOutcome};
 use crate::selectivity::estimate_all;
@@ -15,8 +28,9 @@ use crate::QueryStats;
 use lbr_bitmat::Catalog;
 use lbr_rdf::{Dictionary, Term};
 use lbr_sparql::algebra::{Expr, GraphPattern, Query};
-use lbr_sparql::classify::analyze;
+use lbr_sparql::classify::{analyze, Analyzed};
 use lbr_sparql::rewrite::rewrite_to_unf;
+use std::any::Any;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -24,6 +38,55 @@ use std::time::Instant;
 pub struct LbrEngine<'a, C: Catalog> {
     catalog: &'a C,
     dict: &'a Dictionary,
+}
+
+/// A cached execution plan: everything [`LbrEngine::execute`] derives
+/// from the query text before touching data.
+///
+/// Plans embed per-TP selectivity estimates, so a plan is specific to the
+/// engine (catalog) that produced it. [`Engine::execute_planned`] falls
+/// back to unprepared execution when handed a foreign plan.
+#[derive(Debug, Clone)]
+pub struct LbrPlan {
+    projection: Vec<String>,
+    any_rule3: bool,
+    branches: Vec<PlanNode>,
+}
+
+impl LbrPlan {
+    /// The projected variable names, in projection order.
+    pub fn projection(&self) -> &[String] {
+        &self.projection
+    }
+
+    /// Number of UNION-normal-form branches.
+    pub fn n_branches(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+/// One planned evaluation step, mirroring the §5.2 recursion.
+#[derive(Debug, Clone)]
+enum PlanNode {
+    /// A variable-connected, union-free pattern: Algorithm 5.1 proper.
+    Connected(Box<ConnectedPlan>),
+    /// Cartesian fallback: inner join of two disconnected parts.
+    Join(Box<PlanNode>, Box<PlanNode>),
+    /// Cartesian fallback: left-outer join of two disconnected parts.
+    LeftJoin(Box<PlanNode>, Box<PlanNode>),
+    /// Post-hoc FILTER over a disconnected part.
+    Filter(Box<PlanNode>, Expr),
+    /// A BGP split into variable-connected components, inner-combined.
+    Product(Vec<PlanNode>),
+}
+
+/// The cached analysis of one connected pattern.
+#[derive(Debug, Clone)]
+struct ConnectedPlan {
+    analyzed: Analyzed,
+    vt: VarTable,
+    estimates: Vec<u64>,
+    jorder: JvarOrder,
 }
 
 /// Result of evaluating one union-free / connected sub-pattern.
@@ -42,24 +105,46 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         LbrEngine { catalog, dict }
     }
 
-    /// Executes a query: UNF rewrite → per-branch LBR evaluation →
-    /// bag-union of branches (+ best-match when rule (3) was used) →
-    /// projection.
+    /// Executes a query: plan, then run the plan.
     pub fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
         let t0 = Instant::now();
+        let plan = self.plan(query)?;
+        let mut out = self.execute_plan(&plan)?;
+        out.stats.t_total = t0.elapsed();
+        Ok(out)
+    }
+
+    /// Runs the planning pipeline: UNF rewrite → per-branch GoSN/GoJ
+    /// analysis, classification, variable table, selectivity estimates
+    /// and jvar orders.
+    pub fn plan(&self, query: &Query) -> Result<LbrPlan, LbrError> {
         let branches = rewrite_to_unf(&query.pattern);
         let any_rule3 = branches.iter().any(|b| b.used_rule3);
-        let projection = query.projected_vars();
+        let planned = branches
+            .iter()
+            .map(|b| self.plan_pattern(&b.pattern))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LbrPlan {
+            projection: query.projected_vars(),
+            any_rule3,
+            branches: planned,
+        })
+    }
 
+    /// Executes a cached plan: per-branch LBR evaluation → bag-union of
+    /// branches (+ best-match when rule (3) was used) → projection.
+    pub fn execute_plan(&self, plan: &LbrPlan) -> Result<QueryOutput, LbrError> {
+        let t0 = Instant::now();
         let mut all_rows: Vec<Vec<Option<Binding>>> = Vec::new();
         let mut stats = QueryStats::default();
-        for branch in &branches {
-            let mut part = self.eval_pattern(&branch.pattern)?;
+        for branch in &plan.branches {
+            let mut part = self.exec_node(branch)?;
             if part.needs_best_match {
                 best_match(&mut part.rows);
             }
             // Re-project the branch rows into the query's projection.
-            let col_of: Vec<Option<usize>> = projection
+            let col_of: Vec<Option<usize>> = plan
+                .projection
                 .iter()
                 .map(|v| part.vars.iter().position(|x| x == v))
                 .collect();
@@ -68,7 +153,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             }
             merge_stats(&mut stats, &part.stats);
         }
-        if any_rule3 {
+        if plan.any_rule3 {
             // Rule (3) branches can produce spurious subsumed rows across
             // branches; minimum-union them away (§5.2).
             best_match(&mut all_rows);
@@ -80,57 +165,52 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             .count();
         stats.t_total = t0.elapsed();
         Ok(QueryOutput {
-            vars: projection,
+            vars: plan.projection.clone(),
             rows: all_rows,
             stats,
         })
     }
 
-    /// Evaluates one union-free pattern; splits off Cartesian-product
+    /// Plans one union-free pattern; splits off Cartesian-product
     /// components when the pattern is not variable-connected.
-    fn eval_pattern(&self, pattern: &GraphPattern) -> Result<PartResult, LbrError> {
+    fn plan_pattern(&self, pattern: &GraphPattern) -> Result<PlanNode, LbrError> {
         let analyzed = analyze(pattern)?;
         if analyzed.class.connected {
-            return self.eval_connected(pattern);
+            let vt = VarTable::from_tps(analyzed.gosn.tps())?;
+            let estimates = estimate_all(analyzed.gosn.tps(), self.dict, self.catalog);
+            let jorder = get_jvar_order(&analyzed.gosn, &analyzed.goj, &vt, &estimates);
+            return Ok(PlanNode::Connected(Box::new(ConnectedPlan {
+                analyzed,
+                vt,
+                estimates,
+                jorder,
+            })));
         }
         // §5.2 Cartesian handling: evaluate ×-free sub-patterns with LBR
         // and combine pairwise at the disconnection points.
         match pattern {
-            GraphPattern::Join(l, r) => {
-                let a = self.eval_pattern(l)?;
-                let b = self.eval_pattern(r)?;
-                Ok(combine(a, b, JoinKind::Inner))
-            }
-            GraphPattern::LeftJoin(l, r) => {
-                let a = self.eval_pattern(l)?;
-                let b = self.eval_pattern(r)?;
-                Ok(combine(a, b, JoinKind::LeftOuter))
-            }
-            GraphPattern::Filter(inner, e) => {
-                let mut part = self.eval_pattern(inner)?;
-                let vt_names = part.vars.clone();
-                part.rows.retain(|row| {
-                    let lk = NamedRowLookup {
-                        names: &vt_names,
-                        row,
-                        dict: self.dict,
-                    };
-                    filter_eval::eval(e, &lk)
-                });
-                Ok(part)
-            }
+            GraphPattern::Join(l, r) => Ok(PlanNode::Join(
+                Box::new(self.plan_pattern(l)?),
+                Box::new(self.plan_pattern(r)?),
+            )),
+            GraphPattern::LeftJoin(l, r) => Ok(PlanNode::LeftJoin(
+                Box::new(self.plan_pattern(l)?),
+                Box::new(self.plan_pattern(r)?),
+            )),
+            GraphPattern::Filter(inner, e) => Ok(PlanNode::Filter(
+                Box::new(self.plan_pattern(inner)?),
+                e.clone(),
+            )),
             GraphPattern::Bgp(tps) => {
                 // Split the BGP into variable-connected components.
                 let comps = bgp_components(tps);
-                let mut acc: Option<PartResult> = None;
-                for comp in comps {
-                    let part = self.eval_pattern(&GraphPattern::Bgp(comp))?;
-                    acc = Some(match acc {
-                        None => part,
-                        Some(prev) => combine(prev, part, JoinKind::Inner),
-                    });
-                }
-                Ok(acc.expect("BGP has at least one component"))
+                debug_assert!(!comps.is_empty(), "BGP has at least one component");
+                Ok(PlanNode::Product(
+                    comps
+                        .into_iter()
+                        .map(|comp| self.plan_pattern(&GraphPattern::Bgp(comp)))
+                        .collect::<Result<Vec<_>, _>>()?,
+                ))
             }
             GraphPattern::Union(_, _) => Err(LbrError::Unsupported(
                 "UNION survived the UNF rewrite".into(),
@@ -138,32 +218,77 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         }
     }
 
+    /// Evaluates one planned node.
+    fn exec_node(&self, node: &PlanNode) -> Result<PartResult, LbrError> {
+        match node {
+            PlanNode::Connected(cp) => self.eval_connected(cp),
+            PlanNode::Join(l, r) => {
+                let a = self.exec_node(l)?;
+                let b = self.exec_node(r)?;
+                Ok(combine(a, b, JoinKind::Inner))
+            }
+            PlanNode::LeftJoin(l, r) => {
+                let a = self.exec_node(l)?;
+                let b = self.exec_node(r)?;
+                Ok(combine(a, b, JoinKind::LeftOuter))
+            }
+            PlanNode::Filter(inner, e) => {
+                let mut part = self.exec_node(inner)?;
+                // One name → column map per filter, not one linear scan
+                // per variable per row.
+                let columns: HashMap<&str, usize> = part
+                    .vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v.as_str(), i))
+                    .collect();
+                part.rows.retain(|row| {
+                    let lk = IndexedRowLookup {
+                        columns: &columns,
+                        row,
+                        dict: self.dict,
+                    };
+                    filter_eval::eval(e, &lk)
+                });
+                Ok(part)
+            }
+            PlanNode::Product(comps) => {
+                let mut acc: Option<PartResult> = None;
+                for comp in comps {
+                    let part = self.exec_node(comp)?;
+                    acc = Some(match acc {
+                        None => part,
+                        Some(prev) => combine(prev, part, JoinKind::Inner),
+                    });
+                }
+                Ok(acc.expect("BGP has at least one component"))
+            }
+        }
+    }
+
     /// Algorithm 5.1 for one connected, union-free pattern.
-    fn eval_connected(&self, pattern: &GraphPattern) -> Result<PartResult, LbrError> {
-        let analyzed = analyze(pattern)?;
+    fn eval_connected(&self, cp: &ConnectedPlan) -> Result<PartResult, LbrError> {
+        let analyzed = &cp.analyzed;
         let gosn = &analyzed.gosn;
-        let goj = &analyzed.goj;
-        let vt = VarTable::from_tps(gosn.tps())?;
+        let vt = &cp.vt;
+        let jorder = &cp.jorder;
+        let estimates = &cp.estimates;
         let dims = self.catalog.dims();
         let mut stats = QueryStats {
             nb_required: analyzed.class.nb_required,
+            initial_triples: estimates.iter().sum(),
             ..Default::default()
         };
 
-        // Selectivity metadata + jvar orders (no loads yet).
-        let estimates = estimate_all(gosn.tps(), self.dict, self.catalog);
-        stats.initial_triples = estimates.iter().sum();
-        let jorder = get_jvar_order(gosn, goj, &vt, &estimates);
-
         // init with active pruning.
         let t = Instant::now();
-        let mut loaded = init(gosn, &vt, &jorder, &estimates, self.dict, self.catalog)?;
+        let mut loaded = init(gosn, vt, jorder, estimates, self.dict, self.catalog)?;
         // Single-variable supernode filters become init-time masks; the
         // rest go to the FaN hook.
         let mut fan_filters: Vec<(Option<usize>, &Expr)> = Vec::new();
         for sn in 0..gosn.n_supernodes() {
             for expr in gosn.sn_filters(sn) {
-                if !self.apply_filter_mask(sn, expr, gosn, &vt, &mut loaded.tps) {
+                if !self.apply_filter_mask(sn, expr, gosn, vt, &mut loaded.tps) {
                     fan_filters.push((Some(sn), expr));
                 }
             }
@@ -186,7 +311,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
 
         // prune_triples.
         let t = Instant::now();
-        let outcome = prune_triples(&mut loaded.tps, gosn, goj, &vt, &jorder, &dims);
+        let outcome = prune_triples(&mut loaded.tps, gosn, &analyzed.goj, vt, jorder, &dims);
         stats.t_prune = t.elapsed();
         stats.triples_after_pruning = loaded.tps.iter().map(TpState::count).sum();
         if outcome == PruneOutcome::EmptyAbsoluteMaster {
@@ -207,7 +332,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         let inputs = JoinInputs {
             tps: &loaded.tps,
             gosn,
-            vt: &vt,
+            vt,
             dims,
             dict: self.dict,
             fan_filters,
@@ -266,6 +391,35 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
     }
 }
 
+impl<C: Catalog> Engine for LbrEngine<'_, C> {
+    fn name(&self) -> &'static str {
+        "lbr"
+    }
+
+    fn dict(&self) -> &Dictionary {
+        self.dict
+    }
+
+    fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
+        LbrEngine::execute(self, query)
+    }
+
+    fn explain(&self, query: &Query) -> Result<String, LbrError> {
+        crate::explain::explain(query, self.dict, self.catalog)
+    }
+
+    fn plan_query(&self, query: &Query) -> Result<Box<dyn Any>, LbrError> {
+        Ok(Box::new(self.plan(query)?))
+    }
+
+    fn execute_planned(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
+        match plan.downcast_ref::<LbrPlan>() {
+            Some(plan) => self.execute_plan(plan),
+            None => LbrEngine::execute(self, query),
+        }
+    }
+}
+
 struct SingleLookup<'a> {
     name: &'a str,
     term: &'a Term,
@@ -277,15 +431,17 @@ impl VarLookup for SingleLookup<'_> {
     }
 }
 
-struct NamedRowLookup<'a> {
-    names: &'a [String],
+/// Row lookup for post-hoc FILTER evaluation backed by a name → column
+/// map built once per filter (the per-variable scan was O(vars) per row).
+struct IndexedRowLookup<'a> {
+    columns: &'a HashMap<&'a str, usize>,
     row: &'a [Option<Binding>],
     dict: &'a Dictionary,
 }
 
-impl VarLookup for NamedRowLookup<'_> {
+impl VarLookup for IndexedRowLookup<'_> {
     fn term(&self, name: &str) -> Option<&Term> {
-        let i = self.names.iter().position(|n| n == name)?;
+        let i = *self.columns.get(name)?;
         self.row[i].as_ref().map(|b| b.decode(self.dict))
     }
 }

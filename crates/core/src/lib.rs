@@ -26,6 +26,7 @@
 //! Cartesian products fall back to evaluating ×-free components with LBR
 //! and combining them pairwise (§5.2).
 
+pub mod api;
 pub mod best_match;
 pub mod bindings;
 pub mod engine;
@@ -37,13 +38,16 @@ pub mod jvar_order;
 pub mod multiway;
 pub mod prune;
 pub mod selectivity;
+pub mod solutions;
 
+pub use api::Engine;
 pub use bindings::{Binding, BindingSpace, QueryOutput, VarSpace, VarTable};
-pub use engine::LbrEngine;
+pub use engine::{LbrEngine, LbrPlan};
 pub use error::LbrError;
 pub use explain::explain;
 pub use jvar_order::JvarOrder;
 pub use multiway::ExecStats;
+pub use solutions::{Row, RowSchema, Solutions};
 
 /// Per-query statistics matching the columns of Tables 6.2–6.4.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,268 @@
+//! The streaming result API: [`Solutions`] yields [`Row`] handles with
+//! name-based, dictionary-bound accessors, so callers never index into
+//! `Vec<Vec<Option<Binding>>>` or thread the dictionary around by hand.
+//!
+//! [`QueryOutput`] remains the materialized convenience;
+//! [`QueryOutput::into_solutions`] and [`Solutions::collect_output`]
+//! convert between the two without copying rows.
+
+use crate::bindings::{Binding, QueryOutput};
+use crate::QueryStats;
+use lbr_rdf::{Dictionary, Term};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared column layout of a result set: names plus a name → column map.
+#[derive(Debug)]
+pub struct RowSchema {
+    vars: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl RowSchema {
+    /// Builds a schema from projected variable names.
+    pub fn new(vars: Vec<String>) -> Arc<RowSchema> {
+        let index = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i))
+            .collect();
+        Arc::new(RowSchema { vars, index })
+    }
+
+    /// Column names in projection order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Column of a variable name (without the `?`).
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+}
+
+/// A stream of solution rows bound to the database dictionary.
+///
+/// Iterating yields [`Row`]s; [`Solutions::collect_output`] materializes
+/// the remainder back into a [`QueryOutput`].
+pub struct Solutions<'d> {
+    schema: Arc<RowSchema>,
+    dict: &'d Dictionary,
+    rows: std::vec::IntoIter<Vec<Option<Binding>>>,
+    stats: QueryStats,
+}
+
+impl<'d> Solutions<'d> {
+    /// Builds a stream from raw parts.
+    pub fn new(
+        vars: Vec<String>,
+        rows: Vec<Vec<Option<Binding>>>,
+        stats: QueryStats,
+        dict: &'d Dictionary,
+    ) -> Solutions<'d> {
+        Solutions {
+            schema: RowSchema::new(vars),
+            dict,
+            rows: rows.into_iter(),
+            stats,
+        }
+    }
+
+    /// Projected variable names, in projection order.
+    pub fn vars(&self) -> &[String] {
+        self.schema.vars()
+    }
+
+    /// Execution statistics of the query that produced this stream.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Rows not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Materializes all remaining rows into a [`QueryOutput`].
+    pub fn collect_output(self) -> QueryOutput {
+        QueryOutput {
+            vars: self.schema.vars().to_vec(),
+            rows: self.rows.collect(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl<'d> Iterator for Solutions<'d> {
+    type Item = Row<'d>;
+
+    fn next(&mut self) -> Option<Row<'d>> {
+        let cells = self.rows.next()?;
+        Some(Row {
+            schema: Arc::clone(&self.schema),
+            dict: self.dict,
+            cells,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.rows.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Solutions<'_> {}
+
+/// One solution: named, dictionary-decoded access to its bindings.
+#[derive(Debug, Clone)]
+pub struct Row<'d> {
+    schema: Arc<RowSchema>,
+    dict: &'d Dictionary,
+    cells: Vec<Option<Binding>>,
+}
+
+impl<'d> Row<'d> {
+    /// Column names in projection order.
+    pub fn vars(&self) -> &[String] {
+        self.schema.vars()
+    }
+
+    /// The decoded term bound to `name` (`None` when the variable is
+    /// unbound in this row *or* not part of the projection).
+    pub fn term(&self, name: &str) -> Option<&'d Term> {
+        let col = self.schema.column(name)?;
+        self.cells[col].as_ref().map(|b| b.decode(self.dict))
+    }
+
+    /// The decoded term in column `col` (`None` for an OPTIONAL NULL).
+    pub fn get(&self, col: usize) -> Option<&'d Term> {
+        self.cells.get(col)?.as_ref().map(|b| b.decode(self.dict))
+    }
+
+    /// The raw encoded binding of `name`, for ID-level processing.
+    pub fn binding(&self, name: &str) -> Option<Binding> {
+        self.cells[self.schema.column(name)?]
+    }
+
+    /// Whether `name` is bound in this row.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.schema
+            .column(name)
+            .is_some_and(|c| self.cells[c].is_some())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True for a zero-column row (e.g. an `ASK`-like projection).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All cells decoded in projection order (`None` = NULL).
+    pub fn decoded(&self) -> Vec<Option<&'d Term>> {
+        self.cells
+            .iter()
+            .map(|b| b.as_ref().map(|x| x.decode(self.dict)))
+            .collect()
+    }
+
+    /// The row as a tab-separated line (`NULL` for unbound cells), the
+    /// same rendering [`QueryOutput::render`] uses.
+    pub fn render(&self) -> String {
+        self.decoded()
+            .into_iter()
+            .map(|t| t.map_or_else(|| "NULL".to_string(), |x| x.to_string()))
+            .collect::<Vec<_>>()
+            .join("\t")
+    }
+
+    /// Consumes the row, returning the raw encoded cells.
+    pub fn into_cells(self) -> Vec<Option<Binding>> {
+        self.cells
+    }
+}
+
+impl QueryOutput {
+    /// Converts the materialized output into a [`Solutions`] stream
+    /// without copying rows.
+    pub fn into_solutions(self, dict: &Dictionary) -> Solutions<'_> {
+        Solutions::new(self.vars, self.rows, self.stats, dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::BindingSpace;
+    use lbr_rdf::{Graph, Term, Triple};
+
+    fn dict() -> Dictionary {
+        Graph::from_triples(vec![Triple::new(
+            Term::iri("a"),
+            Term::iri("p"),
+            Term::iri("b"),
+        )])
+        .encode()
+        .dict
+    }
+
+    fn b(id: u32, space: BindingSpace) -> Option<Binding> {
+        Some(Binding { id, space })
+    }
+
+    #[test]
+    fn roundtrip_and_named_access() {
+        let d = dict();
+        let out = QueryOutput {
+            vars: vec!["x".into(), "y".into()],
+            rows: vec![
+                vec![b(0, BindingSpace::Subject), b(0, BindingSpace::Object)],
+                vec![b(0, BindingSpace::Subject), None],
+            ],
+            stats: QueryStats::default(),
+        };
+        let expect_render = out.render(&d);
+
+        let mut solutions = out.clone().into_solutions(&d);
+        assert_eq!(solutions.vars(), ["x".to_string(), "y".to_string()]);
+        assert_eq!(solutions.len(), 2);
+
+        let first = solutions.next().unwrap();
+        assert_eq!(first.term("x"), Some(&Term::iri("a")));
+        assert_eq!(first.term("y"), Some(&Term::iri("b")));
+        assert_eq!(first.term("nope"), None);
+        assert!(first.is_bound("x") && !first.is_bound("nope"));
+        assert_eq!(first.render(), expect_render[0]);
+
+        let second = solutions.next().unwrap();
+        assert_eq!(second.term("y"), None);
+        assert!(!second.is_bound("y"));
+        assert_eq!(second.render(), expect_render[1]);
+        assert!(solutions.next().is_none());
+
+        // Row-for-row identical when re-materialized.
+        let back = out.clone().into_solutions(&d).collect_output();
+        assert_eq!(back.vars, out.vars);
+        assert_eq!(back.rows, out.rows);
+    }
+
+    #[test]
+    fn partially_consumed_stream_collects_the_rest() {
+        let d = dict();
+        let out = QueryOutput {
+            vars: vec!["x".into()],
+            rows: vec![
+                vec![b(0, BindingSpace::Subject)],
+                vec![None],
+                vec![b(0, BindingSpace::Subject)],
+            ],
+            stats: QueryStats::default(),
+        };
+        let mut s = out.into_solutions(&d);
+        let _ = s.next();
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(s.collect_output().rows.len(), 2);
+    }
+}

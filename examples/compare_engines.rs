@@ -1,14 +1,14 @@
-//! Head-to-head of the three executors on one low-selectivity OPTIONAL
-//! query: LBR, the pairwise hash-join engine (Virtuoso-analog), and the
-//! outer-join-reordering engine with nullification/best-match.
+//! Head-to-head of the executors on one low-selectivity OPTIONAL query:
+//! LBR, both pairwise hash-join configurations (Virtuoso/MonetDB analogs)
+//! and the outer-join-reordering engine — all dispatched through the one
+//! `Engine` trait via `EngineKind`, with no per-engine code.
 //!
 //! ```sh
 //! cargo run --release --example compare_engines
 //! ```
 
-use lbr::baseline::{JoinOrder, PairwiseEngine, ReorderedEngine};
 use lbr::datagen::uniprot;
-use lbr::{parse_query, Database};
+use lbr::{parse_query, Database, EngineKind};
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
         taxa: 30,
         seed: 42,
     });
-    let db = Database::from_encoded(ds.graph.clone().encode());
+    let db = Database::builder()
+        .encoded(ds.graph.clone().encode())
+        .build()
+        .expect("encoded graph builds");
     println!("UniProt-like dataset: {} triples", db.len());
 
     // Q1: three blocks, two OPTIONALs, low selectivity.
@@ -25,34 +28,36 @@ fn main() {
     let query = parse_query(&q.text).unwrap();
     println!("query {} — {}", q.id, q.note);
 
-    let t = Instant::now();
-    let lbr_out = db.execute_query(&query).unwrap();
-    let t_lbr = t.elapsed();
-
-    let t = Instant::now();
-    let pw = PairwiseEngine::new(db.store(), db.dict(), JoinOrder::Selectivity)
-        .execute(&query)
-        .unwrap();
-    let t_pw = t.elapsed();
-
-    let t = Instant::now();
-    let ro = ReorderedEngine::new(db.store(), db.dict())
-        .execute(&query)
-        .unwrap();
-    let t_ro = t.elapsed();
-
-    assert_eq!(lbr_out.len(), pw.rows.len(), "engines disagree");
-    assert_eq!(lbr_out.len(), ro.rows.len(), "engines disagree");
-
-    println!("rows: {}", lbr_out.len());
-    println!(
-        "LBR                     {t_lbr:>10.2?}  (init {:.2?}, prune {:.2?}, join {:.2?})",
-        lbr_out.stats.t_init, lbr_out.stats.t_prune, lbr_out.stats.t_join
-    );
-    println!("pairwise hash joins     {t_pw:>10.2?}");
-    println!("reorder + nullification {t_ro:>10.2?}");
-    println!(
-        "pruning: {} candidate triples → {}",
-        lbr_out.stats.initial_triples, lbr_out.stats.triples_after_pruning
-    );
+    // The reference oracle is O(rows²) — every other engine runs here.
+    let contenders = [
+        EngineKind::Lbr,
+        EngineKind::PairwiseSelectivity,
+        EngineKind::PairwiseQueryOrder,
+        EngineKind::Reordered,
+    ];
+    let mut n_rows: Option<usize> = None;
+    for kind in contenders {
+        let engine = db.engine_of(kind);
+        let t = Instant::now();
+        let out = engine.execute(&query).expect("query runs");
+        let elapsed = t.elapsed();
+        match n_rows {
+            None => n_rows = Some(out.len()),
+            Some(n) => assert_eq!(n, out.len(), "engines disagree"),
+        }
+        let phases = if kind == EngineKind::Lbr {
+            format!(
+                "  (init {:.2?}, prune {:.2?}, join {:.2?}; pruning {} → {} candidates)",
+                out.stats.t_init,
+                out.stats.t_prune,
+                out.stats.t_join,
+                out.stats.initial_triples,
+                out.stats.triples_after_pruning,
+            )
+        } else {
+            String::new()
+        };
+        println!("{:<12} {elapsed:>10.2?}{phases}", kind.name());
+    }
+    println!("rows: {}", n_rows.unwrap_or(0));
 }

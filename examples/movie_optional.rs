@@ -18,49 +18,42 @@ fn t(s: &str, p: &str, o: &str) -> Triple {
 
 fn main() {
     // The data of Figure 3.2.
-    let db = Database::from_triples(vec![
-        t("Julia", "actedIn", "Seinfeld"),
-        t("Julia", "actedIn", "Veep"),
-        t("Julia", "actedIn", "NewAdvOldChristine"),
-        t("Julia", "actedIn", "CurbYourEnthu"),
-        t("CurbYourEnthu", "location", "LosAngeles"),
-        t("Larry", "actedIn", "CurbYourEnthu"),
-        t("Jerry", "hasFriend", "Julia"),
-        t("Jerry", "hasFriend", "Larry"),
-        t("Seinfeld", "location", "NewYorkCity"),
-        t("Veep", "location", "D.C."),
-        t("NewAdvOldChristine", "location", "Jersey"),
-    ]);
+    let db = Database::builder()
+        .triples(vec![
+            t("Julia", "actedIn", "Seinfeld"),
+            t("Julia", "actedIn", "Veep"),
+            t("Julia", "actedIn", "NewAdvOldChristine"),
+            t("Julia", "actedIn", "CurbYourEnthu"),
+            t("CurbYourEnthu", "location", "LosAngeles"),
+            t("Larry", "actedIn", "CurbYourEnthu"),
+            t("Jerry", "hasFriend", "Julia"),
+            t("Jerry", "hasFriend", "Larry"),
+            t("Seinfeld", "location", "NewYorkCity"),
+            t("Veep", "location", "D.C."),
+            t("NewAdvOldChristine", "location", "Jersey"),
+        ])
+        .build()
+        .expect("in-memory build");
 
-    let query = parse_query(
-        "PREFIX : <> SELECT ?friend ?sitcom WHERE {
+    let text = "PREFIX : <> SELECT ?friend ?sitcom WHERE {
            :Jerry :hasFriend ?friend .
-           OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
-    )
-    .unwrap();
+           OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }";
+    let query = parse_query(text).unwrap();
 
+    // The three-stage trace is specific to the reordering baseline, so it
+    // is the one place the concrete engine type (not the trait) appears.
     println!("== The reordering baseline (Rao et al. style) ==");
     let engine = ReorderedEngine::new(db.store(), db.dict());
     let trace = engine.execute_traced(&query).unwrap();
     let show = |label: &str, rel: &lbr::baseline::Relation| {
         println!("{label}: {} rows", rel.rows.len());
-        let mut rows: Vec<String> = rel
-            .rows
-            .iter()
-            .map(|r| {
-                r.iter()
-                    .map(|b| {
-                        b.map_or("NULL".to_string(), |x| {
-                            x.decode(db.dict()).lexical_form().to_string()
-                        })
-                    })
-                    .collect::<Vec<_>>()
-                    .join("\t")
-            })
+        let mut rows: Vec<String> = lbr::baseline::relation_to_output(rel.clone())
+            .into_solutions(db.dict())
+            .map(|row| format!("  {}", row.render()))
             .collect();
         rows.sort();
         for row in rows {
-            println!("  {row}");
+            println!("{row}");
         }
     };
     show("Res1 (reordered joins)", &trace.after_join);
@@ -68,16 +61,18 @@ fn main() {
     show("Res3 (after best-match)", &trace.after_best_match);
 
     println!("\n== LBR ==");
-    let out = db.execute_query(&query).unwrap();
-    let mut rows = out.render(db.dict());
+    let solutions = db.solutions(text).unwrap();
+    let stats = solutions.stats().clone();
+    let mut rows: Vec<String> = solutions.map(|row| format!("  {}", row.render())).collect();
     rows.sort();
+    let n_rows = rows.len();
     for row in &rows {
-        println!("  {row}");
+        println!("{row}");
     }
     println!(
         "nullification fired: {} (Lemma 3.3: acyclic well-designed ⇒ never); \
          triples pruned {} → {}",
-        out.stats.nullification_fired, out.stats.initial_triples, out.stats.triples_after_pruning,
+        stats.nullification_fired, stats.initial_triples, stats.triples_after_pruning,
     );
-    assert_eq!(out.len(), trace.after_best_match.rows.len());
+    assert_eq!(n_rows, trace.after_best_match.rows.len());
 }

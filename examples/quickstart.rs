@@ -1,29 +1,35 @@
-//! Quickstart: load a few triples, run an OPTIONAL query, print the rows.
+//! Quickstart: build a database, prepare an OPTIONAL query once, stream
+//! the rows with name-based accessors.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use lbr::Database;
+use lbr::{Database, EngineKind};
 
 fn main() {
-    let db = Database::from_ntriples(
-        r#"
-        <Jerry>    <hasFriend> <Julia> .
-        <Jerry>    <hasFriend> <Larry> .
-        <Julia>    <actedIn>   <Seinfeld> .
-        <Julia>    <actedIn>   <Veep> .
-        <Larry>    <actedIn>   <CurbYourEnthusiasm> .
-        <Seinfeld> <location>  <NewYorkCity> .
-        <Veep>     <location>  <WashingtonDC> .
-        "#,
-    )
-    .expect("valid N-Triples");
+    let db = Database::builder()
+        .ntriples(
+            r#"
+            <Jerry>    <hasFriend> <Julia> .
+            <Jerry>    <hasFriend> <Larry> .
+            <Julia>    <actedIn>   <Seinfeld> .
+            <Julia>    <actedIn>   <Veep> .
+            <Larry>    <actedIn>   <CurbYourEnthusiasm> .
+            <Seinfeld> <location>  <NewYorkCity> .
+            <Veep>     <location>  <WashingtonDC> .
+            "#,
+        )
+        .engine(EngineKind::Lbr)
+        .build()
+        .expect("valid N-Triples");
 
     // Q2 of the paper's introduction: all of Jerry's friends; for those who
-    // acted in a New York City sitcom, also the sitcom.
-    let out = db
-        .execute(
+    // acted in a New York City sitcom, also the sitcom. Preparing runs the
+    // parse → UNF rewrite → analysis → jvar-order pipeline once; each
+    // execution afterwards only touches data.
+    let prepared = db
+        .prepare(
             r#"
             SELECT ?friend ?sitcom WHERE {
               <Jerry> <hasFriend> ?friend .
@@ -31,20 +37,32 @@ fn main() {
                          ?sitcom <location> <NewYorkCity> . } }
             "#,
         )
-        .expect("query runs");
+        .expect("query prepares");
 
     println!("?friend\t?sitcom");
-    let mut rows = out.render(db.dict());
+    let solutions = prepared.solutions().expect("query runs");
+    let stats = solutions.stats().clone();
+    let mut rows: Vec<String> = solutions
+        .map(|row| {
+            // Name-based, dictionary-bound access — no column indexes, no
+            // dict() threading.
+            let friend = row.term("friend").expect("friend is always bound");
+            let sitcom = row
+                .term("sitcom")
+                .map_or_else(|| "—".to_string(), |t| t.to_string());
+            format!("{friend}\t{sitcom}")
+        })
+        .collect();
     rows.sort();
     for row in rows {
         println!("{row}");
     }
     println!(
         "\n{} rows ({} with NULLs) in {:?}; pruned {} → {} candidate triples",
-        out.len(),
-        out.rows_with_nulls(),
-        out.stats.t_total,
-        out.stats.initial_triples,
-        out.stats.triples_after_pruning,
+        stats.n_results,
+        stats.n_results_with_nulls,
+        stats.t_total,
+        stats.initial_triples,
+        stats.triples_after_pruning,
     );
 }

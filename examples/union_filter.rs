@@ -7,22 +7,24 @@
 //! ```
 
 use lbr::sparql::rewrite::rewrite_to_unf;
-use lbr::{parse_query, Database};
+use lbr::Database;
 
 fn main() {
-    let db = Database::from_ntriples(
-        r#"
-        <Jerry>  <hasFriend> <Julia> .
-        <Jerry>  <hasFriend> <Larry> .
-        <Jerry>  <hasFriend> <Elaine> .
-        <Julia>  <livesIn>   <NewYorkCity> .
-        <Larry>  <livesIn>   <LosAngeles> .
-        <Julia>  <age>       "62" .
-        <Larry>  <age>       "76" .
-        <Elaine> <age>       "59" .
-        "#,
-    )
-    .unwrap();
+    let db = Database::builder()
+        .ntriples(
+            r#"
+            <Jerry>  <hasFriend> <Julia> .
+            <Jerry>  <hasFriend> <Larry> .
+            <Jerry>  <hasFriend> <Elaine> .
+            <Julia>  <livesIn>   <NewYorkCity> .
+            <Larry>  <livesIn>   <LosAngeles> .
+            <Julia>  <age>       "62" .
+            <Larry>  <age>       "76" .
+            <Elaine> <age>       "59" .
+            "#,
+        )
+        .build()
+        .unwrap();
 
     // UNION inside an OPTIONAL — the non-equivalence rewrite (rule 3).
     let text = r#"
@@ -31,8 +33,8 @@ fn main() {
           FILTER ( ?f != <Elaine> )
           OPTIONAL { { ?f <livesIn> <NewYorkCity> . } UNION { ?f <livesIn> <LosAngeles> . } } }
     "#;
-    let query = parse_query(text).unwrap();
-    let branches = rewrite_to_unf(&query.pattern);
+    let prepared = db.prepare(text).unwrap();
+    let branches = rewrite_to_unf(&prepared.query().pattern);
     println!(
         "UNION normal form: {} branches (rule 3 used: {})",
         branches.len(),
@@ -42,20 +44,28 @@ fn main() {
         println!("  branch {i}: {}", b.pattern.serialized());
     }
 
-    let out = db.execute(text).unwrap();
     println!("\nresults:");
-    let mut rows = out.render(db.dict());
+    let mut rows: Vec<String> = prepared
+        .solutions()
+        .unwrap()
+        .map(|row| format!("  {}", row.render()))
+        .collect();
     rows.sort();
     for row in rows {
-        println!("  {row}");
+        println!("{row}");
     }
 
-    // A numeric filter evaluated as an init-time candidate mask.
-    let out = db
-        .execute(r#"SELECT * WHERE { <Jerry> <hasFriend> ?f . ?f <age> ?a . FILTER(?a > 60) }"#)
-        .unwrap();
+    // A numeric filter evaluated as an init-time candidate mask, read
+    // through the named streaming accessors.
     println!("\nfriends over 60:");
-    for row in out.render(db.dict()) {
-        println!("  {row}");
+    let solutions = db
+        .solutions(r#"SELECT * WHERE { <Jerry> <hasFriend> ?f . ?f <age> ?a . FILTER(?a > 60) }"#)
+        .unwrap();
+    for row in solutions {
+        println!(
+            "  {} (age {})",
+            row.term("f").expect("f is bound"),
+            row.term("a").expect("a is bound").lexical_form(),
+        );
     }
 }

@@ -5,19 +5,24 @@
 //! lbr-cli data.nt --file query.rq --engine pairwise
 //! lbr-cli data.nt --explain 'SELECT * WHERE { … }'
 //! lbr-cli data.nt --save-index data.lbr     # build + persist the BitMat index
-//! lbr-cli --index data.lbr 'SELECT …'       # query the on-disk index lazily
+//! lbr-cli data.nt --index data.lbr 'SELECT …'  # query the on-disk index lazily
 //! ```
 //!
-//! Options: `--engine lbr|pairwise|query-order|reordered` (default lbr),
-//! `--explain` (print the plan instead of executing), `--stats`,
-//! `--file <query.rq>`, `--save-index <path>`, `--index <path>`.
+//! Options: `--engine lbr|pairwise|query-order|reordered|reference`
+//! (default lbr), `--explain` (print the plan instead of executing),
+//! `--stats`, `--repeat N` (re-run the prepared query N times and report
+//! the average), `--file <query.rq>`, `--save-index <path>`,
+//! `--index <path>`.
+//!
+//! Every engine goes through the same [`lbr::Engine`] dispatch and the
+//! same streaming result printer — there is no per-engine result
+//! handling.
 
-use lbr::baseline::{JoinOrder, PairwiseEngine, ReorderedEngine};
 use lbr::bitmat::disk::save_store;
-use lbr::core::explain::explain;
-use lbr::{parse_query, Database, DiskCatalog, LbrEngine};
+use lbr::{Database, EngineKind};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     data: Option<String>,
@@ -25,9 +30,10 @@ struct Options {
     save_index: Option<String>,
     query: Option<String>,
     query_file: Option<String>,
-    engine: String,
+    engine: EngineKind,
     explain: bool,
     stats: bool,
+    repeat: u32,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,21 +43,32 @@ fn parse_args() -> Result<Options, String> {
         save_index: None,
         query: None,
         query_file: None,
-        engine: "lbr".into(),
+        engine: EngineKind::Lbr,
         explain: false,
         stats: false,
+        repeat: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--engine" => o.engine = args.next().ok_or("--engine needs a value")?,
+            "--engine" => {
+                let name = args.next().ok_or("--engine needs a value")?;
+                o.engine = name.parse()?;
+            }
             "--file" => o.query_file = Some(args.next().ok_or("--file needs a value")?),
             "--index" => o.index = Some(args.next().ok_or("--index needs a value")?),
             "--save-index" => o.save_index = Some(args.next().ok_or("--save-index needs a value")?),
+            "--repeat" => {
+                let n = args.next().ok_or("--repeat needs a value")?;
+                o.repeat = n.parse().map_err(|_| format!("bad --repeat value '{n}'"))?;
+                if o.repeat == 0 {
+                    return Err("--repeat must be at least 1".into());
+                }
+            }
             "--explain" => o.explain = true,
             "--stats" => o.stats = true,
             "--help" | "-h" => return Err("help".into()),
-            _ if o.data.is_none() && o.index.is_none() && a.ends_with(".nt") => o.data = Some(a),
+            _ if o.data.is_none() && a.ends_with(".nt") => o.data = Some(a),
             _ if o.query.is_none() => o.query = Some(a),
             other => return Err(format!("unexpected argument '{other}'")),
         }
@@ -60,226 +77,127 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() {
+    let engines: Vec<&str> = EngineKind::all().iter().map(|k| k.name()).collect();
     eprintln!(
-        "usage: lbr-cli <data.nt> [QUERY] [--file query.rq] \
-         [--engine lbr|pairwise|query-order|reordered] [--explain] [--stats] \
-         [--save-index path]\n       lbr-cli --index <path.lbr> [QUERY] …"
+        "usage: lbr-cli <data.nt> [QUERY] [--file query.rq] [--engine {}] \
+         [--explain] [--stats] [--repeat N] [--save-index path] [--index path.lbr]",
+        engines.join("|")
     );
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
+    match run() {
+        Ok(code) => code,
         Err(e) => {
-            if e != "help" {
-                eprintln!("error: {e}");
+            if e == "help" {
+                usage();
+                return ExitCode::from(2);
             }
-            usage();
-            return ExitCode::from(2);
+            eprintln!("error: {e}");
+            if e.contains("usage") || e.contains("unexpected") || e.contains("no ") {
+                usage();
+            }
+            ExitCode::FAILURE
         }
-    };
+    }
+}
 
-    // Load data (N-Triples) and/or the on-disk index.
-    let db: Option<Database> = match &opts.data {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match Database::from_ntriples(&text) {
-                Ok(db) => Some(db),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+
+    // Assemble the database: N-Triples data, optionally backed by the
+    // lazily-read on-disk index.
+    let mut builder = Database::builder().engine(opts.engine);
+    match &opts.data {
+        Some(path) => builder = builder.ntriples_file(path),
+        None => {
+            if opts.index.is_some() {
+                return Err(
+                    "--index needs the matching .nt file too (it provides the dictionary)".into(),
+                );
             }
+            return Err("no input data".into());
         }
-        None => None,
-    };
+    }
+    if let Some(index_path) = &opts.index {
+        if opts.save_index.is_some() {
+            return Err(
+                "--save-index builds the in-memory index and cannot be combined with --index \
+                 (which reads one lazily from disk)"
+                    .into(),
+            );
+        }
+        builder = builder.disk_index(index_path);
+    }
+    let db = builder.build().map_err(|e| e.to_string())?;
 
     if let Some(out_path) = &opts.save_index {
-        let Some(db) = &db else {
-            eprintln!("error: --save-index needs an input .nt file");
-            return ExitCode::FAILURE;
-        };
-        match save_store(db.store(), Path::new(out_path)) {
-            Ok(bytes) => {
-                eprintln!("index written: {out_path} ({bytes} bytes)");
-                if opts.query.is_none() && opts.query_file.is_none() {
-                    return ExitCode::SUCCESS;
-                }
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+        let bytes = save_store(db.store(), Path::new(out_path)).map_err(|e| e.to_string())?;
+        eprintln!("index written: {out_path} ({bytes} bytes)");
+        if opts.query.is_none() && opts.query_file.is_none() {
+            return Ok(ExitCode::SUCCESS);
         }
     }
 
     // The query text.
     let text = match (&opts.query, &opts.query_file) {
         (Some(q), _) => q.clone(),
-        (None, Some(f)) => match std::fs::read_to_string(f) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {f}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        (None, None) => {
-            eprintln!("error: no query given");
-            usage();
-            return ExitCode::from(2);
+        (None, Some(f)) => {
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?
         }
-    };
-    let query = match parse_query(&text) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
-        }
+        (None, None) => return Err("no query given".into()),
     };
 
-    // Querying the on-disk index lazily (LBR engine only — the disk
-    // catalog needs no dictionary-backed decoding until output, so this
-    // mode prints encoded IDs).
-    if let Some(index_path) = &opts.index {
-        let catalog = match DiskCatalog::open(Path::new(index_path)) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let Some(db) = &db else {
-            eprintln!(
-                "note: querying a bare index without the .nt file; \
-                 results print as encoded IDs"
-            );
-            // Without a dictionary we cannot resolve constants; require data.
-            eprintln!("error: --index currently requires the matching .nt file too");
-            return ExitCode::FAILURE;
-        };
-        let engine = LbrEngine::new(&catalog, db.dict());
-        return run_and_print(
-            || engine.execute(&query).map_err(|e| e.to_string()),
-            db,
-            opts.stats,
-        );
-    }
-
-    let Some(db) = &db else {
-        eprintln!("error: no input data");
-        usage();
-        return ExitCode::from(2);
-    };
+    // One prepared query, one engine-agnostic output path.
+    let prepared = db.prepare(&text).map_err(|e| e.to_string())?;
 
     if opts.explain {
-        match explain(&query, db.dict(), db.store()) {
-            Ok(text) => {
-                println!("{text}");
-                return ExitCode::SUCCESS;
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        println!("{}", prepared.explain().map_err(|e| e.to_string())?);
+        return Ok(ExitCode::SUCCESS);
     }
 
-    match opts.engine.as_str() {
-        "lbr" => run_and_print(
-            || db.execute_query(&query).map_err(|e| e.to_string()),
-            db,
-            opts.stats,
-        ),
-        "pairwise" | "query-order" => {
-            let order = if opts.engine == "pairwise" {
-                JoinOrder::Selectivity
-            } else {
-                JoinOrder::QueryOrder
-            };
-            let engine = PairwiseEngine::new(db.store(), db.dict(), order);
-            match engine.execute(&query) {
-                Ok(rel) => {
-                    println!("{}", rel.vars.join("\t"));
-                    for row in &rel.rows {
-                        let line: Vec<String> = row
-                            .iter()
-                            .map(|b| b.map_or("NULL".into(), |x| x.decode(db.dict()).to_string()))
-                            .collect();
-                        println!("{}", line.join("\t"));
-                    }
-                    eprintln!("{} rows", rel.rows.len());
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        "reordered" => {
-            let engine = ReorderedEngine::new(db.store(), db.dict());
-            match engine.execute(&query) {
-                Ok(rel) => {
-                    println!("{}", rel.vars.join("\t"));
-                    for row in &rel.rows {
-                        let line: Vec<String> = row
-                            .iter()
-                            .map(|b| b.map_or("NULL".into(), |x| x.decode(db.dict()).to_string()))
-                            .collect();
-                        println!("{}", line.join("\t"));
-                    }
-                    eprintln!("{} rows", rel.rows.len());
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        other => {
-            eprintln!("unknown engine '{other}'");
-            ExitCode::from(2)
-        }
+    // Warm re-execution rounds first (timed, results dropped), then one
+    // final round that streams the rows to stdout outside the timing.
+    let mut total = std::time::Duration::ZERO;
+    for _ in 1..opts.repeat {
+        let t = Instant::now();
+        prepared.execute().map_err(|e| e.to_string())?;
+        total += t.elapsed();
     }
-}
+    let t = Instant::now();
+    let out = prepared.execute().map_err(|e| e.to_string())?;
+    total += t.elapsed();
 
-fn run_and_print(
-    run: impl FnOnce() -> Result<lbr::QueryOutput, String>,
-    db: &Database,
-    stats: bool,
-) -> ExitCode {
-    match run() {
-        Ok(out) => {
-            println!("{}", out.vars.join("\t"));
-            for row in out.render(db.dict()) {
-                println!("{row}");
-            }
-            eprintln!("{} rows ({} with NULLs)", out.len(), out.rows_with_nulls());
-            if stats {
-                eprintln!(
-                    "init {:?}  prune {:?}  join {:?}  total {:?}\n\
-                     candidates {} → {}  best-match required: {}",
-                    out.stats.t_init,
-                    out.stats.t_prune,
-                    out.stats.t_join,
-                    out.stats.t_total,
-                    out.stats.initial_triples,
-                    out.stats.triples_after_pruning,
-                    out.stats.nb_required,
-                );
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+    let stats = out.stats.clone();
+    let solutions = out.into_solutions(db.dict());
+    println!("{}", solutions.vars().join("\t"));
+    for row in solutions {
+        println!("{}", row.render());
     }
+    eprintln!(
+        "{} rows ({} with NULLs)",
+        stats.n_results, stats.n_results_with_nulls
+    );
+    if opts.stats {
+        eprintln!(
+            "engine {}  init {:?}  prune {:?}  join {:?}  total {:?}\n\
+             candidates {} → {}  best-match required: {}",
+            opts.engine,
+            stats.t_init,
+            stats.t_prune,
+            stats.t_join,
+            stats.t_total,
+            stats.initial_triples,
+            stats.triples_after_pruning,
+            stats.nb_required,
+        );
+    }
+    if opts.repeat > 1 {
+        eprintln!(
+            "{} prepared executions, avg {:?} (planning ran once)",
+            opts.repeat,
+            total / opts.repeat
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }

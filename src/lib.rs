@@ -9,29 +9,55 @@
 //!
 //! ## Quickstart
 //!
+//! Build a [`Database`], prepare a query once, then stream [`Row`]s with
+//! name-based accessors:
+//!
 //! ```
-//! use lbr::Database;
+//! use lbr::{Database, EngineKind};
 //!
-//! let db = Database::from_ntriples(r#"
-//!     <Jerry> <hasFriend> <Julia> .
-//!     <Jerry> <hasFriend> <Larry> .
-//!     <Julia> <actedIn> <Seinfeld> .
-//!     <Seinfeld> <location> <NewYorkCity> .
-//! "#).unwrap();
+//! let db = Database::builder()
+//!     .ntriples(r#"
+//!         <Jerry> <hasFriend> <Julia> .
+//!         <Jerry> <hasFriend> <Larry> .
+//!         <Julia> <actedIn> <Seinfeld> .
+//!         <Seinfeld> <location> <NewYorkCity> .
+//!     "#)
+//!     .engine(EngineKind::Lbr)
+//!     .build()
+//!     .unwrap();
 //!
-//! let out = db.execute(r#"
+//! let prepared = db.prepare(r#"
 //!     SELECT * WHERE {
 //!       <Jerry> <hasFriend> ?friend .
 //!       OPTIONAL { ?friend <actedIn> ?sitcom .
 //!                  ?sitcom <location> <NewYorkCity> . } }
 //! "#).unwrap();
 //!
-//! let mut rows = out.render(db.dict());
-//! rows.sort();
-//! assert_eq!(rows, vec![
-//!     "<Julia>\t<Seinfeld>".to_string(),
-//!     "<Larry>\tNULL".to_string(),
-//! ]);
+//! // The parse → UNF rewrite → analysis → jvar-order pipeline ran once in
+//! // `prepare`; each `solutions()` call only executes.
+//! let mut friends: Vec<String> = prepared
+//!     .solutions()
+//!     .unwrap()
+//!     .map(|row| row.term("friend").unwrap().to_string())
+//!     .collect();
+//! friends.sort();
+//! assert_eq!(friends, vec!["<Julia>".to_string(), "<Larry>".to_string()]);
+//! ```
+//!
+//! Every engine of the paper's evaluation — LBR, the two pairwise
+//! hash-join configurations, the outer-join reordering baseline and the
+//! nested-loop reference oracle — implements the same [`Engine`] trait
+//! and is selected with [`EngineKind`]:
+//!
+//! ```
+//! use lbr::{Database, EngineKind};
+//!
+//! let db = Database::from_ntriples("<a> <p> <b> .").unwrap();
+//! for kind in EngineKind::all() {
+//!     let engine = db.engine_of(kind);
+//!     let out = engine.execute(&lbr::parse_query("SELECT * WHERE { ?s <p> ?o . }").unwrap());
+//!     assert_eq!(out.unwrap().len(), 1, "{kind}");
+//! }
 //! ```
 //!
 //! ## Crate map
@@ -42,9 +68,11 @@
 //! * [`sparql`] — parser, algebra, GoSN / GoT / GoJ, well-designedness,
 //!   rewrites;
 //! * [`core`] — the LBR engine (init, `prune_triples`, multi-way join,
-//!   nullification, best-match);
-//! * [`baseline`] — comparator engines (pairwise hash joins; outer-join
-//!   reordering with repair operators; the reference oracle);
+//!   nullification, best-match), the [`Engine`] trait and the streaming
+//!   [`Solutions`] API;
+//! * [`baseline`] — comparator engines behind [`EngineKind`] (pairwise
+//!   hash joins; outer-join reordering with repair operators; the
+//!   reference oracle);
 //! * [`datagen`] — LUBM/UniProt/DBPedia-like workload generators and the
 //!   Appendix E benchmark queries.
 
@@ -55,48 +83,297 @@ pub use lbr_datagen as datagen;
 pub use lbr_rdf as rdf;
 pub use lbr_sparql as sparql;
 
+pub use lbr_baseline::{EngineKind, EngineOptions};
 pub use lbr_bitmat::{BitMatStore, Catalog, DiskCatalog};
-pub use lbr_core::{LbrEngine, QueryOutput, QueryStats};
+pub use lbr_core::{Engine, LbrEngine, QueryOutput, QueryStats, Row, Solutions};
 pub use lbr_rdf::{Dictionary, EncodedGraph, Graph, Term, Triple};
 pub use lbr_sparql::{parse_query, Query};
 
-/// An in-memory RDF database: encoded graph + BitMat store + LBR engine.
+use std::any::Any;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// An RDF database: encoded graph + BitMat catalog + a default engine.
 ///
-/// This is the five-line entry point; the underlying pieces are all public
-/// for users who need the catalog, the baselines, or the disk index.
+/// [`Database::builder`] is the front door; [`Database::from_triples`],
+/// [`Database::from_ntriples`] and [`Database::from_encoded`] remain as
+/// one-line shortcuts for the common in-memory/LBR configuration. The
+/// underlying pieces stay public for users who need the catalog, the
+/// baselines, or the disk index directly.
 pub struct Database {
     graph: EncodedGraph,
-    store: BitMatStore,
+    backend: Backend,
+    default_engine: EngineKind,
+}
+
+enum Backend {
+    Memory(BitMatStore),
+    Disk(DiskCatalog),
+}
+
+/// Everything that can go wrong assembling a [`Database`].
+#[derive(Debug)]
+pub enum DatabaseError {
+    /// The builder was given no triple source (the dictionary needs one
+    /// even when querying an on-disk index).
+    NoSource,
+    /// Reading a data or index file failed.
+    Io(PathBuf, std::io::Error),
+    /// Parsing N-Triples failed.
+    Rdf(rdf::RdfError),
+    /// Opening the on-disk BitMat index failed.
+    Index(bitmat::BitMatError),
+    /// The on-disk index was built from different data than the given
+    /// triples (dimension mismatch) — querying it would silently return
+    /// wrong results.
+    IndexMismatch {
+        /// Dimensions of the opened index.
+        index: bitmat::CubeDims,
+        /// Dimensions implied by the triple source's dictionary.
+        data: bitmat::CubeDims,
+    },
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseError::NoSource => f.write_str(
+                "no triple source: give the builder ntriples(), ntriples_file(), \
+                 triples() or encoded()",
+            ),
+            DatabaseError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
+            DatabaseError::Rdf(e) => write!(f, "{e}"),
+            DatabaseError::Index(e) => write!(f, "{e}"),
+            DatabaseError::IndexMismatch { index, data } => write!(
+                f,
+                "on-disk index does not match the data: index has {}/{}/{} S/P/O \
+                 over {} triples, data has {}/{}/{} over {}",
+                index.n_subjects,
+                index.n_predicates,
+                index.n_objects,
+                index.n_triples,
+                data.n_subjects,
+                data.n_predicates,
+                data.n_objects,
+                data.n_triples,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+impl From<rdf::RdfError> for DatabaseError {
+    fn from(e: rdf::RdfError) -> Self {
+        DatabaseError::Rdf(e)
+    }
+}
+
+impl From<bitmat::BitMatError> for DatabaseError {
+    fn from(e: bitmat::BitMatError) -> Self {
+        DatabaseError::Index(e)
+    }
+}
+
+enum Source {
+    Triples(Vec<Triple>),
+    Ntriples(String),
+    NtriplesFile(PathBuf),
+    Encoded(Box<EncodedGraph>),
+}
+
+/// Configures and assembles a [`Database`].
+///
+/// Exactly one triple source is required; the last one set wins. With
+/// [`DatabaseBuilder::disk_index`] the triples still provide the
+/// dictionary while BitMat rows are read lazily from the index file.
+#[must_use = "call .build() to assemble the Database"]
+pub struct DatabaseBuilder {
+    source: Option<Source>,
+    index: Option<PathBuf>,
+    engine: EngineKind,
+}
+
+impl DatabaseBuilder {
+    /// Uses raw triples as the source.
+    pub fn triples(mut self, triples: Vec<Triple>) -> Self {
+        self.source = Some(Source::Triples(triples));
+        self
+    }
+
+    /// Uses an N-Triples document as the source.
+    pub fn ntriples(mut self, text: impl Into<String>) -> Self {
+        self.source = Some(Source::Ntriples(text.into()));
+        self
+    }
+
+    /// Uses an N-Triples file as the source.
+    pub fn ntriples_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = Some(Source::NtriplesFile(path.into()));
+        self
+    }
+
+    /// Uses an already-encoded graph as the source.
+    pub fn encoded(mut self, graph: EncodedGraph) -> Self {
+        self.source = Some(Source::Encoded(Box::new(graph)));
+        self
+    }
+
+    /// Reads BitMat rows lazily from an index written by
+    /// [`bitmat::disk::save_store`] instead of building them in memory.
+    pub fn disk_index(mut self, path: impl Into<PathBuf>) -> Self {
+        self.index = Some(path.into());
+        self
+    }
+
+    /// Sets the default engine queries run on (default:
+    /// [`EngineKind::Lbr`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Assembles the database.
+    pub fn build(self) -> Result<Database, DatabaseError> {
+        let graph = match self.source {
+            None => return Err(DatabaseError::NoSource),
+            Some(Source::Encoded(graph)) => *graph,
+            Some(Source::Triples(triples)) => Graph::from_triples(triples).encode(),
+            Some(Source::Ntriples(text)) => {
+                Graph::from_triples(rdf::parse_ntriples(&text)?).encode()
+            }
+            Some(Source::NtriplesFile(path)) => {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| DatabaseError::Io(path.clone(), e))?;
+                Graph::from_triples(rdf::parse_ntriples(&text)?).encode()
+            }
+        };
+        let backend = match self.index {
+            Some(path) => {
+                let catalog = DiskCatalog::open(Path::new(&path))?;
+                let index = catalog.dims();
+                let dict = &graph.dict;
+                let data = bitmat::CubeDims {
+                    n_subjects: dict.n_subjects(),
+                    n_predicates: dict.n_predicates(),
+                    n_objects: dict.n_objects(),
+                    n_shared: dict.n_shared(),
+                    n_triples: graph.triples.len() as u64,
+                };
+                if index != data {
+                    return Err(DatabaseError::IndexMismatch { index, data });
+                }
+                Backend::Disk(catalog)
+            }
+            None => Backend::Memory(BitMatStore::build(&graph)),
+        };
+        Ok(Database {
+            graph,
+            backend,
+            default_engine: self.engine,
+        })
+    }
 }
 
 impl Database {
-    /// Builds a database from raw triples.
+    /// Starts a [`DatabaseBuilder`].
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder {
+            source: None,
+            index: None,
+            engine: EngineKind::Lbr,
+        }
+    }
+
+    /// Shortcut: in-memory database over raw triples, LBR engine.
     pub fn from_triples(triples: Vec<Triple>) -> Database {
-        let graph = Graph::from_triples(triples).encode();
-        let store = BitMatStore::build(&graph);
-        Database { graph, store }
+        Self::builder()
+            .triples(triples)
+            .build()
+            .expect("in-memory build from triples cannot fail")
     }
 
-    /// Builds a database from an N-Triples document.
+    /// Shortcut: in-memory database over an N-Triples document, LBR engine.
     pub fn from_ntriples(text: &str) -> Result<Database, rdf::RdfError> {
-        Ok(Self::from_triples(rdf::parse_ntriples(text)?))
+        match Self::builder().ntriples(text).build() {
+            Ok(db) => Ok(db),
+            Err(DatabaseError::Rdf(e)) => Err(e),
+            Err(other) => unreachable!("ntriples build only fails on parse: {other}"),
+        }
     }
 
-    /// Builds a database from an already-encoded graph.
+    /// Shortcut: in-memory database over an encoded graph, LBR engine.
     pub fn from_encoded(graph: EncodedGraph) -> Database {
-        let store = BitMatStore::build(&graph);
-        Database { graph, store }
+        Self::builder()
+            .encoded(graph)
+            .build()
+            .expect("in-memory build from encoded graph cannot fail")
     }
 
-    /// Parses and executes a query with the LBR engine.
+    /// The default engine, ready to run queries.
+    pub fn engine(&self) -> Box<dyn Engine + '_> {
+        self.engine_of(self.default_engine)
+    }
+
+    /// A specific engine over this database's catalog.
+    pub fn engine_of(&self, kind: EngineKind) -> Box<dyn Engine + '_> {
+        self.engine_with(kind, &EngineOptions::default())
+    }
+
+    /// A specific engine with explicit [`EngineOptions`].
+    pub fn engine_with(&self, kind: EngineKind, options: &EngineOptions) -> Box<dyn Engine + '_> {
+        match &self.backend {
+            Backend::Memory(store) => kind.build_with(store, &self.graph.dict, options),
+            Backend::Disk(catalog) => kind.build_with(catalog, &self.graph.dict, options),
+        }
+    }
+
+    /// The default engine's kind.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.default_engine
+    }
+
+    /// Parses and executes a query on the default engine.
     pub fn execute(&self, query_text: &str) -> Result<QueryOutput, core::LbrError> {
         let query = parse_query(query_text)?;
         self.execute_query(&query)
     }
 
-    /// Executes a parsed query with the LBR engine.
+    /// Executes a parsed query on the default engine.
     pub fn execute_query(&self, query: &Query) -> Result<QueryOutput, core::LbrError> {
-        LbrEngine::new(&self.store, &self.graph.dict).execute(query)
+        self.engine().execute(query)
+    }
+
+    /// Parses and executes a query, streaming the solutions.
+    pub fn solutions(&self, query_text: &str) -> Result<Solutions<'_>, core::LbrError> {
+        let query = parse_query(query_text)?;
+        Ok(self.execute_query(&query)?.into_solutions(self.dict()))
+    }
+
+    /// Parses and prepares a query on the default engine: the planning
+    /// pipeline (parse → UNF rewrite → analyze/classify → jvar order)
+    /// runs once here; [`PreparedQuery::execute`] /
+    /// [`PreparedQuery::solutions`] skip straight to execution.
+    pub fn prepare(&self, query_text: &str) -> Result<PreparedQuery<'_>, core::LbrError> {
+        self.prepare_query(parse_query(query_text)?)
+    }
+
+    /// Prepares an already-parsed query on the default engine.
+    pub fn prepare_query(&self, query: Query) -> Result<PreparedQuery<'_>, core::LbrError> {
+        let engine = self.engine();
+        let plan = engine.plan_query(&query)?;
+        Ok(PreparedQuery {
+            kind: self.default_engine,
+            engine,
+            query,
+            plan,
+        })
+    }
+
+    /// Renders the default engine's plan for a query.
+    pub fn explain(&self, query_text: &str) -> Result<String, core::LbrError> {
+        let query = parse_query(query_text)?;
+        self.engine().explain(&query)
     }
 
     /// The dictionary (for decoding results).
@@ -104,9 +381,21 @@ impl Database {
         &self.graph.dict
     }
 
-    /// The BitMat store (for baselines, benches, size reports).
+    /// The in-memory BitMat store (for baselines, benches, size reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the database was built with
+    /// [`DatabaseBuilder::disk_index`] — there is no in-memory store then;
+    /// use [`Database::engine_of`] which works over either backend.
     pub fn store(&self) -> &BitMatStore {
-        &self.store
+        match &self.backend {
+            Backend::Memory(store) => store,
+            Backend::Disk(_) => panic!(
+                "Database::store(): this database reads a disk index and has no \
+                 in-memory BitMat store; go through Database::engine_of instead"
+            ),
+        }
     }
 
     /// The encoded graph.
@@ -122,5 +411,46 @@ impl Database {
     /// True when the database has no triples.
     pub fn is_empty(&self) -> bool {
         self.graph.is_empty()
+    }
+}
+
+/// A query whose planning pipeline already ran.
+///
+/// Created by [`Database::prepare`]; holds the parsed query, the engine
+/// it was prepared on, and the engine's cached plan (for the LBR engine:
+/// the UNF branches with their GoSN/GoJ analyses, variable tables,
+/// selectivity estimates and jvar orders). Re-executing costs only the
+/// data phases — the million-execution serving path.
+pub struct PreparedQuery<'db> {
+    kind: EngineKind,
+    engine: Box<dyn Engine + 'db>,
+    query: Query,
+    plan: Box<dyn Any>,
+}
+
+impl PreparedQuery<'_> {
+    /// Executes the prepared query to a materialized [`QueryOutput`].
+    pub fn execute(&self) -> Result<QueryOutput, core::LbrError> {
+        self.engine.execute_planned(&self.query, self.plan.as_ref())
+    }
+
+    /// Executes the prepared query, streaming the solutions.
+    pub fn solutions(&self) -> Result<Solutions<'_>, core::LbrError> {
+        Ok(self.execute()?.into_solutions(self.engine.dict()))
+    }
+
+    /// Renders the plan this query will run with.
+    pub fn explain(&self) -> Result<String, core::LbrError> {
+        self.engine.explain(&self.query)
+    }
+
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The kind of engine the query was prepared on.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.kind
     }
 }

@@ -1,0 +1,265 @@
+//! Tests of the public API redesign: the `Database` builder,
+//! `PreparedQuery` plan caching, and the streaming `Solutions` path.
+
+use lbr::{parse_query, Database, EngineKind, Term, Triple};
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+}
+
+fn triples() -> Vec<Triple> {
+    vec![
+        t("Jerry", "hasFriend", "Julia"),
+        t("Jerry", "hasFriend", "Larry"),
+        t("Julia", "actedIn", "Seinfeld"),
+        t("Larry", "actedIn", "CurbYourEnthu"),
+        t("Seinfeld", "location", "NewYorkCity"),
+        t("CurbYourEnthu", "location", "LosAngeles"),
+    ]
+}
+
+const Q2: &str = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+    OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }";
+
+const WORKLOAD: [&str; 4] = [
+    Q2,
+    "PREFIX : <> SELECT ?friend WHERE { :Jerry :hasFriend ?friend . }",
+    "PREFIX : <> SELECT * WHERE {
+       { ?a :actedIn ?s . ?s :location :NewYorkCity . }
+       UNION { ?a :actedIn ?s . ?s :location :LosAngeles . } }",
+    "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+       OPTIONAL { ?f :actedIn ?s . FILTER(?s != :Seinfeld) } }",
+];
+
+#[test]
+fn builder_sources_agree() {
+    let doc = "<a> <p> <b> .\n<b> <p> <c> .";
+    let from_text = Database::builder().ntriples(doc).build().unwrap();
+    let from_triples = Database::builder()
+        .triples(vec![t("a", "p", "b"), t("b", "p", "c")])
+        .build()
+        .unwrap();
+    let from_encoded = Database::builder()
+        .encoded(lbr::Graph::from_triples(vec![t("a", "p", "b"), t("b", "p", "c")]).encode())
+        .build()
+        .unwrap();
+    let q = "SELECT * WHERE { ?x <p> ?y . }";
+    let expect = {
+        let mut rows = from_text.execute(q).unwrap().render(from_text.dict());
+        rows.sort();
+        rows
+    };
+    for db in [&from_triples, &from_encoded] {
+        let mut rows = db.execute(q).unwrap().render(db.dict());
+        rows.sort();
+        assert_eq!(rows, expect);
+    }
+}
+
+#[test]
+fn builder_without_source_errors() {
+    let Err(err) = Database::builder().build() else {
+        panic!("builder without a source must fail");
+    };
+    assert!(err.to_string().contains("no triple source"), "{err}");
+}
+
+#[test]
+fn builder_ntriples_file_and_disk_index() {
+    let dir = std::env::temp_dir().join("lbr-api-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let nt = dir.join("data.nt");
+    std::fs::write(&nt, "<a> <p> <b> .\n<a> <p> <c> .\n").unwrap();
+
+    let db = Database::builder().ntriples_file(&nt).build().unwrap();
+    assert_eq!(db.len(), 2);
+
+    // Persist the index, then query it lazily from disk.
+    let idx = dir.join("data.lbr");
+    lbr::bitmat::disk::save_store(db.store(), &idx).unwrap();
+    let disk_db = Database::builder()
+        .ntriples_file(&nt)
+        .disk_index(&idx)
+        .build()
+        .unwrap();
+    let q = "SELECT * WHERE { <a> <p> ?o . }";
+    let mut mem_rows = db.execute(q).unwrap().render(db.dict());
+    let mut disk_rows = disk_db.execute(q).unwrap().render(disk_db.dict());
+    mem_rows.sort();
+    disk_rows.sort();
+    assert_eq!(mem_rows, disk_rows);
+}
+
+#[test]
+fn builder_rejects_mismatched_disk_index() {
+    let dir = std::env::temp_dir().join("lbr-api-test-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let nt = dir.join("data.nt");
+    std::fs::write(&nt, "<a> <p> <b> .\n").unwrap();
+    let idx = dir.join("data.lbr");
+    let db = Database::builder().ntriples_file(&nt).build().unwrap();
+    lbr::bitmat::disk::save_store(db.store(), &idx).unwrap();
+
+    // Same index, different data: silently-wrong answers must be refused.
+    let other = dir.join("other.nt");
+    std::fs::write(&other, "<a> <p> <b> .\n<c> <p> <d> .\n").unwrap();
+    let Err(err) = Database::builder()
+        .ntriples_file(&other)
+        .disk_index(&idx)
+        .build()
+    else {
+        panic!("mismatched disk index must be rejected");
+    };
+    assert!(err.to_string().contains("does not match the data"), "{err}");
+}
+
+#[test]
+fn builder_default_engine_is_honored() {
+    for kind in EngineKind::all() {
+        let db = Database::builder()
+            .triples(triples())
+            .engine(kind)
+            .build()
+            .unwrap();
+        assert_eq!(db.engine_kind(), kind);
+        assert_eq!(db.engine().name(), kind.name());
+        let mut rows = db.execute(Q2).unwrap().render(db.dict());
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                "<Julia>\t<Seinfeld>".to_string(),
+                "<Larry>\tNULL".to_string()
+            ],
+            "{kind}"
+        );
+    }
+}
+
+/// PreparedQuery re-execution must match one-shot execution, for every
+/// engine, on every workload query — and repeatedly (the cached plan is
+/// not consumed).
+#[test]
+fn prepared_reexecution_matches_one_shot() {
+    for kind in EngineKind::all() {
+        let db = Database::builder()
+            .triples(triples())
+            .engine(kind)
+            .build()
+            .unwrap();
+        for query in WORKLOAD {
+            let one_shot = {
+                let mut rows = db.execute(query).unwrap().render(db.dict());
+                rows.sort();
+                rows
+            };
+            let prepared = db.prepare(query).unwrap();
+            assert_eq!(prepared.engine_kind(), kind);
+            for _ in 0..3 {
+                let mut rows = prepared.execute().unwrap().render(db.dict());
+                rows.sort();
+                assert_eq!(rows, one_shot, "{kind} deviates when prepared on {query}");
+            }
+        }
+    }
+}
+
+/// A plan produced by one engine must not poison another: re-binding the
+/// query to a different engine falls back to unprepared execution.
+#[test]
+fn foreign_plan_falls_back_to_execute() {
+    let db = Database::from_triples(triples());
+    let query = parse_query(Q2).unwrap();
+    let lbr_engine = db.engine_of(EngineKind::Lbr);
+    let plan = lbr_engine.plan_query(&query).unwrap();
+    let pairwise = db.engine_of(EngineKind::PairwiseSelectivity);
+    let out = pairwise.execute_planned(&query, plan.as_ref()).unwrap();
+    let mut rows = out.render(db.dict());
+    rows.sort();
+    assert_eq!(rows, vec!["<Julia>\t<Seinfeld>", "<Larry>\tNULL"]);
+}
+
+#[test]
+fn solutions_named_accessors() {
+    let db = Database::from_triples(triples());
+    let mut seen = Vec::new();
+    for row in db.solutions(Q2).unwrap() {
+        assert_eq!(row.vars(), ["friend".to_string(), "sitcom".to_string()]);
+        let friend = row.term("friend").expect("friend always bound");
+        let sitcom = row.term("sitcom").map(|t| t.to_string());
+        assert_eq!(row.is_bound("sitcom"), sitcom.is_some());
+        assert_eq!(row.term("not-a-var"), None);
+        assert!(row.binding("friend").is_some());
+        seen.push((friend.to_string(), sitcom));
+    }
+    seen.sort();
+    assert_eq!(
+        seen,
+        vec![
+            ("<Julia>".to_string(), Some("<Seinfeld>".to_string())),
+            ("<Larry>".to_string(), None),
+        ]
+    );
+}
+
+#[test]
+fn solutions_match_query_output_row_for_row() {
+    let db = Database::from_triples(triples());
+    for query in WORKLOAD {
+        let materialized = db.execute(query).unwrap();
+        let expect = materialized.render(db.dict());
+        let streamed: Vec<String> = db
+            .solutions(query)
+            .unwrap()
+            .map(|row| row.render())
+            .collect();
+        assert_eq!(streamed, expect, "streaming deviates on {query}");
+
+        // And collect_output round-trips losslessly.
+        let collected = db.solutions(query).unwrap().collect_output();
+        assert_eq!(collected.vars, materialized.vars);
+        assert_eq!(collected.rows, materialized.rows);
+    }
+}
+
+#[test]
+fn prepared_solutions_and_stats() {
+    let db = Database::from_triples(triples());
+    let prepared = db.prepare(Q2).unwrap();
+    let solutions = prepared.solutions().unwrap();
+    assert_eq!(
+        solutions.vars(),
+        ["friend".to_string(), "sitcom".to_string()]
+    );
+    assert_eq!(solutions.stats().n_results, 2);
+    assert_eq!(solutions.stats().n_results_with_nulls, 1);
+    assert_eq!(solutions.count(), 2);
+}
+
+#[test]
+fn prepared_explain_shows_the_plan() {
+    let db = Database::from_triples(triples());
+    let prepared = db.prepare(Q2).unwrap();
+    let text = prepared.explain().unwrap();
+    assert!(text.contains("GoSN"), "{text}");
+    assert!(text.contains("jvar order"), "{text}");
+
+    // Baselines explain too (generically), through the same call.
+    let db = Database::builder()
+        .triples(triples())
+        .engine(EngineKind::Reordered)
+        .build()
+        .unwrap();
+    let text = db.prepare(Q2).unwrap().explain().unwrap();
+    assert!(text.contains("reordered"), "{text}");
+}
+
+#[test]
+fn engine_trait_objects_expose_names_and_dict() {
+    let db = Database::from_triples(triples());
+    for kind in EngineKind::all() {
+        let engine = db.engine_of(kind);
+        assert_eq!(engine.name(), kind.name());
+        assert!(std::ptr::eq(engine.dict(), db.dict()));
+    }
+}

@@ -1,16 +1,25 @@
-//! Cross-engine equivalence: the LBR engine, the pairwise hash-join
-//! baseline, the reordering baseline and the nested-loop reference oracle
-//! must produce identical result bags on well-designed queries.
+//! Cross-engine equivalence: every engine behind [`EngineKind`] — the LBR
+//! engine, both pairwise hash-join configurations, the reordering baseline
+//! and the nested-loop reference oracle — must produce identical result
+//! bags on well-designed queries.
 //!
 //! This is the central correctness gate of the reproduction: Lemmas 3.1,
-//! 3.3 and 3.4 all cash out as "same rows as the SPARQL algebra".
+//! 3.3 and 3.4 all cash out as "same rows as the SPARQL algebra". One
+//! generic harness runs the whole workload through the shared
+//! [`lbr::Engine`] trait, so an engine added to [`EngineKind`] is covered
+//! automatically.
 
-use lbr::baseline::{evaluate_reference, JoinOrder, PairwiseEngine, ReorderedEngine, Semantics};
-use lbr::{parse_query, Database, Term, Triple};
+use lbr::baseline::{EngineOptions, Semantics};
+use lbr::{parse_query, Database, EngineKind, Term, Triple};
 
-/// Renders sorted rows (lexical forms, NULL as None) for bag comparison.
-fn lbr_rows(db: &Database, query: &str) -> Vec<Vec<Option<String>>> {
-    let out = db.execute(query).unwrap();
+/// Renders an engine's sorted rows (lexical forms, NULL as None) for bag
+/// comparison, going through the unified `Engine` trait.
+fn engine_rows(db: &Database, kind: EngineKind, query: &str) -> Vec<Vec<Option<String>>> {
+    let q = parse_query(query).unwrap();
+    let out = db
+        .engine_of(kind)
+        .execute(&q)
+        .unwrap_or_else(|e| panic!("{kind} failed on {query}: {e}"));
     let mut rows: Vec<Vec<Option<String>>> = out
         .decode(db.dict())
         .into_iter()
@@ -20,78 +29,37 @@ fn lbr_rows(db: &Database, query: &str) -> Vec<Vec<Option<String>>> {
     rows
 }
 
-fn oracle_rows(db: &Database, query: &str, sem: Semantics) -> Vec<Vec<Option<String>>> {
-    let q = parse_query(query).unwrap();
-    let rel = evaluate_reference(&q, db.dict(), db.store(), sem).unwrap();
-    let mut rows: Vec<Vec<Option<String>>> = rel
-        .rows
-        .iter()
-        .map(|r| {
-            r.iter()
-                .map(|b| b.map(|x| x.decode(db.dict()).to_string()))
-                .collect()
-        })
-        .collect();
-    rows.sort();
-    rows
-}
-
-fn pairwise_rows(db: &Database, query: &str, order: JoinOrder) -> Vec<Vec<Option<String>>> {
-    let q = parse_query(query).unwrap();
-    let rel = PairwiseEngine::new(db.store(), db.dict(), order)
-        .execute(&q)
-        .unwrap();
-    let mut rows: Vec<Vec<Option<String>>> = rel
-        .rows
-        .iter()
-        .map(|r| {
-            r.iter()
-                .map(|b| b.map(|x| x.decode(db.dict()).to_string()))
-                .collect()
-        })
-        .collect();
-    rows.sort();
-    rows
-}
-
-fn reordered_rows(db: &Database, query: &str) -> Vec<Vec<Option<String>>> {
-    let q = parse_query(query).unwrap();
-    let rel = ReorderedEngine::new(db.store(), db.dict())
-        .execute(&q)
-        .unwrap();
-    let mut rows: Vec<Vec<Option<String>>> = rel
-        .rows
-        .iter()
-        .map(|r| {
-            r.iter()
-                .map(|b| b.map(|x| x.decode(db.dict()).to_string()))
-                .collect()
-        })
-        .collect();
-    rows.sort();
-    rows
-}
-
-/// Asserts all four engines agree (the oracle under SPARQL semantics is
-/// the ground truth for well-designed queries).
+/// Asserts every engine agrees with the reference oracle (SPARQL
+/// semantics — the ground truth for well-designed queries), and that the
+/// streaming `Solutions` path is row-for-row identical to the
+/// materialized `QueryOutput` path.
 #[track_caller]
 fn assert_all_agree(db: &Database, query: &str) {
-    let truth = oracle_rows(db, query, Semantics::Sparql);
-    assert_eq!(lbr_rows(db, query), truth, "LBR deviates on: {query}");
+    let truth = engine_rows(db, EngineKind::Reference, query);
+    for kind in EngineKind::all() {
+        assert_eq!(
+            engine_rows(db, kind, query),
+            truth,
+            "{kind} deviates on: {query}"
+        );
+        assert_streaming_matches_materialized(db, kind, query);
+    }
+}
+
+/// The streaming path must yield exactly the materialized rows, in order.
+#[track_caller]
+fn assert_streaming_matches_materialized(db: &Database, kind: EngineKind, query: &str) {
+    let q = parse_query(query).unwrap();
+    let engine = db.engine_of(kind);
+    let materialized = engine.execute(&q).unwrap().render(db.dict());
+    let streamed: Vec<String> = engine
+        .solutions(&q)
+        .unwrap()
+        .map(|row| row.render())
+        .collect();
     assert_eq!(
-        pairwise_rows(db, query, JoinOrder::Selectivity),
-        truth,
-        "pairwise/selectivity deviates on: {query}"
-    );
-    assert_eq!(
-        pairwise_rows(db, query, JoinOrder::QueryOrder),
-        truth,
-        "pairwise/query-order deviates on: {query}"
-    );
-    assert_eq!(
-        reordered_rows(db, query),
-        truth,
-        "reordered deviates on: {query}"
+        streamed, materialized,
+        "{kind}: streaming differs from materialized on: {query}"
     );
 }
 
@@ -211,11 +179,11 @@ fn nb_required_query_fires_nullification_only_when_cyclic() {
     let out = db.execute(query).unwrap();
     assert!(out.stats.nb_required, "cyclic, slave has 3 jvars");
     assert_eq!(
-        lbr_rows(&db, query),
-        oracle_rows(&db, query, Semantics::Sparql)
+        engine_rows(&db, EngineKind::Lbr, query),
+        engine_rows(&db, EngineKind::Reference, query)
     );
     // a1's slave must be nullified as a unit: (a1, b1, NULL).
-    let rows = lbr_rows(&db, query);
+    let rows = engine_rows(&db, EngineKind::Lbr, query);
     assert!(rows.contains(&vec![
         Some("<a1>".to_string()),
         Some("<b1>".to_string()),
@@ -279,9 +247,9 @@ fn union_inside_optional_needs_spurious_removal() {
     let query = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
         OPTIONAL { { ?f :livesIn :NewYorkCity . } UNION { ?f :livesIn :LosAngeles . } } }";
     // Ground truth from the oracle: both friends have a location, no NULLs.
-    let truth = oracle_rows(&db, query, Semantics::Sparql);
-    assert_eq!(lbr_rows(&db, query), truth);
-    assert!(lbr_rows(&db, query)
+    let truth = engine_rows(&db, EngineKind::Reference, query);
+    assert_eq!(engine_rows(&db, EngineKind::Lbr, query), truth);
+    assert!(engine_rows(&db, EngineKind::Lbr, query)
         .iter()
         .all(|r| r.iter().all(|c| c.is_some())));
 }
@@ -331,9 +299,9 @@ fn projection_and_bag_semantics() {
     let db = sitcom_db();
     let query = "PREFIX : <> SELECT ?f WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }";
     // Julia acted in 4 sitcoms, Larry in 1 → 5 rows under bag semantics.
-    let rows = lbr_rows(&db, query);
+    let rows = engine_rows(&db, EngineKind::Lbr, query);
     assert_eq!(rows.len(), 5);
-    assert_eq!(rows, oracle_rows(&db, query, Semantics::Sparql));
+    assert_eq!(rows, engine_rows(&db, EngineKind::Reference, query));
 }
 
 #[test]
@@ -350,10 +318,26 @@ fn non_well_designed_matches_sql_semantics() {
     let query = "PREFIX : <> SELECT * WHERE {
         { :Jerry :hasFriend ?f . OPTIONAL { ?f :actedIn ?s . } }
         { ?s :location :NewYorkCity . } }";
-    let truth_sql = oracle_rows(&db, query, Semantics::NullIntolerant);
-    assert_eq!(lbr_rows(&db, query), truth_sql);
+    // The oracle under SQL semantics, through the same Engine seam.
+    let q = parse_query(query).unwrap();
+    let sql_oracle = db.engine_with(
+        EngineKind::Reference,
+        &EngineOptions {
+            semantics: Semantics::NullIntolerant,
+            ..EngineOptions::default()
+        },
+    );
+    let mut truth_sql: Vec<Vec<Option<String>>> = sql_oracle
+        .execute(&q)
+        .unwrap()
+        .decode(db.dict())
+        .into_iter()
+        .map(|r| r.into_iter().map(|t| t.map(|x| x.to_string())).collect())
+        .collect();
+    truth_sql.sort();
+    assert_eq!(engine_rows(&db, EngineKind::Lbr, query), truth_sql);
     // And it genuinely differs from the pure-SPARQL semantics here.
-    assert_ne!(truth_sql, oracle_rows(&db, query, Semantics::Sparql));
+    assert_ne!(truth_sql, engine_rows(&db, EngineKind::Reference, query));
 }
 
 #[test]

@@ -1,0 +1,69 @@
+//! Collection strategies (`prop::collection::*`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A `Vec` of values with a length drawn from `len` (`[start, end)`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S::Value: 'static,
+{
+    assert!(len.start < len.end, "empty length range");
+    let element = element.boxed();
+    BoxedStrategy::generator(move |rng| {
+        let n = rng.in_range(len.start as u64, len.end as u64) as usize;
+        (0..n).map(|_| element.gen_value(rng)).collect()
+    })
+}
+
+/// A `BTreeSet` with a target size drawn from `len` (`[start, end)`).
+///
+/// Like real proptest under a small value universe, the set may come out
+/// smaller than the target when duplicates are drawn; insertion attempts
+/// are capped to keep generation linear.
+pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BoxedStrategy<BTreeSet<S::Value>>
+where
+    S::Value: Ord + 'static,
+{
+    assert!(len.start < len.end, "empty length range");
+    let element = element.boxed();
+    BoxedStrategy::generator(move |rng| {
+        let target = rng.in_range(len.start as u64, len.end as u64) as usize;
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 4 + 8 {
+            out.insert(element.gen_value(rng));
+            attempts += 1;
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let strat = vec(0u8..5, 2..7);
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_set_unique_and_bounded() {
+        let strat = btree_set(0u32..10, 0..8);
+        let mut rng = TestRng::new(10);
+        for _ in 0..100 {
+            let s = strat.gen_value(&mut rng);
+            assert!(s.len() < 8);
+            assert!(s.iter().all(|&x| x < 10));
+        }
+    }
+}

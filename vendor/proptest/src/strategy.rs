@@ -1,0 +1,383 @@
+//! Value-generation strategies and combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: `gen_value` produces a value
+/// directly from the deterministic [`TestRng`].
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self.boxed();
+        BoxedStrategy::generator(move |rng| f(inner.gen_value(rng)))
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// previous depth, up to `depth` levels deep. `desired_size` and
+    /// `expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<R>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: impl Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            // Mixing in the base at every level makes trees of varying
+            // depth rather than always-maximal ones.
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![(1, base.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_gen(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_gen(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    pub(crate) fn generator(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        struct FnStrategy<G>(G);
+        impl<T: 'static, G: Fn(&mut TestRng) -> T + 'static> Strategy for FnStrategy<G> {
+            type Value = T;
+            fn gen_value(&self, rng: &mut TestRng) -> T {
+                (self.0)(rng)
+            }
+        }
+        FnStrategy(f).boxed()
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_gen(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased strategies (see [`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T: 'static> Union<T> {
+    /// Builds a union from weighted arms (weights must not all be zero).
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.gen_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `any::<T>()` — the full value range of `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy::generator(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy::generator(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].gen_value(rng))
+    }
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// `&'static str` patterns like `"[a-z]{1,6}"` generate matching strings.
+///
+/// Supported: a sequence of atoms, each a literal character or a `[...]`
+/// character class (ranges and `\`-escapes), optionally followed by `{n}`
+/// or `{m,n}`. This covers the patterns used in this workspace's tests —
+/// not general regular expressions.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.in_range(atom.min as u64, atom.max as u64 + 1) as u32;
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        None => panic!("unterminated [class] in pattern {pat:?}"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let e = it.next().expect("escape at end of class");
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        Some('-') if prev.is_some() && it.peek().is_some_and(|&x| x != ']') => {
+                            let hi = it.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            // `lo` is already in the set; add the rest.
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(u) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![it.next().expect("escape at end of pattern")],
+            other => vec![other],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for ch in it.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!chars.is_empty(), "empty character class in {pat:?}");
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            let x = (3u32..9).gen_value(&mut rng);
+            assert!((3..9).contains(&x));
+            let (a, b) = ((0usize..4), (10i64..12)).gen_value(&mut rng);
+            assert!(a < 4 && (10..12).contains(&b));
+        }
+        let doubled = (0u32..5).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            assert_eq!(doubled.gen_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            let s = "[a-z]{1,6}".gen_value(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z][a-zA-Z0-9_]{0,3}".gen_value(&mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(t.chars().count() <= 4);
+        }
+    }
+
+    #[test]
+    fn unions_respect_weights() {
+        let mut rng = TestRng::new(3);
+        let u = Union::new(vec![(9, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let ones = (0..1000).filter(|_| u.gen_value(&mut rng) == 1).count();
+        assert!(ones > 800, "expected ~900 ones, got {ones}");
+    }
+
+    #[test]
+    fn recursion_terminates_and_varies() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(x) => {
+                    let _ = x;
+                    0
+                }
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = (0u8..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = TestRng::new(4);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 3);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth >= 2, "recursion never went deep");
+    }
+}

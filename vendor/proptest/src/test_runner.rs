@@ -1,0 +1,120 @@
+//! Deterministic case generation and the test loop.
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — regenerate, don't count the case.
+    Reject,
+    /// `prop_assert*!` failed — the property is falsified.
+    Fail(String),
+}
+
+/// Result type property bodies are wrapped into.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. `cases` and `max_global_rejects` are honored;
+/// `max_shrink_iters` exists for API compatibility (there is no
+/// shrinking) and so that `..ProptestConfig::default()` struct updates
+/// stay meaningful, as with the real crate's non-exhaustive config.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+    /// Accepted but unused — this runner does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration with a different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// The deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[lo, hi)` as u64 arithmetic.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
+
+fn seed_of(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` until `config.cases` cases pass; panics on the first failure
+/// or when `prop_assume!` rejects more than `max_global_rejects` times.
+pub fn run(config: &ProptestConfig, name: &str, f: impl Fn(&mut TestRng) -> TestCaseResult) {
+    let mut rng = TestRng::new(seed_of(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: prop_assume! rejected {rejected} cases \
+                     (max_global_rejects = {}) with only {passed}/{} passed",
+                    config.max_global_rejects,
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property falsified after {passed} passing case(s) \
+                     (deterministic seed {:#x}):\n{msg}",
+                    seed_of(name)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-crate provides the exact surface the workspace uses: a seeded
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! extension with `random_range` / `random_bool`. The generator is a
+//! SplitMix64 — statistically fine for synthetic data generation and
+//! benchmarks, deterministic for a given seed, and *not* cryptographic.
+
+use std::ops::Range;
+
+/// Seeded construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value methods the workspace uses.
+pub trait RngExt {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `[range.start, range.end)`. Panics on an empty
+    /// range, like `rand` does.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 bits of mantissa give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Integer types `random_range` can sample.
+pub trait UniformInt: Copy {
+    /// Maps a raw 64-bit draw into `[range.start, range.end)`.
+    fn sample(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(raw: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range on empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (raw % span) as Self
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample(raw: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range on empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                range.start.wrapping_add((raw % span) as Self)
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// A deterministic SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.random_range(3u32..17);
+            assert_eq!(x, b.random_range(3u32..17));
+            assert!((3..17).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut rng = StdRng::seed_from_u64(42);
+        assert!((0..50).all(|_| !rng.random_bool(0.0)));
+        assert!((0..50).all(|_| rng.random_bool(1.0)));
+        let hits = (0..2000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((300..700).contains(&hits), "~25% expected, got {hits}");
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+}
