@@ -40,6 +40,11 @@ pub struct EngineOptions {
     pub row_limit: Option<usize>,
     /// Join semantics of the reference oracle.
     pub semantics: Semantics,
+    /// Worker threads for engines with intra-query parallelism (the LBR
+    /// multi-way join's root partitioning). Defaults to the machine's
+    /// available parallelism; `1` is the exact serial path. Results are
+    /// byte-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -47,6 +52,7 @@ impl Default for EngineOptions {
         EngineOptions {
             row_limit: None,
             semantics: Semantics::Sparql,
+            threads: lbr_core::api::default_threads(),
         }
     }
 }
@@ -107,7 +113,9 @@ impl EngineKind {
         options: &EngineOptions,
     ) -> Box<dyn Engine + 'a> {
         match self {
-            EngineKind::Lbr => Box::new(LbrEngine::new(catalog, dict)),
+            EngineKind::Lbr => {
+                Box::new(LbrEngine::new(catalog, dict).with_threads(options.threads))
+            }
             EngineKind::PairwiseSelectivity | EngineKind::PairwiseQueryOrder => {
                 let order = if self == EngineKind::PairwiseSelectivity {
                     JoinOrder::Selectivity

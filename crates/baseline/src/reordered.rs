@@ -50,15 +50,36 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
         let projection = query.projected_vars();
         let branches = lbr_sparql::rewrite::rewrite_to_unf(&query.pattern);
         let any_rule3 = branches.iter().any(|b| b.used_rule3);
-        let mut out = Relation::empty(projection.clone());
-        for branch in &branches {
-            let rel = self.eval_traced(&branch.pattern)?.after_best_match;
-            out.rows.extend(rel.project(&projection).rows);
-        }
+        let rels: Vec<Relation> = branches
+            .iter()
+            .map(|b| Ok(self.eval_traced(&b.pattern)?.after_best_match))
+            .collect::<Result<_, LbrError>>()?;
         if any_rule3 {
-            best_match(&mut out.rows);
+            // Rule (3)'s minimum union is defined over the branches' full
+            // schemas: align onto the union of the branch variables,
+            // best-match there, and only then project — projecting first
+            // could erase a column that distinguishes two rows.
+            let mut full_vars: Vec<String> = Vec::new();
+            for rel in &rels {
+                for v in &rel.vars {
+                    if !full_vars.contains(v) {
+                        full_vars.push(v.clone());
+                    }
+                }
+            }
+            let mut full = Relation::empty(full_vars.clone());
+            for rel in &rels {
+                full.rows.extend(rel.project(&full_vars).rows);
+            }
+            best_match(&mut full.rows);
+            Ok(full.project(&projection))
+        } else {
+            let mut out = Relation::empty(projection.clone());
+            for rel in &rels {
+                out.rows.extend(rel.project(&projection).rows);
+            }
+            Ok(out)
         }
-        Ok(out)
     }
 
     /// Executes a UNION-free query, exposing all three stages (projected
@@ -115,13 +136,28 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
         }
         // Filters: absolute-master and global filters drop rows; slave
         // supernode filters participate in the nullification check below.
+        // Supernode filters are evaluated *scoped*: only variables
+        // occurring in a TP of that supernode are visible, matching the
+        // reference oracle's compositional evaluation.
         let vars = acc.vars.clone();
-        for sn in 0..gosn.n_supernodes() {
+        // Per-supernode filter scopes depend only on the query: compute
+        // them once, not per row inside the nullification fixpoint.
+        let sn_scopes: Vec<Vec<String>> = (0..gosn.n_supernodes())
+            .map(|sn| {
+                if gosn.sn_filters(sn).is_empty() {
+                    Vec::new()
+                } else {
+                    sn_scope(&gosn, sn)
+                }
+            })
+            .collect();
+        for (sn, scope) in sn_scopes.iter().enumerate() {
             if !gosn.is_absolute_master(sn) {
                 continue;
             }
             for e in gosn.sn_filters(sn) {
-                acc.rows.retain(|row| self.filter_row(e, row, &vars));
+                acc.rows
+                    .retain(|row| self.filter_row(e, row, &vars, Some(scope)));
             }
         }
         let after_join = acc.clone();
@@ -129,12 +165,12 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
         // Nullification: per row, a slave supernode whose TPs no longer
         // hold under the original nesting loses its exclusive bindings.
         for row in acc.rows.iter_mut() {
-            self.nullify_row(row, &acc.vars, &gosn)?;
+            self.nullify_row(row, &acc.vars, &gosn, &sn_scopes)?;
         }
         // Global filters see the repaired (post-nullification) rows — they
         // apply to the value of the whole pattern.
         for e in gosn.global_filters() {
-            acc.rows.retain(|row| self.filter_row(e, row, &vars));
+            acc.rows.retain(|row| self.filter_row(e, row, &vars, None));
         }
         let after_nullification = acc.clone();
 
@@ -159,6 +195,7 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
         row: &mut [Option<Binding>],
         vars: &[String],
         gosn: &Gosn,
+        sn_scopes: &[Vec<String>],
     ) -> Result<(), LbrError> {
         let col = |v: &str| vars.iter().position(|x| x == v);
         let mut failed = vec![false; gosn.n_supernodes()];
@@ -176,7 +213,7 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
                     && gosn
                         .sn_filters(sn)
                         .iter()
-                        .all(|e| self.filter_row(e, row, vars));
+                        .all(|e| self.filter_row(e, row, vars, Some(&sn_scopes[sn])));
                 if !holds {
                     failed[sn] = true;
                     changed = true;
@@ -208,20 +245,29 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
         }
     }
 
-    /// Evaluates a filter over a row.
+    /// Evaluates a filter over a row. With `scope`, only the listed
+    /// variables are visible — the supernode scope of §5.2 — and any
+    /// other variable reads as unbound.
     fn filter_row(
         &self,
         e: &lbr_sparql::algebra::Expr,
         row: &[Option<Binding>],
         vars: &[String],
+        scope: Option<&[String]>,
     ) -> bool {
         struct Lk<'a> {
             vars: &'a [String],
             row: &'a [Option<Binding>],
             dict: &'a Dictionary,
+            scope: Option<&'a [String]>,
         }
         impl lbr_core::filter_eval::VarLookup for Lk<'_> {
             fn term(&self, name: &str) -> Option<&lbr_rdf::Term> {
+                if let Some(scope) = self.scope {
+                    if !scope.iter().any(|v| v == name) {
+                        return None;
+                    }
+                }
                 let i = self.vars.iter().position(|v| v == name)?;
                 self.row[i].as_ref().map(|b| b.decode(self.dict))
             }
@@ -232,6 +278,7 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
                 vars,
                 row,
                 dict: self.dict,
+                scope,
             },
         )
     }
@@ -264,6 +311,20 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
             .is_some_and(|r| r.contains(o));
         Some(hit)
     }
+}
+
+/// Variables occurring in a TP of `sn` — the visibility scope of that
+/// supernode's filters.
+fn sn_scope(gosn: &Gosn, sn: usize) -> Vec<String> {
+    let mut vars: Vec<String> = Vec::new();
+    for &tp in gosn.tps_of_sn(sn) {
+        for v in gosn.tp(tp).vars() {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.to_string());
+            }
+        }
+    }
+    vars
 }
 
 impl<C: Catalog> lbr_core::api::Engine for ReorderedEngine<'_, C> {

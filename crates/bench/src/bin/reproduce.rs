@@ -90,12 +90,19 @@ fn table61(datasets: &[Dataset]) {
     }
 }
 
-/// Tables 6.2–6.4: per-query processing times.
+/// Tables 6.2–6.4: per-query processing times. Each report (including the
+/// serial/multi-threaded LBR columns and the speedup) is also persisted as
+/// `BENCH_<dataset>.json` for EXPERIMENTS.md regeneration.
 fn table_queries(datasets: &[Dataset], idx: usize, label: &str, json: bool) {
     let p = prepare(datasets[idx].clone());
     println!("\n== Table {label}: query processing times ==");
     let report = run_dataset(&p);
     print!("{}", render_table(&report));
+    let path = format!("BENCH_{}.json", report.name);
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => eprintln!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
     if json {
         println!("{}", report.to_json());
     }

@@ -27,6 +27,13 @@ use std::time::{Duration, Instant};
 /// Timed runs per query after the warm-up run (the paper uses 5).
 pub const RUNS: u32 = 5;
 
+/// Worker threads for the multi-threaded LBR column: the machine's
+/// available parallelism, but at least 4 so the speedup column always
+/// reflects a real fan-out.
+pub fn bench_threads() -> usize {
+    lbr_core::api::default_threads().max(4)
+}
+
 /// Intermediate-row budget for the baselines (stand-in for ">30 min").
 pub const ROW_LIMIT: usize = 40_000_000;
 
@@ -58,8 +65,12 @@ pub struct QueryRow {
     pub t_init: f64,
     /// LBR `prune_triples` time, averaged.
     pub t_prune: f64,
-    /// LBR end-to-end time, averaged.
+    /// LBR end-to-end time, averaged (serial: 1 thread).
     pub t_total: f64,
+    /// LBR end-to-end time with [`bench_threads`] workers, averaged.
+    pub t_total_mt: f64,
+    /// The worker-thread count `t_total_mt` was measured with.
+    pub mt_threads: usize,
     /// One entry per [`BASELINE_KINDS`] engine.
     pub baselines: Vec<EngineTime>,
     /// Σ triples matching each TP before pruning.
@@ -72,6 +83,13 @@ pub struct QueryRow {
     pub n_null_results: usize,
     /// Whether nullification/best-match were required.
     pub best_match_required: bool,
+}
+
+impl QueryRow {
+    /// Serial-over-parallel speedup of the LBR end-to-end time.
+    pub fn speedup(&self) -> f64 {
+        self.t_total / self.t_total_mt.max(1e-9)
+    }
 }
 
 /// A full dataset report.
@@ -121,14 +139,14 @@ fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
-/// Runs one query on the LBR engine with warm-up, returning averaged stats
-/// and the last output.
+/// Runs one query on the serial (1-thread) LBR engine with warm-up,
+/// returning averaged stats and the last output.
 ///
 /// Each timed run is a full `execute` (planning included), matching how
 /// [`run_engine`] times the baselines — the columns stay comparable.
 pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, f64, f64, f64) {
     let query = parse_query(text).expect("benchmark query parses");
-    let engine = LbrEngine::new(&p.store, &p.graph.dict);
+    let engine = LbrEngine::new(&p.store, &p.graph.dict).with_threads(1);
     let mut out = engine.execute(&query).expect("warm-up run");
     let (mut t_init, mut t_prune, mut t_total) = (0.0, 0.0, 0.0);
     for _ in 0..RUNS {
@@ -139,6 +157,26 @@ pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, f64, f64, f64) {
     }
     let n = RUNS as f64;
     (out, t_init / n, t_prune / n, t_total / n)
+}
+
+/// Runs one query on the LBR engine with `threads` workers (warm-up
+/// included), returning the averaged end-to-end seconds. The result rows
+/// are asserted byte-identical to `expect` — the bench doubles as an
+/// equivalence check for the parallel join.
+pub fn run_lbr_threads(p: &Prepared, text: &str, threads: usize, expect: &QueryOutput) -> f64 {
+    let query = parse_query(text).expect("benchmark query parses");
+    let engine = LbrEngine::new(&p.store, &p.graph.dict).with_threads(threads);
+    let mut out = engine.execute(&query).expect("warm-up run");
+    let mut t_total = 0.0;
+    for _ in 0..RUNS {
+        out = engine.execute(&query).expect("timed run");
+        t_total += secs(out.stats.t_total);
+    }
+    assert_eq!(
+        out.rows, expect.rows,
+        "parallel LBR deviates from serial at {threads} threads"
+    );
+    t_total / RUNS as f64
 }
 
 /// Runs one query on any engine through the [`EngineKind`] seam with
@@ -176,8 +214,10 @@ fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
 pub fn run_dataset(p: &Prepared) -> DatasetReport {
     let dims = p.store.dims();
     let mut rows = Vec::new();
+    let mt_threads = bench_threads();
     for q in &p.dataset.queries {
         let (out, t_init, t_prune, t_total) = run_lbr(p, &q.text);
+        let t_total_mt = run_lbr_threads(p, &q.text, mt_threads, &out);
         let baselines = BASELINE_KINDS
             .iter()
             .map(|&kind| EngineTime {
@@ -190,6 +230,8 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
             t_init,
             t_prune,
             t_total,
+            t_total_mt,
+            mt_threads,
             baselines,
             initial_triples: out.stats.initial_triples,
             triples_after_pruning: out.stats.triples_after_pruning,
@@ -238,10 +280,16 @@ pub fn fmt_secs(s: f64) -> String {
 /// (one column per baseline engine).
 pub fn render_table(r: &DatasetReport) -> String {
     let mut s = String::new();
+    let mt_threads = r.rows.first().map_or(0, |row| row.mt_threads);
     let _ = write!(
         s,
-        "{:<4} {:>9} {:>9} {:>9}",
-        "", "Tinit", "Tprune", "Ttotal"
+        "{:<4} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "",
+        "Tinit",
+        "Tprune",
+        "Ttotal",
+        format!("Tmt({mt_threads})"),
+        "spdup"
     );
     for kind in BASELINE_KINDS {
         let _ = write!(s, " {:>12}", format!("T{}", kind.name()));
@@ -254,11 +302,13 @@ pub fn render_table(r: &DatasetReport) -> String {
     for row in &r.rows {
         let _ = write!(
             s,
-            "{:<4} {:>9} {:>9} {:>9}",
+            "{:<4} {:>9} {:>9} {:>9} {:>9} {:>6.2}x",
             row.id,
             fmt_secs(row.t_init),
             fmt_secs(row.t_prune),
             fmt_secs(row.t_total),
+            fmt_secs(row.t_total_mt),
+            row.speedup(),
         );
         for b in &row.baselines {
             let _ = write!(s, " {:>12}", b.secs.map_or(">budget".into(), fmt_secs));
@@ -344,6 +394,13 @@ impl QueryRow {
             self.t_init, self.t_prune
         );
         let _ = write!(out, ",\"t_total\":{}", self.t_total);
+        let _ = write!(
+            out,
+            ",\"t_total_mt\":{},\"mt_threads\":{}",
+            self.t_total_mt, self.mt_threads
+        );
+        out.push_str(",\"speedup\":");
+        json_f64(out, self.speedup());
         out.push_str(",\"baselines\":[");
         for (i, b) in self.baselines.iter().enumerate() {
             if i > 0 {
@@ -413,12 +470,16 @@ mod tests {
         assert_eq!(report.rows.len(), 6);
         assert!(report.n_triples > 0);
         assert!(report.geomean_lbr > 0.0);
-        // Every row carries one time per baseline engine, in kind order.
+        // Every row carries one time per baseline engine, in kind order,
+        // plus the multi-threaded LBR measurement.
         for row in &report.rows {
             assert_eq!(row.baselines.len(), BASELINE_KINDS.len());
             for (b, kind) in row.baselines.iter().zip(BASELINE_KINDS) {
                 assert_eq!(b.engine, kind.name());
             }
+            assert!(row.mt_threads >= 4);
+            assert!(row.t_total_mt > 0.0);
+            assert!(row.speedup().is_finite());
         }
         let table = render_table(&report);
         assert!(table.contains("Q1") && table.contains("Q6"));
@@ -430,6 +491,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"geomean_lbr\""));
         assert!(json.contains("\"engine\":\"pairwise\""));
+        assert!(json.contains("\"t_total_mt\"") && json.contains("\"speedup\""));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::error::LbrError;
 use crate::filter_eval::{self, VarLookup};
 use crate::init::{absolute_master_empty, init, TpState};
 use crate::jvar_order::{get_jvar_order, JvarOrder};
-use crate::multiway::{multi_way_join, JoinInputs};
+use crate::multiway::{multi_way_join_with, JoinInputs};
 use crate::prune::{prune_triples, PruneOutcome};
 use crate::selectivity::estimate_all;
 use crate::QueryStats;
@@ -38,6 +38,9 @@ use std::time::Instant;
 pub struct LbrEngine<'a, C: Catalog> {
     catalog: &'a C,
     dict: &'a Dictionary,
+    /// Worker threads for the multi-way join's root partitioning
+    /// (`1` = the exact serial recursion).
+    threads: usize,
 }
 
 /// A cached execution plan: everything [`LbrEngine::execute`] derives
@@ -100,9 +103,28 @@ struct PartResult {
 }
 
 impl<'a, C: Catalog> LbrEngine<'a, C> {
-    /// Creates an engine over a catalog and its dictionary.
+    /// Creates an engine over a catalog and its dictionary, using the
+    /// machine's available parallelism for the multi-way join (results
+    /// are byte-identical at every thread count; see
+    /// [`crate::multiway::multi_way_join_with`]).
     pub fn new(catalog: &'a C, dict: &'a Dictionary) -> Self {
-        LbrEngine { catalog, dict }
+        LbrEngine {
+            catalog,
+            dict,
+            threads: crate::api::default_threads(),
+        }
+    }
+
+    /// Sets the worker-thread count for the multi-way join (`1` runs the
+    /// exact serial recursion; values are clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Executes a query: plan, then run the plan.
@@ -135,29 +157,67 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
     /// branches (+ best-match when rule (3) was used) → projection.
     pub fn execute_plan(&self, plan: &LbrPlan) -> Result<QueryOutput, LbrError> {
         let t0 = Instant::now();
-        let mut all_rows: Vec<Vec<Option<Binding>>> = Vec::new();
         let mut stats = QueryStats::default();
+        let mut parts = Vec::with_capacity(plan.branches.len());
         for branch in &plan.branches {
             let mut part = self.exec_node(branch)?;
             if part.needs_best_match {
                 best_match(&mut part.rows);
             }
-            // Re-project the branch rows into the query's projection.
+            merge_stats(&mut stats, &part.stats);
+            parts.push(part);
+        }
+        let all_rows = if plan.any_rule3 {
+            // Rule (3) branches can produce spurious subsumed rows across
+            // branches; minimum-union them away (§5.2). Subsumption is
+            // defined over the branches' *full* schemas, so the branches
+            // are aligned onto the union of their variables and
+            // best-matched there *before* projection — projecting first
+            // could erase a column that distinguishes two rows and drop a
+            // row that is only spuriously subsumed post-projection.
+            let mut full_vars: Vec<String> = Vec::new();
+            for part in &parts {
+                for v in &part.vars {
+                    if !full_vars.contains(v) {
+                        full_vars.push(v.clone());
+                    }
+                }
+            }
+            let mut full_rows: Vec<Vec<Option<Binding>>> = Vec::new();
+            for part in &parts {
+                let col_of: Vec<Option<usize>> = full_vars
+                    .iter()
+                    .map(|v| part.vars.iter().position(|x| x == v))
+                    .collect();
+                for row in &part.rows {
+                    full_rows.push(col_of.iter().map(|c| c.and_then(|i| row[i])).collect());
+                }
+            }
+            best_match(&mut full_rows);
             let col_of: Vec<Option<usize>> = plan
                 .projection
                 .iter()
-                .map(|v| part.vars.iter().position(|x| x == v))
+                .map(|v| full_vars.iter().position(|x| x == v))
                 .collect();
-            for row in part.rows {
-                all_rows.push(col_of.iter().map(|c| c.and_then(|i| row[i])).collect());
+            full_rows
+                .iter()
+                .map(|row| col_of.iter().map(|c| c.and_then(|i| row[i])).collect())
+                .collect()
+        } else {
+            // Re-project each branch's rows into the query's projection.
+            let mut all: Vec<Vec<Option<Binding>>> = Vec::new();
+            for part in &parts {
+                let col_of: Vec<Option<usize>> = plan
+                    .projection
+                    .iter()
+                    .map(|v| part.vars.iter().position(|x| x == v))
+                    .collect();
+                for row in &part.rows {
+                    all.push(col_of.iter().map(|c| c.and_then(|i| row[i])).collect());
+                }
             }
-            merge_stats(&mut stats, &part.stats);
-        }
-        if plan.any_rule3 {
-            // Rule (3) branches can produce spurious subsumed rows across
-            // branches; minimum-union them away (§5.2).
-            best_match(&mut all_rows);
-        }
+            all
+        };
         stats.n_results = all_rows.len();
         stats.n_results_with_nulls = all_rows
             .iter()
@@ -316,6 +376,9 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         stats.triples_after_pruning = loaded.tps.iter().map(TpState::count).sum();
         if outcome == PruneOutcome::EmptyAbsoluteMaster {
             stats.aborted_empty = true;
+            // The abort still spent the init and prune phases — report
+            // them instead of a zero total.
+            stats.t_total = stats.t_init + stats.t_prune;
             return Ok(PartResult {
                 vars: vt.names().to_vec(),
                 rows: Vec::new(),
@@ -337,7 +400,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             dict: self.dict,
             fan_filters,
         };
-        let (rows, exec) = multi_way_join(&inputs);
+        let (rows, exec) = multi_way_join_with(&inputs, self.threads);
         stats.t_join = t.elapsed();
         stats.nullification_fired = exec.nullification_fired;
         stats.t_total = stats.t_init + stats.t_prune + stats.t_join;
@@ -352,7 +415,9 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
 
     /// Applies a single-variable filter as an init-time candidate mask on
     /// every TP of the supernode containing that variable. Returns `false`
-    /// when the filter is not single-variable (the caller FaNs it).
+    /// when the filter must be handled by the FaN hook instead: it is not
+    /// single-variable, or its variable is not bound inside this supernode
+    /// (so the mask would have nothing to apply to).
     fn apply_filter_mask(
         &self,
         sn: usize,
@@ -365,8 +430,17 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         let [name] = vars.as_slice() else {
             return false;
         };
-        let Some(var) = vt.id(name) else { return true }; // var unused: no-op
+        let Some(var) = vt.id(name) else {
+            // The variable occurs nowhere in the pattern, so it can never
+            // be bound and the filter is row-independent: evaluate it once
+            // with the variable unbound (SPARQL error → `false`, per the
+            // documented collapse). `true` keeps every row — a genuine
+            // no-op; `false` goes to the FaN hook, which drops every
+            // master row / nullifies the slave supernode.
+            return filter_eval::eval(expr, &filter_eval::PairLookup(&[]));
+        };
         let dims = self.catalog.dims();
+        let mut masked_any = false;
         for &tp in gosn.tps_of_sn(sn) {
             // Fold in the TP's own position dimension so candidate IDs
             // decode through the right dictionary dimension.
@@ -386,8 +460,12 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
                 }
             }
             tps[tp].unfold_var(var, &mask);
+            masked_any = true;
         }
-        true
+        // The variable exists in the pattern but no TP of *this* supernode
+        // binds it: FaN the filter — its supernode-scoped evaluation reads
+        // the out-of-scope variable as unbound, like the reference oracle.
+        masked_any
     }
 }
 
@@ -450,6 +528,10 @@ fn merge_stats(acc: &mut QueryStats, part: &QueryStats) {
     acc.t_init += part.t_init;
     acc.t_prune += part.t_prune;
     acc.t_join += part.t_join;
+    // Keep totals additive too, so Cartesian-fallback parts report a
+    // nonzero `t_total` (the top-level callers overwrite it with the
+    // measured wall time at the end).
+    acc.t_total += part.t_total;
     acc.initial_triples += part.initial_triples;
     acc.triples_after_pruning += part.triples_after_pruning;
     acc.nb_required |= part.nb_required;

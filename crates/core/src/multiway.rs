@@ -14,6 +14,27 @@
 //! Because masters precede slaves in `stps` and a level only binds
 //! still-free variables, master bindings win over slave bindings for
 //! shared variables — the paper's output rule.
+//!
+//! ## Parallel execution
+//!
+//! The pipeline is embarrassingly parallel at the root: every triple
+//! enumerated by the first TP starts an independent subtree, and the
+//! recursion never reads state written by a sibling subtree. The
+//! [`multi_way_join_with`] entry point exploits this by **root
+//! partitioning**: the root TP's candidate enumeration is split into
+//! coarse contiguous *units* (a candidate ID, an adjacency row, or a
+//! predicate-slice row — O(rows) plan memory, not O(triples)), unit
+//! ranges are claimed by `std::thread::scope` workers off a shared atomic
+//! counter, and each worker expands its units lazily in exactly the order
+//! the serial recursion would. Each worker owns a private [`Ctx`]
+//! (slots / binder / visited / rows / stats) over the shared read-only
+//! [`JoinInputs`], so no synchronization happens inside the join itself.
+//!
+//! **Determinism guarantee:** chunk results are merged back in chunk
+//! (i.e. root-enumeration) order and each chunk enumerates its units in
+//! order, so the produced rows — and the summed [`ExecStats`] counters —
+//! are *byte-identical* to the serial engine (`threads = 1` runs the
+//! serial recursion itself, not a one-worker simulation of it).
 
 use crate::bindings::{Binding, VarId, VarTable};
 use crate::filter_eval::{self, VarLookup};
@@ -22,6 +43,8 @@ use lbr_bitmat::CubeDims;
 use lbr_rdf::{Dictionary, Dimension, Term};
 use lbr_sparql::algebra::Expr;
 use lbr_sparql::gosn::{Gosn, SnId, TpId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A variable slot in the paper's `vmap`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +72,12 @@ pub struct JoinInputs<'a> {
     /// Filters evaluated at output time: `(Some(sn), e)` for supernode
     /// filters (failure nullifies slave supernodes / drops master rows),
     /// `(None, e)` for global filters (failure drops the row).
+    ///
+    /// Supernode filters are evaluated *scoped*: only variables occurring
+    /// in a TP of that supernode are visible; any other variable reads as
+    /// unbound, collapsing to `false` under the documented error→false
+    /// semantics (this matches the compositional evaluation of the
+    /// reference oracle).
     pub fan_filters: Vec<(Option<SnId>, &'a Expr)>,
 }
 
@@ -62,6 +91,15 @@ pub struct ExecStats {
     pub rows_filtered: u64,
 }
 
+impl ExecStats {
+    /// Accumulates another worker's counters (order-independent sums, so
+    /// the merged stats equal the serial run's).
+    fn absorb(&mut self, other: &ExecStats) {
+        self.nullification_fired += other.nullification_fired;
+        self.rows_filtered += other.rows_filtered;
+    }
+}
+
 /// The paper's `sorted-tps`: absolute masters ascending by remaining triple
 /// count, then down the master-slave hierarchy, selective TPs first.
 pub fn sort_tps(tps: &[TpState], gosn: &Gosn) -> Vec<TpId> {
@@ -73,37 +111,274 @@ pub fn sort_tps(tps: &[TpState], gosn: &Gosn) -> Vec<TpId> {
     order
 }
 
-/// Runs the multi-way join, returning full-width rows (one column per
-/// variable in [`VarTable`] order).
+/// Runs the multi-way join serially, returning full-width rows (one column
+/// per variable in [`VarTable`] order).
 pub fn multi_way_join(inp: &JoinInputs<'_>) -> (Vec<Vec<Option<Binding>>>, ExecStats) {
-    let stps = sort_tps(inp.tps, inp.gosn);
-    let mut sn_remaining = vec![0usize; inp.gosn.n_supernodes()];
-    for tp in 0..inp.tps.len() {
-        sn_remaining[inp.gosn.sn_of_tp(tp)] += 1;
-    }
-    let mut ctx = Ctx {
-        inp,
-        stps,
-        slots: vec![Slot::Free; inp.vt.len()],
-        binder: vec![usize::MAX; inp.vt.len()],
-        visited: vec![false; inp.tps.len()],
-        n_visited: 0,
-        nulled: vec![false; inp.tps.len()],
-        sn_remaining,
-        rows: Vec::new(),
-        stats: ExecStats::default(),
-    };
-    if !ctx.stps.is_empty() {
-        recurse(&mut ctx);
-    } else {
-        ctx.emit();
-    }
-    (ctx.rows, ctx.stats)
+    multi_way_join_with(inp, 1)
 }
 
-struct Ctx<'a, 'b> {
+/// Runs the multi-way join on up to `threads` worker threads by
+/// partitioning the root TP's candidate enumeration (see the module docs
+/// for the scheme and the determinism guarantee). `threads <= 1` runs the
+/// exact serial recursion.
+pub fn multi_way_join_with(
+    inp: &JoinInputs<'_>,
+    threads: usize,
+) -> (Vec<Vec<Option<Binding>>>, ExecStats) {
+    let sh = Shared::new(inp);
+    if sh.stps.is_empty() {
+        let mut ctx = Ctx::new(&sh);
+        ctx.emit();
+        return (ctx.rows, ctx.stats);
+    }
+    if threads <= 1 {
+        let mut ctx = Ctx::new(&sh);
+        recurse(&mut ctx);
+        return (ctx.rows, ctx.stats);
+    }
+
+    let root = Ctx::new(&sh).select_next();
+    if inp.tps[root].count() == 0 {
+        // The root TP matches nothing: the whole join is a single
+        // rolled-back branch (absolute master) or one nulled-slave branch
+        // — there is nothing to partition, so run the serial recursion.
+        let mut ctx = Ctx::new(&sh);
+        recurse(&mut ctx);
+        return (ctx.rows, ctx.stats);
+    }
+    let units = RootUnits::plan(inp, root);
+    let n_units = units.len();
+
+    // Oversplit into more chunks than workers so a skewed subtree does not
+    // serialize the tail; chunks stay contiguous so the in-order merge
+    // reproduces the serial row order exactly.
+    let n_chunks = n_units.min(threads.saturating_mul(8)).max(1);
+    let chunk_size = n_units.div_ceil(n_chunks);
+    // Both ends clamped: with ceil-division the last chunks can start past
+    // `n_units` (e.g. 100 units / 16 chunks → size 7 → chunk 15 starts at
+    // 105); such empty tails are dropped.
+    let bounds: Vec<(usize, usize)> = (0..n_chunks)
+        .map(|i| {
+            (
+                (i * chunk_size).min(n_units),
+                ((i + 1) * chunk_size).min(n_units),
+            )
+        })
+        .filter(|(start, end)| start < end)
+        .collect();
+    let next = AtomicUsize::new(0);
+    type ChunkResult = (Vec<Vec<Option<Binding>>>, ExecStats);
+    let results: Vec<Mutex<Option<ChunkResult>>> =
+        bounds.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(bounds.len()) {
+            scope.spawn(|| {
+                let mut ctx = Ctx::new(&sh);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(start, end)) = bounds.get(i) else {
+                        break;
+                    };
+                    units.run(&mut ctx, root, start, end);
+                    let rows = std::mem::take(&mut ctx.rows);
+                    let stats = std::mem::take(&mut ctx.stats);
+                    *results[i].lock().expect("chunk slot lock") = Some((rows, stats));
+                }
+            });
+        }
+    });
+
+    let mut rows = Vec::new();
+    let mut stats = ExecStats::default();
+    for cell in results {
+        let (mut r, s) = cell
+            .into_inner()
+            .expect("chunk slot lock")
+            .expect("every chunk was claimed by a worker");
+        rows.append(&mut r);
+        stats.absorb(&s);
+    }
+    (rows, stats)
+}
+
+/// The root TP's candidate enumeration, partitioned into coarse
+/// contiguous *units* (a candidate ID, an adjacency row, or a
+/// predicate-slice row) instead of one seed per triple, so the partition
+/// plan stays O(rows) even when the root matches millions of triples.
+/// Units expand lazily inside [`RootUnits::run`], in exactly the order
+/// the serial recursion enumerates them.
+enum RootUnits {
+    /// A present membership test: exactly one unit with no bindings.
+    Zero,
+    /// Unit = one candidate ID of the single variable.
+    One { ids: Vec<u32> },
+    /// Unit = one `row_adj` entry (its columns expand lazily).
+    Two { n_rows: usize },
+    /// Unit = one row of one predicate slice, as
+    /// `(per_pred_adj index, row index)`.
+    Three { pred_rows: Vec<(u32, u32)> },
+}
+
+impl RootUnits {
+    /// Builds the partition plan. The caller has checked
+    /// `inp.tps[root].count() > 0`, so at least one unit exists and every
+    /// adjacency row is non-empty.
+    fn plan(inp: &JoinInputs<'_>, root: TpId) -> RootUnits {
+        let state = &inp.tps[root];
+        match &state.data {
+            TpData::Zero { .. } => RootUnits::Zero,
+            TpData::One { cands, .. } => RootUnits::One {
+                ids: cands.iter_ones().collect(),
+            },
+            TpData::Two { .. } => RootUnits::Two {
+                n_rows: state.row_adj.len(),
+            },
+            TpData::Three { .. } => {
+                let mut pred_rows = Vec::new();
+                for (pi, (_, rows, _)) in state.per_pred_adj.iter().enumerate() {
+                    for ri in 0..rows.len() {
+                        pred_rows.push((pi as u32, ri as u32));
+                    }
+                }
+                RootUnits::Three { pred_rows }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RootUnits::Zero => 1,
+            RootUnits::One { ids } => ids.len(),
+            RootUnits::Two { n_rows } => *n_rows,
+            RootUnits::Three { pred_rows } => pred_rows.len(),
+        }
+    }
+
+    /// Runs the units in `[start, end)` on a fresh-at-root context,
+    /// binding exactly as the serial enumeration arms do; `descend`
+    /// restores the context completely after every subtree, so one
+    /// context serves the whole range.
+    ///
+    /// Each arm MUST mirror the corresponding all-`Free` arm of
+    /// [`recurse`] (same enumeration order, same bind/descend/unbind
+    /// sequence) — that mirror IS the byte-identity guarantee. The
+    /// `parallel_is_byte_identical_to_serial` and
+    /// `many_units_with_ragged_tail_chunks` tests pin every shape
+    /// (One/Two/Three) at the root; extend them when touching either
+    /// side.
+    fn run(&self, ctx: &mut Ctx<'_, '_, '_>, root: TpId, start: usize, end: usize) {
+        let state = &ctx.sh.inp.tps[root];
+        let n_shared = ctx.sh.inp.dims.n_shared;
+        match (self, &state.data) {
+            (RootUnits::Zero, TpData::Zero { .. }) => {
+                descend(ctx, root, &[]);
+            }
+            (RootUnits::One { ids }, TpData::One { var, dim, .. }) => {
+                for &id in &ids[start..end] {
+                    ctx.bind(*var, Slot::Val(Binding::new(id, *dim, n_shared)), root);
+                    descend(ctx, root, &[*var]);
+                }
+            }
+            (
+                RootUnits::Two { .. },
+                TpData::Two {
+                    row_var,
+                    row_dim,
+                    col_var,
+                    col_dim,
+                    ..
+                },
+            ) => {
+                let (rv, cv, rd, cd) = (*row_var, *col_var, *row_dim, *col_dim);
+                for (r, cols) in &state.row_adj[start..end] {
+                    ctx.bind(rv, Slot::Val(Binding::new(*r, rd, n_shared)), root);
+                    for c in cols {
+                        ctx.bind(cv, Slot::Val(Binding::new(*c, cd, n_shared)), root);
+                        descend(ctx, root, &[cv]);
+                    }
+                    ctx.unbind(rv);
+                }
+            }
+            (
+                RootUnits::Three { pred_rows },
+                TpData::Three {
+                    s_var,
+                    p_var,
+                    o_var,
+                    ..
+                },
+            ) => {
+                let (sv, pv, ov) = (*s_var, *p_var, *o_var);
+                for &(pi, ri) in &pred_rows[start..end] {
+                    let (pid, rows, _) = &state.per_pred_adj[pi as usize];
+                    let (r, cols) = &rows[ri as usize];
+                    ctx.bind(
+                        pv,
+                        Slot::Val(Binding::new(*pid, Dimension::Predicate, n_shared)),
+                        root,
+                    );
+                    ctx.bind(
+                        sv,
+                        Slot::Val(Binding::new(*r, Dimension::Subject, n_shared)),
+                        root,
+                    );
+                    for c in cols {
+                        ctx.bind(
+                            ov,
+                            Slot::Val(Binding::new(*c, Dimension::Object, n_shared)),
+                            root,
+                        );
+                        descend(ctx, root, &[ov]);
+                    }
+                    ctx.unbind(sv);
+                    ctx.unbind(pv);
+                }
+            }
+            _ => unreachable!("RootUnits::plan matches the root TP's data shape"),
+        }
+    }
+}
+
+/// The read-only part of the join state, shared by all workers.
+struct Shared<'a, 'b> {
     inp: &'b JoinInputs<'a>,
     stps: Vec<TpId>,
+    /// Unvisited-TP count per supernode at the start of the join
+    /// (cloned into each worker's private countdown).
+    sn_remaining0: Vec<usize>,
+    /// `sn_vars[sn][var]`: does `var` occur in a TP of `sn`? The FILTER
+    /// visibility scope for supernode filters.
+    sn_vars: Vec<Vec<bool>>,
+}
+
+impl<'a, 'b> Shared<'a, 'b> {
+    fn new(inp: &'b JoinInputs<'a>) -> Shared<'a, 'b> {
+        let stps = sort_tps(inp.tps, inp.gosn);
+        let n_sn = inp.gosn.n_supernodes();
+        let mut sn_remaining0 = vec![0usize; n_sn];
+        let mut sn_vars = vec![vec![false; inp.vt.len()]; n_sn];
+        for (tp, state) in inp.tps.iter().enumerate() {
+            let sn = inp.gosn.sn_of_tp(tp);
+            sn_remaining0[sn] += 1;
+            for (v, _) in state.vars() {
+                sn_vars[sn][v] = true;
+            }
+        }
+        Shared {
+            inp,
+            stps,
+            sn_remaining0,
+            sn_vars,
+        }
+    }
+}
+
+/// Per-worker join state: the variable map and the recursion bookkeeping.
+/// Creating one from a [`Shared`] is cheap (a few vecs), so every worker
+/// owns its own and no state is shared mutably across threads.
+struct Ctx<'s, 'a, 'b> {
+    sh: &'s Shared<'a, 'b>,
     slots: Vec<Slot>,
     binder: Vec<TpId>,
     visited: Vec<bool>,
@@ -117,7 +392,21 @@ struct Ctx<'a, 'b> {
     stats: ExecStats,
 }
 
-impl Ctx<'_, '_> {
+impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
+    fn new(sh: &'s Shared<'a, 'b>) -> Ctx<'s, 'a, 'b> {
+        Ctx {
+            sh,
+            slots: vec![Slot::Free; sh.inp.vt.len()],
+            binder: vec![usize::MAX; sh.inp.vt.len()],
+            visited: vec![false; sh.inp.tps.len()],
+            n_visited: 0,
+            nulled: vec![false; sh.inp.tps.len()],
+            sn_remaining: sh.sn_remaining0.clone(),
+            rows: Vec::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
     /// The first unvisited TP in `stps` order that (a) has a bound variable
     /// or no variables at all, and (b) whose master supernodes are fully
     /// visited — the strengthened form of the paper's "masters generate
@@ -125,17 +414,17 @@ impl Ctx<'_, '_> {
     /// master-complete unvisited TP (the very first call, and defensively
     /// for Cartesian shapes the engine normally splits beforehand).
     fn select_next(&self) -> TpId {
-        let gosn = self.inp.gosn;
+        let gosn = self.sh.inp.gosn;
         let masters_done = |tp: TpId| {
             gosn.masters_of(gosn.sn_of_tp(tp))
                 .iter()
                 .all(|&m| self.sn_remaining[m] == 0)
         };
-        for &tp in &self.stps {
+        for &tp in &self.sh.stps {
             if self.visited[tp] || !masters_done(tp) {
                 continue;
             }
-            let vars = self.inp.tps[tp].vars();
+            let vars = self.sh.inp.tps[tp].vars();
             if vars.is_empty() || vars.iter().any(|&(v, _)| self.slots[v] != Slot::Free) {
                 return tp;
             }
@@ -143,6 +432,7 @@ impl Ctx<'_, '_> {
         // Nothing bound anywhere yet: the first master-complete unvisited
         // TP (also the very first call).
         *self
+            .sh
             .stps
             .iter()
             .find(|&&tp| !self.visited[tp] && masters_done(tp))
@@ -160,19 +450,10 @@ impl Ctx<'_, '_> {
         self.binder[var] = usize::MAX;
     }
 
-    /// Decoded term of a variable by name (for filter evaluation).
-    fn term_of<'d>(&self, name: &str, dict: &'d Dictionary) -> Option<&'d Term> {
-        let id = self.inp.vt.id(name)?;
-        match self.slots[id] {
-            Slot::Val(b) => Some(b.decode(dict)),
-            _ => None,
-        }
-    }
-
     /// Emits one result row: failure closure → FaN filters → nullification
     /// → global filters → push.
     fn emit(&mut self) {
-        let gosn = self.inp.gosn;
+        let gosn = self.sh.inp.gosn;
         let n_sn = gosn.n_supernodes();
         // 1. Failed supernodes: any nulled TP fails its supernode; failure
         //    spreads across peer groups (an inner-join group produces rows
@@ -185,16 +466,19 @@ impl Ctx<'_, '_> {
         }
         close_over_peers(&mut failed, gosn);
 
-        // 2. FaN: supernode filters.
-        for (sn_opt, expr) in &self.inp.fan_filters {
+        // 2. FaN: supernode filters, evaluated over the supernode's own
+        //    variable scope (a variable bound only outside the supernode
+        //    reads as unbound, like in the reference oracle).
+        for (sn_opt, expr) in &self.sh.inp.fan_filters {
             let Some(sn) = sn_opt else { continue };
             if failed[*sn] {
                 continue; // already NULL, nothing to test
             }
             let ok = {
-                let lk = CtxLookup {
+                let lk = SnScopedLookup {
                     ctx: self,
-                    dict: self.inp.dict,
+                    sn: *sn,
+                    dict: self.sh.inp.dict,
                 };
                 filter_eval::eval(expr, &lk)
             };
@@ -231,14 +515,14 @@ impl Ctx<'_, '_> {
         }
 
         // 4. Global filters over the (possibly nullified) row.
-        for (sn_opt, expr) in &self.inp.fan_filters {
+        for (sn_opt, expr) in &self.sh.inp.fan_filters {
             if sn_opt.is_some() {
                 continue;
             }
             let lk = RowLookup {
                 row: &row,
-                vt: self.inp.vt,
-                dict: self.inp.dict,
+                vt: self.sh.inp.vt,
+                dict: self.sh.inp.dict,
             };
             if !filter_eval::eval(expr, &lk) {
                 self.stats.rows_filtered += 1;
@@ -261,14 +545,24 @@ fn close_over_peers(failed: &mut [bool], gosn: &Gosn) {
     }
 }
 
-struct CtxLookup<'c, 'a, 'b, 'd> {
-    ctx: &'c Ctx<'a, 'b>,
-    dict: &'d Dictionary,
+/// Variable lookup for a supernode filter: only variables occurring in a
+/// TP of `sn` are visible (§5.2 FILTER scope).
+struct SnScopedLookup<'c, 's, 'a, 'b> {
+    ctx: &'c Ctx<'s, 'a, 'b>,
+    sn: SnId,
+    dict: &'c Dictionary,
 }
 
-impl VarLookup for CtxLookup<'_, '_, '_, '_> {
+impl VarLookup for SnScopedLookup<'_, '_, '_, '_> {
     fn term(&self, name: &str) -> Option<&Term> {
-        self.ctx.term_of(name, self.dict)
+        let id = self.ctx.sh.inp.vt.id(name)?;
+        if !self.ctx.sh.sn_vars[self.sn][id] {
+            return None;
+        }
+        match self.ctx.slots[id] {
+            Slot::Val(b) => Some(b.decode(self.dict)),
+            _ => None,
+        }
     }
 }
 
@@ -286,14 +580,18 @@ impl VarLookup for RowLookup<'_> {
 }
 
 /// One recursion level of Algorithm 5.4.
-fn recurse(ctx: &mut Ctx<'_, '_>) {
-    if ctx.n_visited == ctx.stps.len() {
+///
+/// The all-`Free` enumeration arms (the root-level cases) are mirrored by
+/// [`RootUnits::run`] for the parallel path — keep the two in sync (see
+/// the note there).
+fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
+    if ctx.n_visited == ctx.sh.stps.len() {
         ctx.emit();
         return;
     }
     let tp = ctx.select_next();
-    let n_shared = ctx.inp.dims.n_shared;
-    let matched = match &ctx.inp.tps[tp].data {
+    let n_shared = ctx.sh.inp.dims.n_shared;
+    let matched = match &ctx.sh.inp.tps[tp].data {
         TpData::Zero { present } => {
             if *present {
                 descend(ctx, tp, &[]);
@@ -330,7 +628,7 @@ fn recurse(ctx: &mut Ctx<'_, '_>) {
             ..
         } => {
             let (sv, pv, ov) = (*s_var, *p_var, *o_var);
-            let state = &ctx.inp.tps[tp];
+            let state = &ctx.sh.inp.tps[tp];
             let mut any = false;
             // Enumerate per predicate; each predicate slice behaves like a
             // Two-variable matrix with the predicate binding layered on.
@@ -355,7 +653,7 @@ fn recurse(ctx: &mut Ctx<'_, '_>) {
                     }
                 };
                 let (rows, cols) = {
-                    let (_, r, c) = &ctx.inp.tps[tp].per_pred_adj[idx];
+                    let (_, r, c) = &ctx.sh.inp.tps[tp].per_pred_adj[idx];
                     (r.clone(), c.clone())
                 };
                 let lookup = |adj: &[(u32, Vec<u32>)], key: u32| -> Vec<u32> {
@@ -434,7 +732,7 @@ fn recurse(ctx: &mut Ctx<'_, '_>) {
             col_dim,
             ..
         } => {
-            let state = &ctx.inp.tps[tp];
+            let state = &ctx.sh.inp.tps[tp];
             let (rv, cv, rd, cd) = (*row_var, *col_var, *row_dim, *col_dim);
             match (ctx.slots[rv], ctx.slots[cv]) {
                 (Slot::Null, _) | (_, Slot::Null) => false,
@@ -494,13 +792,13 @@ fn recurse(ctx: &mut Ctx<'_, '_>) {
     };
 
     if !matched {
-        if ctx.inp.gosn.tp_in_absolute_master(tp) {
+        if ctx.sh.inp.gosn.tp_in_absolute_master(tp) {
             // ln 27–28: an absolute master cannot have NULL bindings —
             // roll back this branch.
             return;
         }
         // ln 29–32: a slave with no consistent triple: NULL its free vars.
-        let free: Vec<VarId> = ctx.inp.tps[tp]
+        let free: Vec<VarId> = ctx.sh.inp.tps[tp]
             .vars()
             .into_iter()
             .filter(|&(v, _)| ctx.slots[v] == Slot::Free)
@@ -517,8 +815,8 @@ fn recurse(ctx: &mut Ctx<'_, '_>) {
 
 /// Marks `tp` visited, recurses, then restores `tp` and the vars this
 /// frame bound.
-fn descend(ctx: &mut Ctx<'_, '_>, tp: TpId, bound_here: &[VarId]) {
-    let sn = ctx.inp.gosn.sn_of_tp(tp);
+fn descend(ctx: &mut Ctx<'_, '_, '_>, tp: TpId, bound_here: &[VarId]) {
+    let sn = ctx.sh.inp.gosn.sn_of_tp(tp);
     ctx.visited[tp] = true;
     ctx.n_visited += 1;
     ctx.sn_remaining[sn] -= 1;
@@ -562,7 +860,10 @@ mod tests {
         .encode()
     }
 
-    fn run(query: &str) -> (Vec<String>, Vec<Vec<Option<String>>>, ExecStats) {
+    fn run_threads(
+        query: &str,
+        threads: usize,
+    ) -> (Vec<String>, Vec<Vec<Option<String>>>, ExecStats) {
         let g = graph();
         let store = BitMatStore::build(&g);
         let q = parse_query(query).unwrap();
@@ -583,7 +884,7 @@ mod tests {
             dict: &g.dict,
             fan_filters: Vec::new(),
         };
-        let (rows, stats) = multi_way_join(&inputs);
+        let (rows, stats) = multi_way_join_with(&inputs, threads);
         let decoded: Vec<Vec<Option<String>>> = rows
             .iter()
             .map(|r| {
@@ -593,6 +894,10 @@ mod tests {
             })
             .collect();
         (vt.names().to_vec(), decoded, stats)
+    }
+
+    fn run(query: &str) -> (Vec<String>, Vec<Vec<Option<String>>>, ExecStats) {
+        run_threads(query, 1)
     }
 
     /// The paper's running example: exactly {(Larry, NULL), (Julia,
@@ -654,5 +959,73 @@ mod tests {
         let (_, rows, _) =
             run("PREFIX : <> SELECT * WHERE { :Jerry :hasFriend :Julia . :Jerry :hasFriend ?f . }");
         assert_eq!(rows.len(), 2, "membership true: acts as a no-op gate");
+    }
+
+    /// Regression: when the unit count exceeds `threads * 8` with a
+    /// non-aligned remainder, ceil-division makes the last chunks start
+    /// past the unit count (100 units / 16 chunks → size 7 → chunk 15
+    /// would start at 105); the bounds must be clamped, not panic.
+    #[test]
+    fn many_units_with_ragged_tail_chunks() {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let g = Graph::from_triples(
+            (0..100)
+                .map(|i| t(&format!("s{i}"), "p", &format!("o{i}")))
+                .collect::<Vec<_>>(),
+        )
+        .encode();
+        let store = BitMatStore::build(&g);
+        let q = parse_query("SELECT * WHERE { ?s <p> ?o . }").unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        for tp in &mut out.tps {
+            tp.build_adjacency();
+        }
+        let inputs = JoinInputs {
+            tps: &out.tps,
+            gosn: &a.gosn,
+            vt: &vt,
+            dims: store.dims(),
+            dict: &g.dict,
+            fan_filters: Vec::new(),
+        };
+        let (serial, _) = multi_way_join_with(&inputs, 1);
+        assert_eq!(serial.len(), 100);
+        for threads in [2, 3, 7, 16] {
+            let (parallel, _) = multi_way_join_with(&inputs, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    /// The tentpole's determinism guarantee: any thread count produces
+    /// rows byte-identical (same order, same values) to the serial run.
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        let queries = [
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
+            "PREFIX : <> SELECT * WHERE { ?f :actedIn ?s . ?s :location ?where . }",
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . OPTIONAL { ?sitcom :location ?loc . } } }",
+            "PREFIX : <> SELECT * WHERE { ?s ?p ?o . }",
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :location ?loc . } }",
+        ];
+        for query in queries {
+            let (_, serial, s_stats) = run_threads(query, 1);
+            for threads in [2, 3, 8] {
+                let (_, parallel, p_stats) = run_threads(query, threads);
+                assert_eq!(parallel, serial, "threads={threads} on: {query}");
+                assert_eq!(
+                    p_stats.nullification_fired, s_stats.nullification_fired,
+                    "stats diverge at threads={threads}"
+                );
+                assert_eq!(p_stats.rows_filtered, s_stats.rows_filtered);
+            }
+        }
     }
 }

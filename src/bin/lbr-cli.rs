@@ -9,10 +9,12 @@
 //! ```
 //!
 //! Options: `--engine lbr|pairwise|query-order|reordered|reference`
-//! (default lbr), `--explain` (print the plan instead of executing),
-//! `--stats`, `--repeat N` (re-run the prepared query N times and report
-//! the average), `--file <query.rq>`, `--save-index <path>`,
-//! `--index <path>`.
+//! (default lbr), `--threads N` (worker threads for the multi-way join's
+//! root partitioning; default: available parallelism, `1` = exact serial
+//! path, results identical either way), `--explain` (print the plan
+//! instead of executing), `--stats`, `--repeat N` (re-run the prepared
+//! query N times and report the average), `--file <query.rq>`,
+//! `--save-index <path>`, `--index <path>`.
 //!
 //! Every engine goes through the same [`lbr::Engine`] dispatch and the
 //! same streaming result printer — there is no per-engine result
@@ -31,6 +33,7 @@ struct Options {
     query: Option<String>,
     query_file: Option<String>,
     engine: EngineKind,
+    threads: Option<usize>,
     explain: bool,
     stats: bool,
     repeat: u32,
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
         query: None,
         query_file: None,
         engine: EngineKind::Lbr,
+        threads: None,
         explain: false,
         stats: false,
         repeat: 1,
@@ -54,6 +58,16 @@ fn parse_args() -> Result<Options, String> {
             "--engine" => {
                 let name = args.next().ok_or("--engine needs a value")?;
                 o.engine = name.parse()?;
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a value")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad --threads value '{n}'"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                o.threads = Some(n);
             }
             "--file" => o.query_file = Some(args.next().ok_or("--file needs a value")?),
             "--index" => o.index = Some(args.next().ok_or("--index needs a value")?),
@@ -80,7 +94,8 @@ fn usage() {
     let engines: Vec<&str> = EngineKind::all().iter().map(|k| k.name()).collect();
     eprintln!(
         "usage: lbr-cli <data.nt> [QUERY] [--file query.rq] [--engine {}] \
-         [--explain] [--stats] [--repeat N] [--save-index path] [--index path.lbr]",
+         [--threads N] [--explain] [--stats] [--repeat N] [--save-index path] \
+         [--index path.lbr]",
         engines.join("|")
     );
 }
@@ -108,6 +123,9 @@ fn run() -> Result<ExitCode, String> {
     // Assemble the database: N-Triples data, optionally backed by the
     // lazily-read on-disk index.
     let mut builder = Database::builder().engine(opts.engine);
+    if let Some(threads) = opts.threads {
+        builder = builder.threads(threads);
+    }
     match &opts.data {
         Some(path) => builder = builder.ntriples_file(path),
         None => {
@@ -179,10 +197,18 @@ fn run() -> Result<ExitCode, String> {
         stats.n_results, stats.n_results_with_nulls
     );
     if opts.stats {
+        // Only the LBR engine consumes the thread setting; labelling the
+        // serial baselines with it would be misleading.
+        let threads_note = if opts.engine == EngineKind::Lbr {
+            format!(" ({} threads)", db.threads())
+        } else {
+            String::new()
+        };
         eprintln!(
-            "engine {}  init {:?}  prune {:?}  join {:?}  total {:?}\n\
+            "engine {}{}  init {:?}  prune {:?}  join {:?}  total {:?}\n\
              candidates {} → {}  best-match required: {}",
             opts.engine,
+            threads_note,
             stats.t_init,
             stats.t_prune,
             stats.t_join,

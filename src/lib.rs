@@ -104,6 +104,7 @@ pub struct Database {
     graph: EncodedGraph,
     backend: Backend,
     default_engine: EngineKind,
+    threads: usize,
 }
 
 enum Backend {
@@ -192,6 +193,7 @@ pub struct DatabaseBuilder {
     source: Option<Source>,
     index: Option<PathBuf>,
     engine: EngineKind,
+    threads: Option<usize>,
 }
 
 impl DatabaseBuilder {
@@ -233,6 +235,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Sets the worker-thread count engines created by this database use
+    /// for intra-query parallelism (default: the machine's available
+    /// parallelism; `1` = the exact serial path). Results are
+    /// byte-identical at every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Assembles the database.
     pub fn build(self) -> Result<Database, DatabaseError> {
         let graph = match self.source {
@@ -271,6 +282,7 @@ impl DatabaseBuilder {
             graph,
             backend,
             default_engine: self.engine,
+            threads: self.threads.unwrap_or_else(core::api::default_threads),
         })
     }
 }
@@ -282,6 +294,7 @@ impl Database {
             source: None,
             index: None,
             engine: EngineKind::Lbr,
+            threads: None,
         }
     }
 
@@ -315,9 +328,16 @@ impl Database {
         self.engine_of(self.default_engine)
     }
 
-    /// A specific engine over this database's catalog.
+    /// A specific engine over this database's catalog (using the
+    /// database's configured thread count).
     pub fn engine_of(&self, kind: EngineKind) -> Box<dyn Engine + '_> {
-        self.engine_with(kind, &EngineOptions::default())
+        self.engine_with(
+            kind,
+            &EngineOptions {
+                threads: self.threads,
+                ..EngineOptions::default()
+            },
+        )
     }
 
     /// A specific engine with explicit [`EngineOptions`].
@@ -331,6 +351,11 @@ impl Database {
     /// The default engine's kind.
     pub fn engine_kind(&self) -> EngineKind {
         self.default_engine
+    }
+
+    /// The worker-thread count engines created by this database use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Parses and executes a query on the default engine.

@@ -12,14 +12,31 @@
 use lbr::baseline::{EngineOptions, Semantics};
 use lbr::{parse_query, Database, EngineKind, Term, Triple};
 
+/// The intra-query parallelism axis: the serial path, a small fan-out and
+/// an oversubscribed one. Only the LBR engine parallelizes today, but the
+/// axis runs every kind so an engine gaining threads later is covered
+/// automatically.
+const THREADS_AXIS: [usize; 3] = [1, 2, 8];
+
 /// Renders an engine's sorted rows (lexical forms, NULL as None) for bag
 /// comparison, going through the unified `Engine` trait.
-fn engine_rows(db: &Database, kind: EngineKind, query: &str) -> Vec<Vec<Option<String>>> {
+fn engine_rows_with(
+    db: &Database,
+    kind: EngineKind,
+    threads: usize,
+    query: &str,
+) -> Vec<Vec<Option<String>>> {
     let q = parse_query(query).unwrap();
     let out = db
-        .engine_of(kind)
+        .engine_with(
+            kind,
+            &EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            },
+        )
         .execute(&q)
-        .unwrap_or_else(|e| panic!("{kind} failed on {query}: {e}"));
+        .unwrap_or_else(|e| panic!("{kind} (threads={threads}) failed on {query}: {e}"));
     let mut rows: Vec<Vec<Option<String>>> = out
         .decode(db.dict())
         .into_iter()
@@ -29,19 +46,25 @@ fn engine_rows(db: &Database, kind: EngineKind, query: &str) -> Vec<Vec<Option<S
     rows
 }
 
-/// Asserts every engine agrees with the reference oracle (SPARQL
-/// semantics — the ground truth for well-designed queries), and that the
-/// streaming `Solutions` path is row-for-row identical to the
+fn engine_rows(db: &Database, kind: EngineKind, query: &str) -> Vec<Vec<Option<String>>> {
+    engine_rows_with(db, kind, 1, query)
+}
+
+/// Asserts every engine × thread count agrees with the reference oracle
+/// (SPARQL semantics — the ground truth for well-designed queries), and
+/// that the streaming `Solutions` path is row-for-row identical to the
 /// materialized `QueryOutput` path.
 #[track_caller]
 fn assert_all_agree(db: &Database, query: &str) {
     let truth = engine_rows(db, EngineKind::Reference, query);
     for kind in EngineKind::all() {
-        assert_eq!(
-            engine_rows(db, kind, query),
-            truth,
-            "{kind} deviates on: {query}"
-        );
+        for threads in THREADS_AXIS {
+            assert_eq!(
+                engine_rows_with(db, kind, threads, query),
+                truth,
+                "{kind} (threads={threads}) deviates on: {query}"
+            );
+        }
         assert_streaming_matches_materialized(db, kind, query);
     }
 }
@@ -338,6 +361,154 @@ fn non_well_designed_matches_sql_semantics() {
     assert_eq!(engine_rows(&db, EngineKind::Lbr, query), truth_sql);
     // And it genuinely differs from the pure-SPARQL semantics here.
     assert_ne!(truth_sql, engine_rows(&db, EngineKind::Reference, query));
+}
+
+#[test]
+fn filter_on_pattern_absent_variable() {
+    // A FILTER over a variable that occurs nowhere in the pattern: the
+    // variable can never be bound, so comparisons collapse to `false`
+    // (SPARQL error semantics) and `!BOUND` is `true`. The engine used to
+    // silently discard such filters.
+    let db = sitcom_db();
+    // Constant-false in the master: every row is dropped.
+    let drop_all = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+        FILTER(?nosuch = :Julia) }";
+    assert_all_agree(&db, drop_all);
+    assert!(
+        db.execute(drop_all).unwrap().is_empty(),
+        "FILTER over an unbound variable must drop every row"
+    );
+    // Constant-true (!BOUND of a never-bound variable): keeps every row.
+    let keep_all = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+        FILTER(!BOUND(?nosuch)) }";
+    assert_all_agree(&db, keep_all);
+    assert_eq!(db.execute(keep_all).unwrap().len(), 2);
+    // Constant-false inside an OPTIONAL: the slave never matches, so every
+    // row keeps its master bindings with NULLs for the slave.
+    let null_slave = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+        OPTIONAL { ?f :actedIn ?s . FILTER(?nosuch = :Julia) } }";
+    assert_all_agree(&db, null_slave);
+    let out = db.execute(null_slave).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows_with_nulls(), 2);
+}
+
+#[test]
+fn filter_scoped_to_its_group() {
+    // ?c is bound only by the master pattern: inside the OPTIONAL group's
+    // scope it is unbound, so the filter is constant-false there and the
+    // OPTIONAL never matches (the oracle's compositional semantics). The
+    // filter must neither be discarded nor read the master's binding.
+    let db = sitcom_db();
+    let query = "PREFIX : <> SELECT * WHERE { ?f :livesIn ?c .
+        OPTIONAL { ?f :actedIn ?s . FILTER(?c = :NewYorkCity) } }";
+    assert_all_agree(&db, query);
+    let rows = engine_rows(&db, EngineKind::Lbr, query);
+    assert!(
+        rows.iter().all(|r| r[2].is_none()),
+        "the out-of-scope filter nullifies the OPTIONAL for every row"
+    );
+}
+
+#[test]
+fn nested_optional_with_filters() {
+    let db = sitcom_db();
+    // Filter inside the innermost OPTIONAL of a nested chain.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s .
+             OPTIONAL { ?s :location ?l . FILTER(?l != :LosAngeles) } } }",
+    );
+    // Filter on the master of a nested-OPTIONAL chain.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f . FILTER(?f != :Larry)
+           OPTIONAL { ?f :actedIn ?s . OPTIONAL { ?s :location ?l . } } }",
+    );
+    // Pattern-absent filter variable in the innermost OPTIONAL.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s .
+             OPTIONAL { ?s :location ?l . FILTER(?nosuch = 1) } } }",
+    );
+}
+
+#[test]
+fn rule3_minimum_union_over_full_schema_before_projection() {
+    // P1 ⟕ (P2 ∪ P3) with a projection that erases the column (?y)
+    // distinguishing a q-branch row from a p-branch row. The q-branch row
+    // projects to (a, NULL), which *looks* subsumed by the p-branch's
+    // (a, c1) — but rule (3)'s minimum union is defined over the full
+    // branch schemas, where {s,o,x} and {s,o,y} rows are incomparable.
+    // Best-matching after projection would silently lose the row.
+    let db = Database::from_triples(vec![
+        t("a", "m", "o1"),
+        t("a", "p", "c1"),
+        t("a", "q", "d1"),
+    ]);
+    let query = "PREFIX : <> SELECT ?s ?x WHERE { ?s :m ?o .
+        OPTIONAL { { ?s :p ?x . } UNION { ?s :q ?y . } } }";
+    assert_all_agree(&db, query);
+    let rows = engine_rows(&db, EngineKind::Lbr, query);
+    assert_eq!(rows.len(), 2, "both union branches contribute a row");
+    assert!(
+        rows.contains(&vec![Some("<a>".to_string()), None]),
+        "the q-branch row survives as (a, NULL)"
+    );
+    // And the spurious-row case still collapses: when only one branch
+    // matches, the other branch's all-NULL padding is genuinely subsumed.
+    let db2 = Database::from_triples(vec![t("a", "m", "o1"), t("a", "p", "c1")]);
+    assert_all_agree(&db2, query);
+    assert_eq!(engine_rows(&db2, EngineKind::Lbr, query).len(), 1);
+}
+
+/// The public-API determinism guarantee: the parallel multi-way join
+/// returns rows byte-identical — same order, same encoded values — to the
+/// serial engine.
+#[test]
+fn lbr_parallel_rows_identical_in_order() {
+    let db = sitcom_db();
+    let queries = [
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :actedIn ?s . ?s :location :NewYorkCity . } }",
+        "PREFIX : <> SELECT * WHERE { ?f :actedIn ?s . ?s :location ?where . }",
+        "PREFIX : <> SELECT * WHERE { ?s ?p ?o . }",
+        "PREFIX : <> SELECT * WHERE {
+           { ?f :actedIn ?s . ?s :location :NewYorkCity . }
+           UNION { ?f :actedIn ?s . ?s :location :LosAngeles . } }",
+    ];
+    for query in queries {
+        let q = parse_query(query).unwrap();
+        let serial = db
+            .engine_with(
+                EngineKind::Lbr,
+                &EngineOptions {
+                    threads: 1,
+                    ..EngineOptions::default()
+                },
+            )
+            .execute(&q)
+            .unwrap();
+        for threads in [2, 8] {
+            let parallel = db
+                .engine_with(
+                    EngineKind::Lbr,
+                    &EngineOptions {
+                        threads,
+                        ..EngineOptions::default()
+                    },
+                )
+                .execute(&q)
+                .unwrap();
+            assert_eq!(parallel.vars, serial.vars);
+            assert_eq!(
+                parallel.rows, serial.rows,
+                "threads={threads} changes row order or content on: {query}"
+            );
+        }
+    }
 }
 
 #[test]
