@@ -185,7 +185,7 @@ impl<C: Catalog> Engine for ReferenceEngine<'_, C> {
         self.dict
     }
 
-    fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
+    fn execute_raw(&self, query: &Query) -> Result<QueryOutput, LbrError> {
         let rel = evaluate_reference(query, self.dict, self.catalog, self.semantics)?;
         Ok(crate::relation_to_output(rel))
     }

@@ -64,10 +64,12 @@ impl<'a, C: Catalog> PairwiseEngine<'a, C> {
         Ok(rel)
     }
 
-    /// Executes a query, returning a relation over the projected variables.
+    /// Executes a query's WHERE pattern, returning a relation over the
+    /// execution schema (projection plus ORDER BY keys); the query form
+    /// and modifiers are applied by the shared `Engine` seam.
     pub fn execute(&self, query: &Query) -> Result<Relation, LbrError> {
         let rel = self.eval(&query.pattern)?;
-        Ok(rel.project(&query.projected_vars()))
+        Ok(rel.project(&query.exec_vars()))
     }
 
     /// Evaluates a pattern tree.
@@ -165,7 +167,7 @@ impl<C: Catalog> lbr_core::api::Engine for PairwiseEngine<'_, C> {
         self.dict
     }
 
-    fn execute(&self, query: &Query) -> Result<lbr_core::QueryOutput, LbrError> {
+    fn execute_raw(&self, query: &Query) -> Result<lbr_core::QueryOutput, LbrError> {
         Ok(crate::relation_to_output(PairwiseEngine::execute(
             self, query,
         )?))

@@ -34,7 +34,10 @@ pub enum Semantics {
 
 type Map = BTreeMap<String, Binding>;
 
-/// Evaluates a query against the catalog with the chosen semantics.
+/// Evaluates a query's WHERE pattern against the catalog with the chosen
+/// semantics, returning rows over the execution schema
+/// (`Query::exec_vars`); forms and modifiers are applied by the shared
+/// `Engine` seam.
 pub fn evaluate_reference(
     query: &Query,
     dict: &Dictionary,
@@ -42,7 +45,7 @@ pub fn evaluate_reference(
     semantics: Semantics,
 ) -> Result<Relation, LbrError> {
     let maps = eval(&query.pattern, dict, catalog, semantics)?;
-    let vars = query.projected_vars();
+    let vars = query.exec_vars();
     Ok(Relation {
         rows: maps
             .iter()

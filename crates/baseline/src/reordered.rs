@@ -44,10 +44,12 @@ impl<'a, C: Catalog> ReorderedEngine<'a, C> {
         ReorderedEngine { catalog, dict }
     }
 
-    /// Executes a query (final rows only). UNION queries are rewritten to
-    /// UNION normal form and evaluated branch-by-branch.
+    /// Executes a query's WHERE pattern (rows over the execution schema —
+    /// the query form and modifiers are applied by the shared `Engine`
+    /// seam). UNION queries are rewritten to UNION normal form and
+    /// evaluated branch-by-branch.
     pub fn execute(&self, query: &Query) -> Result<Relation, LbrError> {
-        let projection = query.projected_vars();
+        let projection = query.exec_vars();
         let branches = lbr_sparql::rewrite::rewrite_to_unf(&query.pattern);
         let any_rule3 = branches.iter().any(|b| b.used_rule3);
         let rels: Vec<Relation> = branches
@@ -336,7 +338,7 @@ impl<C: Catalog> lbr_core::api::Engine for ReorderedEngine<'_, C> {
         self.dict
     }
 
-    fn execute(&self, query: &Query) -> Result<lbr_core::QueryOutput, LbrError> {
+    fn execute_raw(&self, query: &Query) -> Result<lbr_core::QueryOutput, LbrError> {
         Ok(crate::relation_to_output(ReorderedEngine::execute(
             self, query,
         )?))

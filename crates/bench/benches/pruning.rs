@@ -67,6 +67,7 @@ fn bench_phases(c: &mut Criterion) {
                 dims: store.dims(),
                 dict: &graph.dict,
                 fan_filters: Vec::new(),
+                quota: None,
             };
             let (rows, _) = multi_way_join(&inputs);
             std::hint::black_box(rows.len())

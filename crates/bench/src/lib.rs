@@ -71,6 +71,12 @@ pub struct QueryRow {
     pub t_total_mt: f64,
     /// The worker-thread count `t_total_mt` was measured with.
     pub mt_threads: usize,
+    /// LBR end-to-end time of the same query under `LIMIT 10` (serial),
+    /// averaged — tracks the row-quota early-exit win for top-k serving.
+    pub t_limit10: f64,
+    /// Root seeds the `LIMIT 10` run enumerated (vs. the full run's count
+    /// implied by `initial_triples`): the verifiable early-exit evidence.
+    pub limit10_seeds: u64,
     /// One entry per [`BASELINE_KINDS`] engine.
     pub baselines: Vec<EngineTime>,
     /// Σ triples matching each TP before pruning.
@@ -179,6 +185,23 @@ pub fn run_lbr_threads(p: &Prepared, text: &str, threads: usize, expect: &QueryO
     t_total / RUNS as f64
 }
 
+/// Runs one query with `LIMIT 10` forced onto it (serial LBR, warm-up
+/// included), returning the averaged end-to-end seconds and the number of
+/// root seeds the quota-limited multi-way join enumerated. Queries that
+/// already carry a LIMIT keep the tighter of the two.
+pub fn run_lbr_limit10(p: &Prepared, text: &str) -> (f64, u64) {
+    let mut query = parse_query(text).expect("benchmark query parses");
+    query.modifiers.limit = Some(query.modifiers.limit.map_or(10, |k| k.min(10)));
+    let engine = LbrEngine::new(&p.store, &p.graph.dict).with_threads(1);
+    let mut out = engine.execute(&query).expect("warm-up run");
+    let mut t_total = 0.0;
+    for _ in 0..RUNS {
+        out = engine.execute(&query).expect("timed run");
+        t_total += secs(out.stats.t_total);
+    }
+    (t_total / RUNS as f64, out.stats.join_seeds)
+}
+
 /// Runs one query on any engine through the [`EngineKind`] seam with
 /// warm-up; `None` when the row budget blew.
 pub fn run_engine(p: &Prepared, text: &str, kind: EngineKind) -> Option<f64> {
@@ -218,6 +241,7 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
     for q in &p.dataset.queries {
         let (out, t_init, t_prune, t_total) = run_lbr(p, &q.text);
         let t_total_mt = run_lbr_threads(p, &q.text, mt_threads, &out);
+        let (t_limit10, limit10_seeds) = run_lbr_limit10(p, &q.text);
         let baselines = BASELINE_KINDS
             .iter()
             .map(|&kind| EngineTime {
@@ -232,6 +256,8 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
             t_total,
             t_total_mt,
             mt_threads,
+            t_limit10,
+            limit10_seeds,
             baselines,
             initial_triples: out.stats.initial_triples,
             triples_after_pruning: out.stats.triples_after_pruning,
@@ -283,13 +309,14 @@ pub fn render_table(r: &DatasetReport) -> String {
     let mt_threads = r.rows.first().map_or(0, |row| row.mt_threads);
     let _ = write!(
         s,
-        "{:<4} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "{:<4} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9}",
         "",
         "Tinit",
         "Tprune",
         "Ttotal",
         format!("Tmt({mt_threads})"),
-        "spdup"
+        "spdup",
+        "Tlim10"
     );
     for kind in BASELINE_KINDS {
         let _ = write!(s, " {:>12}", format!("T{}", kind.name()));
@@ -302,13 +329,14 @@ pub fn render_table(r: &DatasetReport) -> String {
     for row in &r.rows {
         let _ = write!(
             s,
-            "{:<4} {:>9} {:>9} {:>9} {:>9} {:>6.2}x",
+            "{:<4} {:>9} {:>9} {:>9} {:>9} {:>6.2}x {:>9}",
             row.id,
             fmt_secs(row.t_init),
             fmt_secs(row.t_prune),
             fmt_secs(row.t_total),
             fmt_secs(row.t_total_mt),
             row.speedup(),
+            fmt_secs(row.t_limit10),
         );
         for b in &row.baselines {
             let _ = write!(s, " {:>12}", b.secs.map_or(">budget".into(), fmt_secs));
@@ -399,6 +427,11 @@ impl QueryRow {
             ",\"t_total_mt\":{},\"mt_threads\":{}",
             self.t_total_mt, self.mt_threads
         );
+        let _ = write!(
+            out,
+            ",\"t_limit10\":{},\"limit10_seeds\":{}",
+            self.t_limit10, self.limit10_seeds
+        );
         out.push_str(",\"speedup\":");
         json_f64(out, self.speedup());
         out.push_str(",\"baselines\":[");
@@ -480,6 +513,7 @@ mod tests {
             assert!(row.mt_threads >= 4);
             assert!(row.t_total_mt > 0.0);
             assert!(row.speedup().is_finite());
+            assert!(row.t_limit10 > 0.0);
         }
         let table = render_table(&report);
         assert!(table.contains("Q1") && table.contains("Q6"));
@@ -492,6 +526,8 @@ mod tests {
         assert!(json.contains("\"geomean_lbr\""));
         assert!(json.contains("\"engine\":\"pairwise\""));
         assert!(json.contains("\"t_total_mt\"") && json.contains("\"speedup\""));
+        assert!(json.contains("\"t_limit10\"") && json.contains("\"limit10_seeds\""));
+        assert!(table.contains("Tlim10"));
     }
 
     #[test]

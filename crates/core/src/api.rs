@@ -10,9 +10,18 @@
 //! lets engines with a real planning phase (LBR's parse → UNF rewrite →
 //! analyze/classify → jvar-order pipeline) cache it across executions
 //! while trivially-planned engines fall back to `execute`.
+//!
+//! Query forms and solution modifiers are applied **here**, in the
+//! provided [`Engine::execute`] / [`Engine::execute_planned`] methods,
+//! through the one shared seam [`crate::modifiers::finalize`]. Engines
+//! implement only the *raw* evaluation ([`Engine::execute_raw`]): rows
+//! over [`Query::exec_vars`], form- and modifier-agnostic — except that
+//! an engine may soundly exploit the [`crate::modifiers::row_quota`]
+//! bound to stop early (the LBR multi-way join does).
 
 use crate::bindings::QueryOutput;
 use crate::error::LbrError;
+use crate::modifiers::finalize;
 use crate::solutions::Solutions;
 use lbr_rdf::Dictionary;
 use lbr_sparql::algebra::Query;
@@ -30,8 +39,10 @@ pub fn default_threads() -> usize {
 
 /// A query executor over a BitMat catalog.
 ///
-/// `execute` is the one required evaluation method; `solutions` streams,
-/// and `plan_query` / `execute_planned` support prepared queries.
+/// `execute_raw` is the one required evaluation method; the provided
+/// `execute` / `execute_planned` wrap it with the shared modifier seam,
+/// `solutions` streams, and `plan_query` / `execute_planned` support
+/// prepared queries.
 pub trait Engine {
     /// Stable engine name (what `--engine` accepts, e.g. `"lbr"`).
     fn name(&self) -> &'static str;
@@ -39,8 +50,19 @@ pub trait Engine {
     /// The dictionary results decode through.
     fn dict(&self) -> &Dictionary;
 
-    /// Evaluates a query to a materialized [`QueryOutput`].
-    fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError>;
+    /// Evaluates the WHERE pattern to raw rows over [`Query::exec_vars`]
+    /// — the projection plus any non-projected `ORDER BY` key — without
+    /// applying the query form or the solution modifiers (those belong to
+    /// the shared seam in [`Engine::execute`]). An engine **may** stop
+    /// after [`crate::modifiers::row_quota`] rows; it must otherwise
+    /// produce the full sequence.
+    fn execute_raw(&self, query: &Query) -> Result<QueryOutput, LbrError>;
+
+    /// Evaluates a query to a materialized [`QueryOutput`]: raw rows plus
+    /// the one shared form/modifier seam ([`crate::modifiers::finalize`]).
+    fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
+        Ok(finalize(self.execute_raw(query)?, query, self.dict()))
+    }
 
     /// Evaluates a query to a streaming [`Solutions`] iterator.
     fn solutions(&self, query: &Query) -> Result<Solutions<'_>, LbrError> {
@@ -63,11 +85,21 @@ pub trait Engine {
         Ok(Box::new(()))
     }
 
-    /// Executes with a plan from [`Engine::plan_query`]. Engines must
-    /// fall back to plain `execute` when the plan is not theirs, so a
-    /// prepared query can be re-bound to another engine.
-    fn execute_planned(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
+    /// Raw execution with a plan from [`Engine::plan_query`]. Engines
+    /// must fall back to plain `execute_raw` when the plan is not theirs,
+    /// so a prepared query can be re-bound to another engine.
+    fn execute_planned_raw(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
         let _ = plan;
-        self.execute(query)
+        self.execute_raw(query)
+    }
+
+    /// Executes with a plan from [`Engine::plan_query`], applying the
+    /// shared form/modifier seam to the raw planned execution.
+    fn execute_planned(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
+        Ok(finalize(
+            self.execute_planned_raw(query, plan)?,
+            query,
+            self.dict(),
+        ))
     }
 }

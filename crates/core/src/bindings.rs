@@ -269,6 +269,17 @@ impl QueryOutput {
         self.rows.is_empty()
     }
 
+    /// The boolean answer of an `ASK` query: `Some(true)` / `Some(false)`
+    /// for the zero-column output the modifier seam produces for ASK,
+    /// `None` for ordinary SELECT outputs (which have columns).
+    pub fn boolean(&self) -> Option<bool> {
+        if self.vars.is_empty() {
+            Some(!self.rows.is_empty())
+        } else {
+            None
+        }
+    }
+
     /// Number of rows containing at least one NULL.
     pub fn rows_with_nulls(&self) -> usize {
         self.rows

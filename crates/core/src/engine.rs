@@ -27,7 +27,7 @@ use crate::selectivity::estimate_all;
 use crate::QueryStats;
 use lbr_bitmat::Catalog;
 use lbr_rdf::{Dictionary, Term};
-use lbr_sparql::algebra::{Expr, GraphPattern, Query};
+use lbr_sparql::algebra::{Expr, GraphPattern, Modifiers, Query, QueryForm};
 use lbr_sparql::classify::{analyze, Analyzed};
 use lbr_sparql::rewrite::rewrite_to_unf;
 use std::any::Any;
@@ -44,14 +44,23 @@ pub struct LbrEngine<'a, C: Catalog> {
 }
 
 /// A cached execution plan: everything [`LbrEngine::execute`] derives
-/// from the query text before touching data.
+/// from the query text before touching data — including the query form
+/// and solution modifiers, so a plan alone can be executed to a final
+/// answer (and the LIMIT/ASK row quota can be re-derived on every run).
 ///
 /// Plans embed per-TP selectivity estimates, so a plan is specific to the
 /// engine (catalog) that produced it. [`Engine::execute_planned`] falls
 /// back to unprepared execution when handed a foreign plan.
 #[derive(Debug, Clone)]
 pub struct LbrPlan {
+    /// Final projected variables (what the caller sees).
     projection: Vec<String>,
+    /// Raw row schema: projection plus non-projected ORDER BY keys.
+    exec_vars: Vec<String>,
+    /// The query form (SELECT dedup / ASK).
+    form: QueryForm,
+    /// The solution modifiers.
+    modifiers: Modifiers,
     any_rule3: bool,
     branches: Vec<PlanNode>,
 }
@@ -65,6 +74,17 @@ impl LbrPlan {
     /// Number of UNION-normal-form branches.
     pub fn n_branches(&self) -> usize {
         self.branches.len()
+    }
+
+    /// The raw-row quota the multi-way join runs under (LIMIT/ASK
+    /// pushdown), when the plan's form and modifiers admit one.
+    pub fn row_quota(&self) -> Option<usize> {
+        if self.any_rule3 {
+            // Cross-branch minimum-union can drop rows after the join —
+            // no raw-row bound is sound.
+            return None;
+        }
+        crate::modifiers::row_quota(&self.form, &self.modifiers)
     }
 }
 
@@ -127,7 +147,8 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         self.threads
     }
 
-    /// Executes a query: plan, then run the plan.
+    /// Executes a query: plan, then run the plan (raw evaluation plus the
+    /// shared form/modifier seam).
     pub fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
         let t0 = Instant::now();
         let plan = self.plan(query)?;
@@ -148,21 +169,52 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(LbrPlan {
             projection: query.projected_vars(),
+            exec_vars: query.exec_vars(),
+            form: query.form.clone(),
+            modifiers: query.modifiers.clone(),
             any_rule3,
             branches: planned,
         })
     }
 
-    /// Executes a cached plan: per-branch LBR evaluation → bag-union of
-    /// branches (+ best-match when rule (3) was used) → projection.
+    /// Executes a cached plan end-to-end: raw evaluation
+    /// ([`LbrEngine::execute_plan_raw`]) followed by the shared
+    /// form/modifier seam ([`crate::modifiers::finalize_parts`]).
     pub fn execute_plan(&self, plan: &LbrPlan) -> Result<QueryOutput, LbrError> {
         let t0 = Instant::now();
+        let raw = self.execute_plan_raw(plan)?;
+        let mut out = crate::modifiers::finalize_parts(
+            raw,
+            &plan.form,
+            &plan.modifiers,
+            &plan.projection,
+            self.dict,
+        );
+        out.stats.t_total = t0.elapsed();
+        Ok(out)
+    }
+
+    /// Raw evaluation of a cached plan: per-branch LBR evaluation →
+    /// bag-union of branches (+ best-match when rule (3) was used) →
+    /// projection onto the plan's execution schema. When the plan admits
+    /// a LIMIT/ASK row quota it is pushed into the multi-way join's seed
+    /// enumeration, threaded across UNION branches (a later branch only
+    /// needs what earlier branches did not already supply).
+    pub fn execute_plan_raw(&self, plan: &LbrPlan) -> Result<QueryOutput, LbrError> {
+        let t0 = Instant::now();
         let mut stats = QueryStats::default();
+        let mut remaining = plan.row_quota();
         let mut parts = Vec::with_capacity(plan.branches.len());
         for branch in &plan.branches {
-            let mut part = self.exec_node(branch)?;
+            if remaining == Some(0) {
+                break; // earlier branches already supplied every needed row
+            }
+            let mut part = self.exec_node(branch, remaining)?;
             if part.needs_best_match {
                 best_match(&mut part.rows);
+            }
+            if let Some(r) = remaining {
+                remaining = Some(r.saturating_sub(part.rows.len()));
             }
             merge_stats(&mut stats, &part.stats);
             parts.push(part);
@@ -195,7 +247,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             }
             best_match(&mut full_rows);
             let col_of: Vec<Option<usize>> = plan
-                .projection
+                .exec_vars
                 .iter()
                 .map(|v| full_vars.iter().position(|x| x == v))
                 .collect();
@@ -204,11 +256,13 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
                 .map(|row| col_of.iter().map(|c| c.and_then(|i| row[i])).collect())
                 .collect()
         } else {
-            // Re-project each branch's rows into the query's projection.
+            // Re-project each branch's rows onto the execution schema
+            // (the projection plus any non-projected ORDER BY key — the
+            // shared seam drops the extras after sorting).
             let mut all: Vec<Vec<Option<Binding>>> = Vec::new();
             for part in &parts {
                 let col_of: Vec<Option<usize>> = plan
-                    .projection
+                    .exec_vars
                     .iter()
                     .map(|v| part.vars.iter().position(|x| x == v))
                     .collect();
@@ -225,7 +279,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             .count();
         stats.t_total = t0.elapsed();
         Ok(QueryOutput {
-            vars: plan.projection.clone(),
+            vars: plan.exec_vars.clone(),
             rows: all_rows,
             stats,
         })
@@ -278,22 +332,26 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         }
     }
 
-    /// Evaluates one planned node.
-    fn exec_node(&self, node: &PlanNode) -> Result<PartResult, LbrError> {
+    /// Evaluates one planned node. `quota` is the LIMIT/ASK row bound for
+    /// this node's own output; it is only exploitable by a directly
+    /// connected pattern (Algorithm 5.1 emits final rows), so combiner
+    /// nodes — whose post-processing can drop or multiply rows — evaluate
+    /// their children unbounded.
+    fn exec_node(&self, node: &PlanNode, quota: Option<usize>) -> Result<PartResult, LbrError> {
         match node {
-            PlanNode::Connected(cp) => self.eval_connected(cp),
+            PlanNode::Connected(cp) => self.eval_connected(cp, quota),
             PlanNode::Join(l, r) => {
-                let a = self.exec_node(l)?;
-                let b = self.exec_node(r)?;
+                let a = self.exec_node(l, None)?;
+                let b = self.exec_node(r, None)?;
                 Ok(combine(a, b, JoinKind::Inner))
             }
             PlanNode::LeftJoin(l, r) => {
-                let a = self.exec_node(l)?;
-                let b = self.exec_node(r)?;
+                let a = self.exec_node(l, None)?;
+                let b = self.exec_node(r, None)?;
                 Ok(combine(a, b, JoinKind::LeftOuter))
             }
             PlanNode::Filter(inner, e) => {
-                let mut part = self.exec_node(inner)?;
+                let mut part = self.exec_node(inner, None)?;
                 // One name → column map per filter, not one linear scan
                 // per variable per row.
                 let columns: HashMap<&str, usize> = part
@@ -315,7 +373,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             PlanNode::Product(comps) => {
                 let mut acc: Option<PartResult> = None;
                 for comp in comps {
-                    let part = self.exec_node(comp)?;
+                    let part = self.exec_node(comp, None)?;
                     acc = Some(match acc {
                         None => part,
                         Some(prev) => combine(prev, part, JoinKind::Inner),
@@ -327,7 +385,18 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
     }
 
     /// Algorithm 5.1 for one connected, union-free pattern.
-    fn eval_connected(&self, cp: &ConnectedPlan) -> Result<PartResult, LbrError> {
+    ///
+    /// A `quota` (LIMIT/ASK pushdown) short-circuits the multi-way join's
+    /// seed enumeration. It is only used when the classification rules
+    /// out best-match (`!nb_required` — best-match could drop rows and
+    /// leave fewer than available); if nullification unexpectedly fires
+    /// as the safety net on a quota-truncated run, the join is re-run
+    /// unbounded so correctness never depends on the bound.
+    fn eval_connected(
+        &self,
+        cp: &ConnectedPlan,
+        quota: Option<usize>,
+    ) -> Result<PartResult, LbrError> {
         let analyzed = &cp.analyzed;
         let gosn = &analyzed.gosn;
         let vt = &cp.vt;
@@ -392,6 +461,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         for tp in &mut loaded.tps {
             tp.build_adjacency();
         }
+        let quota = quota.filter(|_| !analyzed.class.nb_required);
         let inputs = JoinInputs {
             tps: &loaded.tps,
             gosn,
@@ -399,10 +469,25 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             dims,
             dict: self.dict,
             fan_filters,
+            quota,
         };
-        let (rows, exec) = multi_way_join_with(&inputs, self.threads);
+        let (mut rows, mut exec) = multi_way_join_with(&inputs, self.threads);
+        if let Some(q) = quota {
+            if exec.nullification_fired > 0 && rows.len() >= q {
+                // The safety-net nullification fired on a quota-truncated
+                // run: best-match may now drop rows, so the truncation
+                // could under-deliver. Re-run unbounded (rare: acyclic WD
+                // queries never nullify, Lemma 3.3).
+                let inputs = JoinInputs {
+                    quota: None,
+                    ..inputs
+                };
+                (rows, exec) = multi_way_join_with(&inputs, self.threads);
+            }
+        }
         stats.t_join = t.elapsed();
         stats.nullification_fired = exec.nullification_fired;
+        stats.join_seeds = exec.seeds_enumerated;
         stats.t_total = stats.t_init + stats.t_prune + stats.t_join;
 
         Ok(PartResult {
@@ -478,6 +563,11 @@ impl<C: Catalog> Engine for LbrEngine<'_, C> {
         self.dict
     }
 
+    fn execute_raw(&self, query: &Query) -> Result<QueryOutput, LbrError> {
+        let plan = self.plan(query)?;
+        self.execute_plan_raw(&plan)
+    }
+
     fn execute(&self, query: &Query) -> Result<QueryOutput, LbrError> {
         LbrEngine::execute(self, query)
     }
@@ -490,10 +580,10 @@ impl<C: Catalog> Engine for LbrEngine<'_, C> {
         Ok(Box::new(self.plan(query)?))
     }
 
-    fn execute_planned(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
+    fn execute_planned_raw(&self, query: &Query, plan: &dyn Any) -> Result<QueryOutput, LbrError> {
         match plan.downcast_ref::<LbrPlan>() {
-            Some(plan) => self.execute_plan(plan),
-            None => LbrEngine::execute(self, query),
+            Some(plan) => self.execute_plan_raw(plan),
+            None => Engine::execute_raw(self, query),
         }
     }
 }
@@ -536,6 +626,7 @@ fn merge_stats(acc: &mut QueryStats, part: &QueryStats) {
     acc.triples_after_pruning += part.triples_after_pruning;
     acc.nb_required |= part.nb_required;
     acc.nullification_fired += part.nullification_fired;
+    acc.join_seeds += part.join_seeds;
     acc.aborted_empty |= part.aborted_empty;
 }
 

@@ -24,19 +24,71 @@ pub fn explain(
 ) -> Result<String, LbrError> {
     let mut out = String::new();
     let branches = rewrite_to_unf(&query.pattern);
+    let any_rule3 = branches.iter().any(|b| b.used_rule3);
     let _ = writeln!(
         out,
         "query: {query}\nUNION normal form: {} branch(es){}",
         branches.len(),
-        if branches.iter().any(|b| b.used_rule3) {
+        if any_rule3 {
             " [rule 3 used → cross-branch best-match]"
         } else {
             ""
         }
     );
-    for (i, branch) in branches.iter().enumerate() {
+    // One analysis per branch, reused by the pushdown summary below and
+    // the per-branch detail sections.
+    let analyzed_branches = branches
+        .iter()
+        .map(|b| analyze(&b.pattern))
+        .collect::<Result<Vec<_>, _>>()?;
+    // Query form + solution modifiers and whether they push into the join
+    // — mirroring execution exactly: rule 3 disables the quota globally,
+    // and a branch only exploits it when its pattern is
+    // variable-connected (the quota reaches `PlanNode::Connected`, never
+    // the Cartesian combiner nodes) and best-match is ruled out
+    // (`!nb_required` — best-match may drop rows, so a truncated run
+    // could under-deliver).
+    let form = if query.is_ask() {
+        "ASK".to_string()
+    } else {
+        format!("SELECT ({:?} dedup)", query.dedup())
+    };
+    let quota = if any_rule3 {
+        None
+    } else {
+        crate::modifiers::row_quota(&query.form, &query.modifiers)
+    };
+    let branch_pushes: Vec<bool> = analyzed_branches
+        .iter()
+        .map(|a| a.class.connected && !a.class.nb_required)
+        .collect();
+    let pushdown = match quota {
+        Some(_) if !branch_pushes.iter().any(|&p| p) => {
+            "none (no branch is eligible: best-match may drop rows, or the quota cannot \
+             reach a Cartesian-product plan)"
+                .to_string()
+        }
+        Some(q) if !branch_pushes.iter().all(|&p| p) => {
+            format!("{q} rows, on eligible branches only (NB-required / Cartesian branches run unbounded)")
+        }
+        Some(q) => format!("{q} rows (the multi-way join stops enumerating seeds there)"),
+        None => "none (full enumeration; ORDER BY / DISTINCT / rule-3 need every row)".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "form: {form}; modifiers: order_by={:?} limit={:?} offset={}\n\
+         row-quota pushdown: {pushdown}",
+        query
+            .modifiers
+            .order_by
+            .iter()
+            .map(|k| format!("{}{}", if k.descending { "-" } else { "+" }, k.var))
+            .collect::<Vec<_>>(),
+        query.modifiers.limit,
+        query.modifiers.offset,
+    );
+    for (i, analyzed) in analyzed_branches.iter().enumerate() {
         let _ = writeln!(out, "\n── branch {i} ──");
-        let analyzed = analyze(&branch.pattern)?;
         let gosn = &analyzed.gosn;
         let _ = writeln!(out, "GoSN: {}", gosn.serialized());
         for sn in 0..gosn.n_supernodes() {
@@ -145,6 +197,53 @@ mod tests {
         assert!(text.contains("NB-reqd = false"));
         assert!(text.contains("?friend"));
         assert!(text.contains("init load order"));
+        assert!(text.contains("row-quota pushdown: none"), "{text}");
+    }
+
+    #[test]
+    fn explains_forms_and_modifier_pushdown() {
+        let g = Graph::from_triples(vec![Triple::new(
+            Term::iri("a"),
+            Term::iri("p"),
+            Term::iri("b"),
+        )])
+        .encode();
+        let store = BitMatStore::build(&g);
+        let q = parse_query("SELECT * WHERE { ?a <p> ?b . } LIMIT 3 OFFSET 2").unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("row-quota pushdown: 5 rows"), "{text}");
+        let q = parse_query("ASK { ?a <p> ?b . }").unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("form: ASK"), "{text}");
+        assert!(text.contains("row-quota pushdown: 1 rows"), "{text}");
+        let q = parse_query("SELECT DISTINCT ?a WHERE { ?a <p> ?b . } LIMIT 3").unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("row-quota pushdown: none"), "{text}");
+        let q = parse_query("SELECT * WHERE { ?a <p> ?b . } ORDER BY DESC(?b) LIMIT 3").unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("order_by=[\"-b\"]"), "{text}");
+        assert!(text.contains("row-quota pushdown: none"), "{text}");
+        // NB-required branches disable the quota — explain must say so
+        // instead of advertising an early exit execution will not take.
+        let q = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c . ?c <r> ?a . } } LIMIT 1",
+        )
+        .unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(text.contains("NB-reqd = true"), "{text}");
+        assert!(
+            text.contains("row-quota pushdown: none (no branch is eligible"),
+            "{text}"
+        );
+        // A variable-disconnected (Cartesian) pattern plans as a Product
+        // node, which never receives the quota — explain must not
+        // advertise an early exit there either.
+        let q = parse_query("SELECT * WHERE { ?a <p> ?b . ?c <q> ?d . } LIMIT 1").unwrap();
+        let text = explain(&q, &g.dict, &store).unwrap();
+        assert!(
+            text.contains("row-quota pushdown: none (no branch is eligible"),
+            "{text}"
+        );
     }
 
     #[test]

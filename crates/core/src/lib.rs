@@ -25,6 +25,14 @@
 //! plus init-time filter masks and the FaN (filter-and-nullification) hook;
 //! Cartesian products fall back to evaluating ×-free components with LBR
 //! and combining them pairwise (§5.2).
+//!
+//! Query forms (`SELECT [DISTINCT|REDUCED]` / `ASK`) and solution
+//! modifiers (`ORDER BY` / `LIMIT` / `OFFSET`) are applied by the single
+//! shared seam in [`modifiers`] — every engine's [`api::Engine::execute`]
+//! routes raw rows through [`modifiers::finalize`], and the LBR engine
+//! additionally pushes the [`modifiers::row_quota`] bound into the
+//! multi-way join so ASK / plain-LIMIT queries stop enumerating seeds as
+//! soon as enough rows exist.
 
 pub mod api;
 pub mod best_match;
@@ -35,6 +43,7 @@ pub mod explain;
 pub mod filter_eval;
 pub mod init;
 pub mod jvar_order;
+pub mod modifiers;
 pub mod multiway;
 pub mod prune;
 pub mod selectivity;
@@ -72,6 +81,11 @@ pub struct QueryStats {
     pub nb_required: bool,
     /// How many rows the nullification operator actually rewrote.
     pub nullification_fired: u64,
+    /// Root-TP seeds the multi-way join enumerated. With a pushed-down
+    /// LIMIT/ASK row quota this stays at the minimum needed (exactly, at
+    /// `threads = 1`; boundedly more with N workers) instead of the full
+    /// candidate count.
+    pub join_seeds: u64,
     /// True when the empty-absolute-master shortcut aborted the query
     /// (§5 "simple optimization").
     pub aborted_empty: bool,

@@ -79,6 +79,14 @@ pub struct JoinInputs<'a> {
     /// semantics (this matches the compositional evaluation of the
     /// reference oracle).
     pub fan_filters: Vec<(Option<SnId>, &'a Expr)>,
+    /// Early-exit row quota (LIMIT/ASK pushdown): stop enumerating once
+    /// this many rows have been emitted. At `threads = 1` the join stops
+    /// *exactly* at the quota; with N workers each claimed chunk is
+    /// bounded by the quota and workers stop claiming chunks once the
+    /// already-produced rows cover it, so the overshoot is bounded by the
+    /// chunks in flight. The produced rows are always a prefix of the
+    /// serial unbounded enumeration. `None` = run to completion.
+    pub quota: Option<usize>,
 }
 
 /// Statistics of the join phase.
@@ -89,6 +97,11 @@ pub struct ExecStats {
     pub nullification_fired: u64,
     /// Rows dropped by FaN / global filters.
     pub rows_filtered: u64,
+    /// Root-TP seeds (independent subtrees) the enumeration started.
+    /// Without a quota this equals the root TP's full candidate
+    /// enumeration; with one it stops at the seed producing the last
+    /// needed row — the verifiable early-exit evidence.
+    pub seeds_enumerated: u64,
 }
 
 impl ExecStats {
@@ -97,6 +110,7 @@ impl ExecStats {
     fn absorb(&mut self, other: &ExecStats) {
         self.nullification_fired += other.nullification_fired;
         self.rows_filtered += other.rows_filtered;
+        self.seeds_enumerated += other.seeds_enumerated;
     }
 }
 
@@ -167,6 +181,12 @@ pub fn multi_way_join_with(
         .filter(|(start, end)| start < end)
         .collect();
     let next = AtomicUsize::new(0);
+    // The shared row quota: workers stop claiming chunks once the chunks
+    // already run have produced enough rows. Claimed chunks always form a
+    // prefix of the chunk sequence, and each chunk's rows are a prefix of
+    // its serial enumeration, so the first `quota` merged rows equal the
+    // serial engine's first `quota` rows exactly.
+    let rows_done = AtomicUsize::new(0);
     type ChunkResult = (Vec<Vec<Option<Binding>>>, ExecStats);
     let results: Vec<Mutex<Option<ChunkResult>>> =
         bounds.iter().map(|_| Mutex::new(None)).collect();
@@ -176,6 +196,12 @@ pub fn multi_way_join_with(
             scope.spawn(|| {
                 let mut ctx = Ctx::new(&sh);
                 loop {
+                    if inp
+                        .quota
+                        .is_some_and(|q| rows_done.load(Ordering::Relaxed) >= q)
+                    {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(start, end)) = bounds.get(i) else {
                         break;
@@ -183,6 +209,7 @@ pub fn multi_way_join_with(
                     units.run(&mut ctx, root, start, end);
                     let rows = std::mem::take(&mut ctx.rows);
                     let stats = std::mem::take(&mut ctx.stats);
+                    rows_done.fetch_add(rows.len(), Ordering::Relaxed);
                     *results[i].lock().expect("chunk slot lock") = Some((rows, stats));
                 }
             });
@@ -192,10 +219,11 @@ pub fn multi_way_join_with(
     let mut rows = Vec::new();
     let mut stats = ExecStats::default();
     for cell in results {
-        let (mut r, s) = cell
-            .into_inner()
-            .expect("chunk slot lock")
-            .expect("every chunk was claimed by a worker");
+        // With a quota, trailing chunks may legitimately be unclaimed.
+        let Some((mut r, s)) = cell.into_inner().expect("chunk slot lock") else {
+            debug_assert!(inp.quota.is_some(), "only a quota leaves chunks unclaimed");
+            continue;
+        };
         rows.append(&mut r);
         stats.absorb(&s);
     }
@@ -278,6 +306,9 @@ impl RootUnits {
                 for &id in &ids[start..end] {
                     ctx.bind(*var, Slot::Val(Binding::new(id, *dim, n_shared)), root);
                     descend(ctx, root, &[*var]);
+                    if ctx.full() {
+                        break;
+                    }
                 }
             }
             (
@@ -292,10 +323,16 @@ impl RootUnits {
             ) => {
                 let (rv, cv, rd, cd) = (*row_var, *col_var, *row_dim, *col_dim);
                 for (r, cols) in &state.row_adj[start..end] {
+                    if ctx.full() {
+                        break;
+                    }
                     ctx.bind(rv, Slot::Val(Binding::new(*r, rd, n_shared)), root);
                     for c in cols {
                         ctx.bind(cv, Slot::Val(Binding::new(*c, cd, n_shared)), root);
                         descend(ctx, root, &[cv]);
+                        if ctx.full() {
+                            break;
+                        }
                     }
                     ctx.unbind(rv);
                 }
@@ -311,6 +348,9 @@ impl RootUnits {
             ) => {
                 let (sv, pv, ov) = (*s_var, *p_var, *o_var);
                 for &(pi, ri) in &pred_rows[start..end] {
+                    if ctx.full() {
+                        break;
+                    }
                     let (pid, rows, _) = &state.per_pred_adj[pi as usize];
                     let (r, cols) = &rows[ri as usize];
                     ctx.bind(
@@ -330,6 +370,9 @@ impl RootUnits {
                             root,
                         );
                         descend(ctx, root, &[ov]);
+                        if ctx.full() {
+                            break;
+                        }
                     }
                     ctx.unbind(sv);
                     ctx.unbind(pv);
@@ -439,6 +482,14 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
             .expect("a master-complete unvisited TP exists")
     }
 
+    /// True once the row quota (if any) is met for this context's rows —
+    /// enumeration must stop claiming new subtrees. Per-worker rows are
+    /// per-chunk, so a parallel chunk is also individually bounded by the
+    /// quota (sound: only the first `quota` merged rows are ever used).
+    fn full(&self) -> bool {
+        self.sh.inp.quota.is_some_and(|q| self.rows.len() >= q)
+    }
+
     fn bind(&mut self, var: VarId, slot: Slot, tp: TpId) {
         debug_assert_eq!(self.slots[var], Slot::Free);
         self.slots[var] = slot;
@@ -453,6 +504,9 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
     /// Emits one result row: failure closure → FaN filters → nullification
     /// → global filters → push.
     fn emit(&mut self) {
+        if self.full() {
+            return; // quota met (and handles the degenerate quota of 0)
+        }
         let gosn = self.sh.inp.gosn;
         let n_sn = gosn.n_supernodes();
         // 1. Failed supernodes: any nulled TP fails its supernode; failure
@@ -589,6 +643,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
         ctx.emit();
         return;
     }
+    if ctx.full() {
+        return; // quota met: unwind without starting new subtrees
+    }
     let tp = ctx.select_next();
     let n_shared = ctx.sh.inp.dims.n_shared;
     let matched = match &ctx.sh.inp.tps[tp].data {
@@ -617,6 +674,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                     any = true;
                     ctx.bind(*var, Slot::Val(Binding::new(id, *dim, n_shared)), tp);
                     descend(ctx, tp, &[*var]);
+                    if ctx.full() {
+                        break;
+                    }
                 }
                 any
             }
@@ -634,6 +694,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
             // Two-variable matrix with the predicate binding layered on.
             let pred_ids: Vec<u32> = state.per_pred_adj.iter().map(|(pid, _, _)| *pid).collect();
             for (idx, pid) in pred_ids.iter().enumerate() {
+                if ctx.full() {
+                    break;
+                }
                 // Predicate slot must admit this pid.
                 let p_bound_here = match ctx.slots[pv] {
                     Slot::Val(b) => {
@@ -683,6 +746,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                                     tp,
                                 );
                                 descend(ctx, tp, &[ov]);
+                                if ctx.full() {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -696,11 +762,17 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                                     tp,
                                 );
                                 descend(ctx, tp, &[sv]);
+                                if ctx.full() {
+                                    break;
+                                }
                             }
                         }
                     }
                     (Slot::Free, Slot::Free) => {
                         for (r, cs) in &rows {
+                            if ctx.full() {
+                                break;
+                            }
                             ctx.bind(
                                 sv,
                                 Slot::Val(Binding::new(*r, Dimension::Subject, n_shared)),
@@ -714,6 +786,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                                     tp,
                                 );
                                 descend(ctx, tp, &[ov]);
+                                if ctx.full() {
+                                    break;
+                                }
                             }
                             ctx.unbind(sv);
                         }
@@ -754,6 +829,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                         for c in cols {
                             ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
                             descend(ctx, tp, &[cv]);
+                            if ctx.full() {
+                                break;
+                            }
                         }
                         any
                     }
@@ -767,6 +845,9 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                         for r in rows {
                             ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
                             descend(ctx, tp, &[rv]);
+                            if ctx.full() {
+                                break;
+                            }
                         }
                         any
                     }
@@ -777,11 +858,17 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                     let pairs: Vec<(u32, Vec<u32>)> = state.row_adj.clone();
                     let mut any = false;
                     for (r, cols) in pairs {
+                        if ctx.full() {
+                            break;
+                        }
                         ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
                         for c in cols {
                             any = true;
                             ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
                             descend(ctx, tp, &[cv]);
+                            if ctx.full() {
+                                break;
+                            }
                         }
                         ctx.unbind(rv);
                     }
@@ -816,6 +903,11 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
 /// Marks `tp` visited, recurses, then restores `tp` and the vars this
 /// frame bound.
 fn descend(ctx: &mut Ctx<'_, '_, '_>, tp: TpId, bound_here: &[VarId]) {
+    if ctx.n_visited == 0 {
+        // This frame is the root TP: each descend from here starts one
+        // independent subtree — a *seed* of the enumeration.
+        ctx.stats.seeds_enumerated += 1;
+    }
     let sn = ctx.sh.inp.gosn.sn_of_tp(tp);
     ctx.visited[tp] = true;
     ctx.n_visited += 1;
@@ -883,6 +975,7 @@ mod tests {
             dims: store.dims(),
             dict: &g.dict,
             fan_filters: Vec::new(),
+            quota: None,
         };
         let (rows, stats) = multi_way_join_with(&inputs, threads);
         let decoded: Vec<Vec<Option<String>>> = rows
@@ -992,12 +1085,89 @@ mod tests {
             dims: store.dims(),
             dict: &g.dict,
             fan_filters: Vec::new(),
+            quota: None,
         };
         let (serial, _) = multi_way_join_with(&inputs, 1);
         assert_eq!(serial.len(), 100);
         for threads in [2, 3, 7, 16] {
             let (parallel, _) = multi_way_join_with(&inputs, threads);
             assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    /// Builds the join inputs for a 100-triple star graph and runs the
+    /// join with the given quota and thread count, returning `(rows,
+    /// stats)`.
+    fn run_quota(quota: Option<usize>, threads: usize) -> (Vec<Vec<Option<Binding>>>, ExecStats) {
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::iri(s), Term::iri(p), Term::iri(o));
+        let g = Graph::from_triples(
+            (0..100)
+                .map(|i| t(&format!("s{i}"), "p", &format!("o{i}")))
+                .collect::<Vec<_>>(),
+        )
+        .encode();
+        let store = BitMatStore::build(&g);
+        let q = parse_query("SELECT * WHERE { ?s <p> ?o . }").unwrap();
+        let a = analyze(&q.pattern).unwrap();
+        let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+        let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+        let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+        let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        for tp in &mut out.tps {
+            tp.build_adjacency();
+        }
+        let inputs = JoinInputs {
+            tps: &out.tps,
+            gosn: &a.gosn,
+            vt: &vt,
+            dims: store.dims(),
+            dict: &g.dict,
+            fan_filters: Vec::new(),
+            quota,
+        };
+        multi_way_join_with(&inputs, threads)
+    }
+
+    /// The LIMIT/ASK pushdown contract at `threads = 1`: the join stops
+    /// *exactly* at the quota — rows and enumerated seeds both equal it.
+    #[test]
+    fn quota_stops_serial_enumeration_exactly() {
+        let (all_rows, full) = run_quota(None, 1);
+        assert_eq!(all_rows.len(), 100);
+        assert_eq!(full.seeds_enumerated, 100);
+        for quota in [0, 1, 10, 99, 100, 1000] {
+            let (rows, stats) = run_quota(Some(quota), 1);
+            let expect = quota.min(100);
+            assert_eq!(rows.len(), expect, "quota={quota}");
+            assert_eq!(
+                stats.seeds_enumerated, expect as u64,
+                "one row per seed here, so seeds must stop exactly at the quota"
+            );
+            assert_eq!(rows, all_rows[..expect], "prefix of the serial order");
+        }
+    }
+
+    /// With N workers the produced rows may overshoot the quota
+    /// (bounded by the chunks in flight), but the first `quota` rows are
+    /// always exactly the serial prefix — what the modifier seam keeps.
+    #[test]
+    fn quota_parallel_prefix_matches_serial() {
+        let (all_rows, _) = run_quota(None, 1);
+        for threads in [2, 3, 8] {
+            for quota in [1, 7, 25, 100] {
+                let (rows, stats) = run_quota(Some(quota), threads);
+                assert!(rows.len() >= quota.min(100), "threads={threads}");
+                assert_eq!(
+                    rows[..quota.min(rows.len())],
+                    all_rows[..quota.min(all_rows.len())],
+                    "threads={threads} quota={quota}: not a serial prefix"
+                );
+                assert!(
+                    stats.seeds_enumerated <= 100,
+                    "never enumerates more than the full candidate set"
+                );
+            }
         }
     }
 
@@ -1025,6 +1195,7 @@ mod tests {
                     "stats diverge at threads={threads}"
                 );
                 assert_eq!(p_stats.rows_filtered, s_stats.rows_filtered);
+                assert_eq!(p_stats.seeds_enumerated, s_stats.seeds_enumerated);
             }
         }
     }

@@ -301,51 +301,233 @@ pub enum Selection {
     Vars(Vec<String>),
 }
 
-/// A SELECT query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Query {
-    /// Projection list.
-    pub select: Selection,
-    /// The WHERE pattern.
-    pub pattern: GraphPattern,
+/// Duplicate handling of a SELECT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dedup {
+    /// Plain `SELECT` — bag semantics, duplicates preserved.
+    #[default]
+    None,
+    /// `SELECT DISTINCT` — duplicate solutions are eliminated.
+    Distinct,
+    /// `SELECT REDUCED` — duplicates *may* be eliminated; this engine
+    /// treats it exactly like DISTINCT (a permitted cardinality).
+    Reduced,
 }
 
-impl Query {
-    /// The variables the query projects, in a deterministic order
-    /// (declaration order for explicit SELECT, first-occurrence order of
-    /// triple-pattern variables for `SELECT *`).
-    pub fn projected_vars(&self) -> Vec<String> {
-        match &self.select {
-            Selection::Vars(vs) => vs.clone(),
-            Selection::All => {
-                let mut seen = Vec::new();
-                for tp in self.pattern.triple_patterns() {
-                    for v in tp.vars() {
-                        if !seen.iter().any(|s: &String| s == v) {
-                            seen.push(v.to_string());
+/// The query form: what the solution sequence is turned into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryForm {
+    /// `SELECT [DISTINCT|REDUCED] (*|vars)` — a table of bindings.
+    Select {
+        /// Projection list.
+        selection: Selection,
+        /// Duplicate handling.
+        dedup: Dedup,
+    },
+    /// `ASK` — a boolean: does at least one solution survive the
+    /// modifiers?
+    Ask,
+}
+
+impl QueryForm {
+    /// Writes the form prefix in parseable SPARQL: `ASK ` or
+    /// `SELECT [DISTINCT |REDUCED ](* |?vars )WHERE `. The single
+    /// serializer behind both [`Query`]'s `Display` and
+    /// `serialize::to_sparql`.
+    pub fn write_prefix<W: fmt::Write>(&self, w: &mut W) -> fmt::Result {
+        match self {
+            QueryForm::Ask => w.write_str("ASK "),
+            QueryForm::Select { selection, dedup } => {
+                w.write_str("SELECT ")?;
+                match dedup {
+                    Dedup::None => {}
+                    Dedup::Distinct => w.write_str("DISTINCT ")?,
+                    Dedup::Reduced => w.write_str("REDUCED ")?,
+                }
+                match selection {
+                    Selection::All => w.write_str("* ")?,
+                    Selection::Vars(vs) => {
+                        for v in vs {
+                            write!(w, "?{v} ")?;
                         }
                     }
                 }
-                seen
+                w.write_str("WHERE ")
             }
         }
     }
 }
 
-impl fmt::Display for Query {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.select {
-            Selection::All => write!(f, "SELECT * WHERE {}", self.pattern.serialized()),
-            Selection::Vars(vs) => {
-                let names: Vec<String> = vs.iter().map(|v| format!("?{v}")).collect();
-                write!(
-                    f,
-                    "SELECT {} WHERE {}",
-                    names.join(" "),
-                    self.pattern.serialized()
-                )
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// The variable ordered on (name without the `?`).
+    pub var: String,
+    /// `DESC(?v)` when true, `ASC(?v)` / bare `?v` when false.
+    pub descending: bool,
+}
+
+/// Solution modifiers: `ORDER BY`, `LIMIT`, `OFFSET`.
+///
+/// Applied in SPARQL's §18.2.5 order: ORDER BY, then projection, then
+/// DISTINCT/REDUCED, then OFFSET, then LIMIT.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Modifiers {
+    /// `ORDER BY` keys, outermost first.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n` — at most `n` solutions.
+    pub limit: Option<usize>,
+    /// `OFFSET n` — skip the first `n` solutions (0 = none).
+    pub offset: usize,
+}
+
+impl Modifiers {
+    /// True when no modifier is set (the bare-`SELECT`/`ASK` fast path).
+    pub fn is_empty(&self) -> bool {
+        self.order_by.is_empty() && self.limit.is_none() && self.offset == 0
+    }
+
+    /// Writes the ` ORDER BY … LIMIT … OFFSET …` suffix in parseable
+    /// SPARQL (nothing when no modifier is set). The single serializer
+    /// behind both [`Query`]'s `Display` and `serialize::to_sparql`.
+    pub fn write_suffix<W: fmt::Write>(&self, w: &mut W) -> fmt::Result {
+        if !self.order_by.is_empty() {
+            w.write_str(" ORDER BY")?;
+            for k in &self.order_by {
+                if k.descending {
+                    write!(w, " DESC(?{})", k.var)?;
+                } else {
+                    write!(w, " ASC(?{})", k.var)?;
+                }
             }
         }
+        if let Some(n) = self.limit {
+            write!(w, " LIMIT {n}")?;
+        }
+        if self.offset > 0 {
+            write!(w, " OFFSET {}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full query: form + WHERE pattern + solution modifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The query form (`SELECT …` / `ASK`).
+    pub form: QueryForm,
+    /// The WHERE pattern.
+    pub pattern: GraphPattern,
+    /// Solution modifiers.
+    pub modifiers: Modifiers,
+}
+
+impl Query {
+    /// A modifier-free `SELECT *` query (the overwhelmingly common case).
+    pub fn select_all(pattern: GraphPattern) -> Query {
+        Query {
+            form: QueryForm::Select {
+                selection: Selection::All,
+                dedup: Dedup::None,
+            },
+            pattern,
+            modifiers: Modifiers::default(),
+        }
+    }
+
+    /// A modifier-free `SELECT ?a ?b …` query.
+    pub fn select_vars(vars: Vec<String>, pattern: GraphPattern) -> Query {
+        Query {
+            form: QueryForm::Select {
+                selection: Selection::Vars(vars),
+                dedup: Dedup::None,
+            },
+            pattern,
+            modifiers: Modifiers::default(),
+        }
+    }
+
+    /// A modifier-free `ASK` query.
+    pub fn ask(pattern: GraphPattern) -> Query {
+        Query {
+            form: QueryForm::Ask,
+            pattern,
+            modifiers: Modifiers::default(),
+        }
+    }
+
+    /// Replaces the solution modifiers (builder-style).
+    pub fn with_modifiers(mut self, modifiers: Modifiers) -> Query {
+        self.modifiers = modifiers;
+        self
+    }
+
+    /// True for an `ASK` query.
+    pub fn is_ask(&self) -> bool {
+        matches!(self.form, QueryForm::Ask)
+    }
+
+    /// The duplicate handling (`Dedup::None` for `ASK`, which has no
+    /// DISTINCT in the grammar).
+    pub fn dedup(&self) -> Dedup {
+        match &self.form {
+            QueryForm::Select { dedup, .. } => *dedup,
+            QueryForm::Ask => Dedup::None,
+        }
+    }
+
+    /// The variables the query projects, in a deterministic order
+    /// (declaration order for explicit SELECT, first-occurrence order of
+    /// triple-pattern variables for `SELECT *`, empty for `ASK`).
+    ///
+    /// A selected variable that occurs nowhere in the WHERE pattern is
+    /// kept: per SPARQL semantics it yields an all-unbound column, never
+    /// an error.
+    pub fn projected_vars(&self) -> Vec<String> {
+        match &self.form {
+            QueryForm::Ask => Vec::new(),
+            QueryForm::Select { selection, .. } => match selection {
+                Selection::Vars(vs) => vs.clone(),
+                Selection::All => {
+                    let mut seen = Vec::new();
+                    for tp in self.pattern.triple_patterns() {
+                        for v in tp.vars() {
+                            if !seen.iter().any(|s: &String| s == v) {
+                                seen.push(v.to_string());
+                            }
+                        }
+                    }
+                    seen
+                }
+            },
+        }
+    }
+
+    /// The columns raw execution must materialize: the projection plus
+    /// any `ORDER BY` key that is not projected (sorting happens before
+    /// the projection in SPARQL's modifier order, so the keys must exist
+    /// as columns; the shared modifier seam drops the extras afterwards).
+    pub fn exec_vars(&self) -> Vec<String> {
+        let mut vars = self.projected_vars();
+        if !self.is_ask() {
+            for key in &self.modifiers.order_by {
+                if !vars.iter().any(|v| v == &key.var) {
+                    vars.push(key.var.clone());
+                }
+            }
+        }
+        vars
+    }
+}
+
+impl fmt::Display for Query {
+    /// The form and modifiers print through the same serializers
+    /// `serialize::to_sparql` uses; only the pattern differs (the
+    /// paper's `⟕`/`⋈` notation here, parseable group syntax there).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.form.write_prefix(f)?;
+        f.write_str(&self.pattern.serialized())?;
+        self.modifiers.write_suffix(f)
     }
 }
 
@@ -402,16 +584,33 @@ mod tests {
             tp(var("b"), iri("p"), var("a")),
             tp(var("a"), iri("q"), var("c")),
         ]);
-        let q = Query {
-            select: Selection::All,
-            pattern: p.clone(),
-        };
+        let q = Query::select_all(p.clone());
         assert_eq!(q.projected_vars(), vec!["b", "a", "c"]);
-        let q = Query {
-            select: Selection::Vars(vec!["c".into()]),
-            pattern: p,
-        };
+        let q = Query::select_vars(vec!["c".into()], p.clone());
         assert_eq!(q.projected_vars(), vec!["c"]);
+        // ASK projects nothing; ORDER BY keys extend the execution schema.
+        assert!(Query::ask(p.clone()).projected_vars().is_empty());
+        assert!(Query::ask(p.clone()).exec_vars().is_empty());
+        let q = Query::select_vars(vec!["c".into()], p).with_modifiers(Modifiers {
+            order_by: vec![
+                OrderKey {
+                    var: "a".into(),
+                    descending: true,
+                },
+                OrderKey {
+                    var: "c".into(),
+                    descending: false,
+                },
+            ],
+            limit: Some(5),
+            offset: 2,
+        });
+        assert_eq!(q.projected_vars(), vec!["c"]);
+        assert_eq!(q.exec_vars(), vec!["c", "a"]);
+        assert_eq!(
+            q.to_string(),
+            "SELECT ?c WHERE {?b <p> ?a . ?a <q> ?c} ORDER BY DESC(?a) ASC(?c) LIMIT 5 OFFSET 2"
+        );
     }
 
     #[test]

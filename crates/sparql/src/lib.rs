@@ -5,7 +5,9 @@
 //! plus the structures LBR's optimizer is built on:
 //!
 //! * [`algebra`] — triple patterns, the `Bgp / Join / LeftJoin / Union /
-//!   Filter` pattern algebra, and SELECT queries;
+//!   Filter` pattern algebra, and full query specs: the `SELECT
+//!   [DISTINCT|REDUCED]` / `ASK` query forms plus the `ORDER BY` /
+//!   `LIMIT` / `OFFSET` solution modifiers;
 //! * [`parser`] — a recursive-descent parser for the SPARQL subset;
 //! * [`gosn`] — the **graph of supernodes** (§2): OPT-free BGPs as
 //!   supernodes, unidirectional edges for left-outer joins, bidirectional
@@ -18,6 +20,21 @@
 //! * [`classify`] — the Figure 3.1 classification that decides whether
 //!   nullification / best-match can be avoided;
 //! * [`rewrite`] — the §5.2 UNION-normal-form and filter push-in rewrites.
+//!
+//! A parsed [`Query`] is a full query spec — form, pattern, modifiers:
+//!
+//! ```
+//! use lbr_sparql::{parse_query, Dedup, QueryForm};
+//!
+//! let q = parse_query(
+//!     "SELECT DISTINCT ?s WHERE { ?s <p> ?o . } ORDER BY DESC(?o) LIMIT 10 OFFSET 2",
+//! ).unwrap();
+//! assert!(matches!(q.form, QueryForm::Select { dedup: Dedup::Distinct, .. }));
+//! assert_eq!(q.projected_vars(), vec!["s"]);
+//! assert_eq!(q.exec_vars(), vec!["s", "o"]); // ORDER BY key rides along
+//! assert_eq!((q.modifiers.limit, q.modifiers.offset), (Some(10), 2));
+//! assert!(parse_query("ASK { ?s <p> ?o . }").unwrap().is_ask());
+//! ```
 
 pub mod algebra;
 pub mod classify;
@@ -29,7 +46,10 @@ pub mod rewrite;
 pub mod serialize;
 pub mod well_designed;
 
-pub use algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+pub use algebra::{
+    Dedup, Expr, GraphPattern, Modifiers, OrderKey, Query, QueryForm, Selection, TermPattern,
+    TriplePattern,
+};
 pub use classify::{classify, QueryClass};
 pub use error::SparqlError;
 pub use goj::{Goj, Got};

@@ -1,9 +1,14 @@
 //! Recursive-descent parser for the SPARQL subset of the paper:
-//! `SELECT (*|vars) WHERE { BGPs, OPTIONAL, nested groups, UNION, FILTER }`
-//! with `PREFIX` declarations, qnames, `a` for `rdf:type`, string /
-//! integer literals, and comparison / boolean FILTER expressions.
+//! `SELECT [DISTINCT|REDUCED] (*|vars)` / `ASK`, a
+//! `WHERE { BGPs, OPTIONAL, nested groups, UNION, FILTER }` group, and the
+//! solution modifiers `ORDER BY (ASC|DESC)`, `LIMIT`, `OFFSET` — with
+//! `PREFIX` declarations, qnames, `a` for `rdf:type`, string / integer
+//! literals, and comparison / boolean FILTER expressions.
 
-use crate::algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+use crate::algebra::{
+    Dedup, Expr, GraphPattern, Modifiers, OrderKey, Query, QueryForm, Selection, TermPattern,
+    TriplePattern,
+};
 use crate::error::SparqlError;
 use lbr_rdf::Term;
 use std::collections::HashMap;
@@ -22,17 +27,35 @@ pub fn parse_query(input: &str) -> Result<Query, SparqlError> {
     while p.eat_keyword("PREFIX") {
         p.parse_prefix_decl()?;
     }
-    if !p.eat_keyword("SELECT") {
-        return Err(p.err("expected SELECT"));
-    }
-    let select = p.parse_selection()?;
+    let form = if p.eat_keyword("ASK") {
+        QueryForm::Ask
+    } else if p.eat_keyword("SELECT") {
+        let dedup = if p.eat_keyword("DISTINCT") {
+            Dedup::Distinct
+        } else if p.eat_keyword("REDUCED") {
+            Dedup::Reduced
+        } else {
+            Dedup::None
+        };
+        QueryForm::Select {
+            selection: p.parse_selection()?,
+            dedup,
+        }
+    } else {
+        return Err(p.err("expected SELECT or ASK"));
+    };
     p.eat_keyword("WHERE"); // WHERE keyword is optional in SPARQL
     let pattern = p.parse_group()?;
+    let modifiers = p.parse_modifiers()?;
     p.skip_ws();
     if p.pos != p.input.len() {
         return Err(p.err("trailing input after query"));
     }
-    Ok(Query { select, pattern })
+    Ok(Query {
+        form,
+        pattern,
+        modifiers,
+    })
 }
 
 struct Parser<'a> {
@@ -432,6 +455,80 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Solution modifiers after the WHERE group: `ORDER BY` keys, then
+    /// `LIMIT` / `OFFSET` in either order (the SPARQL grammar's
+    /// `LimitOffsetClauses`).
+    fn parse_modifiers(&mut self) -> Result<Modifiers, SparqlError> {
+        let mut m = Modifiers::default();
+        if self.eat_keyword("ORDER") {
+            if !self.eat_keyword("BY") {
+                return Err(self.err("expected BY after ORDER"));
+            }
+            loop {
+                self.skip_ws();
+                if self.eat_keyword("ASC") {
+                    self.expect_char(b'(')?;
+                    let var = self.parse_var()?;
+                    self.expect_char(b')')?;
+                    m.order_by.push(OrderKey {
+                        var,
+                        descending: false,
+                    });
+                } else if self.eat_keyword("DESC") {
+                    self.expect_char(b'(')?;
+                    let var = self.parse_var()?;
+                    self.expect_char(b')')?;
+                    m.order_by.push(OrderKey {
+                        var,
+                        descending: true,
+                    });
+                } else if matches!(self.peek(), Some(b'?') | Some(b'$')) {
+                    m.order_by.push(OrderKey {
+                        var: self.parse_var()?,
+                        descending: false,
+                    });
+                } else {
+                    break;
+                }
+            }
+            if m.order_by.is_empty() {
+                return Err(self.err("expected at least one ORDER BY key"));
+            }
+        }
+        let mut saw_limit = false;
+        let mut saw_offset = false;
+        loop {
+            if !saw_limit && self.eat_keyword("LIMIT") {
+                m.limit = Some(self.parse_unsigned()?);
+                saw_limit = true;
+            } else if !saw_offset && self.eat_keyword("OFFSET") {
+                m.offset = self.parse_unsigned()?;
+                saw_offset = true;
+            } else {
+                break;
+            }
+        }
+        Ok(m)
+    }
+
+    fn parse_unsigned(&mut self) -> Result<usize, SparqlError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a non-negative integer"));
+        }
+        let text = String::from_utf8_lossy(&self.input[start..self.pos]);
+        text.parse()
+            .map_err(|_| self.err(format!("integer '{text}' out of range")))
+    }
+
     /// FILTER constraint: `( expr )` or a bare function call.
     fn parse_constraint(&mut self) -> Result<Expr, SparqlError> {
         self.skip_ws();
@@ -582,9 +679,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            q.select,
-            Selection::Vars(vec!["friend".into(), "sitcom".into()])
+            q.form,
+            QueryForm::Select {
+                selection: Selection::Vars(vec!["friend".into(), "sitcom".into()]),
+                dedup: Dedup::None,
+            }
         );
+        assert!(q.modifiers.is_empty());
         match &q.pattern {
             GraphPattern::LeftJoin(l, r) => {
                 assert_eq!(l.triple_patterns().len(), 1);
@@ -717,7 +818,69 @@ mod tests {
         assert!(parse_query("SELECT * WHERE { ?x <p> }").is_err());
         assert!(parse_query("SELECT * WHERE { ?x <p> ?y ").is_err());
         assert!(parse_query("SELECT * WHERE { ?x <p> ?y } trailing").is_err());
-        assert!(parse_query("ASK { ?x <p> ?y }").is_err());
+        assert!(parse_query("CONSTRUCT { ?x <p> ?y }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y } ORDER ?y").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y } ORDER BY").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y } LIMIT").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y } LIMIT -3").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <p> ?y } LIMIT 1 LIMIT 2").is_err());
+        assert!(parse_query("ASK DISTINCT { ?x <p> ?y }").is_err());
+    }
+
+    #[test]
+    fn ask_queries() {
+        let q = parse_query("ASK { ?x <urn:p> ?y . }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+        assert!(q.projected_vars().is_empty());
+        // WHERE is accepted before the group, and modifiers after it.
+        let q = parse_query("ASK WHERE { ?x <urn:p> ?y . } LIMIT 1").unwrap();
+        assert!(q.is_ask());
+        assert_eq!(q.modifiers.limit, Some(1));
+    }
+
+    #[test]
+    fn distinct_and_reduced() {
+        let q = parse_query("SELECT DISTINCT ?x WHERE { ?x <urn:p> ?y . }").unwrap();
+        assert_eq!(q.dedup(), Dedup::Distinct);
+        assert_eq!(q.projected_vars(), vec!["x"]);
+        let q = parse_query("SELECT REDUCED * WHERE { ?x <urn:p> ?y . }").unwrap();
+        assert_eq!(q.dedup(), Dedup::Reduced);
+        // DISTINCT is a keyword, not a variable-looking token.
+        assert!(parse_query("SELECT DISTINCT WHERE { ?x <urn:p> ?y . }").is_err());
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let q = parse_query(
+            "SELECT * WHERE { ?x <urn:p> ?y . } ORDER BY DESC(?y) ASC(?x) ?x LIMIT 10 OFFSET 4",
+        )
+        .unwrap();
+        assert_eq!(
+            q.modifiers.order_by,
+            vec![
+                OrderKey {
+                    var: "y".into(),
+                    descending: true
+                },
+                OrderKey {
+                    var: "x".into(),
+                    descending: false
+                },
+                OrderKey {
+                    var: "x".into(),
+                    descending: false
+                },
+            ]
+        );
+        assert_eq!(q.modifiers.limit, Some(10));
+        assert_eq!(q.modifiers.offset, 4);
+        // LIMIT/OFFSET accepted in either order (LimitOffsetClauses).
+        let q = parse_query("SELECT * WHERE { ?x <urn:p> ?y . } OFFSET 2 LIMIT 5").unwrap();
+        assert_eq!((q.modifiers.limit, q.modifiers.offset), (Some(5), 2));
+        // ORDER BY a non-projected variable extends the execution schema.
+        let q = parse_query("SELECT ?x WHERE { ?x <urn:p> ?y . } ORDER BY ?y").unwrap();
+        assert_eq!(q.projected_vars(), vec!["x"]);
+        assert_eq!(q.exec_vars(), vec!["x", "y"]);
     }
 
     #[test]

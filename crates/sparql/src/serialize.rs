@@ -6,23 +6,19 @@
 //! branches, NWD-transformed patterns) to other engines, and as a
 //! round-trip test target for the parser.
 
-use crate::algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+use crate::algebra::{Expr, GraphPattern, Query, TermPattern, TriplePattern};
 use std::fmt::Write as _;
 
 /// Renders a query as SPARQL text that [`crate::parse_query`] accepts.
+/// The form prefix and modifier suffix come from the same serializers
+/// `Query`'s `Display` uses ([`crate::algebra::QueryForm::write_prefix`]
+/// / [`crate::algebra::Modifiers::write_suffix`]), so the two cannot
+/// drift; only the pattern rendering differs.
 pub fn to_sparql(query: &Query) -> String {
     let mut s = String::new();
-    match &query.select {
-        Selection::All => s.push_str("SELECT * WHERE "),
-        Selection::Vars(vs) => {
-            s.push_str("SELECT");
-            for v in vs {
-                let _ = write!(s, " ?{v}");
-            }
-            s.push_str(" WHERE ");
-        }
-    }
+    let _ = query.form.write_prefix(&mut s);
     s.push_str(&pattern_text(&query.pattern));
+    let _ = query.modifiers.write_suffix(&mut s);
     s
 }
 
@@ -180,7 +176,8 @@ mod tests {
             skeleton(&q2.pattern),
             "skeleton changed;\noriginal: {text}\nprinted: {printed}"
         );
-        assert_eq!(q1.select, q2.select);
+        assert_eq!(q1.form, q2.form);
+        assert_eq!(q1.modifiers, q2.modifiers);
     }
 
     #[test]
@@ -213,5 +210,19 @@ mod tests {
     #[test]
     fn literals_roundtrip() {
         roundtrips(r#"SELECT * WHERE { ?a <p> "lit with spaces" . ?a <q> 42 . }"#);
+    }
+
+    #[test]
+    fn forms_and_modifiers_roundtrip() {
+        roundtrips("ASK { ?a <p> ?b . }");
+        roundtrips("ASK { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } LIMIT 1 OFFSET 2");
+        roundtrips("SELECT DISTINCT ?a WHERE { ?a <p> ?b . }");
+        roundtrips("SELECT REDUCED * WHERE { ?a <p> ?b . }");
+        roundtrips("SELECT * WHERE { ?a <p> ?b . } ORDER BY DESC(?b) ?a LIMIT 10 OFFSET 3");
+        roundtrips("SELECT ?a WHERE { ?a <p> ?b . } ORDER BY ?b OFFSET 7");
+        roundtrips(
+            "SELECT DISTINCT ?a WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }
+               ORDER BY ASC(?a) DESC(?c) LIMIT 5",
+        );
     }
 }

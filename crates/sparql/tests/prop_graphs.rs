@@ -155,10 +155,7 @@ proptest! {
     /// operator skeleton (the parser's only normalization is BGP merging).
     #[test]
     fn parse_print_roundtrip(pattern in arb_pattern()) {
-        let q = lbr_sparql::Query {
-            select: lbr_sparql::Selection::All,
-            pattern,
-        };
+        let q = lbr_sparql::Query::select_all(pattern);
         let printed = to_sparql(&q);
         let q2 = parse_query(&printed)
             .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));

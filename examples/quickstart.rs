@@ -65,4 +65,23 @@ fn main() {
         stats.initial_triples,
         stats.triples_after_pruning,
     );
+
+    // Query forms & solution modifiers: ASK short-circuits the join at
+    // the first surviving row; DISTINCT/ORDER BY/LIMIT run through the
+    // shared modifier seam (dedup on encoded IDs, documented term order).
+    let jerry_has_friends = db
+        .ask("ASK { <Jerry> <hasFriend> ?f . }")
+        .expect("ask runs");
+    println!("\nASK {{ <Jerry> <hasFriend> ?f }} → {jerry_has_friends}");
+
+    let top = db
+        .execute(
+            "SELECT DISTINCT ?sitcom WHERE { ?a <actedIn> ?sitcom . }
+             ORDER BY ?sitcom LIMIT 2",
+        )
+        .expect("modifier query runs");
+    println!("first two sitcoms alphabetically:");
+    for line in top.render(db.dict()) {
+        println!("  {line}");
+    }
 }

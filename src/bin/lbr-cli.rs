@@ -11,17 +11,20 @@
 //! Options: `--engine lbr|pairwise|query-order|reordered|reference`
 //! (default lbr), `--threads N` (worker threads for the multi-way join's
 //! root partitioning; default: available parallelism, `1` = exact serial
-//! path, results identical either way), `--explain` (print the plan
-//! instead of executing), `--stats`, `--repeat N` (re-run the prepared
-//! query N times and report the average), `--file <query.rq>`,
-//! `--save-index <path>`, `--index <path>`.
+//! path, results identical either way), `--format table|json|tsv`
+//! (default table; `json` is W3C SPARQL 1.1 Query Results JSON, `tsv` the
+//! W3C TSV format — both consumable by standard tooling), `--explain`
+//! (print the plan instead of executing), `--stats`, `--repeat N` (re-run
+//! the prepared query N times and report the average), `--file
+//! <query.rq>`, `--save-index <path>`, `--index <path>`.
 //!
+//! The full query spec is supported: `SELECT [DISTINCT|REDUCED]` / `ASK`
+//! with `ORDER BY` / `LIMIT` / `OFFSET` (`ASK` prints `true`/`false`).
 //! Every engine goes through the same [`lbr::Engine`] dispatch and the
-//! same streaming result printer — there is no per-engine result
-//! handling.
+//! same result rendering — there is no per-engine result handling.
 
 use lbr::bitmat::disk::save_store;
-use lbr::{Database, EngineKind};
+use lbr::{Database, EngineKind, OutputFormat};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -34,6 +37,7 @@ struct Options {
     query_file: Option<String>,
     engine: EngineKind,
     threads: Option<usize>,
+    format: OutputFormat,
     explain: bool,
     stats: bool,
     repeat: u32,
@@ -48,6 +52,7 @@ fn parse_args() -> Result<Options, String> {
         query_file: None,
         engine: EngineKind::Lbr,
         threads: None,
+        format: OutputFormat::Table,
         explain: false,
         stats: false,
         repeat: 1,
@@ -58,6 +63,11 @@ fn parse_args() -> Result<Options, String> {
             "--engine" => {
                 let name = args.next().ok_or("--engine needs a value")?;
                 o.engine = name.parse()?;
+            }
+            "--format" => {
+                let name = args.next().ok_or("--format needs a value")?;
+                o.format = OutputFormat::from_name(&name)
+                    .ok_or_else(|| format!("unknown format '{name}' (table, json or tsv)"))?;
             }
             "--threads" => {
                 let n = args.next().ok_or("--threads needs a value")?;
@@ -94,8 +104,8 @@ fn usage() {
     let engines: Vec<&str> = EngineKind::all().iter().map(|k| k.name()).collect();
     eprintln!(
         "usage: lbr-cli <data.nt> [QUERY] [--file query.rq] [--engine {}] \
-         [--threads N] [--explain] [--stats] [--repeat N] [--save-index path] \
-         [--index path.lbr]",
+         [--threads N] [--format table|json|tsv] [--explain] [--stats] \
+         [--repeat N] [--save-index path] [--index path.lbr]",
         engines.join("|")
     );
 }
@@ -187,15 +197,39 @@ fn run() -> Result<ExitCode, String> {
     total += t.elapsed();
 
     let stats = out.stats.clone();
-    let solutions = out.into_solutions(db.dict());
-    println!("{}", solutions.vars().join("\t"));
-    for row in solutions {
-        println!("{}", row.render());
+    let query = prepared.query();
+    if query.is_ask() {
+        // Boolean result: identical across formats except JSON.
+        print!("{}", opts.format.render(query, &out, db.dict()));
+        eprintln!("boolean result");
+    } else {
+        match opts.format {
+            // JSON is one object; render it whole.
+            OutputFormat::Json => print!("{}", opts.format.render(query, &out, db.dict())),
+            // Table and TSV stream row-by-row — a multi-million-row
+            // result is never re-materialized as one string.
+            OutputFormat::Table | OutputFormat::Tsv => {
+                let tsv = opts.format == OutputFormat::Tsv;
+                let solutions = out.into_solutions(db.dict());
+                if tsv {
+                    println!("{}", lbr::format::tsv_header(solutions.vars()));
+                } else {
+                    println!("{}", solutions.vars().join("\t"));
+                }
+                for row in solutions {
+                    if tsv {
+                        println!("{}", lbr::format::tsv_line(&row.decoded()));
+                    } else {
+                        println!("{}", row.render());
+                    }
+                }
+            }
+        }
+        eprintln!(
+            "{} rows ({} with NULLs)",
+            stats.n_results, stats.n_results_with_nulls
+        );
     }
-    eprintln!(
-        "{} rows ({} with NULLs)",
-        stats.n_results, stats.n_results_with_nulls
-    );
     if opts.stats {
         // Only the LBR engine consumes the thread setting; labelling the
         // serial baselines with it would be misleading.

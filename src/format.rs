@@ -1,0 +1,295 @@
+//! Result serialization for standard tooling: the W3C *SPARQL 1.1 Query
+//! Results JSON Format* and the *SPARQL 1.1 Query Results CSV and TSV
+//! Formats* (TSV variant), plus the human-oriented table rendering the
+//! CLI defaults to.
+//!
+//! Unbound cells (OPTIONAL NULLs) follow each spec: the variable is
+//! *omitted* from a JSON binding object, and an *empty field* in TSV.
+//! `ASK` results serialize as `{"head":{},"boolean":…}` in JSON; TSV and
+//! the table print a single `true`/`false` line (the CSV/TSV spec only
+//! covers SELECT, so this is a documented extension).
+
+use lbr_core::QueryOutput;
+use lbr_rdf::{Dictionary, Term};
+use lbr_sparql::Query;
+use std::fmt::Write as _;
+
+/// Output format selector for the CLI (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Tab-separated human-readable table with a header row and `NULL`
+    /// for unbound cells (the historical CLI output).
+    #[default]
+    Table,
+    /// W3C SPARQL 1.1 Query Results JSON.
+    Json,
+    /// W3C SPARQL 1.1 Query Results TSV.
+    Tsv,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value.
+    pub fn from_name(s: &str) -> Option<OutputFormat> {
+        match s {
+            "table" => Some(OutputFormat::Table),
+            "json" => Some(OutputFormat::Json),
+            "tsv" => Some(OutputFormat::Tsv),
+            _ => None,
+        }
+    }
+
+    /// Renders an output in this format.
+    pub fn render(self, query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+        match self {
+            OutputFormat::Table => table(query, output, dict),
+            OutputFormat::Json => {
+                let mut s = json(query, output, dict);
+                s.push('\n');
+                s
+            }
+            OutputFormat::Tsv => tsv(query, output, dict),
+        }
+    }
+}
+
+/// The human-readable table: header row, then one tab-separated line per
+/// solution with `NULL` for unbound cells. `ASK` prints `true`/`false`.
+pub fn table(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+    if query.is_ask() {
+        return format!("{}\n", output.boolean().unwrap_or(false));
+    }
+    let mut s = output.vars.join("\t");
+    s.push('\n');
+    for line in output.render(dict) {
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s
+}
+
+/// W3C SPARQL 1.1 Query Results JSON:
+/// `{"head":{"vars":[…]},"results":{"bindings":[…]}}` for SELECT,
+/// `{"head":{},"boolean":…}` for ASK. Unbound variables are omitted from
+/// their binding object, per the spec.
+pub fn json(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+    let mut s = String::new();
+    if query.is_ask() {
+        let _ = write!(
+            s,
+            "{{\"head\":{{}},\"boolean\":{}}}",
+            output.boolean().unwrap_or(false)
+        );
+        return s;
+    }
+    s.push_str("{\"head\":{\"vars\":[");
+    for (i, v) in output.vars.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json_string(&mut s, v);
+    }
+    s.push_str("]},\"results\":{\"bindings\":[");
+    for (i, row) in output.rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('{');
+        let mut first = true;
+        for (var, cell) in output.vars.iter().zip(row.iter()) {
+            let Some(binding) = cell else {
+                continue; // unbound: omitted from the binding object
+            };
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            json_string(&mut s, var);
+            s.push(':');
+            json_term(&mut s, binding.decode(dict));
+        }
+        s.push('}');
+    }
+    s.push_str("]}}");
+    s
+}
+
+/// W3C SPARQL 1.1 Query Results TSV: a `?var` header line, then terms in
+/// their N-Triples serialization, with unbound cells left empty.
+pub fn tsv(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+    if query.is_ask() {
+        return format!("{}\n", output.boolean().unwrap_or(false));
+    }
+    let mut s = String::new();
+    s.push_str(&tsv_header(&output.vars));
+    s.push('\n');
+    for row in &output.rows {
+        let cells: Vec<Option<&Term>> = row
+            .iter()
+            .map(|c| c.as_ref().map(|b| b.decode(dict)))
+            .collect();
+        s.push_str(&tsv_line(&cells));
+        s.push('\n');
+    }
+    s
+}
+
+/// The TSV header line (`?var1<TAB>?var2`), without the trailing newline.
+pub fn tsv_header(vars: &[String]) -> String {
+    let header: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+    header.join("\t")
+}
+
+/// One TSV data line for decoded cells (N-Triples term syntax, empty
+/// field for unbound), without the trailing newline — the unit both
+/// [`tsv`] and the CLI's streaming printer are built on.
+pub fn tsv_line(cells: &[Option<&Term>]) -> String {
+    let line: Vec<String> = cells
+        .iter()
+        .map(|c| c.map_or_else(String::new, |t| t.to_string()))
+        .collect();
+    line.join("\t")
+}
+
+fn json_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Iri(v) => {
+            out.push_str("{\"type\":\"uri\",\"value\":");
+            json_string(out, v);
+            out.push('}');
+        }
+        Term::BlankNode(v) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":");
+            json_string(out, v);
+            out.push('}');
+        }
+        Term::Literal {
+            lexical,
+            datatype,
+            lang,
+        } => {
+            out.push_str("{\"type\":\"literal\",\"value\":");
+            json_string(out, lexical);
+            if let Some(dt) = datatype {
+                out.push_str(",\"datatype\":");
+                json_string(out, dt);
+            } else if let Some(l) = lang {
+                out.push_str(",\"xml:lang\":");
+                json_string(out, l);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_query, Database, Term, Triple};
+
+    fn db() -> Database {
+        Database::from_triples(vec![
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b")),
+            Triple::new(Term::iri("a"), Term::iri("q"), Term::literal("x\ty")),
+            Triple::new(
+                Term::iri("c"),
+                Term::iri("p"),
+                Term::lang_literal("hi", "en"),
+            ),
+        ])
+    }
+
+    #[test]
+    fn json_select_with_unbound_cells() {
+        let db = db();
+        let q = parse_query("SELECT * WHERE { ?s <p> ?o . OPTIONAL { ?s <q> ?x . } }").unwrap();
+        let out = db.execute_query(&q).unwrap();
+        let text = json(&q, &out, db.dict());
+        assert!(
+            text.starts_with("{\"head\":{\"vars\":[\"s\",\"o\",\"x\"]}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"s\":{\"type\":\"uri\",\"value\":\"a\"}"),
+            "{text}"
+        );
+        // The unmatched-OPTIONAL row for <c> omits "x" entirely.
+        assert!(
+            text.contains("\"o\":{\"type\":\"literal\",\"value\":\"hi\",\"xml:lang\":\"en\"}"),
+            "{text}"
+        );
+        // Tab inside a literal is escaped.
+        assert!(text.contains("x\\ty"), "{text}");
+        let c_row = text
+            .split("\"bindings\":[")
+            .nth(1)
+            .unwrap()
+            .split("},{")
+            .find(|b| b.contains("\"value\":\"c\""))
+            .unwrap();
+        assert!(!c_row.contains("\"x\":"), "unbound omitted: {c_row}");
+    }
+
+    #[test]
+    fn json_ask() {
+        let db = db();
+        let q = parse_query("ASK { <a> <p> ?o . }").unwrap();
+        let out = db.execute_query(&q).unwrap();
+        assert_eq!(json(&q, &out, db.dict()), "{\"head\":{},\"boolean\":true}");
+        let q = parse_query("ASK { <nope> <p> ?o . }").unwrap();
+        let out = db.execute_query(&q).unwrap();
+        assert_eq!(json(&q, &out, db.dict()), "{\"head\":{},\"boolean\":false}");
+    }
+
+    #[test]
+    fn tsv_select_and_ask() {
+        let db = db();
+        let q = parse_query("SELECT ?s ?x WHERE { ?s <p> ?o . OPTIONAL { ?s <q> ?x . } }").unwrap();
+        let out = db.execute_query(&q).unwrap();
+        let text = tsv(&q, &out, db.dict());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("?s\t?x"));
+        let body: Vec<&str> = lines.collect();
+        assert!(body.contains(&"<a>\t\"x\\ty\""), "{body:?}");
+        assert!(
+            body.contains(&"<c>\t"),
+            "unbound is an empty field: {body:?}"
+        );
+        let q = parse_query("ASK { <a> <p> ?o . }").unwrap();
+        let out = db.execute_query(&q).unwrap();
+        assert_eq!(tsv(&q, &out, db.dict()), "true\n");
+    }
+
+    #[test]
+    fn table_ask_and_format_names() {
+        let db = db();
+        let q = parse_query("ASK { <a> <p> ?o . }").unwrap();
+        let out = db.execute_query(&q).unwrap();
+        assert_eq!(table(&q, &out, db.dict()), "true\n");
+        assert_eq!(OutputFormat::from_name("json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::from_name("tsv"), Some(OutputFormat::Tsv));
+        assert_eq!(OutputFormat::from_name("table"), Some(OutputFormat::Table));
+        assert_eq!(OutputFormat::from_name("xml"), None);
+        assert_eq!(
+            OutputFormat::Json.render(&q, &out, db.dict()),
+            json(&q, &out, db.dict()) + "\n"
+        );
+    }
+}

@@ -44,6 +44,33 @@
 //! assert_eq!(friends, vec!["<Julia>".to_string(), "<Larry>".to_string()]);
 //! ```
 //!
+//! Queries are full SPARQL query specs: the `SELECT [DISTINCT|REDUCED]`
+//! and `ASK` forms plus the `ORDER BY` / `LIMIT` / `OFFSET` solution
+//! modifiers, parsed into [`Query`] (`form` + `pattern` + `modifiers`)
+//! and applied by one shared seam (`lbr_core::modifiers`) for every
+//! engine. `ASK` and plain `LIMIT` push a row quota into the LBR
+//! multi-way join, which stops enumerating seeds once enough rows exist:
+//!
+//! ```
+//! use lbr::Database;
+//!
+//! let db = Database::from_ntriples(r#"
+//!     <Jerry> <hasFriend> <Julia> .
+//!     <Jerry> <hasFriend> <Larry> .
+//!     <Julia> <actedIn> <Seinfeld> .
+//! "#).unwrap();
+//!
+//! // Existence short-circuits: the join stops at the first row.
+//! assert!(db.ask("ASK { <Jerry> <hasFriend> ?f . }").unwrap());
+//!
+//! // DISTINCT dedupes on encoded dictionary IDs; ORDER BY sorts decoded
+//! // terms under a documented total order; LIMIT/OFFSET slice.
+//! let out = db.execute(
+//!     "SELECT DISTINCT ?f WHERE { <Jerry> <hasFriend> ?f . }
+//!      ORDER BY DESC(?f) LIMIT 1").unwrap();
+//! assert_eq!(out.render(db.dict()), vec!["<Larry>".to_string()]);
+//! ```
+//!
 //! Every engine of the paper's evaluation — LBR, the two pairwise
 //! hash-join configurations, the outer-join reordering baseline and the
 //! nested-loop reference oracle — implements the same [`Engine`] trait
@@ -65,11 +92,14 @@
 //! * [`rdf`] — terms, triples, dictionary encoding, N-Triples I/O;
 //! * [`bitmat`] — compressed bit-matrices, `fold`/`unfold`, the on-disk
 //!   index;
-//! * [`sparql`] — parser, algebra, GoSN / GoT / GoJ, well-designedness,
-//!   rewrites;
+//! * [`sparql`] — parser, algebra (query forms + solution modifiers),
+//!   GoSN / GoT / GoJ, well-designedness, rewrites;
 //! * [`core`] — the LBR engine (init, `prune_triples`, multi-way join,
-//!   nullification, best-match), the [`Engine`] trait and the streaming
+//!   nullification, best-match), the [`Engine`] trait, the shared
+//!   form/modifier seam (`lbr_core::modifiers`) and the streaming
 //!   [`Solutions`] API;
+//! * [`format`] — W3C SPARQL 1.1 Results JSON / TSV serialization (what
+//!   `lbr-cli --format` emits);
 //! * [`baseline`] — comparator engines behind [`EngineKind`] (pairwise
 //!   hash joins; outer-join reordering with repair operators; the
 //!   reference oracle);
@@ -83,11 +113,14 @@ pub use lbr_datagen as datagen;
 pub use lbr_rdf as rdf;
 pub use lbr_sparql as sparql;
 
+pub mod format;
+
+pub use format::OutputFormat;
 pub use lbr_baseline::{EngineKind, EngineOptions};
 pub use lbr_bitmat::{BitMatStore, Catalog, DiskCatalog};
 pub use lbr_core::{Engine, LbrEngine, QueryOutput, QueryStats, Row, Solutions};
 pub use lbr_rdf::{Dictionary, EncodedGraph, Graph, Term, Triple};
-pub use lbr_sparql::{parse_query, Query};
+pub use lbr_sparql::{parse_query, Dedup, Modifiers, OrderKey, Query, QueryForm};
 
 use std::any::Any;
 use std::fmt;
@@ -373,6 +406,23 @@ impl Database {
     pub fn solutions(&self, query_text: &str) -> Result<Solutions<'_>, core::LbrError> {
         let query = parse_query(query_text)?;
         Ok(self.execute_query(&query)?.into_solutions(self.dict()))
+    }
+
+    /// Parses and executes an existence query, returning its boolean
+    /// answer. The text may be a full `ASK { … }` query or a `SELECT`
+    /// (whose answer is "did any solution survive the modifiers?" — the
+    /// same semantics ASK applies). `ASK` short-circuits inside the LBR
+    /// engine: the multi-way join stops at the first surviving row.
+    pub fn ask(&self, query_text: &str) -> Result<bool, core::LbrError> {
+        let mut query = parse_query(query_text)?;
+        if !query.is_ask() && query.dedup() == Dedup::None {
+            // Same truth value, but the ASK form unlocks the existence
+            // fast path (DISTINCT + OFFSET must keep SELECT semantics:
+            // emptiness then depends on the *deduplicated* count).
+            query.form = QueryForm::Ask;
+        }
+        let out = self.execute_query(&query)?;
+        Ok(out.boolean().unwrap_or(!out.is_empty()))
     }
 
     /// Parses and prepares a query on the default engine: the planning

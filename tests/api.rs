@@ -21,7 +21,7 @@ fn triples() -> Vec<Triple> {
 const Q2: &str = "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
     OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }";
 
-const WORKLOAD: [&str; 4] = [
+const WORKLOAD: [&str; 7] = [
     Q2,
     "PREFIX : <> SELECT ?friend WHERE { :Jerry :hasFriend ?friend . }",
     "PREFIX : <> SELECT * WHERE {
@@ -29,6 +29,12 @@ const WORKLOAD: [&str; 4] = [
        UNION { ?a :actedIn ?s . ?s :location :LosAngeles . } }",
     "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f .
        OPTIONAL { ?f :actedIn ?s . FILTER(?s != :Seinfeld) } }",
+    // Query forms & solution modifiers ride the same prepared/streaming
+    // paths as plain SELECTs.
+    "PREFIX : <> SELECT DISTINCT ?friend WHERE { :Jerry :hasFriend ?friend . ?friend :actedIn ?s . }",
+    "PREFIX : <> SELECT ?friend ?s WHERE { :Jerry :hasFriend ?friend . ?friend :actedIn ?s . }
+       ORDER BY ?friend DESC(?s) LIMIT 2 OFFSET 1",
+    "PREFIX : <> ASK { :Jerry :hasFriend ?friend . }",
 ];
 
 #[test]
@@ -252,6 +258,50 @@ fn prepared_explain_shows_the_plan() {
         .unwrap();
     let text = db.prepare(Q2).unwrap().explain().unwrap();
     assert!(text.contains("reordered"), "{text}");
+}
+
+#[test]
+fn ask_and_modifiers_through_the_database_api() {
+    let db = Database::from_triples(triples());
+    assert!(db
+        .ask("PREFIX : <> ASK { :Jerry :hasFriend ?f . }")
+        .unwrap());
+    assert!(!db
+        .ask("PREFIX : <> ASK { :Julia :hasFriend ?f . }")
+        .unwrap());
+    // SELECT text works too (existence of any solution).
+    assert!(db
+        .ask("PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f . }")
+        .unwrap());
+    // ASK output surfaces through QueryOutput::boolean and Solutions.
+    let out = db
+        .execute("PREFIX : <> ASK { :Jerry :hasFriend ?f . }")
+        .unwrap();
+    assert_eq!(out.boolean(), Some(true));
+    assert_eq!(out.len(), 1);
+    let solutions = db
+        .solutions("PREFIX : <> ASK { :Jerry :hasFriend ?f . }")
+        .unwrap();
+    assert_eq!(solutions.vars(), Vec::<String>::new().as_slice());
+    assert_eq!(solutions.count(), 1, "one zero-column row = true");
+    // Prepared ASK re-executes cheaply and keeps its boolean shape.
+    let prepared = db
+        .prepare("PREFIX : <> ASK { :Nobody :hasFriend ?f . }")
+        .unwrap();
+    for _ in 0..3 {
+        assert_eq!(prepared.execute().unwrap().boolean(), Some(false));
+    }
+    // Modifiers through the one-shot API: deterministic ordered slice.
+    let out = db
+        .execute(
+            "PREFIX : <> SELECT ?s WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }
+               ORDER BY DESC(?s) LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(
+        out.render(db.dict()),
+        vec!["<Seinfeld>".to_string(), "<CurbYourEnthu>".to_string()]
+    );
 }
 
 #[test]

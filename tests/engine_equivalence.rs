@@ -511,6 +511,246 @@ fn lbr_parallel_rows_identical_in_order() {
     }
 }
 
+/// For queries whose ORDER BY keys determine the row sequence up to
+/// identical rows, every engine × thread count must return the exact same
+/// decoded sequence (no sorting before comparison).
+#[track_caller]
+fn assert_all_agree_in_order(db: &Database, query: &str) {
+    let q = parse_query(query).unwrap();
+    let truth = db
+        .engine_of(EngineKind::Reference)
+        .execute(&q)
+        .unwrap()
+        .render(db.dict());
+    for kind in EngineKind::all() {
+        for threads in THREADS_AXIS {
+            let rows = db
+                .engine_with(
+                    kind,
+                    &EngineOptions {
+                        threads,
+                        ..EngineOptions::default()
+                    },
+                )
+                .execute(&q)
+                .unwrap()
+                .render(db.dict());
+            assert_eq!(
+                rows, truth,
+                "{kind} (threads={threads}) sequence deviates on: {query}"
+            );
+        }
+    }
+}
+
+#[test]
+fn distinct_queries_agree() {
+    let db = sitcom_db();
+    // Julia acted in 4 sitcoms → SELECT ?f has duplicates; DISTINCT
+    // collapses them identically everywhere.
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT DISTINCT ?f WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }",
+    );
+    let with = db
+        .execute("PREFIX : <> SELECT ?f WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }")
+        .unwrap();
+    let without = db
+        .execute("PREFIX : <> SELECT DISTINCT ?f WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }")
+        .unwrap();
+    assert_eq!(with.len(), 5);
+    assert_eq!(without.len(), 2);
+    // REDUCED behaves like DISTINCT here (permitted cardinality).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT REDUCED ?f WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }",
+    );
+    // DISTINCT over a row with NULLs (OPTIONAL).
+    assert_all_agree(
+        &db,
+        "PREFIX : <> SELECT DISTINCT ?f ?l WHERE { :Jerry :hasFriend ?f .
+           OPTIONAL { ?f :location ?l . } }",
+    );
+}
+
+/// Regression: a term living in BOTH the predicate dictionary and the
+/// subject/object dictionary gets unrelated encoded IDs; a DISTINCT
+/// column that mixes the two spaces across UNION branches must still
+/// dedup by *term*, not by encoded ID.
+#[test]
+fn distinct_dedups_across_predicate_and_so_dimensions() {
+    let db = Database::from_triples(vec![t("a", "p", "b"), t("p", "q", "c")]);
+    let query = "SELECT DISTINCT ?x WHERE { { <a> ?x <b> . } UNION { ?x <q> <c> . } }";
+    assert_all_agree(&db, query);
+    let out = db.execute(query).unwrap();
+    assert_eq!(
+        out.render(db.dict()),
+        vec!["<p>".to_string()],
+        "one term, one row — regardless of which dictionary dimension bound it"
+    );
+}
+
+#[test]
+fn ordered_queries_agree_in_sequence() {
+    let db = sitcom_db();
+    // The ORDER BY keys cover every projected column, so ties are
+    // identical rows and the sequence is engine-independent.
+    assert_all_agree_in_order(
+        &db,
+        "PREFIX : <> SELECT ?f ?s WHERE { :Jerry :hasFriend ?f . ?f :actedIn ?s . }
+           ORDER BY ?f DESC(?s)",
+    );
+    // Unbound OPTIONAL cells sort first ascending / last descending.
+    assert_all_agree_in_order(
+        &db,
+        "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?f . OPTIONAL { ?f :location ?l . } }
+           ORDER BY ?l ?f",
+    );
+    // ORDER + LIMIT + OFFSET: a deterministic slice.
+    assert_all_agree_in_order(
+        &db,
+        "PREFIX : <> SELECT ?f ?s WHERE { ?f :actedIn ?s . } ORDER BY ?f ?s LIMIT 3 OFFSET 1",
+    );
+    // ORDER BY a non-projected variable (extends the execution schema,
+    // then the seam drops it) — plus DISTINCT on the projected column.
+    assert_all_agree_in_order(
+        &db,
+        "PREFIX : <> SELECT ?s WHERE { ?f :actedIn ?s . ?s :location ?w . } ORDER BY ?w ?s",
+    );
+}
+
+#[test]
+fn ask_queries_agree() {
+    let db = sitcom_db();
+    let cases = [
+        ("PREFIX : <> ASK { :Jerry :hasFriend ?f . }", true),
+        ("PREFIX : <> ASK { :Larry :hasFriend ?f . }", false),
+        (
+            "PREFIX : <> ASK { :Jerry :hasFriend ?f . ?f :actedIn ?s .
+               ?s :location :NewYorkCity . }",
+            true,
+        ),
+        // Modifiers apply before the emptiness test.
+        ("PREFIX : <> ASK { :Jerry :hasFriend ?f . } OFFSET 1", true),
+        ("PREFIX : <> ASK { :Jerry :hasFriend ?f . } OFFSET 2", false),
+        ("PREFIX : <> ASK { :Jerry :hasFriend ?f . } LIMIT 0", false),
+    ];
+    for (query, expect) in cases {
+        let q = parse_query(query).unwrap();
+        for kind in EngineKind::all() {
+            for threads in THREADS_AXIS {
+                let out = db
+                    .engine_with(
+                        kind,
+                        &EngineOptions {
+                            threads,
+                            ..EngineOptions::default()
+                        },
+                    )
+                    .execute(&q)
+                    .unwrap();
+                assert_eq!(
+                    out.boolean(),
+                    Some(expect),
+                    "{kind} (threads={threads}) deviates on: {query}"
+                );
+            }
+        }
+        assert_eq!(db.ask(query).unwrap(), expect, "{query}");
+    }
+}
+
+/// The acceptance criterion for the LIMIT pushdown: at `threads = 1` the
+/// multi-way join enumerates no more seeds than needed, and boundedly
+/// more at N threads — while returning exactly the rows of the unbounded
+/// run's prefix.
+#[test]
+fn limit_pushdown_terminates_early() {
+    let triples: Vec<Triple> = (0..200).map(|i| t(&format!("s{i}"), "p", "o")).collect();
+    let db = Database::from_triples(triples);
+    let full = db.execute("SELECT * WHERE { ?s <p> <o> . }").unwrap();
+    assert_eq!(full.len(), 200);
+    assert_eq!(full.stats.join_seeds, 200);
+
+    let q = parse_query("SELECT ?s WHERE { ?s <p> <o> . } LIMIT 10 OFFSET 5").unwrap();
+    let serial = db
+        .engine_with(
+            EngineKind::Lbr,
+            &EngineOptions {
+                threads: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .execute(&q)
+        .unwrap();
+    assert_eq!(serial.len(), 10);
+    assert_eq!(
+        serial.stats.join_seeds, 15,
+        "threads=1 stops exactly at offset+limit seeds"
+    );
+    for threads in [2, 8] {
+        let parallel = db
+            .engine_with(
+                EngineKind::Lbr,
+                &EngineOptions {
+                    threads,
+                    ..EngineOptions::default()
+                },
+            )
+            .execute(&q)
+            .unwrap();
+        assert_eq!(parallel.rows, serial.rows, "threads={threads}");
+        assert!(
+            parallel.stats.join_seeds <= 200,
+            "bounded overshoot at threads={threads}"
+        );
+    }
+    // ASK short-circuits to a single seed (exact only at threads = 1;
+    // N workers may claim a couple of chunks before the counter gates).
+    let ask = db
+        .engine_with(
+            EngineKind::Lbr,
+            &EngineOptions {
+                threads: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .execute(&parse_query("ASK { ?s <p> <o> . }").unwrap())
+        .unwrap();
+    assert_eq!(ask.boolean(), Some(true));
+    assert_eq!(ask.stats.join_seeds, 1, "existence needs one seed");
+    // ORDER BY disables the pushdown: every seed must be enumerated.
+    let ordered = db
+        .execute("SELECT * WHERE { ?s <p> <o> . } ORDER BY ?s LIMIT 10")
+        .unwrap();
+    assert_eq!(ordered.len(), 10);
+    assert_eq!(ordered.stats.join_seeds, 200);
+}
+
+/// Satellite bugfix: `SELECT ?x` where `?x` never occurs in the WHERE
+/// pattern must yield an all-unbound column on every engine — never an
+/// error or a panic (SPARQL projection semantics).
+#[test]
+fn projection_of_pattern_absent_variable_is_all_unbound() {
+    let db = sitcom_db();
+    let query = "PREFIX : <> SELECT ?f ?ghost WHERE { :Jerry :hasFriend ?f . }";
+    assert_all_agree(&db, query);
+    let out = db.execute(query).unwrap();
+    assert_eq!(out.vars, vec!["f", "ghost"]);
+    assert_eq!(out.len(), 2);
+    assert!(out.rows.iter().all(|r| r[0].is_some() && r[1].is_none()));
+    // Pure-ghost projection: one all-NULL column per solution.
+    let query = "PREFIX : <> SELECT ?ghost WHERE { :Jerry :hasFriend ?f . }";
+    assert_all_agree(&db, query);
+    assert_eq!(db.execute(query).unwrap().len(), 2);
+    // Ghost columns interact correctly with the modifiers (ORDER BY a
+    // ghost is a constant key; DISTINCT collapses the all-NULL rows).
+    let query = "PREFIX : <> SELECT DISTINCT ?ghost WHERE { :Jerry :hasFriend ?f . }
+        ORDER BY ?ghost";
+    assert_all_agree(&db, query);
+    assert_eq!(db.execute(query).unwrap().len(), 1);
+}
+
 #[test]
 fn deep_nesting_fig_2_1b_shape_with_data() {
     let db = Database::from_triples(vec![

@@ -31,10 +31,7 @@ fn assert_transformed_semantics(db: &Database, query: &str) {
     // Oracle: per-UNF-branch transformation, bag-unioned, minimum-union'd.
     let mut truth_rows: Vec<Vec<Option<lbr::core::Binding>>> = Vec::new();
     for branch in lbr::sparql::rewrite_to_unf(&q.pattern) {
-        let transformed = lbr::Query {
-            select: lbr::sparql::Selection::All,
-            pattern: transform_nwd_pattern(&branch.pattern),
-        };
+        let transformed = lbr::Query::select_all(transform_nwd_pattern(&branch.pattern));
         assert!(
             is_well_designed(&transformed.pattern),
             "transformation must converge to WD"

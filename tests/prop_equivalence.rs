@@ -4,10 +4,13 @@
 //! baseline. Random queries cover nested/sibling OPTIONALs, inner joins,
 //! acyclic and cyclic shapes — the whole Figure 3.1 well-designed family.
 
-use lbr::baseline::{evaluate_reference, JoinOrder, PairwiseEngine, Semantics};
-use lbr::sparql::algebra::{GraphPattern, Query, Selection, TermPattern, TriplePattern};
-use lbr::{Database, Term, Triple};
+use lbr::baseline::{evaluate_reference, EngineOptions, JoinOrder, PairwiseEngine, Semantics};
+use lbr::sparql::algebra::{
+    Dedup, GraphPattern, Modifiers, OrderKey, Query, TermPattern, TriplePattern,
+};
+use lbr::{Database, EngineKind, Term, Triple};
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 const ENTITIES: [&str; 10] = ["e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
 const PREDICATES: [&str; 5] = ["p0", "p1", "p2", "p3", "p4"];
@@ -209,7 +212,7 @@ proptest! {
         let mut visible = Vec::new();
         let pattern = gen.build(&shape, &mut visible);
         prop_assume!(lbr::sparql::is_well_designed(&pattern));
-        let query = Query { select: Selection::All, pattern };
+        let query = Query::select_all(pattern);
         let proj = query.projected_vars();
         prop_assume!(!proj.is_empty());
 
@@ -251,10 +254,142 @@ proptest! {
         let class = lbr::sparql::classify(&pattern).unwrap();
         prop_assume!(!class.cyclic && class.connected);
         prop_assume!(supernodes_internally_connected(&pattern));
-        let query = Query { select: Selection::All, pattern };
+        let query = Query::select_all(pattern);
         prop_assume!(!query.projected_vars().is_empty());
         let out = db.execute_query(&query).unwrap();
         prop_assert!(!out.stats.nb_required);
         prop_assert_eq!(out.stats.nullification_fired, 0);
+    }
+}
+
+/// Decoded rows of one engine run (in the engine's output order).
+fn decoded_rows(
+    db: &Database,
+    kind: EngineKind,
+    threads: usize,
+    query: &Query,
+) -> Vec<Vec<Option<String>>> {
+    db.engine_with(
+        kind,
+        &EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        },
+    )
+    .execute(query)
+    .unwrap_or_else(|e| panic!("{kind} (threads={threads}) failed on {query}: {e}"))
+    .decode(db.dict())
+    .into_iter()
+    .map(|r| r.into_iter().map(|t| t.map(|x| x.to_string())).collect())
+    .collect()
+}
+
+fn counted(rows: &[Vec<Option<String>>]) -> HashMap<&[Option<String>], isize> {
+    let mut m: HashMap<&[Option<String>], isize> = HashMap::new();
+    for r in rows {
+        *m.entry(r.as_slice()).or_default() += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_global_rejects: 16384,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random DISTINCT / ORDER BY / LIMIT / OFFSET combinations over
+    /// random well-designed patterns: every `EngineKind` × threads
+    /// {1, 2, 8} must match the reference oracle — exactly (sequence) when
+    /// ORDER BY covers all projected columns, set-equal under DISTINCT,
+    /// and prefix-of-the-full-bag (right count, right multiplicities)
+    /// under un-ordered LIMIT/OFFSET where engines may legitimately pick
+    /// different-but-valid slices.
+    #[test]
+    fn modifier_combinations_match_the_oracle(
+        triples in arb_graph(),
+        shape in arb_shape(),
+        distinct in any::<bool>(),
+        ordered in any::<bool>(),
+        desc_bits in any::<u8>(),
+        limit_raw in 0usize..7,
+        offset in 0usize..4,
+    ) {
+        // The vendored proptest has no Option strategy: 0 = no LIMIT.
+        let limit = limit_raw.checked_sub(1);
+        let db = Database::from_triples(triples);
+        let mut gen = Gen { fresh: 0 };
+        let mut visible = Vec::new();
+        let pattern = gen.build(&shape, &mut visible);
+        prop_assume!(lbr::sparql::is_well_designed(&pattern));
+        let base = Query::select_all(pattern);
+        let proj = base.projected_vars();
+        prop_assume!(!proj.is_empty());
+
+        // ORDER BY all projected columns (when ordering): ties can only be
+        // identical rows, so the sequence is engine-independent.
+        let order_by: Vec<OrderKey> = if ordered {
+            proj.iter()
+                .enumerate()
+                .map(|(i, v)| OrderKey {
+                    var: v.clone(),
+                    descending: desc_bits >> (i % 8) & 1 == 1,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut query = base.with_modifiers(Modifiers {
+            order_by,
+            limit,
+            offset,
+        });
+        if distinct {
+            if let lbr::sparql::QueryForm::Select { dedup, .. } = &mut query.form {
+                *dedup = Dedup::Distinct;
+            }
+        }
+
+        // The full (un-sliced) reference answer, for subset checks.
+        let mut unsliced = query.clone();
+        unsliced.modifiers.limit = None;
+        unsliced.modifiers.offset = 0;
+        let full = decoded_rows(&db, EngineKind::Reference, 1, &unsliced);
+        let expect_len = full.len().saturating_sub(offset).min(limit.unwrap_or(usize::MAX));
+        let truth = decoded_rows(&db, EngineKind::Reference, 1, &query);
+        prop_assert_eq!(truth.len(), expect_len, "oracle slice length on {}", query);
+
+        for kind in EngineKind::all() {
+            for threads in [1usize, 2, 8] {
+                let rows = decoded_rows(&db, kind, threads, &query);
+                if ordered {
+                    // Fully-ordered: exact sequence equality.
+                    prop_assert_eq!(
+                        &rows, &truth,
+                        "{} (threads={}) ordered sequence deviates on {}",
+                        kind, threads, query
+                    );
+                } else {
+                    prop_assert_eq!(
+                        rows.len(), expect_len,
+                        "{} (threads={}) row count deviates on {}",
+                        kind, threads, query
+                    );
+                    // Every returned row (with multiplicity) comes from the
+                    // full answer bag; without LIMIT/OFFSET that pins the
+                    // exact bag (set under DISTINCT).
+                    let have = counted(&rows);
+                    let avail = counted(&full);
+                    for (row, n) in have {
+                        prop_assert!(
+                            avail.get(row).copied().unwrap_or(0) >= n,
+                            "{} (threads={}) invents row {:?} on {}",
+                            kind, threads, row, query
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -94,6 +94,7 @@ proptest! {
             dims: db.store().dims(),
             dict: db.dict(),
             fan_filters: Vec::new(),
+            quota: None,
         };
         let (rows, stats) = multi_way_join(&inputs);
         prop_assert_eq!(stats.nullification_fired, 0, "Lemma 3.3 violated (repair fired)");

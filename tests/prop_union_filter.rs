@@ -5,7 +5,7 @@
 //! cross-branch best-match must remove — the property that guards it.
 
 use lbr::baseline::{evaluate_reference, Semantics};
-use lbr::sparql::algebra::{Expr, GraphPattern, Query, Selection, TermPattern, TriplePattern};
+use lbr::sparql::algebra::{Expr, GraphPattern, Query, TermPattern, TriplePattern};
 use lbr::{Database, Term, Triple};
 use proptest::prelude::*;
 
@@ -114,7 +114,7 @@ proptest! {
     ) {
         let db = Database::from_triples(triples);
         let pattern = shaped_query(kind, p, e);
-        let query = Query { select: Selection::All, pattern };
+        let query = Query::select_all(pattern);
         let proj = query.projected_vars();
 
         let truth =
