@@ -138,6 +138,23 @@ impl EngineKind {
     }
 }
 
+// Every engine this seam can build is shared across server worker threads
+// behind `Box<dyn Engine>`; `Engine: Send + Sync` makes that a trait
+// obligation, and these assertions pin the concrete types over both
+// catalog backends so a future non-sync field fails here, loudly.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<LbrEngine<'static, lbr_bitmat::BitMatStore>>();
+    assert_send_sync::<LbrEngine<'static, lbr_bitmat::DiskCatalog>>();
+    assert_send_sync::<PairwiseEngine<'static, lbr_bitmat::BitMatStore>>();
+    assert_send_sync::<PairwiseEngine<'static, lbr_bitmat::DiskCatalog>>();
+    assert_send_sync::<ReorderedEngine<'static, lbr_bitmat::BitMatStore>>();
+    assert_send_sync::<ReorderedEngine<'static, lbr_bitmat::DiskCatalog>>();
+    assert_send_sync::<ReferenceEngine<'static, lbr_bitmat::BitMatStore>>();
+    assert_send_sync::<ReferenceEngine<'static, lbr_bitmat::DiskCatalog>>();
+    assert_send_sync::<dyn Engine>();
+};
+
 impl fmt::Display for EngineKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())

@@ -118,6 +118,9 @@ pub struct DatasetReport {
     /// Geometric means per baseline engine, over the queries that engine
     /// completed.
     pub geomean_baselines: Vec<EngineTime>,
+    /// `lbr-server` serving throughput over this dataset (all queries
+    /// round-robin through the shared plan cache).
+    pub serve: ServeReport,
 }
 
 /// A prepared (indexed) dataset.
@@ -225,6 +228,131 @@ pub fn run_engine(p: &Prepared, text: &str, kind: EngineKind) -> Option<f64> {
     Some(total / RUNS as f64)
 }
 
+/// Serving throughput of `lbr-server` over one dataset: real HTTP
+/// requests on the loopback interface, all Appendix E queries round-robin
+/// across concurrent clients, answered from the shared plan cache.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// End-to-end queries per second (request written → full response
+    /// read), summed over all clients.
+    pub qps: f64,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests issued (all answered 200).
+    pub requests: u32,
+    /// Plan-cache hits at the end of the run.
+    pub cache_hits: u64,
+    /// Plan-cache misses (one per distinct query: planning ran once).
+    pub cache_misses: u64,
+}
+
+/// Percent-encodes a query for a `?query=` parameter.
+fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 3);
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => {
+                out.push('%');
+                out.push(
+                    char::from_digit((b >> 4) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit((b & 0xf) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One HTTP GET against the endpoint; panics unless the server answers
+/// 200 (the bench doubles as a smoke test of the serving path).
+fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to lbr-server");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200 "),
+        "serve bench got a non-200: {}",
+        response.lines().next().unwrap_or("")
+    );
+    response
+}
+
+/// Boots `lbr-server` on an ephemeral loopback port over the prepared
+/// dataset and measures serving throughput: `clients` concurrent
+/// connections issue `rounds` rounds of every dataset query (one request
+/// per connection, like real SPARQL Protocol clients). The first round
+/// is a warm-up that populates the plan cache and is not timed.
+pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
+    let db = std::sync::Arc::new(lbr::Database::from_encoded(p.graph.clone()));
+    let workers = bench_threads();
+    let server = lbr_server::Server::bind(
+        "127.0.0.1:0",
+        db,
+        lbr_server::ServerConfig {
+            workers,
+            cache_capacity: 64,
+            read_timeout: Duration::from_secs(30),
+        },
+    )
+    .expect("bind lbr-server")
+    .spawn()
+    .expect("spawn lbr-server");
+    let addr = server.addr();
+    let targets: Vec<String> = p
+        .dataset
+        .queries
+        .iter()
+        .map(|q| format!("/sparql?query={}", urlencode(&q.text)))
+        .collect();
+
+    // Warm-up: every query planned once, cache populated.
+    for target in &targets {
+        http_get(addr, target);
+    }
+
+    let requests = (clients as u32) * rounds * (targets.len() as u32);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let targets = &targets;
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    // Stagger start points so clients do not hit the same
+                    // query in lockstep.
+                    for i in 0..targets.len() {
+                        let target = &targets[(client + round as usize + i) % targets.len()];
+                        http_get(addr, target);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+
+    let cache = server.cache_stats();
+    ServeReport {
+        qps: requests as f64 / elapsed.max(1e-9),
+        workers,
+        clients,
+        requests,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    }
+}
+
 fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
     let n = xs.clone().count();
     if n == 0 {
@@ -288,8 +416,14 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
         geomean_lbr: geomean(rows.iter().map(|r| r.t_total)),
         geomean_baselines,
         rows,
+        serve: run_serve(p, SERVE_CLIENTS, SERVE_ROUNDS),
     }
 }
+
+/// Concurrent clients of the serve-mode throughput measurement.
+pub const SERVE_CLIENTS: usize = 4;
+/// Timed rounds (of all dataset queries, per client) of the serve bench.
+pub const SERVE_ROUNDS: u32 = 2;
 
 /// Formats seconds the way the paper's tables do.
 pub fn fmt_secs(s: f64) -> String {
@@ -361,6 +495,18 @@ pub fn render_table(r: &DatasetReport) -> String {
         "geometric means: LBR {}, {}",
         fmt_secs(r.geomean_lbr),
         gm.join(", "),
+    );
+    let serve = &r.serve;
+    let _ = writeln!(
+        s,
+        "serving: {:.0} q/s end-to-end over HTTP ({} workers, {} clients, \
+         {} requests, plan cache {} hits / {} misses)",
+        serve.qps,
+        serve.workers,
+        serve.clients,
+        serve.requests,
+        serve.cache_hits,
+        serve.cache_misses,
     );
     s
 }
@@ -481,7 +627,19 @@ impl DatasetReport {
             }
             g.write_json(&mut out);
         }
-        out.push_str("]}");
+        out.push_str("],\"serve\":{\"qps\":");
+        json_f64(&mut out, self.serve.qps);
+        let _ = write!(
+            out,
+            ",\"workers\":{},\"clients\":{},\"requests\":{},\
+             \"cache_hits\":{},\"cache_misses\":{}}}",
+            self.serve.workers,
+            self.serve.clients,
+            self.serve.requests,
+            self.serve.cache_hits,
+            self.serve.cache_misses
+        );
+        out.push('}');
         out
     }
 }
@@ -528,6 +686,26 @@ mod tests {
         assert!(json.contains("\"t_total_mt\"") && json.contains("\"speedup\""));
         assert!(json.contains("\"t_limit10\"") && json.contains("\"limit10_seeds\""));
         assert!(table.contains("Tlim10"));
+        // The serve-mode throughput column: real HTTP requests were
+        // answered, every repeated query from the plan cache.
+        let serve = &report.serve;
+        assert!(serve.qps > 0.0);
+        assert_eq!(
+            serve.requests,
+            (SERVE_CLIENTS as u32) * SERVE_ROUNDS * report.rows.len() as u32
+        );
+        assert_eq!(
+            serve.cache_misses,
+            report.rows.len() as u64,
+            "one plan per query"
+        );
+        assert_eq!(
+            serve.cache_hits, serve.requests as u64,
+            "every timed request hit"
+        );
+        assert!(json.contains("\"serve\":{\"qps\":"), "{json}");
+        assert!(json.contains("\"cache_hits\""), "{json}");
+        assert!(table.contains("serving:"), "{table}");
     }
 
     #[test]

@@ -34,7 +34,13 @@ pub struct CubeDims {
 /// them destructively per query. `Option::None` means "no triples" (e.g. a
 /// subject that never occurs); out-of-range keys are also `None` so the
 /// engine can treat unknown constants as empty patterns.
-pub trait Catalog {
+///
+/// A catalog is `Sync`: every engine holds `&C` and a query service (the
+/// parallel multi-way join, `lbr-server`'s worker pool) shares one catalog
+/// across threads, so loads must be safe to issue concurrently.
+/// [`crate::BitMatStore`] is immutable after build; [`crate::DiskCatalog`]
+/// serializes file access behind a `Mutex` internally.
+pub trait Catalog: Sync {
     /// Bitcube dimensions.
     fn dims(&self) -> CubeDims;
 

@@ -43,7 +43,14 @@ pub fn default_threads() -> usize {
 /// `execute` / `execute_planned` wrap it with the shared modifier seam,
 /// `solutions` streams, and `plan_query` / `execute_planned` support
 /// prepared queries.
-pub trait Engine {
+///
+/// Engines are `Send + Sync` by contract: a serving layer (`lbr-server`'s
+/// worker pool, the shared plan cache) fires queries at one engine — or at
+/// engines borrowing one catalog — from many threads at once. Engines are
+/// read-only over `&self`, so the bound is structural for all in-tree
+/// executors (thin `&Catalog + &Dictionary` structs); an engine that wants
+/// interior caching must make it thread-safe (`Mutex`/atomics).
+pub trait Engine: Send + Sync {
     /// Stable engine name (what `--engine` accepts, e.g. `"lbr"`).
     fn name(&self) -> &'static str;
 
@@ -79,8 +86,9 @@ pub trait Engine {
 
     /// Runs the engine's planning pipeline once, returning an opaque plan
     /// that [`Engine::execute_planned`] reuses. Engines without a
-    /// planning phase return a unit plan.
-    fn plan_query(&self, query: &Query) -> Result<Box<dyn Any>, LbrError> {
+    /// planning phase return a unit plan. Plans are `Send + Sync` so a
+    /// shared plan cache can hand one plan to concurrent executions.
+    fn plan_query(&self, query: &Query) -> Result<Box<dyn Any + Send + Sync>, LbrError> {
         let _ = query;
         Ok(Box::new(()))
     }

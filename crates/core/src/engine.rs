@@ -576,7 +576,7 @@ impl<C: Catalog> Engine for LbrEngine<'_, C> {
         crate::explain::explain(query, self.dict, self.catalog)
     }
 
-    fn plan_query(&self, query: &Query) -> Result<Box<dyn Any>, LbrError> {
+    fn plan_query(&self, query: &Query) -> Result<Box<dyn Any + Send + Sync>, LbrError> {
         Ok(Box::new(self.plan(query)?))
     }
 

@@ -90,3 +90,54 @@ pub struct QueryStats {
     /// (§5 "simple optimization").
     pub aborted_empty: bool,
 }
+
+/// Monotone aggregation of [`QueryStats`] across many executions — what a
+/// long-lived query service (the `lbr-server` worker pool, `lbr-cli
+/// --repeat`) accumulates and surfaces in its `/stats` endpoint.
+///
+/// All counters only ever grow; snapshotting at any moment is sound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsAggregate {
+    /// Successfully executed queries.
+    pub queries: u64,
+    /// Queries that failed (parse or execution error).
+    pub errors: u64,
+    /// Σ result rows over all successful queries.
+    pub rows: u64,
+    /// Σ result rows carrying at least one NULL binding.
+    pub rows_with_nulls: u64,
+    /// Σ end-to-end execution time of successful queries.
+    pub t_total: std::time::Duration,
+    /// Σ multi-way-join (+ best-match) time.
+    pub t_join: std::time::Duration,
+    /// Σ root seeds the multi-way join enumerated.
+    pub join_seeds: u64,
+    /// Queries whose classification required nullification/best-match.
+    pub nb_required_queries: u64,
+}
+
+impl StatsAggregate {
+    /// Folds one successful execution's stats in.
+    pub fn record(&mut self, stats: &QueryStats) {
+        self.queries += 1;
+        self.rows += stats.n_results as u64;
+        self.rows_with_nulls += stats.n_results_with_nulls as u64;
+        self.t_total += stats.t_total;
+        self.t_join += stats.t_join;
+        self.join_seeds += stats.join_seeds;
+        self.nb_required_queries += u64::from(stats.nb_required);
+    }
+
+    /// Counts one failed query.
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Mean end-to-end time of the successful queries (zero when none ran).
+    pub fn avg_total(&self) -> std::time::Duration {
+        match u32::try_from(self.queries) {
+            Ok(n) if n > 0 => self.t_total / n,
+            _ => std::time::Duration::ZERO,
+        }
+    }
+}

@@ -1,0 +1,716 @@
+//! # lbr-server
+//!
+//! A W3C **SPARQL 1.1 Protocol** HTTP endpoint over the LBR engine — the
+//! serving layer of the workspace, built on `std::net` with zero
+//! external dependencies.
+//!
+//! * `GET /sparql?query=…` and `POST /sparql` (both
+//!   `application/x-www-form-urlencoded` and raw
+//!   `application/sparql-query` bodies) execute queries;
+//! * `Accept` negotiation selects the W3C SPARQL JSON
+//!   (`application/sparql-results+json`, the default), W3C TSV
+//!   (`text/tab-separated-values`) or the CLI's human table
+//!   (`text/plain`) — responses are **streamed** onto the socket through
+//!   `lbr::format`'s writer-generic serializers, byte-identical to
+//!   `lbr-cli --format` output for the same query;
+//! * every execution goes through one shared [`lbr::PlanCache`], so a
+//!   repeated query (modulo whitespace) skips parsing + UNF rewrite +
+//!   GoSN/GoJ planning entirely;
+//! * `GET /healthz` answers `ok`; `GET /stats` reports plan-cache
+//!   hit/miss/eviction counters and aggregated
+//!   [`StatsAggregate`](lbr_core::StatsAggregate) query statistics as
+//!   JSON.
+//!
+//! Concurrency model: a fixed-size worker pool (one OS thread per
+//! worker) pops accepted connections off an `mpsc` channel and serves
+//! one request per connection (`Connection: close`). All workers share
+//! one `Arc<Database>` — engines are thin read-only borrows, and
+//! `Engine: Send + Sync` makes the sharing a compile-time guarantee.
+//!
+//! ```no_run
+//! use lbr::Database;
+//! use lbr_server::{Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(Database::from_ntriples("<a> <p> <b> .").unwrap());
+//! let server = Server::bind("127.0.0.1:7878", db, ServerConfig::default()).unwrap();
+//! eprintln!("listening on http://{}", server.local_addr().unwrap());
+//! server.run().unwrap(); // blocks, serving forever
+//! ```
+
+pub mod http;
+
+use http::{parse_form, read_request, write_error, write_head, write_text};
+use http::{HttpError, Request};
+use lbr::core::{LbrError, StatsAggregate};
+use lbr::{Database, OutputFormat, PlanCache};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests (default: available parallelism,
+    /// at least 2 so one slow query cannot starve `/healthz`).
+    pub workers: usize,
+    /// Plan-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Per-connection socket read timeout (dead clients cannot pin a
+    /// worker forever).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: lbr::core::api::default_threads().max(2),
+            cache_capacity: 256,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared per-server state handed to every worker.
+struct Service {
+    db: Arc<Database>,
+    cache: PlanCache,
+    agg: Mutex<StatsAggregate>,
+    read_timeout: Duration,
+}
+
+/// A bound (but not yet serving) SPARQL endpoint.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the endpoint. Use port `0` for an ephemeral port and read it
+    /// back with [`Server::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: Arc<Database>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            service: Arc::new(Service {
+                db,
+                cache: PlanCache::new(config.cache_capacity),
+                agg: Mutex::new(StatsAggregate::default()),
+                read_timeout: config.read_timeout,
+            }),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serves forever on the calling thread (workers run on their own
+    /// threads). Only returns on listener failure.
+    pub fn run(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.serve(stop)
+    }
+
+    /// Serves on background threads, returning a handle that stops the
+    /// server when dropped — what tests and the bench harness use.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let service = Arc::clone(&self.service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let _ = self.serve(stop2);
+        });
+        Ok(ServerHandle {
+            addr,
+            service,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    fn serve(self, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let receiver = Arc::clone(&receiver);
+            let service = Arc::clone(&self.service);
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the recv lock only while popping keeps the
+                // pool work-stealing: whichever worker is free takes the
+                // next connection.
+                let next = receiver.lock().expect("worker queue poisoned").recv();
+                match next {
+                    Ok(stream) => service.handle_connection(stream),
+                    Err(_) => return, // acceptor gone: shut down
+                }
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // Only fails when every worker died; surface as done.
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // Transient accept errors (EMFILE, aborted handshake)
+                    // should not kill the server.
+                    eprintln!("lbr-server: accept error: {e}");
+                }
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// A running server (from [`Server::spawn`]); stops on drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Plan-cache counters (what `/stats` reports).
+    pub fn cache_stats(&self) -> lbr::CacheStats {
+        self.service.cache.stats()
+    }
+
+    /// Aggregated query statistics (what `/stats` reports).
+    pub fn query_stats(&self) -> StatsAggregate {
+        self.service.agg.lock().expect("stats poisoned").clone()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Service {
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        match read_request(&mut reader) {
+            Ok(request) => {
+                if let Err(err) = self.respond(&request, &mut writer) {
+                    // Headers may already be out; best effort only.
+                    let _ = write_error(&mut writer, &err);
+                }
+            }
+            Err(err) => {
+                let _ = write_error(&mut writer, &err);
+            }
+        }
+        let _ = writer.flush();
+    }
+
+    /// Routes one request. Returns `Err` only while nothing has been
+    /// written yet, so the caller can still emit a clean error response.
+    fn respond(&self, request: &Request, w: &mut impl Write) -> Result<(), HttpError> {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                // Write failures past this point mean the client hung up;
+                // the response has (partially) started, so per this
+                // method's contract they are swallowed, not turned into a
+                // trailing error response.
+                let _ = write_text(w, 200, "ok\n");
+            }
+            (_, "/healthz") => return Err(HttpError::method_not_allowed("GET")),
+            ("GET", "/stats") => {
+                let body = self.stats_json();
+                let _ = write_head(
+                    w,
+                    200,
+                    "application/json",
+                    &[("Content-Length", &body.len().to_string())],
+                )
+                .and_then(|()| w.write_all(body.as_bytes()));
+            }
+            (_, "/stats") => return Err(HttpError::method_not_allowed("GET")),
+            ("GET", "/sparql") => {
+                let query = query_from_get(request)?;
+                self.execute(&query, request, w)?;
+            }
+            ("POST", "/sparql") => {
+                let query = query_from_post(request)?;
+                self.execute(&query, request, w)?;
+            }
+            (_, "/sparql") => return Err(HttpError::method_not_allowed("GET, POST")),
+            _ => {
+                return Err(HttpError::new(
+                    404,
+                    format!(
+                        "no such resource {}; the endpoint is /sparql (plus /healthz, /stats)",
+                        request.path
+                    ),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a SPARQL query through the shared plan cache and streams
+    /// the negotiated serialization straight onto the socket.
+    fn execute(
+        &self,
+        query_text: &str,
+        request: &Request,
+        w: &mut impl Write,
+    ) -> Result<(), HttpError> {
+        let format = negotiate(request.header("accept"))?;
+        let cached = self
+            .cache
+            .get_or_prepare(&self.db, query_text)
+            .map_err(|e| self.query_error(e))?;
+        let output = self
+            .db
+            .execute_plan(&cached)
+            .map_err(|e| self.query_error(e))?;
+        self.agg
+            .lock()
+            .expect("stats poisoned")
+            .record(&output.stats);
+        // From the first head byte on, errors are swallowed: the response
+        // is underway and `respond`'s contract ("Err only while nothing
+        // has been written") forbids bolting a 500 onto a half-sent 200
+        // body. An i/o failure here means the client hung up — closing
+        // the connection (which truncates the close-delimited body) is
+        // all that can be signalled.
+        let _ = write_head(w, 200, format.media_type(), &[])
+            .and_then(|()| format.write_to(w, cached.query(), &output, self.db.dict()));
+        Ok(())
+    }
+
+    fn query_error(&self, e: LbrError) -> HttpError {
+        self.agg.lock().expect("stats poisoned").record_error();
+        match e {
+            // The client's query is at fault.
+            LbrError::Sparql(_) | LbrError::Unsupported(_) => HttpError::new(400, e.to_string()),
+            // The server (or its configuration) is.
+            LbrError::BitMat(_) | LbrError::ResourceLimit(_) => HttpError::new(500, e.to_string()),
+        }
+    }
+
+    /// `/stats` as hand-rolled JSON (no serde in the build environment).
+    fn stats_json(&self) -> String {
+        let cache = self.cache.stats();
+        let agg = self.agg.lock().expect("stats poisoned").clone();
+        format!(
+            concat!(
+                "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"len\":{},\"capacity\":{}}},",
+                "\"queries\":{{\"ok\":{},\"errors\":{},\"rows\":{},",
+                "\"rows_with_nulls\":{},\"nb_required\":{},\"join_seeds\":{},",
+                "\"t_total_ms\":{:.3},\"avg_ms\":{:.3}}},",
+                "\"database\":{{\"engine\":\"{}\",\"triples\":{},\"threads\":{}}}}}\n"
+            ),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.len,
+            cache.capacity,
+            agg.queries,
+            agg.errors,
+            agg.rows,
+            agg.rows_with_nulls,
+            agg.nb_required_queries,
+            agg.join_seeds,
+            agg.t_total.as_secs_f64() * 1e3,
+            agg.avg_total().as_secs_f64() * 1e3,
+            self.db.engine_kind(),
+            self.db.len(),
+            self.db.threads(),
+        )
+    }
+}
+
+/// Extracts the query from a GET request's query string (`?query=…`,
+/// percent-decoded with `+` as space).
+fn query_from_get(request: &Request) -> Result<String, HttpError> {
+    let qs = request
+        .query_string
+        .as_deref()
+        .ok_or_else(|| HttpError::new(400, "missing query string (?query=…)"))?;
+    let pairs = parse_form(qs)?;
+    pairs
+        .into_iter()
+        .find(|(k, _)| k == "query")
+        .map(|(_, v)| v)
+        .ok_or_else(|| HttpError::new(400, "missing 'query' parameter"))
+}
+
+/// Extracts the query from a POST body per its `Content-Type`: the two
+/// SPARQL Protocol flavors are urlencoded forms and raw
+/// `application/sparql-query`; anything else is 415.
+fn query_from_post(request: &Request) -> Result<String, HttpError> {
+    match request.content_type().as_deref() {
+        Some("application/x-www-form-urlencoded") => {
+            let body = std::str::from_utf8(&request.body)
+                .map_err(|_| HttpError::new(400, "form body is not UTF-8"))?;
+            parse_form(body)?
+                .into_iter()
+                .find(|(k, _)| k == "query")
+                .map(|(_, v)| v)
+                .ok_or_else(|| HttpError::new(400, "missing 'query' form field"))
+        }
+        Some("application/sparql-query") => String::from_utf8(request.body.clone())
+            .map_err(|_| HttpError::new(400, "query body is not UTF-8")),
+        Some(other) => Err(HttpError::new(
+            415,
+            format!(
+                "unsupported media type '{other}'; use application/x-www-form-urlencoded \
+                 or application/sparql-query"
+            ),
+        )),
+        None => Err(HttpError::new(
+            415,
+            "missing Content-Type; use application/x-www-form-urlencoded \
+             or application/sparql-query",
+        )),
+    }
+}
+
+/// Content negotiation over `Accept`: first acceptable media range wins
+/// (q-values are ignored — list order is the preference order).
+/// No header, an empty header, or a wildcard selects the protocol
+/// default, W3C SPARQL JSON. Unmatchable ranges are 406.
+pub fn negotiate(accept: Option<&str>) -> Result<OutputFormat, HttpError> {
+    let Some(accept) = accept else {
+        return Ok(OutputFormat::Json);
+    };
+    let mut saw_any = false;
+    for item in accept.split(',') {
+        let media = item
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_ascii_lowercase();
+        if media.is_empty() {
+            continue;
+        }
+        saw_any = true;
+        match media.as_str() {
+            "application/sparql-results+json" | "application/json" => {
+                return Ok(OutputFormat::Json)
+            }
+            "text/tab-separated-values" => return Ok(OutputFormat::Tsv),
+            "text/plain" => return Ok(OutputFormat::Table),
+            "*/*" | "application/*" => return Ok(OutputFormat::Json),
+            "text/*" => return Ok(OutputFormat::Tsv),
+            _ => continue,
+        }
+    }
+    if !saw_any {
+        return Ok(OutputFormat::Json);
+    }
+    Err(HttpError::new(
+        406,
+        format!(
+            "no acceptable representation for '{accept}'; offered: \
+             application/sparql-results+json, text/tab-separated-values, text/plain"
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr::parse_query;
+    use std::io::Read;
+
+    const DATA: &str = r#"
+        <Jerry> <hasFriend> <Julia> .
+        <Jerry> <hasFriend> <Larry> .
+        <Julia> <actedIn> <Seinfeld> .
+        <Seinfeld> <location> <NewYorkCity> .
+    "#;
+
+    fn serve() -> ServerHandle {
+        let db = Arc::new(Database::from_ntriples(DATA).unwrap());
+        let config = ServerConfig {
+            workers: 4,
+            cache_capacity: 8,
+            read_timeout: Duration::from_secs(5),
+        };
+        Server::bind("127.0.0.1:0", db, config)
+            .unwrap()
+            .spawn()
+            .unwrap()
+    }
+
+    /// Sends one raw HTTP request; returns (status, headers, body).
+    fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("numeric status");
+        let (head, body) = response.split_once("\r\n\r\n").expect("blank line");
+        (status, head.to_string(), body.to_string())
+    }
+
+    fn get(addr: SocketAddr, target: &str, accept: Option<&str>) -> (u16, String, String) {
+        let accept_line = accept.map_or(String::new(), |a| format!("Accept: {a}\r\n"));
+        roundtrip(
+            addr,
+            &format!("GET {target} HTTP/1.1\r\nHost: t\r\n{accept_line}\r\n"),
+        )
+    }
+
+    fn post(addr: SocketAddr, content_type: Option<&str>, body: &str) -> (u16, String, String) {
+        let ct = content_type.map_or(String::new(), |c| format!("Content-Type: {c}\r\n"));
+        roundtrip(
+            addr,
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\n{ct}Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    const QUERY: &str = "SELECT * WHERE { <Jerry> <hasFriend> ?friend . } ORDER BY ?friend";
+    const QUERY_ENC: &str =
+        "SELECT+*+WHERE+%7B+%3CJerry%3E+%3ChasFriend%3E+%3Ffriend+.+%7D+ORDER+BY+%3Ffriend";
+
+    fn expected(format: OutputFormat) -> String {
+        let db = Database::from_ntriples(DATA).unwrap();
+        let q = parse_query(QUERY).unwrap();
+        let out = db.execute_query(&q).unwrap();
+        format.render(&q, &out, db.dict())
+    }
+
+    #[test]
+    fn get_query_streams_w3c_json() {
+        let server = serve();
+        let (status, head, body) = get(server.addr(), &format!("/sparql?query={QUERY_ENC}"), None);
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            head.contains("Content-Type: application/sparql-results+json"),
+            "{head}"
+        );
+        assert_eq!(body, expected(OutputFormat::Json));
+    }
+
+    #[test]
+    fn post_both_flavors_match_get() {
+        let server = serve();
+        let (status, _, body) = post(
+            server.addr(),
+            Some("application/x-www-form-urlencoded"),
+            &format!("query={QUERY_ENC}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected(OutputFormat::Json));
+
+        let (status, _, body) = post(server.addr(), Some("application/sparql-query"), QUERY);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected(OutputFormat::Json));
+    }
+
+    #[test]
+    fn accept_negotiation_selects_tsv_and_table() {
+        let server = serve();
+        let target = format!("/sparql?query={QUERY_ENC}");
+        let (status, head, body) = get(server.addr(), &target, Some("text/tab-separated-values"));
+        assert_eq!(status, 200);
+        assert!(
+            head.contains("Content-Type: text/tab-separated-values"),
+            "{head}"
+        );
+        assert_eq!(body, expected(OutputFormat::Tsv));
+
+        let (status, _, body) = get(server.addr(), &target, Some("text/plain"));
+        assert_eq!(status, 200);
+        assert_eq!(body, expected(OutputFormat::Table));
+
+        // q-values and params are tolerated; first acceptable range wins.
+        let (status, _, body) = get(
+            server.addr(),
+            &target,
+            Some("application/xml, application/sparql-results+json;q=0.9"),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, expected(OutputFormat::Json));
+    }
+
+    #[test]
+    fn ask_boolean_over_http() {
+        let server = serve();
+        let (status, _, body) = get(
+            server.addr(),
+            "/sparql?query=ASK+%7B+%3CJerry%3E+%3ChasFriend%3E+%3Ff+.+%7D",
+            None,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, "{\"head\":{},\"boolean\":true}\n");
+    }
+
+    #[test]
+    fn status_codes() {
+        let server = serve();
+        let addr = server.addr();
+        // 400: malformed escape, missing parameter, bad SPARQL.
+        assert_eq!(get(addr, "/sparql?query=%G1", None).0, 400);
+        assert_eq!(get(addr, "/sparql?query=SELECT%20WHERE%20%7B", None).0, 400);
+        assert_eq!(get(addr, "/sparql?other=1", None).0, 400);
+        assert_eq!(get(addr, "/sparql", None).0, 400);
+        // 404: unknown path.
+        assert_eq!(get(addr, "/nope", None).0, 404);
+        // 405: wrong method, with Allow.
+        let (status, head, _) = roundtrip(addr, "PUT /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        assert!(head.contains("Allow: GET, POST"), "{head}");
+        let (status, _, _) = roundtrip(
+            addr,
+            "POST /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+        // 406: unmatchable Accept.
+        assert_eq!(
+            get(
+                addr,
+                &format!("/sparql?query={QUERY_ENC}"),
+                Some("application/xml")
+            )
+            .0,
+            406
+        );
+        // 411: POST without Content-Length.
+        let (status, _, _) = roundtrip(addr, "POST /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 411);
+        // 415: POST with the wrong media type.
+        assert_eq!(post(addr, Some("text/turtle"), QUERY).0, 415);
+        assert_eq!(post(addr, None, QUERY).0, 415);
+    }
+
+    #[test]
+    fn healthz_and_stats_with_cache_hits() {
+        let server = serve();
+        let addr = server.addr();
+        let (status, _, body) = get(addr, "/healthz", None);
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        // Two identical queries: 1 miss then 1 hit; an error increments
+        // the error counter but never the cache.
+        let target = format!("/sparql?query={QUERY_ENC}");
+        assert_eq!(get(addr, &target, None).0, 200);
+        assert_eq!(get(addr, &target, None).0, 200);
+        assert_eq!(get(addr, "/sparql?query=NONSENSE", None).0, 400);
+
+        let (status, head, body) = get(addr, "/stats", None);
+        assert_eq!(status, 200);
+        assert!(head.contains("Content-Type: application/json"), "{head}");
+        assert!(body.contains("\"hits\":1"), "{body}");
+        assert!(body.contains("\"misses\":"), "{body}");
+        assert!(body.contains("\"evictions\":0"), "{body}");
+        assert!(body.contains("\"ok\":2"), "{body}");
+        assert!(body.contains("\"errors\":1"), "{body}");
+        assert!(body.contains("\"rows\":4"), "{body}"); // 2 runs × 2 friends
+                                                        // The unparseable query never reached the cache: 1 miss, 1 hit.
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(server.query_stats().queries, 2);
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_oracle_answers() {
+        let server = serve();
+        let addr = server.addr();
+        let json = expected(OutputFormat::Json);
+        let tsv = expected(OutputFormat::Tsv);
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let (json, tsv) = (&json, &tsv);
+                scope.spawn(move || {
+                    for round in 0..6 {
+                        if (i + round) % 2 == 0 {
+                            let (status, _, body) =
+                                get(addr, &format!("/sparql?query={QUERY_ENC}"), None);
+                            assert_eq!((status, body.as_str()), (200, json.as_str()));
+                        } else {
+                            let (status, _, body) = get(
+                                addr,
+                                &format!("/sparql?query={QUERY_ENC}"),
+                                Some("text/tab-separated-values"),
+                            );
+                            assert_eq!((status, body.as_str()), (200, tsv.as_str()));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = server.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 48);
+        // One canonical query: only the initial lookups can race into
+        // planning, so misses are bounded by the worker count.
+        assert!(stats.misses <= 4, "{stats:?}");
+        assert_eq!(server.query_stats().queries, 48);
+    }
+
+    #[test]
+    fn negotiation_unit_cases() {
+        assert_eq!(negotiate(None).unwrap(), OutputFormat::Json);
+        assert_eq!(negotiate(Some("")).unwrap(), OutputFormat::Json);
+        assert_eq!(negotiate(Some("*/*")).unwrap(), OutputFormat::Json);
+        assert_eq!(negotiate(Some("text/*")).unwrap(), OutputFormat::Tsv);
+        assert_eq!(
+            negotiate(Some("Application/Sparql-Results+JSON")).unwrap(),
+            OutputFormat::Json
+        );
+        assert_eq!(
+            negotiate(Some("application/xml, text/plain;q=0.2")).unwrap(),
+            OutputFormat::Table
+        );
+        assert_eq!(negotiate(Some("application/xml")).unwrap_err().status, 406);
+    }
+}

@@ -1,0 +1,141 @@
+//! `lbr-server` — serve SPARQL 1.1 Protocol queries over an N-Triples
+//! file.
+//!
+//! ```sh
+//! lbr-server data.nt                          # http://127.0.0.1:7878/sparql
+//! lbr-server data.nt --addr 0.0.0.0:8080 --workers 8 --cache 512
+//! lbr-server data.nt --index data.lbr         # lazy on-disk BitMat index
+//!
+//! curl 'http://127.0.0.1:7878/sparql?query=SELECT%20*%20WHERE%20%7B%20%3Fs%20%3Fp%20%3Fo%20%7D'
+//! curl -d 'query=ASK { ?s ?p ?o }' http://127.0.0.1:7878/sparql
+//! curl -H 'Content-Type: application/sparql-query' \
+//!      -H 'Accept: text/tab-separated-values' \
+//!      --data-binary 'SELECT * WHERE { ?s ?p ?o }' http://127.0.0.1:7878/sparql
+//! ```
+//!
+//! Options: `--addr HOST:PORT` (default `127.0.0.1:7878`; port `0` picks
+//! an ephemeral port, printed on startup), `--workers N` (request
+//! threads), `--cache N` (plan-cache entries), `--engine
+//! lbr|pairwise|query-order|reordered|reference`, `--threads N`
+//! (intra-query join workers), `--index path.lbr`.
+//!
+//! On startup the server prints exactly one line to stdout —
+//! `listening on http://ADDR` — so scripts (and CI) can discover an
+//! ephemeral port; everything else goes to stderr.
+
+use lbr::{Database, EngineKind};
+use lbr_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    data: Option<String>,
+    index: Option<String>,
+    addr: String,
+    engine: EngineKind,
+    threads: Option<usize>,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        data: None,
+        index: None,
+        addr: "127.0.0.1:7878".into(),
+        engine: EngineKind::Lbr,
+        threads: None,
+        config: ServerConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => o.addr = args.next().ok_or("--addr needs a value")?,
+            "--engine" => {
+                let name = args.next().ok_or("--engine needs a value")?;
+                o.engine = name.parse()?;
+            }
+            "--workers" => {
+                let n = args.next().ok_or("--workers needs a value")?;
+                o.config.workers = parse_nonzero(&n, "--workers")?;
+            }
+            "--cache" => {
+                let n = args.next().ok_or("--cache needs a value")?;
+                o.config.cache_capacity = parse_nonzero(&n, "--cache")?;
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a value")?;
+                o.threads = Some(parse_nonzero(&n, "--threads")?);
+            }
+            "--index" => o.index = Some(args.next().ok_or("--index needs a value")?),
+            "--help" | "-h" => return Err("help".into()),
+            _ if o.data.is_none() => o.data = Some(a),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_nonzero(s: &str, flag: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|_| format!("bad {flag} value '{s}'"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: lbr-server <data.nt> [--addr HOST:PORT] [--workers N] [--cache N] \
+         [--engine lbr|pairwise|query-order|reordered|reference] [--threads N] \
+         [--index path.lbr]"
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            if e == "help" {
+                usage();
+                return ExitCode::from(2);
+            }
+            eprintln!("error: {e}");
+            if e.contains("unexpected") || e.contains("no ") {
+                usage();
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let Some(data) = &opts.data else {
+        return Err("no input data (an .nt file)".into());
+    };
+
+    let mut builder = Database::builder().engine(opts.engine).ntriples_file(data);
+    if let Some(threads) = opts.threads {
+        builder = builder.threads(threads);
+    }
+    if let Some(index) = &opts.index {
+        builder = builder.disk_index(index);
+    }
+    let db = Arc::new(builder.build().map_err(|e| e.to_string())?);
+    eprintln!(
+        "lbr-server: {} triples, engine {}, {} join threads",
+        db.len(),
+        db.engine_kind(),
+        db.threads()
+    );
+
+    let workers = opts.config.workers;
+    let cache = opts.config.cache_capacity;
+    let server = Server::bind(opts.addr.as_str(), db, opts.config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("lbr-server: {workers} workers, plan cache {cache} entries");
+    // The one stdout line: lets scripts discover an ephemeral port.
+    println!("listening on http://{addr}");
+    server.run().map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,465 @@
+//! A thread-safe LRU **plan cache**: the serving layer's front door to
+//! the planning pipeline.
+//!
+//! Planning a query (parse → UNF rewrite → GoSN/GoJ analysis →
+//! classification → selectivity estimates → jvar order) costs far more
+//! than re-executing a prepared plan, and a serving workload repeats a
+//! small set of query shapes millions of times. [`PlanCache`] memoizes
+//! [`Engine::plan_query`](lbr_core::Engine::plan_query) results keyed by
+//! the *canonicalized* query text (whitespace collapsed outside string
+//! literals), so `curl`-style reformatting still hits.
+//!
+//! The cache stores [`CachedPlan`]s — parsed [`Query`] + the engine's
+//! opaque `Send + Sync` plan — rather than borrowing engines, so one
+//! cache can outlive any particular engine instance and be shared freely
+//! across an `Arc<Database>` worker pool. A hit skips parsing and
+//! planning entirely; execution builds a fresh (thin, borrow-only)
+//! engine per call via [`Database::execute_plan`].
+//!
+//! Hit / miss / eviction counters are monotone atomics, surfaced by
+//! [`PlanCache::stats`] in `lbr-server`'s `/stats` endpoint and in
+//! `lbr-cli --repeat` output.
+
+use crate::{Database, EngineKind, Query};
+use lbr_core::LbrError;
+use std::any::Any;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached planning result: the parsed query, the engine kind it was
+/// planned on, and that engine's opaque plan.
+///
+/// Execution re-binds the plan to a fresh engine of the same kind
+/// ([`Database::execute_plan`]); engines fall back to unprepared
+/// execution when handed a foreign plan, so a stale entry can never
+/// produce wrong results — only wasted planning.
+pub struct CachedPlan {
+    query: Query,
+    kind: EngineKind,
+    plan: Box<dyn Any + Send + Sync>,
+}
+
+impl CachedPlan {
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The engine kind the plan was produced by.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The engine's opaque plan (what
+    /// [`Engine::execute_planned`](lbr_core::Engine::execute_planned)
+    /// downcasts).
+    pub fn plan(&self) -> &(dyn Any + Send + Sync) {
+        self.plan.as_ref()
+    }
+}
+
+/// A monotone snapshot of the cache counters plus current occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the planning pipeline.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries.
+    pub capacity: usize,
+}
+
+struct Entry {
+    cached: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Logical clock: bumped per touch, orders entries for LRU eviction.
+    clock: u64,
+}
+
+/// A fixed-capacity, thread-safe, least-recently-used plan cache.
+///
+/// Interior locking: one `Mutex` guards the map (planning itself runs
+/// *outside* the lock so a slow plan never serializes unrelated hits),
+/// and the counters are relaxed atomics. Eviction scans for the LRU
+/// entry, which is O(capacity) — capacities are small (tens to
+/// thousands), misses are rare by design, and the scan only runs on
+/// insert-over-capacity.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the cached plan for `text`, planning (and caching) it on
+    /// `db`'s default engine on a miss.
+    ///
+    /// Two threads missing on the same key concurrently both plan, but
+    /// only the first insert sticks — the loser adopts the winner's entry
+    /// so the cache never holds duplicates.
+    pub fn get_or_prepare(&self, db: &Database, text: &str) -> Result<Arc<CachedPlan>, LbrError> {
+        let key = canonicalize(text);
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.cached));
+            }
+        }
+
+        // Miss: run the planning pipeline outside the lock.
+        let query = crate::parse_query(text)?;
+        let engine = db.engine();
+        let plan = engine.plan_query(&query)?;
+        let cached = Arc::new(CachedPlan {
+            query,
+            kind: db.engine_kind(),
+            plan,
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.entry(key) {
+            MapEntry::Occupied(mut occupied) => {
+                // Raced with another planner: keep the incumbent.
+                occupied.get_mut().last_used = clock;
+                return Ok(Arc::clone(&occupied.get().cached));
+            }
+            MapEntry::Vacant(vacant) => {
+                vacant.insert(Entry {
+                    cached: Arc::clone(&cached),
+                    last_used: clock,
+                });
+            }
+        }
+        while inner.entries.len() > self.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has an LRU entry");
+            inner.entries.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(cached)
+    }
+
+    /// Snapshots the counters (hits/misses/evictions are monotone).
+    pub fn stats(&self) -> CacheStats {
+        let len = self
+            .inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters keep their values).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .clear();
+    }
+}
+
+/// The cache key: query text with `#`-to-end-of-line comments stripped
+/// and runs of whitespace collapsed to one space (and trimmed at both
+/// ends), except inside `"…"` string literals where every byte is
+/// significant. `SELECT * WHERE { ?s <p> ?o . }` and its pretty-printed
+/// or commented forms share one cache entry; queries differing inside a
+/// literal do not.
+///
+/// Comment handling must mirror the parser exactly: `# LIMIT 1` on its
+/// own line is dead text while a bare `LIMIT 1` is a modifier, so
+/// treating `#` literally would let two semantically different queries
+/// collide on one cache key — and the cache would serve one of them the
+/// other's plan. Conversely the parser lexes `<…>` verbatim up to the
+/// closing `>`, so a `#` *inside* an IRI (`<http://ex.org/ns#p>`) is not
+/// a comment — IRI spans are preserved byte-for-byte here too. Where the
+/// grammar is ambiguous without full parsing (a `<` that is really a
+/// FILTER less-than), this errs toward *distinct* keys: a conservative
+/// key costs a duplicate plan, never a wrong one.
+pub fn canonicalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    let mut in_string = false;
+    let mut in_iri = false;
+    let mut in_comment = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        if in_iri {
+            out.push(c);
+            if c == '>' {
+                in_iri = false;
+            }
+            continue;
+        }
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+                pending_space = !out.is_empty();
+            }
+            continue;
+        }
+        if c == '#' {
+            // A comment runs to end of line and reads as whitespace,
+            // exactly like the parser's lexer skips it.
+            in_comment = true;
+            continue;
+        }
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        out.push(c);
+        if c == '"' {
+            in_string = true;
+        } else if c == '<' {
+            in_iri = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::from_ntriples(
+            r#"
+            <a> <p> <b> .
+            <a> <p> <c> .
+            <b> <q> <x> .
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonicalization_collapses_whitespace_outside_strings() {
+        assert_eq!(
+            canonicalize("  SELECT *\n\tWHERE  { ?s <p> ?o . }\n"),
+            "SELECT * WHERE { ?s <p> ?o . }"
+        );
+        // Whitespace inside a string literal is preserved verbatim…
+        assert_eq!(
+            canonicalize("SELECT * WHERE { ?s <p> \"a  b\\\"c  d\" . }"),
+            "SELECT * WHERE { ?s <p> \"a  b\\\"c  d\" . }"
+        );
+        // …so two queries differing only inside a literal stay distinct.
+        assert_ne!(
+            canonicalize("ASK { ?s <p> \"a b\" . }"),
+            canonicalize("ASK { ?s <p> \"a  b\" . }")
+        );
+    }
+
+    #[test]
+    fn canonicalization_strips_comments_like_the_parser() {
+        // A commented-out modifier is dead text; a live one is not. The
+        // two must NOT share a cache key (regression: a literal '#' let
+        // them collide and the cache served one query the other's plan).
+        let commented = "SELECT * WHERE { ?s <p> ?o . }\n# LIMIT 1";
+        let live = "SELECT * WHERE { ?s <p> ?o . }\nLIMIT 1";
+        assert_ne!(canonicalize(commented), canonicalize(live));
+        assert_eq!(canonicalize(commented), "SELECT * WHERE { ?s <p> ?o . }");
+        // A trailing comment hiding a modifier keeps the modifier dead.
+        assert_eq!(
+            canonicalize("SELECT * WHERE { ?s <p> ?o . } #\nLIMIT 1"),
+            "SELECT * WHERE { ?s <p> ?o . } LIMIT 1"
+        );
+        // Comment-only differences share one key (parser-equivalent).
+        assert_eq!(
+            canonicalize("# header\nASK { ?s <p> ?o . } # trailing"),
+            canonicalize("ASK { ?s <p> ?o . }")
+        );
+        // '#' inside an IRI is part of the IRI, never a comment…
+        assert_eq!(
+            canonicalize("ASK { ?s <http://ex.org/ns#p> ?o . }"),
+            "ASK { ?s <http://ex.org/ns#p> ?o . }"
+        );
+        // …and distinct fragments stay distinct keys.
+        assert_ne!(
+            canonicalize("ASK { ?s <http://e/#a> ?o . }"),
+            canonicalize("ASK { ?s <http://e/#b> ?o . }")
+        );
+        // '#' inside a string literal is literal text.
+        assert_eq!(
+            canonicalize("ASK { ?s <p> \"a#b\" . }"),
+            "ASK { ?s <p> \"a#b\" . }"
+        );
+    }
+
+    #[test]
+    fn commented_and_live_modifiers_execute_differently_through_the_cache() {
+        let db = db();
+        let cache = PlanCache::new(4);
+        let commented = db
+            .execute_cached(&cache, "SELECT * WHERE { <a> <p> ?o . }\n# LIMIT 1")
+            .unwrap();
+        let live = db
+            .execute_cached(&cache, "SELECT * WHERE { <a> <p> ?o . }\nLIMIT 1")
+            .unwrap();
+        assert_eq!(commented.rows.len(), 2, "comment is dead text");
+        assert_eq!(live.rows.len(), 1, "live LIMIT applies");
+        assert_eq!(cache.stats().misses, 2, "two distinct cache entries");
+    }
+
+    #[test]
+    fn hit_after_prepare() {
+        let db = db();
+        let cache = PlanCache::new(4);
+        let q = "SELECT * WHERE { ?s <p> ?o . }";
+        let out1 = db.execute_cached(&cache, q).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+        // Reformatted text hits the same entry.
+        let out2 = db
+            .execute_cached(&cache, "SELECT *\n  WHERE {\n    ?s <p> ?o .\n  }")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(out1.rows, out2.rows);
+        // And the cached result equals the uncached path.
+        assert_eq!(out1.rows, db.execute(q).unwrap().rows);
+    }
+
+    #[test]
+    fn capacity_one_evicts() {
+        let db = db();
+        let cache = PlanCache::new(1);
+        let q1 = "SELECT * WHERE { ?s <p> ?o . }";
+        let q2 = "SELECT * WHERE { ?s <q> ?o . }";
+        db.execute_cached(&cache, q1).unwrap();
+        assert_eq!(cache.stats().len, 1);
+        db.execute_cached(&cache, q2).unwrap(); // evicts q1
+        let s = cache.stats();
+        assert_eq!((s.misses, s.evictions, s.len), (2, 1, 1));
+        db.execute_cached(&cache, q1).unwrap(); // q1 must re-plan
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 3, 2));
+        db.execute_cached(&cache, q1).unwrap(); // now a hit
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let db = db();
+        let cache = PlanCache::new(2);
+        let q1 = "SELECT * WHERE { ?s <p> ?o . }";
+        let q2 = "SELECT * WHERE { ?s <q> ?o . }";
+        let q3 = "ASK { ?s <p> ?o . }";
+        db.execute_cached(&cache, q1).unwrap();
+        db.execute_cached(&cache, q2).unwrap();
+        db.execute_cached(&cache, q1).unwrap(); // touch q1: q2 is now LRU
+        db.execute_cached(&cache, q3).unwrap(); // evicts q2
+        db.execute_cached(&cache, q1).unwrap(); // still cached
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 3, 1));
+    }
+
+    #[test]
+    fn stats_counters_monotone() {
+        let db = db();
+        let cache = PlanCache::new(2);
+        let queries = [
+            "SELECT * WHERE { ?s <p> ?o . }",
+            "ASK { ?s <q> ?o . }",
+            "SELECT ?s WHERE { ?s <p> ?o . } LIMIT 1",
+        ];
+        let mut prev = cache.stats();
+        assert_eq!(prev, CacheStats::default().with_capacity(2));
+        for i in 0..12 {
+            db.execute_cached(&cache, queries[i % queries.len()])
+                .unwrap();
+            let now = cache.stats();
+            assert!(now.hits >= prev.hits, "hits not monotone");
+            assert!(now.misses >= prev.misses, "misses not monotone");
+            assert!(now.evictions >= prev.evictions, "evictions not monotone");
+            assert_eq!(now.hits + now.misses, i as u64 + 1, "every lookup counted");
+            assert!(now.len <= now.capacity);
+            prev = now;
+        }
+        assert!(
+            prev.evictions > 0,
+            "3 queries through capacity 2 must evict"
+        );
+    }
+
+    #[test]
+    fn parse_error_is_not_cached() {
+        let db = db();
+        let cache = PlanCache::new(4);
+        assert!(db.execute_cached(&cache, "SELECT WHERE {").is_err());
+        let s = cache.stats();
+        assert_eq!((s.len, s.hits), (0, 0));
+    }
+
+    impl CacheStats {
+        fn with_capacity(mut self, capacity: usize) -> CacheStats {
+            self.capacity = capacity;
+            self
+        }
+    }
+}

@@ -3,6 +3,14 @@
 //! Formats* (TSV variant), plus the human-oriented table rendering the
 //! CLI defaults to.
 //!
+//! Every serializer is **streaming**: the `write_*` functions emit onto
+//! any [`io::Write`] sink row by row, so a multi-million-row result set
+//! is never materialized as one `String` — `lbr-server` points them
+//! straight at the client socket. The [`json`] / [`tsv`] / [`table`]
+//! `String` functions are thin wrappers over the same writers (via an
+//! in-memory `Vec<u8>`), so both paths are byte-identical by
+//! construction.
+//!
 //! Unbound cells (OPTIONAL NULLs) follow each spec: the variable is
 //! *omitted* from a JSON binding object, and an *empty field* in TSV.
 //! `ASK` results serialize as `{"head":{},"boolean":…}` in JSON; TSV and
@@ -12,9 +20,10 @@
 use lbr_core::QueryOutput;
 use lbr_rdf::{Dictionary, Term};
 use lbr_sparql::Query;
-use std::fmt::Write as _;
+use std::io::{self, Write};
 
-/// Output format selector for the CLI (`--format`).
+/// Output format selector for the CLI (`--format`) and the server's
+/// `Accept` negotiation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutputFormat {
     /// Tab-separated human-readable table with a header row and `NULL`
@@ -38,33 +47,72 @@ impl OutputFormat {
         }
     }
 
-    /// Renders an output in this format.
-    pub fn render(self, query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+    /// The MIME type this format serves under (what `lbr-server` puts in
+    /// `Content-Type` and matches `Accept` headers against).
+    pub fn media_type(self) -> &'static str {
         match self {
-            OutputFormat::Table => table(query, output, dict),
-            OutputFormat::Json => {
-                let mut s = json(query, output, dict);
-                s.push('\n');
-                s
-            }
-            OutputFormat::Tsv => tsv(query, output, dict),
+            OutputFormat::Table => "text/plain",
+            OutputFormat::Json => "application/sparql-results+json",
+            OutputFormat::Tsv => "text/tab-separated-values",
         }
     }
+
+    /// Streams an output in this format onto a writer — byte-identical to
+    /// what [`OutputFormat::render`] returns (JSON gets the same trailing
+    /// newline).
+    pub fn write_to<W: Write>(
+        self,
+        w: &mut W,
+        query: &Query,
+        output: &QueryOutput,
+        dict: &Dictionary,
+    ) -> io::Result<()> {
+        match self {
+            OutputFormat::Table => write_table(w, query, output, dict),
+            OutputFormat::Json => {
+                write_json(w, query, output, dict)?;
+                w.write_all(b"\n")
+            }
+            OutputFormat::Tsv => write_tsv(w, query, output, dict),
+        }
+    }
+
+    /// Renders an output in this format.
+    pub fn render(self, query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf, query, output, dict)
+            .expect("writing to a Vec cannot fail");
+        utf8(buf)
+    }
+}
+
+fn utf8(buf: Vec<u8>) -> String {
+    String::from_utf8(buf).expect("serializers emit UTF-8 only")
 }
 
 /// The human-readable table: header row, then one tab-separated line per
 /// solution with `NULL` for unbound cells. `ASK` prints `true`/`false`.
 pub fn table(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+    let mut buf = Vec::new();
+    write_table(&mut buf, query, output, dict).expect("writing to a Vec cannot fail");
+    utf8(buf)
+}
+
+/// Streaming writer behind [`table`].
+pub fn write_table<W: Write>(
+    w: &mut W,
+    query: &Query,
+    output: &QueryOutput,
+    dict: &Dictionary,
+) -> io::Result<()> {
     if query.is_ask() {
-        return format!("{}\n", output.boolean().unwrap_or(false));
+        return writeln!(w, "{}", output.boolean().unwrap_or(false));
     }
-    let mut s = output.vars.join("\t");
-    s.push('\n');
+    writeln!(w, "{}", output.vars.join("\t"))?;
     for line in output.render(dict) {
-        s.push_str(&line);
-        s.push('\n');
+        writeln!(w, "{line}")?;
     }
-    s
+    Ok(())
 }
 
 /// W3C SPARQL 1.1 Query Results JSON:
@@ -72,65 +120,83 @@ pub fn table(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
 /// `{"head":{},"boolean":…}` for ASK. Unbound variables are omitted from
 /// their binding object, per the spec.
 pub fn json(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
-    let mut s = String::new();
+    let mut buf = Vec::new();
+    write_json(&mut buf, query, output, dict).expect("writing to a Vec cannot fail");
+    utf8(buf)
+}
+
+/// Streaming writer behind [`json`] (no trailing newline, like [`json`]).
+pub fn write_json<W: Write>(
+    w: &mut W,
+    query: &Query,
+    output: &QueryOutput,
+    dict: &Dictionary,
+) -> io::Result<()> {
     if query.is_ask() {
-        let _ = write!(
-            s,
+        return write!(
+            w,
             "{{\"head\":{{}},\"boolean\":{}}}",
             output.boolean().unwrap_or(false)
         );
-        return s;
     }
-    s.push_str("{\"head\":{\"vars\":[");
+    w.write_all(b"{\"head\":{\"vars\":[")?;
     for (i, v) in output.vars.iter().enumerate() {
         if i > 0 {
-            s.push(',');
+            w.write_all(b",")?;
         }
-        json_string(&mut s, v);
+        write_json_string(w, v)?;
     }
-    s.push_str("]},\"results\":{\"bindings\":[");
+    w.write_all(b"]},\"results\":{\"bindings\":[")?;
     for (i, row) in output.rows.iter().enumerate() {
         if i > 0 {
-            s.push(',');
+            w.write_all(b",")?;
         }
-        s.push('{');
+        w.write_all(b"{")?;
         let mut first = true;
         for (var, cell) in output.vars.iter().zip(row.iter()) {
             let Some(binding) = cell else {
                 continue; // unbound: omitted from the binding object
             };
             if !first {
-                s.push(',');
+                w.write_all(b",")?;
             }
             first = false;
-            json_string(&mut s, var);
-            s.push(':');
-            json_term(&mut s, binding.decode(dict));
+            write_json_string(w, var)?;
+            w.write_all(b":")?;
+            write_json_term(w, binding.decode(dict))?;
         }
-        s.push('}');
+        w.write_all(b"}")?;
     }
-    s.push_str("]}}");
-    s
+    w.write_all(b"]}}")
 }
 
 /// W3C SPARQL 1.1 Query Results TSV: a `?var` header line, then terms in
 /// their N-Triples serialization, with unbound cells left empty.
 pub fn tsv(query: &Query, output: &QueryOutput, dict: &Dictionary) -> String {
+    let mut buf = Vec::new();
+    write_tsv(&mut buf, query, output, dict).expect("writing to a Vec cannot fail");
+    utf8(buf)
+}
+
+/// Streaming writer behind [`tsv`].
+pub fn write_tsv<W: Write>(
+    w: &mut W,
+    query: &Query,
+    output: &QueryOutput,
+    dict: &Dictionary,
+) -> io::Result<()> {
     if query.is_ask() {
-        return format!("{}\n", output.boolean().unwrap_or(false));
+        return writeln!(w, "{}", output.boolean().unwrap_or(false));
     }
-    let mut s = String::new();
-    s.push_str(&tsv_header(&output.vars));
-    s.push('\n');
+    writeln!(w, "{}", tsv_header(&output.vars))?;
     for row in &output.rows {
         let cells: Vec<Option<&Term>> = row
             .iter()
             .map(|c| c.as_ref().map(|b| b.decode(dict)))
             .collect();
-        s.push_str(&tsv_line(&cells));
-        s.push('\n');
+        writeln!(w, "{}", tsv_line(&cells))?;
     }
-    s
+    Ok(())
 }
 
 /// The TSV header line (`?var1<TAB>?var2`), without the trailing newline.
@@ -150,53 +216,64 @@ pub fn tsv_line(cells: &[Option<&Term>]) -> String {
     line.join("\t")
 }
 
-fn json_term(out: &mut String, term: &Term) {
+fn write_json_term<W: Write>(w: &mut W, term: &Term) -> io::Result<()> {
     match term {
         Term::Iri(v) => {
-            out.push_str("{\"type\":\"uri\",\"value\":");
-            json_string(out, v);
-            out.push('}');
+            w.write_all(b"{\"type\":\"uri\",\"value\":")?;
+            write_json_string(w, v)?;
         }
         Term::BlankNode(v) => {
-            out.push_str("{\"type\":\"bnode\",\"value\":");
-            json_string(out, v);
-            out.push('}');
+            w.write_all(b"{\"type\":\"bnode\",\"value\":")?;
+            write_json_string(w, v)?;
         }
         Term::Literal {
             lexical,
             datatype,
             lang,
         } => {
-            out.push_str("{\"type\":\"literal\",\"value\":");
-            json_string(out, lexical);
+            w.write_all(b"{\"type\":\"literal\",\"value\":")?;
+            write_json_string(w, lexical)?;
             if let Some(dt) = datatype {
-                out.push_str(",\"datatype\":");
-                json_string(out, dt);
+                w.write_all(b",\"datatype\":")?;
+                write_json_string(w, dt)?;
             } else if let Some(l) = lang {
-                out.push_str(",\"xml:lang\":");
-                json_string(out, l);
+                w.write_all(b",\"xml:lang\":")?;
+                write_json_string(w, l)?;
             }
-            out.push('}');
         }
     }
+    w.write_all(b"}")
 }
 
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+fn write_json_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    // Every byte that needs escaping is single-byte ASCII, so scanning
+    // bytes and emitting the unescaped stretches as whole slices is
+    // UTF-8-safe — and keeps this hot path (every term of every result
+    // row `lbr-server` streams) at one `write_all` per run instead of a
+    // formatted write per character.
+    let bytes = s.as_bytes();
+    w.write_all(b"\"")?;
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            b'\t' => b"\\t",
+            b if b < 0x20 => b"",
+            _ => continue,
+        };
+        w.write_all(&bytes[start..i])?;
+        if escape.is_empty() {
+            write!(w, "\\u{:04x}", b)?;
+        } else {
+            w.write_all(escape)?;
         }
+        start = i + 1;
     }
-    out.push('"');
+    w.write_all(&bytes[start..])?;
+    w.write_all(b"\"")
 }
 
 #[cfg(test)]
@@ -291,5 +368,53 @@ mod tests {
             OutputFormat::Json.render(&q, &out, db.dict()),
             json(&q, &out, db.dict()) + "\n"
         );
+    }
+
+    /// The writer path (`write_*` onto a `Vec<u8>`) must be byte-identical
+    /// to the `String` path — pinned against hand-written expected output,
+    /// not just against each other, so a regression in the shared writer
+    /// cannot hide.
+    #[test]
+    fn writer_path_equals_string_path() {
+        let db = db();
+        let q = parse_query(
+            "SELECT ?s ?o ?x WHERE { ?s <p> ?o . OPTIONAL { ?s <q> ?x . } } ORDER BY ?s",
+        )
+        .unwrap();
+        let out = db.execute_query(&q).unwrap();
+
+        let mut buf = Vec::new();
+        write_json(&mut buf, &q, &out, db.dict()).unwrap();
+        let expected = concat!(
+            "{\"head\":{\"vars\":[\"s\",\"o\",\"x\"]},\"results\":{\"bindings\":[",
+            "{\"s\":{\"type\":\"uri\",\"value\":\"a\"},",
+            "\"o\":{\"type\":\"uri\",\"value\":\"b\"},",
+            "\"x\":{\"type\":\"literal\",\"value\":\"x\\ty\"}},",
+            "{\"s\":{\"type\":\"uri\",\"value\":\"c\"},",
+            "\"o\":{\"type\":\"literal\",\"value\":\"hi\",\"xml:lang\":\"en\"}}",
+            "]}}"
+        );
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
+        assert_eq!(json(&q, &out, db.dict()), expected);
+
+        for format in [OutputFormat::Table, OutputFormat::Json, OutputFormat::Tsv] {
+            let mut buf = Vec::new();
+            format.write_to(&mut buf, &q, &out, db.dict()).unwrap();
+            assert_eq!(
+                String::from_utf8(buf).unwrap(),
+                format.render(&q, &out, db.dict()),
+                "{format:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn media_types() {
+        assert_eq!(
+            OutputFormat::Json.media_type(),
+            "application/sparql-results+json"
+        );
+        assert_eq!(OutputFormat::Tsv.media_type(), "text/tab-separated-values");
+        assert_eq!(OutputFormat::Table.media_type(), "text/plain");
     }
 }

@@ -98,8 +98,11 @@
 //!   nullification, best-match), the [`Engine`] trait, the shared
 //!   form/modifier seam (`lbr_core::modifiers`) and the streaming
 //!   [`Solutions`] API;
-//! * [`format`] — W3C SPARQL 1.1 Results JSON / TSV serialization (what
-//!   `lbr-cli --format` emits);
+//! * [`format`] — W3C SPARQL 1.1 Results JSON / TSV serialization,
+//!   streaming over any `io::Write` (what `lbr-cli --format` emits and
+//!   `lbr-server` streams onto the socket);
+//! * [`cache`] — the thread-safe LRU plan cache serving layers share
+//!   ([`PlanCache`], keyed by canonicalized query text);
 //! * [`baseline`] — comparator engines behind [`EngineKind`] (pairwise
 //!   hash joins; outer-join reordering with repair operators; the
 //!   reference oracle);
@@ -113,12 +116,14 @@ pub use lbr_datagen as datagen;
 pub use lbr_rdf as rdf;
 pub use lbr_sparql as sparql;
 
+pub mod cache;
 pub mod format;
 
+pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use format::OutputFormat;
 pub use lbr_baseline::{EngineKind, EngineOptions};
 pub use lbr_bitmat::{BitMatStore, Catalog, DiskCatalog};
-pub use lbr_core::{Engine, LbrEngine, QueryOutput, QueryStats, Row, Solutions};
+pub use lbr_core::{Engine, LbrEngine, QueryOutput, QueryStats, Row, Solutions, StatsAggregate};
 pub use lbr_rdf::{Dictionary, EncodedGraph, Graph, Term, Triple};
 pub use lbr_sparql::{parse_query, Dedup, Modifiers, OrderKey, Query, QueryForm};
 
@@ -425,6 +430,28 @@ impl Database {
         Ok(out.boolean().unwrap_or(!out.is_empty()))
     }
 
+    /// Executes a query through a shared [`PlanCache`]: repeated query
+    /// texts (modulo whitespace) skip parsing + UNF rewrite + GoSN/GoJ
+    /// planning entirely — the serving hot path of `lbr-server` and
+    /// `lbr-cli --repeat`.
+    pub fn execute_cached(
+        &self,
+        cache: &PlanCache,
+        query_text: &str,
+    ) -> Result<QueryOutput, core::LbrError> {
+        let cached = cache.get_or_prepare(self, query_text)?;
+        self.execute_plan(&cached)
+    }
+
+    /// Executes a [`CachedPlan`] on a fresh engine of the kind it was
+    /// planned for. Engines fall back to unprepared execution when the
+    /// plan is foreign (e.g. the cache outlived an engine change), so
+    /// this is always correct — at worst it re-plans.
+    pub fn execute_plan(&self, cached: &CachedPlan) -> Result<QueryOutput, core::LbrError> {
+        self.engine_of(cached.engine_kind())
+            .execute_planned(cached.query(), cached.plan())
+    }
+
     /// Parses and prepares a query on the default engine: the planning
     /// pipeline (parse → UNF rewrite → analyze/classify → jvar order)
     /// runs once here; [`PreparedQuery::execute`] /
@@ -500,8 +527,27 @@ pub struct PreparedQuery<'db> {
     kind: EngineKind,
     engine: Box<dyn Engine + 'db>,
     query: Query,
-    plan: Box<dyn Any>,
+    plan: Box<dyn Any + Send + Sync>,
 }
+
+// The serving layer (`lbr-server`, the shared plan cache, the concurrency
+// tests) shares one `Database` — and prepared queries on it — across a
+// worker pool. Keep that auditable at compile time: if an interior type
+// ever loses `Send + Sync` (an `Rc`, a non-sync cache), this fails to
+// build rather than failing at the `Arc<Database>` use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<DatabaseBuilder>();
+    assert_send_sync::<PreparedQuery<'static>>();
+    assert_send_sync::<cache::PlanCache>();
+    assert_send_sync::<core::StatsAggregate>();
+    // `Engine: Send + Sync` is a supertrait bound, so every engine the
+    // `EngineKind` seam can build satisfies it; assert the trait-object
+    // types the facade actually hands out.
+    assert_send_sync::<dyn Engine>();
+    assert_send_sync::<Box<dyn Engine>>();
+};
 
 impl PreparedQuery<'_> {
     /// Executes the prepared query to a materialized [`QueryOutput`].
