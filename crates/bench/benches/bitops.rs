@@ -2,9 +2,11 @@
 //! built on: `fold`, `unfold`, semi-join and clustered-semi-join (§4, §5).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lbr_bitmat::{BitMat, BitVec, RetainDim};
+use lbr_bitmat::kernel::intersect_into;
+use lbr_bitmat::{BitMat, BitRow, BitVec, RetainDim, SetScratch};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
 
 const N_ROWS: u32 = 50_000;
 const N_COLS: u32 = 50_000;
@@ -98,10 +100,74 @@ fn bench_transpose(c: &mut Criterion) {
     });
 }
 
+/// The run-aware compressed-set kernels: row×row intersection per
+/// representation pair, the in-place mask kernel, and k-way leapfrog.
+fn bench_kernels(c: &mut Criterion) {
+    let blocky = |n_runs: usize, run_len: u32, seed: u64| -> BitRow {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = BTreeSet::new();
+        for _ in 0..n_runs {
+            let s = rng.random_range(0..N_COLS - run_len);
+            for p in s..s + run_len {
+                set.insert(p);
+            }
+        }
+        BitRow::from_sorted_positions(N_COLS, &set.into_iter().collect::<Vec<_>>())
+    };
+    let scatter = |n_bits: usize, seed: u64| -> BitRow {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set: BTreeSet<u32> = (0..n_bits).map(|_| rng.random_range(0..N_COLS)).collect();
+        BitRow::from_sorted_positions(N_COLS, &set.into_iter().collect::<Vec<_>>())
+    };
+    let run_a = blocky(400, 48, 41);
+    let run_b = blocky(400, 48, 42);
+    let sp_a = scatter(2_000, 43);
+    let sp_b = scatter(2_000, 44);
+    let mask = sp_a.to_bitvec();
+    let mut scratch = SetScratch::default();
+    let mut dst = BitRow::empty(N_COLS);
+    c.bench_function("kernel_and_row_runs_runs", |b| {
+        b.iter(|| {
+            run_a.and_row_into(&run_b, &mut dst, &mut scratch);
+            std::hint::black_box(dst.count_ones())
+        })
+    });
+    c.bench_function("kernel_and_row_runs_sparse", |b| {
+        b.iter(|| {
+            run_a.and_row_into(&sp_a, &mut dst, &mut scratch);
+            std::hint::black_box(dst.count_ones())
+        })
+    });
+    c.bench_function("kernel_and_row_sparse_sparse", |b| {
+        b.iter(|| {
+            sp_a.and_row_into(&sp_b, &mut dst, &mut scratch);
+            std::hint::black_box(dst.count_ones())
+        })
+    });
+    c.bench_function("kernel_and_mask_in_place", |b| {
+        // Re-clone per iteration: masking in place would otherwise collapse
+        // the runs row on the first call and time idempotent re-masks of
+        // the tiny result instead of the runs×mask kernel.
+        b.iter(|| {
+            let mut row = run_a.clone();
+            row.and_mask_in_place(&mask, &mut scratch);
+            std::hint::black_box(row.count_ones())
+        })
+    });
+    c.bench_function("kernel_kway_leapfrog_4", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            intersect_into(&[&run_a, &run_b, &sp_a, &sp_b], &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_fold_unfold,
     bench_semijoin_shape,
-    bench_transpose
+    bench_transpose,
+    bench_kernels
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@ use lbr_core::bindings::VarTable;
 use lbr_core::init::init;
 use lbr_core::jvar_order::get_jvar_order;
 use lbr_core::multiway::{multi_way_join, JoinInputs};
-use lbr_core::prune::prune_triples;
+use lbr_core::prune::{prune_triples, PruneScratch};
 use lbr_core::selectivity::estimate_all;
 use lbr_datagen::lubm;
 use lbr_sparql::classify::analyze;
@@ -39,6 +39,7 @@ fn bench_phases(c: &mut Criterion) {
     });
 
     let loaded = init(gosn, &vt, &jorder, &est, &graph.dict, &store).unwrap();
+    let mut scratch = PruneScratch::new();
     c.bench_function("lubm_q1_prune_triples", |b| {
         b.iter(|| {
             let mut tps = loaded.tps.clone();
@@ -49,12 +50,21 @@ fn bench_phases(c: &mut Criterion) {
                 &vt,
                 &jorder,
                 &store.dims(),
+                &mut scratch,
             ))
         })
     });
 
     let mut pruned = loaded.tps.clone();
-    prune_triples(&mut pruned, gosn, goj, &vt, &jorder, &store.dims());
+    prune_triples(
+        &mut pruned,
+        gosn,
+        goj,
+        &vt,
+        &jorder,
+        &store.dims(),
+        &mut scratch,
+    );
     for tp in &mut pruned {
         tp.build_adjacency();
     }

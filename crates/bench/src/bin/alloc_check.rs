@@ -1,0 +1,78 @@
+//! Allocation-regression gate: measures steady-state heap
+//! allocations-per-query on the LUBM sample workload (every Appendix E
+//! query, cached-plan execution, minimum over repeated runs) and fails if
+//! any query exceeds the committed ceiling.
+//!
+//! ```sh
+//! cargo run --release -p lbr-bench --bin alloc_check
+//! ```
+//!
+//! The ceiling is deliberately a hard-committed constant: it encodes the
+//! post-kernel-layer steady state (prune scratch pools + cursor-based
+//! join), so any change that reintroduces per-semi-join or per-recursion
+//! allocation trips CI instead of silently regressing. Loads during
+//! `init` (the engine prunes owned BitMat copies destructively) dominate
+//! the remaining number — that is inherent to the §5 design, not churn.
+
+use lbr_bench::{allocation_count, prepare};
+use lbr_core::LbrEngine;
+use lbr_datagen::lubm;
+use lbr_sparql::parse_query;
+
+#[global_allocator]
+static ALLOC: lbr_bench::CountingAlloc = lbr_bench::CountingAlloc;
+
+/// Fixed part of the per-query allocation ceiling on the LUBM sample
+/// (universities 1, departments 2, seed 3): covers the init-phase BitMat
+/// loads (the engine prunes owned copies destructively) and the
+/// first-pass growth of the scratch pools.
+const BASE_CEILING: u64 = 1_000;
+
+/// Per-result-row allowance: a produced row is cloned out of the reusable
+/// assembly buffer and re-projected onto the execution schema — a few
+/// unavoidable output allocations per row. Anything above this multiple
+/// means per-row churn crept back into the join.
+const PER_ROW: u64 = 4;
+
+fn main() {
+    let ds = lubm::dataset(&lubm::LubmConfig {
+        universities: 1,
+        departments: 2,
+        seed: 3,
+    });
+    let p = prepare(ds);
+    let engine = LbrEngine::new(&p.store, &p.graph.dict).with_threads(1);
+    let mut failed = false;
+    println!(
+        "allocation check: LUBM sample, cached-plan steady state, \
+         ceiling {BASE_CEILING} + {PER_ROW}/result-row"
+    );
+    for q in &p.dataset.queries {
+        let query = parse_query(&q.text).expect("workload query parses");
+        let plan = engine.plan(&query).expect("plan");
+        // Two warm-up executions let every lazy buffer reach its
+        // high-water mark before measuring.
+        engine.execute_plan(&plan).expect("warm-up");
+        let rows = engine.execute_plan(&plan).expect("warm-up").len() as u64;
+        let mut best = u64::MAX;
+        for _ in 0..5 {
+            let a0 = allocation_count();
+            engine.execute_plan(&plan).expect("measured run");
+            best = best.min(allocation_count() - a0);
+        }
+        let ceiling = BASE_CEILING + PER_ROW * rows;
+        let verdict = if best <= ceiling { "ok" } else { "FAIL" };
+        println!(
+            "{:<4} {:>8} allocs/query  (ceiling {ceiling:>6}, {rows} rows)  [{verdict}]",
+            q.id, best
+        );
+        failed |= best > ceiling;
+    }
+    if failed {
+        eprintln!(
+            "FAIL: steady-state allocs-per-query exceeded the committed ceiling \
+             ({BASE_CEILING} + {PER_ROW}/row)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,11 +14,19 @@
 //! `LBR_SEED` (default 42) seeds them.
 
 use lbr_baseline::EngineKind;
-use lbr_bench::{fmt_secs, prepare, render_table, run_dataset, run_engine, run_lbr, Prepared};
+use lbr_bench::{
+    fmt_secs, parse_prev_allocs, prepare, render_table_with_prev, run_dataset, run_engine, run_lbr,
+    Prepared,
+};
 use lbr_bitmat::Catalog;
 use lbr_datagen::{all_datasets, Dataset};
 use lbr_sparql::parse_query;
 use std::time::Instant;
+
+/// Count heap allocations so the `allocs` column (and its before/after
+/// delta against the committed `BENCH_<dataset>.json`) is real data.
+#[global_allocator]
+static ALLOC: lbr_bench::CountingAlloc = lbr_bench::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,14 +99,19 @@ fn table61(datasets: &[Dataset]) {
 }
 
 /// Tables 6.2–6.4: per-query processing times. Each report (including the
-/// serial/multi-threaded LBR columns and the speedup) is also persisted as
-/// `BENCH_<dataset>.json` for EXPERIMENTS.md regeneration.
+/// serial/multi-threaded LBR columns, the speedup and the steady-state
+/// allocs-per-query) is also persisted as `BENCH_<dataset>.json` for
+/// EXPERIMENTS.md regeneration; when a previous baseline file exists, the
+/// `allocs` column prints the before→after delta against it.
 fn table_queries(datasets: &[Dataset], idx: usize, label: &str, json: bool) {
     let p = prepare(datasets[idx].clone());
     println!("\n== Table {label}: query processing times ==");
     let report = run_dataset(&p);
-    print!("{}", render_table(&report));
     let path = format!("BENCH_{}.json", report.name);
+    let prev = std::fs::read_to_string(&path)
+        .map(|old| parse_prev_allocs(&old))
+        .unwrap_or_default();
+    print!("{}", render_table_with_prev(&report, &prev));
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => eprintln!("# wrote {path}"),
         Err(e) => eprintln!("# could not write {path}: {e}"),
@@ -142,7 +155,8 @@ fn ablation_prune(datasets: &[Dataset]) {
     for ds in datasets {
         let p = prepare(ds.clone());
         for q in &p.dataset.queries {
-            let (out, _, t_prune, t_total) = run_lbr(&p, &q.text);
+            let (out, t) = run_lbr(&p, &q.text);
+            let (t_prune, t_total) = (t.t_prune, t.t_total);
             let removed = out
                 .stats
                 .initial_triples
@@ -171,7 +185,8 @@ fn ablation_reorder(datasets: &[Dataset]) {
     for ds in datasets {
         let p: Prepared = prepare(ds.clone());
         let q = &p.dataset.queries[0]; // Q1: the low-selectivity query
-        let (out, _, _, t_lbr) = run_lbr(&p, &q.text);
+        let (out, t) = run_lbr(&p, &q.text);
+        let t_lbr = t.t_total;
         let query = parse_query(&q.text).unwrap();
         let engine = EngineKind::Reordered.build(&p.store, &p.graph.dict);
         let warm = engine.execute(&query).expect("reordered warm-up");

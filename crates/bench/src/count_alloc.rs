@@ -1,0 +1,59 @@
+//! A counting global allocator: the measurement device behind the
+//! `allocs`-per-query bench column and the CI allocation-regression gate.
+//!
+//! Install it in a binary with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: lbr_bench::CountingAlloc = lbr_bench::CountingAlloc;
+//! ```
+//!
+//! and read [`allocation_count`] before/after the region of interest. The
+//! counter tallies every `alloc`/`alloc_zeroed`/`realloc` call (frees are
+//! not counted — the question is "does the steady state allocate?", not
+//! "does it leak?"). When the allocator is *not* installed (e.g. in unit
+//! tests of a host binary with the default allocator) the counter simply
+//! stays at zero and deltas read 0 — callers treat that as "not measured".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The counting allocator (a unit struct; all state is global).
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`, which upholds the contract;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Monotone count of heap allocations since process start (0 when the
+/// counting allocator is not installed as `#[global_allocator]`).
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// True when the counting allocator is demonstrably active (any Rust
+/// program that reached `main` has allocated by then).
+pub fn is_counting() -> bool {
+    allocation_count() > 0
+}

@@ -24,6 +24,9 @@ use lbr_sparql::parse_query;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+pub mod count_alloc;
+pub use count_alloc::{allocation_count, CountingAlloc};
+
 /// Timed runs per query after the warm-up run (the paper uses 5).
 pub const RUNS: u32 = 5;
 
@@ -65,8 +68,14 @@ pub struct QueryRow {
     pub t_init: f64,
     /// LBR `prune_triples` time, averaged.
     pub t_prune: f64,
+    /// LBR multi-way-join (+ best-match) time, averaged.
+    pub t_join: f64,
     /// LBR end-to-end time, averaged (serial: 1 thread).
     pub t_total: f64,
+    /// Steady-state heap allocations of one cached-plan execution
+    /// (minimum over the timed runs, counted by [`CountingAlloc`]; 0 when
+    /// the host binary did not install the counting allocator).
+    pub allocs_per_query: u64,
     /// LBR end-to-end time with [`bench_threads`] workers, averaged.
     pub t_total_mt: f64,
     /// The worker-thread count `t_total_mt` was measured with.
@@ -148,24 +157,57 @@ fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 
+/// Averaged phase timings plus the steady-state allocation count of one
+/// LBR query ([`run_lbr`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LbrTimes {
+    /// Averaged init seconds.
+    pub t_init: f64,
+    /// Averaged prune seconds.
+    pub t_prune: f64,
+    /// Averaged join seconds.
+    pub t_join: f64,
+    /// Averaged end-to-end seconds.
+    pub t_total: f64,
+    /// Minimum heap allocations of one cached-plan execution (0 when the
+    /// counting allocator is not installed).
+    pub allocs_per_query: u64,
+}
+
 /// Runs one query on the serial (1-thread) LBR engine with warm-up,
 /// returning averaged stats and the last output.
 ///
 /// Each timed run is a full `execute` (planning included), matching how
-/// [`run_engine`] times the baselines — the columns stay comparable.
-pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, f64, f64, f64) {
+/// [`run_engine`] times the baselines — the columns stay comparable. The
+/// allocation count is measured separately over cached-plan executions
+/// (the plan-cache serving path): minimum across runs, so one-off lazy
+/// initialization does not pollute the steady-state number.
+pub fn run_lbr(p: &Prepared, text: &str) -> (QueryOutput, LbrTimes) {
     let query = parse_query(text).expect("benchmark query parses");
     let engine = LbrEngine::new(&p.store, &p.graph.dict).with_threads(1);
     let mut out = engine.execute(&query).expect("warm-up run");
-    let (mut t_init, mut t_prune, mut t_total) = (0.0, 0.0, 0.0);
+    let mut t = LbrTimes::default();
     for _ in 0..RUNS {
         out = engine.execute(&query).expect("timed run");
-        t_init += secs(out.stats.t_init);
-        t_prune += secs(out.stats.t_prune);
-        t_total += secs(out.stats.t_total);
+        t.t_init += secs(out.stats.t_init);
+        t.t_prune += secs(out.stats.t_prune);
+        t.t_join += secs(out.stats.t_join);
+        t.t_total += secs(out.stats.t_total);
     }
     let n = RUNS as f64;
-    (out, t_init / n, t_prune / n, t_total / n)
+    t.t_init /= n;
+    t.t_prune /= n;
+    t.t_join /= n;
+    t.t_total /= n;
+    let plan = engine.plan(&query).expect("plan");
+    let mut allocs = u64::MAX;
+    for _ in 0..RUNS {
+        let a0 = allocation_count();
+        engine.execute_plan(&plan).expect("alloc-count run");
+        allocs = allocs.min(allocation_count() - a0);
+    }
+    t.allocs_per_query = allocs;
+    (out, t)
 }
 
 /// Runs one query on the LBR engine with `threads` workers (warm-up
@@ -367,7 +409,7 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
     let mut rows = Vec::new();
     let mt_threads = bench_threads();
     for q in &p.dataset.queries {
-        let (out, t_init, t_prune, t_total) = run_lbr(p, &q.text);
+        let (out, t) = run_lbr(p, &q.text);
         let t_total_mt = run_lbr_threads(p, &q.text, mt_threads, &out);
         let (t_limit10, limit10_seeds) = run_lbr_limit10(p, &q.text);
         let baselines = BASELINE_KINDS
@@ -379,9 +421,11 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
             .collect();
         rows.push(QueryRow {
             id: q.id.to_string(),
-            t_init,
-            t_prune,
-            t_total,
+            t_init: t.t_init,
+            t_prune: t.t_prune,
+            t_join: t.t_join,
+            t_total: t.t_total,
+            allocs_per_query: t.allocs_per_query,
             t_total_mt,
             mt_threads,
             t_limit10,
@@ -439,18 +483,28 @@ pub fn fmt_secs(s: f64) -> String {
 /// Renders a dataset report as the Table 6.2-style fixed-width table
 /// (one column per baseline engine).
 pub fn render_table(r: &DatasetReport) -> String {
+    render_table_with_prev(r, &[])
+}
+
+/// [`render_table`] with a previous baseline's `(query id, allocs)` pairs
+/// (e.g. parsed from a committed `BENCH_<dataset>.json` via
+/// [`parse_prev_allocs`]): the `allocs` column then shows the
+/// before→after delta per query.
+pub fn render_table_with_prev(r: &DatasetReport, prev_allocs: &[(String, u64)]) -> String {
     let mut s = String::new();
     let mt_threads = r.rows.first().map_or(0, |row| row.mt_threads);
     let _ = write!(
         s,
-        "{:<4} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9}",
+        "{:<4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9} {:>16}",
         "",
         "Tinit",
         "Tprune",
+        "Tjoin",
         "Ttotal",
         format!("Tmt({mt_threads})"),
         "spdup",
-        "Tlim10"
+        "Tlim10",
+        "allocs"
     );
     for kind in BASELINE_KINDS {
         let _ = write!(s, " {:>12}", format!("T{}", kind.name()));
@@ -461,16 +515,22 @@ pub fn render_table(r: &DatasetReport) -> String {
         "#initial", "#aftPrune", "#results", "#nulls", "BM?"
     );
     for row in &r.rows {
+        let allocs = match prev_allocs.iter().find(|(id, _)| *id == row.id) {
+            Some(&(_, prev)) => format!("{}→{}", prev, row.allocs_per_query),
+            None => row.allocs_per_query.to_string(),
+        };
         let _ = write!(
             s,
-            "{:<4} {:>9} {:>9} {:>9} {:>9} {:>6.2}x {:>9}",
+            "{:<4} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2}x {:>9} {:>16}",
             row.id,
             fmt_secs(row.t_init),
             fmt_secs(row.t_prune),
+            fmt_secs(row.t_join),
             fmt_secs(row.t_total),
             fmt_secs(row.t_total_mt),
             row.speedup(),
             fmt_secs(row.t_limit10),
+            allocs,
         );
         for b in &row.baselines {
             let _ = write!(s, " {:>12}", b.secs.map_or(">budget".into(), fmt_secs));
@@ -509,6 +569,36 @@ pub fn render_table(r: &DatasetReport) -> String {
         serve.cache_misses,
     );
     s
+}
+
+/// Extracts `(query id, allocs_per_query)` pairs from a previously
+/// committed `BENCH_<dataset>.json` — a targeted scan over the hand-rolled
+/// JSON this crate emits (the environment has no serde), used to print the
+/// before/after allocation delta in the bench table.
+pub fn parse_prev_allocs(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("{\"id\":\"") {
+        let after_id = &rest[i + 7..];
+        let Some(id_end) = after_id.find('"') else {
+            break;
+        };
+        let id = &after_id[..id_end];
+        let tail = &after_id[id_end..];
+        // The allocs field belongs to this row object: stop at the next row.
+        let row_end = tail.find("{\"id\":\"").unwrap_or(tail.len());
+        if let Some(j) = tail[..row_end].find("\"allocs_per_query\":") {
+            let digits: String = tail[j + 19..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(v) = digits.parse() {
+                out.push((id.to_string(), v));
+            }
+        }
+        rest = &after_id[id_end..];
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -564,8 +654,8 @@ impl QueryRow {
         json_str(out, &self.id);
         let _ = write!(
             out,
-            ",\"t_init\":{},\"t_prune\":{}",
-            self.t_init, self.t_prune
+            ",\"t_init\":{},\"t_prune\":{},\"t_join\":{},\"allocs_per_query\":{}",
+            self.t_init, self.t_prune, self.t_join, self.allocs_per_query
         );
         let _ = write!(out, ",\"t_total\":{}", self.t_total);
         let _ = write!(
@@ -685,7 +775,21 @@ mod tests {
         assert!(json.contains("\"engine\":\"pairwise\""));
         assert!(json.contains("\"t_total_mt\"") && json.contains("\"speedup\""));
         assert!(json.contains("\"t_limit10\"") && json.contains("\"limit10_seeds\""));
+        assert!(json.contains("\"t_join\"") && json.contains("\"allocs_per_query\""));
         assert!(table.contains("Tlim10"));
+        assert!(table.contains("Tjoin") && table.contains("allocs"));
+        // The before/after delta renders when a previous baseline is known.
+        let prev = parse_prev_allocs(&json);
+        assert_eq!(prev.len(), report.rows.len());
+        assert_eq!(prev[0].0, "Q1");
+        let delta_table = render_table_with_prev(&report, &prev);
+        assert!(
+            delta_table.contains(&format!(
+                "{}→{}",
+                report.rows[0].allocs_per_query, report.rows[0].allocs_per_query
+            )),
+            "{delta_table}"
+        );
         // The serve-mode throughput column: real HTTP requests were
         // answered, every repeated query from the plan cache.
         let serve = &report.serve;

@@ -6,7 +6,10 @@
 //! masks (the core of a semi-join) is a straight word loop.
 
 /// A fixed-length dense bit vector.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Default` is the zero-length vector — the natural seed for a reusable
+/// scratch accumulator that [`BitVec::reset`] will size on first use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitVec {
     words: Vec<u64>,
     len: u32,
@@ -57,6 +60,12 @@ impl BitVec {
     /// Number of bits.
     pub fn len(&self) -> u32 {
         self.len
+    }
+
+    /// Capacity of the word buffer — lets scratch-pool owners observe
+    /// whether an in-place operation had to grow (allocate).
+    pub fn word_capacity(&self) -> usize {
+        self.words.capacity()
     }
 
     /// True when `len == 0`.
@@ -129,6 +138,58 @@ impl BitVec {
     /// mask windows without per-bit calls.
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Raw word access (mutable), used by the word-batched sparse path of
+    /// [`crate::BitRow::or_into`].
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Reuses this vector as an all-zeros vector of `len` bits, keeping the
+    /// word buffer's capacity. Returns `true` when the buffer had to grow
+    /// (i.e. the call allocated); steady-state reuse returns `false`.
+    pub fn reset(&mut self, len: u32) -> bool {
+        let n = Self::n_words(len);
+        let grew = n > self.words.capacity();
+        self.words.clear();
+        self.words.resize(n, 0);
+        self.len = len;
+        grew
+    }
+
+    /// Reuses this vector as an all-ones vector of `len` bits (see
+    /// [`BitVec::reset`]); returns `true` when the buffer had to grow.
+    pub fn reset_ones(&mut self, len: u32) -> bool {
+        let n = Self::n_words(len);
+        let grew = n > self.words.capacity();
+        self.words.clear();
+        self.words.resize(n, u64::MAX);
+        self.len = len;
+        self.trim_tail();
+        grew
+    }
+
+    /// `self |= other`, clipped: bits of `other` beyond `self.len` are
+    /// ignored (the in-place equivalent of `or_assign(&other.resized(..))`).
+    pub fn or_clipped(&mut self, other: &BitVec) {
+        let n = self.words.len().min(other.words.len());
+        for (a, b) in self.words[..n].iter_mut().zip(&other.words[..n]) {
+            *a |= b;
+        }
+        self.trim_tail();
+    }
+
+    /// `self &= other`, clipped: bits beyond `other.len` read as zero (the
+    /// in-place equivalent of `and_assign(&other.resized(self.len))`).
+    pub fn and_clipped(&mut self, other: &BitVec) {
+        let n = self.words.len().min(other.words.len());
+        for (a, b) in self.words[..n].iter_mut().zip(&other.words[..n]) {
+            *a &= b;
+        }
+        for a in self.words[n..].iter_mut() {
+            *a = 0;
+        }
     }
 
     /// A copy resized to `len` bits: truncation drops high bits, extension

@@ -27,11 +27,28 @@
 //!   dense bit-mask (bitwise OR over the other dimension);
 //! * [`BitMat::unfold`] — clear all bits whose coordinate in the retained
 //!   dimension is absent from a mask.
+//!
+//! ## The kernel layer
+//!
+//! Underneath fold/unfold sits the [`kernel`] module: run-aware set-algebra
+//! kernels that operate **directly on the hybrid representations** without
+//! ever densifying a row. The fold/unfold semi-join path runs on the
+//! row×mask kernel (the mask's words streamed through each run window);
+//! the row-level forms — run×run interval clipping, run×sparse probing,
+//! sparse×sparse galloping, and the k-way leapfrog cursor join — make up
+//! the general intersection layer. The in-place entry points
+//! ([`BitRow::and_mask_in_place`], [`BitRow::and_row_into`],
+//! [`kernel::intersect_into`], [`BitMat::unfold_with`],
+//! [`BitMat::fold_or_clipped`]) write into caller-owned [`SetScratch`] /
+//! accumulator buffers, so a steady-state pruning pass performs **zero
+//! heap allocation**: buffers grow to a high-water mark on the first use
+//! and circulate between scratch and destination rows afterwards.
 
 pub mod bitvec;
 pub mod catalog;
 pub mod disk;
 pub mod error;
+pub mod kernel;
 pub mod matrix;
 pub mod row;
 pub mod store;
@@ -40,6 +57,7 @@ pub use bitvec::BitVec;
 pub use catalog::{Catalog, CubeDims};
 pub use disk::DiskCatalog;
 pub use error::BitMatError;
+pub use kernel::{RowCursor, SetScratch};
 pub use matrix::{BitMat, RetainDim};
 pub use row::BitRow;
 pub use store::{BitMatStore, SizeReport};

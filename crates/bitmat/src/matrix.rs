@@ -1,6 +1,7 @@
 //! 2-D BitMats with the paper's `fold` / `unfold` primitives.
 
 use crate::bitvec::BitVec;
+use crate::kernel::SetScratch;
 use crate::row::BitRow;
 
 /// Which dimension a `fold`/`unfold` retains (the paper's
@@ -121,20 +122,33 @@ impl BitMat {
     ///   be decompressed — row presence is already explicit),
     /// * `Col`: the bitwise OR of all rows, streamed run-wise.
     pub fn fold(&self, dim: RetainDim) -> BitVec {
+        let mut v = BitVec::zeros(match dim {
+            RetainDim::Row => self.n_rows,
+            RetainDim::Col => self.n_cols,
+        });
+        self.fold_or_clipped(dim, &mut v);
+        v
+    }
+
+    /// `acc |= fold(BM, dim)`, clipped to `acc.len()` — the in-place fold
+    /// kernel: projects straight into a caller-owned accumulator that may
+    /// live in a shorter (shared-prefix) binding space, without allocating
+    /// the intermediate mask `fold().resized()` would.
+    pub fn fold_or_clipped(&self, dim: RetainDim, acc: &mut BitVec) {
         match dim {
             RetainDim::Row => {
-                let mut v = BitVec::zeros(self.n_rows);
+                // Rows ascend, so the first out-of-space row ends the scan.
                 for &(r, _) in &self.rows {
-                    v.set(r);
+                    if r >= acc.len() {
+                        break;
+                    }
+                    acc.set(r);
                 }
-                v
             }
             RetainDim::Col => {
-                let mut v = BitVec::zeros(self.n_cols);
                 for (_, row) in &self.rows {
-                    row.or_into(&mut v);
+                    row.or_into_clipped(acc);
                 }
-                v
             }
         }
     }
@@ -144,16 +158,33 @@ impl BitMat {
     ///
     /// * `Row`: drops rows absent from the mask (O(#rows), no row touched),
     /// * `Col`: ANDs every row with the mask, dropping emptied rows.
+    ///
+    /// Allocating convenience wrapper over [`BitMat::unfold_with`].
     pub fn unfold(&mut self, mask: &BitVec, dim: RetainDim) {
         match dim {
+            RetainDim::Row => debug_assert_eq!(mask.len(), self.n_rows),
+            RetainDim::Col => debug_assert_eq!(mask.len(), self.n_cols),
+        }
+        let mut scratch = SetScratch::default();
+        self.unfold_with(mask, dim, &mut scratch);
+    }
+
+    /// [`BitMat::unfold`] through caller-owned kernel scratch, with clipped
+    /// mask semantics: mask bits beyond `mask.len()` read as zero, so the
+    /// mask may live in a shorter (shared-prefix) or longer binding space
+    /// without a resizing copy. Steady-state calls perform no heap
+    /// allocation (rows are rewritten in place via
+    /// [`BitRow::and_mask_in_place`]).
+    pub fn unfold_with(&mut self, mask: &BitVec, dim: RetainDim, scratch: &mut SetScratch) {
+        match dim {
             RetainDim::Row => {
-                debug_assert_eq!(mask.len(), self.n_rows);
+                // Out-of-range reads are false, matching the zero-padding
+                // of a resized mask.
                 self.rows.retain(|&(r, _)| mask.get(r));
             }
             RetainDim::Col => {
-                debug_assert_eq!(mask.len(), self.n_cols);
                 for (_, row) in self.rows.iter_mut() {
-                    *row = row.and_mask(mask);
+                    row.and_mask_in_place(mask, scratch);
                 }
                 self.rows.retain(|(_, row)| !row.is_empty());
             }

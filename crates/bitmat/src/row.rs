@@ -16,7 +16,7 @@ use crate::bitvec::BitVec;
 
 /// Compressed representation of one row.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Repr {
+pub(crate) enum Repr {
     /// Maximal `[start, end)` intervals of set bits, ascending, disjoint,
     /// non-adjacent.
     Runs(Vec<(u32, u32)>),
@@ -27,9 +27,9 @@ enum Repr {
 /// One compressed bit row over a universe of `universe` bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitRow {
-    universe: u32,
-    count: u32,
-    repr: Repr,
+    pub(crate) universe: u32,
+    pub(crate) count: u32,
+    pub(crate) repr: Repr,
 }
 
 impl BitRow {
@@ -140,12 +140,23 @@ impl BitRow {
     /// `acc |= self` — the building block of [`crate::BitMat::fold`].
     ///
     /// Runs are blitted word-wise ([`BitVec::set_range`]); sparse positions
-    /// are set individually.
+    /// are batched into one word-level write per occupied word.
     pub fn or_into(&self, acc: &mut BitVec) {
         match &self.repr {
             Repr::Sparse(ps) => {
-                for &p in ps {
-                    acc.set(p);
+                if let Some(&last) = ps.last() {
+                    assert!(last < acc.len(), "bit {last} out of range {}", acc.len());
+                }
+                let words = acc.words_mut();
+                let mut i = 0;
+                while i < ps.len() {
+                    let w = ps[i] / 64;
+                    let mut bits = 0u64;
+                    while i < ps.len() && ps[i] / 64 == w {
+                        bits |= 1u64 << (ps[i] % 64);
+                        i += 1;
+                    }
+                    words[w as usize] |= bits;
                 }
             }
             Repr::Runs(rs) => {
@@ -156,43 +167,50 @@ impl BitRow {
         }
     }
 
-    /// `self & mask` — the building block of [`crate::BitMat::unfold`].
-    ///
-    /// For run representation the mask is streamed word-by-word inside each
-    /// run window; for sparse representation positions are probed directly.
-    pub fn and_mask(&self, mask: &BitVec) -> BitRow {
-        debug_assert_eq!(mask.len(), self.universe, "mask/universe mismatch");
-        let mut positions: Vec<u32> = Vec::new();
+    /// `acc |= self`, clipped: positions at or beyond `acc.len()` are
+    /// ignored — the in-place equivalent of OR-ing a truncated copy. Used
+    /// by the fold kernels to project straight into a (possibly shorter)
+    /// join-variable binding space.
+    pub fn or_into_clipped(&self, acc: &mut BitVec) {
+        let len = acc.len();
         match &self.repr {
             Repr::Sparse(ps) => {
-                positions.extend(ps.iter().copied().filter(|&p| mask.get(p)));
+                let n = ps.partition_point(|&p| p < len);
+                let words = acc.words_mut();
+                let mut i = 0;
+                while i < n {
+                    let w = ps[i] / 64;
+                    let mut bits = 0u64;
+                    while i < n && ps[i] / 64 == w {
+                        bits |= 1u64 << (ps[i] % 64);
+                        i += 1;
+                    }
+                    words[w as usize] |= bits;
+                }
             }
             Repr::Runs(rs) => {
-                let words = mask.words();
                 for &(s, e) in rs {
-                    let mut w_idx = (s / 64) as usize;
-                    let last = ((e - 1) / 64) as usize;
-                    while w_idx <= last {
-                        let mut w = words[w_idx];
-                        // Clip to the run window within this word.
-                        let base = w_idx as u32 * 64;
-                        if s > base {
-                            w &= u64::MAX << (s - base);
-                        }
-                        if e < base + 64 {
-                            w &= u64::MAX >> (base + 64 - e);
-                        }
-                        while w != 0 {
-                            let b = w.trailing_zeros();
-                            positions.push(base + b);
-                            w &= w - 1;
-                        }
-                        w_idx += 1;
+                    if s >= len {
+                        break;
                     }
+                    acc.set_range(s, e.min(len));
                 }
             }
         }
-        BitRow::from_sorted_positions(self.universe, &positions)
+    }
+
+    /// `self & mask` — the building block of [`crate::BitMat::unfold`].
+    ///
+    /// Runs through the same kernels as [`BitRow::and_mask_in_place`] (run
+    /// windows streamed word-by-word, sparse positions probed directly);
+    /// prefer the in-place variant on hot paths — this one allocates the
+    /// result row.
+    pub fn and_mask(&self, mask: &BitVec) -> BitRow {
+        debug_assert_eq!(mask.len(), self.universe, "mask/universe mismatch");
+        let mut out = self.clone();
+        let mut scratch = crate::kernel::SetScratch::default();
+        out.and_mask_in_place(mask, &mut scratch);
+        out
     }
 
     /// Expands to a dense mask (used by fold of single-row loads and tests).
@@ -297,13 +315,19 @@ impl BitRow {
 /// Computes maximal `[start, end)` intervals from ascending positions.
 fn runs_of(positions: &[u32]) -> Vec<(u32, u32)> {
     let mut runs: Vec<(u32, u32)> = Vec::new();
+    runs_of_into(positions, &mut runs);
+    runs
+}
+
+/// [`runs_of`] into a caller-owned buffer (cleared first).
+pub(crate) fn runs_of_into(positions: &[u32], runs: &mut Vec<(u32, u32)>) {
+    runs.clear();
     for &p in positions {
         match runs.last_mut() {
             Some((_, e)) if *e == p => *e = p + 1,
             _ => runs.push((p, p + 1)),
         }
     }
-    runs
 }
 
 /// Iterator over the set bits of a [`BitRow`].

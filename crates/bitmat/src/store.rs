@@ -169,12 +169,16 @@ fn family(
     tuples.sort_unstable();
     let mut mats: Vec<BitMat> = Vec::with_capacity(n_keys as usize);
     let mut i = 0;
+    // One pair buffer reused across every key of the family (its
+    // high-water mark is the largest slice, not the sum).
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     for key in 0..n_keys {
         let start = i;
         while i < tuples.len() && tuples[i].0 == key {
             i += 1;
         }
-        let pairs: Vec<(u32, u32)> = tuples[start..i].iter().map(|&(_, r, c)| (r, c)).collect();
+        pairs.clear();
+        pairs.extend(tuples[start..i].iter().map(|&(_, r, c)| (r, c)));
         mats.push(BitMat::from_sorted_pairs(n_rows, n_cols, &pairs));
     }
     debug_assert_eq!(i, tuples.len(), "triple key out of range");

@@ -152,6 +152,19 @@ pub fn explain(
         let order = load_order(gosn, &estimates);
         let order_s: Vec<String> = order.iter().map(|t| format!("tp{t}")).collect();
         let _ = writeln!(out, "init load order: {}", order_s.join(" → "));
+
+        // Planned kernel work of the prune phase, statically derivable
+        // from the GoSN/GoJ via the sweep shared with `prune_triples`
+        // (the runtime `prune_intersections` / `scratch_reuses` counters
+        // in `--stats` and `/stats` report what actually ran —
+        // data-empty folds can skip planned operations).
+        let ops = crate::prune::planned_prune_ops(gosn, &analyzed.goj, &vt, &jorder);
+        let _ = writeln!(
+            out,
+            "prune plan: {} semi-join(s) + {} clustered-semi-join(s) \
+             over both jvar passes (run-aware compressed-set kernels)",
+            ops.semi_joins, ops.clustered_groups,
+        );
     }
     Ok(out)
 }
@@ -198,6 +211,13 @@ mod tests {
         assert!(text.contains("?friend"));
         assert!(text.contains("init load order"));
         assert!(text.contains("row-quota pushdown: none"), "{text}");
+        // Per pass: ?friend crosses the master/slave edge (semi-joins) and
+        // ?sitcom joins tp1 ⋈ tp2 inside the slave supernode's peer group
+        // (one clustered-semi-join).
+        assert!(
+            text.contains("prune plan: 4 semi-join(s) + 2 clustered-semi-join(s)"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::bindings::{VarId, VarTable};
 use crate::error::LbrError;
 use crate::jvar_order::JvarOrder;
-use lbr_bitmat::{BitMat, BitVec, Catalog, CubeDims, RetainDim};
+use lbr_bitmat::{BitMat, BitVec, Catalog, CubeDims, RetainDim, SetScratch};
 use lbr_rdf::{Dictionary, Dimension};
 use lbr_sparql::algebra::{TermPattern, TriplePattern};
 use lbr_sparql::gosn::{Gosn, TpId};
@@ -74,23 +74,25 @@ pub enum TpData {
     },
 }
 
-/// Sorted adjacency list: `key → sorted neighbour ids`.
-pub type Adjacency = Vec<(u32, Vec<u32>)>;
-
-/// A loaded triple pattern plus (post-pruning) adjacency for the join.
+/// A loaded triple pattern plus (post-pruning) transposed matrices for the
+/// join's reverse lookups.
+///
+/// The multi-way join iterates candidates **directly off the compressed
+/// rows** (cursor-based, no materialized `row → cols` vectors): forward
+/// lookups read the `Two`/`Three` matrices themselves, reverse lookups
+/// read the transposed copies built by [`TpState::build_adjacency`].
 #[derive(Debug, Clone)]
 pub struct TpState {
     /// TP index in the query.
     pub id: TpId,
     /// Loaded data.
     pub data: TpData,
-    /// `row → cols` adjacency (Two only; built by
-    /// [`TpState::build_adjacency`]).
-    pub row_adj: Adjacency,
-    /// `col → rows` adjacency (Two only).
-    pub col_adj: Adjacency,
-    /// Per-predicate adjacency (Three only): `(pid, row→cols, col→rows)`.
-    pub per_pred_adj: Vec<(u32, Adjacency, Adjacency)>,
+    /// Transposed copy of the `Two` matrix (`col → rows` cursor source;
+    /// built by [`TpState::build_adjacency`]).
+    pub transposed: Option<BitMat>,
+    /// Transposed copy of each predicate slice (`Three` only), parallel to
+    /// `mats`.
+    pub per_pred_t: Vec<BitMat>,
 }
 
 impl TpState {
@@ -146,24 +148,46 @@ impl TpState {
 
     /// The paper's `fold(BMtp, dim?j)`: projects the bindings of `var` as a
     /// mask resized into the variable's binding space.
+    ///
+    /// Allocating convenience wrapper over [`TpState::fold_var_into`].
     pub fn fold_var(&self, var: VarId, space_len: u32) -> Option<BitVec> {
+        let mut acc = BitVec::zeros(0);
+        self.fold_var_into(var, space_len, &mut acc).then_some(acc)
+    }
+
+    /// `fold` straight into a caller-owned accumulator: `acc` is reset to
+    /// `space_len` bits and filled with the projection of `var`'s bindings,
+    /// clipped into that space. Returns `false` when this TP does not bind
+    /// `var` — `acc` is then **untouched** (it may still hold a previous
+    /// fold), so only read it on `true`. Steady-state calls perform no
+    /// heap allocation once `acc` has reached its high-water capacity.
+    pub fn fold_var_into(&self, var: VarId, space_len: u32, acc: &mut BitVec) -> bool {
         match &self.data {
-            TpData::Zero { .. } => None,
-            TpData::One { var: v, cands, .. } if *v == var => Some(cands.resized(space_len)),
-            TpData::One { .. } => None,
+            TpData::Zero { .. } => false,
+            TpData::One { var: v, cands, .. } => {
+                if *v != var {
+                    return false;
+                }
+                acc.reset(space_len);
+                acc.or_clipped(cands);
+                true
+            }
             TpData::Two {
                 row_var,
                 col_var,
                 mat,
                 ..
             } => {
-                if *row_var == var {
-                    Some(mat.fold(RetainDim::Row).resized(space_len))
+                let dim = if *row_var == var {
+                    RetainDim::Row
                 } else if *col_var == var {
-                    Some(mat.fold(RetainDim::Col).resized(space_len))
+                    RetainDim::Col
                 } else {
-                    None
-                }
+                    return false;
+                };
+                acc.reset(space_len);
+                mat.fold_or_clipped(dim, acc);
+                true
             }
             TpData::Three {
                 s_var,
@@ -171,26 +195,27 @@ impl TpState {
                 o_var,
                 mats,
             } => {
-                let mut acc = BitVec::zeros(space_len);
                 if *p_var == var {
+                    acc.reset(space_len);
                     for (pid, m) in mats {
                         if !m.is_empty() && *pid < space_len {
                             acc.set(*pid);
                         }
                     }
-                    Some(acc)
+                    true
                 } else if *s_var == var || *o_var == var {
                     let dim = if *s_var == var {
                         RetainDim::Row
                     } else {
                         RetainDim::Col
                     };
+                    acc.reset(space_len);
                     for (_, m) in mats {
-                        acc.or_assign(&m.fold(dim).resized(space_len));
+                        m.fold_or_clipped(dim, acc);
                     }
-                    Some(acc)
+                    true
                 } else {
-                    None
+                    false
                 }
             }
         }
@@ -199,12 +224,27 @@ impl TpState {
     /// The paper's `unfold(BMtp, β?j, dim?j)`: keeps only triples whose
     /// `var` binding is set in `mask` (mask may be in the variable's —
     /// possibly shorter, shared — space; missing high bits clear).
+    ///
+    /// Allocating convenience wrapper over [`TpState::unfold_var_with`].
     pub fn unfold_var(&mut self, var: VarId, mask: &BitVec) {
+        let mut scratch = lbr_bitmat::SetScratch::default();
+        self.unfold_var_with(var, mask, &mut scratch);
+    }
+
+    /// [`TpState::unfold_var`] through caller-owned kernel scratch: rows
+    /// are rewritten in place ([`lbr_bitmat::BitRow::and_mask_in_place`])
+    /// with clipped-mask semantics, so no mask copy and no row rebuild is
+    /// allocated in the steady state.
+    pub fn unfold_var_with(&mut self, var: VarId, mask: &BitVec, scratch: &mut SetScratch) {
+        // Any transposed copies are invalidated by pruning; they are only
+        // built (after the prune phase) by `build_adjacency`.
+        self.transposed = None;
+        self.per_pred_t.clear();
         match &mut self.data {
             TpData::Zero { .. } => {}
             TpData::One { var: v, cands, .. } => {
                 if *v == var {
-                    cands.and_assign(&mask.resized(cands.len()));
+                    cands.and_clipped(mask);
                 }
             }
             TpData::Two {
@@ -214,9 +254,9 @@ impl TpState {
                 ..
             } => {
                 if *row_var == var {
-                    mat.unfold(&mask.resized(mat.n_rows()), RetainDim::Row);
+                    mat.unfold_with(mask, RetainDim::Row, scratch);
                 } else if *col_var == var {
-                    mat.unfold(&mask.resized(mat.n_cols()), RetainDim::Col);
+                    mat.unfold_with(mask, RetainDim::Col, scratch);
                 }
             }
             TpData::Three {
@@ -234,12 +274,7 @@ impl TpState {
                         RetainDim::Col
                     };
                     for (_, m) in mats.iter_mut() {
-                        let sized = if dim == RetainDim::Row {
-                            mask.resized(m.n_rows())
-                        } else {
-                            mask.resized(m.n_cols())
-                        };
-                        m.unfold(&sized, dim);
+                        m.unfold_with(mask, dim, scratch);
                     }
                     mats.retain(|(_, m)| !m.is_empty());
                 }
@@ -247,57 +282,38 @@ impl TpState {
         }
     }
 
-    /// Materializes row→cols / col→rows adjacency for the multi-way join.
-    /// (Pruning works on compressed rows; the join needs point lookups in
-    /// both directions.)
+    /// Builds the transposed matrices the multi-way join needs for reverse
+    /// (`col → rows`) lookups. Forward lookups cursor over the data
+    /// matrices themselves — nothing else is materialized.
     pub fn build_adjacency(&mut self) {
         if let TpData::Two { mat, .. } = &self.data {
-            self.row_adj = mat
-                .rows()
-                .iter()
-                .map(|(r, row)| (*r, row.iter_ones().collect()))
-                .collect();
-            let t = mat.transpose();
-            self.col_adj = t
-                .rows()
-                .iter()
-                .map(|(c, row)| (*c, row.iter_ones().collect()))
-                .collect();
+            self.transposed = Some(mat.transpose());
         }
         if let TpData::Three { mats, .. } = &self.data {
-            self.per_pred_adj = mats
-                .iter()
-                .map(|(pid, mat)| {
-                    let rows: Adjacency = mat
-                        .rows()
-                        .iter()
-                        .map(|(r, row)| (*r, row.iter_ones().collect()))
-                        .collect();
-                    let t = mat.transpose();
-                    let cols: Adjacency = t
-                        .rows()
-                        .iter()
-                        .map(|(c, row)| (*c, row.iter_ones().collect()))
-                        .collect();
-                    (*pid, rows, cols)
-                })
-                .collect();
+            self.per_pred_t = mats.iter().map(|(_, m)| m.transpose()).collect();
         }
     }
 
-    /// Columns adjacent to `row` (Two only; empty slice when absent).
-    pub fn cols_of(&self, row: u32) -> &[u32] {
-        match self.row_adj.binary_search_by_key(&row, |&(r, _)| r) {
-            Ok(i) => &self.row_adj[i].1,
-            Err(_) => &[],
+    /// The compressed row of columns adjacent to `row` (`Two` only; `None`
+    /// when the row is empty).
+    pub fn cols_row(&self, row: u32) -> Option<&lbr_bitmat::BitRow> {
+        match &self.data {
+            TpData::Two { mat, .. } => mat.row(row),
+            _ => None,
         }
     }
 
-    /// Rows adjacent to `col` (Two only).
-    pub fn rows_of(&self, col: u32) -> &[u32] {
-        match self.col_adj.binary_search_by_key(&col, |&(c, _)| c) {
-            Ok(i) => &self.col_adj[i].1,
-            Err(_) => &[],
+    /// The compressed row of rows adjacent to `col` (`Two` only; requires
+    /// [`TpState::build_adjacency`]).
+    pub fn rows_col(&self, col: u32) -> Option<&lbr_bitmat::BitRow> {
+        self.transposed.as_ref().and_then(|t| t.row(col))
+    }
+
+    /// Membership test in the `Two` matrix.
+    pub fn has_pair(&self, row: u32, col: u32) -> bool {
+        match &self.data {
+            TpData::Two { mat, .. } => mat.get(row, col),
+            _ => false,
         }
     }
 }
@@ -333,6 +349,10 @@ pub fn init(
     let dims = catalog.dims();
     let order = load_order(gosn, estimates);
     let mut tps: Vec<Option<TpState>> = vec![None; gosn.n_tps()];
+    // One fold accumulator + kernel scratch reused across the whole load:
+    // active pruning allocates only up to the high-water mask size.
+    let mut mask = BitVec::zeros(0);
+    let mut scratch = SetScratch::default();
     for &tp_id in &order {
         let mut state = load_tp(tp_id, gosn.tp(tp_id), vt, jorder, dict, catalog, &dims)?;
         // Active pruning against already-loaded masters and peers. The
@@ -353,8 +373,8 @@ pub fn init(
                     continue;
                 };
                 let space_len = crate::bindings::op_space_len(&dims, [v_dim, o_dim]);
-                if let Some(mask) = other.fold_var(v, space_len) {
-                    state.unfold_var(v, &mask);
+                if other.fold_var_into(v, space_len, &mut mask) {
+                    state.unfold_var_with(v, &mask, &mut scratch);
                 }
             }
         }
@@ -584,9 +604,8 @@ fn load_tp(
     Ok(TpState {
         id: tp_id,
         data,
-        row_adj: Vec::new(),
-        col_adj: Vec::new(),
-        per_pred_adj: Vec::new(),
+        transposed: None,
+        per_pred_t: Vec::new(),
     })
 }
 
@@ -689,9 +708,16 @@ mod tests {
             panic!("expected Two")
         };
         let (r, c) = mat.iter().next().unwrap();
-        assert_eq!(tp1.cols_of(r), &[c]);
-        assert_eq!(tp1.rows_of(c), &[r]);
-        assert!(tp1.cols_of(9999).is_empty());
+        assert_eq!(
+            tp1.cols_row(r).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![c]
+        );
+        assert_eq!(
+            tp1.rows_col(c).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![r]
+        );
+        assert!(tp1.has_pair(r, c) && !tp1.has_pair(9999, c));
+        assert!(tp1.cols_row(9999).is_none());
     }
 
     #[test]

@@ -86,6 +86,17 @@ pub struct QueryStats {
     /// `threads = 1`; boundedly more with N workers) instead of the full
     /// candidate count.
     pub join_seeds: u64,
+    /// Compressed-set intersections `prune_triples` performed through the
+    /// kernel layer (semi-join mask ANDs + clustered-semi-join folds).
+    pub prune_intersections: u64,
+    /// Scratch-pool activity: the prune phase counts operations served
+    /// entirely from existing buffer capacity (true no-alloc reuses,
+    /// capacity-checked), the join phase counts rows assembled in the
+    /// per-worker reusable row/failure buffers (the buffer is reused per
+    /// emit; the handful of first-use growths per worker are included so
+    /// the sum stays identical at every thread count). The bench counting
+    /// allocator is the ground truth for total allocation.
+    pub scratch_reuses: u64,
     /// True when the empty-absolute-master shortcut aborted the query
     /// (§5 "simple optimization").
     pub aborted_empty: bool,
@@ -112,6 +123,10 @@ pub struct StatsAggregate {
     pub t_join: std::time::Duration,
     /// Σ root seeds the multi-way join enumerated.
     pub join_seeds: u64,
+    /// Σ compressed-set intersections the prune phase performed.
+    pub prune_intersections: u64,
+    /// Σ scratch-buffer reuses (prune pools + join row buffers).
+    pub scratch_reuses: u64,
     /// Queries whose classification required nullification/best-match.
     pub nb_required_queries: u64,
 }
@@ -125,6 +140,8 @@ impl StatsAggregate {
         self.t_total += stats.t_total;
         self.t_join += stats.t_join;
         self.join_seeds += stats.join_seeds;
+        self.prune_intersections += stats.prune_intersections;
+        self.scratch_reuses += stats.scratch_reuses;
         self.nb_required_queries += u64::from(stats.nb_required);
     }
 

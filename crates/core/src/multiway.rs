@@ -15,6 +15,18 @@
 //! still-free variables, master bindings win over slave bindings for
 //! shared variables — the paper's output rule.
 //!
+//! ## Cursor-based enumeration, zero-allocation steady state
+//!
+//! The recursion enumerates candidates **directly off the compressed
+//! BitMat rows**: forward lookups iterate a TP's own matrix rows
+//! ([`lbr_bitmat::BitRow::iter_ones`] cursors), reverse lookups iterate
+//! the transposed copies built by `TpState::build_adjacency`, and
+//! membership tests binary-search the compressed representation. No
+//! candidate ID vectors or adjacency lists are materialized or cloned per
+//! recursion level; the only per-row allocation left in the steady state
+//! is the pushed result row itself (assembled in a per-worker reusable
+//! buffer first — [`ExecStats::scratch_reuses`] counts those reuses).
+//!
 //! ## Parallel execution
 //!
 //! The pipeline is embarrassingly parallel at the root: every triple
@@ -22,8 +34,8 @@
 //! recursion never reads state written by a sibling subtree. The
 //! [`multi_way_join_with`] entry point exploits this by **root
 //! partitioning**: the root TP's candidate enumeration is split into
-//! coarse contiguous *units* (a candidate ID, an adjacency row, or a
-//! predicate-slice row — O(rows) plan memory, not O(triples)), unit
+//! coarse contiguous *units* (a candidate ID, a compressed matrix row, or
+//! a predicate-slice row — O(rows) plan memory, not O(triples)), unit
 //! ranges are claimed by `std::thread::scope` workers off a shared atomic
 //! counter, and each worker expands its units lazily in exactly the order
 //! the serial recursion would. Each worker owns a private [`Ctx`]
@@ -102,6 +114,11 @@ pub struct ExecStats {
     /// enumeration; with one it stops at the seed producing the last
     /// needed row — the verifiable early-exit evidence.
     pub seeds_enumerated: u64,
+    /// Rows assembled in the per-worker reusable row/failure scratch
+    /// buffers instead of a fresh allocation — one per emit that survives
+    /// the FaN stage, so (like the other counters) the sum is identical at
+    /// every thread count on unbounded runs.
+    pub scratch_reuses: u64,
 }
 
 impl ExecStats {
@@ -111,6 +128,7 @@ impl ExecStats {
         self.nullification_fired += other.nullification_fired;
         self.rows_filtered += other.rows_filtered;
         self.seeds_enumerated += other.seeds_enumerated;
+        self.scratch_reuses += other.scratch_reuses;
     }
 }
 
@@ -231,7 +249,7 @@ pub fn multi_way_join_with(
 }
 
 /// The root TP's candidate enumeration, partitioned into coarse
-/// contiguous *units* (a candidate ID, an adjacency row, or a
+/// contiguous *units* (a candidate ID, a compressed matrix row, or a
 /// predicate-slice row) instead of one seed per triple, so the partition
 /// plan stays O(rows) even when the root matches millions of triples.
 /// Units expand lazily inside [`RootUnits::run`], in exactly the order
@@ -241,17 +259,18 @@ enum RootUnits {
     Zero,
     /// Unit = one candidate ID of the single variable.
     One { ids: Vec<u32> },
-    /// Unit = one `row_adj` entry (its columns expand lazily).
+    /// Unit = one non-empty compressed matrix row (its columns expand
+    /// lazily off the row cursor).
     Two { n_rows: usize },
     /// Unit = one row of one predicate slice, as
-    /// `(per_pred_adj index, row index)`.
+    /// `(predicate-slice index, row index)`.
     Three { pred_rows: Vec<(u32, u32)> },
 }
 
 impl RootUnits {
     /// Builds the partition plan. The caller has checked
     /// `inp.tps[root].count() > 0`, so at least one unit exists and every
-    /// adjacency row is non-empty.
+    /// matrix row is non-empty.
     fn plan(inp: &JoinInputs<'_>, root: TpId) -> RootUnits {
         let state = &inp.tps[root];
         match &state.data {
@@ -259,13 +278,13 @@ impl RootUnits {
             TpData::One { cands, .. } => RootUnits::One {
                 ids: cands.iter_ones().collect(),
             },
-            TpData::Two { .. } => RootUnits::Two {
-                n_rows: state.row_adj.len(),
+            TpData::Two { mat, .. } => RootUnits::Two {
+                n_rows: mat.rows().len(),
             },
-            TpData::Three { .. } => {
+            TpData::Three { mats, .. } => {
                 let mut pred_rows = Vec::new();
-                for (pi, (_, rows, _)) in state.per_pred_adj.iter().enumerate() {
-                    for ri in 0..rows.len() {
+                for (pi, (_, mat)) in mats.iter().enumerate() {
+                    for ri in 0..mat.rows().len() {
                         pred_rows.push((pi as u32, ri as u32));
                     }
                 }
@@ -296,8 +315,9 @@ impl RootUnits {
     /// (One/Two/Three) at the root; extend them when touching either
     /// side.
     fn run(&self, ctx: &mut Ctx<'_, '_, '_>, root: TpId, start: usize, end: usize) {
-        let state = &ctx.sh.inp.tps[root];
-        let n_shared = ctx.sh.inp.dims.n_shared;
+        let sh = ctx.sh;
+        let state = &sh.inp.tps[root];
+        let n_shared = sh.inp.dims.n_shared;
         match (self, &state.data) {
             (RootUnits::Zero, TpData::Zero { .. }) => {
                 descend(ctx, root, &[]);
@@ -318,17 +338,17 @@ impl RootUnits {
                     row_dim,
                     col_var,
                     col_dim,
-                    ..
+                    mat,
                 },
             ) => {
                 let (rv, cv, rd, cd) = (*row_var, *col_var, *row_dim, *col_dim);
-                for (r, cols) in &state.row_adj[start..end] {
+                for (r, cols) in &mat.rows()[start..end] {
                     if ctx.full() {
                         break;
                     }
                     ctx.bind(rv, Slot::Val(Binding::new(*r, rd, n_shared)), root);
-                    for c in cols {
-                        ctx.bind(cv, Slot::Val(Binding::new(*c, cd, n_shared)), root);
+                    for c in cols.iter_ones() {
+                        ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), root);
                         descend(ctx, root, &[cv]);
                         if ctx.full() {
                             break;
@@ -343,7 +363,7 @@ impl RootUnits {
                     s_var,
                     p_var,
                     o_var,
-                    ..
+                    mats,
                 },
             ) => {
                 let (sv, pv, ov) = (*s_var, *p_var, *o_var);
@@ -351,8 +371,8 @@ impl RootUnits {
                     if ctx.full() {
                         break;
                     }
-                    let (pid, rows, _) = &state.per_pred_adj[pi as usize];
-                    let (r, cols) = &rows[ri as usize];
+                    let (pid, mat) = &mats[pi as usize];
+                    let (r, cols) = &mat.rows()[ri as usize];
                     ctx.bind(
                         pv,
                         Slot::Val(Binding::new(*pid, Dimension::Predicate, n_shared)),
@@ -363,10 +383,10 @@ impl RootUnits {
                         Slot::Val(Binding::new(*r, Dimension::Subject, n_shared)),
                         root,
                     );
-                    for c in cols {
+                    for c in cols.iter_ones() {
                         ctx.bind(
                             ov,
-                            Slot::Val(Binding::new(*c, Dimension::Object, n_shared)),
+                            Slot::Val(Binding::new(c, Dimension::Object, n_shared)),
                             root,
                         );
                         descend(ctx, root, &[ov]);
@@ -393,6 +413,10 @@ struct Shared<'a, 'b> {
     /// `sn_vars[sn][var]`: does `var` occur in a TP of `sn`? The FILTER
     /// visibility scope for supernode filters.
     sn_vars: Vec<Vec<bool>>,
+    /// Per-TP `(var, dim)` lists, precomputed once so the recursion's
+    /// eligibility checks and NULL-binding sweeps never call the
+    /// allocating `TpState::vars()`.
+    tp_vars: Vec<Vec<(VarId, Dimension)>>,
 }
 
 impl<'a, 'b> Shared<'a, 'b> {
@@ -401,18 +425,22 @@ impl<'a, 'b> Shared<'a, 'b> {
         let n_sn = inp.gosn.n_supernodes();
         let mut sn_remaining0 = vec![0usize; n_sn];
         let mut sn_vars = vec![vec![false; inp.vt.len()]; n_sn];
+        let mut tp_vars = Vec::with_capacity(inp.tps.len());
         for (tp, state) in inp.tps.iter().enumerate() {
             let sn = inp.gosn.sn_of_tp(tp);
             sn_remaining0[sn] += 1;
-            for (v, _) in state.vars() {
+            let vars = state.vars();
+            for &(v, _) in &vars {
                 sn_vars[sn][v] = true;
             }
+            tp_vars.push(vars);
         }
         Shared {
             inp,
             stps,
             sn_remaining0,
             sn_vars,
+            tp_vars,
         }
     }
 }
@@ -432,6 +460,11 @@ struct Ctx<'s, 'a, 'b> {
     /// can never poison a master's variable with NULL.
     sn_remaining: Vec<usize>,
     rows: Vec<Vec<Option<Binding>>>,
+    /// Reusable failed-supernode buffer of [`Ctx::emit`].
+    failed: Vec<bool>,
+    /// Reusable row-assembly buffer of [`Ctx::emit`]; only rows that
+    /// survive every filter are cloned out of it into `rows`.
+    row_buf: Vec<Option<Binding>>,
     stats: ExecStats,
 }
 
@@ -446,6 +479,8 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
             nulled: vec![false; sh.inp.tps.len()],
             sn_remaining: sh.sn_remaining0.clone(),
             rows: Vec::new(),
+            failed: Vec::new(),
+            row_buf: Vec::new(),
             stats: ExecStats::default(),
         }
     }
@@ -467,7 +502,7 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
             if self.visited[tp] || !masters_done(tp) {
                 continue;
             }
-            let vars = self.sh.inp.tps[tp].vars();
+            let vars = &self.sh.tp_vars[tp];
             if vars.is_empty() || vars.iter().any(|&(v, _)| self.slots[v] != Slot::Free) {
                 return tp;
             }
@@ -502,37 +537,41 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
     }
 
     /// Emits one result row: failure closure → FaN filters → nullification
-    /// → global filters → push.
+    /// → global filters → push. The failure map and the row are assembled
+    /// in reusable per-worker buffers; only a surviving row is cloned into
+    /// the output, so filtered rows cost no allocation at all.
     fn emit(&mut self) {
         if self.full() {
             return; // quota met (and handles the degenerate quota of 0)
         }
-        let gosn = self.sh.inp.gosn;
+        let sh = self.sh;
+        let gosn = sh.inp.gosn;
         let n_sn = gosn.n_supernodes();
         // 1. Failed supernodes: any nulled TP fails its supernode; failure
         //    spreads across peer groups (an inner-join group produces rows
         //    only as a unit).
-        let mut failed = vec![false; n_sn];
+        self.failed.clear();
+        self.failed.resize(n_sn, false);
         for (tp, &nulled) in self.nulled.iter().enumerate() {
             if nulled {
-                failed[gosn.sn_of_tp(tp)] = true;
+                self.failed[gosn.sn_of_tp(tp)] = true;
             }
         }
-        close_over_peers(&mut failed, gosn);
+        close_over_peers(&mut self.failed, gosn);
 
         // 2. FaN: supernode filters, evaluated over the supernode's own
         //    variable scope (a variable bound only outside the supernode
         //    reads as unbound, like in the reference oracle).
-        for (sn_opt, expr) in &self.sh.inp.fan_filters {
+        for (sn_opt, expr) in &sh.inp.fan_filters {
             let Some(sn) = sn_opt else { continue };
-            if failed[*sn] {
+            if self.failed[*sn] {
                 continue; // already NULL, nothing to test
             }
             let ok = {
                 let lk = SnScopedLookup {
                     ctx: self,
                     sn: *sn,
-                    dict: self.sh.inp.dict,
+                    dict: sh.inp.dict,
                 };
                 filter_eval::eval(expr, &lk)
             };
@@ -541,27 +580,29 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
                     self.stats.rows_filtered += 1;
                     return; // masters cannot be nullified: drop the row
                 }
-                failed[*sn] = true;
-                close_over_peers(&mut failed, gosn);
+                self.failed[*sn] = true;
+                close_over_peers(&mut self.failed, gosn);
             }
         }
 
         // 3. Nullification: bindings produced by failed supernodes become
-        //    NULL (Rao et al.'s operator; a no-op when nothing failed).
-        let mut row: Vec<Option<Binding>> = Vec::with_capacity(self.slots.len());
+        //    NULL (Rao et al.'s operator; a no-op when nothing failed),
+        //    assembled in the reusable buffer.
+        self.stats.scratch_reuses += 1;
+        self.row_buf.clear();
         let mut rewrote = false;
         for (var, slot) in self.slots.iter().enumerate() {
             match slot {
                 Slot::Val(b) => {
                     let binder_sn = gosn.sn_of_tp(self.binder[var]);
-                    if failed[binder_sn] {
-                        row.push(None);
+                    if self.failed[binder_sn] {
+                        self.row_buf.push(None);
                         rewrote = true;
                     } else {
-                        row.push(Some(*b));
+                        self.row_buf.push(Some(*b));
                     }
                 }
-                _ => row.push(None),
+                _ => self.row_buf.push(None),
             }
         }
         if rewrote {
@@ -569,22 +610,25 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
         }
 
         // 4. Global filters over the (possibly nullified) row.
-        for (sn_opt, expr) in &self.sh.inp.fan_filters {
+        for (sn_opt, expr) in &sh.inp.fan_filters {
             if sn_opt.is_some() {
                 continue;
             }
-            let lk = RowLookup {
-                row: &row,
-                vt: self.sh.inp.vt,
-                dict: self.sh.inp.dict,
+            let ok = {
+                let lk = RowLookup {
+                    row: &self.row_buf,
+                    vt: sh.inp.vt,
+                    dict: sh.inp.dict,
+                };
+                filter_eval::eval(expr, &lk)
             };
-            if !filter_eval::eval(expr, &lk) {
+            if !ok {
                 self.stats.rows_filtered += 1;
                 return;
             }
         }
 
-        self.rows.push(row);
+        self.rows.push(self.row_buf.clone());
     }
 }
 
@@ -635,11 +679,17 @@ impl VarLookup for RowLookup<'_> {
 
 /// One recursion level of Algorithm 5.4.
 ///
+/// Candidate enumeration cursors directly over the compressed matrix rows
+/// (forward: the TP's own matrix; reverse: its transposed copy) — no
+/// candidate vector or adjacency list is materialized or cloned, so the
+/// steady-state loop body performs no heap allocation.
+///
 /// The all-`Free` enumeration arms (the root-level cases) are mirrored by
 /// [`RootUnits::run`] for the parallel path — keep the two in sync (see
 /// the note there).
 fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
-    if ctx.n_visited == ctx.sh.stps.len() {
+    let sh = ctx.sh;
+    if ctx.n_visited == sh.stps.len() {
         ctx.emit();
         return;
     }
@@ -647,8 +697,8 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
         return; // quota met: unwind without starting new subtrees
     }
     let tp = ctx.select_next();
-    let n_shared = ctx.sh.inp.dims.n_shared;
-    let matched = match &ctx.sh.inp.tps[tp].data {
+    let n_shared = sh.inp.dims.n_shared;
+    let matched = match &sh.inp.tps[tp].data {
         TpData::Zero { present } => {
             if *present {
                 descend(ctx, tp, &[]);
@@ -669,8 +719,7 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
             Slot::Null => false,
             Slot::Free => {
                 let mut any = false;
-                let ids: Vec<u32> = cands.iter_ones().collect();
-                for id in ids {
+                for id in cands.iter_ones() {
                     any = true;
                     ctx.bind(*var, Slot::Val(Binding::new(id, *dim, n_shared)), tp);
                     descend(ctx, tp, &[*var]);
@@ -685,15 +734,14 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
             s_var,
             p_var,
             o_var,
-            ..
+            mats,
         } => {
             let (sv, pv, ov) = (*s_var, *p_var, *o_var);
-            let state = &ctx.sh.inp.tps[tp];
+            let state = &sh.inp.tps[tp];
             let mut any = false;
             // Enumerate per predicate; each predicate slice behaves like a
             // Two-variable matrix with the predicate binding layered on.
-            let pred_ids: Vec<u32> = state.per_pred_adj.iter().map(|(pid, _, _)| *pid).collect();
-            for (idx, pid) in pred_ids.iter().enumerate() {
+            for (idx, (pid, mat)) in mats.iter().enumerate() {
                 if ctx.full() {
                     break;
                 }
@@ -715,22 +763,12 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                         true
                     }
                 };
-                let (rows, cols) = {
-                    let (_, r, c) = &ctx.sh.inp.tps[tp].per_pred_adj[idx];
-                    (r.clone(), c.clone())
-                };
-                let lookup = |adj: &[(u32, Vec<u32>)], key: u32| -> Vec<u32> {
-                    match adj.binary_search_by_key(&key, |&(k, _)| k) {
-                        Ok(i) => adj[i].1.clone(),
-                        Err(_) => Vec::new(),
-                    }
-                };
                 match (ctx.slots[sv], ctx.slots[ov]) {
                     (Slot::Null, _) | (_, Slot::Null) => {}
                     (Slot::Val(r), Slot::Val(c)) => {
                         if r.probes(Dimension::Subject)
                             && c.probes(Dimension::Object)
-                            && lookup(&rows, r.id).binary_search(&c.id).is_ok()
+                            && mat.get(r.id, c.id)
                         {
                             any = true;
                             descend(ctx, tp, &[]);
@@ -738,38 +776,42 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                     }
                     (Slot::Val(r), Slot::Free) => {
                         if r.probes(Dimension::Subject) {
-                            for c in lookup(&rows, r.id) {
-                                any = true;
-                                ctx.bind(
-                                    ov,
-                                    Slot::Val(Binding::new(c, Dimension::Object, n_shared)),
-                                    tp,
-                                );
-                                descend(ctx, tp, &[ov]);
-                                if ctx.full() {
-                                    break;
+                            if let Some(row) = mat.row(r.id) {
+                                for c in row.iter_ones() {
+                                    any = true;
+                                    ctx.bind(
+                                        ov,
+                                        Slot::Val(Binding::new(c, Dimension::Object, n_shared)),
+                                        tp,
+                                    );
+                                    descend(ctx, tp, &[ov]);
+                                    if ctx.full() {
+                                        break;
+                                    }
                                 }
                             }
                         }
                     }
                     (Slot::Free, Slot::Val(c)) => {
                         if c.probes(Dimension::Object) {
-                            for r in lookup(&cols, c.id) {
-                                any = true;
-                                ctx.bind(
-                                    sv,
-                                    Slot::Val(Binding::new(r, Dimension::Subject, n_shared)),
-                                    tp,
-                                );
-                                descend(ctx, tp, &[sv]);
-                                if ctx.full() {
-                                    break;
+                            if let Some(col) = state.per_pred_t[idx].row(c.id) {
+                                for r in col.iter_ones() {
+                                    any = true;
+                                    ctx.bind(
+                                        sv,
+                                        Slot::Val(Binding::new(r, Dimension::Subject, n_shared)),
+                                        tp,
+                                    );
+                                    descend(ctx, tp, &[sv]);
+                                    if ctx.full() {
+                                        break;
+                                    }
                                 }
                             }
                         }
                     }
                     (Slot::Free, Slot::Free) => {
-                        for (r, cs) in &rows {
+                        for (r, cols) in mat.rows() {
                             if ctx.full() {
                                 break;
                             }
@@ -778,11 +820,11 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
                                 Slot::Val(Binding::new(*r, Dimension::Subject, n_shared)),
                                 tp,
                             );
-                            for c in cs {
+                            for c in cols.iter_ones() {
                                 any = true;
                                 ctx.bind(
                                     ov,
-                                    Slot::Val(Binding::new(*c, Dimension::Object, n_shared)),
+                                    Slot::Val(Binding::new(c, Dimension::Object, n_shared)),
                                     tp,
                                 );
                                 descend(ctx, tp, &[ov]);
@@ -805,64 +847,59 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
             row_dim,
             col_var,
             col_dim,
-            ..
+            mat,
         } => {
-            let state = &ctx.sh.inp.tps[tp];
+            let state = &sh.inp.tps[tp];
             let (rv, cv, rd, cd) = (*row_var, *col_var, *row_dim, *col_dim);
             match (ctx.slots[rv], ctx.slots[cv]) {
                 (Slot::Null, _) | (_, Slot::Null) => false,
                 (Slot::Val(r), Slot::Val(c)) => {
-                    let hit = r.probes(rd)
-                        && c.probes(cd)
-                        && state.cols_of(r.id).binary_search(&c.id).is_ok();
+                    let hit = r.probes(rd) && c.probes(cd) && mat.get(r.id, c.id);
                     if hit {
                         descend(ctx, tp, &[]);
                     }
                     hit
                 }
                 (Slot::Val(r), Slot::Free) => {
-                    if !r.probes(rd) {
-                        false
-                    } else {
-                        let cols = state.cols_of(r.id).to_vec();
-                        let any = !cols.is_empty();
-                        for c in cols {
-                            ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
-                            descend(ctx, tp, &[cv]);
-                            if ctx.full() {
-                                break;
+                    match r.probes(rd).then(|| mat.row(r.id)).flatten() {
+                        None => false,
+                        Some(row) => {
+                            for c in row.iter_ones() {
+                                ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
+                                descend(ctx, tp, &[cv]);
+                                if ctx.full() {
+                                    break;
+                                }
                             }
+                            true // a stored row is never empty
                         }
-                        any
                     }
                 }
                 (Slot::Free, Slot::Val(c)) => {
-                    if !c.probes(cd) {
-                        false
-                    } else {
-                        let rows = state.rows_of(c.id).to_vec();
-                        let any = !rows.is_empty();
-                        for r in rows {
-                            ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
-                            descend(ctx, tp, &[rv]);
-                            if ctx.full() {
-                                break;
+                    match c.probes(cd).then(|| state.rows_col(c.id)).flatten() {
+                        None => false,
+                        Some(col) => {
+                            for r in col.iter_ones() {
+                                ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
+                                descend(ctx, tp, &[rv]);
+                                if ctx.full() {
+                                    break;
+                                }
                             }
+                            true
                         }
-                        any
                     }
                 }
                 (Slot::Free, Slot::Free) => {
                     // Only the pipeline's first TP (or a defensive
                     // Cartesian fallback) enumerates both dimensions.
-                    let pairs: Vec<(u32, Vec<u32>)> = state.row_adj.clone();
                     let mut any = false;
-                    for (r, cols) in pairs {
+                    for (r, cols) in mat.rows() {
                         if ctx.full() {
                             break;
                         }
-                        ctx.bind(rv, Slot::Val(Binding::new(r, rd, n_shared)), tp);
-                        for c in cols {
+                        ctx.bind(rv, Slot::Val(Binding::new(*r, rd, n_shared)), tp);
+                        for c in cols.iter_ones() {
                             any = true;
                             ctx.bind(cv, Slot::Val(Binding::new(c, cd, n_shared)), tp);
                             descend(ctx, tp, &[cv]);
@@ -879,23 +916,26 @@ fn recurse(ctx: &mut Ctx<'_, '_, '_>) {
     };
 
     if !matched {
-        if ctx.sh.inp.gosn.tp_in_absolute_master(tp) {
+        if sh.inp.gosn.tp_in_absolute_master(tp) {
             // ln 27–28: an absolute master cannot have NULL bindings —
             // roll back this branch.
             return;
         }
-        // ln 29–32: a slave with no consistent triple: NULL its free vars.
-        let free: Vec<VarId> = ctx.sh.inp.tps[tp]
-            .vars()
-            .into_iter()
-            .filter(|&(v, _)| ctx.slots[v] == Slot::Free)
-            .map(|(v, _)| v)
-            .collect();
-        for &v in &free {
+        // ln 29–32: a slave with no consistent triple: NULL its free vars
+        // (at most three — a stack array, not a collect).
+        let mut free = [0 as VarId; 3];
+        let mut n_free = 0usize;
+        for &(v, _) in &sh.tp_vars[tp] {
+            if ctx.slots[v] == Slot::Free {
+                free[n_free] = v;
+                n_free += 1;
+            }
+        }
+        for &v in &free[..n_free] {
             ctx.bind(v, Slot::Null, tp);
         }
         ctx.nulled[tp] = true;
-        descend(ctx, tp, &free);
+        descend(ctx, tp, &free[..n_free]);
         ctx.nulled[tp] = false;
     }
 }
@@ -927,7 +967,7 @@ mod tests {
     use crate::bindings::VarTable;
     use crate::init::init;
     use crate::jvar_order::get_jvar_order;
-    use crate::prune::prune_triples;
+    use crate::prune::{prune_triples, PruneScratch};
     use crate::selectivity::estimate_all;
     use lbr_bitmat::{BitMatStore, Catalog as _};
     use lbr_rdf::{Graph, Triple};
@@ -964,7 +1004,15 @@ mod tests {
         let est = estimate_all(a.gosn.tps(), &g.dict, &store);
         let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
-        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         for tp in &mut out.tps {
             tp.build_adjacency();
         }
@@ -1074,7 +1122,15 @@ mod tests {
         let est = estimate_all(a.gosn.tps(), &g.dict, &store);
         let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
-        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         for tp in &mut out.tps {
             tp.build_adjacency();
         }
@@ -1113,7 +1169,15 @@ mod tests {
         let est = estimate_all(a.gosn.tps(), &g.dict, &store);
         let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
-        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         for tp in &mut out.tps {
             tp.build_adjacency();
         }

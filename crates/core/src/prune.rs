@@ -12,11 +12,19 @@
 //!
 //! Acyclic well-designed queries come out *minimal* (Lemma 3.3); cyclic
 //! queries are merely reduced and may need nullification/best-match later.
+//!
+//! All set algebra runs through the `lbr-bitmat` kernel layer with a
+//! per-query [`PruneScratch`] pool: fold accumulators, intersection masks,
+//! kernel scratch and the per-jvar TP work lists are reused across every
+//! semi-join of both passes, so the steady-state inner loop of
+//! `prune_one_jvar` performs **no heap allocation** (buffers grow to a
+//! high-water mark on the first jvar and circulate afterwards —
+//! [`PruneStats`] makes that observable).
 
 use crate::bindings::{op_space_len, VarTable};
 use crate::init::TpState;
 use crate::jvar_order::JvarOrder;
-use lbr_bitmat::{BitVec, CubeDims};
+use lbr_bitmat::{BitVec, CubeDims, SetScratch};
 use lbr_sparql::goj::Goj;
 use lbr_sparql::gosn::{Gosn, TpId};
 
@@ -30,48 +38,128 @@ pub enum PruneOutcome {
     EmptyAbsoluteMaster,
 }
 
+/// Kernel/scratch counters of one pruning run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Compressed-set intersections performed (one per semi-join mask AND,
+    /// one per clustered-semi-join member fold).
+    pub intersections: u64,
+    /// Scratch-pool acquisitions served without growing a buffer (kernel
+    /// scratch reuses plus fold-accumulator reuses). After the first jvar
+    /// pass this is the only counter that moves.
+    pub scratch_reuses: u64,
+}
+
+/// The per-query scratch pool of the pruning phase: fold accumulators, the
+/// intersection mask, row-kernel scratch and the per-jvar TP work lists.
+/// Create one per query (or reuse across queries) and pass it to
+/// [`prune_triples`]; every buffer is cleared, never shrunk, between uses.
+#[derive(Debug, Default)]
+pub struct PruneScratch {
+    /// Intersection accumulator (the β mask of Algorithms 5.2/5.3).
+    beta: BitVec,
+    /// Per-TP fold target ANDed into `beta`.
+    fold: BitVec,
+    /// Row-kernel scratch for the unfolds.
+    set: SetScratch,
+    /// TPs holding the current jvar.
+    holders: Vec<TpId>,
+    /// `holders` sorted outermost-first for the semi-join sweep.
+    by_depth: Vec<TpId>,
+    /// Peer groups already clustered this jvar.
+    groups_done: Vec<usize>,
+    /// Members of the current clustered-semi-join.
+    members: Vec<TpId>,
+    /// Counters accumulated across [`prune_triples`] calls.
+    stats: PruneStats,
+}
+
+impl PruneScratch {
+    /// A fresh, empty pool.
+    pub fn new() -> PruneScratch {
+        PruneScratch::default()
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> PruneStats {
+        PruneStats {
+            scratch_reuses: self.stats.scratch_reuses + self.set.reuses(),
+            ..self.stats
+        }
+    }
+
+    /// Records a fold-accumulator reset: a reuse when nothing grew.
+    fn account(&mut self, grew: bool) {
+        if !grew {
+            self.stats.scratch_reuses += 1;
+        }
+    }
+}
+
 /// Algorithm 5.2: `semi-join(?j, tpj, tpi)` — prune the slave by the
-/// master's bindings.
-pub fn semi_join(dims: &CubeDims, var: usize, slave: &mut TpState, master: &TpState) {
+/// master's bindings. All masks live in `scratch`; nothing is allocated in
+/// the steady state.
+pub fn semi_join(
+    dims: &CubeDims,
+    var: usize,
+    slave: &mut TpState,
+    master: &TpState,
+    scratch: &mut PruneScratch,
+) {
     let (Some(md), Some(sd)) = (master.dim_of(var), slave.dim_of(var)) else {
         return;
     };
     let space_len = op_space_len(dims, [md, sd]);
-    let (Some(m), Some(s)) = (
-        master.fold_var(var, space_len),
-        slave.fold_var(var, space_len),
-    ) else {
+    let caps = (scratch.beta.word_capacity(), scratch.fold.word_capacity());
+    if !master.fold_var_into(var, space_len, &mut scratch.beta) {
         return;
-    };
-    let mut beta = m;
-    beta.and_assign(&s);
-    slave.unfold_var(var, &beta);
+    }
+    if !slave.fold_var_into(var, space_len, &mut scratch.fold) {
+        return;
+    }
+    scratch.account(caps != (scratch.beta.word_capacity(), scratch.fold.word_capacity()));
+    scratch.beta.and_assign(&scratch.fold);
+    scratch.stats.intersections += 1;
+    let PruneScratch { beta, set, .. } = scratch;
+    slave.unfold_var_with(var, beta, set);
 }
 
 /// Algorithm 5.3: `clustered-semi-join(?j, {tp1..tpk})` — intersect all
 /// members' bindings and unfold each with the intersection.
-pub fn clustered_semi_join(dims: &CubeDims, var: usize, tps: &mut [TpState], members: &[TpId]) {
+pub fn clustered_semi_join(
+    dims: &CubeDims,
+    var: usize,
+    tps: &mut [TpState],
+    members: &[TpId],
+    scratch: &mut PruneScratch,
+) {
     if members.len() < 2 {
         return;
     }
     let space_len = op_space_len(dims, members.iter().filter_map(|&m| tps[m].dim_of(var)));
-    let mut beta = BitVec::ones(space_len);
+    let caps = (scratch.beta.word_capacity(), scratch.fold.word_capacity());
+    scratch.beta.reset_ones(space_len);
     let mut any = false;
     for &m in members {
-        if let Some(f) = tps[m].fold_var(var, space_len) {
-            beta.and_assign(&f);
+        if tps[m].fold_var_into(var, space_len, &mut scratch.fold) {
+            scratch.beta.and_assign(&scratch.fold);
+            scratch.stats.intersections += 1;
             any = true;
         }
     }
+    scratch.account(caps != (scratch.beta.word_capacity(), scratch.fold.word_capacity()));
     if !any {
         return;
     }
+    let PruneScratch { beta, set, .. } = scratch;
     for &m in members {
-        tps[m].unfold_var(var, &beta);
+        tps[m].unfold_var_with(var, beta, set);
     }
 }
 
-/// Algorithm 3.2 over both passes of the [`JvarOrder`].
+/// Algorithm 3.2 over both passes of the [`JvarOrder`]. `scratch` carries
+/// every reusable buffer (and the [`PruneStats`] counters) across jvars,
+/// passes and — if the caller keeps it — queries.
 pub fn prune_triples(
     tps: &mut [TpState],
     gosn: &Gosn,
@@ -79,10 +167,13 @@ pub fn prune_triples(
     vt: &VarTable,
     order: &JvarOrder,
     dims: &CubeDims,
+    scratch: &mut PruneScratch,
 ) -> PruneOutcome {
     for pass in [&order.bottom_up, &order.top_down] {
         for &var in pass.iter() {
-            if prune_one_jvar(tps, gosn, goj, vt, var, dims) == PruneOutcome::EmptyAbsoluteMaster {
+            if prune_one_jvar(tps, gosn, goj, vt, var, dims, scratch)
+                == PruneOutcome::EmptyAbsoluteMaster
+            {
                 return PruneOutcome::EmptyAbsoluteMaster;
             }
         }
@@ -91,7 +182,8 @@ pub fn prune_triples(
 }
 
 /// One jvar step: master→slave semi-joins then per-peer-group
-/// clustered-semi-joins (Alg 3.2 lines 2–8).
+/// clustered-semi-joins (Alg 3.2 lines 2–8). The work lists live in
+/// `scratch`; the loop body is allocation-free once the pool is warm.
 fn prune_one_jvar(
     tps: &mut [TpState],
     gosn: &Gosn,
@@ -99,44 +191,58 @@ fn prune_one_jvar(
     vt: &VarTable,
     var: usize,
     dims: &CubeDims,
+    scratch: &mut PruneScratch,
 ) -> PruneOutcome {
     let name = vt.name(var);
     let Some(node) = goj.node_of(name) else {
         return PruneOutcome::Done;
     };
-    let holders: Vec<TpId> = (0..gosn.n_tps())
-        .filter(|&tp| goj.jvars_of_tp(tp).contains(&node))
-        .collect();
+    scratch.holders.clear();
+    scratch
+        .holders
+        .extend((0..gosn.n_tps()).filter(|&tp| goj.jvars_of_tp(tp).contains(&node)));
 
     // Master/slave semi-joins; masters iterate outermost-first so their
     // restrictions cascade down the hierarchy in one sweep.
-    let mut by_depth = holders.clone();
-    by_depth.sort_by_key(|&tp| gosn.masters_of(gosn.sn_of_tp(tp)).len());
-    for &tp_i in &by_depth {
-        for &tp_j in &holders {
+    scratch.by_depth.clear();
+    scratch.by_depth.extend_from_slice(&scratch.holders);
+    scratch
+        .by_depth
+        .sort_by_key(|&tp| gosn.masters_of(gosn.sn_of_tp(tp)).len());
+    for i in 0..scratch.by_depth.len() {
+        let tp_i = scratch.by_depth[i];
+        for j in 0..scratch.holders.len() {
+            let tp_j = scratch.holders[j];
             if gosn.tp_is_master_of(tp_i, tp_j) {
                 let (master, slave) = disjoint_pair(tps, tp_i, tp_j);
-                semi_join(dims, var, slave, master);
+                semi_join(dims, var, slave, master, scratch);
             }
         }
     }
 
     // Clustered-semi-joins, one per peer group containing ?j.
-    let mut groups_done: Vec<usize> = Vec::new();
-    for &tp in &holders {
+    scratch.groups_done.clear();
+    for i in 0..scratch.holders.len() {
+        let tp = scratch.holders[i];
         let sn = gosn.sn_of_tp(tp);
         let peer_sns = gosn.peers_of(sn);
         let group_key = *peer_sns.first().unwrap();
-        if groups_done.contains(&group_key) {
+        if scratch.groups_done.contains(&group_key) {
             continue;
         }
-        groups_done.push(group_key);
-        let members: Vec<TpId> = holders
-            .iter()
-            .copied()
-            .filter(|&t| peer_sns.contains(&gosn.sn_of_tp(t)))
-            .collect();
-        clustered_semi_join(dims, var, tps, &members);
+        scratch.groups_done.push(group_key);
+        scratch.members.clear();
+        scratch.members.extend(
+            scratch
+                .holders
+                .iter()
+                .copied()
+                .filter(|&t| peer_sns.contains(&gosn.sn_of_tp(t))),
+        );
+        let mut members = std::mem::take(&mut scratch.members);
+        clustered_semi_join(dims, var, tps, &members, scratch);
+        members.clear();
+        scratch.members = members;
     }
 
     if crate::init::absolute_master_empty(gosn, tps) {
@@ -144,6 +250,70 @@ fn prune_one_jvar(
     } else {
         PruneOutcome::Done
     }
+}
+
+/// The operations [`prune_triples`] will issue over both jvar passes,
+/// statically enumerable from the plan alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannedPruneOps {
+    /// Master→slave semi-joins.
+    pub semi_joins: usize,
+    /// Clustered-semi-joins (one per peer group with ≥ 2 members).
+    pub clustered_groups: usize,
+    /// Member folds across all clustered-semi-joins (each is one
+    /// intersection into the shared β mask).
+    pub clustered_folds: usize,
+}
+
+/// Statically enumerates the prune operations: **the same holder and
+/// peer-group sweep as [`prune_one_jvar`]** — keep the two in lock-step
+/// (the `planned_ops_match_runtime_intersections` test ties them
+/// together: on data where no fold is empty,
+/// `semi_joins + clustered_folds` equals the runtime
+/// [`PruneStats::intersections`]). Used by `explain` to render the prune
+/// plan.
+pub fn planned_prune_ops(
+    gosn: &Gosn,
+    goj: &Goj,
+    vt: &VarTable,
+    order: &JvarOrder,
+) -> PlannedPruneOps {
+    let mut ops = PlannedPruneOps::default();
+    for pass in [&order.bottom_up, &order.top_down] {
+        for &var in pass.iter() {
+            let Some(node) = goj.node_of(vt.name(var)) else {
+                continue;
+            };
+            let holders: Vec<TpId> = (0..gosn.n_tps())
+                .filter(|&tp| goj.jvars_of_tp(tp).contains(&node))
+                .collect();
+            for &tp_i in &holders {
+                for &tp_j in &holders {
+                    if gosn.tp_is_master_of(tp_i, tp_j) {
+                        ops.semi_joins += 1;
+                    }
+                }
+            }
+            let mut groups_done: Vec<usize> = Vec::new();
+            for &tp in &holders {
+                let peer_sns = gosn.peers_of(gosn.sn_of_tp(tp));
+                let group_key = *peer_sns.first().unwrap();
+                if groups_done.contains(&group_key) {
+                    continue;
+                }
+                groups_done.push(group_key);
+                let members = holders
+                    .iter()
+                    .filter(|&&t| peer_sns.contains(&gosn.sn_of_tp(t)))
+                    .count();
+                if members >= 2 {
+                    ops.clustered_groups += 1;
+                    ops.clustered_folds += members;
+                }
+            }
+        }
+    }
+    ops
 }
 
 /// Mutable access to a (master, slave) pair of distinct TPs.
@@ -205,7 +375,15 @@ mod tests {
         let est = estimate_all(a.gosn.tps(), &g.dict, &store);
         let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
-        let outcome = prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        let outcome = prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         assert_eq!(outcome, PruneOutcome::Done);
         assert_eq!(
             out.tps[0].count(),
@@ -234,7 +412,15 @@ mod tests {
         let est = estimate_all(a.gosn.tps(), &g.dict, &store);
         let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
-        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         assert_eq!(out.tps[0].count(), 5, "all actedIn triples survive");
         assert_eq!(
             out.tps[1].count(),
@@ -257,9 +443,59 @@ mod tests {
         let est = estimate_all(a.gosn.tps(), &g.dict, &store);
         let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
-        prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         assert_eq!(out.tps[0].count(), 1, "only Julia–Seinfeld joins NYC");
         assert_eq!(out.tps[1].count(), 1);
+    }
+
+    /// The static plan and the runtime sweep must stay in lock-step: on
+    /// data where no fold comes up empty, every planned operation runs
+    /// exactly once, so `semi_joins + clustered_folds` equals the
+    /// [`PruneStats::intersections`] counter. A change to either sweep
+    /// that is not mirrored in the other trips this.
+    #[test]
+    fn planned_ops_match_runtime_intersections() {
+        let g = graph();
+        let store = BitMatStore::build(&g);
+        for query in [
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NewYorkCity . } }",
+            "PREFIX : <> SELECT * WHERE { ?f :actedIn ?sitcom . ?sitcom :location ?w . }",
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . OPTIONAL { ?sitcom :location ?loc . } } }",
+        ] {
+            let q = parse_query(query).unwrap();
+            let a = analyze(&q.pattern).unwrap();
+            let vt = VarTable::from_tps(a.gosn.tps()).unwrap();
+            let est = estimate_all(a.gosn.tps(), &g.dict, &store);
+            let jorder = get_jvar_order(&a.gosn, &a.goj, &vt, &est);
+            let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
+            let mut scratch = PruneScratch::new();
+            let outcome = prune_triples(
+                &mut out.tps,
+                &a.gosn,
+                &a.goj,
+                &vt,
+                &jorder,
+                &store.dims(),
+                &mut scratch,
+            );
+            assert_eq!(outcome, PruneOutcome::Done);
+            let planned = planned_prune_ops(&a.gosn, &a.goj, &vt, &jorder);
+            assert_eq!(
+                scratch.stats().intersections as usize,
+                planned.semi_joins + planned.clustered_folds,
+                "plan/runtime sweep diverged on: {query}"
+            );
+        }
     }
 
     /// Early abort: an absolute-master TP emptied by pruning.
@@ -280,7 +516,15 @@ mod tests {
         let mut out = init(&a.gosn, &vt, &jorder, &est, &g.dict, &store).unwrap();
         // Active pruning already empties it at init; prune_triples must
         // report the abort either way.
-        let outcome = prune_triples(&mut out.tps, &a.gosn, &a.goj, &vt, &jorder, &store.dims());
+        let outcome = prune_triples(
+            &mut out.tps,
+            &a.gosn,
+            &a.goj,
+            &vt,
+            &jorder,
+            &store.dims(),
+            &mut PruneScratch::new(),
+        );
         assert_eq!(outcome, PruneOutcome::EmptyAbsoluteMaster);
     }
 }

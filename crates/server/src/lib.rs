@@ -345,6 +345,7 @@ impl Service {
                 "\"len\":{},\"capacity\":{}}},",
                 "\"queries\":{{\"ok\":{},\"errors\":{},\"rows\":{},",
                 "\"rows_with_nulls\":{},\"nb_required\":{},\"join_seeds\":{},",
+                "\"prune_intersections\":{},\"scratch_reuses\":{},",
                 "\"t_total_ms\":{:.3},\"avg_ms\":{:.3}}},",
                 "\"database\":{{\"engine\":\"{}\",\"triples\":{},\"threads\":{}}}}}\n"
             ),
@@ -359,6 +360,8 @@ impl Service {
             agg.rows_with_nulls,
             agg.nb_required_queries,
             agg.join_seeds,
+            agg.prune_intersections,
+            agg.scratch_reuses,
             agg.t_total.as_secs_f64() * 1e3,
             agg.avg_total().as_secs_f64() * 1e3,
             self.db.engine_kind(),
@@ -656,7 +659,12 @@ mod tests {
         assert!(body.contains("\"ok\":2"), "{body}");
         assert!(body.contains("\"errors\":1"), "{body}");
         assert!(body.contains("\"rows\":4"), "{body}"); // 2 runs × 2 friends
-                                                        // The unparseable query never reached the cache: 1 miss, 1 hit.
+
+        // Kernel observability: the prune phase ran compressed-set
+        // intersections and the scratch pools were reused.
+        assert!(body.contains("\"prune_intersections\":"), "{body}");
+        assert!(body.contains("\"scratch_reuses\":"), "{body}");
+        // The unparseable query never reached the cache: 1 miss, 1 hit.
         let stats = server.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(server.query_stats().queries, 2);

@@ -251,7 +251,8 @@ fn run() -> Result<ExitCode, String> {
         };
         eprintln!(
             "engine {}{}  init {:?}  prune {:?}  join {:?}  total {:?}\n\
-             candidates {} → {}  best-match required: {}",
+             candidates {} → {}  best-match required: {}\n\
+             kernel: {} prune intersections, {} scratch reuses",
             opts.engine,
             threads_note,
             stats.t_init,
@@ -261,6 +262,8 @@ fn run() -> Result<ExitCode, String> {
             stats.initial_triples,
             stats.triples_after_pruning,
             stats.nb_required,
+            stats.prune_intersections,
+            stats.scratch_reuses,
         );
     }
     if opts.repeat > 1 {

@@ -8,7 +8,7 @@ use lbr::core::bindings::{Binding, VarTable};
 use lbr::core::init::{init, TpData};
 use lbr::core::jvar_order::get_jvar_order;
 use lbr::core::multiway::{multi_way_join, JoinInputs};
-use lbr::core::prune::{prune_triples, PruneOutcome};
+use lbr::core::prune::{prune_triples, PruneOutcome, PruneScratch};
 use lbr::core::selectivity::estimate_all;
 use lbr::sparql::algebra::{GraphPattern, TermPattern, TriplePattern};
 use lbr::sparql::classify::analyze;
@@ -80,6 +80,7 @@ proptest! {
         let mut loaded = init(gosn, &vt, &jorder, &est, db.dict(), db.store()).unwrap();
         let outcome = prune_triples(
             &mut loaded.tps, gosn, &analyzed.goj, &vt, &jorder, &db.store().dims(),
+            &mut PruneScratch::new(),
         );
         if outcome == PruneOutcome::EmptyAbsoluteMaster {
             return Ok(()); // nothing left to be minimal about
