@@ -130,6 +130,9 @@ pub struct DatasetReport {
     /// `lbr-server` serving throughput over this dataset (all queries
     /// round-robin through the shared plan cache).
     pub serve: ServeReport,
+    /// Updatable-store overhead: query latency with 0%/1%/10% of the
+    /// triples resident in the delta memtable, and after compaction.
+    pub delta: DeltaReport,
 }
 
 /// A prepared (indexed) dataset.
@@ -395,6 +398,168 @@ pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
     }
 }
 
+/// The delta fractions measured by [`run_delta`]: no delta, then 1% and
+/// 10% of the dataset's triples resident in the updatable store's
+/// memtable.
+pub const DELTA_FRACTIONS: [f64; 3] = [0.0, 0.01, 0.10];
+
+/// Query latency with part of the dataset living in the delta memtable
+/// of an updatable [`lbr::Database`] (one point of [`DeltaReport`]).
+#[derive(Debug, Clone)]
+pub struct DeltaPoint {
+    /// Requested fraction of the dataset's triples held out of the base
+    /// segments and re-inserted through `Database::insert_triples`.
+    pub fraction: f64,
+    /// Triples actually resident in the delta while the queries ran.
+    pub delta_triples: u64,
+    /// Geometric mean (seconds) of all dataset queries, serial LBR.
+    pub geomean_secs: f64,
+}
+
+/// Updatable-store overhead report: query latency as the delta memtable
+/// grows, and after compaction folds it back into fresh segments.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// One measurement per [`DELTA_FRACTIONS`] entry.
+    pub points: Vec<DeltaPoint>,
+    /// Geometric mean (seconds) after `compact()` on the largest-delta
+    /// database — the floor the overlay overhead returns to.
+    pub compacted_geomean_secs: f64,
+    /// Wall-clock seconds of that compaction.
+    pub compact_secs: f64,
+}
+
+/// SplitMix64 — a tiny deterministic mixer used to spread the held-out
+/// triples across the dataset instead of clustering them at one end.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Picks up to `target` triples that can be held out of the base load
+/// and re-inserted without forcing a dictionary rebuild: every term of a
+/// picked triple still appears in the same role in some remaining
+/// triple, so the re-insert is encodable under the base dictionary and
+/// stays delta-resident — the state this benchmark exists to measure.
+fn pick_holdout(triples: &[lbr_rdf::Triple], target: usize) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut subjects: HashMap<&lbr_rdf::Term, usize> = HashMap::new();
+    let mut predicates: HashMap<&lbr_rdf::Term, usize> = HashMap::new();
+    let mut objects: HashMap<&lbr_rdf::Term, usize> = HashMap::new();
+    for t in triples {
+        *subjects.entry(&t.s).or_insert(0) += 1;
+        *predicates.entry(&t.p).or_insert(0) += 1;
+        *objects.entry(&t.o).or_insert(0) += 1;
+    }
+    let mut order: Vec<usize> = (0..triples.len()).collect();
+    order.sort_by_key(|&i| splitmix64(i as u64));
+    let mut picked = Vec::with_capacity(target);
+    for i in order {
+        if picked.len() >= target {
+            break;
+        }
+        let t = &triples[i];
+        if subjects[&t.s] > 1 && predicates[&t.p] > 1 && objects[&t.o] > 1 {
+            *subjects.get_mut(&t.s).unwrap() -= 1;
+            *predicates.get_mut(&t.p).unwrap() -= 1;
+            *objects.get_mut(&t.o).unwrap() -= 1;
+            picked.push(i);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Geometric mean of end-to-end seconds over the dataset's queries
+/// against a facade database: warm-up plus [`RUNS`] timed executions per
+/// query, planning included — comparable to [`run_engine`].
+fn geomean_facade(db: &lbr::Database, queries: &[lbr_datagen::BenchQuery]) -> f64 {
+    let mut times = Vec::with_capacity(queries.len());
+    for q in queries {
+        db.execute(&q.text).expect("warm-up run");
+        let mut total = 0.0;
+        for _ in 0..RUNS {
+            let t = Instant::now();
+            db.execute(&q.text).expect("timed run");
+            total += secs(t.elapsed());
+        }
+        times.push(total / RUNS as f64);
+    }
+    geomean(times.iter().copied())
+}
+
+/// Measures the updatable-store overhead: loads the dataset with a
+/// fraction of its triples held back, re-inserts them through the update
+/// path so they live in the delta memtable, and times every benchmark
+/// query at each fraction; then compacts the largest delta and times
+/// again. The holdout is role-compatible by construction (see
+/// [`pick_holdout`]) so the inserts ride the fast delta path instead of
+/// a dictionary rebuild, and auto-compaction is disabled for the run so
+/// the delta stays where the benchmark put it.
+pub fn run_delta(p: &Prepared) -> DeltaReport {
+    let triples = p.dataset.graph.triples();
+    let mut points = Vec::new();
+    let mut compacted_geomean_secs = f64::NAN;
+    let mut compact_secs = f64::NAN;
+    for (step, &fraction) in DELTA_FRACTIONS.iter().enumerate() {
+        let target = (triples.len() as f64 * fraction).round() as usize;
+        let held = pick_holdout(triples, target);
+        let mut in_delta = vec![false; triples.len()];
+        for &i in &held {
+            in_delta[i] = true;
+        }
+        let base: Vec<lbr_rdf::Triple> = triples
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !in_delta[i])
+            .map(|(_, t)| t.clone())
+            .collect();
+        let db = lbr::Database::builder()
+            .triples(base)
+            .updatable()
+            .threads(1)
+            .build()
+            .expect("updatable bench database");
+        let store = db.mutable_store().expect("updatable database has a store");
+        store.set_compact_threshold(usize::MAX);
+        if !held.is_empty() {
+            db.insert_triples(held.iter().map(|&i| triples[i].clone()).collect())
+                .expect("delta insert");
+        }
+        let delta_triples = store.current_ref().delta().len() as u64;
+        assert_eq!(
+            db.len(),
+            triples.len(),
+            "holdout re-insert changed the triple count"
+        );
+        assert_eq!(
+            delta_triples as usize,
+            held.len(),
+            "a holdout insert forced a rebuild; the delta would be empty \
+             and the measurement vacuous"
+        );
+        let geomean_secs = geomean_facade(&db, &p.dataset.queries);
+        points.push(DeltaPoint {
+            fraction,
+            delta_triples,
+            geomean_secs,
+        });
+        if step == DELTA_FRACTIONS.len() - 1 {
+            let t = Instant::now();
+            db.compact().expect("compaction");
+            compact_secs = secs(t.elapsed());
+            compacted_geomean_secs = geomean_facade(&db, &p.dataset.queries);
+        }
+    }
+    DeltaReport {
+        points,
+        compacted_geomean_secs,
+        compact_secs,
+    }
+}
+
 fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
     let n = xs.clone().count();
     if n == 0 {
@@ -461,6 +626,7 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
         geomean_baselines,
         rows,
         serve: run_serve(p, SERVE_CLIENTS, SERVE_ROUNDS),
+        delta: run_delta(p),
     }
 }
 
@@ -567,6 +733,27 @@ pub fn render_table_with_prev(r: &DatasetReport, prev_allocs: &[(String, u64)]) 
         serve.requests,
         serve.cache_hits,
         serve.cache_misses,
+    );
+    let pts: Vec<String> = r
+        .delta
+        .points
+        .iter()
+        .map(|pt| {
+            format!(
+                "{:.0}%={} ({} triples)",
+                pt.fraction * 100.0,
+                fmt_secs(pt.geomean_secs),
+                pt.delta_triples
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        s,
+        "updatable: delta-resident geomeans {}; after compaction {} \
+         (compact took {})",
+        pts.join(", "),
+        fmt_secs(r.delta.compacted_geomean_secs),
+        fmt_secs(r.delta.compact_secs),
     );
     s
 }
@@ -729,6 +916,24 @@ impl DatasetReport {
             self.serve.cache_hits,
             self.serve.cache_misses
         );
+        out.push_str(",\"delta\":{\"points\":[");
+        for (i, pt) in self.delta.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"fraction\":{},\"delta_triples\":{},\"geomean_secs\":",
+                pt.fraction, pt.delta_triples
+            );
+            json_f64(&mut out, pt.geomean_secs);
+            out.push('}');
+        }
+        out.push_str("],\"compacted_geomean_secs\":");
+        json_f64(&mut out, self.delta.compacted_geomean_secs);
+        out.push_str(",\"compact_secs\":");
+        json_f64(&mut out, self.delta.compact_secs);
+        out.push('}');
         out.push('}');
         out
     }
@@ -792,6 +997,18 @@ mod tests {
         );
         // The serve-mode throughput column: real HTTP requests were
         // answered, every repeated query from the plan cache.
+        // The updatable-store measurement: the larger fractions really
+        // lived in the delta, and compaction yielded a follow-up number.
+        let delta = &report.delta;
+        assert_eq!(delta.points.len(), DELTA_FRACTIONS.len());
+        assert_eq!(delta.points[0].delta_triples, 0);
+        assert!(delta.points[2].delta_triples > delta.points[1].delta_triples);
+        assert!(delta.points.iter().all(|pt| pt.geomean_secs > 0.0));
+        assert!(delta.compacted_geomean_secs > 0.0);
+        assert!(delta.compact_secs >= 0.0);
+        assert!(json.contains("\"delta\":{\"points\":["));
+        assert!(json.contains("\"compacted_geomean_secs\""));
+        assert!(table.contains("after compaction"));
         let serve = &report.serve;
         assert!(serve.qps > 0.0);
         assert_eq!(

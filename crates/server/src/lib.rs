@@ -13,11 +13,19 @@
 //!   (`text/plain`) — responses are **streamed** onto the socket through
 //!   `lbr::format`'s writer-generic serializers, byte-identical to
 //!   `lbr-cli --format` output for the same query;
+//! * `POST /update` (form `update=…` or raw `application/sparql-update`
+//!   bodies) executes SPARQL 1.1 Update requests when the database was
+//!   built updatable ([`lbr::DatabaseBuilder::wal_dir`] /
+//!   [`lbr::DatabaseBuilder::updatable`]; `lbr-server --wal-dir`),
+//!   answering `{"inserted":…,"deleted":…,"epoch":…}` — against a
+//!   read-only database it answers 403;
 //! * every execution goes through one shared [`lbr::PlanCache`], so a
 //!   repeated query (modulo whitespace) skips parsing + UNF rewrite +
-//!   GoSN/GoJ planning entirely;
+//!   GoSN/GoJ planning entirely; updates bump the database epoch, which
+//!   invalidates cached plans (counted as `epoch_evictions`);
 //! * `GET /healthz` answers `ok`; `GET /stats` reports plan-cache
-//!   hit/miss/eviction counters and aggregated
+//!   hit/miss/eviction counters (including `epoch_evictions`), update
+//!   counters, the storage epoch, and aggregated
 //!   [`StatsAggregate`](lbr_core::StatsAggregate) query statistics as
 //!   JSON.
 //!
@@ -43,10 +51,10 @@ pub mod http;
 use http::{parse_form, read_request, write_error, write_head, write_text};
 use http::{HttpError, Request};
 use lbr::core::{LbrError, StatsAggregate};
-use lbr::{Database, OutputFormat, PlanCache};
+use lbr::{Database, OutputFormat, PlanCache, UpdateError};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -80,6 +88,11 @@ struct Service {
     cache: PlanCache,
     agg: Mutex<StatsAggregate>,
     read_timeout: Duration,
+    /// `/update` requests that committed (no-ops included).
+    updates: AtomicU64,
+    /// Triples actually inserted / deleted across all updates.
+    update_inserted: AtomicU64,
+    update_deleted: AtomicU64,
 }
 
 /// A bound (but not yet serving) SPARQL endpoint.
@@ -105,6 +118,9 @@ impl Server {
                 cache: PlanCache::new(config.cache_capacity),
                 agg: Mutex::new(StatsAggregate::default()),
                 read_timeout: config.read_timeout,
+                updates: AtomicU64::new(0),
+                update_inserted: AtomicU64::new(0),
+                update_deleted: AtomicU64::new(0),
             }),
             workers: config.workers.max(1),
         })
@@ -280,11 +296,17 @@ impl Service {
                 self.execute(&query, request, w)?;
             }
             (_, "/sparql") => return Err(HttpError::method_not_allowed("GET, POST")),
+            ("POST", "/update") => {
+                let update = update_from_post(request)?;
+                self.update(&update, w)?;
+            }
+            (_, "/update") => return Err(HttpError::method_not_allowed("POST")),
             _ => {
                 return Err(HttpError::new(
                     404,
                     format!(
-                        "no such resource {}; the endpoint is /sparql (plus /healthz, /stats)",
+                        "no such resource {}; the endpoints are /sparql and /update \
+                         (plus /healthz, /stats)",
                         request.path
                     ),
                 ))
@@ -325,6 +347,30 @@ impl Service {
         Ok(())
     }
 
+    /// Executes a SPARQL 1.1 Update request and answers a small JSON
+    /// summary. Each operation commits (durably, when the store has a
+    /// WAL) before the response is written.
+    fn update(&self, update_text: &str, w: &mut impl Write) -> Result<(), HttpError> {
+        let outcome = self.db.update(update_text).map_err(update_error)?;
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.update_inserted
+            .fetch_add(outcome.inserted, Ordering::Relaxed);
+        self.update_deleted
+            .fetch_add(outcome.deleted, Ordering::Relaxed);
+        let body = format!(
+            "{{\"inserted\":{},\"deleted\":{},\"epoch\":{}}}\n",
+            outcome.inserted, outcome.deleted, outcome.epoch
+        );
+        let _ = write_head(
+            w,
+            200,
+            "application/json",
+            &[("Content-Length", &body.len().to_string())],
+        )
+        .and_then(|()| w.write_all(body.as_bytes()));
+        Ok(())
+    }
+
     fn query_error(&self, e: LbrError) -> HttpError {
         self.agg.lock().expect("stats poisoned").record_error();
         match e {
@@ -342,16 +388,19 @@ impl Service {
         format!(
             concat!(
                 "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
-                "\"len\":{},\"capacity\":{}}},",
+                "\"epoch_evictions\":{},\"len\":{},\"capacity\":{}}},",
                 "\"queries\":{{\"ok\":{},\"errors\":{},\"rows\":{},",
                 "\"rows_with_nulls\":{},\"nb_required\":{},\"join_seeds\":{},",
                 "\"prune_intersections\":{},\"scratch_reuses\":{},",
                 "\"t_total_ms\":{:.3},\"avg_ms\":{:.3}}},",
-                "\"database\":{{\"engine\":\"{}\",\"triples\":{},\"threads\":{}}}}}\n"
+                "\"updates\":{{\"requests\":{},\"inserted\":{},\"deleted\":{}}},",
+                "\"database\":{{\"engine\":\"{}\",\"triples\":{},\"threads\":{},",
+                "\"epoch\":{},\"updatable\":{}}}}}\n"
             ),
             cache.hits,
             cache.misses,
             cache.evictions,
+            cache.epoch_evictions,
             cache.len,
             cache.capacity,
             agg.queries,
@@ -364,9 +413,14 @@ impl Service {
             agg.scratch_reuses,
             agg.t_total.as_secs_f64() * 1e3,
             agg.avg_total().as_secs_f64() * 1e3,
+            self.updates.load(Ordering::Relaxed),
+            self.update_inserted.load(Ordering::Relaxed),
+            self.update_deleted.load(Ordering::Relaxed),
             self.db.engine_kind(),
             self.db.len(),
             self.db.threads(),
+            self.db.epoch(),
+            self.db.mutable_store().is_some(),
         )
     }
 }
@@ -414,6 +468,52 @@ fn query_from_post(request: &Request) -> Result<String, HttpError> {
             "missing Content-Type; use application/x-www-form-urlencoded \
              or application/sparql-query",
         )),
+    }
+}
+
+/// Extracts the update request from a POST body per its `Content-Type`:
+/// the two SPARQL Protocol flavors are urlencoded forms (`update=…`) and
+/// raw `application/sparql-update`; anything else is 415.
+fn update_from_post(request: &Request) -> Result<String, HttpError> {
+    match request.content_type().as_deref() {
+        Some("application/x-www-form-urlencoded") => {
+            let body = std::str::from_utf8(&request.body)
+                .map_err(|_| HttpError::new(400, "form body is not UTF-8"))?;
+            parse_form(body)?
+                .into_iter()
+                .find(|(k, _)| k == "update")
+                .map(|(_, v)| v)
+                .ok_or_else(|| HttpError::new(400, "missing 'update' form field"))
+        }
+        Some("application/sparql-update") => String::from_utf8(request.body.clone())
+            .map_err(|_| HttpError::new(400, "update body is not UTF-8")),
+        Some(other) => Err(HttpError::new(
+            415,
+            format!(
+                "unsupported media type '{other}'; use application/x-www-form-urlencoded \
+                 or application/sparql-update"
+            ),
+        )),
+        None => Err(HttpError::new(
+            415,
+            "missing Content-Type; use application/x-www-form-urlencoded \
+             or application/sparql-update",
+        )),
+    }
+}
+
+/// Maps an update failure to a protocol status: the client's request is
+/// at fault for parse errors (400); updating a read-only database is
+/// forbidden (403); evaluation errors split like query errors; a WAL
+/// write failure is the server's problem (500).
+fn update_error(e: UpdateError) -> HttpError {
+    match e {
+        UpdateError::Parse(_) => HttpError::new(400, e.to_string()),
+        UpdateError::ReadOnly => HttpError::new(403, e.to_string()),
+        UpdateError::Eval(LbrError::Sparql(_)) | UpdateError::Eval(LbrError::Unsupported(_)) => {
+            HttpError::new(400, e.to_string())
+        }
+        UpdateError::Eval(_) | UpdateError::Store(_) => HttpError::new(500, e.to_string()),
     }
 }
 
@@ -703,6 +803,121 @@ mod tests {
         // planning, so misses are bounded by the worker count.
         assert!(stats.misses <= 4, "{stats:?}");
         assert_eq!(server.query_stats().queries, 48);
+    }
+
+    fn serve_updatable() -> ServerHandle {
+        let db = Arc::new(
+            Database::builder()
+                .ntriples(DATA)
+                .updatable()
+                .build()
+                .unwrap(),
+        );
+        let config = ServerConfig {
+            workers: 4,
+            cache_capacity: 8,
+            read_timeout: Duration::from_secs(5),
+        };
+        Server::bind("127.0.0.1:0", db, config)
+            .unwrap()
+            .spawn()
+            .unwrap()
+    }
+
+    fn post_update(addr: SocketAddr, body: &str) -> (u16, String, String) {
+        let ct = "Content-Type: application/sparql-update\r\n";
+        roundtrip(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\n{ct}Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn update_endpoint_inserts_and_deletes() {
+        let server = serve_updatable();
+        let addr = server.addr();
+        let ask = "/sparql?query=ASK+%7B+%3CKramer%3E+%3ChasFriend%3E+%3Ff+.+%7D";
+
+        // Warm the plan cache on the pre-update snapshot.
+        assert!(get(addr, ask, None).2.contains("false"));
+        assert!(get(addr, ask, None).2.contains("false"));
+
+        // INSERT DATA: committed and immediately queryable.
+        let (status, head, body) =
+            post_update(addr, "INSERT DATA { <Kramer> <hasFriend> <Jerry> }");
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Content-Type: application/json"), "{head}");
+        assert_eq!(body, "{\"inserted\":1,\"deleted\":0,\"epoch\":1}\n");
+        assert!(get(addr, ask, None).2.contains("true"), "insert visible");
+
+        // DELETE WHERE: the pattern's instantiations are removed.
+        let (status, _, body) = post_update(addr, "DELETE WHERE { <Kramer> <hasFriend> ?who }");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, "{\"inserted\":0,\"deleted\":1,\"epoch\":2}\n");
+        assert!(get(addr, ask, None).2.contains("false"), "delete visible");
+
+        // The form flavor works too, and a no-op delete leaves the epoch.
+        let form = "update=DELETE+DATA+%7B+%3CKramer%3E+%3ChasFriend%3E+%3CJerry%3E+%7D";
+        let (status, _, body) = roundtrip(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Type: \
+                 application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{form}",
+                form.len()
+            ),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, "{\"inserted\":0,\"deleted\":0,\"epoch\":2}\n");
+
+        // /stats: update counters, the bumped epoch, and the epoch
+        // evictions the post-update queries caused.
+        let (_, _, stats) = get(addr, "/stats", None);
+        assert!(
+            stats.contains("\"updates\":{\"requests\":3,\"inserted\":1,\"deleted\":1}"),
+            "{stats}"
+        );
+        assert!(stats.contains("\"epoch\":2"), "{stats}");
+        assert!(stats.contains("\"updatable\":true"), "{stats}");
+        assert!(
+            server.cache_stats().epoch_evictions >= 1,
+            "stale plans dropped"
+        );
+    }
+
+    #[test]
+    fn update_against_read_only_database_is_403() {
+        let server = serve();
+        let (status, _, body) = post_update(server.addr(), "INSERT DATA { <x> <y> <z> }");
+        assert_eq!(status, 403, "{body}");
+        assert!(body.contains("read-only"), "{body}");
+        // Nothing changed; stats still reports a fixed epoch-0 database.
+        let (_, _, stats) = get(server.addr(), "/stats", None);
+        assert!(stats.contains("\"updatable\":false"), "{stats}");
+    }
+
+    #[test]
+    fn update_status_codes() {
+        let server = serve_updatable();
+        let addr = server.addr();
+        // 400: malformed update.
+        assert_eq!(post_update(addr, "INSERT NONSENSE").0, 400);
+        // 405: wrong method, with Allow.
+        let (status, head, _) = roundtrip(addr, "GET /update HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        assert!(head.contains("Allow: POST"), "{head}");
+        // 415: wrong media type (a query content type is not an update).
+        let (status, _, _) = roundtrip(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Type: \
+                 application/sparql-query\r\nContent-Length: {}\r\n\r\nASK {{}}",
+                "ASK {}".len()
+            ),
+        );
+        assert_eq!(status, 415);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! lbr-server data.nt                          # http://127.0.0.1:7878/sparql
 //! lbr-server data.nt --addr 0.0.0.0:8080 --workers 8 --cache 512
 //! lbr-server data.nt --index data.lbr         # lazy on-disk BitMat index
+//! lbr-server data.nt --wal-dir wal/           # updatable: POST /update
 //!
 //! curl 'http://127.0.0.1:7878/sparql?query=SELECT%20*%20WHERE%20%7B%20%3Fs%20%3Fp%20%3Fo%20%7D'
 //! curl -d 'query=ASK { ?s ?p ?o }' http://127.0.0.1:7878/sparql
@@ -17,7 +18,9 @@
 //! an ephemeral port, printed on startup), `--workers N` (request
 //! threads), `--cache N` (plan-cache entries), `--engine
 //! lbr|pairwise|query-order|reordered|reference`, `--threads N`
-//! (intra-query join workers), `--index path.lbr`.
+//! (intra-query join workers), `--index path.lbr`, `--wal-dir dir`
+//! (accept SPARQL 1.1 Update on `POST /update`, journal committed
+//! updates to a write-ahead log in `dir` and replay them on restart).
 //!
 //! On startup the server prints exactly one line to stdout —
 //! `listening on http://ADDR` — so scripts (and CI) can discover an
@@ -31,6 +34,7 @@ use std::sync::Arc;
 struct Options {
     data: Option<String>,
     index: Option<String>,
+    wal_dir: Option<String>,
     addr: String,
     engine: EngineKind,
     threads: Option<usize>,
@@ -41,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         data: None,
         index: None,
+        wal_dir: None,
         addr: "127.0.0.1:7878".into(),
         engine: EngineKind::Lbr,
         threads: None,
@@ -67,6 +72,7 @@ fn parse_args() -> Result<Options, String> {
                 o.threads = Some(parse_nonzero(&n, "--threads")?);
             }
             "--index" => o.index = Some(args.next().ok_or("--index needs a value")?),
+            "--wal-dir" => o.wal_dir = Some(args.next().ok_or("--wal-dir needs a value")?),
             "--help" | "-h" => return Err("help".into()),
             _ if o.data.is_none() => o.data = Some(a),
             other => return Err(format!("unexpected argument '{other}'")),
@@ -87,7 +93,7 @@ fn usage() {
     eprintln!(
         "usage: lbr-server <data.nt> [--addr HOST:PORT] [--workers N] [--cache N] \
          [--engine lbr|pairwise|query-order|reordered|reference] [--threads N] \
-         [--index path.lbr]"
+         [--index path.lbr] [--wal-dir dir]"
     );
 }
 
@@ -121,6 +127,9 @@ fn run() -> Result<ExitCode, String> {
     if let Some(index) = &opts.index {
         builder = builder.disk_index(index);
     }
+    if let Some(dir) = &opts.wal_dir {
+        builder = builder.wal_dir(dir);
+    }
     let db = Arc::new(builder.build().map_err(|e| e.to_string())?);
     eprintln!(
         "lbr-server: {} triples, engine {}, {} join threads",
@@ -128,6 +137,12 @@ fn run() -> Result<ExitCode, String> {
         db.engine_kind(),
         db.threads()
     );
+    if opts.wal_dir.is_some() {
+        eprintln!(
+            "lbr-server: updatable (WAL replayed to epoch {}); POST /update enabled",
+            db.epoch()
+        );
+    }
 
     let workers = opts.config.workers;
     let cache = opts.config.cache_capacity;

@@ -9,6 +9,8 @@
 //!   [DISTINCT|REDUCED]` / `ASK` query forms plus the `ORDER BY` /
 //!   `LIMIT` / `OFFSET` solution modifiers;
 //! * [`parser`] — a recursive-descent parser for the SPARQL subset;
+//! * [`update`] — SPARQL 1.1 Update (`INSERT DATA` / `DELETE DATA` /
+//!   `DELETE WHERE`), sharing the parser's tokens and prefix handling;
 //! * [`gosn`] — the **graph of supernodes** (§2): OPT-free BGPs as
 //!   supernodes, unidirectional edges for left-outer joins, bidirectional
 //!   edges for inner joins, and the derived *master / slave / peer /
@@ -44,6 +46,7 @@ pub mod gosn;
 pub mod parser;
 pub mod rewrite;
 pub mod serialize;
+pub mod update;
 pub mod well_designed;
 
 pub use algebra::{
@@ -57,4 +60,5 @@ pub use gosn::{Gosn, SnId, TpId};
 pub use parser::parse_query;
 pub use rewrite::{rewrite_to_unf, UnfBranch};
 pub use serialize::to_sparql;
+pub use update::{parse_update, Update, UpdateOp};
 pub use well_designed::{is_well_designed, transform_nwd_pattern, violations, Violation};

@@ -58,7 +58,7 @@ pub fn parse_query(input: &str) -> Result<Query, SparqlError> {
     })
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
     prefixes: HashMap<String, String>,
@@ -73,18 +73,34 @@ enum Element {
 }
 
 impl<'a> Parser<'a> {
-    fn err(&self, message: impl Into<String>) -> SparqlError {
+    /// A fresh parser over `input` (shared by the query and update entry
+    /// points in this crate).
+    pub(crate) fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            prefixes: HashMap::new(),
+        }
+    }
+
+    /// True once only trailing whitespace/comments remain.
+    pub(crate) fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos == self.input.len()
+    }
+
+    pub(crate) fn err(&self, message: impl Into<String>) -> SparqlError {
         SparqlError::Parse {
             at: self.pos,
             message: message.into(),
         }
     }
 
-    fn peek(&self) -> Option<u8> {
+    pub(crate) fn peek(&self) -> Option<u8> {
         self.input.get(self.pos).copied()
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while let Some(b) = self.peek() {
             if b.is_ascii_whitespace() {
                 self.pos += 1;
@@ -102,7 +118,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Case-insensitive keyword matcher; only fires on a word boundary.
-    fn eat_keyword(&mut self, kw: &str) -> bool {
+    pub(crate) fn eat_keyword(&mut self, kw: &str) -> bool {
         self.skip_ws();
         let end = self.pos + kw.len();
         if end > self.input.len() {
@@ -121,7 +137,7 @@ impl<'a> Parser<'a> {
         true
     }
 
-    fn eat_char(&mut self, c: u8) -> bool {
+    pub(crate) fn eat_char(&mut self, c: u8) -> bool {
         self.skip_ws();
         if self.peek() == Some(c) {
             self.pos += 1;
@@ -131,7 +147,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_char(&mut self, c: u8) -> Result<(), SparqlError> {
+    pub(crate) fn expect_char(&mut self, c: u8) -> Result<(), SparqlError> {
         if self.eat_char(c) {
             Ok(())
         } else {
@@ -139,7 +155,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_prefix_decl(&mut self) -> Result<(), SparqlError> {
+    pub(crate) fn parse_prefix_decl(&mut self) -> Result<(), SparqlError> {
         self.skip_ws();
         let start = self.pos;
         while let Some(b) = self.peek() {
@@ -258,7 +274,7 @@ impl<'a> Parser<'a> {
 
     /// One or more `s p o .` statements (the '.' separators are consumed by
     /// the group loop or here).
-    fn parse_triples_block(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
+    pub(crate) fn parse_triples_block(&mut self) -> Result<Vec<TriplePattern>, SparqlError> {
         let mut tps = Vec::new();
         loop {
             let s = self.parse_term_pattern()?;

@@ -1,0 +1,217 @@
+//! SPARQL 1.1 Update (the subset an updatable BitMat store needs):
+//! `INSERT DATA`, `DELETE DATA` and `DELETE WHERE`.
+//!
+//! An update request is a `;`-separated sequence of operations sharing
+//! one prologue of `PREFIX` declarations, executed in order:
+//!
+//! ```text
+//! PREFIX ex: <http://example.org/>
+//! INSERT DATA { ex:s ex:p ex:o . ex:s ex:p "v" } ;
+//! DELETE DATA { ex:s ex:q ex:old } ;
+//! DELETE WHERE { ex:s ex:p ?o }
+//! ```
+//!
+//! * `INSERT DATA` / `DELETE DATA` take **ground** triples — a variable
+//!   in the block is a parse error, per the SPARQL 1.1 grammar
+//!   (`QuadData` allows no variables);
+//! * `DELETE WHERE` takes a basic graph pattern (triples only — the LBR
+//!   engine evaluates it as a `SELECT *` and deletes every instantiation;
+//!   `OPTIONAL`/`UNION`/`FILTER` are not part of this subset).
+//!
+//! Parsing reuses the query [`crate::parser`] internals (same tokens,
+//! same prefix handling, same comment rules), so IRIs, qnames, literals
+//! and `a` behave identically in queries and updates.
+
+use crate::algebra::{TermPattern, TriplePattern};
+use crate::error::SparqlError;
+use crate::parser::Parser;
+use lbr_rdf::Triple;
+
+/// One operation of an update request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { … }` — add these ground triples.
+    InsertData(Vec<Triple>),
+    /// `DELETE DATA { … }` — remove these ground triples.
+    DeleteData(Vec<Triple>),
+    /// `DELETE WHERE { … }` — remove every instantiation of the pattern.
+    DeleteWhere(Vec<TriplePattern>),
+}
+
+/// A parsed update request: operations in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// The operations, in the order they must be applied.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// Parses an update request.
+pub fn parse_update(input: &str) -> Result<Update, SparqlError> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    while p.eat_keyword("PREFIX") {
+        p.parse_prefix_decl()?;
+    }
+    let mut ops = Vec::new();
+    loop {
+        if p.eat_keyword("INSERT") {
+            if !p.eat_keyword("DATA") {
+                return Err(p.err("expected DATA after INSERT (only INSERT DATA is supported)"));
+            }
+            ops.push(UpdateOp::InsertData(parse_ground_block(
+                &mut p,
+                "INSERT DATA",
+            )?));
+        } else if p.eat_keyword("DELETE") {
+            if p.eat_keyword("DATA") {
+                ops.push(UpdateOp::DeleteData(parse_ground_block(
+                    &mut p,
+                    "DELETE DATA",
+                )?));
+            } else if p.eat_keyword("WHERE") {
+                ops.push(UpdateOp::DeleteWhere(parse_pattern_block(&mut p)?));
+            } else {
+                return Err(p.err("expected DATA or WHERE after DELETE"));
+            }
+        } else if ops.is_empty() {
+            return Err(p.err("expected INSERT DATA, DELETE DATA or DELETE WHERE"));
+        } else {
+            return Err(p.err("expected another operation after ';'"));
+        }
+        // `;` separates operations; a trailing `;` before end is allowed.
+        if !p.eat_char(b';') {
+            break;
+        }
+        if p.at_end() {
+            break;
+        }
+    }
+    if !p.at_end() {
+        return Err(p.err("trailing input after update"));
+    }
+    Ok(Update { ops })
+}
+
+/// `{ triples }` where every term must be constant.
+fn parse_ground_block(p: &mut Parser<'_>, what: &str) -> Result<Vec<Triple>, SparqlError> {
+    let tps = parse_pattern_block(p)?;
+    tps.into_iter()
+        .map(|tp| {
+            ground(&tp).ok_or_else(|| SparqlError::Parse {
+                at: 0,
+                message: format!("{what} takes ground triples; found a variable in the block"),
+            })
+        })
+        .collect()
+}
+
+/// `{ triple patterns }` — a plain triples block, no sub-patterns.
+fn parse_pattern_block(p: &mut Parser<'_>) -> Result<Vec<TriplePattern>, SparqlError> {
+    p.expect_char(b'{')?;
+    p.skip_ws();
+    let tps = if p.peek() == Some(b'}') {
+        Vec::new()
+    } else {
+        p.parse_triples_block()?
+    };
+    p.expect_char(b'}')?;
+    Ok(tps)
+}
+
+/// Converts a fully-constant pattern into a concrete triple.
+fn ground(tp: &TriplePattern) -> Option<Triple> {
+    match (&tp.s, &tp.p, &tp.o) {
+        (TermPattern::Const(s), TermPattern::Const(p), TermPattern::Const(o)) => {
+            Some(Triple::new(s.clone(), p.clone(), o.clone()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_rdf::Term;
+
+    fn iri(v: &str) -> Term {
+        Term::iri(v)
+    }
+
+    #[test]
+    fn insert_data_with_prefixes_and_literals() {
+        let u = parse_update(
+            r#"PREFIX ex: <http://ex.org/>
+               INSERT DATA { ex:s ex:p ex:o . ex:s ex:p "v\"w" . }"#,
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 1);
+        let UpdateOp::InsertData(ts) = &u.ops[0] else {
+            panic!("wrong op")
+        };
+        assert_eq!(
+            ts[0],
+            Triple::new(
+                iri("http://ex.org/s"),
+                iri("http://ex.org/p"),
+                iri("http://ex.org/o")
+            )
+        );
+        assert_eq!(ts[1].o, Term::literal("v\"w"));
+    }
+
+    #[test]
+    fn sequences_share_the_prologue_and_keep_order() {
+        let u = parse_update(
+            "PREFIX e: <u:> INSERT DATA { e:a e:p e:b } ;
+             DELETE DATA { e:a e:p e:b } ;
+             DELETE WHERE { ?s e:p ?o } ;",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 3);
+        assert!(matches!(u.ops[0], UpdateOp::InsertData(_)));
+        assert!(matches!(u.ops[1], UpdateOp::DeleteData(_)));
+        let UpdateOp::DeleteWhere(tps) = &u.ops[2] else {
+            panic!("wrong op")
+        };
+        assert_eq!(tps.len(), 1);
+        assert!(matches!(tps[0].s, TermPattern::Var(_)));
+    }
+
+    #[test]
+    fn empty_blocks_are_legal() {
+        let u = parse_update("INSERT DATA { }").unwrap();
+        assert_eq!(u.ops, vec![UpdateOp::InsertData(vec![])]);
+    }
+
+    #[test]
+    fn variables_in_data_blocks_are_rejected() {
+        assert!(parse_update("INSERT DATA { ?s <p> <o> }").is_err());
+        assert!(parse_update("DELETE DATA { <s> <p> ?o }").is_err());
+        // …but fine in DELETE WHERE.
+        assert!(parse_update("DELETE WHERE { <s> <p> ?o }").is_ok());
+    }
+
+    #[test]
+    fn malformed_updates_are_rejected() {
+        for bad in [
+            "",
+            "INSERT { <s> <p> <o> }",              // no DATA
+            "DELETE { <s> <p> <o> }",              // no DATA/WHERE
+            "INSERT DATA { <s> <p> <o> ",          // unterminated
+            "INSERT DATA { <s> <p> <o> } garbage", // trailing input
+            "INSERT DATA { <s> <p> <o> } ; ; ",    // empty op after ;
+            "SELECT * WHERE { ?s ?p ?o }",         // a query, not an update
+        ] {
+            assert!(parse_update(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn a_keyword_and_comments_work_in_updates() {
+        let u = parse_update("# add a type\nINSERT DATA { <s> a <C> . } # trailing").unwrap();
+        let UpdateOp::InsertData(ts) = &u.ops[0] else {
+            panic!("wrong op")
+        };
+        assert_eq!(ts[0].p, iri(crate::parser::RDF_TYPE));
+    }
+}

@@ -1,0 +1,216 @@
+//! The delta memtable: insert and tombstone sets in the base ID space.
+//!
+//! A [`TripleSet`] keeps every triple under three orderings — `(p,s,o)`,
+//! `(s,p,o)` and `(o,p,s)` — so each of the four BitMat families can range
+//! over exactly the triples it needs (`so`/`os` by predicate, `po` by
+//! subject, `ps` by object) without scanning the whole delta. The sets are
+//! `BTreeSet`s: deltas are small by design (compaction folds them away),
+//! and ordered range scans produce the sorted position lists the
+//! compressed-row constructors want.
+
+use lbr_rdf::EncodedTriple;
+use std::collections::BTreeSet;
+
+/// A set of encoded triples indexed for all four BitMat access paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TripleSet {
+    /// `(p, s, o)` — serves the per-predicate S-O / O-S families.
+    by_pso: BTreeSet<(u32, u32, u32)>,
+    /// `(s, p, o)` — serves the per-subject P-O family.
+    by_spo: BTreeSet<(u32, u32, u32)>,
+    /// `(o, p, s)` — serves the per-object P-S family.
+    by_ops: BTreeSet<(u32, u32, u32)>,
+}
+
+impl TripleSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.by_pso.len()
+    }
+
+    /// True when no triple is present.
+    pub fn is_empty(&self) -> bool {
+        self.by_pso.is_empty()
+    }
+
+    /// Inserts a triple; returns `true` if it was new.
+    pub fn insert(&mut self, t: EncodedTriple) -> bool {
+        let added = self.by_pso.insert((t.p, t.s, t.o));
+        if added {
+            self.by_spo.insert((t.s, t.p, t.o));
+            self.by_ops.insert((t.o, t.p, t.s));
+        }
+        added
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, t: EncodedTriple) -> bool {
+        let removed = self.by_pso.remove(&(t.p, t.s, t.o));
+        if removed {
+            self.by_spo.remove(&(t.s, t.p, t.o));
+            self.by_ops.remove(&(t.o, t.p, t.s));
+        }
+        removed
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: EncodedTriple) -> bool {
+        self.by_pso.contains(&(t.p, t.s, t.o))
+    }
+
+    /// All triples, ascending by `(p, s, o)`.
+    pub fn iter(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
+        self.by_pso
+            .iter()
+            .map(|&(p, s, o)| EncodedTriple::new(s, p, o))
+    }
+
+    /// `(s, o)` pairs of predicate `p`, ascending — the S-O family's order.
+    pub fn pairs_of_p(&self, p: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.by_pso
+            .range((p, 0, 0)..=(p, u32::MAX, u32::MAX))
+            .map(|&(_, s, o)| (s, o))
+    }
+
+    /// `(p, o)` pairs of subject `s`, ascending — the P-O family's order.
+    pub fn pairs_of_s(&self, s: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.by_spo
+            .range((s, 0, 0)..=(s, u32::MAX, u32::MAX))
+            .map(|&(_, p, o)| (p, o))
+    }
+
+    /// `(p, s)` pairs of object `o`, ascending — the P-S family's order.
+    pub fn pairs_of_o(&self, o: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.by_ops
+            .range((o, 0, 0)..=(o, u32::MAX, u32::MAX))
+            .map(|&(_, p, s)| (p, s))
+    }
+
+    /// Objects of `(s, p, ?o)`, ascending.
+    pub fn objects_of_sp(&self, s: u32, p: u32) -> impl Iterator<Item = u32> + '_ {
+        self.by_spo
+            .range((s, p, 0)..=(s, p, u32::MAX))
+            .map(|&(_, _, o)| o)
+    }
+
+    /// Subjects of `(?s, p, o)`, ascending.
+    pub fn subjects_of_po(&self, p: u32, o: u32) -> impl Iterator<Item = u32> + '_ {
+        self.by_ops
+            .range((o, p, 0)..=(o, p, u32::MAX))
+            .map(|&(_, _, s)| s)
+    }
+
+    /// Triple count of predicate `p`.
+    pub fn count_p(&self, p: u32) -> u64 {
+        self.pairs_of_p(p).count() as u64
+    }
+
+    /// Triple count of subject `s`.
+    pub fn count_s(&self, s: u32) -> u64 {
+        self.pairs_of_s(s).count() as u64
+    }
+
+    /// Triple count of object `o`.
+    pub fn count_o(&self, o: u32) -> u64 {
+        self.pairs_of_o(o).count() as u64
+    }
+
+    /// Count of `(s, p, ?o)` matches.
+    pub fn count_sp(&self, s: u32, p: u32) -> u64 {
+        self.objects_of_sp(s, p).count() as u64
+    }
+
+    /// Count of `(?s, p, o)` matches.
+    pub fn count_po(&self, p: u32, o: u32) -> u64 {
+        self.subjects_of_po(p, o).count() as u64
+    }
+}
+
+/// The memtable: what the current epoch has added to and removed from the
+/// immutable base segments.
+///
+/// Invariants (maintained by [`crate::Store`] at apply time, relied on by
+/// [`crate::OverlayCatalog`] for exact arithmetic counts):
+///
+/// * every `inserts` triple is **absent** from the base segments;
+/// * every `tombstones` triple is **present** in the base segments;
+/// * `inserts` and `tombstones` are disjoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Triples added since the segments were built.
+    pub inserts: TripleSet,
+    /// Base triples deleted since the segments were built.
+    pub tombstones: TripleSet,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the delta holds no changes (the overlay is then a pure
+    /// pass-through to the base segments).
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// Number of resident changes (inserts + tombstones) — what the
+    /// compaction threshold is compared against.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.tombstones.len()
+    }
+
+    /// Net triple-count change relative to the base.
+    pub fn net(&self) -> i64 {
+        self.inserts.len() as i64 - self.tombstones.len() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> EncodedTriple {
+        EncodedTriple::new(s, p, o)
+    }
+
+    #[test]
+    fn three_orderings_stay_in_sync() {
+        let mut set = TripleSet::new();
+        assert!(set.insert(t(1, 0, 2)));
+        assert!(set.insert(t(3, 0, 2)));
+        assert!(set.insert(t(1, 1, 4)));
+        assert!(!set.insert(t(1, 0, 2)), "duplicate insert is a no-op");
+        assert_eq!(set.len(), 3);
+
+        assert_eq!(set.pairs_of_p(0).collect::<Vec<_>>(), vec![(1, 2), (3, 2)]);
+        assert_eq!(set.pairs_of_s(1).collect::<Vec<_>>(), vec![(0, 2), (1, 4)]);
+        assert_eq!(set.pairs_of_o(2).collect::<Vec<_>>(), vec![(0, 1), (0, 3)]);
+        assert_eq!(set.objects_of_sp(1, 0).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(set.subjects_of_po(0, 2).collect::<Vec<_>>(), vec![1, 3]);
+
+        assert!(set.remove(t(3, 0, 2)));
+        assert!(!set.remove(t(3, 0, 2)));
+        assert_eq!(set.count_p(0), 1);
+        assert_eq!(set.count_o(2), 1);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![t(1, 0, 2), t(1, 1, 4)]);
+    }
+
+    #[test]
+    fn delta_len_and_net() {
+        let mut d = Delta::new();
+        assert!(d.is_empty());
+        d.inserts.insert(t(0, 0, 0));
+        d.inserts.insert(t(0, 0, 1));
+        d.tombstones.insert(t(1, 0, 0));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.net(), 1);
+        assert!(!d.is_empty());
+    }
+}

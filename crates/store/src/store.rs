@@ -1,0 +1,692 @@
+//! [`Store`]: epoch-stamped snapshots over segments + delta + WAL.
+//!
+//! ## Snapshot isolation
+//!
+//! The current [`Snapshot`] sits behind an `RwLock<Arc<Snapshot>>`.
+//! Readers call [`Store::snapshot`] and keep serving from their `Arc`
+//! regardless of what writers do; a commit builds a **new** snapshot off
+//! to the side and swaps the `Arc` in one assignment. Writers serialize
+//! on a separate mutex, so the data path never blocks behind a rebuild.
+//!
+//! ## Fast path vs rebuild
+//!
+//! The dictionary is frozen at build time (the Appendix-D shared `Vso`
+//! prefix bakes "is this term both a subject and an object?" into the ID
+//! layout), so there are two commit shapes:
+//!
+//! * **fast**: every inserted triple is encodable in the current
+//!   dictionary — the commit clones the (small) delta, applies the batch,
+//!   and publishes a snapshot sharing the old graph + segments `Arc`s;
+//! * **rebuild**: an insert carries a new term, or an existing term in a
+//!   new role — dictionary + segments are rebuilt from the merged triples
+//!   (this is exactly a compaction, so the new delta is empty).
+//!
+//! Deletes never force a rebuild: a triple whose terms the dictionary
+//! does not know cannot be present, so the delete is a no-op.
+//!
+//! ## Compaction
+//!
+//! When the delta reaches the threshold (default
+//! [`DEFAULT_COMPACT_THRESHOLD`]) the commit folds base + delta into
+//! freshly built segments **under the same dictionary** and publishes an
+//! empty delta. The WAL is *not* truncated: it is the durable log of
+//! everything since the boot-time source, and replaying it from scratch
+//! reproduces the exact same state (compaction only changes the in-memory
+//! layout, never the logical content).
+
+use crate::delta::Delta;
+use crate::overlay::OverlayCatalog;
+use crate::wal::{Wal, WalOp, WalOpKind};
+use lbr_bitmat::{BitMatStore, Catalog};
+use lbr_rdf::{Dictionary, EncodedGraph, EncodedTriple, Graph, Triple};
+use std::collections::HashSet;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Delta size (inserts + tombstones) at which a commit folds the delta
+/// into fresh segments.
+pub const DEFAULT_COMPACT_THRESHOLD: usize = 100_000;
+
+/// One consistent, immutable view of the database.
+///
+/// Cheap to clone via `Arc`; everything an engine needs — dictionary,
+/// merged catalog — hangs off it, pinned to the epoch it was created at.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    graph: Arc<EncodedGraph>,
+    catalog: OverlayCatalog,
+}
+
+impl Snapshot {
+    fn new(epoch: u64, graph: Arc<EncodedGraph>, segments: Arc<BitMatStore>, delta: Delta) -> Self {
+        Snapshot {
+            epoch,
+            catalog: OverlayCatalog::new(segments, Arc::new(delta)),
+            graph,
+        }
+    }
+
+    /// The epoch this snapshot was published at (0 = as loaded).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The base graph (dictionary + the encoded triples the segments were
+    /// built from — delta changes are *not* reflected here).
+    pub fn graph(&self) -> &EncodedGraph {
+        &self.graph
+    }
+
+    /// The dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.graph.dict
+    }
+
+    /// The merged catalog engines should run on.
+    pub fn catalog(&self) -> &OverlayCatalog {
+        &self.catalog
+    }
+
+    /// The immutable base segments (without the delta).
+    pub fn segments(&self) -> &BitMatStore {
+        self.catalog.segments()
+    }
+
+    /// The delta memtable.
+    pub fn delta(&self) -> &Delta {
+        self.catalog.delta()
+    }
+
+    /// Total triples in the merged view.
+    pub fn n_triples(&self) -> u64 {
+        self.catalog.dims().n_triples
+    }
+
+    /// True when `t` is in the merged view.
+    pub fn contains(&self, t: &Triple) -> bool {
+        match self.graph.dict.encode(t) {
+            None => false,
+            Some(e) => self.contains_encoded(e),
+        }
+    }
+
+    fn contains_encoded(&self, e: EncodedTriple) -> bool {
+        let delta = self.catalog.delta();
+        delta.inserts.contains(e)
+            || (segment_contains(self.segments(), e) && !delta.tombstones.contains(e))
+    }
+
+    /// Materializes the merged view as term-level triples (sorted) — the
+    /// rebuild and equivalence-test substrate, not a hot path.
+    pub fn triples(&self) -> Vec<Triple> {
+        let delta = self.catalog.delta();
+        let dict = &self.graph.dict;
+        let decode = |e: EncodedTriple| dict.decode(&e).expect("base IDs decode");
+        let mut out: Vec<Triple> = self
+            .graph
+            .triples
+            .iter()
+            .filter(|e| !delta.tombstones.contains(**e))
+            .map(|e| decode(*e))
+            .chain(delta.inserts.iter().map(decode))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+fn segment_contains(segments: &BitMatStore, e: EncodedTriple) -> bool {
+    segments.po(e.s).is_some_and(|m| m.get(e.p, e.o))
+}
+
+/// A set of concrete triples to apply atomically. Deletes are applied
+/// before inserts.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    /// Triples to add.
+    pub inserts: Vec<Triple>,
+    /// Triples to remove.
+    pub deletes: Vec<Triple>,
+}
+
+impl UpdateBatch {
+    /// A pure-insert batch.
+    pub fn insert(triples: Vec<Triple>) -> Self {
+        UpdateBatch {
+            inserts: triples,
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A pure-delete batch.
+    pub fn delete(triples: Vec<Triple>) -> Self {
+        UpdateBatch {
+            inserts: Vec::new(),
+            deletes: triples,
+        }
+    }
+}
+
+/// What a commit did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// Triples actually added (no-ops excluded).
+    pub inserted: u64,
+    /// Triples actually removed (no-ops excluded).
+    pub deleted: u64,
+    /// The epoch after the commit (unchanged if the batch was a no-op).
+    pub epoch: u64,
+    /// The dictionary + segments were rebuilt (new term or new role).
+    pub rebuilt: bool,
+    /// The delta was folded into fresh segments.
+    pub compacted: bool,
+}
+
+/// Everything that can go wrong committing an update.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Writing or syncing the WAL failed; the commit did not publish.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "write-ahead log error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The updatable store: immutable segments + delta + WAL behind an
+/// epoch-stamped `Arc` swap.
+pub struct Store {
+    current: RwLock<Arc<Snapshot>>,
+    /// Every snapshot ever published, in epoch order. Append-only while
+    /// the store lives — this is what makes [`Store::current_ref`] sound,
+    /// and it costs little: snapshots share the graph/segments `Arc`s, so
+    /// a retained epoch is one small `Delta` clone (segments are only
+    /// duplicated across a compaction/rebuild boundary).
+    retained: Mutex<Vec<Arc<Snapshot>>>,
+    writer: Mutex<Option<Wal>>,
+    compact_threshold: AtomicUsize,
+}
+
+impl Store {
+    /// Opens a store over a loaded base graph. With a `wal_dir`, the log
+    /// is created (or recovered — torn tail truncated, committed records
+    /// replayed) and every future commit is logged there.
+    pub fn open(base: EncodedGraph, wal_dir: Option<&Path>) -> Result<Store, StoreError> {
+        let graph = Arc::new(base);
+        let segments = Arc::new(BitMatStore::build(&graph));
+        let snapshot = Arc::new(Snapshot::new(0, graph, segments, Delta::new()));
+        let store = Store {
+            current: RwLock::new(Arc::clone(&snapshot)),
+            retained: Mutex::new(vec![snapshot]),
+            writer: Mutex::new(None),
+            compact_threshold: AtomicUsize::new(DEFAULT_COMPACT_THRESHOLD),
+        };
+        if let Some(dir) = wal_dir {
+            let (wal, recovery) = Wal::open(dir)?;
+            for record in recovery.records {
+                let mut batch = UpdateBatch::default();
+                for op in record {
+                    match op.kind {
+                        WalOpKind::Insert => batch.inserts.push(op.triple),
+                        WalOpKind::Delete => batch.deletes.push(op.triple),
+                    }
+                }
+                // Replay through the normal commit path, minus logging.
+                store.commit(batch, false)?;
+            }
+            *store.writer.lock().expect("writer lock poisoned") = Some(wal);
+        }
+        Ok(store)
+    }
+
+    /// An in-memory store (no WAL; updates are lost on drop).
+    pub fn in_memory(base: EncodedGraph) -> Store {
+        Store::open(base, None).expect("in-memory open cannot fail")
+    }
+
+    /// The current snapshot; callers keep a consistent view for as long
+    /// as they hold the `Arc`, no matter how many commits happen.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("store lock poisoned"))
+    }
+
+    /// The current snapshot as a plain borrow of `self`.
+    ///
+    /// This is what lets the `lbr` facade keep its borrow-shaped API
+    /// (`dict()`, `engine_of()`) over a mutable store. The borrow is
+    /// pinned to the epoch current at the call; later commits do not move
+    /// or free it.
+    pub fn current_ref(&self) -> &Snapshot {
+        let arc = self.snapshot();
+        let ptr = Arc::as_ptr(&arc);
+        // SAFETY: every Arc ever installed in `current` (including this
+        // one) was first pushed into `retained`, which is append-only and
+        // lives as long as `self` — so the pointee outlives `&self` even
+        // after any number of epoch swaps. `Arc` contents never move.
+        unsafe { &*ptr }
+    }
+
+    /// The current epoch (0 = as loaded, +1 per effective commit).
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("store lock poisoned").epoch()
+    }
+
+    /// Sets the delta size at which commits auto-compact.
+    pub fn set_compact_threshold(&self, threshold: usize) {
+        self.compact_threshold
+            .store(threshold.max(1), Ordering::Relaxed);
+    }
+
+    /// Disables the per-commit WAL fsync (bulk loads, benchmarks).
+    pub fn set_sync(&self, sync: bool) {
+        if let Some(wal) = self.writer.lock().expect("writer lock poisoned").as_mut() {
+            wal.set_sync(sync);
+        }
+    }
+
+    /// Applies one batch atomically: logs the effective ops to the WAL
+    /// (one record, one fsync), then publishes the new snapshot. A batch
+    /// with no effect writes nothing and keeps the epoch.
+    pub fn apply(&self, batch: UpdateBatch) -> Result<CommitInfo, StoreError> {
+        self.commit(batch, true)
+    }
+
+    /// Folds the delta into freshly built segments now (same dictionary,
+    /// empty delta) and bumps the epoch. No-op on an empty delta.
+    pub fn compact(&self) -> Result<CommitInfo, StoreError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.snapshot();
+        if snap.delta().is_empty() {
+            return Ok(CommitInfo {
+                epoch: snap.epoch(),
+                ..CommitInfo::default()
+            });
+        }
+        let next = Arc::new(fold(&snap, snap.epoch() + 1));
+        let epoch = next.epoch();
+        self.publish(next);
+        Ok(CommitInfo {
+            epoch,
+            compacted: true,
+            ..CommitInfo::default()
+        })
+    }
+
+    fn publish(&self, next: Arc<Snapshot>) {
+        self.retained
+            .lock()
+            .expect("retained lock poisoned")
+            .push(Arc::clone(&next));
+        *self.current.write().expect("store lock poisoned") = next;
+    }
+
+    fn commit(&self, batch: UpdateBatch, log: bool) -> Result<CommitInfo, StoreError> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let snap = self.snapshot();
+        let dict = snap.dict();
+
+        // Fast-path attempt: apply the batch to a working copy of the
+        // delta, recording the effective (non-no-op) term-level ops.
+        // Deletes first, then inserts.
+        let mut working = snap.delta().clone();
+        let mut effective: Vec<WalOp> = Vec::new();
+        let mut needs_rebuild = false;
+        for t in &batch.deletes {
+            let Some(e) = dict.encode(t) else {
+                continue; // unknown term in that role ⇒ cannot be present
+            };
+            let present = working.inserts.contains(e)
+                || (segment_contains(snap.segments(), e) && !working.tombstones.contains(e));
+            if !present {
+                continue;
+            }
+            if !working.inserts.remove(e) {
+                working.tombstones.insert(e);
+            }
+            effective.push(WalOp {
+                kind: WalOpKind::Delete,
+                triple: t.clone(),
+            });
+        }
+        for t in &batch.inserts {
+            let Some(e) = dict.encode(t) else {
+                needs_rebuild = true; // new term, or an old term in a new role
+                break;
+            };
+            let present = working.inserts.contains(e)
+                || (segment_contains(snap.segments(), e) && !working.tombstones.contains(e));
+            if present {
+                continue;
+            }
+            if !working.tombstones.remove(e) {
+                working.inserts.insert(e);
+            }
+            effective.push(WalOp {
+                kind: WalOpKind::Insert,
+                triple: t.clone(),
+            });
+        }
+
+        // Rebuild path: redo the effect computation at term level against
+        // the materialized view, then rebuild dictionary + segments from
+        // the merged set (canonical: `Graph::from_triples` sorts, so the
+        // result is identical to a from-scratch load of these triples).
+        let mut compacted = false;
+        let next: Arc<Snapshot> = if needs_rebuild {
+            effective.clear();
+            let mut view: HashSet<Triple> = snap.triples().into_iter().collect();
+            for t in &batch.deletes {
+                if view.remove(t) {
+                    effective.push(WalOp {
+                        kind: WalOpKind::Delete,
+                        triple: t.clone(),
+                    });
+                }
+            }
+            for t in &batch.inserts {
+                if view.insert(t.clone()) {
+                    effective.push(WalOp {
+                        kind: WalOpKind::Insert,
+                        triple: t.clone(),
+                    });
+                }
+            }
+            if effective.is_empty() {
+                return Ok(CommitInfo {
+                    epoch: snap.epoch(),
+                    ..CommitInfo::default()
+                });
+            }
+            compacted = true;
+            let graph = Arc::new(Graph::from_triples(view.into_iter().collect()).encode());
+            let segments = Arc::new(BitMatStore::build(&graph));
+            Arc::new(Snapshot::new(
+                snap.epoch() + 1,
+                graph,
+                segments,
+                Delta::new(),
+            ))
+        } else {
+            if effective.is_empty() {
+                return Ok(CommitInfo {
+                    epoch: snap.epoch(),
+                    ..CommitInfo::default()
+                });
+            }
+            let staged = Snapshot::new(
+                snap.epoch() + 1,
+                Arc::clone(&snap.graph),
+                Arc::clone(snap.catalog().segments()),
+                working,
+            );
+            if staged.delta().len() >= self.compact_threshold.load(Ordering::Relaxed) {
+                compacted = true;
+                Arc::new(fold(&staged, staged.epoch()))
+            } else {
+                Arc::new(staged)
+            }
+        };
+
+        let inserted = effective
+            .iter()
+            .filter(|op| op.kind == WalOpKind::Insert)
+            .count() as u64;
+        let deleted = effective.len() as u64 - inserted;
+
+        // WAL before data: if the append or fsync fails, nothing is
+        // published and the store keeps serving the old epoch.
+        if log {
+            if let Some(wal) = writer.as_mut() {
+                wal.append(&effective)?;
+            }
+        }
+
+        let info = CommitInfo {
+            inserted,
+            deleted,
+            epoch: next.epoch(),
+            rebuilt: needs_rebuild,
+            compacted,
+        };
+        self.publish(next);
+        Ok(info)
+    }
+}
+
+/// Folds a snapshot's delta into freshly built segments under the same
+/// dictionary, producing a snapshot at `epoch` with an empty delta.
+fn fold(snap: &Snapshot, epoch: u64) -> Snapshot {
+    let delta = snap.delta();
+    let mut triples: Vec<EncodedTriple> = snap
+        .graph
+        .triples
+        .iter()
+        .filter(|e| !delta.tombstones.contains(**e))
+        .copied()
+        .chain(delta.inserts.iter())
+        .collect();
+    triples.sort_unstable();
+    let graph = Arc::new(EncodedGraph {
+        dict: snap.graph.dict.clone(),
+        triples,
+    });
+    let segments = Arc::new(BitMatStore::build(&graph));
+    Snapshot::new(epoch, graph, segments, Delta::new())
+}
+
+// The facade shares one `Store` across `lbr-server`'s worker pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Store>();
+    assert_send_sync::<Snapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbr_rdf::Term;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    fn base() -> EncodedGraph {
+        Graph::from_triples(vec![t("a", "p", "b"), t("b", "p", "c"), t("a", "q", "c")]).encode()
+    }
+
+    #[test]
+    fn fast_path_insert_and_delete() {
+        let store = Store::in_memory(base());
+        assert_eq!(store.epoch(), 0);
+
+        // Insert with existing terms in existing roles: no rebuild.
+        let info = store
+            .apply(UpdateBatch::insert(vec![
+                t("a", "p", "c"),
+                t("a", "p", "b"),
+            ]))
+            .unwrap();
+        assert_eq!(
+            (info.inserted, info.deleted),
+            (1, 0),
+            "duplicate is a no-op"
+        );
+        assert!(!info.rebuilt);
+        assert_eq!(info.epoch, 1);
+        let snap = store.snapshot();
+        assert!(snap.contains(&t("a", "p", "c")));
+        assert_eq!(snap.n_triples(), 4);
+
+        let info = store
+            .apply(UpdateBatch::delete(vec![
+                t("a", "p", "b"),
+                t("x", "p", "y"),
+            ]))
+            .unwrap();
+        assert_eq!(
+            (info.inserted, info.deleted),
+            (0, 1),
+            "unknown term delete is a no-op"
+        );
+        assert_eq!(store.epoch(), 2);
+        assert!(!store.snapshot().contains(&t("a", "p", "b")));
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_in_the_delta() {
+        let store = Store::in_memory(base());
+        store
+            .apply(UpdateBatch::insert(vec![t("b", "q", "c")]))
+            .unwrap();
+        store
+            .apply(UpdateBatch::delete(vec![t("b", "q", "c")]))
+            .unwrap();
+        let snap = store.snapshot();
+        assert!(snap.delta().is_empty(), "insert+delete cancel exactly");
+        assert_eq!(snap.n_triples(), 3);
+    }
+
+    #[test]
+    fn new_term_forces_rebuild_with_empty_delta() {
+        let store = Store::in_memory(base());
+        let info = store
+            .apply(UpdateBatch::insert(vec![t("new", "p", "a")]))
+            .unwrap();
+        assert!(info.rebuilt);
+        let snap = store.snapshot();
+        assert!(snap.delta().is_empty());
+        assert_eq!(snap.n_triples(), 4);
+        assert!(snap.contains(&t("new", "p", "a")));
+        // Role change (object-only term used as subject) also rebuilds
+        // when it is not encodable… "c" appears as S already; use a pure
+        // object term: "b" is S and O; add literal object term first.
+        let info = store
+            .apply(UpdateBatch::insert(vec![t("a", "p", "lit-only")]))
+            .unwrap();
+        assert!(info.rebuilt);
+        let info = store
+            .apply(UpdateBatch::insert(vec![t("lit-only", "p", "a")]))
+            .unwrap();
+        assert!(info.rebuilt, "O-only term used as S breaks the Vso prefix");
+        assert!(store.snapshot().contains(&t("lit-only", "p", "a")));
+    }
+
+    #[test]
+    fn noop_batch_keeps_epoch_and_writes_nothing() {
+        let store = Store::in_memory(base());
+        let info = store
+            .apply(UpdateBatch::insert(vec![t("a", "p", "b")]))
+            .unwrap();
+        assert_eq!(info.epoch, 0);
+        assert_eq!(store.epoch(), 0);
+        let info = store
+            .apply(UpdateBatch::delete(vec![t("nope", "p", "nope")]))
+            .unwrap();
+        assert_eq!(info.epoch, 0);
+    }
+
+    #[test]
+    fn compaction_folds_and_preserves_the_view() {
+        let store = Store::in_memory(base());
+        store.set_compact_threshold(1_000_000);
+        store
+            .apply(UpdateBatch::insert(vec![
+                t("a", "p", "c"),
+                t("c", "q", "b"),
+            ]))
+            .unwrap();
+        store
+            .apply(UpdateBatch::delete(vec![t("b", "p", "c")]))
+            .unwrap();
+        let before = store.snapshot();
+        let view = before.triples();
+        assert!(!before.delta().is_empty());
+
+        let info = store.compact().unwrap();
+        assert!(info.compacted);
+        let after = store.snapshot();
+        assert!(after.delta().is_empty());
+        assert_eq!(after.triples(), view, "fold preserves the merged view");
+        assert_eq!(after.epoch(), before.epoch() + 1);
+
+        // Old snapshot still serves its own epoch untouched.
+        assert_eq!(before.triples(), view);
+        assert!(!before.delta().is_empty());
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_threshold() {
+        let store = Store::in_memory(base());
+        store.set_compact_threshold(2);
+        store
+            .apply(UpdateBatch::insert(vec![t("a", "p", "c")]))
+            .unwrap();
+        assert!(!store.snapshot().delta().is_empty());
+        let info = store
+            .apply(UpdateBatch::insert(vec![t("c", "p", "a")]))
+            .unwrap();
+        assert!(info.compacted, "second change reaches the threshold");
+        assert!(store.snapshot().delta().is_empty());
+        assert_eq!(store.snapshot().n_triples(), 5);
+    }
+
+    #[test]
+    fn current_ref_survives_epoch_swaps() {
+        let store = Store::in_memory(base());
+        let before = store.current_ref();
+        let epoch0 = before.epoch();
+        // Base roles: subjects {a, b}, predicates {p, q}, objects {b, c};
+        // every combination is encodable, so all commits take the fast path.
+        for s in ["a", "b"] {
+            for p in ["p", "q"] {
+                for o in ["b", "c"] {
+                    let info = store.apply(UpdateBatch::insert(vec![t(s, p, o)])).unwrap();
+                    assert!(!info.rebuilt);
+                }
+            }
+        }
+        assert_eq!(store.epoch(), 5, "8 combinations, 3 already present");
+        // The borrow taken before the commits still reads its own epoch.
+        assert_eq!(before.epoch(), epoch0);
+        assert_eq!(before.n_triples(), 3);
+        assert_eq!(store.current_ref().n_triples(), 8);
+    }
+
+    #[test]
+    fn wal_roundtrip_replays_to_the_same_state() {
+        let dir = std::env::temp_dir().join(format!("lbr-store-walrt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let view = {
+            let store = Store::open(base(), Some(&dir)).unwrap();
+            store
+                .apply(UpdateBatch::insert(vec![
+                    t("a", "p", "c"),
+                    t("zz", "p", "a"),
+                ]))
+                .unwrap();
+            store
+                .apply(UpdateBatch::delete(vec![t("a", "q", "c")]))
+                .unwrap();
+            store.snapshot().triples()
+        };
+        let reopened = Store::open(base(), Some(&dir)).unwrap();
+        assert_eq!(reopened.snapshot().triples(), view);
+        assert_eq!(reopened.epoch(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -16,6 +16,15 @@
 //! planning entirely; execution builds a fresh (thin, borrow-only)
 //! engine per call via [`Database::execute_plan`].
 //!
+//! Every entry is pinned to the **database epoch** it was planned at
+//! ([`Database::epoch`]). Plans bake in snapshot-specific facts —
+//! encoded constant IDs, selectivity estimates — that an update can
+//! invalidate (a dictionary rebuild reassigns IDs), so serving a
+//! stale-epoch plan could silently return wrong rows. A lookup that
+//! finds an entry from an older epoch treats it as a miss, drops the
+//! entry and counts an `epoch_eviction`. Read-only databases sit at
+//! epoch 0 forever and never pay this check a second glance.
+//!
 //! Hit / miss / eviction counters are monotone atomics, surfaced by
 //! [`PlanCache::stats`] in `lbr-server`'s `/stats` endpoint and in
 //! `lbr-cli --repeat` output.
@@ -38,6 +47,7 @@ use std::sync::{Arc, Mutex};
 pub struct CachedPlan {
     query: Query,
     kind: EngineKind,
+    epoch: u64,
     plan: Box<dyn Any + Send + Sync>,
 }
 
@@ -50,6 +60,11 @@ impl CachedPlan {
     /// The engine kind the plan was produced by.
     pub fn engine_kind(&self) -> EngineKind {
         self.kind
+    }
+
+    /// The database epoch the plan was produced at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The engine's opaque plan (what
@@ -69,6 +84,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay within capacity.
     pub evictions: u64,
+    /// Entries dropped because an update moved the database past the
+    /// epoch they were planned at (each also counts as a miss).
+    pub epoch_evictions: u64,
     /// Entries currently cached.
     pub len: usize,
     /// Maximum entries.
@@ -100,6 +118,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    epoch_evictions: AtomicU64,
 }
 
 impl PlanCache {
@@ -114,6 +133,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            epoch_evictions: AtomicU64::new(0),
         }
     }
 
@@ -130,14 +150,25 @@ impl PlanCache {
     /// so the cache never holds duplicates.
     pub fn get_or_prepare(&self, db: &Database, text: &str) -> Result<Arc<CachedPlan>, LbrError> {
         let key = canonicalize(text);
+        // Read the epoch *before* planning: if an update lands while we
+        // plan, the recorded epoch is older than the plan's snapshot and
+        // the entry self-invalidates on its next lookup — stale in the
+        // safe direction (a wasted re-plan, never a wrong answer).
+        let epoch = db.epoch();
         {
             let mut inner = self.inner.lock().expect("plan cache poisoned");
             inner.clock += 1;
             let clock = inner.clock;
             if let Some(entry) = inner.entries.get_mut(&key) {
-                entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.cached));
+                if entry.cached.epoch == epoch {
+                    entry.last_used = clock;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.cached));
+                }
+                // Planned at an older epoch: the plan may bake in stale
+                // dictionary IDs. Drop it and re-plan.
+                inner.entries.remove(&key);
+                self.epoch_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
 
@@ -148,6 +179,7 @@ impl PlanCache {
         let cached = Arc::new(CachedPlan {
             query,
             kind: db.engine_kind(),
+            epoch,
             plan,
         });
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -156,10 +188,19 @@ impl PlanCache {
         inner.clock += 1;
         let clock = inner.clock;
         match inner.entries.entry(key) {
-            MapEntry::Occupied(mut occupied) => {
-                // Raced with another planner: keep the incumbent.
+            MapEntry::Occupied(mut occupied) if occupied.get().cached.epoch >= epoch => {
+                // Raced with another planner: keep the incumbent (it is
+                // at least as fresh as ours).
                 occupied.get_mut().last_used = clock;
                 return Ok(Arc::clone(&occupied.get().cached));
+            }
+            MapEntry::Occupied(mut occupied) => {
+                // The incumbent is from an older epoch: replace it.
+                self.epoch_evictions.fetch_add(1, Ordering::Relaxed);
+                *occupied.get_mut() = Entry {
+                    cached: Arc::clone(&cached),
+                    last_used: clock,
+                };
             }
             MapEntry::Vacant(vacant) => {
                 vacant.insert(Entry {
@@ -193,6 +234,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
             len,
             capacity: self.capacity,
         }
@@ -445,6 +487,37 @@ mod tests {
             prev.evictions > 0,
             "3 queries through capacity 2 must evict"
         );
+    }
+
+    #[test]
+    fn update_epoch_invalidates_cached_plans() {
+        let db = Database::builder()
+            .ntriples("<a> <p> <b> .\n<a> <p> <c> .")
+            .updatable()
+            .build()
+            .unwrap();
+        let cache = PlanCache::new(4);
+        let q = "SELECT * WHERE { <a> <p> ?o . }";
+        assert_eq!(db.execute_cached(&cache, q).unwrap().rows.len(), 2);
+        assert_eq!(db.execute_cached(&cache, q).unwrap().rows.len(), 2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.epoch_evictions), (1, 1, 0));
+
+        // An update bumps the epoch; the cached plan must not be served.
+        db.update("INSERT DATA { <a> <p> <d> }").unwrap();
+        assert_eq!(db.execute_cached(&cache, q).unwrap().rows.len(), 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.epoch_evictions), (1, 2, 1));
+
+        // Re-planned at the new epoch: hits again until the next update.
+        assert_eq!(db.execute_cached(&cache, q).unwrap().rows.len(), 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.epoch_evictions), (2, 2, 1));
+
+        // A no-op update leaves the epoch — and the cache — alone.
+        db.update("DELETE DATA { <zzz> <zzz> <zzz> }").unwrap();
+        assert_eq!(db.execute_cached(&cache, q).unwrap().rows.len(), 3);
+        assert_eq!(cache.stats().hits, 3);
     }
 
     #[test]

@@ -102,7 +102,12 @@
 //!   streaming over any `io::Write` (what `lbr-cli --format` emits and
 //!   `lbr-server` streams onto the socket);
 //! * [`cache`] — the thread-safe LRU plan cache serving layers share
-//!   ([`PlanCache`], keyed by canonicalized query text);
+//!   ([`PlanCache`], keyed by canonicalized query text and pinned to the
+//!   database epoch);
+//! * [`storage`] — the updatable store: WAL + delta memtable layered
+//!   over immutable BitMat segments, snapshot isolation via epoch'd
+//!   `Arc` swaps, compaction (what [`DatabaseBuilder::wal_dir`] /
+//!   [`DatabaseBuilder::updatable`] and [`Database::update`] sit on);
 //! * [`baseline`] — comparator engines behind [`EngineKind`] (pairwise
 //!   hash joins; outer-join reordering with repair operators; the
 //!   reference oracle);
@@ -115,6 +120,7 @@ pub use lbr_core as core;
 pub use lbr_datagen as datagen;
 pub use lbr_rdf as rdf;
 pub use lbr_sparql as sparql;
+pub use lbr_store as storage;
 
 pub mod cache;
 pub mod format;
@@ -126,6 +132,8 @@ pub use lbr_bitmat::{BitMatStore, Catalog, DiskCatalog};
 pub use lbr_core::{Engine, LbrEngine, QueryOutput, QueryStats, Row, Solutions, StatsAggregate};
 pub use lbr_rdf::{Dictionary, EncodedGraph, Graph, Term, Triple};
 pub use lbr_sparql::{parse_query, Dedup, Modifiers, OrderKey, Query, QueryForm};
+pub use lbr_sparql::{parse_update, Update, UpdateOp};
+pub use lbr_store::{CommitInfo, Snapshot, Store, StoreError, UpdateBatch};
 
 use std::any::Any;
 use std::fmt;
@@ -139,15 +147,25 @@ use std::path::{Path, PathBuf};
 /// underlying pieces stay public for users who need the catalog, the
 /// baselines, or the disk index directly.
 pub struct Database {
-    graph: EncodedGraph,
     backend: Backend,
     default_engine: EngineKind,
     threads: usize,
 }
 
 enum Backend {
-    Memory(BitMatStore),
-    Disk(DiskCatalog),
+    /// Fixed in-memory segments over a fixed graph.
+    Memory {
+        graph: EncodedGraph,
+        store: BitMatStore,
+    },
+    /// Fixed on-disk segments; the graph provides the dictionary.
+    Disk {
+        graph: EncodedGraph,
+        catalog: DiskCatalog,
+    },
+    /// The updatable store: segments + delta memtable (+ optional WAL),
+    /// published as epoch-stamped snapshots.
+    Mutable(Store),
 }
 
 /// Everything that can go wrong assembling a [`Database`].
@@ -171,6 +189,12 @@ pub enum DatabaseError {
         /// Dimensions implied by the triple source's dictionary.
         data: bitmat::CubeDims,
     },
+    /// Opening or replaying the write-ahead log failed.
+    Wal(StoreError),
+    /// [`DatabaseBuilder::wal_dir`] / [`DatabaseBuilder::updatable`]
+    /// combined with [`DatabaseBuilder::disk_index`]: the updatable
+    /// store layers its delta over in-memory segments only.
+    UpdatableDiskIndex,
 }
 
 impl fmt::Display for DatabaseError {
@@ -195,6 +219,11 @@ impl fmt::Display for DatabaseError {
                 data.n_predicates,
                 data.n_objects,
                 data.n_triples,
+            ),
+            DatabaseError::Wal(e) => write!(f, "{e}"),
+            DatabaseError::UpdatableDiskIndex => f.write_str(
+                "wal_dir()/updatable() cannot be combined with disk_index(): \
+                 the updatable store needs in-memory segments",
             ),
         }
     }
@@ -230,6 +259,8 @@ enum Source {
 pub struct DatabaseBuilder {
     source: Option<Source>,
     index: Option<PathBuf>,
+    wal_dir: Option<PathBuf>,
+    updatable: bool,
     engine: EngineKind,
     threads: Option<usize>,
 }
@@ -266,6 +297,29 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Makes the database updatable **and durable**: updates are logged
+    /// to a write-ahead log in `dir` (created if missing) and fsynced
+    /// before they are visible; on the next open with the same `dir`
+    /// the log is replayed over the triple source, so the database
+    /// reopens to exactly the committed updates — even after a crash
+    /// mid-write (a torn tail is truncated to the last whole record).
+    ///
+    /// Implies [`DatabaseBuilder::updatable`]; incompatible with
+    /// [`DatabaseBuilder::disk_index`].
+    pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Makes the database updatable without durability: updates go to
+    /// the in-memory delta only and die with the process. Useful for
+    /// tests and scratch stores; use [`DatabaseBuilder::wal_dir`] to
+    /// persist updates.
+    pub fn updatable(mut self) -> Self {
+        self.updatable = true;
+        self
+    }
+
     /// Sets the default engine queries run on (default:
     /// [`EngineKind::Lbr`]).
     pub fn engine(mut self, kind: EngineKind) -> Self {
@@ -297,27 +351,37 @@ impl DatabaseBuilder {
                 Graph::from_triples(rdf::parse_ntriples(&text)?).encode()
             }
         };
-        let backend = match self.index {
-            Some(path) => {
-                let catalog = DiskCatalog::open(Path::new(&path))?;
-                let index = catalog.dims();
-                let dict = &graph.dict;
-                let data = bitmat::CubeDims {
-                    n_subjects: dict.n_subjects(),
-                    n_predicates: dict.n_predicates(),
-                    n_objects: dict.n_objects(),
-                    n_shared: dict.n_shared(),
-                    n_triples: graph.triples.len() as u64,
-                };
-                if index != data {
-                    return Err(DatabaseError::IndexMismatch { index, data });
-                }
-                Backend::Disk(catalog)
+        let backend = if self.updatable || self.wal_dir.is_some() {
+            if self.index.is_some() {
+                return Err(DatabaseError::UpdatableDiskIndex);
             }
-            None => Backend::Memory(BitMatStore::build(&graph)),
+            let store = Store::open(graph, self.wal_dir.as_deref()).map_err(DatabaseError::Wal)?;
+            Backend::Mutable(store)
+        } else {
+            match self.index {
+                Some(path) => {
+                    let catalog = DiskCatalog::open(Path::new(&path))?;
+                    let index = catalog.dims();
+                    let dict = &graph.dict;
+                    let data = bitmat::CubeDims {
+                        n_subjects: dict.n_subjects(),
+                        n_predicates: dict.n_predicates(),
+                        n_objects: dict.n_objects(),
+                        n_shared: dict.n_shared(),
+                        n_triples: graph.triples.len() as u64,
+                    };
+                    if index != data {
+                        return Err(DatabaseError::IndexMismatch { index, data });
+                    }
+                    Backend::Disk { graph, catalog }
+                }
+                None => {
+                    let store = BitMatStore::build(&graph);
+                    Backend::Memory { graph, store }
+                }
+            }
         };
         Ok(Database {
-            graph,
             backend,
             default_engine: self.engine,
             threads: self.threads.unwrap_or_else(core::api::default_threads),
@@ -331,6 +395,8 @@ impl Database {
         DatabaseBuilder {
             source: None,
             index: None,
+            wal_dir: None,
+            updatable: false,
             engine: EngineKind::Lbr,
             threads: None,
         }
@@ -379,10 +445,20 @@ impl Database {
     }
 
     /// A specific engine with explicit [`EngineOptions`].
+    ///
+    /// On an updatable database the engine is bound to the snapshot
+    /// current at this call: it sees that snapshot's triples for its
+    /// whole lifetime, unaffected by concurrent updates (snapshot
+    /// isolation — old snapshots stay readable until the database is
+    /// dropped).
     pub fn engine_with(&self, kind: EngineKind, options: &EngineOptions) -> Box<dyn Engine + '_> {
         match &self.backend {
-            Backend::Memory(store) => kind.build_with(store, &self.graph.dict, options),
-            Backend::Disk(catalog) => kind.build_with(catalog, &self.graph.dict, options),
+            Backend::Memory { graph, store } => kind.build_with(store, &graph.dict, options),
+            Backend::Disk { graph, catalog } => kind.build_with(catalog, &graph.dict, options),
+            Backend::Mutable(store) => {
+                let snap = store.current_ref();
+                kind.build_with(snap.catalog(), snap.dict(), options)
+            }
         }
     }
 
@@ -479,11 +555,24 @@ impl Database {
     }
 
     /// The dictionary (for decoding results).
+    ///
+    /// On an updatable database: the current snapshot's dictionary. It
+    /// stays valid for the database's lifetime even across updates that
+    /// rebuild the dictionary (old snapshots are retained), but IDs it
+    /// hands out describe the snapshot it came from.
     pub fn dict(&self) -> &Dictionary {
-        &self.graph.dict
+        match &self.backend {
+            Backend::Memory { graph, .. } | Backend::Disk { graph, .. } => &graph.dict,
+            Backend::Mutable(store) => store.current_ref().dict(),
+        }
     }
 
     /// The in-memory BitMat store (for baselines, benches, size reports).
+    ///
+    /// On an updatable database this is the current snapshot's immutable
+    /// *segment* store — the compacted base, **without** the delta
+    /// memtable. Use [`Database::engine_of`] (which layers the delta) to
+    /// query; use this only for size/shape inspection.
     ///
     /// # Panics
     ///
@@ -492,27 +581,272 @@ impl Database {
     /// use [`Database::engine_of`] which works over either backend.
     pub fn store(&self) -> &BitMatStore {
         match &self.backend {
-            Backend::Memory(store) => store,
-            Backend::Disk(_) => panic!(
+            Backend::Memory { store, .. } => store,
+            Backend::Disk { .. } => panic!(
                 "Database::store(): this database reads a disk index and has no \
                  in-memory BitMat store; go through Database::engine_of instead"
             ),
+            Backend::Mutable(store) => store.current_ref().segments(),
         }
     }
 
     /// The encoded graph.
+    ///
+    /// On an updatable database: the current snapshot's *base* graph —
+    /// delta-resident updates are not reflected here until a rebuild or
+    /// compaction folds them in. [`Database::triples`] gives the merged
+    /// view.
     pub fn graph(&self) -> &EncodedGraph {
-        &self.graph
+        match &self.backend {
+            Backend::Memory { graph, .. } | Backend::Disk { graph, .. } => graph,
+            Backend::Mutable(store) => store.current_ref().graph(),
+        }
     }
 
-    /// Number of triples.
+    /// Number of triples (on an updatable database: of the current
+    /// snapshot, delta included).
     pub fn len(&self) -> usize {
-        self.graph.len()
+        match &self.backend {
+            Backend::Memory { graph, .. } | Backend::Disk { graph, .. } => graph.len(),
+            Backend::Mutable(store) => store.current_ref().n_triples() as usize,
+        }
     }
 
     /// True when the database has no triples.
     pub fn is_empty(&self) -> bool {
-        self.graph.is_empty()
+        self.len() == 0
+    }
+}
+
+/// What a [`Database::update`] did, summed over its operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Triples actually added (already-present triples don't count).
+    pub inserted: u64,
+    /// Triples actually removed (absent triples don't count).
+    pub deleted: u64,
+    /// The database epoch after the update (unchanged on a no-op).
+    pub epoch: u64,
+}
+
+/// Everything that can go wrong in [`Database::update`].
+#[derive(Debug)]
+pub enum UpdateError {
+    /// The update request did not parse.
+    Parse(sparql::SparqlError),
+    /// The database was built without [`DatabaseBuilder::wal_dir`] /
+    /// [`DatabaseBuilder::updatable`] and cannot be modified.
+    ReadOnly,
+    /// Evaluating a `DELETE WHERE` pattern failed.
+    Eval(core::LbrError),
+    /// Committing to the store (WAL write/sync) failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Parse(e) => write!(f, "{e}"),
+            UpdateError::ReadOnly => f.write_str(
+                "read-only database: build it with wal_dir(…) or updatable() to accept updates",
+            ),
+            UpdateError::Eval(e) => write!(f, "DELETE WHERE evaluation failed: {e}"),
+            UpdateError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<sparql::SparqlError> for UpdateError {
+    fn from(e: sparql::SparqlError) -> Self {
+        UpdateError::Parse(e)
+    }
+}
+
+impl From<StoreError> for UpdateError {
+    fn from(e: StoreError) -> Self {
+        UpdateError::Store(e)
+    }
+}
+
+/// Updates (SPARQL 1.1 Update) — only on databases built with
+/// [`DatabaseBuilder::wal_dir`] or [`DatabaseBuilder::updatable`].
+impl Database {
+    /// The updatable store, when this database has one.
+    pub fn mutable_store(&self) -> Option<&Store> {
+        match &self.backend {
+            Backend::Mutable(store) => Some(store),
+            _ => None,
+        }
+    }
+
+    fn mutable(&self) -> Result<&Store, UpdateError> {
+        self.mutable_store().ok_or(UpdateError::ReadOnly)
+    }
+
+    /// The storage epoch: bumped by every effective update, `0` forever
+    /// on a read-only database. [`PlanCache`] keys plans to this.
+    pub fn epoch(&self) -> u64 {
+        self.mutable_store().map_or(0, Store::epoch)
+    }
+
+    /// Parses and executes a SPARQL 1.1 Update request (`INSERT DATA`,
+    /// `DELETE DATA`, `DELETE WHERE`, `;`-sequences thereof). Each
+    /// operation commits atomically and durably (when a WAL is
+    /// configured) before the next one runs; later operations see
+    /// earlier ones' effects. Queries running concurrently keep their
+    /// snapshot and are unaffected.
+    pub fn update(&self, update_text: &str) -> Result<UpdateOutcome, UpdateError> {
+        let update = parse_update(update_text)?;
+        self.update_parsed(&update)
+    }
+
+    /// Executes an already-parsed update request.
+    pub fn update_parsed(&self, update: &Update) -> Result<UpdateOutcome, UpdateError> {
+        let store = self.mutable()?;
+        let mut outcome = UpdateOutcome {
+            epoch: store.epoch(),
+            ..UpdateOutcome::default()
+        };
+        for op in &update.ops {
+            let info = match op {
+                UpdateOp::InsertData(ts) => store.apply(UpdateBatch::insert(ts.clone()))?,
+                UpdateOp::DeleteData(ts) => store.apply(UpdateBatch::delete(ts.clone()))?,
+                UpdateOp::DeleteWhere(tps) => {
+                    let matches = self.resolve_delete_where(store, tps)?;
+                    store.apply(UpdateBatch::delete(matches))?
+                }
+            };
+            outcome.inserted += info.inserted;
+            outcome.deleted += info.deleted;
+            outcome.epoch = info.epoch;
+        }
+        Ok(outcome)
+    }
+
+    /// Adds triples (the programmatic `INSERT DATA`).
+    pub fn insert_triples(&self, triples: Vec<Triple>) -> Result<UpdateOutcome, UpdateError> {
+        let info = self.mutable()?.apply(UpdateBatch::insert(triples))?;
+        Ok(UpdateOutcome {
+            inserted: info.inserted,
+            deleted: info.deleted,
+            epoch: info.epoch,
+        })
+    }
+
+    /// Removes triples (the programmatic `DELETE DATA`).
+    pub fn delete_triples(&self, triples: Vec<Triple>) -> Result<UpdateOutcome, UpdateError> {
+        let info = self.mutable()?.apply(UpdateBatch::delete(triples))?;
+        Ok(UpdateOutcome {
+            inserted: info.inserted,
+            deleted: info.deleted,
+            epoch: info.epoch,
+        })
+    }
+
+    /// Folds the delta memtable into freshly built segments, publishing
+    /// the result as a new epoch (queries in flight keep their
+    /// snapshot). Returns the epoch after compaction. The store also
+    /// compacts automatically once the delta passes its threshold.
+    pub fn compact(&self) -> Result<u64, UpdateError> {
+        Ok(self.mutable()?.compact()?.epoch)
+    }
+
+    /// Materializes the current triples, sorted — on an updatable
+    /// database the merged (segments + delta) view of the current
+    /// snapshot. A test/inspection substrate, not a hot path.
+    pub fn triples(&self) -> Vec<Triple> {
+        match &self.backend {
+            Backend::Memory { graph, .. } | Backend::Disk { graph, .. } => {
+                let mut out: Vec<Triple> = graph
+                    .triples
+                    .iter()
+                    .map(|e| graph.dict.decode(e).expect("graph IDs decode"))
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+            Backend::Mutable(store) => store.current_ref().triples(),
+        }
+    }
+
+    /// Evaluates a `DELETE WHERE` pattern to the concrete triples it
+    /// matches, on the *current* snapshot (pinned for the duration so
+    /// result IDs and the decoding dictionary cannot drift apart).
+    fn resolve_delete_where(
+        &self,
+        store: &Store,
+        tps: &[sparql::TriplePattern],
+    ) -> Result<Vec<Triple>, UpdateError> {
+        use sparql::{GraphPattern, Selection, TermPattern};
+
+        if tps.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Ground pattern: the matches are the pattern itself (the store
+        // drops the ones that aren't present).
+        if let Some(ground) = tps
+            .iter()
+            .map(|tp| match (&tp.s, &tp.p, &tp.o) {
+                (TermPattern::Const(s), TermPattern::Const(p), TermPattern::Const(o)) => {
+                    Some(Triple::new(s.clone(), p.clone(), o.clone()))
+                }
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()
+        {
+            return Ok(ground);
+        }
+
+        let snap = store.snapshot();
+        let query = Query {
+            form: QueryForm::Select {
+                selection: Selection::All,
+                dedup: Dedup::None,
+            },
+            pattern: GraphPattern::Bgp(tps.to_vec()),
+            modifiers: Modifiers::default(),
+        };
+        let options = EngineOptions {
+            threads: self.threads,
+            ..EngineOptions::default()
+        };
+        let engine = self
+            .default_engine
+            .build_with(snap.catalog(), snap.dict(), &options);
+        let out = engine.execute(&query).map_err(UpdateError::Eval)?;
+        let rows = out.decode(snap.dict());
+        let var_slot: Vec<Option<usize>> = {
+            let slot_of = |v: &str| out.vars.iter().position(|name| name == v);
+            tps.iter()
+                .flat_map(|tp| [&tp.s, &tp.p, &tp.o])
+                .map(|t| match t {
+                    TermPattern::Var(v) => slot_of(v),
+                    TermPattern::Const(_) => None,
+                })
+                .collect()
+        };
+        let mut matches = Vec::new();
+        'rows: for row in &rows {
+            for (i, tp) in tps.iter().enumerate() {
+                let term = |j: usize, c: &TermPattern| -> Option<Term> {
+                    match c {
+                        TermPattern::Const(t) => Some(t.clone()),
+                        TermPattern::Var(_) => row[var_slot[3 * i + j]?].clone(),
+                    }
+                };
+                // An unbound position can't happen in a pure BGP; skip
+                // the pattern defensively rather than delete wrongly.
+                match (term(0, &tp.s), term(1, &tp.p), term(2, &tp.o)) {
+                    (Some(s), Some(p), Some(o)) => matches.push(Triple::new(s, p, o)),
+                    _ => continue 'rows,
+                }
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        Ok(matches)
     }
 }
 
