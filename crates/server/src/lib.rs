@@ -324,12 +324,15 @@ impl Service {
         w: &mut impl Write,
     ) -> Result<(), HttpError> {
         let format = negotiate(request.header("accept"))?;
+        // One pinned view serves the whole request: plan validation,
+        // execution and result decoding all see the same snapshot even
+        // if an update commits mid-request.
+        let view = self.db.read();
         let cached = self
             .cache
             .get_or_prepare(&self.db, query_text)
             .map_err(|e| self.query_error(e))?;
-        let output = self
-            .db
+        let output = view
             .execute_plan(&cached)
             .map_err(|e| self.query_error(e))?;
         self.agg
@@ -343,13 +346,13 @@ impl Service {
         // the connection (which truncates the close-delimited body) is
         // all that can be signalled.
         let _ = write_head(w, 200, format.media_type(), &[])
-            .and_then(|()| format.write_to(w, cached.query(), &output, self.db.dict()));
+            .and_then(|()| format.write_to(w, cached.query(), &output, view.dict()));
         Ok(())
     }
 
     /// Executes a SPARQL 1.1 Update request and answers a small JSON
-    /// summary. Each operation commits (durably, when the store has a
-    /// WAL) before the response is written.
+    /// summary. The whole request commits atomically (durably, when the
+    /// store has a WAL) before the response is written.
     fn update(&self, update_text: &str, w: &mut impl Write) -> Result<(), HttpError> {
         let outcome = self.db.update(update_text).map_err(update_error)?;
         self.updates.fetch_add(1, Ordering::Relaxed);

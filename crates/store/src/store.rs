@@ -24,19 +24,29 @@
 //! Deletes never force a rebuild: a triple whose terms the dictionary
 //! does not know cannot be present, so the delete is a no-op.
 //!
-//! ## Compaction
+//! ## Compaction & checkpointing
 //!
 //! When the delta reaches the threshold (default
 //! [`DEFAULT_COMPACT_THRESHOLD`]) the commit folds base + delta into
 //! freshly built segments **under the same dictionary** and publishes an
-//! empty delta. The WAL is *not* truncated: it is the durable log of
-//! everything since the boot-time source, and replaying it from scratch
-//! reproduces the exact same state (compaction only changes the in-memory
-//! layout, never the logical content).
+//! empty delta. Rebuild commits compact as a side effect (their delta is
+//! empty by construction).
+//!
+//! Every compaction point also **checkpoints** the WAL: the merged view
+//! is written atomically to `lbr.ckpt` and the log is truncated, so the
+//! WAL only ever holds the updates since the last fold and reopen cost
+//! is bounded by (checkpoint size + tail length) instead of the full
+//! update history. [`Store::open`] prefers the checkpoint over the
+//! passed-in base when one exists. Checkpointing is best-effort
+//! ([`CommitInfo::checkpointed`] reports it): if writing the image
+//! fails, the old checkpoint + full log still replay to the same state;
+//! if only the truncation fails, replaying the stale log over the new
+//! checkpoint is idempotent because records hold absolute term-level
+//! ops (per-triple last-writer-wins).
 
 use crate::delta::Delta;
 use crate::overlay::OverlayCatalog;
-use crate::wal::{Wal, WalOp, WalOpKind};
+use crate::wal::{self, Wal, WalOp, WalOpKind};
 use lbr_bitmat::{BitMatStore, Catalog};
 use lbr_rdf::{Dictionary, EncodedGraph, EncodedTriple, Graph, Triple};
 use std::collections::HashSet;
@@ -136,6 +146,49 @@ impl Snapshot {
         out.sort_unstable();
         out
     }
+
+    /// The merged view with `staged` net-presence overrides composed on
+    /// top, as a catalog sharing this snapshot's segments + dictionary.
+    /// Lets a multi-operation update evaluate patterns against its own
+    /// uncommitted effects without committing anything.
+    ///
+    /// Returns `None` when a staged **insert** is not encodable in this
+    /// dictionary (new term, or an old term in a new role) — the caller
+    /// must fall back to a materialized view. Unencodable *deletes* are
+    /// vacuous: the triple cannot be present.
+    pub fn overlay_with(&self, staged: &[(Triple, bool)]) -> Option<OverlayCatalog> {
+        if staged.is_empty() {
+            return Some(self.catalog.clone());
+        }
+        let mut delta = self.delta().clone();
+        for (t, present) in staged {
+            match self.graph.dict.encode(t) {
+                None => {
+                    if *present {
+                        return None;
+                    }
+                }
+                Some(e) => {
+                    if segment_contains(self.segments(), e) {
+                        if *present {
+                            delta.tombstones.remove(e);
+                        } else {
+                            delta.tombstones.insert(e);
+                        }
+                        delta.inserts.remove(e);
+                    } else if *present {
+                        delta.inserts.insert(e);
+                    } else {
+                        delta.inserts.remove(e);
+                    }
+                }
+            }
+        }
+        Some(OverlayCatalog::new(
+            Arc::clone(self.catalog.segments()),
+            Arc::new(delta),
+        ))
+    }
 }
 
 fn segment_contains(segments: &BitMatStore, e: EncodedTriple) -> bool {
@@ -183,6 +236,9 @@ pub struct CommitInfo {
     pub rebuilt: bool,
     /// The delta was folded into fresh segments.
     pub compacted: bool,
+    /// A WAL checkpoint was written and the log truncated (only ever
+    /// true when `compacted` is; checkpointing is best-effort).
+    pub checkpointed: bool,
 }
 
 /// Everything that can go wrong committing an update.
@@ -212,11 +268,14 @@ impl From<std::io::Error> for StoreError {
 /// epoch-stamped `Arc` swap.
 pub struct Store {
     current: RwLock<Arc<Snapshot>>,
-    /// Every snapshot ever published, in epoch order. Append-only while
-    /// the store lives — this is what makes [`Store::current_ref`] sound,
-    /// and it costs little: snapshots share the graph/segments `Arc`s, so
-    /// a retained epoch is one small `Delta` clone (segments are only
-    /// duplicated across a compaction/rebuild boundary).
+    /// Snapshots that have been vended as plain borrows, in vend order.
+    /// [`Store::current_ref`] pins its snapshot here **on first vend**
+    /// (not on publish), which is what makes the unsafe borrow sound:
+    /// the list only grows and lives as long as the store. Epochs that
+    /// are never borrowed — the common case, since the facade's
+    /// owned-output paths use `Arc` snapshots — are freed as soon as
+    /// their readers drop, so memory does not grow with the commit
+    /// count.
     retained: Mutex<Vec<Arc<Snapshot>>>,
     writer: Mutex<Option<Wal>>,
     compact_threshold: AtomicUsize,
@@ -225,14 +284,24 @@ pub struct Store {
 impl Store {
     /// Opens a store over a loaded base graph. With a `wal_dir`, the log
     /// is created (or recovered — torn tail truncated, committed records
-    /// replayed) and every future commit is logged there.
+    /// replayed) and every future commit is logged there. When the
+    /// directory holds a checkpoint, it replaces `base`: the checkpoint
+    /// is the merged view as of the last compaction, and the (truncated)
+    /// log holds only the updates since.
     pub fn open(base: EncodedGraph, wal_dir: Option<&Path>) -> Result<Store, StoreError> {
+        let base = match wal_dir {
+            Some(dir) => match wal::read_checkpoint(dir)? {
+                Some(triples) => Graph::from_triples(triples).encode(),
+                None => base,
+            },
+            None => base,
+        };
         let graph = Arc::new(base);
         let segments = Arc::new(BitMatStore::build(&graph));
         let snapshot = Arc::new(Snapshot::new(0, graph, segments, Delta::new()));
         let store = Store {
-            current: RwLock::new(Arc::clone(&snapshot)),
-            retained: Mutex::new(vec![snapshot]),
+            current: RwLock::new(snapshot),
+            retained: Mutex::new(Vec::new()),
             writer: Mutex::new(None),
             compact_threshold: AtomicUsize::new(DEFAULT_COMPACT_THRESHOLD),
         };
@@ -270,14 +339,23 @@ impl Store {
     /// This is what lets the `lbr` facade keep its borrow-shaped API
     /// (`dict()`, `engine_of()`) over a mutable store. The borrow is
     /// pinned to the epoch current at the call; later commits do not move
-    /// or free it.
+    /// or free it. Each **distinct epoch** vended this way stays
+    /// allocated for the store's lifetime — fine for borrow-shaped
+    /// facade accessors, but owned-output paths should use
+    /// [`Store::snapshot`] so unvended epochs can be freed.
     pub fn current_ref(&self) -> &Snapshot {
         let arc = self.snapshot();
+        let mut retained = self.retained.lock().expect("retained lock poisoned");
+        // Recent epochs sit at the tail; one snapshot is vended many
+        // times, so the reverse scan usually stops immediately.
+        if !retained.iter().rev().any(|r| Arc::ptr_eq(r, &arc)) {
+            retained.push(Arc::clone(&arc));
+        }
+        drop(retained);
         let ptr = Arc::as_ptr(&arc);
-        // SAFETY: every Arc ever installed in `current` (including this
-        // one) was first pushed into `retained`, which is append-only and
-        // lives as long as `self` — so the pointee outlives `&self` even
-        // after any number of epoch swaps. `Arc` contents never move.
+        // SAFETY: the pointee is kept alive by the `retained` entry just
+        // ensured above; `retained` only grows and lives as long as
+        // `self`, and `Arc` contents never move.
         unsafe { &*ptr }
     }
 
@@ -309,7 +387,7 @@ impl Store {
     /// Folds the delta into freshly built segments now (same dictionary,
     /// empty delta) and bumps the epoch. No-op on an empty delta.
     pub fn compact(&self) -> Result<CommitInfo, StoreError> {
-        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
         let snap = self.snapshot();
         if snap.delta().is_empty() {
             return Ok(CommitInfo {
@@ -319,20 +397,37 @@ impl Store {
         }
         let next = Arc::new(fold(&snap, snap.epoch() + 1));
         let epoch = next.epoch();
-        self.publish(next);
+        self.publish(Arc::clone(&next));
+        let checkpointed = self.checkpoint_with(&mut writer, &next);
         Ok(CommitInfo {
             epoch,
             compacted: true,
+            checkpointed,
             ..CommitInfo::default()
         })
     }
 
     fn publish(&self, next: Arc<Snapshot>) {
-        self.retained
-            .lock()
-            .expect("retained lock poisoned")
-            .push(Arc::clone(&next));
         *self.current.write().expect("store lock poisoned") = next;
+    }
+
+    /// Writes the checkpoint image for `snap` and truncates the log.
+    /// Best-effort: any failure leaves the previous checkpoint + log
+    /// intact, which still replay to the same state.
+    fn checkpoint_with(&self, writer: &mut Option<Wal>, snap: &Snapshot) -> bool {
+        let Some(wal) = writer.as_mut() else {
+            return false;
+        };
+        let Some(dir) = wal.path().parent().map(Path::to_path_buf) else {
+            return false;
+        };
+        if wal::write_checkpoint(&dir, &snap.triples(), wal.is_sync()).is_err() {
+            return false;
+        }
+        // A failed truncation is safe: replaying the stale log over the
+        // fresh checkpoint is idempotent (absolute term-level ops).
+        let _ = wal.reset();
+        true
     }
 
     fn commit(&self, batch: UpdateBatch, log: bool) -> Result<CommitInfo, StoreError> {
@@ -456,14 +551,22 @@ impl Store {
             }
         }
 
-        let info = CommitInfo {
+        let mut info = CommitInfo {
             inserted,
             deleted,
             epoch: next.epoch(),
             rebuilt: needs_rebuild,
             compacted,
+            checkpointed: false,
         };
-        self.publish(next);
+        self.publish(Arc::clone(&next));
+        // Compaction points bound the log: checkpoint the folded view and
+        // truncate. Skipped during replay (`log == false`, and the writer
+        // is not installed yet anyway) so a partially replayed log is
+        // never clobbered.
+        if log && compacted {
+            info.checkpointed = self.checkpoint_with(&mut writer, &next);
+        }
         Ok(info)
     }
 }
@@ -686,7 +789,62 @@ mod tests {
         };
         let reopened = Store::open(base(), Some(&dir)).unwrap();
         assert_eq!(reopened.snapshot().triples(), view);
-        assert_eq!(reopened.epoch(), 2);
+        // The zz-insert was a rebuild ⇒ checkpointed + truncated the log,
+        // so only the later delete replays: epoch 1, not 2.
+        assert_eq!(reopened.epoch(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_not_vended_as_borrows_are_freed() {
+        let store = Store::in_memory(base());
+        store
+            .apply(UpdateBatch::insert(vec![t("a", "p", "c")]))
+            .unwrap();
+        let weak = Arc::downgrade(&store.snapshot());
+        store
+            .apply(UpdateBatch::insert(vec![t("b", "q", "c")]))
+            .unwrap();
+        assert!(
+            weak.upgrade().is_none(),
+            "an epoch never vended as a borrow must drop once superseded"
+        );
+        // A vended borrow, by contrast, pins its epoch for the store's
+        // lifetime across any number of commits.
+        let pinned = store.current_ref();
+        let epoch = pinned.epoch();
+        store
+            .apply(UpdateBatch::insert(vec![t("c", "q", "b")]))
+            .unwrap();
+        store.compact().unwrap();
+        assert_eq!(pinned.epoch(), epoch);
+    }
+
+    #[test]
+    fn rebuild_checkpoints_and_truncates_the_wal() {
+        let dir = std::env::temp_dir().join(format!("lbr-store-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let view = {
+            let store = Store::open(base(), Some(&dir)).unwrap();
+            let info = store
+                .apply(UpdateBatch::insert(vec![t("fresh", "p", "a")]))
+                .unwrap();
+            assert!(info.rebuilt && info.compacted && info.checkpointed);
+            let rec = Wal::inspect(&dir).unwrap();
+            assert!(rec.records.is_empty(), "checkpoint truncated the log");
+            // A following fast-path commit lands in the (short) tail.
+            let info = store
+                .apply(UpdateBatch::delete(vec![t("a", "q", "c")]))
+                .unwrap();
+            assert!(!info.compacted && !info.checkpointed);
+            assert_eq!(Wal::inspect(&dir).unwrap().records.len(), 1);
+            store.snapshot().triples()
+        };
+        let ckpt = wal::read_checkpoint(&dir).unwrap().expect("image exists");
+        assert!(ckpt.contains(&t("fresh", "p", "a")));
+        let reopened = Store::open(base(), Some(&dir)).unwrap();
+        assert_eq!(reopened.snapshot().triples(), view);
+        assert_eq!(reopened.epoch(), 1, "only the tail record replays");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,6 +21,18 @@
 //! CRC-mismatching frame — a torn tail from a crash mid-append — and
 //! truncates the file there, so the log always reopens to exactly the
 //! committed prefix.
+//!
+//! ## Checkpoints
+//!
+//! Next to the log lives an optional **checkpoint** (`lbr.ckpt`): the
+//! full merged view as of some commit, written atomically (temp file →
+//! fsync → rename → directory fsync) by the store whenever it folds the
+//! delta into fresh segments. After a checkpoint the WAL is truncated —
+//! its records are folded into the image — so the log only ever holds
+//! the updates since the last fold and reopen cost stops growing with
+//! history. [`read_checkpoint`] loads the image; a present-but-corrupt
+//! checkpoint is a hard error, because the atomic write protocol never
+//! leaves a torn image behind (unlike the WAL's expected torn tail).
 
 use lbr_rdf::{parse_ntriples, Triple};
 use std::fs::{File, OpenOptions};
@@ -29,6 +41,17 @@ use std::path::{Path, PathBuf};
 
 /// The WAL file name inside a `wal_dir`.
 pub const WAL_FILE: &str = "lbr.wal";
+
+/// The checkpoint file name inside a `wal_dir`.
+pub const CHECKPOINT_FILE: &str = "lbr.ckpt";
+
+/// Fsyncs a directory, pinning entry creations and renames inside it to
+/// disk — syncing a file's *data* alone does not make its *name*
+/// durable, so a crash right after creating `lbr.wal` could otherwise
+/// lose the whole file despite acknowledged commits.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
 
 /// What one logged operation does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,8 +108,12 @@ impl Wal {
         let recovery = decode(&bytes);
         if recovery.truncated_bytes > 0 {
             file.set_len(recovery.valid_bytes)?;
-            file.sync_data()?;
+            file.sync_all()?;
         }
+        // Make the file's *existence* durable too: without the directory
+        // fsync a crash after the first acknowledged commit could lose
+        // the just-created log file itself.
+        sync_dir(dir)?;
         file.seek(SeekFrom::Start(recovery.valid_bytes))?;
         Ok((
             Wal {
@@ -114,6 +141,20 @@ impl Wal {
     /// the file system's problem).
     pub fn set_sync(&mut self, sync: bool) {
         self.sync = sync;
+    }
+
+    /// Whether the per-commit fsync is enabled.
+    pub fn is_sync(&self) -> bool {
+        self.sync
+    }
+
+    /// Truncates the log to empty — called right after a checkpoint made
+    /// every logged record redundant. The file itself stays (same
+    /// inode), so no directory fsync is needed here.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()
     }
 
     /// Appends one committed batch as a single record, then fsyncs once
@@ -200,6 +241,74 @@ fn decode_payload(payload: &[u8]) -> Option<Vec<WalOp>> {
         });
     }
     (pos == payload.len()).then_some(ops)
+}
+
+/// Writes `triples` as the checkpoint image of `dir`, atomically: the
+/// frame goes to a temp file, is fsynced, renamed over
+/// [`CHECKPOINT_FILE`], and the directory is fsynced so the rename
+/// survives a crash. A reader sees either the old complete image or the
+/// new one, never a torn mix. The frame is
+/// `[payload_len: u32 LE][crc32(payload): u32 LE][payload]` with the
+/// payload being the triples as N-Triples lines.
+///
+/// `sync` mirrors the WAL's group-commit fsync switch: benchmarks that
+/// turned off per-commit syncing skip the checkpoint syncs too.
+pub fn write_checkpoint(dir: &Path, triples: &[Triple], sync: bool) -> std::io::Result<()> {
+    let mut payload = String::new();
+    for t in triples {
+        payload.push_str(&t.to_string());
+        payload.push('\n');
+    }
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload.as_bytes()).to_le_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    let mut file = File::create(&tmp)?;
+    file.write_all(&frame)?;
+    if sync {
+        file.sync_all()?;
+    }
+    drop(file);
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    if sync {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Reads `dir`'s checkpoint image. `Ok(None)` when no checkpoint exists.
+/// A present-but-corrupt checkpoint is a hard error: the atomic write
+/// protocol never leaves a torn image behind, so corruption is real
+/// damage — silently falling back to the boot-time source would undo
+/// every checkpointed update.
+pub fn read_checkpoint(dir: &Path) -> std::io::Result<Option<Vec<Triple>>> {
+    let bytes = match std::fs::read(dir.join(CHECKPOINT_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let corrupt = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("corrupt checkpoint: {what}"),
+        )
+    };
+    let header = bytes.get(0..8).ok_or_else(|| corrupt("short header"))?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let payload = bytes
+        .get(8..8 + len)
+        .ok_or_else(|| corrupt("short payload"))?;
+    if bytes.len() != 8 + len {
+        return Err(corrupt("trailing bytes"));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt("CRC mismatch"));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| corrupt("payload is not UTF-8"))?;
+    let triples = parse_ntriples(text).map_err(|_| corrupt("payload is not N-Triples"))?;
+    Ok(Some(triples))
 }
 
 /// CRC-32 (IEEE 802.3, reflected) — implemented here because the build
@@ -313,6 +422,39 @@ mod tests {
             assert_eq!(again.truncated_bytes, 0, "cut at {cut} left a tail");
             assert_eq!(again.records.len(), expect);
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let dir = tmp_dir("ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        let triples = vec![
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::literal("v \"q\"\n")),
+            Triple::new(Term::iri("b"), Term::iri("p"), Term::iri("a")),
+        ];
+        write_checkpoint(&dir, &triples, true).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), Some(triples.clone()));
+        // Overwriting replaces the image atomically; no temp file stays.
+        write_checkpoint(&dir, &triples[..1], false).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap(), Some(triples[..1].to_vec()));
+        assert!(!dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_hard_error() {
+        let dir = tmp_dir("ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let triples = vec![Triple::new(Term::iri("a"), Term::iri("p"), Term::iri("b"))];
+        write_checkpoint(&dir, &triples, true).unwrap();
+        let mut bytes = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(dir.join(CHECKPOINT_FILE), &bytes).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

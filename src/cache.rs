@@ -150,11 +150,12 @@ impl PlanCache {
     /// so the cache never holds duplicates.
     pub fn get_or_prepare(&self, db: &Database, text: &str) -> Result<Arc<CachedPlan>, LbrError> {
         let key = canonicalize(text);
-        // Read the epoch *before* planning: if an update lands while we
-        // plan, the recorded epoch is older than the plan's snapshot and
-        // the entry self-invalidates on its next lookup — stale in the
-        // safe direction (a wasted re-plan, never a wrong answer).
-        let epoch = db.epoch();
+        // Pin one view for the whole call: the plan is built against this
+        // view's snapshot and stamped with the *same* snapshot's epoch, so
+        // an update landing mid-plan cannot stamp the entry fresher than
+        // the dictionary its constant IDs were encoded in.
+        let view = db.read();
+        let epoch = view.epoch();
         {
             let mut inner = self.inner.lock().expect("plan cache poisoned");
             inner.clock += 1;
@@ -172,9 +173,10 @@ impl PlanCache {
             }
         }
 
-        // Miss: run the planning pipeline outside the lock.
+        // Miss: run the planning pipeline outside the lock, on the view
+        // pinned above.
         let query = crate::parse_query(text)?;
-        let engine = db.engine();
+        let engine = view.engine();
         let plan = engine.plan_query(&query)?;
         let cached = Arc::new(CachedPlan {
             query,

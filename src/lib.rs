@@ -136,8 +136,10 @@ pub use lbr_sparql::{parse_update, Update, UpdateOp};
 pub use lbr_store::{CommitInfo, Snapshot, Store, StoreError, UpdateBatch};
 
 use std::any::Any;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// An RDF database: encoded graph + BitMat catalog + a default engine.
 ///
@@ -427,6 +429,32 @@ impl Database {
             .expect("in-memory build from encoded graph cannot fail")
     }
 
+    /// Pins one consistent view of the database for a whole request.
+    ///
+    /// On an updatable database this captures the current snapshot
+    /// **once**: every engine built from the view, every epoch check and
+    /// every dictionary decode then agree on the same data, no matter
+    /// how many updates commit concurrently. (The borrow-shaped
+    /// accessors [`Database::dict`] / [`Database::engine_of`] each pin
+    /// the snapshot current at *their* call — correct in isolation, but
+    /// two calls can straddle a commit; a `ReadView` is how the serving
+    /// layers make validate-then-execute-then-decode atomic.)
+    ///
+    /// On a read-only database the view is free and trivially stable.
+    pub fn read(&self) -> ReadView<'_> {
+        ReadView {
+            db: self,
+            snap: self.mutable_store().map(Store::snapshot),
+        }
+    }
+
+    fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            threads: self.threads,
+            ..EngineOptions::default()
+        }
+    }
+
     /// The default engine, ready to run queries.
     pub fn engine(&self) -> Box<dyn Engine + '_> {
         self.engine_of(self.default_engine)
@@ -449,8 +477,10 @@ impl Database {
     /// On an updatable database the engine is bound to the snapshot
     /// current at this call: it sees that snapshot's triples for its
     /// whole lifetime, unaffected by concurrent updates (snapshot
-    /// isolation — old snapshots stay readable until the database is
-    /// dropped).
+    /// isolation — each epoch vended this way stays readable, and
+    /// allocated, until the database is dropped; serving loops should
+    /// prefer [`Database::read`], whose snapshots are freed when the
+    /// view drops).
     pub fn engine_with(&self, kind: EngineKind, options: &EngineOptions) -> Box<dyn Engine + '_> {
         match &self.backend {
             Backend::Memory { graph, store } => kind.build_with(store, &graph.dict, options),
@@ -480,13 +510,26 @@ impl Database {
 
     /// Executes a parsed query on the default engine.
     pub fn execute_query(&self, query: &Query) -> Result<QueryOutput, core::LbrError> {
-        self.engine().execute(query)
+        self.read().execute_query(query)
     }
 
-    /// Parses and executes a query, streaming the solutions.
+    /// Parses and executes a query, streaming the solutions. Execution
+    /// and decoding share one snapshot, so a concurrent update between
+    /// the two cannot mismatch IDs and dictionary.
     pub fn solutions(&self, query_text: &str) -> Result<Solutions<'_>, core::LbrError> {
         let query = parse_query(query_text)?;
-        Ok(self.execute_query(&query)?.into_solutions(self.dict()))
+        match self.mutable_store() {
+            Some(store) => {
+                let snap = store.current_ref();
+                let engine = self.default_engine.build_with(
+                    snap.catalog(),
+                    snap.dict(),
+                    &self.engine_options(),
+                );
+                Ok(engine.execute(&query)?.into_solutions(snap.dict()))
+            }
+            None => Ok(self.execute_query(&query)?.into_solutions(self.dict())),
+        }
     }
 
     /// Parses and executes an existence query, returning its boolean
@@ -515,17 +558,22 @@ impl Database {
         cache: &PlanCache,
         query_text: &str,
     ) -> Result<QueryOutput, core::LbrError> {
+        // Pin the view first: if an update slips in between the cache
+        // lookup and execution, the plan's epoch no longer matches the
+        // view's and `execute_plan` re-plans instead of running baked
+        // constant IDs against the wrong dictionary.
+        let view = self.read();
         let cached = cache.get_or_prepare(self, query_text)?;
-        self.execute_plan(&cached)
+        view.execute_plan(&cached)
     }
 
     /// Executes a [`CachedPlan`] on a fresh engine of the kind it was
-    /// planned for. Engines fall back to unprepared execution when the
-    /// plan is foreign (e.g. the cache outlived an engine change), so
-    /// this is always correct — at worst it re-plans.
+    /// planned for, on one pinned view. The plan is only used when its
+    /// epoch matches the view's (see [`ReadView::execute_plan`]); a
+    /// foreign or stale plan falls back to unprepared execution, so this
+    /// is always correct — at worst it re-plans.
     pub fn execute_plan(&self, cached: &CachedPlan) -> Result<QueryOutput, core::LbrError> {
-        self.engine_of(cached.engine_kind())
-            .execute_planned(cached.query(), cached.plan())
+        self.read().execute_plan(cached)
     }
 
     /// Parses and prepares a query on the default engine: the planning
@@ -558,8 +606,11 @@ impl Database {
     ///
     /// On an updatable database: the current snapshot's dictionary. It
     /// stays valid for the database's lifetime even across updates that
-    /// rebuild the dictionary (old snapshots are retained), but IDs it
-    /// hands out describe the snapshot it came from.
+    /// rebuild the dictionary (each epoch vended this way is retained
+    /// until the database drops — prefer [`Database::read`] for
+    /// request-scoped work), but IDs it hands out describe the snapshot
+    /// it came from. To decode results, take the dictionary and the
+    /// engine from one [`ReadView`] so they cannot straddle an update.
     pub fn dict(&self) -> &Dictionary {
         match &self.backend {
             Backend::Memory { graph, .. } | Backend::Disk { graph, .. } => &graph.dict,
@@ -608,13 +659,72 @@ impl Database {
     pub fn len(&self) -> usize {
         match &self.backend {
             Backend::Memory { graph, .. } | Backend::Disk { graph, .. } => graph.len(),
-            Backend::Mutable(store) => store.current_ref().n_triples() as usize,
+            Backend::Mutable(store) => store.snapshot().n_triples() as usize,
         }
     }
 
     /// True when the database has no triples.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// One consistent view of a [`Database`], created by [`Database::read`].
+///
+/// Holds the snapshot `Arc` current when it was created (on an
+/// updatable database), so execution, plan-epoch validation and result
+/// decoding all run against the same data — and the snapshot is freed
+/// when the last view/reader drops it.
+pub struct ReadView<'db> {
+    db: &'db Database,
+    snap: Option<Arc<Snapshot>>,
+}
+
+impl ReadView<'_> {
+    /// The storage epoch this view is pinned to (`0` on a read-only
+    /// database, which never changes epoch).
+    pub fn epoch(&self) -> u64 {
+        self.snap.as_ref().map_or(0, |s| s.epoch())
+    }
+
+    /// This view's dictionary — decodes exactly the IDs engines built
+    /// from this view produce.
+    pub fn dict(&self) -> &Dictionary {
+        match &self.snap {
+            Some(snap) => snap.dict(),
+            None => self.db.dict(),
+        }
+    }
+
+    /// The default engine over this view's data.
+    pub fn engine(&self) -> Box<dyn Engine + '_> {
+        self.engine_of(self.db.default_engine)
+    }
+
+    /// A specific engine over this view's data.
+    pub fn engine_of(&self, kind: EngineKind) -> Box<dyn Engine + '_> {
+        match &self.snap {
+            Some(snap) => kind.build_with(snap.catalog(), snap.dict(), &self.db.engine_options()),
+            None => self.db.engine_of(kind),
+        }
+    }
+
+    /// Executes a parsed query on this view's default engine.
+    pub fn execute_query(&self, query: &Query) -> Result<QueryOutput, core::LbrError> {
+        self.engine().execute(query)
+    }
+
+    /// Executes a [`CachedPlan`] against this view. The plan's baked
+    /// constant IDs are only meaningful in the dictionary they were
+    /// planned under, so the plan is used **only** when its epoch
+    /// matches this view's; otherwise the query is re-planned here —
+    /// always correct, at worst it re-plans.
+    pub fn execute_plan(&self, cached: &CachedPlan) -> Result<QueryOutput, core::LbrError> {
+        let engine = self.engine_of(cached.engine_kind());
+        if cached.epoch() != self.epoch() {
+            return engine.execute(cached.query());
+        }
+        engine.execute_planned(cached.query(), cached.plan())
     }
 }
 
@@ -692,37 +802,80 @@ impl Database {
     }
 
     /// Parses and executes a SPARQL 1.1 Update request (`INSERT DATA`,
-    /// `DELETE DATA`, `DELETE WHERE`, `;`-sequences thereof). Each
-    /// operation commits atomically and durably (when a WAL is
-    /// configured) before the next one runs; later operations see
-    /// earlier ones' effects. Queries running concurrently keep their
-    /// snapshot and are unaffected.
+    /// `DELETE DATA`, `DELETE WHERE`, `;`-sequences thereof). The whole
+    /// request commits **atomically**: its operations are staged against
+    /// the snapshot current at the start — later operations see earlier
+    /// ones' staged effects — and the net change lands as one commit,
+    /// one WAL record, one epoch bump (when a WAL is configured, one
+    /// fsync). An error anywhere in the sequence leaves the database
+    /// untouched. Queries running concurrently keep their snapshot and
+    /// are unaffected.
     pub fn update(&self, update_text: &str) -> Result<UpdateOutcome, UpdateError> {
         let update = parse_update(update_text)?;
         self.update_parsed(&update)
     }
 
-    /// Executes an already-parsed update request.
+    /// Executes an already-parsed update request (atomically; see
+    /// [`Database::update`]).
     pub fn update_parsed(&self, update: &Update) -> Result<UpdateOutcome, UpdateError> {
         let store = self.mutable()?;
-        let mut outcome = UpdateOutcome {
-            epoch: store.epoch(),
-            ..UpdateOutcome::default()
+        let snap = store.snapshot();
+        // Net presence overrides relative to `snap`; `inserted`/`deleted`
+        // count the *effective* ops in request order, matching what a
+        // sequence of separate commits would have reported.
+        let mut staged: HashMap<Triple, bool> = HashMap::new();
+        let (mut inserted, mut deleted) = (0u64, 0u64);
+        let stage = |staged: &mut HashMap<Triple, bool>, t: &Triple, to: bool, n: &mut u64| {
+            let present = staged.get(t).copied().unwrap_or_else(|| snap.contains(t));
+            if present != to {
+                *n += 1;
+                staged.insert(t.clone(), to);
+            }
         };
         for op in &update.ops {
-            let info = match op {
-                UpdateOp::InsertData(ts) => store.apply(UpdateBatch::insert(ts.clone()))?,
-                UpdateOp::DeleteData(ts) => store.apply(UpdateBatch::delete(ts.clone()))?,
-                UpdateOp::DeleteWhere(tps) => {
-                    let matches = self.resolve_delete_where(store, tps)?;
-                    store.apply(UpdateBatch::delete(matches))?
+            match op {
+                UpdateOp::InsertData(ts) => {
+                    for t in ts {
+                        stage(&mut staged, t, true, &mut inserted);
+                    }
                 }
-            };
-            outcome.inserted += info.inserted;
-            outcome.deleted += info.deleted;
-            outcome.epoch = info.epoch;
+                UpdateOp::DeleteData(ts) => {
+                    for t in ts {
+                        stage(&mut staged, t, false, &mut deleted);
+                    }
+                }
+                UpdateOp::DeleteWhere(tps) => {
+                    for t in self.resolve_delete_where(&snap, &staged, tps)? {
+                        stage(&mut staged, &t, false, &mut deleted);
+                    }
+                }
+            }
         }
-        Ok(outcome)
+        // Only net changes commit: a triple inserted then deleted in the
+        // same request (or vice versa) cancels out entirely.
+        let mut batch = UpdateBatch::default();
+        for (t, present) in staged {
+            match (present, snap.contains(&t)) {
+                (true, false) => batch.inserts.push(t),
+                (false, true) => batch.deletes.push(t),
+                _ => {}
+            }
+        }
+        batch.inserts.sort_unstable();
+        batch.deletes.sort_unstable();
+        if batch.inserts.is_empty() && batch.deletes.is_empty() {
+            return Ok(UpdateOutcome {
+                inserted,
+                deleted,
+                epoch: store.epoch(),
+            });
+        }
+        let info = store.apply(batch)?;
+        Ok(UpdateOutcome {
+            inserted,
+            deleted,
+            epoch: info.epoch,
+        })
     }
 
     /// Adds triples (the programmatic `INSERT DATA`).
@@ -767,16 +920,18 @@ impl Database {
                 out.sort_unstable();
                 out
             }
-            Backend::Mutable(store) => store.current_ref().triples(),
+            Backend::Mutable(store) => store.snapshot().triples(),
         }
     }
 
     /// Evaluates a `DELETE WHERE` pattern to the concrete triples it
-    /// matches, on the *current* snapshot (pinned for the duration so
+    /// matches, on the request's staging snapshot with the request's
+    /// earlier staged effects composed on top (one pinned view, so
     /// result IDs and the decoding dictionary cannot drift apart).
     fn resolve_delete_where(
         &self,
-        store: &Store,
+        snap: &Snapshot,
+        staged: &HashMap<Triple, bool>,
         tps: &[sparql::TriplePattern],
     ) -> Result<Vec<Triple>, UpdateError> {
         use sparql::{GraphPattern, Selection, TermPattern};
@@ -784,7 +939,7 @@ impl Database {
         if tps.is_empty() {
             return Ok(Vec::new());
         }
-        // Ground pattern: the matches are the pattern itself (the store
+        // Ground pattern: the matches are the pattern itself (staging
         // drops the ones that aren't present).
         if let Some(ground) = tps
             .iter()
@@ -799,7 +954,6 @@ impl Database {
             return Ok(ground);
         }
 
-        let snap = store.snapshot();
         let query = Query {
             form: QueryForm::Select {
                 selection: Selection::All,
@@ -808,17 +962,42 @@ impl Database {
             pattern: GraphPattern::Bgp(tps.to_vec()),
             modifiers: Modifiers::default(),
         };
-        let options = EngineOptions {
-            threads: self.threads,
-            ..EngineOptions::default()
+        let options = self.engine_options();
+        let staged_vec: Vec<(Triple, bool)> = staged.iter().map(|(t, p)| (t.clone(), *p)).collect();
+        // Fast path: compose the staged ops into a delta overlay sharing
+        // the snapshot's segments + dictionary. Falls back to indexing a
+        // scratch copy of the staged view when a staged insert carries a
+        // term the snapshot's dictionary cannot encode.
+        let (vars, rows) = match snap.overlay_with(&staged_vec) {
+            Some(catalog) => {
+                let engine = self
+                    .default_engine
+                    .build_with(&catalog, snap.dict(), &options);
+                let out = engine.execute(&query).map_err(UpdateError::Eval)?;
+                let rows = out.decode(snap.dict());
+                (out.vars, rows)
+            }
+            None => {
+                let mut view: HashSet<Triple> = snap.triples().into_iter().collect();
+                for (t, present) in staged {
+                    if *present {
+                        view.insert(t.clone());
+                    } else {
+                        view.remove(t);
+                    }
+                }
+                let graph = Graph::from_triples(view.into_iter().collect()).encode();
+                let segments = BitMatStore::build(&graph);
+                let engine = self
+                    .default_engine
+                    .build_with(&segments, &graph.dict, &options);
+                let out = engine.execute(&query).map_err(UpdateError::Eval)?;
+                let rows = out.decode(&graph.dict);
+                (out.vars, rows)
+            }
         };
-        let engine = self
-            .default_engine
-            .build_with(snap.catalog(), snap.dict(), &options);
-        let out = engine.execute(&query).map_err(UpdateError::Eval)?;
-        let rows = out.decode(snap.dict());
         let var_slot: Vec<Option<usize>> = {
-            let slot_of = |v: &str| out.vars.iter().position(|name| name == v);
+            let slot_of = |v: &str| vars.iter().position(|name| name == v);
             tps.iter()
                 .flat_map(|tp| [&tp.s, &tp.p, &tp.o])
                 .map(|t| match t {
@@ -874,6 +1053,7 @@ const _: () = {
     assert_send_sync::<Database>();
     assert_send_sync::<DatabaseBuilder>();
     assert_send_sync::<PreparedQuery<'static>>();
+    assert_send_sync::<ReadView<'static>>();
     assert_send_sync::<cache::PlanCache>();
     assert_send_sync::<core::StatsAggregate>();
     // `Engine: Send + Sync` is a supertrait bound, so every engine the

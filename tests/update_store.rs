@@ -307,6 +307,58 @@ fn update_semantics_through_the_facade() {
 }
 
 #[test]
+fn a_sequence_commits_atomically_as_one_epoch() {
+    let db = updatable();
+    let before = db.epoch();
+    // Three operations, one request: the whole thing is one commit.
+    let outcome = db
+        .update(
+            "INSERT DATA { <Jerry> <hasFriend> <Newman> } ; \
+             DELETE DATA { <Jerry> <hasFriend> <Larry> } ; \
+             INSERT DATA { <Larry> <hasFriend> <Jerry> }",
+        )
+        .unwrap();
+    assert_eq!((outcome.inserted, outcome.deleted), (2, 1));
+    assert_eq!(
+        outcome.epoch,
+        before + 1,
+        "a whole `;`-sequence is one epoch bump, not one per operation"
+    );
+    assert!(db.ask("ASK { <Jerry> <hasFriend> <Newman> }").unwrap());
+    assert!(!db.ask("ASK { <Jerry> <hasFriend> <Larry> }").unwrap());
+    assert!(db.ask("ASK { <Larry> <hasFriend> <Jerry> }").unwrap());
+}
+
+#[test]
+fn a_net_noop_sequence_keeps_the_epoch_and_logs_nothing() {
+    let dir = std::env::temp_dir().join(format!("lbr-atomic-noop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::builder()
+        .ntriples(BASE)
+        .wal_dir(&dir)
+        .build()
+        .unwrap();
+    // The insert introduces a fresh term, the DELETE WHERE (evaluated on
+    // the staged view — exercising the scratch-index fallback, since
+    // <Kramer> is not in the snapshot's dictionary) removes it again:
+    // net zero, so nothing commits, nothing is logged.
+    let outcome = db
+        .update(
+            "INSERT DATA { <Kramer> <hasFriend> <Jerry> } ; \
+             DELETE WHERE { <Kramer> <hasFriend> ?f }",
+        )
+        .unwrap();
+    assert_eq!(
+        (outcome.inserted, outcome.deleted, outcome.epoch),
+        (1, 1, 0)
+    );
+    assert!(!db.ask("ASK { <Kramer> ?p ?o }").unwrap());
+    let rec = lbr::storage::Wal::inspect(&dir).unwrap();
+    assert!(rec.records.is_empty(), "a net no-op reaches the WAL");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn literals_survive_the_update_path() {
     let db = updatable();
     db.update("INSERT DATA { <Seinfeld> <tagline> \"a show about\\nnothing \\\"quoted\\\"\" }")

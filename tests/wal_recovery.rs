@@ -1,9 +1,13 @@
 //! Crash-recovery property, end to end through the `Database` facade:
 //! apply a random update workload against a WAL, then simulate a crash
 //! by truncating the log at an **arbitrary byte offset** and reopen.
-//! The reopened database must equal a from-scratch rebuild over (base
-//! triples + the committed WAL prefix) — whole records survive, the
-//! torn tail disappears, and nothing else changes.
+//! The reopened database must equal a from-scratch rebuild over (the
+//! checkpoint image if one exists, else the base triples, + the
+//! committed WAL prefix) — whole records survive, the torn tail
+//! disappears, and nothing else changes. Rebuild commits checkpoint and
+//! truncate the log mid-workload, so the surviving WAL holds only the
+//! post-checkpoint tail; the crash directories carry the checkpoint
+//! file verbatim, exactly as a crashed process's directory would.
 //!
 //! The store crate unit-tests frame decoding at every offset; this
 //! suite drives the same property through the public builder
@@ -91,13 +95,11 @@ fn random_update(rng: &mut StdRng) -> String {
     }
 }
 
-/// The ground truth: base triples with the committed WAL prefix
-/// replayed op by op at the term level.
-fn replay_prefix(bytes: &[u8]) -> (BTreeSet<Triple>, u64) {
-    let mut view: BTreeSet<Triple> = lbr::rdf::parse_ntriples(BASE)
-        .unwrap()
-        .into_iter()
-        .collect();
+/// The ground truth: the boot-time base (checkpoint image when present,
+/// else the BASE document) with the committed WAL prefix replayed op by
+/// op at the term level.
+fn replay_prefix(base: &[Triple], bytes: &[u8]) -> (BTreeSet<Triple>, u64) {
+    let mut view: BTreeSet<Triple> = base.iter().cloned().collect();
     let recovery = wal::decode(bytes);
     for record in &recovery.records {
         for op in record {
@@ -116,7 +118,11 @@ fn replay_prefix(bytes: &[u8]) -> (BTreeSet<Triple>, u64) {
 
 /// Runs one seeded workload, then checks recovery at the given byte
 /// offsets of the resulting log (plus the untruncated log itself).
-fn check_recovery_at_offsets(seed: u64, n_updates: usize, n_offsets: usize) {
+/// Returns the surviving tail's length so callers can assert the
+/// property was exercised across seeds (any single seed may end right
+/// after a checkpoint, with an empty tail — itself a case worth
+/// covering: recovery purely from the checkpoint image).
+fn check_recovery_at_offsets(seed: u64, n_updates: usize, n_offsets: usize) -> usize {
     let work_dir = TempDir::new(&format!("work-{seed}"));
     let mut rng = StdRng::seed_from_u64(seed);
     {
@@ -129,12 +135,16 @@ fn check_recovery_at_offsets(seed: u64, n_updates: usize, n_offsets: usize) {
         }
     }
     let wal_bytes = fs::read(work_dir.path().join(WAL_FILE)).unwrap();
-    assert!(
-        wal_bytes.len() > 64,
-        "workload produced a trivial log; property not exercised"
-    );
+    // The last checkpoint (if any) is part of the crashed process's
+    // directory; carry its raw bytes into every crash scenario.
+    let ckpt_bytes = fs::read(work_dir.path().join(wal::CHECKPOINT_FILE)).ok();
+    let boot_base: Vec<Triple> = match wal::read_checkpoint(work_dir.path()).unwrap() {
+        Some(triples) => triples,
+        None => lbr::rdf::parse_ntriples(BASE).unwrap(),
+    };
 
     let mut offsets: Vec<usize> = (0..n_offsets)
+        .filter(|_| !wal_bytes.is_empty())
         .map(|_| rng.random_range(0usize..wal_bytes.len()))
         .collect();
     offsets.push(0);
@@ -142,8 +152,11 @@ fn check_recovery_at_offsets(seed: u64, n_updates: usize, n_offsets: usize) {
     for (i, &cut) in offsets.iter().enumerate() {
         let crash_dir = TempDir::new(&format!("crash-{seed}-{i}"));
         fs::write(crash_dir.path().join(WAL_FILE), &wal_bytes[..cut]).unwrap();
+        if let Some(ckpt) = &ckpt_bytes {
+            fs::write(crash_dir.path().join(wal::CHECKPOINT_FILE), ckpt).unwrap();
+        }
 
-        let (expected, committed_records) = replay_prefix(&wal_bytes[..cut]);
+        let (expected, committed_records) = replay_prefix(&boot_base, &wal_bytes[..cut]);
         let db = open(crash_dir.path());
         assert_eq!(
             db.triples(),
@@ -166,13 +179,20 @@ fn check_recovery_at_offsets(seed: u64, n_updates: usize, n_offsets: usize) {
             "seed {seed}: recovery truncation did not persist at {cut}"
         );
     }
+    wal_bytes.len()
 }
 
 #[test]
 fn recovery_equals_committed_prefix_across_random_truncations() {
+    let mut tail_bytes = 0;
     for seed in 1..=4 {
-        check_recovery_at_offsets(seed, 25, 12);
+        tail_bytes += check_recovery_at_offsets(seed, 25, 12);
     }
+    assert!(
+        tail_bytes > 64,
+        "every seed ended on an empty post-checkpoint tail; \
+         the torn-record property was not exercised"
+    );
 }
 
 /// A crash can also happen *between* updates — with a clean log — and
@@ -202,6 +222,43 @@ fn updates_continue_after_recovery_from_a_torn_tail() {
     assert_eq!(db.epoch(), 2);
     assert!(db.ask("ASK { <e2> <p0> <e4> }").unwrap());
     assert!(!db.ask("ASK { <e1> <p1> <e4> }").unwrap());
+}
+
+/// A rebuild commit (insert with a fresh term) is a compaction point:
+/// it checkpoints the merged view and truncates the log, so reopen cost
+/// is bounded by the tail since the last fold — and recovery starts
+/// from the image, not the original base.
+#[test]
+fn checkpoint_on_rebuild_truncates_the_log() {
+    let dir = TempDir::new("checkpoint");
+    {
+        let db = open(dir.path());
+        // `brand-new` is not in the dictionary ⇒ rebuild ⇒ checkpoint.
+        db.update("INSERT DATA { <brand-new> <p0> <e0> }").unwrap();
+        let rec = lbr::storage::Wal::inspect(dir.path()).unwrap();
+        assert!(rec.records.is_empty(), "checkpoint truncated the log");
+        // A later fast-path update lands in the fresh tail.
+        db.update("DELETE DATA { <e0> <p1> <e3> }").unwrap();
+        assert_eq!(
+            lbr::storage::Wal::inspect(dir.path())
+                .unwrap()
+                .records
+                .len(),
+            1
+        );
+    }
+    let image = wal::read_checkpoint(dir.path()).unwrap().expect("image");
+    assert!(image.contains(&Triple::new(
+        Term::iri("brand-new"),
+        Term::iri("p0"),
+        Term::iri("e0")
+    )));
+
+    let db = open(dir.path());
+    assert_eq!(db.epoch(), 1, "only the post-checkpoint record replays");
+    assert!(db.ask("ASK { <brand-new> <p0> <e0> }").unwrap());
+    assert!(!db.ask("ASK { <e0> <p1> <e3> }").unwrap());
+    assert_eq!(db.len(), 6, "6 base + 1 insert - 1 delete");
 }
 
 /// Ground `DELETE WHERE` and no-op updates must not confuse recovery:
