@@ -1,0 +1,139 @@
+//! The grandfathering baseline.
+//!
+//! `analyze-baseline.txt` holds one line per accepted finding class:
+//!
+//! ```text
+//! <path> [<lint-id>] <snippet> -- <rationale>
+//! ```
+//!
+//! Lines starting with `#` and blank lines are comments. A finding
+//! matches an entry when its `(path, lint, snippet)` triple matches —
+//! line numbers are deliberately not part of the key, so entries survive
+//! unrelated edits, and one entry covers every identical occurrence in
+//! a file (e.g. four `.expect("stats poisoned")` sites are one entry).
+
+use crate::Finding;
+
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub path: String,
+    pub lint: String,
+    pub snippet: String,
+    pub rationale: String,
+    /// Set during matching; unused entries are reported as stale.
+    pub used: bool,
+}
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Collapses all whitespace runs to single spaces so formatting drift in
+/// a multi-line snippet doesn't break the match.
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+impl Baseline {
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("baseline line {}: {what}: {raw}", no + 1);
+            let (path, rest) = line
+                .split_once(" [")
+                .ok_or_else(|| err("missing ` [lint]`"))?;
+            let (lint, rest) = rest.split_once("] ").ok_or_else(|| err("missing `] `"))?;
+            let (snippet, rationale) = rest
+                .rsplit_once(" -- ")
+                .ok_or_else(|| err("missing ` -- rationale`"))?;
+            if rationale.trim().is_empty() {
+                return Err(err("empty rationale"));
+            }
+            entries.push(BaselineEntry {
+                path: path.trim().to_string(),
+                lint: lint.trim().to_string(),
+                snippet: normalize(snippet),
+                rationale: rationale.trim().to_string(),
+                used: false,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Marks matching entries used; returns true when `f` is baselined.
+    pub fn matches(&mut self, f: &Finding) -> bool {
+        let key = normalize(&f.snippet);
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.path == f.path && e.lint == f.lint && e.snippet == key {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a live finding (candidates for removal).
+    pub fn stale(&self) -> Vec<&BaselineEntry> {
+        self.entries.iter().filter(|e| !e.used).collect()
+    }
+
+    /// Renders findings as baseline lines (for `--write-baseline`).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = String::from(
+            "# lbr-analyze baseline: accepted findings, one class per line.\n\
+             # Format: <path> [<lint>] <snippet> -- <rationale>\n",
+        );
+        for f in findings {
+            let key = (f.path.clone(), f.lint.to_string(), normalize(&f.snippet));
+            if seen.insert(key.clone()) {
+                out.push_str(&format!(
+                    "{} [{}] {} -- TODO: justify\n",
+                    key.0, key.1, key.2
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_match() {
+        let text = "# comment\n\ncrates/server/src/lib.rs [panic-path] .expect(\"stats poisoned\") -- poisoning is fatal by design\n";
+        let mut b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        let f = Finding::new(
+            "crates/server/src/lib.rs",
+            42,
+            "panic-path",
+            ".expect(\"stats poisoned\")",
+            "panic in serving/commit path".to_string(),
+        );
+        assert!(b.matches(&f));
+        assert!(b.stale().is_empty());
+        let other = Finding::new(
+            "crates/server/src/lib.rs",
+            7,
+            "panic-path",
+            ".unwrap()",
+            "m".to_string(),
+        );
+        assert!(!b.matches(&other));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("no brackets here").is_err());
+        assert!(Baseline::parse("p [l] snippet without rationale").is_err());
+    }
+}

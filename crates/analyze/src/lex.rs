@@ -1,0 +1,427 @@
+//! A hand-rolled Rust lexer — just enough of the language to scrub a
+//! source file into a form the lints can pattern-match safely.
+//!
+//! The scrubber walks the byte stream once, tracking string/char/comment
+//! state, and produces:
+//!
+//! * **`scrubbed`** — a same-length copy of the input in which every byte
+//!   of a comment, string literal, byte string, raw string or char
+//!   literal (delimiters included) is replaced by a space. Newlines are
+//!   kept, so byte offsets and line numbers in `scrubbed` map 1:1 onto
+//!   the original. Lints match *code* against `scrubbed` and slice the
+//!   original text for display snippets — an allocating call spelled
+//!   inside a string literal or a doc comment can never fire a lint.
+//! * **`comment_lines`** — per line, the concatenated comment text that
+//!   (partially) occupies it. This is where `// SAFETY:` justifications
+//!   and `// lbr-lint:` markers are found: markers are comments, so they
+//!   live here and only here.
+//! * **`test_lines`** — per line, whether the line sits inside a
+//!   `#[cfg(test)]` item (module, fn, impl). The scanner finds the
+//!   attribute in scrubbed code (so a `#[cfg(test)]` inside a string
+//!   does not count), then brace-matches the attached item, nesting
+//!   included.
+
+/// The scrubbed view of one source file. Lines are 1-indexed; index 0 of
+/// the per-line vectors is unused padding so `lines[line_no]` just works.
+#[derive(Debug)]
+pub struct Scrub {
+    /// Code only — comments and literal contents blanked, length preserved.
+    pub scrubbed: String,
+    /// Per line: comment text on that line (empty string when none).
+    pub comment_lines: Vec<String>,
+    /// Per line: true when inside a `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Byte offset of each line start in `scrubbed` (and the original).
+    pub line_starts: Vec<usize>,
+}
+
+impl Scrub {
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.line_starts.len().saturating_sub(1)
+    }
+
+    /// 1-indexed line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i.max(1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The scrubbed text of one 1-indexed line (without the newline).
+    pub fn scrubbed_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line];
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .map_or(self.scrubbed.len(), |&e| e);
+        self.scrubbed[start..end].trim_end_matches('\n')
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scrubs `text` (see module docs). Works byte-wise; multi-byte UTF-8
+/// sequences only ever appear inside literals/comments (identifiers in
+/// this workspace are ASCII), and are blanked byte-for-byte, so the
+/// output remains valid UTF-8 of the same length.
+pub fn scrub(text: &str) -> Scrub {
+    let bytes = text.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comment_spans: Vec<(usize, usize)> = Vec::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+    let mut span_start = 0usize;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in &mut out[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    state = State::LineComment;
+                    span_start = i;
+                    i += 2;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    span_start = i;
+                    i += 2;
+                }
+                b'"' => {
+                    state = State::Str;
+                    span_start = i;
+                    i += 1;
+                }
+                b'r' | b'b' if !is_ident(bytes.get(i.wrapping_sub(1)).copied()) => {
+                    // r"…", r#"…"#, b"…", br#"…"# — raw/byte strings.
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') && (b == b'r' || j > i + 1) {
+                        state = if hashes == 0 && b == b'b' && bytes[i + 1] == b'"' {
+                            State::Str // plain byte string b"…"
+                        } else {
+                            State::RawStr(hashes)
+                        };
+                        span_start = i;
+                        i = j + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) character.
+                    let close = match bytes.get(i + 1) {
+                        Some(b'\\') => {
+                            // Escape: find the next quote within a short
+                            // window (\u{…} is the longest form).
+                            bytes[i + 2..(i + 12).min(bytes.len())]
+                                .iter()
+                                .position(|&c| c == b'\'')
+                                .map(|p| i + 2 + p)
+                        }
+                        Some(_) => (bytes.get(i + 2) == Some(&b'\'')).then_some(i + 2),
+                        None => None,
+                    };
+                    match close {
+                        Some(end) => {
+                            blank(&mut out, i, end + 1);
+                            i = end + 1;
+                        }
+                        None => i += 1, // lifetime: leave as code
+                    }
+                    let _ = State::Char; // state machine handles chars inline
+                }
+                _ => i += 1,
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    comment_spans.push((span_start, i));
+                    blank(&mut out, span_start, i);
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    if depth == 1 {
+                        comment_spans.push((span_start, i + 2));
+                        blank(&mut out, span_start, i + 2);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    i += 2;
+                } else if b == b'"' {
+                    blank(&mut out, span_start, i + 1);
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let end = i + 1 + hashes as usize;
+                    if bytes[i + 1..end.min(bytes.len())]
+                        .iter()
+                        .all(|&c| c == b'#')
+                        && end <= bytes.len()
+                    {
+                        blank(&mut out, span_start, end);
+                        state = State::Code;
+                        i = end;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Char => unreachable!("char literals are consumed inline"),
+        }
+    }
+    // Unterminated trailing comment/string: blank to EOF.
+    match state {
+        State::LineComment | State::BlockComment(_) => {
+            comment_spans.push((span_start, bytes.len()));
+            blank(&mut out, span_start, bytes.len());
+        }
+        State::Str | State::RawStr(_) => blank(&mut out, span_start, bytes.len()),
+        _ => {}
+    }
+
+    let scrubbed = String::from_utf8(out).unwrap_or_else(|e| {
+        // Multi-byte chars partially blanked can in principle tear a
+        // sequence; recover losslessly for our purposes.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    });
+
+    let mut line_starts = vec![0usize, 0];
+    for (pos, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(pos + 1);
+        }
+    }
+    let n_lines = line_starts.len() - 1;
+
+    let mut comment_lines = vec![String::new(); n_lines + 1];
+    {
+        let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+            Ok(i) => i.max(1),
+            Err(i) => i - 1,
+        };
+        for &(s, e) in &comment_spans {
+            let text_span = &text[s..e.min(text.len())];
+            for (line, part) in (line_of(s)..).zip(text_span.split('\n')) {
+                if line <= n_lines {
+                    comment_lines[line].push_str(part.trim());
+                    comment_lines[line].push(' ');
+                }
+            }
+        }
+    }
+
+    let mut sc = Scrub {
+        scrubbed,
+        comment_lines,
+        test_lines: vec![false; n_lines + 1],
+        line_starts,
+    };
+    mark_test_ranges(&mut sc);
+    sc
+}
+
+fn is_ident(b: Option<u8>) -> bool {
+    b.is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Marks the line ranges of items carrying `#[cfg(test)]`. The attribute
+/// is matched whitespace-tolerantly in scrubbed code; the attached item
+/// extends to the matching close brace of its first block (or to the `;`
+/// of a brace-less item).
+fn mark_test_ranges(sc: &mut Scrub) {
+    let bytes = sc.scrubbed.as_bytes();
+    let mut i = 0usize;
+    while let Some(found) = find_cfg_test(bytes, i) {
+        let (attr_start, attr_end) = found;
+        // Scan for the item's opening brace (skipping further attributes'
+        // bracket groups) or a terminating semicolon.
+        let mut j = attr_end;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                b'[' => {
+                    // Another attribute: skip its bracket group.
+                    let mut depth = 1;
+                    j += 1;
+                    while j < bytes.len() && depth > 0 {
+                        match bytes[j] {
+                            b'[' => depth += 1,
+                            b']' => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let item_end = match open {
+            Some(brace) => matching_brace(bytes, brace).unwrap_or(bytes.len()),
+            None => j,
+        };
+        let (from, to) = (
+            sc.line_of(attr_start),
+            sc.line_of(item_end.min(bytes.len() - 1)),
+        );
+        for line in from..=to.min(sc.n_lines()) {
+            sc.test_lines[line] = true;
+        }
+        i = attr_end;
+    }
+}
+
+/// Finds `#[cfg(test)]` (whitespace-tolerant) in scrubbed code at or
+/// after `from`; returns the byte span of the attribute.
+fn find_cfg_test(bytes: &[u8], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < bytes.len() {
+        if bytes[i] == b'#' {
+            let start = i;
+            let mut j = i + 1;
+            let mut ok = true;
+            for expected in ["[", "cfg", "(", "test", ")", "]"] {
+                while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                if bytes[j..].starts_with(expected.as_bytes()) {
+                    j += expected.len();
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some((start, j));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Byte offset of the `}` matching the `{` at `open`.
+pub fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (off, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"x.unwrap()\"; // c.unwrap()\nlet b = 1; /* .clone() */ let c = 2;\n";
+        let sc = scrub(src);
+        assert!(!sc.scrubbed.contains("unwrap"));
+        assert!(!sc.scrubbed.contains("clone"));
+        assert!(sc.scrubbed.contains("let a ="));
+        assert!(sc.scrubbed.contains("let c = 2;"));
+        assert_eq!(sc.scrubbed.len(), src.len());
+        assert!(sc.comment_lines[1].contains("c.unwrap()"));
+        assert!(sc.comment_lines[2].contains(".clone()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let a = r#\"x \" .collect() \"#; let c = '\"'; let l: &'static str = x;\n";
+        let sc = scrub(src);
+        assert!(!sc.scrubbed.contains("collect"));
+        assert!(sc.scrubbed.contains("&'static str"), "{}", sc.scrubbed);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// has unsafe words\n//! and .unwrap() too\nfn f() {}\n";
+        let sc = scrub(src);
+        assert!(!sc.scrubbed.contains("unsafe"));
+        assert!(sc.scrubbed.contains("fn f()"));
+    }
+
+    #[test]
+    fn cfg_test_ranges_nest() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn a() {}\n  #[cfg(test)]\n  mod inner { fn b() {} }\n}\nfn live2() {}\n";
+        let sc = scrub(src);
+        assert!(!sc.test_lines[1]);
+        for line in 2..=7 {
+            assert!(sc.test_lines[line], "line {line}");
+        }
+        assert!(!sc.test_lines[8]);
+    }
+
+    #[test]
+    fn cfg_test_in_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn live() { s.len(); }\n";
+        let sc = scrub(src);
+        assert!(!sc.test_lines[2]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}\n";
+        let sc = scrub(src);
+        assert!(sc.scrubbed.contains("fn f()"));
+        assert!(!sc.scrubbed.contains("inner"));
+    }
+}

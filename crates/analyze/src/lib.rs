@@ -1,0 +1,249 @@
+//! `lbr-analyze` — a workspace invariant checker for the LBR repo.
+//!
+//! Five lint families enforce the invariants the engine work established
+//! by hand (see README, "Static analysis & invariants"):
+//!
+//! 1. **no-alloc** — allocating idioms denied inside `// lbr-lint:
+//!    no_alloc` regions of the kernels.
+//! 2. **unsafe-comment / forbid-unsafe** — every `unsafe` needs an
+//!    adjacent `// SAFETY:`; crates with zero unsafe must declare
+//!    `#![forbid(unsafe_code)]`.
+//! 3. **panic-path** — `unwrap`/`expect`/`panic!`/`todo!` denied in
+//!    non-test serving and commit/recovery code.
+//! 4. **lock-order** — nested lock acquisitions in `store.rs` checked
+//!    against the declared order `writer -> current -> retained`.
+//! 5. **wal-durability** — every `rename` in `wal.rs`/`store.rs` must be
+//!    fsync-bracketed.
+//!
+//! Zero external dependencies: the lexer in [`lex`] is hand-rolled.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lex;
+pub mod lints;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint hit. `snippet` is the baseline key (with `path` and `lint`);
+/// `line` is for display only.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub lint: &'static str,
+    pub snippet: String,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(
+        path: &str,
+        line: usize,
+        lint: &'static str,
+        snippet: impl Into<String>,
+        message: String,
+    ) -> Self {
+        Finding {
+            path: path.to_string(),
+            line,
+            lint,
+            snippet: snippet.into(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Per-file unsafe inventory row for `--report-unsafe`.
+#[derive(Debug)]
+pub struct UnsafeSite {
+    pub path: String,
+    pub line: usize,
+    pub justified: bool,
+}
+
+/// Runs all per-file lints on one source file addressed by its
+/// workspace-relative `path` (the path determines which scoped lints
+/// apply — tests can pass virtual paths like `crates/server/src/x.rs`).
+pub fn analyze_file(path: &str, text: &str) -> Vec<Finding> {
+    let sc = lex::scrub(text);
+    let mut out = Vec::new();
+    lints::lint_no_alloc(path, text, &sc, &mut out);
+    lints::lint_unsafe(path, &sc, &mut out);
+    lints::lint_panic_path(path, text, &sc, &mut out);
+    lints::lint_lock_order(path, &sc, &lints::STORE_LOCK_POLICY, &mut out);
+    lints::lint_wal_durability(path, &sc, &mut out);
+    out
+}
+
+/// Analyzes a set of `(path, text)` files as a workspace: all per-file
+/// lints, plus the crate-level rule that an unsafe-free crate must
+/// declare `#![forbid(unsafe_code)]` at its root.
+pub fn analyze_workspace_files(files: &[(String, String)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Group files by crate root ("src" or "crates/<name>/src"). A crate
+    // may have several compilation roots (lib.rs and main.rs); each must
+    // declare the forbid attribute when the crate is unsafe-free.
+    let mut crates: std::collections::BTreeMap<String, (bool, Vec<usize>)> =
+        std::collections::BTreeMap::new();
+    for (i, (path, text)) in files.iter().enumerate() {
+        out.extend(analyze_file(path, text));
+        let Some(root) = crate_root(path) else {
+            continue;
+        };
+        let sc = lex::scrub(text);
+        let entry = crates.entry(root).or_insert((true, Vec::new()));
+        if !lints::file_is_unsafe_free(&sc) {
+            entry.0 = false;
+        }
+        if is_crate_root_file(path) {
+            entry.1.push(i);
+        }
+    }
+    for (root, (unsafe_free, root_files)) in crates {
+        if !unsafe_free {
+            continue;
+        }
+        for idx in root_files {
+            let (path, text) = &files[idx];
+            let sc = lex::scrub(text);
+            if !lints::declares_forbid_unsafe(&sc) {
+                out.push(Finding::new(
+                    path,
+                    1,
+                    lints::FORBID_UNSAFE,
+                    "missing #![forbid(unsafe_code)]",
+                    format!("crate `{root}` has no unsafe code but does not declare #![forbid(unsafe_code)]"),
+                ));
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+fn crate_root(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        Some(format!("crates/{name}"))
+    } else if path.starts_with("src/") {
+        Some("lbr".to_string())
+    } else {
+        None
+    }
+}
+
+fn is_crate_root_file(path: &str) -> bool {
+    path == "src/lib.rs"
+        || path.starts_with("src/bin/")
+        || (path.starts_with("crates/")
+            && (path.ends_with("/src/lib.rs")
+                || path.ends_with("/src/main.rs")
+                || path.contains("/src/bin/")))
+}
+
+/// Collects the workspace sources under `root`: `src/**/*.rs` and
+/// `crates/*/src/**/*.rs`. Vendored deps, build output, and the
+/// analyzer's own lint fixtures are excluded.
+pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("src")];
+    if let Ok(rd) = fs::read_dir(root.join("crates")) {
+        for e in rd.flatten() {
+            let p = e.path().join("src");
+            if p.is_dir() {
+                dirs.push(p);
+            }
+        }
+    }
+    let mut stack: Vec<PathBuf> = dirs.into_iter().filter(|d| d.is_dir()).collect();
+    while let Some(dir) = stack.pop() {
+        for e in fs::read_dir(&dir)?.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if rel.contains("tests/fixtures") || rel.starts_with("vendor/") {
+                    continue;
+                }
+                files.push((rel, fs::read_to_string(&p)?));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The unsafe inventory across a file set, for `--report-unsafe`.
+pub fn unsafe_inventory(files: &[(String, String)]) -> Vec<UnsafeSite> {
+    let mut rows = Vec::new();
+    for (path, text) in files {
+        let sc = lex::scrub(text);
+        let flagged: std::collections::BTreeSet<usize> = {
+            let mut out = Vec::new();
+            lints::lint_unsafe(path, &sc, &mut out);
+            out.iter().map(|f| f.line).collect()
+        };
+        for line in lints::unsafe_sites(&sc) {
+            rows.push(UnsafeSite {
+                path: path.clone(),
+                line,
+                justified: !flagged.contains(&line),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbid_unsafe_required_for_clean_crate() {
+        let files = vec![
+            (
+                "crates/clean/src/lib.rs".to_string(),
+                "pub fn f() {}\n".to_string(),
+            ),
+            (
+                "crates/dirty/src/lib.rs".to_string(),
+                "pub fn g(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n".to_string(),
+            ),
+        ];
+        let out = analyze_workspace_files(&files);
+        let forbid: Vec<_> = out
+            .iter()
+            .filter(|f| f.lint == lints::FORBID_UNSAFE)
+            .collect();
+        assert_eq!(forbid.len(), 1, "{out:?}");
+        assert_eq!(forbid[0].path, "crates/clean/src/lib.rs");
+    }
+
+    #[test]
+    fn declared_forbid_passes() {
+        let files = vec![(
+            "crates/clean/src/lib.rs".to_string(),
+            "#![forbid(unsafe_code)]\npub fn f() {}\n".to_string(),
+        )];
+        let out = analyze_workspace_files(&files);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,154 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! lbr-analyze [--root DIR] [--baseline FILE] [--deny] [--write-baseline] [--report-unsafe]
+//! ```
+//!
+//! Default root is the current directory (CI runs from the repo root);
+//! default baseline is `<root>/analyze-baseline.txt`. `--deny` exits
+//! nonzero on any finding not covered by the baseline — this is the CI
+//! gate. `--write-baseline` prints the current findings in baseline
+//! format (rationales left as TODO) to bootstrap or refresh the file.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lbr_analyze::baseline::Baseline;
+use lbr_analyze::{analyze_workspace_files, collect_workspace, unsafe_inventory};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut write_baseline = false;
+    let mut report_unsafe = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a value"),
+            },
+            "--deny" => deny = true,
+            "--write-baseline" => write_baseline = true,
+            "--report-unsafe" => report_unsafe = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("analyze-baseline.txt"));
+
+    let files = match collect_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "lbr-analyze: cannot read workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "lbr-analyze: no sources found under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = analyze_workspace_files(&files);
+
+    if write_baseline {
+        print!("{}", Baseline::render(&findings));
+        return ExitCode::SUCCESS;
+    }
+
+    if report_unsafe {
+        let rows = unsafe_inventory(&files);
+        println!("unsafe inventory ({} sites):", rows.len());
+        for r in &rows {
+            println!(
+                "  {}:{} {}",
+                r.path,
+                r.line,
+                if r.justified {
+                    "SAFETY ok"
+                } else {
+                    "MISSING SAFETY"
+                }
+            );
+        }
+        println!();
+    }
+
+    let mut baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lbr-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+
+    let mut new_findings = Vec::new();
+    let mut baselined = 0usize;
+    for f in &findings {
+        if baseline.matches(f) {
+            baselined += 1;
+        } else {
+            new_findings.push(f);
+        }
+    }
+
+    for f in &new_findings {
+        println!("{f}");
+    }
+    let stale = baseline.stale();
+    for e in &stale {
+        eprintln!(
+            "note: stale baseline entry (no longer matches anything): {} [{}] {}",
+            e.path, e.lint, e.snippet
+        );
+    }
+    eprintln!(
+        "lbr-analyze: {} file(s), {} finding(s): {} new, {} baselined, {} stale baseline entr{}",
+        files.len(),
+        findings.len(),
+        new_findings.len(),
+        baselined,
+        stale.len(),
+        if stale.len() == 1 { "y" } else { "ies" }
+    );
+
+    if deny && !new_findings.is_empty() {
+        eprintln!(
+            "lbr-analyze: failing (--deny) on {} new finding(s)",
+            new_findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("lbr-analyze: {err}");
+    }
+    eprintln!(
+        "usage: lbr-analyze [--root DIR] [--baseline FILE] [--deny] [--write-baseline] [--report-unsafe]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

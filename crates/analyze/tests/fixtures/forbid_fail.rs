@@ -1,0 +1,6 @@
+//! Fixture (virtual path: crates/clean/src/lib.rs): an unsafe-free crate
+//! root that forgets `#![forbid(unsafe_code)]` — one workspace finding.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

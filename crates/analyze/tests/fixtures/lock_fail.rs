@@ -1,0 +1,16 @@
+//! Fixture (virtual path: crates/store/src/store.rs): one out-of-order
+//! acquisition, one double acquisition — two findings.
+
+impl Store {
+    fn inverted(&self) {
+        let retained = self.retained.lock().expect("store lock poisoned");
+        let writer = self.writer.lock().expect("store lock poisoned");
+        drop((retained, writer));
+    }
+
+    fn double(&self) {
+        let a = self.writer.lock().expect("store lock poisoned");
+        let b = self.writer.lock().expect("store lock poisoned");
+        drop((a, b));
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture (virtual path: crates/store/src/store.rs): lock acquisitions
+//! in the declared order writer -> current -> retained, with inner-scope
+//! release.
+
+impl Store {
+    fn commit(&self) {
+        let writer = self.writer.lock().expect("store lock poisoned");
+        let snap = self.current.read().expect("store lock poisoned");
+        drop(snap);
+        drop(writer);
+    }
+
+    fn reacquire_after_scope(&self) {
+        {
+            let w = self.writer.lock().expect("store lock poisoned");
+            drop(w);
+        }
+        let w2 = self.writer.lock().expect("store lock poisoned");
+        drop(w2);
+    }
+
+    fn pin(&self) {
+        let snap = self.snapshot();
+        let mut retained = self.retained.lock().expect("store lock poisoned");
+        retained.push(snap);
+    }
+}

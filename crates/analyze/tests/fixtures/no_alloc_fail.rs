@@ -1,0 +1,13 @@
+//! Fixture: allocating idioms inside a no_alloc region — every line in
+//! the region below must fire the lint.
+
+// lbr-lint: no_alloc
+pub fn kernel(xs: &[u32]) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.extend(xs.iter().filter(|x| **x % 2 == 0).collect::<Vec<_>>());
+    let _copy = xs.to_vec();
+    let _s = format!("{}", xs.len());
+    let _b = Box::new(xs.len());
+    v
+}
+// lbr-lint: end

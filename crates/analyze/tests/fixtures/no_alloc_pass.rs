@@ -1,0 +1,23 @@
+//! Fixture: a clean no_alloc region — pushes into caller-owned buffers,
+//! allocating setup outside the region.
+
+pub fn setup() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+
+// lbr-lint: no_alloc — steady state reuses `out`
+pub fn kernel(xs: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    for &x in xs {
+        if x % 2 == 0 {
+            out.push(x);
+        }
+    }
+}
+// lbr-lint: end
+
+pub fn teardown(v: Vec<u32>) -> String {
+    format!("{} items", v.len())
+}

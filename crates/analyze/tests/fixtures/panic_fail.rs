@@ -1,0 +1,11 @@
+//! Fixture (virtual path: crates/server/src/…): four distinct panic
+//! idioms in non-test serving code — all must fire.
+
+pub fn handle(q: &str) -> usize {
+    let n: usize = q.parse().unwrap();
+    let m: usize = q.parse().expect("q is a number");
+    if n != m {
+        panic!("impossible");
+    }
+    todo!()
+}

@@ -1,0 +1,21 @@
+//! Fixture (virtual path: crates/server/src/…): serving code that stays
+//! panic-free — errors become values, tests may still unwrap.
+
+pub fn parse_limit(q: &str) -> Result<usize, String> {
+    q.strip_prefix("limit=")
+        .ok_or_else(|| "missing limit".to_string())?
+        .parse::<usize>()
+        .map_err(|e| e.to_string())
+}
+
+pub fn clamp(v: Option<usize>) -> usize {
+    v.unwrap_or(100)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::parse_limit("limit=7").unwrap(), 7);
+    }
+}

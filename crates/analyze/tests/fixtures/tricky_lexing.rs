@@ -1,0 +1,33 @@
+//! Fixture: the lexing traps — an allocating call spelled inside a string
+//! literal, `unsafe` appearing only in a doc comment, and `#[cfg(test)]`
+//! nesting. A correct analyzer reports NOTHING for this file.
+
+// lbr-lint: no_alloc
+/// This doc comment mentions unsafe { } and .collect() — not code.
+pub fn kernel(out: &mut Vec<u32>) {
+    // A string spelling an allocation is data, not an allocation:
+    let msg = "please call Vec::new() and .collect() and vec![1]";
+    let raw = r#"format!("{}", x) and Box::new(y) stay data too"#;
+    out.push(msg.len() as u32);
+    out.push(raw.len() as u32);
+}
+// lbr-lint: end
+
+#[cfg(test)]
+mod tests {
+    // Inside cfg(test): allocation and panics are fine everywhere.
+    #[test]
+    fn alloc_and_unwrap_are_fine_here() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.first().copied().unwrap(), 0);
+    }
+
+    #[cfg(test)]
+    mod nested {
+        #[test]
+        fn still_excluded() {
+            let s = String::from("nested cfg(test) module");
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: unsafe with no SAFETY comment anywhere near it.
+
+pub fn read(p: *const u8) -> u8 {
+    let x = 1;
+    unsafe { *p.add(x) }
+}

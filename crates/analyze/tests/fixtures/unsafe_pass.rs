@@ -1,0 +1,12 @@
+//! Fixture: every unsafe site carries an adjacent SAFETY comment.
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live, aligned byte.
+    unsafe { *p }
+}
+
+pub struct Wrapper(pub *const u8);
+
+// SAFETY: the wrapped pointer is only dereferenced behind `read`, which
+// re-checks the contract; sending the raw pointer itself is sound.
+unsafe impl Send for Wrapper {}

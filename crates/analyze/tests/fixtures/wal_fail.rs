@@ -1,0 +1,11 @@
+//! Fixture (virtual path: crates/store/src/wal.rs): rename with neither
+//! a source fsync before nor a directory fsync after — two findings.
+
+pub fn publish(dir: &Path, frame: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join("ckpt.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(frame)?;
+    drop(file);
+    std::fs::rename(&tmp, dir.join("ckpt"))?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Fixture (virtual path: crates/store/src/wal.rs): the atomic publish
+//! protocol — write temp, fsync, rename, fsync the directory.
+
+pub fn publish(dir: &Path, frame: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join("ckpt.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(frame)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, dir.join("ckpt"))?;
+    sync_dir(dir)?;
+    Ok(())
+}

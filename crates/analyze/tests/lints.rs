@@ -1,0 +1,111 @@
+//! The fixture suite: a passing and a failing case per lint family, plus
+//! the lexing traps. Fixtures live under `tests/fixtures/` — never
+//! compiled by cargo, excluded from the workspace walker — and are fed to
+//! the analyzer under *virtual* paths so the path-scoped lints apply.
+
+use lbr_analyze::{analyze_file, analyze_workspace_files, lints};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn lints_of(findings: &[lbr_analyze::Finding], lint: &str) -> usize {
+    findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn no_alloc_pass() {
+    let out = analyze_file("crates/x/src/kernel.rs", &fixture("no_alloc_pass.rs"));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn no_alloc_fail() {
+    let out = analyze_file("crates/x/src/kernel.rs", &fixture("no_alloc_fail.rs"));
+    // Vec::new, .collect, .to_vec, format!, Box::new — five distinct hits.
+    assert_eq!(lints_of(&out, lints::NO_ALLOC), 5, "{out:?}");
+}
+
+#[test]
+fn tricky_lexing_is_clean() {
+    // Alloc spelled in strings, unsafe in a doc comment, nested
+    // #[cfg(test)] — a correct lexer reports nothing, even under the
+    // panic-path scope of a server path.
+    let out = analyze_file("crates/server/src/tricky.rs", &fixture("tricky_lexing.rs"));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unsafe_pass() {
+    let out = analyze_file("crates/x/src/lib.rs", &fixture("unsafe_pass.rs"));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unsafe_fail() {
+    let out = analyze_file("crates/x/src/lib.rs", &fixture("unsafe_fail.rs"));
+    assert_eq!(lints_of(&out, lints::UNSAFE_COMMENT), 1, "{out:?}");
+}
+
+#[test]
+fn panic_pass() {
+    let out = analyze_file("crates/server/src/handler.rs", &fixture("panic_pass.rs"));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn panic_fail() {
+    let out = analyze_file("crates/server/src/handler.rs", &fixture("panic_fail.rs"));
+    // .unwrap, .expect, panic!, todo! — four distinct hits.
+    assert_eq!(lints_of(&out, lints::PANIC_PATH), 4, "{out:?}");
+}
+
+#[test]
+fn panic_scope_is_path_scoped() {
+    // The same panicking file under a non-serving path is not checked.
+    let out = analyze_file("crates/core/src/handler.rs", &fixture("panic_fail.rs"));
+    assert_eq!(lints_of(&out, lints::PANIC_PATH), 0, "{out:?}");
+}
+
+#[test]
+fn lock_pass() {
+    let out = analyze_file("crates/store/src/store.rs", &fixture("lock_pass.rs"));
+    assert_eq!(lints_of(&out, lints::LOCK_ORDER), 0, "{out:?}");
+}
+
+#[test]
+fn lock_fail() {
+    let out = analyze_file("crates/store/src/store.rs", &fixture("lock_fail.rs"));
+    assert_eq!(lints_of(&out, lints::LOCK_ORDER), 2, "{out:?}");
+    assert!(
+        out.iter().any(|f| f.message.contains("declared order")),
+        "{out:?}"
+    );
+    assert!(
+        out.iter().any(|f| f.message.contains("already held")),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn wal_pass() {
+    let out = analyze_file("crates/store/src/wal.rs", &fixture("wal_pass.rs"));
+    assert_eq!(lints_of(&out, lints::WAL_DURABILITY), 0, "{out:?}");
+}
+
+#[test]
+fn wal_fail() {
+    let out = analyze_file("crates/store/src/wal.rs", &fixture("wal_fail.rs"));
+    assert_eq!(lints_of(&out, lints::WAL_DURABILITY), 2, "{out:?}");
+}
+
+#[test]
+fn forbid_unsafe_fail() {
+    let files = vec![(
+        "crates/clean/src/lib.rs".to_string(),
+        fixture("forbid_fail.rs"),
+    )];
+    let out = analyze_workspace_files(&files);
+    assert_eq!(lints_of(&out, lints::FORBID_UNSAFE), 1, "{out:?}");
+}

@@ -1,0 +1,50 @@
+//! The self-check: the live workspace must be clean against the
+//! committed baseline. This is the same judgment CI's `Analyze` step
+//! makes with `cargo run -p lbr-analyze -- --deny`, run as a tier-1 test
+//! so a lint regression fails `cargo test` too.
+
+use lbr_analyze::baseline::Baseline;
+use lbr_analyze::{analyze_workspace_files, collect_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_against_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = collect_workspace(&root).expect("walk workspace sources");
+    assert!(
+        files.len() > 50,
+        "walker found only {} files — wrong root?",
+        files.len()
+    );
+    let findings = analyze_workspace_files(&files);
+
+    let text = std::fs::read_to_string(root.join("analyze-baseline.txt"))
+        .expect("committed analyze-baseline.txt");
+    let mut baseline = Baseline::parse(&text).expect("baseline parses");
+    assert!(
+        baseline.entries.len() <= 10,
+        "baseline has {} entries; the budget is 10 — fix findings instead",
+        baseline.entries.len()
+    );
+
+    let fresh: Vec<String> = findings
+        .iter()
+        .filter(|f| !baseline.matches(f))
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        fresh.is_empty(),
+        "non-baselined findings:\n{}",
+        fresh.join("\n")
+    );
+    let stale: Vec<String> = baseline
+        .stale()
+        .iter()
+        .map(|e| format!("{} [{}] {}", e.path, e.lint, e.snippet))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries (delete them):\n{}",
+        stale.join("\n")
+    );
+}

@@ -20,6 +20,8 @@
 //!   SPARQL (compatible-mappings) and SQL (null-intolerant) semantics
 //!   (Appendix C).
 
+#![forbid(unsafe_code)]
+
 pub mod hash_join;
 pub mod kind;
 pub mod pairwise;

@@ -26,22 +26,33 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: defers every operation to `System`, which upholds the contract;
 // the counter is a side effect only.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: the caller upholds `GlobalAlloc::alloc`'s contract (non-zero
+    // layout); we pass `layout` through untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout, same contract — `System` is the real allocator.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: the caller guarantees `ptr` came from this allocator with
+    // this `layout`; every pointer we hand out comes from `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are forwarded exactly as received.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: as for `alloc`; zeroed variant shares the same contract.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout, same contract — `System` is the real allocator.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: the caller guarantees `ptr`/`layout` describe a live block
+    // from this allocator and `new_size` is non-zero.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: arguments are forwarded exactly as received.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

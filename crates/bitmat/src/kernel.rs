@@ -108,6 +108,9 @@ enum Computed {
     Runs,
 }
 
+// lbr-lint: no_alloc — steady-state row kernels: every operation below
+// reuses caller-owned scratch; the dynamic alloc_check gate measures the
+// same property at runtime.
 impl BitRow {
     /// `self &= mask`, in place, reusing `scratch` buffers — the
     /// zero-allocation form of [`BitRow::and_mask`].
@@ -447,6 +450,7 @@ impl<'a> RowCursor<'a> {
         }
     }
 }
+// lbr-lint: end
 
 /// k-way intersection of compressed rows into a caller-owned, cleared
 /// position buffer — leapfrog join over [`RowCursor`]s: repeatedly seek

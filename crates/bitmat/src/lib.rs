@@ -44,6 +44,8 @@
 //! heap allocation**: buffers grow to a high-water mark on the first use
 //! and circulate between scratch and destination rows afterwards.
 
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod catalog;
 pub mod disk;

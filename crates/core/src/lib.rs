@@ -34,6 +34,8 @@
 //! multi-way join so ASK / plain-LIMIT queries stop enumerating seeds as
 //! soon as enough rows exist.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod best_match;
 pub mod bindings;

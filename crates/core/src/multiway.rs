@@ -302,6 +302,8 @@ impl RootUnits {
         }
     }
 
+    // lbr-lint: no_alloc — the parallel root driver: chunks replay the same
+    // scratch-backed descent as the serial recursion.
     /// Runs the units in `[start, end)` on a fresh-at-root context,
     /// binding exactly as the serial enumeration arms do; `descend`
     /// restores the context completely after every subtree, so one
@@ -401,6 +403,7 @@ impl RootUnits {
             _ => unreachable!("RootUnits::plan matches the root TP's data shape"),
         }
     }
+    // lbr-lint: end
 }
 
 /// The read-only part of the join state, shared by all workers.
@@ -485,6 +488,7 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
         }
     }
 
+    // lbr-lint: no_alloc — TP selection and binding bookkeeping on the hot path.
     /// The first unvisited TP in `stps` order that (a) has a bound variable
     /// or no variables at all, and (b) whose master supernodes are fully
     /// visited — the strengthened form of the paper's "masters generate
@@ -535,6 +539,7 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
         self.slots[var] = Slot::Free;
         self.binder[var] = usize::MAX;
     }
+    // lbr-lint: end
 
     /// Emits one result row: failure closure → FaN filters → nullification
     /// → global filters → push. The failure map and the row are assembled
@@ -632,6 +637,7 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
     }
 }
 
+// lbr-lint: no_alloc — failure closure over peer groups: bool slice only.
 /// Spreads supernode failure across peer groups until stable.
 fn close_over_peers(failed: &mut [bool], gosn: &Gosn) {
     for sn in 0..failed.len() {
@@ -651,6 +657,7 @@ struct SnScopedLookup<'c, 's, 'a, 'b> {
     dict: &'c Dictionary,
 }
 
+// lbr-lint: end
 impl VarLookup for SnScopedLookup<'_, '_, '_, '_> {
     fn term(&self, name: &str) -> Option<&Term> {
         let id = self.ctx.sh.inp.vt.id(name)?;
@@ -677,6 +684,8 @@ impl VarLookup for RowLookup<'_> {
     }
 }
 
+// lbr-lint: no_alloc — the serial recursion and its TP descent: all masks,
+// cursors and row buffers come from per-worker scratch.
 /// One recursion level of Algorithm 5.4.
 ///
 /// Candidate enumeration cursors directly over the compressed matrix rows
@@ -960,6 +969,7 @@ fn descend(ctx: &mut Ctx<'_, '_, '_>, tp: TpId, bound_here: &[VarId]) {
         ctx.unbind(v);
     }
 }
+// lbr-lint: end
 
 #[cfg(test)]
 mod tests {

@@ -95,6 +95,8 @@ impl PruneScratch {
         }
     }
 }
+// lbr-lint: no_alloc — Algorithm 5.2 steady state: semi-joins and per-jvar
+// pruning reuse PruneScratch masks only.
 
 /// Algorithm 5.2: `semi-join(?j, tpj, tpi)` — prune the slave by the
 /// master's bindings. All masks live in `scratch`; nothing is allocated in
@@ -251,6 +253,7 @@ fn prune_one_jvar(
         PruneOutcome::Done
     }
 }
+// lbr-lint: end
 
 /// The operations [`prune_triples`] will issue over both jvar passes,
 /// statically enumerable from the plan alone.

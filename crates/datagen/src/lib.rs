@@ -17,6 +17,8 @@
 //! the Appendix E query sets ported to the generated vocabularies with the
 //! same OPTIONAL structure, selectivity character and (a)cyclicity.
 
+#![forbid(unsafe_code)]
+
 pub mod dbpedia;
 pub mod lubm;
 pub mod uniprot;

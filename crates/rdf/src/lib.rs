@@ -16,6 +16,8 @@
 //! Everything downstream (the BitMat indexes in `lbr-bitmat` and the LBR
 //! engine in `lbr-core`) works purely on the `u32` IDs handed out here.
 
+#![forbid(unsafe_code)]
+
 pub mod dictionary;
 pub mod error;
 pub mod graph;

@@ -46,6 +46,8 @@
 //! server.run().unwrap(); // blocks, serving forever
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod http;
 
 use http::{parse_form, read_request, write_error, write_head, write_text};

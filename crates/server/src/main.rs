@@ -26,6 +26,8 @@
 //! `listening on http://ADDR` — so scripts (and CI) can discover an
 //! ephemeral port; everything else goes to stderr.
 
+#![forbid(unsafe_code)]
+
 use lbr::{Database, EngineKind};
 use lbr_server::{Server, ServerConfig};
 use std::process::ExitCode;

@@ -38,6 +38,8 @@
 //! assert!(parse_query("ASK { ?s <p> ?o . }").unwrap().is_ask());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algebra;
 pub mod classify;
 pub mod error;

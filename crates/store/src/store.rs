@@ -318,7 +318,7 @@ impl Store {
                 // Replay through the normal commit path, minus logging.
                 store.commit(batch, false)?;
             }
-            *store.writer.lock().expect("writer lock poisoned") = Some(wal);
+            *store.writer.lock().expect("store lock poisoned") = Some(wal);
         }
         Ok(store)
     }
@@ -345,7 +345,7 @@ impl Store {
     /// [`Store::snapshot`] so unvended epochs can be freed.
     pub fn current_ref(&self) -> &Snapshot {
         let arc = self.snapshot();
-        let mut retained = self.retained.lock().expect("retained lock poisoned");
+        let mut retained = self.retained.lock().expect("store lock poisoned");
         // Recent epochs sit at the tail; one snapshot is vended many
         // times, so the reverse scan usually stops immediately.
         if !retained.iter().rev().any(|r| Arc::ptr_eq(r, &arc)) {
@@ -355,7 +355,9 @@ impl Store {
         let ptr = Arc::as_ptr(&arc);
         // SAFETY: the pointee is kept alive by the `retained` entry just
         // ensured above; `retained` only grows and lives as long as
-        // `self`, and `Arc` contents never move.
+        // `self`, and `Arc` contents never move. The full soundness
+        // argument (why commits cannot free a vended epoch) is on the
+        // `retained` field declaration.
         unsafe { &*ptr }
     }
 
@@ -372,7 +374,7 @@ impl Store {
 
     /// Disables the per-commit WAL fsync (bulk loads, benchmarks).
     pub fn set_sync(&self, sync: bool) {
-        if let Some(wal) = self.writer.lock().expect("writer lock poisoned").as_mut() {
+        if let Some(wal) = self.writer.lock().expect("store lock poisoned").as_mut() {
             wal.set_sync(sync);
         }
     }
@@ -387,7 +389,7 @@ impl Store {
     /// Folds the delta into freshly built segments now (same dictionary,
     /// empty delta) and bumps the epoch. No-op on an empty delta.
     pub fn compact(&self) -> Result<CommitInfo, StoreError> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = self.writer.lock().expect("store lock poisoned");
         let snap = self.snapshot();
         if snap.delta().is_empty() {
             return Ok(CommitInfo {
@@ -431,7 +433,7 @@ impl Store {
     }
 
     fn commit(&self, batch: UpdateBatch, log: bool) -> Result<CommitInfo, StoreError> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = self.writer.lock().expect("store lock poisoned");
         let snap = self.snapshot();
         let dict = snap.dict();
 

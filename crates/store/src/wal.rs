@@ -195,8 +195,8 @@ pub fn decode(bytes: &[u8]) -> WalRecovery {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while let Some(header) = bytes.get(pos..pos + 8) {
-        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let len = le_u32(header, 0) as usize;
+        let crc = le_u32(header, 4);
         let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
             break;
         };
@@ -214,6 +214,12 @@ pub fn decode(bytes: &[u8]) -> WalRecovery {
         valid_bytes: pos as u64,
         truncated_bytes: (bytes.len() - pos) as u64,
     }
+}
+
+/// Reads the little-endian u32 at `at`; the caller has already
+/// length-checked the slice, so this never sees fewer than 4 bytes.
+fn le_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
 }
 
 fn decode_payload(payload: &[u8]) -> Option<Vec<WalOp>> {
@@ -237,7 +243,7 @@ fn decode_payload(payload: &[u8]) -> Option<Vec<WalOp>> {
         }
         ops.push(WalOp {
             kind,
-            triple: triples.pop().unwrap(),
+            triple: triples.pop()?,
         });
     }
     (pos == payload.len()).then_some(ops)
@@ -295,8 +301,8 @@ pub fn read_checkpoint(dir: &Path) -> std::io::Result<Option<Vec<Triple>>> {
         )
     };
     let header = bytes.get(0..8).ok_or_else(|| corrupt("short header"))?;
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let len = le_u32(header, 0) as usize;
+    let crc = le_u32(header, 4);
     let payload = bytes
         .get(8..8 + len)
         .ok_or_else(|| corrupt("short payload"))?;

@@ -39,6 +39,8 @@
 //! Every engine goes through the same [`lbr::Engine`] dispatch and the
 //! same result rendering — there is no per-engine result handling.
 
+#![forbid(unsafe_code)]
+
 use lbr::bitmat::disk::save_store;
 use lbr::{Database, EngineKind, OutputFormat, PlanCache};
 use std::path::Path;

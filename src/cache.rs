@@ -212,12 +212,14 @@ impl PlanCache {
             }
         }
         while inner.entries.len() > self.capacity {
-            let lru = inner
+            let Some(lru) = inner
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty map has an LRU entry");
+            else {
+                break; // len > capacity ≥ 0 implies non-empty, but stay panic-free
+            };
             inner.entries.remove(&lru);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }

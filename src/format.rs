@@ -87,7 +87,12 @@ impl OutputFormat {
 }
 
 fn utf8(buf: Vec<u8>) -> String {
-    String::from_utf8(buf).expect("serializers emit UTF-8 only")
+    // The serializers only emit UTF-8, so this is the by-construction
+    // lossless path; `from_utf8_lossy` keeps the facade panic-free.
+    match String::from_utf8(buf) {
+        Ok(s) => s,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    }
 }
 
 /// The human-readable table: header row, then one tab-separated line per

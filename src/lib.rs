@@ -114,6 +114,8 @@
 //! * [`datagen`] — LUBM/UniProt/DBPedia-like workload generators and the
 //!   Appendix E benchmark queries.
 
+#![forbid(unsafe_code)]
+
 pub use lbr_baseline as baseline;
 pub use lbr_bitmat as bitmat;
 pub use lbr_core as core;
@@ -409,7 +411,7 @@ impl Database {
         Self::builder()
             .triples(triples)
             .build()
-            .expect("in-memory build from triples cannot fail")
+            .expect("in-memory build cannot fail")
     }
 
     /// Shortcut: in-memory database over an N-Triples document, LBR engine.
@@ -426,7 +428,7 @@ impl Database {
         Self::builder()
             .encoded(graph)
             .build()
-            .expect("in-memory build from encoded graph cannot fail")
+            .expect("in-memory build cannot fail")
     }
 
     /// Pins one consistent view of the database for a whole request.
