@@ -45,6 +45,12 @@ pub struct EngineOptions {
     /// available parallelism; `1` is the exact serial path. Results are
     /// byte-identical at every thread count.
     pub threads: usize,
+    /// Execution deadline, honored by the LBR engine: evaluation past
+    /// this instant aborts with [`LbrError::DeadlineExceeded`] — the
+    /// multi-way join polls it on the quota seam so timed-out queries
+    /// stop enumerating seeds promptly. The baseline engines ignore it
+    /// (they exist for offline comparison, not serving).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for EngineOptions {
@@ -53,6 +59,7 @@ impl Default for EngineOptions {
             row_limit: None,
             semantics: Semantics::Sparql,
             threads: lbr_core::api::default_threads(),
+            deadline: None,
         }
     }
 }
@@ -113,9 +120,11 @@ impl EngineKind {
         options: &EngineOptions,
     ) -> Box<dyn Engine + 'a> {
         match self {
-            EngineKind::Lbr => {
-                Box::new(LbrEngine::new(catalog, dict).with_threads(options.threads))
-            }
+            EngineKind::Lbr => Box::new(
+                LbrEngine::new(catalog, dict)
+                    .with_threads(options.threads)
+                    .with_deadline(options.deadline),
+            ),
             EngineKind::PairwiseSelectivity | EngineKind::PairwiseQueryOrder => {
                 let order = if self == EngineKind::PairwiseSelectivity {
                     JoinOrder::Selectivity

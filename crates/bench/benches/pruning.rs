@@ -78,6 +78,7 @@ fn bench_phases(c: &mut Criterion) {
                 dict: &graph.dict,
                 fan_filters: Vec::new(),
                 quota: None,
+                deadline: None,
             };
             let (rows, _) = multi_way_join(&inputs);
             std::hint::black_box(rows.len())

@@ -275,7 +275,8 @@ pub fn run_engine(p: &Prepared, text: &str, kind: EngineKind) -> Option<f64> {
 
 /// Serving throughput of `lbr-server` over one dataset: real HTTP
 /// requests on the loopback interface, all Appendix E queries round-robin
-/// across concurrent clients, answered from the shared plan cache.
+/// across concurrent **keep-alive** connections (one per client, reused
+/// for every request), answered from the shared plan + result caches.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// End-to-end queries per second (request written → full response
@@ -291,6 +292,16 @@ pub struct ServeReport {
     pub cache_hits: u64,
     /// Plan-cache misses (one per distinct query: planning ran once).
     pub cache_misses: u64,
+    /// Result-cache hits (a hit skips execution + serialization).
+    pub result_hits: u64,
+    /// Result-cache misses (one per distinct query at a fixed epoch).
+    pub result_misses: u64,
+    /// Client-observed request latency percentiles, microseconds
+    /// (exact, from every timed request's wall time).
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
 }
 
 /// Percent-encodes a query for a `?query=` parameter.
@@ -319,27 +330,89 @@ fn urlencode(s: &str) -> String {
     out
 }
 
-/// One HTTP GET against the endpoint; panics unless the server answers
-/// 200 (the bench doubles as a smoke test of the serving path).
-fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
-    use std::io::{Read as _, Write as _};
-    let mut stream = std::net::TcpStream::connect(addr).expect("connect to lbr-server");
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send request");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
-    assert!(
-        response.starts_with("HTTP/1.1 200 "),
-        "serve bench got a non-200: {}",
-        response.lines().next().unwrap_or("")
-    );
-    response
+/// A keep-alive HTTP client: one TCP connection reused across requests,
+/// responses framed by `Content-Length` (surplus bytes carried to the
+/// next read). Panics unless the server answers 200 — the bench doubles
+/// as a smoke test of the serving path.
+struct HttpClient {
+    stream: std::net::TcpStream,
+    carry: Vec<u8>,
+}
+
+impl HttpClient {
+    fn connect(addr: std::net::SocketAddr) -> HttpClient {
+        let stream = std::net::TcpStream::connect(addr).expect("connect to lbr-server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("set read timeout");
+        // Benchmarking small request/response pairs: Nagle's algorithm
+        // would serialize against the peer's delayed ACKs (~40ms per
+        // request) and measure the kernel, not the server.
+        stream.set_nodelay(true).expect("set nodelay");
+        HttpClient {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    /// One GET on the persistent connection; returns the body.
+    fn get(&mut self, target: &str) -> Vec<u8> {
+        use std::io::{Read as _, Write as _};
+        // One write_all per request: `write!` would split the request
+        // across several small writes, which interacts badly with
+        // delayed ACKs even without Nagle.
+        let request = format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n");
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("send request");
+        let mut chunk = [0u8; 16 * 1024];
+        let head_end = loop {
+            if let Some(pos) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "server closed the keep-alive connection");
+            self.carry.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.carry[..head_end]).expect("UTF-8 head");
+        assert!(
+            head.starts_with("HTTP/1.1 200 "),
+            "serve bench got a non-200: {}",
+            head.lines().next().unwrap_or("")
+        );
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("framed response")
+            .parse()
+            .expect("numeric length");
+        while self.carry.len() < head_end + len {
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "server closed mid-body");
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.carry[head_end..head_end + len].to_vec();
+        self.carry.drain(..head_end + len);
+        body
+    }
+}
+
+/// Exact percentile of a sorted latency sample (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Boots `lbr-server` on an ephemeral loopback port over the prepared
 /// dataset and measures serving throughput: `clients` concurrent
-/// connections issue `rounds` rounds of every dataset query (one request
-/// per connection, like real SPARQL Protocol clients). The first round
-/// is a warm-up that populates the plan cache and is not timed.
+/// keep-alive connections (each reused for every request, like real
+/// SPARQL Protocol clients) issue `rounds` rounds of every dataset
+/// query. The first pass is a warm-up that populates the plan and
+/// result caches and is not timed; every timed request's wall time
+/// feeds the latency percentiles.
 pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
     let db = std::sync::Arc::new(lbr::Database::from_encoded(p.graph.clone()));
     let workers = bench_threads();
@@ -349,7 +422,7 @@ pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
         lbr_server::ServerConfig {
             workers,
             cache_capacity: 64,
-            read_timeout: Duration::from_secs(30),
+            ..lbr_server::ServerConfig::default()
         },
     )
     .expect("bind lbr-server")
@@ -363,31 +436,47 @@ pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
         .map(|q| format!("/sparql?query={}", urlencode(&q.text)))
         .collect();
 
-    // Warm-up: every query planned once, cache populated.
+    // Warm-up: every query planned, executed and serialized once; both
+    // caches populated.
+    let mut warm = HttpClient::connect(addr);
     for target in &targets {
-        http_get(addr, target);
+        warm.get(target);
     }
+    drop(warm);
 
     let requests = (clients as u32) * rounds * (targets.len() as u32);
     let t = Instant::now();
-    std::thread::scope(|scope| {
-        for client in 0..clients {
-            let targets = &targets;
-            scope.spawn(move || {
-                for round in 0..rounds {
-                    // Stagger start points so clients do not hit the same
-                    // query in lockstep.
-                    for i in 0..targets.len() {
-                        let target = &targets[(client + round as usize + i) % targets.len()];
-                        http_get(addr, target);
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let targets = &targets;
+                scope.spawn(move || {
+                    let mut conn = HttpClient::connect(addr);
+                    let mut lat = Vec::with_capacity((rounds as usize) * targets.len());
+                    for round in 0..rounds {
+                        // Stagger start points so clients do not hit the
+                        // same query in lockstep.
+                        for i in 0..targets.len() {
+                            let target = &targets[(client + round as usize + i) % targets.len()];
+                            let t = Instant::now();
+                            conn.get(target);
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
                     }
-                }
-            });
-        }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
     });
     let elapsed = t.elapsed().as_secs_f64();
+    latencies.sort_unstable();
 
     let cache = server.cache_stats();
+    let results = server.result_cache_stats();
     ServeReport {
         qps: requests as f64 / elapsed.max(1e-9),
         workers,
@@ -395,6 +484,12 @@ pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
         requests,
         cache_hits: cache.hits,
         cache_misses: cache.misses,
+        result_hits: results.hits,
+        result_misses: results.misses,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
     }
 }
 
@@ -633,7 +728,9 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
 /// Concurrent clients of the serve-mode throughput measurement.
 pub const SERVE_CLIENTS: usize = 4;
 /// Timed rounds (of all dataset queries, per client) of the serve bench.
-pub const SERVE_ROUNDS: u32 = 2;
+/// Enough requests that connection setup and first-touch costs are
+/// noise and the percentiles describe steady-state keep-alive serving.
+pub const SERVE_ROUNDS: u32 = 50;
 
 /// Formats seconds the way the paper's tables do.
 pub fn fmt_secs(s: f64) -> String {
@@ -725,14 +822,21 @@ pub fn render_table_with_prev(r: &DatasetReport, prev_allocs: &[(String, u64)]) 
     let serve = &r.serve;
     let _ = writeln!(
         s,
-        "serving: {:.0} q/s end-to-end over HTTP ({} workers, {} clients, \
-         {} requests, plan cache {} hits / {} misses)",
+        "serving: {:.0} q/s end-to-end over keep-alive HTTP ({} workers, {} clients, \
+         {} requests, plan cache {} hits / {} misses, result cache {} hits / {} misses; \
+         latency p50 {}µs p95 {}µs p99 {}µs max {}µs)",
         serve.qps,
         serve.workers,
         serve.clients,
         serve.requests,
         serve.cache_hits,
         serve.cache_misses,
+        serve.result_hits,
+        serve.result_misses,
+        serve.p50_us,
+        serve.p95_us,
+        serve.p99_us,
+        serve.max_us,
     );
     let pts: Vec<String> = r
         .delta
@@ -909,12 +1013,20 @@ impl DatasetReport {
         let _ = write!(
             out,
             ",\"workers\":{},\"clients\":{},\"requests\":{},\
-             \"cache_hits\":{},\"cache_misses\":{}}}",
+             \"cache_hits\":{},\"cache_misses\":{},\
+             \"result_hits\":{},\"result_misses\":{},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
             self.serve.workers,
             self.serve.clients,
             self.serve.requests,
             self.serve.cache_hits,
-            self.serve.cache_misses
+            self.serve.cache_misses,
+            self.serve.result_hits,
+            self.serve.result_misses,
+            self.serve.p50_us,
+            self.serve.p95_us,
+            self.serve.p99_us,
+            self.serve.max_us
         );
         out.push_str(",\"delta\":{\"points\":[");
         for (i, pt) in self.delta.points.iter().enumerate() {
@@ -1015,17 +1127,29 @@ mod tests {
             serve.requests,
             (SERVE_CLIENTS as u32) * SERVE_ROUNDS * report.rows.len() as u32
         );
+        // The warm-up pass planned and executed each query once; every
+        // timed request was then answered from the result cache without
+        // touching the plan cache or the engine.
         assert_eq!(
             serve.cache_misses,
             report.rows.len() as u64,
             "one plan per query"
         );
         assert_eq!(
-            serve.cache_hits, serve.requests as u64,
-            "every timed request hit"
+            serve.result_misses,
+            report.rows.len() as u64,
+            "one execution per query"
         );
+        assert_eq!(
+            serve.result_hits, serve.requests as u64,
+            "every timed request answered from the result cache"
+        );
+        assert!(serve.p50_us > 0, "latency sample recorded");
+        assert!(serve.p50_us <= serve.p95_us && serve.p95_us <= serve.p99_us);
+        assert!(serve.p99_us <= serve.max_us);
         assert!(json.contains("\"serve\":{\"qps\":"), "{json}");
         assert!(json.contains("\"cache_hits\""), "{json}");
+        assert!(json.contains("\"p99_us\""), "{json}");
         assert!(table.contains("serving:"), "{table}");
     }
 

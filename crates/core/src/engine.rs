@@ -50,6 +50,10 @@ pub struct LbrEngine<'a, C: Catalog> {
     /// Worker threads for the multi-way join's root partitioning
     /// (`1` = the exact serial recursion).
     threads: usize,
+    /// Execution deadline: evaluation past this instant aborts with
+    /// [`LbrError::DeadlineExceeded`] instead of finishing the answer —
+    /// the serving layer's per-request timeout seam.
+    deadline: Option<Instant>,
 }
 
 /// A cached execution plan: everything [`LbrEngine::execute`] derives
@@ -141,6 +145,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             catalog,
             dict,
             threads: crate::api::default_threads(),
+            deadline: None,
         }
     }
 
@@ -149,6 +154,20 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets an execution deadline: once it passes, the multi-way join
+    /// stops enumerating seeds (polled on the quota seam, so the abort is
+    /// prompt even mid-join) and execution returns
+    /// [`LbrError::DeadlineExceeded`]. `None` (the default) never expires.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// True once the configured deadline (if any) has passed.
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// The configured worker-thread count.
@@ -217,6 +236,11 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         for branch in &plan.branches {
             if remaining == Some(0) {
                 break; // earlier branches already supplied every needed row
+            }
+            if self.deadline_passed() {
+                // Between branches (and before init/prune of the next
+                // one): cheap exact check on the same seam the join polls.
+                return Err(LbrError::DeadlineExceeded);
             }
             let mut part = self.exec_node(branch, remaining)?;
             if part.needs_best_match {
@@ -506,10 +530,11 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             dict: self.dict,
             fan_filters,
             quota,
+            deadline: self.deadline,
         };
         let (mut rows, mut exec) = multi_way_join_with(&inputs, self.threads);
         if let Some(q) = quota {
-            if exec.nullification_fired > 0 && rows.len() >= q {
+            if exec.nullification_fired > 0 && rows.len() >= q && !exec.deadline_expired {
                 // The safety-net nullification fired on a quota-truncated
                 // run: best-match may now drop rows, so the truncation
                 // could under-deliver. Re-run unbounded (rare: acyclic WD
@@ -520,6 +545,11 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
                 };
                 (rows, exec) = multi_way_join_with(&inputs, self.threads);
             }
+        }
+        if exec.deadline_expired {
+            // The rows are an arbitrary truncation of the answer, not a
+            // prefix the caller asked for — discard and report.
+            return Err(LbrError::DeadlineExceeded);
         }
         stats.t_join = t.elapsed();
         stats.nullification_fired = exec.nullification_fired;

@@ -15,6 +15,11 @@ pub enum LbrError {
     /// harness to bound runaway baseline plans, like the paper's
     /// ">30 min" table entries).
     ResourceLimit(String),
+    /// The request's execution deadline passed before evaluation
+    /// finished. The serving layer maps this to HTTP `504`; the engine
+    /// guarantees the join stopped enumerating seeds promptly after the
+    /// deadline (see `EngineOptions::deadline`).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for LbrError {
@@ -24,6 +29,7 @@ impl fmt::Display for LbrError {
             LbrError::BitMat(e) => write!(f, "index error: {e}"),
             LbrError::Unsupported(m) => write!(f, "unsupported: {m}"),
             LbrError::ResourceLimit(m) => write!(f, "resource limit exceeded: {m}"),
+            LbrError::DeadlineExceeded => f.write_str("deadline exceeded: query timed out"),
         }
     }
 }
@@ -33,7 +39,9 @@ impl std::error::Error for LbrError {
         match self {
             LbrError::Sparql(e) => Some(e),
             LbrError::BitMat(e) => Some(e),
-            LbrError::Unsupported(_) | LbrError::ResourceLimit(_) => None,
+            LbrError::Unsupported(_) | LbrError::ResourceLimit(_) | LbrError::DeadlineExceeded => {
+                None
+            }
         }
     }
 }

@@ -55,8 +55,15 @@ use lbr_bitmat::CubeDims;
 use lbr_rdf::{Dictionary, Dimension, Term};
 use lbr_sparql::algebra::Expr;
 use lbr_sparql::gosn::{Gosn, SnId, TpId};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many [`Ctx::full`] polls elapse between wall-clock reads when a
+/// deadline is set. `Instant::now()` is a vDSO call (~20ns) but the poll
+/// sits on the seed-enumeration hot path, so it is amortized.
+const DEADLINE_POLL_MASK: u32 = 0x3FF; // every 1024 polls
 
 /// A variable slot in the paper's `vmap`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +106,12 @@ pub struct JoinInputs<'a> {
     /// chunks in flight. The produced rows are always a prefix of the
     /// serial unbounded enumeration. `None` = run to completion.
     pub quota: Option<usize>,
+    /// Execution deadline: once it passes, enumeration stops claiming new
+    /// subtrees (polled every [`DEADLINE_POLL_MASK`]+1 quota checks and at
+    /// every parallel chunk claim) and [`ExecStats::deadline_expired`] is
+    /// set. The rows produced so far are discarded by the engine, which
+    /// surfaces `LbrError::DeadlineExceeded` instead. `None` = no limit.
+    pub deadline: Option<Instant>,
 }
 
 /// Statistics of the join phase.
@@ -119,6 +132,10 @@ pub struct ExecStats {
     /// the FaN stage, so (like the other counters) the sum is identical at
     /// every thread count on unbounded runs.
     pub scratch_reuses: u64,
+    /// Whether [`JoinInputs::deadline`] passed during the join — the rows
+    /// returned alongside are then an arbitrary truncation, not an
+    /// answer, and the caller must discard them.
+    pub deadline_expired: bool,
 }
 
 impl ExecStats {
@@ -129,6 +146,7 @@ impl ExecStats {
         self.rows_filtered += other.rows_filtered;
         self.seeds_enumerated += other.seeds_enumerated;
         self.scratch_reuses += other.scratch_reuses;
+        self.deadline_expired |= other.deadline_expired;
     }
 }
 
@@ -161,11 +179,13 @@ pub fn multi_way_join_with(
     if sh.stps.is_empty() {
         let mut ctx = Ctx::new(&sh);
         ctx.emit();
+        ctx.stats.deadline_expired = sh.expired.load(Ordering::Relaxed);
         return (ctx.rows, ctx.stats);
     }
     if threads <= 1 {
         let mut ctx = Ctx::new(&sh);
         recurse(&mut ctx);
+        ctx.stats.deadline_expired = sh.expired.load(Ordering::Relaxed);
         return (ctx.rows, ctx.stats);
     }
 
@@ -176,6 +196,7 @@ pub fn multi_way_join_with(
         // — there is nothing to partition, so run the serial recursion.
         let mut ctx = Ctx::new(&sh);
         recurse(&mut ctx);
+        ctx.stats.deadline_expired = sh.expired.load(Ordering::Relaxed);
         return (ctx.rows, ctx.stats);
     }
     let units = RootUnits::plan(inp, root);
@@ -217,7 +238,14 @@ pub fn multi_way_join_with(
                     if inp
                         .quota
                         .is_some_and(|q| rows_done.load(Ordering::Relaxed) >= q)
+                        || sh.expired.load(Ordering::Relaxed)
                     {
+                        break;
+                    }
+                    // Chunk claims are rare enough (≤ 8 × threads per
+                    // join) to afford an exact clock read each time.
+                    if inp.deadline.is_some_and(|d| Instant::now() >= d) {
+                        sh.expired.store(true, Ordering::Relaxed);
                         break;
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -236,15 +264,21 @@ pub fn multi_way_join_with(
 
     let mut rows = Vec::new();
     let mut stats = ExecStats::default();
+    let expired = sh.expired.load(Ordering::Relaxed);
     for cell in results {
-        // With a quota, trailing chunks may legitimately be unclaimed.
+        // With a quota (or an expired deadline), trailing chunks may
+        // legitimately be unclaimed.
         let Some((mut r, s)) = cell.into_inner().expect("chunk slot lock") else {
-            debug_assert!(inp.quota.is_some(), "only a quota leaves chunks unclaimed");
+            debug_assert!(
+                inp.quota.is_some() || expired,
+                "only a quota or deadline leaves chunks unclaimed"
+            );
             continue;
         };
         rows.append(&mut r);
         stats.absorb(&s);
     }
+    stats.deadline_expired |= expired;
     (rows, stats)
 }
 
@@ -420,6 +454,10 @@ struct Shared<'a, 'b> {
     /// eligibility checks and NULL-binding sweeps never call the
     /// allocating `TpState::vars()`.
     tp_vars: Vec<Vec<(VarId, Dimension)>>,
+    /// Set once [`JoinInputs::deadline`] is observed to have passed, so
+    /// every worker (and the chunk-claim loop) stops promptly without
+    /// each having to re-read the clock.
+    expired: AtomicBool,
 }
 
 impl<'a, 'b> Shared<'a, 'b> {
@@ -444,6 +482,7 @@ impl<'a, 'b> Shared<'a, 'b> {
             sn_remaining0,
             sn_vars,
             tp_vars,
+            expired: AtomicBool::new(false),
         }
     }
 }
@@ -468,6 +507,9 @@ struct Ctx<'s, 'a, 'b> {
     /// Reusable row-assembly buffer of [`Ctx::emit`]; only rows that
     /// survive every filter are cloned out of it into `rows`.
     row_buf: Vec<Option<Binding>>,
+    /// Deadline-poll counter: [`Ctx::full`] reads the wall clock only
+    /// every `DEADLINE_POLL_MASK + 1` calls.
+    poll: Cell<u32>,
     stats: ExecStats,
 }
 
@@ -484,6 +526,7 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
             rows: Vec::new(),
             failed: Vec::new(),
             row_buf: Vec::new(),
+            poll: Cell::new(0),
             stats: ExecStats::default(),
         }
     }
@@ -525,8 +568,35 @@ impl<'s, 'a, 'b> Ctx<'s, 'a, 'b> {
     /// enumeration must stop claiming new subtrees. Per-worker rows are
     /// per-chunk, so a parallel chunk is also individually bounded by the
     /// quota (sound: only the first `quota` merged rows are ever used).
+    /// Doubles as the deadline poll: a passed deadline also stops the
+    /// enumeration (the caller then discards the partial rows).
     fn full(&self) -> bool {
-        self.sh.inp.quota.is_some_and(|q| self.rows.len() >= q)
+        if self.sh.inp.quota.is_some_and(|q| self.rows.len() >= q) {
+            return true;
+        }
+        self.deadline_hit()
+    }
+
+    /// Polls the execution deadline, rate-limited to one wall-clock read
+    /// per `DEADLINE_POLL_MASK + 1` calls; a hit is published through the
+    /// shared flag so sibling workers stop claiming subtrees too.
+    fn deadline_hit(&self) -> bool {
+        let Some(deadline) = self.sh.inp.deadline else {
+            return false;
+        };
+        if self.sh.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        let n = self.poll.get().wrapping_add(1);
+        self.poll.set(n);
+        if n & DEADLINE_POLL_MASK != 0 {
+            return false;
+        }
+        if Instant::now() >= deadline {
+            self.sh.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     fn bind(&mut self, var: VarId, slot: Slot, tp: TpId) {
@@ -1034,6 +1104,7 @@ mod tests {
             dict: &g.dict,
             fan_filters: Vec::new(),
             quota: None,
+            deadline: None,
         };
         let (rows, stats) = multi_way_join_with(&inputs, threads);
         let decoded: Vec<Vec<Option<String>>> = rows
@@ -1152,6 +1223,7 @@ mod tests {
             dict: &g.dict,
             fan_filters: Vec::new(),
             quota: None,
+            deadline: None,
         };
         let (serial, _) = multi_way_join_with(&inputs, 1);
         assert_eq!(serial.len(), 100);
@@ -1199,6 +1271,7 @@ mod tests {
             dict: &g.dict,
             fan_filters: Vec::new(),
             quota,
+            deadline: None,
         };
         multi_way_join_with(&inputs, threads)
     }

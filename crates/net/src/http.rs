@@ -1,0 +1,686 @@
+//! HTTP/1.1 protocol layer for the event loop: an **incremental**
+//! request parser over a connection's receive buffer, and
+//! `Content-Length`-framed response encoding.
+//!
+//! Unlike a blocking `BufRead` parser, [`RequestParser::parse`] is
+//! called with whatever bytes have arrived so far and either consumes
+//! one complete request, asks for more bytes, or rejects the
+//! connection with a typed [`HttpError`]. Because requests and
+//! responses are both length-framed, a connection survives its first
+//! exchange: keep-alive reuse and pipelining (several requests on the
+//! wire before the first response) fall out of the framing.
+//!
+//! Error discipline: every malformed input maps to an [`HttpError`]
+//! with `must_close = true` where the connection cannot be resynced
+//! (garbage between framed requests, oversized or unparseable
+//! `Content-Length`) — the encoder then answers `400` and closes
+//! instead of misinterpreting body bytes as the next request line.
+//! Nothing in this module panics on attacker-controlled bytes.
+
+use std::fmt;
+
+/// Longest accepted request head (request line + all headers), bytes.
+pub const MAX_HEAD: usize = 64 * 1024;
+/// Most accepted header lines.
+pub const MAX_HEADERS: usize = 128;
+/// Largest accepted request body (a POSTed query), in bytes.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A request-handling failure with the HTTP status it maps to.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to answer with (400, 405, 406, 411, 413, 415, …).
+    pub status: u16,
+    /// Human-readable detail (becomes the plain-text error body).
+    pub message: String,
+    /// Value for the `Allow` header (405 responses).
+    pub allow: Option<&'static str>,
+    /// Whether the connection is desynchronized (framing can no longer
+    /// be trusted) and must close after the error response.
+    pub must_close: bool,
+}
+
+impl HttpError {
+    /// An error with the given status and message (connection survives).
+    pub fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+            allow: None,
+            must_close: false,
+        }
+    }
+
+    /// A framing-level error: answered, then the connection closes.
+    pub fn fatal(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            must_close: true,
+            ..HttpError::new(status, message)
+        }
+    }
+
+    /// A 405 carrying the `Allow` header value.
+    pub fn method_not_allowed(allow: &'static str) -> HttpError {
+        HttpError {
+            status: 405,
+            message: format!("method not allowed; allowed: {allow}"),
+            allow: Some(allow),
+            must_close: false,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            reason(self.status),
+            self.message
+        )
+    }
+}
+
+/// The standard reason phrase for the status codes this layer emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (before `?`), undecoded.
+    pub path: String,
+    /// Raw query string (after `?`), undecoded; `None` when absent.
+    pub query_string: Option<String>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-delimited body (empty when none).
+    pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 unless `Connection: close`; HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Content-Type`, lower-cased with any `;` parameters (charset…)
+    /// stripped.
+    pub fn content_type(&self) -> Option<String> {
+        self.header("content-type").map(|v| {
+            v.split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase()
+        })
+    }
+}
+
+/// Outcome of one [`RequestParser::parse`] call.
+#[derive(Debug)]
+pub enum Parse {
+    /// One complete request; `usize` is how many buffer bytes it
+    /// consumed (the caller drains them before re-parsing — pipelined
+    /// followers are already behind them).
+    Complete(Box<Request>, usize),
+    /// The buffer holds a prefix of a request; read more bytes.
+    Partial,
+}
+
+/// Incremental parser state for one connection. Cheap to create; reset
+/// automatically after every completed request.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// Head-terminator scan resume point: bytes before this index are
+    /// known not to start the blank line, so repeated `Partial` rounds
+    /// stay O(new bytes), not O(buffer)².
+    scanned: usize,
+}
+
+impl RequestParser {
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Parses one request off the front of `buf` (the connection's
+    /// receive buffer). Leading blank lines between pipelined requests
+    /// are tolerated per RFC 9112 §2.2.
+    pub fn parse(&mut self, buf: &[u8]) -> Result<Parse, HttpError> {
+        // Skip leading CRLFs (robustness: some clients pad pipelined
+        // requests). They count as consumed bytes of this request.
+        let mut start = 0;
+        while start < buf.len() && (buf[start] == b'\r' || buf[start] == b'\n') {
+            start += 1;
+        }
+        if start >= buf.len() {
+            self.scanned = start;
+            return Ok(Parse::Partial);
+        }
+
+        // Find the head terminator ("\r\n\r\n", tolerating bare "\n\n").
+        let scan_from = self.scanned.max(start);
+        let Some(head_end) = find_head_end(buf, scan_from) else {
+            if buf.len() - start > MAX_HEAD {
+                return Err(HttpError::fatal(431, "request head too large"));
+            }
+            // Resume the scan before the tail in case the terminator
+            // straddles this read and the next.
+            self.scanned = buf.len().saturating_sub(3).max(start);
+            return Ok(Parse::Partial);
+        };
+        if head_end - start > MAX_HEAD {
+            return Err(HttpError::fatal(431, "request head too large"));
+        }
+
+        let head = std::str::from_utf8(&buf[start..head_end])
+            .map_err(|_| HttpError::fatal(400, "non-UTF-8 bytes in request head"))?;
+        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_ascii_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::fatal(400, "malformed request line"));
+        };
+        let http11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            v if v.starts_with("HTTP/1.") => true,
+            v => return Err(HttpError::fatal(400, format!("unsupported version {v}"))),
+        };
+        let (path, query_string) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue; // the terminator's own blank line
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::fatal(431, "too many headers"));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::fatal(400, "malformed header line"));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut request = Request {
+            method: method.to_string(),
+            path,
+            query_string,
+            headers,
+            body: Vec::new(),
+            keep_alive: http11,
+        };
+        // Connection header overrides the version default. Values are a
+        // comma-separated token list ("keep-alive", "close, TE").
+        if let Some(conn) = request.header("connection") {
+            let mut tokens = conn.split(',').map(|t| t.trim().to_ascii_lowercase());
+            if tokens.clone().any(|t| t == "close") {
+                request.keep_alive = false;
+            } else if tokens.any(|t| t == "keep-alive") {
+                request.keep_alive = true;
+            }
+        }
+        if request.header("transfer-encoding").is_some() {
+            // Chunked request bodies are not supported; answering and
+            // re-framing is impossible, so close.
+            return Err(HttpError::fatal(
+                411,
+                "chunked bodies unsupported; send Content-Length",
+            ));
+        }
+
+        let body_len = match request.header("content-length") {
+            Some(v) => {
+                let len: usize = v.trim().parse().map_err(|_| {
+                    // An unparseable length desynchronizes the framing.
+                    HttpError::fatal(400, "invalid Content-Length")
+                })?;
+                if len > MAX_BODY {
+                    return Err(HttpError::fatal(413, "request body too large"));
+                }
+                len
+            }
+            None if request.method == "POST" => {
+                return Err(HttpError::fatal(411, "POST requires Content-Length"));
+            }
+            None => 0,
+        };
+        let total = head_end + body_len;
+        if buf.len() < total {
+            // Head parsed but the body is still arriving; the resume
+            // point keeps the head-terminator re-scan O(1).
+            self.scanned = head_end.saturating_sub(3);
+            return Ok(Parse::Partial);
+        }
+        request.body = buf[head_end..total].to_vec();
+        self.scanned = 0;
+        Ok(Parse::Complete(Box::new(request), total))
+    }
+}
+
+/// Index just past the head terminator (`\r\n\r\n` or `\n\n`) at or
+/// after `from`, scanning backwards-tolerantly so a terminator split
+/// across reads is still found.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        match buf.get(i + 1) {
+            Some(b'\n') => return Some(i + 2),
+            Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// A complete, `Content-Length`-framed response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// Extra headers (`Allow`, `Retry-After`, …).
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Force `Connection: close` regardless of the request's wishes
+    /// (framing errors, shutdown).
+    pub close: bool,
+}
+
+impl Response {
+    /// A response with the given status, content type and body.
+    pub fn new(status: u16, content_type: impl Into<String>, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: content_type.into(),
+            headers: Vec::new(),
+            body,
+            close: false,
+        }
+    }
+
+    /// A plain-text response (errors, `/healthz`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(
+            status,
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// The error response for an [`HttpError`] (carries `Allow`, closes
+    /// the connection when the error says framing is lost).
+    pub fn from_error(err: &HttpError) -> Response {
+        let mut resp = Response::text(err.status, format!("{}\n", err.message));
+        if let Some(allow) = err.allow {
+            resp.headers.push(("Allow".to_string(), allow.to_string()));
+        }
+        resp.close = err.must_close;
+        resp
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes head + body into `out` (a connection's send buffer).
+    /// `keep_alive` is the *request's* wish; the response's `close`
+    /// overrides it. Returns whether the connection stays open.
+    pub fn encode_into(&self, keep_alive: bool, out: &mut Vec<u8>) -> bool {
+        let alive = keep_alive && !self.close;
+        out.extend_from_slice(b"HTTP/1.1 ");
+        push_number(out, self.status as u64);
+        out.push(b' ');
+        out.extend_from_slice(reason(self.status).as_bytes());
+        out.extend_from_slice(b"\r\nContent-Type: ");
+        out.extend_from_slice(self.content_type.as_bytes());
+        out.extend_from_slice(b"\r\nContent-Length: ");
+        push_number(out, self.body.len() as u64);
+        out.extend_from_slice(if alive {
+            b"\r\nConnection: keep-alive\r\n".as_slice()
+        } else {
+            b"\r\nConnection: close\r\n".as_slice()
+        });
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        alive
+    }
+}
+
+/// Decimal-formats `n` into `out` without a transient `String`.
+fn push_number(out: &mut Vec<u8>, n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Percent-decodes `s`. With `plus_as_space` (query strings and
+/// urlencoded form bodies) a literal `+` decodes to a space; `%2B` is the
+/// escaped plus either way. Malformed escapes (`%`, `%2`, `%GZ`) and
+/// non-UTF-8 decoded bytes are errors — the handler answers 400, never
+/// panics.
+pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let (Some(&hi), Some(&lo)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
+                    return Err(HttpError::new(400, "truncated percent escape"));
+                };
+                let (Some(hi), Some(lo)) = ((hi as char).to_digit(16), (lo as char).to_digit(16))
+                else {
+                    return Err(HttpError::new(
+                        400,
+                        format!("invalid percent escape %{}{}", hi as char, lo as char),
+                    ));
+                };
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::new(400, "percent-decoded bytes are not UTF-8"))
+}
+
+/// Parses an `application/x-www-form-urlencoded` document (or a URL query
+/// string) into decoded `(key, value)` pairs. Empty segments (`a=1&&b=2`)
+/// are skipped; a segment without `=` becomes a key with an empty value.
+pub fn parse_form(s: &str) -> Result<Vec<(String, String)>, HttpError> {
+    let mut pairs = Vec::new();
+    for segment in s.split('&') {
+        if segment.is_empty() {
+            continue;
+        }
+        let (k, v) = segment.split_once('=').unwrap_or((segment, ""));
+        pairs.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(raw: &[u8]) -> Result<Parse, HttpError> {
+        RequestParser::new().parse(raw)
+    }
+
+    fn complete(raw: &[u8]) -> (Box<Request>, usize) {
+        match parse_one(raw) {
+            Ok(Parse::Complete(r, n)) => (r, n),
+            other => panic!("expected complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_query_string() {
+        let (r, n) = complete(b"GET /sparql?query=SELECT%20*&x=1 HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/sparql");
+        assert_eq!(r.query_string.as_deref(), Some("query=SELECT%20*&x=1"));
+        assert_eq!(r.header("host"), Some("h"));
+        assert_eq!(r.header("HOST"), Some("h"));
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(
+            n,
+            b"GET /sparql?query=SELECT%20*&x=1 HTTP/1.1\r\nHost: h\r\n\r\n".len()
+        );
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let (r, n) = complete(
+            b"POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert_eq!(r.body, b"hello");
+        assert_eq!(
+            r.content_type().as_deref(),
+            Some("application/sparql-query")
+        );
+        assert_eq!(&b"POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 5\r\n\r\nhello"[..n].len(), &n);
+    }
+
+    #[test]
+    fn incremental_byte_at_a_time() {
+        let raw = b"POST /u HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut parser = RequestParser::new();
+        for end in 1..raw.len() {
+            match parser.parse(&raw[..end]) {
+                Ok(Parse::Partial) => {}
+                other => panic!("byte {end}: expected partial, got {other:?}"),
+            }
+        }
+        match parser.parse(raw) {
+            Ok(Parse::Complete(r, n)) => {
+                assert_eq!(r.body, b"abcd");
+                assert_eq!(n, raw.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw: &[u8] = b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let (r1, n1) = match parser.parse(raw) {
+            Ok(Parse::Complete(r, n)) => (r, n),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r1.path, "/healthz");
+        let (r2, n2) = match parser.parse(&raw[n1..]) {
+            Ok(Parse::Complete(r, n)) => (r, n),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r2.path, "/stats");
+        assert_eq!(n1 + n2, raw.len());
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let (r, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let (r, _) = complete(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(r.keep_alive);
+        let (r, _) = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!r.keep_alive);
+        let (r, _) = complete(b"GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n");
+        assert!(!r.keep_alive, "token list containing close");
+    }
+
+    #[test]
+    fn garbage_between_requests_is_fatal_400() {
+        let err = match parse_one(b"\x00\x01garbage\r\n\r\n") {
+            Err(e) => e,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(err.status, 400);
+        assert!(err.must_close, "desynced framing must close");
+    }
+
+    #[test]
+    fn oversized_content_length_is_fatal() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = parse_one(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert!(err.must_close);
+
+        let err = parse_one(b"POST / HTTP/1.1\r\nContent-Length: 99zz\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.must_close, "unparseable length desyncs the stream");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let err = parse_one(b"POST /sparql HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 411);
+    }
+
+    #[test]
+    fn malformed_requests_are_400() {
+        assert_eq!(parse_one(b"GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse_one(b"GET / SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn oversized_head_rejected_without_terminator() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD + 10));
+        let err = parse_one(&raw).unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn leading_crlf_tolerated() {
+        let (r, n) = complete(b"\r\n\r\nGET /x HTTP/1.1\r\n\r\n");
+        assert_eq!(r.path, "/x");
+        assert_eq!(n, b"\r\n\r\nGET /x HTTP/1.1\r\n\r\n".len());
+    }
+
+    #[test]
+    fn response_encoding_frames_by_length() {
+        let resp = Response::text(200, "ok\n");
+        let mut out = Vec::new();
+        assert!(resp.encode_into(true, &mut out));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+
+        let mut out = Vec::new();
+        assert!(!resp.encode_into(false, &mut out));
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: close\r\n"));
+
+        let resp = Response::from_error(&HttpError::fatal(400, "nope"));
+        let mut out = Vec::new();
+        assert!(
+            !resp.encode_into(true, &mut out),
+            "fatal errors close even when the request wanted keep-alive"
+        );
+    }
+
+    #[test]
+    fn error_response_carries_allow() {
+        let resp = Response::from_error(&HttpError::method_not_allowed("GET, POST"));
+        let mut out = Vec::new();
+        resp.encode_into(true, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Allow: GET, POST\r\n"), "{text}");
+    }
+
+    #[test]
+    fn percent_decoding_spaces_and_plus() {
+        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert_eq!(percent_decode("1%2B2%20%2b3", true).unwrap(), "1+2 +3");
+        assert_eq!(
+            percent_decode("SELECT+%2a+WHERE+%7B+%3Fs+%3Fp+%3Fo+.+%7D", true).unwrap(),
+            "SELECT * WHERE { ?s ?p ?o . }"
+        );
+    }
+
+    #[test]
+    fn malformed_escapes_are_errors_not_panics() {
+        for bad in ["%", "%2", "a%G1", "%zz", "x%"] {
+            let err = percent_decode(bad, true).unwrap_err();
+            assert_eq!(err.status, 400, "{bad}");
+        }
+        assert_eq!(percent_decode("%ff%fe", true).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn form_parsing() {
+        let pairs = parse_form("query=ASK+%7B%7D&default-graph-uri=&flag").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("query".to_string(), "ASK {}".to_string()),
+                ("default-graph-uri".to_string(), String::new()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert!(parse_form("query=%G1").is_err());
+        assert_eq!(parse_form("a=1&&b=2").unwrap().len(), 2);
+    }
+}

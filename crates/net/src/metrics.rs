@@ -1,0 +1,196 @@
+//! Lock-free serving metrics: latency histograms and connection/request
+//! counters, all plain atomics so the hot path never takes a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Geometric bucket upper bounds in microseconds: 1µs … ~67s doubling,
+/// plus a catch-all. 27 buckets cover every latency this server can
+/// produce with ≤2× relative error, which is plenty for p50/p95/p99.
+const BUCKET_COUNT: usize = 28;
+
+fn bucket_for(micros: u64) -> usize {
+    // Bucket i holds samples in (2^(i-1), 2^i] µs; bucket 0 holds ≤1µs.
+    let m = micros.max(1);
+    let floor_log2 = 63 - u64::leading_zeros(m) as usize;
+    let bucket = if m.is_power_of_two() {
+        floor_log2
+    } else {
+        floor_log2 + 1
+    };
+    bucket.min(BUCKET_COUNT - 1)
+}
+
+fn bucket_upper_micros(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// A fixed-bucket concurrent latency histogram.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKET_COUNT],
+    /// Exact maximum observed, in microseconds (`fetch_max`).
+    max_micros: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A point-in-time percentile summary, microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_micros: u64,
+    pub p95_micros: u64,
+    pub p99_micros: u64,
+    pub max_micros: u64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Computes p50/p95/p99/max. Percentiles are reported as the upper
+    /// bound of the bucket the cumulative count crosses in (≤2× the true
+    /// value); max is exact.
+    pub fn summary(&self) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return LatencySummary::default();
+        }
+        let max = self.max_micros.load(Ordering::Relaxed);
+        let percentile = |p: f64| -> u64 {
+            let rank = ((count as f64) * p).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Never report a percentile above the exact max.
+                    return bucket_upper_micros(i).min(max);
+                }
+            }
+            max
+        };
+        LatencySummary {
+            count,
+            p50_micros: percentile(0.50),
+            p95_micros: percentile(0.95),
+            p99_micros: percentile(0.99),
+            max_micros: max,
+        }
+    }
+}
+
+/// Connection- and admission-level counters maintained by the event
+/// loop; exported through `/stats`.
+#[derive(Default)]
+pub struct NetCounters {
+    /// Connections accepted.
+    pub connections_accepted: AtomicU64,
+    /// Requests fully parsed and admitted to the worker queue.
+    pub requests_admitted: AtomicU64,
+    /// Requests shed with 503 because the admission queue was full.
+    pub requests_dropped: AtomicU64,
+    /// Connections closed with 408 for dribbling a request too slowly.
+    pub requests_timed_out: AtomicU64,
+    /// Requests rejected as malformed (4xx from the parser).
+    pub requests_malformed: AtomicU64,
+    /// Requests answered 504 because their deadline passed.
+    pub deadlines_exceeded: AtomicU64,
+}
+
+impl NetCounters {
+    pub fn new() -> NetCounters {
+        NetCounters::default()
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(LatencyHistogram::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(1), 0);
+        assert_eq!(bucket_for(2), 1);
+        assert_eq!(bucket_for(3), 2);
+        assert_eq!(bucket_for(4), 2);
+        assert_eq!(bucket_for(1024), 10);
+        assert_eq!(bucket_for(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn percentiles_bound_true_values() {
+        let h = LatencyHistogram::new();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_micros, 1000);
+        // True p50 = 500µs; bucket answer must be within [500, 1000].
+        assert!(
+            (500..=1024.min(s.max_micros)).contains(&s.p50_micros),
+            "{s:?}"
+        );
+        assert!(s.p95_micros >= 950 && s.p95_micros <= s.max_micros, "{s:?}");
+        assert!(s.p99_micros >= 990 && s.p99_micros <= s.max_micros, "{s:?}");
+        assert!(s.p50_micros <= s.p95_micros && s.p95_micros <= s.p99_micros);
+    }
+
+    #[test]
+    fn single_sample() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(300));
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_micros, 300);
+        assert_eq!(s.p50_micros, 300, "percentile clamped to exact max");
+        assert_eq!(s.p99_micros, 300);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_micros(i));
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.summary().count, 4000);
+    }
+}

@@ -1,0 +1,185 @@
+//! Bounded admission queue between the event loop and the worker pool.
+//!
+//! The loop never blocks: [`AdmissionQueue::try_push`] either enqueues
+//! or reports the queue full, and the loop answers `503` +
+//! `Retry-After` directly from the readiness thread. Workers block in
+//! [`AdmissionQueue::pop`] until a job (or shutdown) arrives. The bound
+//! is the server's load-shedding valve: queued work is bounded memory
+//! and bounded latency, everything beyond it is shed immediately
+//! instead of growing an invisible backlog.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer job queue.
+pub struct AdmissionQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+/// Why a [`AdmissionQueue::try_push`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller sheds the job (503).
+    Full(T),
+    /// The queue is shut down; no worker will ever pop again.
+    Closed(T),
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` (min 1) waiting jobs.
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Recovers the guard from a poisoned lock. Safe because the queue's
+    /// invariants hold at every await point (a VecDeque push/pop either
+    /// happens or doesn't), so a panicking peer cannot leave the state
+    /// half-updated.
+    fn locked(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues without blocking, or returns the job back on overflow or
+    /// shutdown.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut inner = self.locked();
+        if inner.closed {
+            return Err(PushError::Closed(job));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` means the queue was
+    /// closed and drained (the worker should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.locked();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Shuts the queue down: pending jobs still drain, then every
+    /// blocked and future `pop` returns `None`.
+    pub fn close(&self) {
+        self.locked().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (diagnostics only; racy by nature).
+    pub fn len(&self) -> usize {
+        self.locked().jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn overflow_returns_job() {
+        let q = AdmissionQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = AdmissionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the workers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..100 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("closed early"),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "FIFO per producer");
+    }
+}

@@ -1,0 +1,603 @@
+//! The event-driven serving core: one readiness-loop thread multiplexing
+//! every connection over epoll, a bounded admission queue, and a worker
+//! pool executing requests.
+//!
+//! ```text
+//!               epoll readiness loop (1 thread)
+//!   accept ──▶ read ──▶ parse ──▶ admission queue ──▶ workers (N threads)
+//!                │ full? 503+Retry-After ▲                 │ handle(request)
+//!                ▼                       │ eventfd waker   ▼
+//!   write ◀── send buffer ◀───────── completions ◀── response
+//! ```
+//!
+//! Invariants the loop maintains:
+//!
+//! - **At most one request per connection is in flight.** Pipelined
+//!   followers wait in the connection's `pending` queue, which is what
+//!   keeps responses in request order without sequence numbers.
+//! - **The loop thread never blocks** on anything but `epoll_wait`:
+//!   admission is `try_push` (overflow answered inline with `503`),
+//!   completions arrive through a mutex-guarded vector plus an eventfd
+//!   wake, and all sockets are nonblocking.
+//! - **Writable interest is armed only while bytes are queued**, so a
+//!   mostly-idle keep-alive connection costs one registered fd and
+//!   nothing else.
+
+use crate::http::{HttpError, Parse, Request, RequestParser, Response};
+use crate::metrics::NetCounters;
+use crate::poller::{Event, Interest, Poller, Waker};
+use crate::queue::{AdmissionQueue, PushError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_CONN_BASE: u64 = 2;
+/// Per-read chunk size; level-triggered epoll re-reports leftovers.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Application callback: turns one parsed request into a response.
+/// Called on a worker thread; `deadline` is when the response stops
+/// being worth computing (handlers should pass it into the engine and
+/// answer `504` when it fires).
+pub trait Handler: Send + Sync + 'static {
+    fn handle(&self, request: Request, deadline: Option<Instant>) -> Response;
+}
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admitted-but-not-started request bound; overflow is answered
+    /// `503` with `Retry-After`.
+    pub queue_capacity: usize,
+    /// Per-request execution budget, measured from admission. `None`
+    /// disables deadlines.
+    pub request_deadline: Option<Duration>,
+    /// How long a connection may dribble an incomplete request before
+    /// being answered `408` and closed (slow-loris defense).
+    pub header_timeout: Duration,
+    /// How long an idle keep-alive connection is retained.
+    pub idle_timeout: Duration,
+    /// Value of the `Retry-After` header on shed (`503`) responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 256,
+            request_deadline: Some(Duration::from_secs(30)),
+            header_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Signals the event loop to stop from any thread. Cloneable; the loop
+/// exits promptly, closing every connection and joining its workers.
+#[derive(Clone)]
+pub struct Shutdown {
+    flag: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+}
+
+impl Shutdown {
+    pub fn signal(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+}
+
+/// A request handed to a worker.
+struct Job {
+    token: u64,
+    gen: u64,
+    request: Box<Request>,
+    deadline: Option<Instant>,
+}
+
+/// A worker's finished response, routed back to the loop.
+struct Completion {
+    token: u64,
+    gen: u64,
+    keep_alive: bool,
+    response: Response,
+}
+
+/// One entry in a connection's pipelining backlog: either a parsed
+/// request, or the parse error that ends the stream — kept *in order*
+/// so a malformed tail never jumps ahead of valid requests' responses.
+enum Pending {
+    Request(Box<Request>),
+    Reject(HttpError),
+}
+
+/// Per-connection state owned by the loop thread.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    buf_in: Vec<u8>,
+    buf_out: Vec<u8>,
+    parser: RequestParser,
+    /// Parsed requests not yet dispatched (pipelining backlog).
+    pending: VecDeque<Pending>,
+    /// Whether a worker currently owns a request from this connection.
+    in_flight: bool,
+    last_activity: Instant,
+    /// Peer sent FIN (or read hit EOF): no more input, flush then close.
+    saw_hangup: bool,
+    /// Fatal protocol state: answer what is buffered, then close.
+    close_after_flush: bool,
+    registered: Interest,
+}
+
+impl Conn {
+    fn wants(&self) -> Interest {
+        Interest {
+            readable: !self.close_after_flush && !self.saw_hangup,
+            writable: !self.buf_out.is_empty(),
+        }
+    }
+
+    /// Finished serving: nothing buffered, nothing pending, told to go.
+    fn drained(&self) -> bool {
+        (self.close_after_flush || self.saw_hangup)
+            && self.buf_out.is_empty()
+            && !self.in_flight
+            && self.pending.is_empty()
+    }
+}
+
+/// The event-driven HTTP server. Bind, grab the [`Shutdown`] handle and
+/// address, then [`NetServer::run`] the loop (it owns the calling
+/// thread until shut down).
+pub struct NetServer<H: Handler> {
+    listener: TcpListener,
+    handler: Arc<H>,
+    config: ServerConfig,
+    counters: Arc<NetCounters>,
+    poller: Poller,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<H: Handler> NetServer<H> {
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<H>,
+        config: ServerConfig,
+    ) -> io::Result<NetServer<H>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
+        Ok(NetServer {
+            listener,
+            handler,
+            config,
+            counters: Arc::new(NetCounters::new()),
+            poller,
+            waker,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Admission/time-out counters, shared with the loop (read them any
+    /// time, e.g. from a `/stats` handler).
+    pub fn counters(&self) -> Arc<NetCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Replaces the counter set with one the application allocated, so
+    /// a `/stats` handler constructed *before* the server can still
+    /// observe the loop's counters. Call before [`NetServer::run`].
+    pub fn with_counters(mut self, counters: Arc<NetCounters>) -> NetServer<H> {
+        self.counters = counters;
+        self
+    }
+
+    pub fn shutdown_handle(&self) -> Shutdown {
+        Shutdown {
+            flag: Arc::clone(&self.stop),
+            waker: Arc::clone(&self.waker),
+        }
+    }
+
+    /// Runs the readiness loop on the calling thread until
+    /// [`Shutdown::signal`]. Spawns (and on exit joins) the worker pool.
+    pub fn run(self) -> io::Result<()> {
+        let queue = Arc::new(AdmissionQueue::<Job>::new(self.config.queue_capacity));
+        let completions = Arc::new(Mutex::new(Vec::<Completion>::new()));
+        let workers: Vec<_> = (0..self.config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let completions = Arc::clone(&completions);
+                let waker = Arc::clone(&self.waker);
+                let handler = Arc::clone(&self.handler);
+                let counters = Arc::clone(&self.counters);
+                std::thread::Builder::new()
+                    .name(format!("lbr-net-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &completions, &waker, &*handler, &counters))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let result = self.event_loop(&queue, &completions);
+
+        queue.close();
+        self.waker.wake();
+        for w in workers {
+            let _ = w.join();
+        }
+        result
+    }
+
+    fn event_loop(
+        &self,
+        queue: &AdmissionQueue<Job>,
+        completions: &Mutex<Vec<Completion>>,
+    ) -> io::Result<()> {
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut next_gen: u64 = 0;
+        let mut events: Vec<Event> = Vec::new();
+        let mut done: Vec<Completion> = Vec::new();
+        let tick = (self.config.header_timeout.min(self.config.idle_timeout) / 4)
+            .clamp(Duration::from_millis(10), Duration::from_secs(1));
+        let mut last_scan = Instant::now();
+
+        loop {
+            events.clear();
+            self.poller.wait(&mut events, Some(tick))?;
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(&mut conns, &mut free, &mut next_gen),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        let idx = (token - TOKEN_CONN_BASE) as usize;
+                        let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                            continue; // already closed this batch
+                        };
+                        if ev.hangup {
+                            conn.saw_hangup = true;
+                        }
+                        if ev.readable || ev.hangup {
+                            self.drive_read(conn, ev.token, queue);
+                        }
+                        if ev.writable {
+                            flush(conn);
+                        }
+                        self.settle(&mut conns, &mut free, idx);
+                    }
+                }
+            }
+
+            // Apply worker completions (drain under the lock, act outside).
+            {
+                let mut guard = completions.lock().unwrap_or_else(PoisonError::into_inner);
+                done.append(&mut guard);
+            }
+            for completion in done.drain(..) {
+                let idx = (completion.token - TOKEN_CONN_BASE) as usize;
+                let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                    continue; // connection died while the worker ran
+                };
+                if conn.gen != completion.gen {
+                    continue; // token reused by a newer connection
+                }
+                conn.in_flight = false;
+                let alive = completion
+                    .response
+                    .encode_into(completion.keep_alive, &mut conn.buf_out);
+                if !alive {
+                    conn.close_after_flush = true;
+                    conn.pending.clear();
+                } else {
+                    self.dispatch(conn, completion.token, queue);
+                }
+                self.settle(&mut conns, &mut free, idx);
+            }
+
+            // Periodic slow-loris / idle sweep.
+            let now = Instant::now();
+            if now.duration_since(last_scan) >= tick {
+                last_scan = now;
+                for idx in 0..conns.len() {
+                    let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if conn.in_flight || !conn.pending.is_empty() || conn.close_after_flush {
+                        continue;
+                    }
+                    let idle_for = now.duration_since(conn.last_activity);
+                    if !conn.buf_in.is_empty() {
+                        // Mid-request and dribbling: 408 and hang up.
+                        if idle_for >= self.config.header_timeout {
+                            NetCounters::bump(&self.counters.requests_timed_out);
+                            let resp =
+                                Response::text(408, "timed out waiting for complete request\n");
+                            resp.encode_into(false, &mut conn.buf_out);
+                            conn.close_after_flush = true;
+                            self.settle(&mut conns, &mut free, idx);
+                        }
+                    } else if idle_for >= self.config.idle_timeout {
+                        close_conn(&self.poller, &mut conns, &mut free, idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accepts every connection the listener has ready.
+    fn accept_ready(
+        &self,
+        conns: &mut Vec<Option<Conn>>,
+        free: &mut Vec<usize>,
+        next_gen: &mut u64,
+    ) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (ECONNABORTED, EMFILE…): skip
+                // this readiness round rather than killing the server.
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            *next_gen += 1;
+            let conn = Conn {
+                stream,
+                gen: *next_gen,
+                buf_in: Vec::new(),
+                buf_out: Vec::new(),
+                parser: RequestParser::new(),
+                pending: VecDeque::new(),
+                in_flight: false,
+                last_activity: Instant::now(),
+                saw_hangup: false,
+                close_after_flush: false,
+                registered: Interest::READ,
+            };
+            let idx = match free.pop() {
+                Some(idx) => {
+                    conns[idx] = Some(conn);
+                    idx
+                }
+                None => {
+                    conns.push(Some(conn));
+                    conns.len() - 1
+                }
+            };
+            NetCounters::bump(&self.counters.connections_accepted);
+            // Registration failure is fatal for the connection only.
+            let token = TOKEN_CONN_BASE + idx as u64;
+            let Some(conn) = conns[idx].as_ref() else {
+                continue;
+            };
+            if self
+                .poller
+                .add(conn.stream.as_raw_fd(), token, Interest::READ)
+                .is_err()
+            {
+                conns[idx] = None;
+                free.push(idx);
+            }
+        }
+    }
+
+    /// Reads everything available, parses, and dispatches.
+    fn drive_read(&self, conn: &mut Conn, token: u64, queue: &AdmissionQueue<Job>) {
+        if conn.close_after_flush {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.saw_hangup = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.buf_in.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if n < chunk.len() {
+                        break; // short read: socket drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.saw_hangup = true;
+                    break;
+                }
+            }
+        }
+
+        // Parse as many complete pipelined requests as arrived.
+        while !conn.buf_in.is_empty() {
+            match conn.parser.parse(&conn.buf_in) {
+                Ok(Parse::Complete(request, consumed)) => {
+                    conn.buf_in.drain(..consumed);
+                    conn.pending.push_back(Pending::Request(request));
+                }
+                Ok(Parse::Partial) => break,
+                Err(err) => {
+                    // Malformed input: the stream can no longer be
+                    // framed. Queue the rejection *behind* any valid
+                    // pipelined predecessors so their responses go out
+                    // first, and stop reading — the rest is garbage.
+                    NetCounters::bump(&self.counters.requests_malformed);
+                    conn.pending.push_back(Pending::Reject(err));
+                    conn.buf_in.clear();
+                    conn.saw_hangup = true;
+                    break;
+                }
+            }
+        }
+        self.dispatch(conn, token, queue);
+    }
+
+    /// Hands the next pending request to the workers, answering `503`
+    /// inline when the admission queue is full.
+    fn dispatch(&self, conn: &mut Conn, token: u64, queue: &AdmissionQueue<Job>) {
+        while !conn.in_flight && !conn.close_after_flush {
+            let request = match conn.pending.pop_front() {
+                None => return,
+                Some(Pending::Reject(err)) => {
+                    // The stream's terminal error, answered in order.
+                    Response::from_error(&err).encode_into(false, &mut conn.buf_out);
+                    conn.close_after_flush = true;
+                    conn.pending.clear();
+                    return;
+                }
+                Some(Pending::Request(request)) => request,
+            };
+            let keep_alive = request.keep_alive;
+            let job = Job {
+                token,
+                gen: conn.gen,
+                request,
+                deadline: self.config.request_deadline.map(|d| Instant::now() + d),
+            };
+            match queue.try_push(job) {
+                Ok(()) => {
+                    NetCounters::bump(&self.counters.requests_admitted);
+                    conn.in_flight = true;
+                }
+                Err(PushError::Full(_)) => {
+                    NetCounters::bump(&self.counters.requests_dropped);
+                    Response::text(503, "server overloaded, retry shortly\n")
+                        .with_header("Retry-After", self.config.retry_after_secs.to_string())
+                        .encode_into(keep_alive, &mut conn.buf_out);
+                    // Connection survives; try the next pipelined request.
+                }
+                Err(PushError::Closed(_)) => {
+                    Response::text(503, "server shutting down\n")
+                        .encode_into(false, &mut conn.buf_out);
+                    conn.close_after_flush = true;
+                    conn.pending.clear();
+                }
+            }
+        }
+    }
+
+    /// Flushes, closes drained/erroring connections, re-arms interest.
+    fn settle(&self, conns: &mut [Option<Conn>], free: &mut Vec<usize>, idx: usize) {
+        let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if !flush(conn) || conn.drained() {
+            close_conn(&self.poller, conns, free, idx);
+            return;
+        }
+        let wants = conn.wants();
+        if wants != conn.registered {
+            let token = TOKEN_CONN_BASE + idx as u64;
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, wants)
+                .is_ok()
+            {
+                conn.registered = wants;
+            } else {
+                close_conn(&self.poller, conns, free, idx);
+            }
+        }
+    }
+}
+
+/// Writes as much of the send buffer as the socket accepts. Returns
+/// `false` when the connection is dead (write error).
+fn flush(conn: &mut Conn) -> bool {
+    while !conn.buf_out.is_empty() {
+        match conn.stream.write(&conn.buf_out) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.buf_out.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn close_conn(poller: &Poller, conns: &mut [Option<Conn>], free: &mut Vec<usize>, idx: usize) {
+    if let Some(conn) = conns.get_mut(idx).and_then(Option::take) {
+        let _ = poller.delete(conn.stream.as_raw_fd());
+        free.push(idx);
+    }
+}
+
+/// Worker thread body: pop, execute (or synthesize `504`/`500`), report.
+fn worker_loop(
+    queue: &AdmissionQueue<Job>,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &Waker,
+    handler: &dyn HandlerDyn,
+    counters: &NetCounters,
+) {
+    while let Some(job) = queue.pop() {
+        let keep_alive = job.request.keep_alive;
+        let response = if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            // Spent its whole budget queued: don't start executing.
+            NetCounters::bump(&counters.deadlines_exceeded);
+            Response::text(504, "deadline exceeded before execution started\n")
+        } else {
+            let req = job.request;
+            let deadline = job.deadline;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handler.call(*req, deadline)
+            })) {
+                Ok(response) => response,
+                Err(_) => Response::text(500, "internal error\n"),
+            }
+        };
+        completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion {
+                token: job.token,
+                gen: job.gen,
+                keep_alive,
+                response,
+            });
+        waker.wake();
+    }
+}
+
+/// Object-safe shim so `worker_loop` is monomorphized once, not per
+/// handler type.
+trait HandlerDyn: Send + Sync {
+    fn call(&self, request: Request, deadline: Option<Instant>) -> Response;
+}
+
+impl<H: Handler> HandlerDyn for H {
+    fn call(&self, request: Request, deadline: Option<Instant>) -> Response {
+        self.handle(request, deadline)
+    }
+}

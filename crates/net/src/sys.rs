@@ -1,0 +1,169 @@
+//! Hand-declared Linux syscall bindings for the readiness loop.
+//!
+//! The workspace is zero-dependency by policy (no `libc` crate), so the
+//! four epoll/eventfd entry points the event loop needs are declared
+//! here against the platform C library the binary already links
+//! (`std` links it). This is the crate's only `unsafe` surface; the
+//! safe wrappers in [`crate::poller`] own the file descriptors through
+//! `std::os::fd::OwnedFd` so lifetimes and close-on-drop are checked by
+//! the compiler, not by convention.
+
+use std::io;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+// Values from the Linux UAPI headers (stable ABI, architecture-
+// independent except where noted).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// `struct epoll_event`. The kernel ABI packs it on x86-64 (the
+/// `__EPOLL_PACKED` attribute in the UAPI header); other architectures
+/// use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// The `epoll_data_t` union; this crate always uses the `u64` arm
+    /// (a connection token).
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// `read(2)` on a borrowed descriptor (the eventfd drain path — sockets
+/// go through `std::net` types).
+pub fn fd_read(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: the pointer/length pair describes the caller's live
+    // mutable slice; the kernel writes at most `len` bytes.
+    let rc = unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// `write(2)` on a borrowed descriptor (the eventfd wake path).
+pub fn fd_write(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    // SAFETY: the pointer/length pair describes the caller's live slice;
+    // the kernel only reads from it.
+    let rc = unsafe { write(fd, buf.as_ptr(), buf.len()) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: epoll_create1 takes no pointers; it returns a fresh fd (or
+    // -1, mapped to an error below), which FromRawFd may take ownership
+    // of exactly once — here.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `fd` is a valid, otherwise-unowned descriptor just vended
+    // by the kernel.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Adds/modifies/removes `fd` in the interest list of `epfd`.
+pub fn epoll_control(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut ev = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `ev` is a live stack value for the duration of the call;
+    // the kernel copies it and keeps no pointer past return. For
+    // EPOLL_CTL_DEL the kernel ignores the event argument (pre-2.6.9
+    // kernels wanted it non-NULL, which passing `&mut ev` satisfies).
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Waits for readiness events, filling `events` from the front and
+/// returning how many are valid. `timeout_ms < 0` blocks indefinitely.
+pub fn epoll_poll(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    debug_assert!(!events.is_empty());
+    // SAFETY: the pointer/length pair describes the caller's live
+    // mutable slice; the kernel writes at most `len` entries into it and
+    // keeps no pointer past return. `EpollEvent` is plain old data, so
+    // partially overwritten entries are still valid values.
+    let rc = unsafe {
+        epoll_wait(
+            epfd,
+            events.as_mut_ptr(),
+            events.len().min(i32::MAX as usize) as i32,
+            timeout_ms,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(rc as usize)
+}
+
+/// Creates a nonblocking close-on-exec eventfd (the loop's wakeup pipe:
+/// workers write 8 bytes, the loop drains them).
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    // SAFETY: eventfd takes no pointers; the returned fd (checked below)
+    // is fresh and ownership is taken exactly once.
+    let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `fd` is a valid, otherwise-unowned descriptor just vended
+    // by the kernel.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_and_eventfd_round_trip() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd_create().unwrap();
+        epoll_control(ep.as_raw_fd(), EPOLL_CTL_ADD, ev.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        // Nothing signaled yet: a zero-timeout wait returns no events.
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll_poll(ep.as_raw_fd(), &mut events, 0).unwrap(), 0);
+
+        // Signal the eventfd via its std wrapper and observe readiness.
+        use std::io::Write;
+        let mut f = std::fs::File::from(ev.try_clone().unwrap());
+        f.write_all(&1u64.to_ne_bytes()).unwrap();
+        let n = epoll_poll(ep.as_raw_fd(), &mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (events_bits, data) = (events[0].events, events[0].data);
+        assert_eq!(data, 7);
+        assert_ne!(events_bits & EPOLLIN, 0);
+
+        epoll_control(ep.as_raw_fd(), EPOLL_CTL_DEL, ev.as_raw_fd(), 0, 0).unwrap();
+    }
+}

@@ -1,0 +1,366 @@
+//! End-to-end socket tests for the event loop: keep-alive reuse,
+//! pipelining, overload shedding, slow-loris, deadlines, and malformed
+//! input — all against a live server on a loopback port.
+
+use lbr_net::{Handler, NetServer, Request, Response, ServerConfig, Shutdown};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Echoes the path and body; sleeps when the path asks for it.
+struct EchoHandler {
+    calls: AtomicU64,
+}
+
+impl Handler for EchoHandler {
+    fn handle(&self, request: Request, _deadline: Option<Instant>) -> Response {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if let Some(ms) = request
+            .path
+            .strip_prefix("/sleep/")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let mut body = format!("path={}", request.path).into_bytes();
+        if !request.body.is_empty() {
+            body.extend_from_slice(b" body=");
+            body.extend_from_slice(&request.body);
+        }
+        Response::new(200, "text/plain", body)
+    }
+}
+
+struct TestServer {
+    addr: std::net::SocketAddr,
+    shutdown: Shutdown,
+    calls: Arc<EchoHandler>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig) -> TestServer {
+        let handler = Arc::new(EchoHandler {
+            calls: AtomicU64::new(0),
+        });
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&handler), config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            shutdown,
+            calls: handler,
+            thread: Some(thread),
+        }
+    }
+
+    fn connect(&self) -> Client {
+        Client::connect(self.addr)
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.signal();
+        if let Some(t) = self.thread.take() {
+            t.join().unwrap().unwrap();
+        }
+    }
+}
+
+/// A test client: a socket plus a carry buffer, so pipelined responses
+/// that arrive in one TCP segment are split on `Content-Length`
+/// boundaries instead of over-read.
+struct Client {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).unwrap();
+    }
+
+    /// Reads exactly one `Content-Length`-framed response.
+    fn read_response(&mut self) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed before response head completed");
+            self.carry.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.carry[..head_end].to_vec()).unwrap();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .filter(|l| !l.is_empty())
+            .filter_map(|l| l.split_once(": "))
+            .map(|(k, v)| (k.to_ascii_lowercase(), v.to_string()))
+            .collect();
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap();
+        while self.carry.len() < head_end + len {
+            let n = self.stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            self.carry.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.carry[head_end..head_end + len].to_vec();
+        self.carry.drain(..head_end + len);
+        (status, headers, body)
+    }
+
+    /// Asserts the server closes the connection without further bytes.
+    fn expect_eof(&mut self) {
+        assert!(self.carry.is_empty(), "unread response bytes at EOF check");
+        let mut rest = Vec::new();
+        self.stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "unexpected bytes before EOF: {rest:?}");
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.connect();
+    for i in 0..10 {
+        client.send(format!("GET /r{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes());
+        let (status, headers, body) = client.read_response();
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+        assert_eq!(body, format!("path=/r{i}").into_bytes());
+    }
+    assert_eq!(server.calls.calls.load(Ordering::SeqCst), 10);
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.connect();
+    // All three requests hit the wire before any response is read; the
+    // middle one sleeps, which would reorder responses if the server
+    // allowed concurrent in-flight requests per connection.
+    client.send(
+        b"GET /a HTTP/1.1\r\n\r\n\
+          GET /sleep/50 HTTP/1.1\r\n\r\n\
+          POST /c HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz",
+    );
+    let (s1, _, b1) = client.read_response();
+    let (s2, _, b2) = client.read_response();
+    let (s3, _, b3) = client.read_response();
+    assert_eq!((s1, s2, s3), (200, 200, 200));
+    assert_eq!(b1, b"path=/a");
+    assert_eq!(b2, b"path=/sleep/50");
+    assert_eq!(b3, b"path=/c body=xyz");
+}
+
+#[test]
+fn connection_close_honored() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.connect();
+    client.send(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let (status, headers, _) = client.read_response();
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    client.expect_eof();
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(config);
+
+    // Occupy the single worker, then fill the single queue slot.
+    let mut busy = server.connect();
+    busy.send(b"GET /sleep/400 HTTP/1.1\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(100));
+    let mut queued = server.connect();
+    queued.send(b"GET /q HTTP/1.1\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Overflow: answered inline with 503 + Retry-After, and the
+    // connection survives for a later retry.
+    let mut shed = server.connect();
+    shed.send(b"GET /shed HTTP/1.1\r\n\r\n");
+    let (status, headers, _) = shed.read_response();
+    assert_eq!(status, 503);
+    assert!(header(&headers, "retry-after").is_some());
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+
+    // The occupied worker and the queued request still complete.
+    assert_eq!(busy.read_response().0, 200);
+    assert_eq!(queued.read_response().0, 200);
+
+    // After drain, the shed client's retry succeeds on the same socket.
+    shed.send(b"GET /retry HTTP/1.1\r\n\r\n");
+    assert_eq!(shed.read_response().0, 200);
+}
+
+#[test]
+fn queued_past_deadline_answered_504_without_executing() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        request_deadline: Some(Duration::from_millis(120)),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(config);
+
+    let calls_before = server.calls.calls.load(Ordering::SeqCst);
+    let mut busy = server.connect();
+    busy.send(b"GET /sleep/400 HTTP/1.1\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(50));
+    // This one waits ~350ms behind the sleeper — past its 120ms budget.
+    let mut late = server.connect();
+    late.send(b"GET /late HTTP/1.1\r\n\r\n");
+
+    let (status, _, _) = late.read_response();
+    assert_eq!(status, 504);
+    assert_eq!(busy.read_response().0, 200);
+    // The 504 was synthesized by the worker without calling the handler.
+    assert_eq!(server.calls.calls.load(Ordering::SeqCst), calls_before + 1);
+}
+
+#[test]
+fn slow_loris_answered_408() {
+    let config = ServerConfig {
+        header_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(config);
+    let mut client = server.connect();
+    // Half a request line, then silence.
+    client.send(b"GET /drib");
+    let (status, _, _) = client.read_response();
+    assert_eq!(status, 408);
+    client.expect_eof();
+}
+
+#[test]
+fn idle_keep_alive_connection_reaped() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(config);
+    let mut client = server.connect();
+    client.send(b"GET /x HTTP/1.1\r\n\r\n");
+    assert_eq!(client.read_response().0, 200);
+    // Say nothing; the server reaps the idle connection (EOF, no 408).
+    client.expect_eof();
+}
+
+#[test]
+fn malformed_input_answered_400_and_closed() {
+    let server = TestServer::start(ServerConfig::default());
+
+    // Garbage where a request line should be.
+    let mut client = server.connect();
+    client.send(b"\x01\x02NOT HTTP\r\n\r\n");
+    let (status, headers, _) = client.read_response();
+    assert_eq!(status, 400);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    client.expect_eof();
+
+    // Garbage *between* pipelined requests: the first request is
+    // answered normally, then 400 + close — the junk is never misread
+    // as a request and never jumps the response queue.
+    let mut client = server.connect();
+    client.send(b"GET /ok HTTP/1.1\r\n\r\n\x7f\x7fjunk junk junk\r\n\r\n");
+    let (s1, _, b1) = client.read_response();
+    assert_eq!((s1, b1.as_slice()), (200, b"path=/ok".as_slice()));
+    let (s2, _, _) = client.read_response();
+    assert_eq!(s2, 400);
+    client.expect_eof();
+}
+
+#[test]
+fn mid_body_disconnect_leaves_server_healthy() {
+    let server = TestServer::start(ServerConfig::default());
+    {
+        let mut client = server.connect();
+        // Promise 100 bytes, send 5, vanish.
+        client.send(b"POST /p HTTP/1.1\r\nContent-Length: 100\r\n\r\nabcde");
+        // Dropping the client closes the socket mid-body.
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = server.connect();
+    client.send(b"GET /after HTTP/1.1\r\n\r\n");
+    let (status, _, body) = client.read_response();
+    assert_eq!(status, 200);
+    assert_eq!(body, b"path=/after");
+}
+
+#[test]
+fn counters_track_admission_and_drops() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let handler = Arc::new(EchoHandler {
+        calls: AtomicU64::new(0),
+    });
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&handler), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let counters = server.counters();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let mut busy = Client::connect(addr);
+    busy.send(b"GET /sleep/300 HTTP/1.1\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(80));
+    let mut q = Client::connect(addr);
+    q.send(b"GET /q HTTP/1.1\r\n\r\n");
+    std::thread::sleep(Duration::from_millis(80));
+    let mut shed = Client::connect(addr);
+    shed.send(b"GET /s HTTP/1.1\r\n\r\n");
+    assert_eq!(shed.read_response().0, 503);
+    assert_eq!(busy.read_response().0, 200);
+    assert_eq!(q.read_response().0, 200);
+
+    use lbr_net::NetCounters;
+    assert_eq!(NetCounters::get(&counters.requests_dropped), 1);
+    assert_eq!(NetCounters::get(&counters.requests_admitted), 2);
+    assert_eq!(NetCounters::get(&counters.connections_accepted), 3);
+
+    shutdown.signal();
+    thread.join().unwrap().unwrap();
+}

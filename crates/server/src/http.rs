@@ -1,440 +1,153 @@
-//! A minimal HTTP/1.1 layer over `std::io` — exactly what the SPARQL
-//! Protocol needs, nothing more.
+//! HTTP protocol surface of the server crate.
 //!
-//! No external dependencies: request parsing (request line, headers, a
-//! `Content-Length`-delimited body), percent-decoding with
-//! `+`-as-space, `application/x-www-form-urlencoded` parsing, and
-//! response-head writing. Responses are `Connection: close` — bodies
-//! stream until the socket closes, so a large result set needs no
-//! `Content-Length` (and no chunked framing) and is never materialized.
+//! The request parser, response encoder, percent/form decoding and the
+//! typed [`HttpError`] all live in [`lbr_net`] (the event-driven
+//! connection layer) and are re-exported here so server code and
+//! downstream users keep one import path.
 //!
-//! Every malformed input maps to a typed [`HttpError`] carrying the
-//! status code the handler should answer with; nothing in this module
-//! panics on attacker-controlled bytes.
+//! What remains local are the **blocking writer helpers** —
+//! [`write_head`], [`write_text`], [`write_error`] — for code that
+//! serializes a response straight onto an `io::Write` (scripts, tests,
+//! one-shot tools). Since the keep-alive rewrite they frame responses
+//! properly: `write_head` takes the body length and the keep-alive
+//! decision and emits `Content-Length` and `Connection` headers, so
+//! their output is interchangeable with the event loop's encoder.
 
-use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 
-/// Longest accepted request line / header line, in bytes.
-const MAX_LINE: usize = 64 * 1024;
-/// Most accepted header lines.
-const MAX_HEADERS: usize = 128;
-/// Largest accepted request body (a POSTed query), in bytes.
-pub const MAX_BODY: usize = 16 * 1024 * 1024;
-
-/// A request-handling failure with the HTTP status it maps to.
-#[derive(Debug)]
-pub struct HttpError {
-    /// Status code to answer with (400, 405, 406, 411, 413, 415, …).
-    pub status: u16,
-    /// Human-readable detail (becomes the plain-text error body).
-    pub message: String,
-    /// Value for the `Allow` header (405 responses).
-    pub allow: Option<&'static str>,
-}
-
-impl HttpError {
-    /// An error with the given status and message.
-    pub fn new(status: u16, message: impl Into<String>) -> HttpError {
-        HttpError {
-            status,
-            message: message.into(),
-            allow: None,
-        }
-    }
-
-    /// A 405 carrying the `Allow` header value.
-    pub fn method_not_allowed(allow: &'static str) -> HttpError {
-        HttpError {
-            status: 405,
-            message: format!("method not allowed; allowed: {allow}"),
-            allow: Some(allow),
-        }
-    }
-}
-
-impl fmt::Display for HttpError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {}: {}",
-            self.status,
-            reason(self.status),
-            self.message
-        )
-    }
-}
-
-/// The standard reason phrase for the status codes this server emits.
-pub fn reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        406 => "Not Acceptable",
-        411 => "Length Required",
-        413 => "Payload Too Large",
-        415 => "Unsupported Media Type",
-        500 => "Internal Server Error",
-        _ => "Unknown",
-    }
-}
-
-/// A parsed HTTP request.
-#[derive(Debug)]
-pub struct Request {
-    /// Request method, upper-case as received (`GET`, `POST`, …).
-    pub method: String,
-    /// Path component of the request target (before `?`), undecoded.
-    pub path: String,
-    /// Raw query string (after `?`), undecoded; `None` when absent.
-    pub query_string: Option<String>,
-    /// Header `(name, value)` pairs; names lower-cased.
-    pub headers: Vec<(String, String)>,
-    /// The `Content-Length`-delimited body (empty when none).
-    pub body: Vec<u8>,
-}
-
-impl Request {
-    /// First header with the given (case-insensitive) name.
-    pub fn header(&self, name: &str) -> Option<&str> {
-        let name = name.to_ascii_lowercase();
-        self.headers
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| v.as_str())
-    }
-
-    /// The `Content-Type`, lower-cased with any `;` parameters (charset…)
-    /// stripped.
-    pub fn content_type(&self) -> Option<String> {
-        self.header("content-type").map(|v| {
-            v.split(';')
-                .next()
-                .unwrap_or("")
-                .trim()
-                .to_ascii_lowercase()
-        })
-    }
-}
-
-fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
-    let mut buf = Vec::new();
-    loop {
-        let available = reader
-            .fill_buf()
-            .map_err(|e| HttpError::new(400, format!("read failed: {e}")))?;
-        if available.is_empty() {
-            return Err(HttpError::new(400, "connection closed mid-request"));
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                buf.extend_from_slice(&available[..i]);
-                reader.consume(i + 1);
-                if buf.last() == Some(&b'\r') {
-                    buf.pop();
-                }
-                return String::from_utf8(buf)
-                    .map_err(|_| HttpError::new(400, "non-UTF-8 bytes in request head"));
-            }
-            None => {
-                let n = available.len();
-                buf.extend_from_slice(available);
-                reader.consume(n);
-            }
-        }
-        if buf.len() > MAX_LINE {
-            return Err(HttpError::new(400, "request line or header too long"));
-        }
-    }
-}
-
-/// Reads and parses one request from the stream.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-    let request_line = read_line(reader)?;
-    let mut parts = request_line.split_ascii_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(HttpError::new(400, "malformed request line"));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::new(
-            400,
-            format!("unsupported version {version}"),
-        ));
-    }
-    let (path, query_string) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), Some(q.to_string())),
-        None => (target.to_string(), None),
-    };
-
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader)?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::new(400, "too many headers"));
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::new(400, "malformed header line"));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let mut request = Request {
-        method: method.to_string(),
-        path,
-        query_string,
-        headers,
-        body: Vec::new(),
-    };
-    if let Some(len) = request.header("content-length") {
-        let len: usize = len
-            .trim()
-            .parse()
-            .map_err(|_| HttpError::new(400, "invalid Content-Length"))?;
-        if len > MAX_BODY {
-            return Err(HttpError::new(413, "request body too large"));
-        }
-        let mut body = vec![0u8; len];
-        io::Read::read_exact(reader, &mut body)
-            .map_err(|e| HttpError::new(400, format!("short body: {e}")))?;
-        request.body = body;
-    } else if request.method == "POST" {
-        // No chunked-transfer support; POSTs must declare their length.
-        return Err(HttpError::new(411, "POST requires Content-Length"));
-    }
-    Ok(request)
-}
-
-/// Percent-decodes `s`. With `plus_as_space` (query strings and
-/// urlencoded form bodies) a literal `+` decodes to a space; `%2B` is the
-/// escaped plus either way. Malformed escapes (`%`, `%2`, `%GZ`) and
-/// non-UTF-8 decoded bytes are errors — the handler answers 400, never
-/// panics.
-pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, HttpError> {
-    let bytes = s.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'%' => {
-                let (Some(&hi), Some(&lo)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
-                    return Err(HttpError::new(400, "truncated percent escape"));
-                };
-                let (Some(hi), Some(lo)) = ((hi as char).to_digit(16), (lo as char).to_digit(16))
-                else {
-                    return Err(HttpError::new(
-                        400,
-                        format!("invalid percent escape %{}{}", hi as char, lo as char),
-                    ));
-                };
-                out.push((hi * 16 + lo) as u8);
-                i += 3;
-            }
-            b'+' if plus_as_space => {
-                out.push(b' ');
-                i += 1;
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8(out).map_err(|_| HttpError::new(400, "percent-decoded bytes are not UTF-8"))
-}
-
-/// Parses an `application/x-www-form-urlencoded` document (or a URL query
-/// string) into decoded `(key, value)` pairs. Empty segments (`a=1&&b=2`)
-/// are skipped; a segment without `=` becomes a key with an empty value.
-pub fn parse_form(s: &str) -> Result<Vec<(String, String)>, HttpError> {
-    let mut pairs = Vec::new();
-    for segment in s.split('&') {
-        if segment.is_empty() {
-            continue;
-        }
-        let (k, v) = segment.split_once('=').unwrap_or((segment, ""));
-        pairs.push((percent_decode(k, true)?, percent_decode(v, true)?));
-    }
-    Ok(pairs)
-}
+pub use lbr_net::http::{
+    parse_form, percent_decode, reason, HttpError, Parse, Request, RequestParser, Response,
+    MAX_BODY, MAX_HEAD, MAX_HEADERS,
+};
 
 /// Writes a response head: status line, `Content-Type`,
-/// `Connection: close`, optional extra headers, blank line. The body
-/// follows on the same writer and ends when the connection closes.
+/// `Content-Length` (when the body length is known), `Connection:
+/// keep-alive|close`, any extra headers, and the terminating blank
+/// line. The caller writes exactly `content_length` body bytes after.
 pub fn write_head(
     w: &mut impl Write,
     status: u16,
     content_type: &str,
+    content_length: Option<usize>,
+    keep_alive: bool,
     extra: &[(&str, &str)],
 ) -> io::Result<()> {
     write!(w, "HTTP/1.1 {} {}\r\n", status, reason(status))?;
     write!(w, "Content-Type: {content_type}\r\n")?;
-    w.write_all(b"Connection: close\r\n")?;
+    if let Some(len) = content_length {
+        write!(w, "Content-Length: {len}\r\n")?;
+    }
+    write!(
+        w,
+        "Connection: {}\r\n",
+        // Without a length the body is close-delimited: the connection
+        // cannot be kept alive regardless of what the caller asked for.
+        if keep_alive && content_length.is_some() {
+            "keep-alive"
+        } else {
+            "close"
+        }
+    )?;
     for (name, value) in extra {
         write!(w, "{name}: {value}\r\n")?;
     }
     w.write_all(b"\r\n")
 }
 
-/// Writes a complete plain-text response (used for errors, `/healthz`).
+/// Writes a complete framed plain-text response.
 pub fn write_text(w: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
     write_head(
         w,
         status,
         "text/plain; charset=utf-8",
-        &[("Content-Length", &body.len().to_string())],
+        Some(body.len()),
+        true,
+        &[],
     )?;
     w.write_all(body.as_bytes())
 }
 
-/// Writes a complete error response from an [`HttpError`].
+/// Writes a complete framed error response for an [`HttpError`],
+/// carrying `Allow` on 405s and closing the connection when the error
+/// marks the stream unrecoverable.
 pub fn write_error(w: &mut impl Write, err: &HttpError) -> io::Result<()> {
     let body = format!("{}\n", err.message);
-    let len = body.len().to_string();
-    let mut extra: Vec<(&str, &str)> = vec![("Content-Length", &len)];
-    if let Some(allow) = err.allow {
-        extra.push(("Allow", allow));
-    }
-    write_head(w, err.status, "text/plain; charset=utf-8", &extra)?;
+    let extra: &[(&str, &str)] = match err.allow {
+        Some(allow) => &[("Allow", allow)],
+        None => &[],
+    };
+    write_head(
+        w,
+        err.status,
+        "text/plain; charset=utf-8",
+        Some(body.len()),
+        !err.must_close,
+        extra,
+    )?;
     w.write_all(body.as_bytes())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
 
-    fn parse(raw: &str) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()))
+    fn rendered(f: impl FnOnce(&mut Vec<u8>) -> io::Result<()>) -> String {
+        let mut out = Vec::new();
+        f(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
     }
 
     #[test]
-    fn parses_get_with_query_string() {
-        let r = parse("GET /sparql?query=SELECT%20*&x=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
-        assert_eq!(r.method, "GET");
-        assert_eq!(r.path, "/sparql");
-        assert_eq!(r.query_string.as_deref(), Some("query=SELECT%20*&x=1"));
-        assert_eq!(r.header("host"), Some("h"));
-        assert_eq!(r.header("HOST"), Some("h"));
-    }
-
-    #[test]
-    fn parses_post_body_by_content_length() {
-        let r = parse("POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 5\r\n\r\nhello").unwrap();
-        assert_eq!(r.body, b"hello");
-        assert_eq!(
-            r.content_type().as_deref(),
-            Some("application/sparql-query")
-        );
-    }
-
-    #[test]
-    fn content_type_params_stripped() {
-        let r = parse("POST / HTTP/1.1\r\nContent-Type: Application/X-WWW-Form-URLEncoded; charset=UTF-8\r\nContent-Length: 0\r\n\r\n").unwrap();
-        assert_eq!(
-            r.content_type().as_deref(),
-            Some("application/x-www-form-urlencoded")
-        );
-    }
-
-    #[test]
-    fn post_without_length_is_411() {
-        assert_eq!(
-            parse("POST /sparql HTTP/1.1\r\n\r\n").unwrap_err().status,
-            411
-        );
-    }
-
-    #[test]
-    fn malformed_requests_are_400() {
-        assert_eq!(parse("GET\r\n\r\n").unwrap_err().status, 400);
-        assert_eq!(parse("GET / SPDY/3\r\n\r\n").unwrap_err().status, 400);
-        assert_eq!(
-            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
-                .unwrap_err()
-                .status,
-            400
-        );
-        // Body shorter than Content-Length.
-        assert_eq!(
-            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
-                .unwrap_err()
-                .status,
-            400
-        );
-        // Oversized declared body.
-        assert_eq!(
-            parse(&format!(
-                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
-                MAX_BODY + 1
-            ))
-            .unwrap_err()
-            .status,
-            413
-        );
-    }
-
-    #[test]
-    fn percent_decoding_spaces_and_plus() {
-        // `+` is a space in form/query contexts…
-        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
-        // …but literal outside them.
-        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
-        // %2B is always a plus; %20 always a space.
-        assert_eq!(percent_decode("1%2B2%20%2b3", true).unwrap(), "1+2 +3");
-        assert_eq!(
-            percent_decode("SELECT+%2a+WHERE+%7B+%3Fs+%3Fp+%3Fo+.+%7D", true).unwrap(),
-            "SELECT * WHERE { ?s ?p ?o . }"
-        );
-    }
-
-    #[test]
-    fn malformed_escapes_are_errors_not_panics() {
-        for bad in ["%", "%2", "a%G1", "%zz", "x%"] {
-            let err = percent_decode(bad, true).unwrap_err();
-            assert_eq!(err.status, 400, "{bad}");
-        }
-        // Decodes to invalid UTF-8.
-        assert_eq!(percent_decode("%ff%fe", true).unwrap_err().status, 400);
-    }
-
-    #[test]
-    fn form_parsing() {
-        let pairs = parse_form("query=ASK+%7B%7D&default-graph-uri=&flag").unwrap();
-        assert_eq!(
-            pairs,
-            vec![
-                ("query".to_string(), "ASK {}".to_string()),
-                ("default-graph-uri".to_string(), String::new()),
-                ("flag".to_string(), String::new()),
-            ]
-        );
-        assert!(parse_form("query=%G1").is_err());
-        assert_eq!(parse_form("a=1&&b=2").unwrap().len(), 2);
-    }
-
-    #[test]
-    fn response_heads() {
-        let mut buf = Vec::new();
-        write_text(&mut buf, 200, "ok\n").unwrap();
-        let text = String::from_utf8(buf).unwrap();
+    fn head_carries_length_and_connection() {
+        let text = rendered(|w| write_head(w, 200, "application/json", Some(12), true, &[]));
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
-        assert!(text.contains("Connection: close\r\n"));
-        assert!(text.contains("Content-Length: 3\r\n"));
-        assert!(text.ends_with("\r\n\r\nok\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
 
-        let mut buf = Vec::new();
-        write_error(&mut buf, &HttpError::method_not_allowed("GET, POST")).unwrap();
-        let text = String::from_utf8(buf).unwrap();
+        let text = rendered(|w| write_head(w, 200, "text/plain", Some(0), false, &[]));
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn unknown_length_forces_close() {
+        // A close-delimited body cannot coexist with keep-alive.
+        let text = rendered(|w| write_head(w, 200, "text/plain", None, true, &[]));
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_appended() {
+        let text =
+            rendered(|w| write_head(w, 503, "text/plain", Some(3), true, &[("Retry-After", "1")]));
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+    }
+
+    #[test]
+    fn text_is_fully_framed() {
+        let text = rendered(|w| write_text(w, 200, "ok\n"));
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+    }
+
+    #[test]
+    fn error_carries_allow_and_close_policy() {
+        let text = rendered(|w| write_error(w, &HttpError::method_not_allowed("GET, POST")));
         assert!(
             text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
             "{text}"
         );
         assert!(text.contains("Allow: GET, POST\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+
+        let text = rendered(|w| write_error(w, &HttpError::fatal(400, "desynced")));
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("desynced\n"), "{text}");
     }
 }

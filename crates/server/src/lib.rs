@@ -1,8 +1,8 @@
 //! # lbr-server
 //!
 //! A W3C **SPARQL 1.1 Protocol** HTTP endpoint over the LBR engine — the
-//! serving layer of the workspace, built on `std::net` with zero
-//! external dependencies.
+//! serving layer of the workspace, built on the event-driven
+//! [`lbr_net`] connection layer with zero external dependencies.
 //!
 //! * `GET /sparql?query=…` and `POST /sparql` (both
 //!   `application/x-www-form-urlencoded` and raw
@@ -10,29 +10,35 @@
 //! * `Accept` negotiation selects the W3C SPARQL JSON
 //!   (`application/sparql-results+json`, the default), W3C TSV
 //!   (`text/tab-separated-values`) or the CLI's human table
-//!   (`text/plain`) — responses are **streamed** onto the socket through
-//!   `lbr::format`'s writer-generic serializers, byte-identical to
-//!   `lbr-cli --format` output for the same query;
+//!   (`text/plain`) — serialized through `lbr::format`'s writers,
+//!   byte-identical to `lbr-cli --format` output for the same query;
 //! * `POST /update` (form `update=…` or raw `application/sparql-update`
 //!   bodies) executes SPARQL 1.1 Update requests when the database was
 //!   built updatable ([`lbr::DatabaseBuilder::wal_dir`] /
 //!   [`lbr::DatabaseBuilder::updatable`]; `lbr-server --wal-dir`),
 //!   answering `{"inserted":…,"deleted":…,"epoch":…}` — against a
 //!   read-only database it answers 403;
-//! * every execution goes through one shared [`lbr::PlanCache`], so a
-//!   repeated query (modulo whitespace) skips parsing + UNF rewrite +
-//!   GoSN/GoJ planning entirely; updates bump the database epoch, which
-//!   invalidates cached plans (counted as `epoch_evictions`);
-//! * `GET /healthz` answers `ok`; `GET /stats` reports plan-cache
-//!   hit/miss/eviction counters (including `epoch_evictions`), update
-//!   counters, the storage epoch, and aggregated
-//!   [`StatsAggregate`](lbr_core::StatsAggregate) query statistics as
-//!   JSON.
+//! * every execution goes through one shared [`lbr::PlanCache`] (a
+//!   repeated query skips parsing + UNF rewrite + GoSN/GoJ planning) AND
+//!   one shared [`lbr::ResultCache`]: a repeated query at an unchanged
+//!   store epoch skips *execution and serialization* entirely, answered
+//!   from cached bytes. Updates bump the epoch, which invalidates both
+//!   caches (counted as `epoch_evictions`);
+//! * `GET /healthz` answers `ok`; `GET /stats` reports plan-cache and
+//!   result-cache counters, admission counters (including
+//!   `dropped_requests`), per-endpoint latency percentiles
+//!   (p50/p95/p99/max), update counters, the storage epoch, and
+//!   aggregated [`StatsAggregate`](lbr_core::StatsAggregate) query
+//!   statistics as JSON.
 //!
-//! Concurrency model: a fixed-size worker pool (one OS thread per
-//! worker) pops accepted connections off an `mpsc` channel and serves
-//! one request per connection (`Connection: close`). All workers share
-//! one `Arc<Database>` — engines are thin read-only borrows, and
+//! Concurrency model (see [`lbr_net`] for the full picture): one epoll
+//! readiness loop multiplexes every connection — HTTP/1.1 keep-alive
+//! and pipelining included — and parsed requests pass through a
+//! *bounded admission queue* to a worker pool. A full queue is answered
+//! `503` + `Retry-After` inline; admitted requests carry a deadline
+//! that propagates into the join kernels, so a query that outlives its
+//! budget is cut short and answered `504`. All workers share one
+//! `Arc<Database>` — engines are thin read-only borrows, and
 //! `Engine: Send + Sync` makes the sharing a compile-time guarantee.
 //!
 //! ```no_run
@@ -43,35 +49,46 @@
 //! let db = Arc::new(Database::from_ntriples("<a> <p> <b> .").unwrap());
 //! let server = Server::bind("127.0.0.1:7878", db, ServerConfig::default()).unwrap();
 //! eprintln!("listening on http://{}", server.local_addr().unwrap());
-//! server.run().unwrap(); // blocks, serving forever
+//! server.run().unwrap(); // blocks, serving until shut down
 //! ```
 
 #![forbid(unsafe_code)]
 
 pub mod http;
 
-use http::{parse_form, read_request, write_error, write_head, write_text};
-use http::{HttpError, Request};
+use http::{parse_form, HttpError, Request, Response};
 use lbr::core::{LbrError, StatsAggregate};
-use lbr::{Database, OutputFormat, PlanCache, UpdateError};
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use lbr::{Database, OutputFormat, PlanCache, ResultCache, UpdateError};
+use lbr_net::{Handler, LatencyHistogram, NetCounters, NetServer, Shutdown};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling requests (default: available parallelism,
-    /// at least 2 so one slow query cannot starve `/healthz`).
+    /// Worker threads executing requests (default: available
+    /// parallelism, at least 2 so one slow query cannot starve
+    /// `/healthz`).
     pub workers: usize,
     /// Plan-cache capacity in entries.
     pub cache_capacity: usize,
-    /// Per-connection socket read timeout (dead clients cannot pin a
-    /// worker forever).
-    pub read_timeout: Duration,
+    /// Result-cache capacity in entries.
+    pub result_cache_capacity: usize,
+    /// Result-cache byte budget (serialized response bodies).
+    pub result_cache_bytes: usize,
+    /// Bounded admission queue: requests waiting for a worker beyond
+    /// this are answered `503` + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Per-request execution budget (admission → response). Exceeding
+    /// it answers `504`; `None` disables deadlines.
+    pub request_timeout: Option<Duration>,
+    /// How long a connection may dribble an incomplete request before
+    /// `408` + close (slow-loris defense).
+    pub header_timeout: Duration,
+    /// How long an idle keep-alive connection is retained.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -79,17 +96,25 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: lbr::core::api::default_threads().max(2),
             cache_capacity: 256,
-            read_timeout: Duration::from_secs(10),
+            result_cache_capacity: 256,
+            result_cache_bytes: 64 * 1024 * 1024,
+            queue_capacity: 256,
+            request_timeout: Some(Duration::from_secs(30)),
+            header_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
 
-/// Shared per-server state handed to every worker.
+/// Shared per-server state; the [`lbr_net::Handler`] implementation.
 struct Service {
     db: Arc<Database>,
     cache: PlanCache,
+    results: ResultCache,
     agg: Mutex<StatsAggregate>,
-    read_timeout: Duration,
+    counters: Arc<NetCounters>,
+    lat_sparql: LatencyHistogram,
+    lat_update: LatencyHistogram,
     /// `/update` requests that committed (no-ops included).
     updates: AtomicU64,
     /// Triples actually inserted / deleted across all updates.
@@ -99,7 +124,7 @@ struct Service {
 
 /// A bound (but not yet serving) SPARQL endpoint.
 pub struct Server {
-    listener: TcpListener,
+    net: NetServer<Service>,
     service: Arc<Service>,
     workers: usize,
 }
@@ -112,25 +137,39 @@ impl Server {
         db: Arc<Database>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        let counters = Arc::new(NetCounters::new());
+        let service = Arc::new(Service {
+            db,
+            cache: PlanCache::new(config.cache_capacity),
+            results: ResultCache::new(config.result_cache_capacity, config.result_cache_bytes),
+            agg: Mutex::new(StatsAggregate::default()),
+            counters: Arc::clone(&counters),
+            lat_sparql: LatencyHistogram::new(),
+            lat_update: LatencyHistogram::new(),
+            updates: AtomicU64::new(0),
+            update_inserted: AtomicU64::new(0),
+            update_deleted: AtomicU64::new(0),
+        });
+        let workers = config.workers.max(1);
+        let net_config = lbr_net::ServerConfig {
+            workers,
+            queue_capacity: config.queue_capacity,
+            request_deadline: config.request_timeout,
+            header_timeout: config.header_timeout,
+            idle_timeout: config.idle_timeout,
+            retry_after_secs: 1,
+        };
+        let net = NetServer::bind(addr, Arc::clone(&service), net_config)?.with_counters(counters);
         Ok(Server {
-            listener,
-            service: Arc::new(Service {
-                db,
-                cache: PlanCache::new(config.cache_capacity),
-                agg: Mutex::new(StatsAggregate::default()),
-                read_timeout: config.read_timeout,
-                updates: AtomicU64::new(0),
-                update_inserted: AtomicU64::new(0),
-                update_deleted: AtomicU64::new(0),
-            }),
-            workers: config.workers.max(1),
+            net,
+            service,
+            workers,
         })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
+        self.net.local_addr()
     }
 
     /// Worker-thread count.
@@ -138,11 +177,10 @@ impl Server {
         self.workers
     }
 
-    /// Serves forever on the calling thread (workers run on their own
-    /// threads). Only returns on listener failure.
+    /// Serves on the calling thread until [`ServerHandle`]-less shutdown
+    /// (i.e. forever for the CLI binary).
     pub fn run(self) -> std::io::Result<()> {
-        let stop = Arc::new(AtomicBool::new(false));
-        self.serve(stop)
+        self.net.run()
     }
 
     /// Serves on background threads, returning a handle that stops the
@@ -150,60 +188,16 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let service = Arc::clone(&self.service);
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            let _ = self.serve(stop2);
+        let shutdown = self.net.shutdown_handle();
+        let thread = std::thread::spawn(move || {
+            let _ = self.net.run();
         });
         Ok(ServerHandle {
             addr,
             service,
-            stop,
-            accept_thread: Some(accept_thread),
+            shutdown,
+            thread: Some(thread),
         })
-    }
-
-    fn serve(self, stop: Arc<AtomicBool>) -> std::io::Result<()> {
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(self.workers);
-        for _ in 0..self.workers {
-            let receiver = Arc::clone(&receiver);
-            let service = Arc::clone(&self.service);
-            workers.push(std::thread::spawn(move || loop {
-                // Holding the recv lock only while popping keeps the
-                // pool work-stealing: whichever worker is free takes the
-                // next connection.
-                let next = receiver.lock().expect("worker queue poisoned").recv();
-                match next {
-                    Ok(stream) => service.handle_connection(stream),
-                    Err(_) => return, // acceptor gone: shut down
-                }
-            }));
-        }
-        for stream in self.listener.incoming() {
-            if stop.load(Ordering::Relaxed) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    // Only fails when every worker died; surface as done.
-                    if sender.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    // Transient accept errors (EMFILE, aborted handshake)
-                    // should not kill the server.
-                    eprintln!("lbr-server: accept error: {e}");
-                }
-            }
-        }
-        drop(sender);
-        for worker in workers {
-            let _ = worker.join();
-        }
-        Ok(())
     }
 }
 
@@ -211,8 +205,8 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     service: Arc<Service>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    shutdown: Shutdown,
+    thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -226,136 +220,133 @@ impl ServerHandle {
         self.service.cache.stats()
     }
 
+    /// Result-cache counters (what `/stats` reports).
+    pub fn result_cache_stats(&self) -> lbr::ResultCacheStats {
+        self.service.results.stats()
+    }
+
     /// Aggregated query statistics (what `/stats` reports).
     pub fn query_stats(&self) -> StatsAggregate {
         self.service.agg.lock().expect("stats poisoned").clone()
+    }
+
+    /// Connection/admission counters maintained by the event loop.
+    pub fn net_counters(&self) -> Arc<NetCounters> {
+        Arc::clone(&self.service.counters)
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.shutdown.signal();
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
 }
 
-impl Service {
-    fn handle_connection(&self, stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(self.read_timeout));
-        let _ = stream.set_nodelay(true);
-        let Ok(read_half) = stream.try_clone() else {
-            return;
-        };
-        let mut reader = BufReader::new(read_half);
-        let mut writer = BufWriter::new(stream);
-        match read_request(&mut reader) {
-            Ok(request) => {
-                if let Err(err) = self.respond(&request, &mut writer) {
-                    // Headers may already be out; best effort only.
-                    let _ = write_error(&mut writer, &err);
-                }
-            }
-            Err(err) => {
-                let _ = write_error(&mut writer, &err);
-            }
+impl Handler for Service {
+    fn handle(&self, request: Request, deadline: Option<Instant>) -> Response {
+        let start = Instant::now();
+        let response = self
+            .respond(&request, deadline)
+            .unwrap_or_else(|err| Response::from_error(&err));
+        match request.path.as_str() {
+            "/sparql" => self.lat_sparql.record(start.elapsed()),
+            "/update" => self.lat_update.record(start.elapsed()),
+            _ => {}
         }
-        let _ = writer.flush();
+        response
     }
+}
 
-    /// Routes one request. Returns `Err` only while nothing has been
-    /// written yet, so the caller can still emit a clean error response.
-    fn respond(&self, request: &Request, w: &mut impl Write) -> Result<(), HttpError> {
+impl Service {
+    /// Routes one request to a complete, framed response.
+    fn respond(&self, request: &Request, deadline: Option<Instant>) -> Result<Response, HttpError> {
         match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => {
-                // Write failures past this point mean the client hung up;
-                // the response has (partially) started, so per this
-                // method's contract they are swallowed, not turned into a
-                // trailing error response.
-                let _ = write_text(w, 200, "ok\n");
-            }
-            (_, "/healthz") => return Err(HttpError::method_not_allowed("GET")),
-            ("GET", "/stats") => {
-                let body = self.stats_json();
-                let _ = write_head(
-                    w,
-                    200,
-                    "application/json",
-                    &[("Content-Length", &body.len().to_string())],
-                )
-                .and_then(|()| w.write_all(body.as_bytes()));
-            }
-            (_, "/stats") => return Err(HttpError::method_not_allowed("GET")),
+            ("GET", "/healthz") => Ok(Response::text(200, "ok\n")),
+            (_, "/healthz") => Err(HttpError::method_not_allowed("GET")),
+            ("GET", "/stats") => Ok(Response::new(
+                200,
+                "application/json",
+                self.stats_json().into_bytes(),
+            )),
+            (_, "/stats") => Err(HttpError::method_not_allowed("GET")),
             ("GET", "/sparql") => {
                 let query = query_from_get(request)?;
-                self.execute(&query, request, w)?;
+                self.execute(&query, request, deadline)
             }
             ("POST", "/sparql") => {
                 let query = query_from_post(request)?;
-                self.execute(&query, request, w)?;
+                self.execute(&query, request, deadline)
             }
-            (_, "/sparql") => return Err(HttpError::method_not_allowed("GET, POST")),
+            (_, "/sparql") => Err(HttpError::method_not_allowed("GET, POST")),
             ("POST", "/update") => {
                 let update = update_from_post(request)?;
-                self.update(&update, w)?;
+                self.update(&update)
             }
-            (_, "/update") => return Err(HttpError::method_not_allowed("POST")),
-            _ => {
-                return Err(HttpError::new(
-                    404,
-                    format!(
-                        "no such resource {}; the endpoints are /sparql and /update \
-                         (plus /healthz, /stats)",
-                        request.path
-                    ),
-                ))
-            }
+            (_, "/update") => Err(HttpError::method_not_allowed("POST")),
+            _ => Err(HttpError::new(
+                404,
+                format!(
+                    "no such resource {}; the endpoints are /sparql and /update \
+                     (plus /healthz, /stats)",
+                    request.path
+                ),
+            )),
         }
-        Ok(())
     }
 
-    /// Executes a SPARQL query through the shared plan cache and streams
-    /// the negotiated serialization straight onto the socket.
+    /// Executes a SPARQL query through the shared caches.
+    ///
+    /// Cache discipline: the query text is canonicalized **once**; the
+    /// result cache is probed with `(canonical text, media type)` at the
+    /// pinned view's epoch — a hit skips parsing, planning, execution
+    /// and serialization. On a miss, the plan cache skips the front half
+    /// and the serialized bytes are published for the next client.
     fn execute(
         &self,
         query_text: &str,
         request: &Request,
-        w: &mut impl Write,
-    ) -> Result<(), HttpError> {
+        deadline: Option<Instant>,
+    ) -> Result<Response, HttpError> {
         let format = negotiate(request.header("accept"))?;
-        // One pinned view serves the whole request: plan validation,
-        // execution and result decoding all see the same snapshot even
-        // if an update commits mid-request.
+        let media = format.media_type();
+        // One pinned view serves the whole request: the cache probe, plan
+        // validation, execution and result decoding all see the same
+        // snapshot even if an update commits mid-request.
         let view = self.db.read();
+        let key = lbr::canonicalize(query_text);
+        if let Some(body) = self.results.get(&key, media, view.epoch()) {
+            return Ok(Response::new(200, media, body.as_ref().clone()));
+        }
         let cached = self
             .cache
             .get_or_prepare(&self.db, query_text)
             .map_err(|e| self.query_error(e))?;
         let output = view
-            .execute_plan(&cached)
+            .execute_plan_deadline(&cached, deadline)
             .map_err(|e| self.query_error(e))?;
         self.agg
             .lock()
             .expect("stats poisoned")
             .record(&output.stats);
-        // From the first head byte on, errors are swallowed: the response
-        // is underway and `respond`'s contract ("Err only while nothing
-        // has been written") forbids bolting a 500 onto a half-sent 200
-        // body. An i/o failure here means the client hung up — closing
-        // the connection (which truncates the close-delimited body) is
-        // all that can be signalled.
-        let _ = write_head(w, 200, format.media_type(), &[])
-            .and_then(|()| format.write_to(w, cached.query(), &output, view.dict()));
-        Ok(())
+        let body = Arc::new(
+            format
+                .render(cached.query(), &output, view.dict())
+                .into_bytes(),
+        );
+        self.results
+            .insert(key, media, view.epoch(), Arc::clone(&body));
+        Ok(Response::new(200, media, body.as_ref().clone()))
     }
 
     /// Executes a SPARQL 1.1 Update request and answers a small JSON
     /// summary. The whole request commits atomically (durably, when the
-    /// store has a WAL) before the response is written.
-    fn update(&self, update_text: &str, w: &mut impl Write) -> Result<(), HttpError> {
+    /// store has a WAL) before the response is written; post-commit
+    /// requests observe the new epoch, so stale cached results can never
+    /// be served after the update's response.
+    fn update(&self, update_text: &str) -> Result<Response, HttpError> {
         let outcome = self.db.update(update_text).map_err(update_error)?;
         self.updates.fetch_add(1, Ordering::Relaxed);
         self.update_inserted
@@ -366,14 +357,7 @@ impl Service {
             "{{\"inserted\":{},\"deleted\":{},\"epoch\":{}}}\n",
             outcome.inserted, outcome.deleted, outcome.epoch
         );
-        let _ = write_head(
-            w,
-            200,
-            "application/json",
-            &[("Content-Length", &body.len().to_string())],
-        )
-        .and_then(|()| w.write_all(body.as_bytes()));
-        Ok(())
+        Ok(Response::new(200, "application/json", body.into_bytes()))
     }
 
     fn query_error(&self, e: LbrError) -> HttpError {
@@ -381,7 +365,9 @@ impl Service {
         match e {
             // The client's query is at fault.
             LbrError::Sparql(_) | LbrError::Unsupported(_) => HttpError::new(400, e.to_string()),
-            // The server (or its configuration) is.
+            // The query outlived its budget.
+            LbrError::DeadlineExceeded => HttpError::new(504, e.to_string()),
+            // The server (or its configuration) is at fault.
             LbrError::BitMat(_) | LbrError::ResourceLimit(_) => HttpError::new(500, e.to_string()),
         }
     }
@@ -389,11 +375,27 @@ impl Service {
     /// `/stats` as hand-rolled JSON (no serde in the build environment).
     fn stats_json(&self) -> String {
         let cache = self.cache.stats();
+        let results = self.results.stats();
         let agg = self.agg.lock().expect("stats poisoned").clone();
+        let net = &self.counters;
+        let lat_s = self.lat_sparql.summary();
+        let lat_u = self.lat_update.summary();
+        let latency = |s: &lbr_net::LatencySummary| {
+            format!(
+                "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                s.count, s.p50_micros, s.p95_micros, s.p99_micros, s.max_micros
+            )
+        };
         format!(
             concat!(
                 "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"epoch_evictions\":{},\"len\":{},\"capacity\":{}}},",
+                "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"epoch_evictions\":{},\"len\":{},\"capacity\":{},",
+                "\"bytes\":{},\"max_bytes\":{}}},",
+                "\"net\":{{\"connections\":{},\"admitted\":{},\"dropped_requests\":{},",
+                "\"timed_out\":{},\"malformed\":{},\"queue_504s\":{}}},",
+                "\"latency\":{{\"sparql\":{},\"update\":{}}},",
                 "\"queries\":{{\"ok\":{},\"errors\":{},\"rows\":{},",
                 "\"rows_with_nulls\":{},\"nb_required\":{},\"join_seeds\":{},",
                 "\"prune_intersections\":{},\"scratch_reuses\":{},",
@@ -408,6 +410,22 @@ impl Service {
             cache.epoch_evictions,
             cache.len,
             cache.capacity,
+            results.hits,
+            results.misses,
+            results.evictions,
+            results.epoch_evictions,
+            results.len,
+            results.capacity,
+            results.bytes,
+            results.max_bytes,
+            NetCounters::get(&net.connections_accepted),
+            NetCounters::get(&net.requests_admitted),
+            NetCounters::get(&net.requests_dropped),
+            NetCounters::get(&net.requests_timed_out),
+            NetCounters::get(&net.requests_malformed),
+            NetCounters::get(&net.deadlines_exceeded),
+            latency(&lat_s),
+            latency(&lat_u),
             agg.queries,
             agg.errors,
             agg.rows,
@@ -569,7 +587,8 @@ pub fn negotiate(accept: Option<&str>) -> Result<OutputFormat, HttpError> {
 mod tests {
     use super::*;
     use lbr::parse_query;
-    use std::io::Read;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     const DATA: &str = r#"
         <Jerry> <hasFriend> <Julia> .
@@ -583,7 +602,7 @@ mod tests {
         let config = ServerConfig {
             workers: 4,
             cache_capacity: 8,
-            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         };
         Server::bind("127.0.0.1:0", db, config)
             .unwrap()
@@ -591,20 +610,51 @@ mod tests {
             .unwrap()
     }
 
-    /// Sends one raw HTTP request; returns (status, headers, body).
-    fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String, String) {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(raw.as_bytes()).unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
-        let status: u16 = response
+    /// Reads one `Content-Length`-framed response off `stream` (plus a
+    /// small carry so pipelined responses split correctly), returning
+    /// (status, head, body).
+    fn read_framed(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+        let mut chunk = [0u8; 8192];
+        let head_end = loop {
+            if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "connection closed before response head");
+            carry.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(carry[..head_end - 4].to_vec()).unwrap();
+        let status: u16 = head
             .split_whitespace()
             .nth(1)
             .expect("status line")
             .parse()
             .expect("numeric status");
-        let (head, body) = response.split_once("\r\n\r\n").expect("blank line");
-        (status, head.to_string(), body.to_string())
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("framed response")
+            .parse()
+            .unwrap();
+        while carry.len() < head_end + len {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            carry.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(carry[head_end..head_end + len].to_vec()).unwrap();
+        carry.drain(..head_end + len);
+        (status, head, body)
+    }
+
+    /// Sends one raw HTTP request on a fresh connection; returns
+    /// (status, headers, body).
+    fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        read_framed(&mut stream, &mut Vec::new())
     }
 
     fn get(addr: SocketAddr, target: &str, accept: Option<&str>) -> (u16, String, String) {
@@ -638,7 +688,7 @@ mod tests {
     }
 
     #[test]
-    fn get_query_streams_w3c_json() {
+    fn get_query_answers_w3c_json() {
         let server = serve();
         let (status, head, body) = get(server.addr(), &format!("/sparql?query={QUERY_ENC}"), None);
         assert_eq!(status, 200, "{body}");
@@ -647,6 +697,61 @@ mod tests {
             "{head}"
         );
         assert_eq!(body, expected(OutputFormat::Json));
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_byte_identical_to_cli() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut carry = Vec::new();
+        let oracle = expected(OutputFormat::Json);
+        // Ten requests over ONE connection; every response framed,
+        // keep-alive, and byte-identical to the CLI's serialization.
+        for _ in 0..10 {
+            write!(
+                stream,
+                "GET /sparql?query={QUERY_ENC} HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            .unwrap();
+            let (status, head, body) = read_framed(&mut stream, &mut carry);
+            assert_eq!(status, 200, "{body}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            assert_eq!(body, oracle);
+        }
+        // One TCP connection total.
+        assert_eq!(
+            NetCounters::get(&server.net_counters().connections_accepted),
+            1
+        );
+    }
+
+    #[test]
+    fn pipelined_queries_answered_in_order() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut carry = Vec::new();
+        // Two different queries plus /healthz, all on the wire at once.
+        let ask = "ASK+%7B+%3CJerry%3E+%3ChasFriend%3E+%3Ff+.+%7D";
+        write!(
+            stream,
+            "GET /sparql?query={QUERY_ENC} HTTP/1.1\r\n\r\n\
+             GET /sparql?query={ask} HTTP/1.1\r\n\r\n\
+             GET /healthz HTTP/1.1\r\n\r\n"
+        )
+        .unwrap();
+        let (s1, _, b1) = read_framed(&mut stream, &mut carry);
+        let (s2, _, b2) = read_framed(&mut stream, &mut carry);
+        let (s3, _, b3) = read_framed(&mut stream, &mut carry);
+        assert_eq!((s1, s2, s3), (200, 200, 200));
+        assert_eq!(b1, expected(OutputFormat::Json));
+        assert_eq!(b2, "{\"head\":{},\"boolean\":true}\n");
+        assert_eq!(b3, "ok\n");
     }
 
     #[test]
@@ -733,12 +838,42 @@ mod tests {
             .0,
             406
         );
-        // 411: POST without Content-Length.
-        let (status, _, _) = roundtrip(addr, "POST /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        // 411: POST without Content-Length (framing error: closes).
+        let (status, head, _) = roundtrip(addr, "POST /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
         assert_eq!(status, 411);
+        assert!(head.contains("Connection: close"), "{head}");
         // 415: POST with the wrong media type.
         assert_eq!(post(addr, Some("text/turtle"), QUERY).0, 415);
         assert_eq!(post(addr, None, QUERY).0, 415);
+    }
+
+    #[test]
+    fn malformed_bytes_answered_400_and_closed() {
+        let server = serve();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut carry = Vec::new();
+        // A valid pipelined request followed by garbage: the query is
+        // answered, the garbage draws 400 and the connection closes.
+        write!(
+            stream,
+            "GET /healthz HTTP/1.1\r\n\r\n\x02\x03 not http\r\n\r\n"
+        )
+        .unwrap();
+        let (s1, _, b1) = read_framed(&mut stream, &mut carry);
+        assert_eq!((s1, b1.as_str()), (200, "ok\n"));
+        let (s2, head, _) = read_framed(&mut stream, &mut carry);
+        assert_eq!(s2, 400);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(
+            NetCounters::get(&server.net_counters().requests_malformed),
+            1
+        );
     }
 
     #[test]
@@ -748,8 +883,10 @@ mod tests {
         let (status, _, body) = get(addr, "/healthz", None);
         assert_eq!((status, body.as_str()), (200, "ok\n"));
 
-        // Two identical queries: 1 miss then 1 hit; an error increments
-        // the error counter but never the cache.
+        // Two identical queries: the first executes (plan-cache miss),
+        // the second is answered from the result cache without touching
+        // the plan cache or the engine. An error increments the error
+        // counter but never either cache.
         let target = format!("/sparql?query={QUERY_ENC}");
         assert_eq!(get(addr, &target, None).0, 200);
         assert_eq!(get(addr, &target, None).0, 200);
@@ -758,21 +895,31 @@ mod tests {
         let (status, head, body) = get(addr, "/stats", None);
         assert_eq!(status, 200);
         assert!(head.contains("Content-Type: application/json"), "{head}");
-        assert!(body.contains("\"hits\":1"), "{body}");
-        assert!(body.contains("\"misses\":"), "{body}");
-        assert!(body.contains("\"evictions\":0"), "{body}");
-        assert!(body.contains("\"ok\":2"), "{body}");
+        // The bad query probed the result cache too (the probe precedes
+        // parsing — that's what lets a hit skip the parser entirely).
+        assert!(
+            body.contains("\"result_cache\":{\"hits\":1,\"misses\":2"),
+            "{body}"
+        );
+        assert!(body.contains("\"dropped_requests\":0"), "{body}");
+        assert!(
+            body.contains("\"latency\":{\"sparql\":{\"count\":3"),
+            "{body}"
+        );
+        assert!(body.contains("\"ok\":1"), "{body}");
         assert!(body.contains("\"errors\":1"), "{body}");
-        assert!(body.contains("\"rows\":4"), "{body}"); // 2 runs × 2 friends
+        assert!(body.contains("\"rows\":2"), "{body}"); // 1 execution × 2 friends
 
         // Kernel observability: the prune phase ran compressed-set
         // intersections and the scratch pools were reused.
         assert!(body.contains("\"prune_intersections\":"), "{body}");
         assert!(body.contains("\"scratch_reuses\":"), "{body}");
-        // The unparseable query never reached the cache: 1 miss, 1 hit.
+        // The result hit skipped the plan cache: 1 miss, 0 hits.
         let stats = server.cache_stats();
-        assert_eq!((stats.hits, stats.misses), (1, 1));
-        assert_eq!(server.query_stats().queries, 2);
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let results = server.result_cache_stats();
+        assert_eq!((results.hits, results.misses), (1, 2));
+        assert_eq!(server.query_stats().queries, 1);
     }
 
     #[test]
@@ -802,12 +949,14 @@ mod tests {
                 });
             }
         });
+        // Every request probed the result cache exactly once; each miss
+        // went on to probe the plan cache exactly once.
+        let results = server.result_cache_stats();
+        assert_eq!(results.hits + results.misses, 48);
+        assert!(results.hits >= 40, "{results:?}"); // one canonical query × 2 formats
         let stats = server.cache_stats();
-        assert_eq!(stats.hits + stats.misses, 48);
-        // One canonical query: only the initial lookups can race into
-        // planning, so misses are bounded by the worker count.
-        assert!(stats.misses <= 4, "{stats:?}");
-        assert_eq!(server.query_stats().queries, 48);
+        assert_eq!(stats.hits + stats.misses, results.misses);
+        assert_eq!(server.query_stats().queries, results.misses);
     }
 
     fn serve_updatable() -> ServerHandle {
@@ -821,7 +970,7 @@ mod tests {
         let config = ServerConfig {
             workers: 4,
             cache_capacity: 8,
-            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
         };
         Server::bind("127.0.0.1:0", db, config)
             .unwrap()
@@ -846,7 +995,7 @@ mod tests {
         let addr = server.addr();
         let ask = "/sparql?query=ASK+%7B+%3CKramer%3E+%3ChasFriend%3E+%3Ff+.+%7D";
 
-        // Warm the plan cache on the pre-update snapshot.
+        // Warm both caches on the pre-update snapshot.
         assert!(get(addr, ask, None).2.contains("false"));
         assert!(get(addr, ask, None).2.contains("false"));
 
@@ -878,7 +1027,7 @@ mod tests {
         assert_eq!(body, "{\"inserted\":0,\"deleted\":0,\"epoch\":2}\n");
 
         // /stats: update counters, the bumped epoch, and the epoch
-        // evictions the post-update queries caused.
+        // evictions the post-update queries caused in BOTH caches.
         let (_, _, stats) = get(addr, "/stats", None);
         assert!(
             stats.contains("\"updates\":{\"requests\":3,\"inserted\":1,\"deleted\":1}"),
@@ -890,6 +1039,41 @@ mod tests {
             server.cache_stats().epoch_evictions >= 1,
             "stale plans dropped"
         );
+        assert!(
+            server.result_cache_stats().epoch_evictions >= 1,
+            "stale results dropped"
+        );
+    }
+
+    #[test]
+    fn result_cache_invalidated_by_first_post_update_request() {
+        let server = serve_updatable();
+        let addr = server.addr();
+        let target = format!("/sparql?query={QUERY_ENC}");
+
+        // Warm: miss then hit, same bytes.
+        let (_, _, before1) = get(addr, &target, None);
+        let (_, _, before2) = get(addr, &target, None);
+        assert_eq!(before1, before2);
+        assert_eq!(server.result_cache_stats().hits, 1);
+
+        // Commit an update that changes this query's answer.
+        let (status, _, _) = post_update(addr, "INSERT DATA { <Jerry> <hasFriend> <Kramer> }");
+        assert_eq!(status, 200);
+
+        // The FIRST post-update request must see fresh results: the
+        // store epoch moved, so the cached entry is evicted, the query
+        // re-executes, and the new friend appears.
+        let (status, _, after) = get(addr, &target, None);
+        assert_eq!(status, 200);
+        assert_ne!(after, before1, "stale cached bytes served after update");
+        assert!(after.contains("Kramer"), "{after}");
+        assert_eq!(server.result_cache_stats().epoch_evictions, 1);
+
+        // And the fresh result is itself cached again.
+        let (_, _, again) = get(addr, &target, None);
+        assert_eq!(again, after);
+        assert_eq!(server.result_cache_stats().hits, 2);
     }
 
     #[test]
@@ -923,6 +1107,105 @@ mod tests {
             ),
         );
         assert_eq!(status, 415);
+    }
+
+    /// A chain graph big enough that a multi-hop join takes real time —
+    /// the fixture for the deadline and overload tests.
+    fn heavy_db() -> Arc<Database> {
+        use std::fmt::Write as _;
+        let n = 200_000;
+        let mut nt = String::with_capacity(n * 24);
+        for i in 0..n {
+            let _ = writeln!(nt, "<n{}> <next> <n{}> .", i, i + 1);
+        }
+        Arc::new(Database::from_ntriples(&nt).unwrap())
+    }
+
+    const HEAVY_QUERY: &str = "/sparql?query=SELECT+*+WHERE+%7B+%3Fa+%3Cnext%3E+%3Fb+.+\
+                               %3Fb+%3Cnext%3E+%3Fc+.+%3Fc+%3Cnext%3E+%3Fd+.+%7D+ORDER+BY+%3Fd";
+
+    #[test]
+    fn deadline_exceeded_mid_query_answered_504() {
+        let config = ServerConfig {
+            workers: 2,
+            request_timeout: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", heavy_db(), config)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        // 1ms budget against a 200k-row three-hop join + sort: the
+        // deadline fires (in the queue or inside the join kernels) and
+        // the client gets 504, not a stalled socket.
+        let (status, _, body) = get(server.addr(), HEAVY_QUERY, None);
+        assert_eq!(status, 504, "{body}");
+        assert!(
+            body.contains("deadline") || body.contains("timed out"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn no_deadline_heavy_query_completes() {
+        let config = ServerConfig {
+            workers: 2,
+            request_timeout: None,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", heavy_db(), config)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let (status, _, body) = get(server.addr(), HEAVY_QUERY, None);
+        assert_eq!(status, 200, "{body}");
+    }
+
+    #[test]
+    fn overloaded_server_sheds_with_503_retry_after() {
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            request_timeout: None,
+            // Distinct-looking queries below defeat the result cache so
+            // every request really executes.
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", heavy_db(), config)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = server.addr();
+
+        // Occupy the single worker and the single queue slot with heavy
+        // queries (comments make the texts distinct, so no cache hits),
+        // then observe the third request shed inline.
+        let heavy = |tag: u32| {
+            format!(
+                "/sparql?query=%23{tag}%0ASELECT+*+WHERE+%7B+%3Fa+%3Cnext%3E+%3Fb+.+\
+                 %3Fb+%3Cnext%3E+%3Fc+.+%3Fc+%3Cnext%3E+%3Fd+.+%7D+ORDER+BY+%3Fd"
+            )
+        };
+        std::thread::scope(|scope| {
+            // Stagger the sends: the first heavy query must reach the
+            // worker before the second occupies the lone queue slot, and
+            // both must be in place before the probe arrives.
+            for tag in 0..2u32 {
+                let heavy = &heavy;
+                scope.spawn(move || {
+                    let (status, _, body) = get(addr, &heavy(tag), None);
+                    assert_eq!(status, 200, "{body}");
+                });
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            let (status, head, _) = get(addr, &heavy(9), None);
+            assert_eq!(status, 503, "expected the third request shed");
+            assert!(head.contains("Retry-After:"), "{head}");
+        });
+        assert_eq!(NetCounters::get(&server.net_counters().requests_dropped), 1);
+        // /stats carries the drop.
+        let (_, _, stats) = get(addr, "/stats", None);
+        assert!(stats.contains("\"dropped_requests\":1"), "{stats}");
     }
 
     #[test]

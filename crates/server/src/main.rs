@@ -16,7 +16,11 @@
 //!
 //! Options: `--addr HOST:PORT` (default `127.0.0.1:7878`; port `0` picks
 //! an ephemeral port, printed on startup), `--workers N` (request
-//! threads), `--cache N` (plan-cache entries), `--engine
+//! threads), `--cache N` (plan-cache entries), `--result-cache N`
+//! (result-cache entries), `--queue N` (bounded admission queue; full →
+//! `503` + `Retry-After`), `--request-timeout-ms MS` (per-request
+//! execution budget; exceeded → `504`; `0` disables),
+//! `--header-timeout-ms MS` (slow-loris cutoff → `408`), `--engine
 //! lbr|pairwise|query-order|reordered|reference`, `--threads N`
 //! (intra-query join workers), `--index path.lbr`, `--wal-dir dir`
 //! (accept SPARQL 1.1 Update on `POST /update`, journal committed
@@ -69,6 +73,27 @@ fn parse_args() -> Result<Options, String> {
                 let n = args.next().ok_or("--cache needs a value")?;
                 o.config.cache_capacity = parse_nonzero(&n, "--cache")?;
             }
+            "--result-cache" => {
+                let n = args.next().ok_or("--result-cache needs a value")?;
+                o.config.result_cache_capacity = parse_nonzero(&n, "--result-cache")?;
+            }
+            "--queue" => {
+                let n = args.next().ok_or("--queue needs a value")?;
+                o.config.queue_capacity = parse_nonzero(&n, "--queue")?;
+            }
+            "--request-timeout-ms" => {
+                let n = args.next().ok_or("--request-timeout-ms needs a value")?;
+                let ms: u64 = n
+                    .parse()
+                    .map_err(|_| format!("bad --request-timeout-ms value '{n}'"))?;
+                // 0 disables the per-request deadline entirely.
+                o.config.request_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--header-timeout-ms" => {
+                let n = args.next().ok_or("--header-timeout-ms needs a value")?;
+                let ms = parse_nonzero(&n, "--header-timeout-ms")? as u64;
+                o.config.header_timeout = std::time::Duration::from_millis(ms);
+            }
             "--threads" => {
                 let n = args.next().ok_or("--threads needs a value")?;
                 o.threads = Some(parse_nonzero(&n, "--threads")?);
@@ -94,6 +119,7 @@ fn parse_nonzero(s: &str, flag: &str) -> Result<usize, String> {
 fn usage() {
     eprintln!(
         "usage: lbr-server <data.nt> [--addr HOST:PORT] [--workers N] [--cache N] \
+         [--result-cache N] [--queue N] [--request-timeout-ms MS] [--header-timeout-ms MS] \
          [--engine lbr|pairwise|query-order|reordered|reference] [--threads N] \
          [--index path.lbr] [--wal-dir dir]"
     );
@@ -148,9 +174,14 @@ fn run() -> Result<ExitCode, String> {
 
     let workers = opts.config.workers;
     let cache = opts.config.cache_capacity;
+    let results = opts.config.result_cache_capacity;
+    let queue = opts.config.queue_capacity;
     let server = Server::bind(opts.addr.as_str(), db, opts.config).map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
-    eprintln!("lbr-server: {workers} workers, plan cache {cache} entries");
+    eprintln!(
+        "lbr-server: {workers} workers, queue {queue}, plan cache {cache} entries, \
+         result cache {results} entries"
+    );
     // The one stdout line: lets scripts discover an ephemeral port.
     println!("listening on http://{addr}");
     server.run().map_err(|e| e.to_string())?;

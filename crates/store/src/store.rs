@@ -52,7 +52,7 @@ use lbr_rdf::{Dictionary, EncodedGraph, EncodedTriple, Graph, Triple};
 use std::collections::HashSet;
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Delta size (inserts + tombstones) at which a commit folds the delta
@@ -279,6 +279,12 @@ pub struct Store {
     retained: Mutex<Vec<Arc<Snapshot>>>,
     writer: Mutex<Option<Wal>>,
     compact_threshold: AtomicUsize,
+    /// Lock-free mirror of the current snapshot's epoch, updated by
+    /// [`Store::publish`] *after* the swap: once a reader observes epoch
+    /// `N` here, [`Store::snapshot`] returns epoch ≥ `N`. Lets hot
+    /// serving paths (result-cache staleness probes, `/stats`) read the
+    /// epoch without contending on the snapshot `RwLock`.
+    epoch: AtomicU64,
 }
 
 impl Store {
@@ -304,6 +310,7 @@ impl Store {
             retained: Mutex::new(Vec::new()),
             writer: Mutex::new(None),
             compact_threshold: AtomicUsize::new(DEFAULT_COMPACT_THRESHOLD),
+            epoch: AtomicU64::new(0),
         };
         if let Some(dir) = wal_dir {
             let (wal, recovery) = Wal::open(dir)?;
@@ -362,8 +369,10 @@ impl Store {
     }
 
     /// The current epoch (0 = as loaded, +1 per effective commit).
+    /// Lock-free: reads the atomic mirror, not the snapshot `RwLock`, so
+    /// serving paths can poll it per-request without writer contention.
     pub fn epoch(&self) -> u64 {
-        self.current.read().expect("store lock poisoned").epoch()
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Sets the delta size at which commits auto-compact.
@@ -410,7 +419,15 @@ impl Store {
     }
 
     fn publish(&self, next: Arc<Snapshot>) {
+        let epoch = next.epoch();
         *self.current.write().expect("store lock poisoned") = next;
+        // Stored after the swap, inside the commit: the mirror is updated
+        // before the committing call returns, so any request ordered
+        // after an update's response observes the new epoch (the
+        // result-cache invalidation contract). A concurrent reader may
+        // briefly see the previous epoch — the same snapshot-isolation
+        // semantics as pinning a view an instant before the commit.
+        self.epoch.store(epoch, Ordering::Release);
     }
 
     /// Writes the checkpoint image for `snap` and truncates the log.

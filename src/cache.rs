@@ -254,6 +254,202 @@ impl PlanCache {
     }
 }
 
+/// A monotone snapshot of the [`ResultCache`] counters plus occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from the cache (serialized bytes served without
+    /// parse, plan or execution).
+    pub hits: u64,
+    /// Lookups that had to execute the query.
+    pub misses: u64,
+    /// Entries evicted to stay within the entry or byte budget.
+    pub evictions: u64,
+    /// Entries dropped because an update moved the store past the epoch
+    /// they were computed at (each also counts as a miss).
+    pub epoch_evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Maximum entries.
+    pub capacity: usize,
+    /// Serialized bytes currently cached.
+    pub bytes: u64,
+    /// Maximum serialized bytes.
+    pub max_bytes: u64,
+}
+
+struct ResultEntry {
+    body: Arc<Vec<u8>>,
+    epoch: u64,
+    last_used: u64,
+}
+
+struct ResultInner {
+    /// Keyed by `(canonicalized query text, media type)` — the same text
+    /// normalization as the plan cache, so `curl`-reformatted repeats of
+    /// one query share an entry per `Accept` type.
+    entries: HashMap<(String, String), ResultEntry>,
+    /// Sum of `body.len()` over `entries` (the byte budget's meter).
+    bytes: usize,
+    clock: u64,
+}
+
+/// A fixed-capacity LRU **result cache** layered over [`PlanCache`]:
+/// `(canonicalized query text, response media type, store epoch)` →
+/// serialized response bytes.
+///
+/// Where a plan-cache hit skips parsing and planning, a result-cache hit
+/// skips *everything* — the bytes on the wire are the bytes cached. That
+/// is only sound because every entry is pinned to the store epoch its
+/// response was computed at: a lookup presents the epoch of the request's
+/// pinned [`crate::ReadView`], and an entry from any other epoch is
+/// dropped (an `epoch_eviction`) instead of served. Updates therefore
+/// invalidate structurally — no flush call, no TTL; the first request
+/// after a commit misses, recomputes at the new epoch, and repopulates.
+///
+/// Bounded twice: at most `capacity` entries and at most `max_bytes` of
+/// cached body bytes (a response larger than the whole byte budget is
+/// simply not cached). Eviction is LRU under both limits.
+pub struct ResultCache {
+    capacity: usize,
+    max_bytes: usize,
+    inner: Mutex<ResultInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    epoch_evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// The map lock, recovering from poisoning instead of panicking: the
+    /// serving path must stay panic-free, and the worst a panic mid-edit
+    /// leaves behind is a byte meter that drifts from the map (kept safe
+    /// by saturating arithmetic and rebuilt by eviction churn) — never a
+    /// wrong response body, since entries are immutable once inserted.
+    fn locked(&self) -> std::sync::MutexGuard<'_, ResultInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Creates a cache of at most `capacity` entries (minimum 1) and
+    /// `max_bytes` of cached response bytes.
+    pub fn new(capacity: usize, max_bytes: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            max_bytes,
+            inner: Mutex::new(ResultInner {
+                entries: HashMap::new(),
+                bytes: 0,
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            epoch_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The serialized response for `(key, media)` computed at exactly
+    /// `epoch`, or `None` (counted as a miss). `key` must already be
+    /// [`canonicalize`]d — the caller canonicalizes once and reuses the
+    /// key for the [`ResultCache::insert`] after a miss. An entry found
+    /// at a different epoch is dropped and counted as an
+    /// `epoch_eviction`.
+    pub fn get(&self, key: &str, media: &str, epoch: u64) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.locked();
+        inner.clock += 1;
+        let clock = inner.clock;
+        // Borrow-checker note: the map key is owned, so lookups build a
+        // transient pair; entries are few and hits dominate, so the two
+        // small clones are noise next to the execution they avoid.
+        let map_key = (key.to_string(), media.to_string());
+        if let Some(entry) = inner.entries.get_mut(&map_key) {
+            if entry.epoch == epoch {
+                entry.last_used = clock;
+                let body = Arc::clone(&entry.body);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(body);
+            }
+            let stale = inner.entries.remove(&map_key).map_or(0, |e| e.body.len());
+            inner.bytes = inner.bytes.saturating_sub(stale);
+            self.epoch_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Caches the serialized response for `(key, media)` computed at
+    /// `epoch`, evicting LRU entries to respect both budgets. A body
+    /// larger than the whole byte budget is not cached.
+    pub fn insert(&self, key: String, media: &str, epoch: u64, body: Arc<Vec<u8>>) {
+        if body.len() > self.max_bytes {
+            return;
+        }
+        let mut inner = self.locked();
+        inner.clock += 1;
+        let clock = inner.clock;
+        let map_key = (key, media.to_string());
+        if let Some(old) = inner.entries.remove(&map_key) {
+            inner.bytes = inner.bytes.saturating_sub(old.body.len());
+            if old.epoch > epoch {
+                // Raced with a fresher computation: keep the incumbent.
+                inner.bytes += old.body.len();
+                inner.entries.insert(map_key, old);
+                return;
+            }
+        }
+        inner.bytes += body.len();
+        inner.entries.insert(
+            map_key,
+            ResultEntry {
+                body,
+                epoch,
+                last_used: clock,
+            },
+        );
+        while inner.entries.len() > self.capacity || inner.bytes > self.max_bytes {
+            let Some(lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break; // over-budget implies non-empty, but stay panic-free
+            };
+            let freed = inner.entries.remove(&lru).map_or(0, |e| e.body.len());
+            inner.bytes = inner.bytes.saturating_sub(freed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshots the counters (hits/misses/evictions are monotone).
+    pub fn stats(&self) -> ResultCacheStats {
+        let (len, bytes) = {
+            let inner = self.locked();
+            (inner.entries.len(), inner.bytes)
+        };
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+            bytes: bytes as u64,
+            max_bytes: self.max_bytes as u64,
+        }
+    }
+
+    /// Drops every entry (counters keep their values).
+    pub fn clear(&self) {
+        let mut inner = self.locked();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+}
+
 /// The cache key: query text with `#`-to-end-of-line comments stripped
 /// and runs of whitespace collapsed to one space (and trimmed at both
 /// ends), except inside `"…"` string literals where every byte is

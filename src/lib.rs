@@ -127,7 +127,7 @@ pub use lbr_store as storage;
 pub mod cache;
 pub mod format;
 
-pub use cache::{CacheStats, CachedPlan, PlanCache};
+pub use cache::{canonicalize, CacheStats, CachedPlan, PlanCache, ResultCache, ResultCacheStats};
 pub use format::OutputFormat;
 pub use lbr_baseline::{EngineKind, EngineOptions};
 pub use lbr_bitmat::{BitMatStore, Catalog, DiskCatalog};
@@ -705,9 +705,16 @@ impl ReadView<'_> {
 
     /// A specific engine over this view's data.
     pub fn engine_of(&self, kind: EngineKind) -> Box<dyn Engine + '_> {
+        self.engine_with(kind, &self.db.engine_options())
+    }
+
+    /// A specific engine over this view's data with explicit
+    /// [`EngineOptions`] — how the serving layer threads per-request
+    /// deadlines into execution without giving up the pinned snapshot.
+    pub fn engine_with(&self, kind: EngineKind, options: &EngineOptions) -> Box<dyn Engine + '_> {
         match &self.snap {
-            Some(snap) => kind.build_with(snap.catalog(), snap.dict(), &self.db.engine_options()),
-            None => self.db.engine_of(kind),
+            Some(snap) => kind.build_with(snap.catalog(), snap.dict(), options),
+            None => self.db.engine_with(kind, options),
         }
     }
 
@@ -722,7 +729,23 @@ impl ReadView<'_> {
     /// matches this view's; otherwise the query is re-planned here —
     /// always correct, at worst it re-plans.
     pub fn execute_plan(&self, cached: &CachedPlan) -> Result<QueryOutput, core::LbrError> {
-        let engine = self.engine_of(cached.engine_kind());
+        self.execute_plan_deadline(cached, None)
+    }
+
+    /// [`ReadView::execute_plan`] under a per-request execution deadline:
+    /// once `deadline` passes, the LBR engine stops enumerating join
+    /// seeds and execution returns [`core::LbrError::DeadlineExceeded`]
+    /// (mapped to HTTP `504` by `lbr-server`). `None` never expires.
+    pub fn execute_plan_deadline(
+        &self,
+        cached: &CachedPlan,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<QueryOutput, core::LbrError> {
+        let options = EngineOptions {
+            deadline,
+            ..self.db.engine_options()
+        };
+        let engine = self.engine_with(cached.engine_kind(), &options);
         if cached.epoch() != self.epoch() {
             return engine.execute(cached.query());
         }

@@ -96,6 +96,7 @@ proptest! {
             dict: db.dict(),
             fan_filters: Vec::new(),
             quota: None,
+            deadline: None,
         };
         let (rows, stats) = multi_way_join(&inputs);
         prop_assert_eq!(stats.nullification_fired, 0, "Lemma 3.3 violated (repair fired)");
