@@ -130,6 +130,8 @@ pub struct DatasetReport {
     /// `lbr-server` serving throughput over this dataset (all queries
     /// round-robin through the shared plan cache).
     pub serve: ServeReport,
+    /// Serving-throughput cost of tracing every request vs tracing off.
+    pub obs: ObsOverheadReport,
     /// Updatable-store overhead: query latency with 0%/1%/10% of the
     /// triples resident in the delta memtable, and after compaction.
     pub delta: DeltaReport,
@@ -414,20 +416,36 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// result caches and is not timed; every timed request's wall time
 /// feeds the latency percentiles.
 pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
+    run_serve_with(p, clients, rounds, bench_server_config())
+}
+
+/// The [`run_serve`] server configuration: bench worker count, a plan
+/// cache big enough for every Appendix E query, everything else (tracing
+/// off, 250ms slow threshold) at the defaults a production deployment
+/// would start from.
+pub fn bench_server_config() -> lbr_server::ServerConfig {
+    lbr_server::ServerConfig {
+        workers: bench_threads(),
+        cache_capacity: 64,
+        ..lbr_server::ServerConfig::default()
+    }
+}
+
+/// [`run_serve`] under an explicit [`lbr_server::ServerConfig`] — the
+/// observability overhead bench runs the same workload twice with only
+/// the tracing knobs changed.
+pub fn run_serve_with(
+    p: &Prepared,
+    clients: usize,
+    rounds: u32,
+    config: lbr_server::ServerConfig,
+) -> ServeReport {
     let db = std::sync::Arc::new(lbr::Database::from_encoded(p.graph.clone()));
-    let workers = bench_threads();
-    let server = lbr_server::Server::bind(
-        "127.0.0.1:0",
-        db,
-        lbr_server::ServerConfig {
-            workers,
-            cache_capacity: 64,
-            ..lbr_server::ServerConfig::default()
-        },
-    )
-    .expect("bind lbr-server")
-    .spawn()
-    .expect("spawn lbr-server");
+    let workers = config.workers;
+    let server = lbr_server::Server::bind("127.0.0.1:0", db, config)
+        .expect("bind lbr-server")
+        .spawn()
+        .expect("spawn lbr-server");
     let addr = server.addr();
     let targets: Vec<String> = p
         .dataset
@@ -490,6 +508,46 @@ pub fn run_serve(p: &Prepared, clients: usize, rounds: u32) -> ServeReport {
         p95_us: percentile(&latencies, 0.95),
         p99_us: percentile(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+/// Serving-throughput cost of the observability layer ([`run_obs_overhead`]):
+/// the keep-alive workload of [`run_serve`] measured twice, once with
+/// tracing fully off (the default config) and once with **every** request
+/// traced (`trace_sample_per_1024 = 1024`), on the same dataset.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadReport {
+    /// q/s with tracing off — span recording short-circuits after two
+    /// atomic loads, and the hot path stays allocation-free.
+    pub qps_off: f64,
+    /// q/s with every request traced and published to the ring.
+    pub qps_traced: f64,
+    /// Throughput lost to always-on tracing, percent
+    /// (`(qps_off - qps_traced) / qps_off × 100`; negative = noise).
+    pub overhead_pct: f64,
+}
+
+/// Measures [`ObsOverheadReport`]: the serve workload back-to-back with
+/// tracing off and with a 100% sample rate, so both runs see the same
+/// machine state.
+pub fn run_obs_overhead(p: &Prepared, clients: usize, rounds: u32) -> ObsOverheadReport {
+    let off = run_serve_with(p, clients, rounds, bench_server_config());
+    let traced = run_serve_with(
+        p,
+        clients,
+        rounds,
+        lbr_server::ServerConfig {
+            // Publish a trace for every request; keep the slow-query
+            // path out of the picture so the cost measured is sampling.
+            trace_sample_per_1024: 1024,
+            slow_query: Duration::ZERO,
+            ..bench_server_config()
+        },
+    );
+    ObsOverheadReport {
+        qps_off: off.qps,
+        qps_traced: traced.qps,
+        overhead_pct: (off.qps - traced.qps) / off.qps.max(1e-9) * 100.0,
     }
 }
 
@@ -721,6 +779,7 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
         geomean_baselines,
         rows,
         serve: run_serve(p, SERVE_CLIENTS, SERVE_ROUNDS),
+        obs: run_obs_overhead(p, SERVE_CLIENTS, SERVE_ROUNDS),
         delta: run_delta(p),
     }
 }
@@ -837,6 +896,12 @@ pub fn render_table_with_prev(r: &DatasetReport, prev_allocs: &[(String, u64)]) 
         serve.p95_us,
         serve.p99_us,
         serve.max_us,
+    );
+    let _ = writeln!(
+        s,
+        "observability: tracing off {:.0} q/s, every request traced {:.0} q/s \
+         ({:+.1}% overhead)",
+        r.obs.qps_off, r.obs.qps_traced, r.obs.overhead_pct,
     );
     let pts: Vec<String> = r
         .delta
@@ -1028,6 +1093,13 @@ impl DatasetReport {
             self.serve.p99_us,
             self.serve.max_us
         );
+        out.push_str(",\"obs\":{\"qps_off\":");
+        json_f64(&mut out, self.obs.qps_off);
+        out.push_str(",\"qps_traced\":");
+        json_f64(&mut out, self.obs.qps_traced);
+        out.push_str(",\"overhead_pct\":");
+        json_f64(&mut out, self.obs.overhead_pct);
+        out.push('}');
         out.push_str(",\"delta\":{\"points\":[");
         for (i, pt) in self.delta.points.iter().enumerate() {
             if i > 0 {

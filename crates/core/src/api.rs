@@ -84,6 +84,18 @@ pub trait Engine: Send + Sync {
         ))
     }
 
+    /// EXPLAIN ANALYZE: executes the query and renders the plan annotated
+    /// with actual per-stage timings and estimated-vs-actual
+    /// cardinalities. Only the LBR engine collects execution spans;
+    /// other engines report the feature as unsupported.
+    fn explain_analyze(&self, query: &Query) -> Result<String, LbrError> {
+        let _ = query;
+        Err(LbrError::Unsupported(format!(
+            "EXPLAIN ANALYZE is only available on the lbr engine (this is `{}`)",
+            self.name()
+        )))
+    }
+
     /// Runs the engine's planning pipeline once, returning an opaque plan
     /// that [`Engine::execute_planned`] reuses. Engines without a
     /// planning phase return a unit plan. Plans are `Send + Sync` so a

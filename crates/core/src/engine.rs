@@ -211,6 +211,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
     pub fn execute_plan(&self, plan: &LbrPlan) -> Result<QueryOutput, LbrError> {
         let t0 = Instant::now();
         let raw = self.execute_plan_raw(plan)?;
+        let t_fin = Instant::now();
         let mut out = crate::modifiers::finalize_parts(
             raw,
             &plan.form,
@@ -218,6 +219,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             &plan.projection,
             self.dict,
         );
+        lbr_obs::span_since("finalize", t_fin, &[("rows", out.rows.len() as u64)]);
         out.stats.t_total = t0.elapsed();
         Ok(out)
     }
@@ -233,7 +235,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         let mut stats = QueryStats::default();
         let mut remaining = plan.row_quota();
         let mut parts = Vec::with_capacity(plan.branches.len());
-        for branch in &plan.branches {
+        for (branch_id, branch) in plan.branches.iter().enumerate() {
             if remaining == Some(0) {
                 break; // earlier branches already supplied every needed row
             }
@@ -242,9 +244,19 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
                 // one): cheap exact check on the same seam the join polls.
                 return Err(LbrError::DeadlineExceeded);
             }
+            // Zero-duration marker delimiting this branch's span group
+            // (the trace renderer partitions stage spans by these).
+            lbr_obs::span_at(
+                "branch",
+                t0,
+                std::time::Duration::ZERO,
+                &[("branch", branch_id as u64)],
+            );
             let mut part = self.exec_node(branch, remaining)?;
             if part.needs_best_match {
+                let t_bm = Instant::now();
                 best_match(&mut part.rows);
+                lbr_obs::span_since("best_match", t_bm, &[("rows", part.rows.len() as u64)]);
             }
             if let Some(r) = remaining {
                 remaining = Some(r.saturating_sub(part.rows.len()));
@@ -278,7 +290,9 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
                     full_rows.push(col_of.iter().map(|c| c.and_then(|i| row[i])).collect());
                 }
             }
+            let t_bm = Instant::now();
             best_match(&mut full_rows);
+            lbr_obs::span_since("best_match", t_bm, &[("rows", full_rows.len() as u64)]);
             let col_of: Vec<Option<usize>> = plan
                 .exec_vars
                 .iter()
@@ -459,6 +473,7 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             fan_filters.push((None, expr));
         }
         stats.t_init = t.elapsed();
+        lbr_obs::span_at("init", t, stats.t_init, &[]);
 
         if absolute_master_empty(gosn, &loaded.tps) {
             stats.aborted_empty = true;
@@ -503,6 +518,33 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
         stats.prune_intersections = pstats.intersections;
         stats.scratch_reuses = pstats.scratch_reuses;
         stats.triples_after_pruning = loaded.tps.iter().map(TpState::count).sum();
+        lbr_obs::span_at(
+            "prune",
+            t,
+            stats.t_prune,
+            &[
+                ("initial_triples", stats.initial_triples),
+                ("triples_after_pruning", stats.triples_after_pruning),
+                ("intersections", pstats.intersections),
+            ],
+        );
+        if lbr_obs::trace_active() {
+            // Per-TP estimate-vs-actual cardinality (the EXPLAIN ANALYZE
+            // feed, and ROADMAP item 4's selectivity-error signal).
+            // Zero-duration markers stamped at the prune boundary.
+            for (tp_id, tp) in loaded.tps.iter().enumerate() {
+                lbr_obs::span_at(
+                    "tp",
+                    t,
+                    std::time::Duration::ZERO,
+                    &[
+                        ("tp", tp_id as u64),
+                        ("est", estimates.get(tp_id).copied().unwrap_or(0)),
+                        ("actual", tp.count()),
+                    ],
+                );
+            }
+        }
         if outcome == PruneOutcome::EmptyAbsoluteMaster {
             stats.aborted_empty = true;
             // The abort still spent the init and prune phases — report
@@ -552,6 +594,16 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             return Err(LbrError::DeadlineExceeded);
         }
         stats.t_join = t.elapsed();
+        lbr_obs::span_at(
+            "join",
+            t,
+            stats.t_join,
+            &[
+                ("seeds", exec.seeds_enumerated),
+                ("rows", rows.len() as u64),
+                ("workers", self.threads as u64),
+            ],
+        );
         stats.nullification_fired = exec.nullification_fired;
         stats.join_seeds = exec.seeds_enumerated;
         stats.scratch_reuses += exec.scratch_reuses;
@@ -563,6 +615,27 @@ impl<'a, C: Catalog> LbrEngine<'a, C> {
             stats,
             needs_best_match: analyzed.class.nb_required || exec.nullification_fired > 0,
         })
+    }
+
+    /// EXPLAIN ANALYZE: plans the query, executes it under a forced local
+    /// trace (no sampler involved — the spans are consumed directly), and
+    /// renders the planned tree annotated with actual per-stage wall
+    /// time, per-TP and per-jvar estimated-vs-actual cardinalities, and
+    /// join seeds/rows.
+    pub fn explain_analyze(&self, query: &Query) -> Result<String, LbrError> {
+        let plan = self.plan(query)?;
+        // Forced trace id 0: collection on, publication bypassed. This
+        // clobbers any sampler-owned trace on the thread (the serving
+        // layer documents `explain=analyze` requests as untraced).
+        lbr_obs::trace_begin(0);
+        let t0 = Instant::now();
+        let result = self.execute_plan(&plan);
+        let total = t0.elapsed();
+        let mut spans = Vec::new();
+        let mut label = String::new();
+        lbr_obs::trace_drain(&mut spans, &mut label);
+        let output = result?;
+        crate::explain::render_analyze(query, self.dict, self.catalog, &spans, total, &output)
     }
 
     /// Applies a single-variable filter as an init-time candidate mask on
@@ -641,6 +714,10 @@ impl<C: Catalog> Engine for LbrEngine<'_, C> {
 
     fn explain(&self, query: &Query) -> Result<String, LbrError> {
         crate::explain::explain(query, self.dict, self.catalog)
+    }
+
+    fn explain_analyze(&self, query: &Query) -> Result<String, LbrError> {
+        LbrEngine::explain_analyze(self, query)
     }
 
     fn plan_query(&self, query: &Query) -> Result<Box<dyn Any + Send + Sync>, LbrError> {

@@ -169,6 +169,184 @@ pub fn explain(
     Ok(out)
 }
 
+/// Renders the planned tree annotated with what execution actually did:
+/// per-stage wall time, per-TP and per-jvar estimated-vs-actual
+/// cardinalities (the selectivity-error feed for adaptive ordering), and
+/// join seeds/rows — assembled from the spans a forced trace collected
+/// around [`crate::engine::LbrEngine::execute_plan`].
+pub fn render_analyze(
+    query: &Query,
+    dict: &Dictionary,
+    catalog: &impl Catalog,
+    spans: &[lbr_obs::Span],
+    total: std::time::Duration,
+    output: &crate::bindings::QueryOutput,
+) -> Result<String, LbrError> {
+    let mut out = explain(query, dict, catalog)?;
+    let _ = writeln!(out, "\n══ ANALYZE (executed) ══");
+    let _ = writeln!(
+        out,
+        "total {}µs; rows {} ({} with NULLs)",
+        total.as_micros(),
+        output.rows.len(),
+        output.rows_with_nulls(),
+    );
+    let finalize_us: u64 = spans
+        .iter()
+        .filter(|s| s.name == "finalize")
+        .map(|s| s.dur_us)
+        .sum();
+    let _ = writeln!(out, "finalize (modifier seam): {finalize_us}µs");
+
+    // Branch sections are delimited by the zero-duration `branch` markers
+    // the executor stamps; spans between marker i and i+1 belong to
+    // branch i.
+    let marks: Vec<usize> = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "branch")
+        .map(|(i, _)| i)
+        .collect();
+    let branches = rewrite_to_unf(&query.pattern);
+    for (b, &start) in marks.iter().enumerate() {
+        let end = marks.get(b + 1).copied().unwrap_or(spans.len());
+        let section = &spans[start + 1..end];
+        let _ = writeln!(out, "── branch {b} actuals ──");
+        for s in section.iter().filter(|s| s.name == "init") {
+            let _ = writeln!(out, "  init: {}µs", s.dur_us);
+        }
+        for s in section.iter().filter(|s| s.name == "prune") {
+            let _ = writeln!(
+                out,
+                "  prune: {}µs, {} → {} triples ({} intersections)",
+                s.dur_us,
+                s.attr("initial_triples").unwrap_or(0),
+                s.attr("triples_after_pruning").unwrap_or(0),
+                s.attr("intersections").unwrap_or(0),
+            );
+        }
+        for s in section.iter().filter(|s| s.name == "prune_pass") {
+            let pass = s.attr("pass").unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "    pass {} ({}): {}µs over {} jvar(s)",
+                pass + 1,
+                if pass == 0 { "bottom-up" } else { "top-down" },
+                s.dur_us,
+                s.attr("jvars").unwrap_or(0),
+            );
+        }
+        // The plan-side estimates this branch ran with, for the
+        // estimate-vs-actual comparison.
+        let branch_info = branches.get(b).and_then(|br| {
+            let analyzed = analyze(&br.pattern).ok()?;
+            let vt = VarTable::from_tps(analyzed.gosn.tps()).ok()?;
+            let estimates = estimate_all(analyzed.gosn.tps(), dict, catalog);
+            Some((analyzed, vt, estimates))
+        });
+        let tp_spans: Vec<_> = section.iter().filter(|s| s.name == "tp").collect();
+        if !tp_spans.is_empty() {
+            let _ = writeln!(out, "  TP cardinality, estimated vs actual:");
+            for s in &tp_spans {
+                let (est, actual) = (s.attr("est").unwrap_or(0), s.attr("actual").unwrap_or(0));
+                let _ = writeln!(
+                    out,
+                    "    tp{}  est≈{est}  actual={actual}  {}",
+                    s.attr("tp").unwrap_or(0),
+                    selectivity_error(est, actual),
+                );
+            }
+        }
+        let jvar_spans: Vec<_> = section.iter().filter(|s| s.name == "jvar").collect();
+        if let Some((analyzed, vt, estimates)) = &branch_info {
+            if !jvar_spans.is_empty() {
+                let _ = writeln!(out, "  jvar cardinality, estimated vs actual candidates:");
+                // One line per jvar, in first-recorded order; the actual
+                // is the final pass's surviving candidate count.
+                let mut seen: Vec<u64> = Vec::new();
+                for s in &jvar_spans {
+                    let var = s.attr("var").unwrap_or(0);
+                    if seen.contains(&var) {
+                        continue;
+                    }
+                    seen.push(var);
+                    let name = vt.name(var as usize);
+                    // Planner-side bound: the smallest estimate among the
+                    // TPs that bind this variable.
+                    let est = analyzed
+                        .gosn
+                        .tps()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, tp)| tp.has_var(name))
+                        .map(|(i, _)| estimates.get(i).copied().unwrap_or(0))
+                        .min()
+                        .unwrap_or(0);
+                    let per_pass: Vec<String> = jvar_spans
+                        .iter()
+                        .filter(|s| s.attr("var") == Some(var))
+                        .map(|s| {
+                            format!(
+                                "pass{}={}",
+                                s.attr("pass").unwrap_or(0) + 1,
+                                s.attr("cand").unwrap_or(0)
+                            )
+                        })
+                        .collect();
+                    let actual = jvar_spans
+                        .iter()
+                        .rev()
+                        .find(|s| s.attr("var") == Some(var))
+                        .and_then(|s| s.attr("cand"))
+                        .unwrap_or(0);
+                    let _ = writeln!(
+                        out,
+                        "    ?{name}  est≈{est}  actual={actual} ({})  {}",
+                        per_pass.join(", "),
+                        selectivity_error(est, actual),
+                    );
+                }
+            }
+        }
+        for s in section.iter().filter(|s| s.name == "join") {
+            let _ = writeln!(
+                out,
+                "  join: {}µs, seeds={} rows={} workers={}",
+                s.dur_us,
+                s.attr("seeds").unwrap_or(0),
+                s.attr("rows").unwrap_or(0),
+                s.attr("workers").unwrap_or(0),
+            );
+        }
+        for s in section.iter().filter(|s| s.name == "best_match") {
+            let _ = writeln!(
+                out,
+                "  best_match: {}µs → {} row(s)",
+                s.dur_us,
+                s.attr("rows").unwrap_or(0),
+            );
+        }
+    }
+    if marks.is_empty() {
+        let _ = writeln!(out, "(no branch executed — empty-result early abort)");
+    }
+    Ok(out)
+}
+
+/// Formats the estimate-vs-actual selectivity error as a direction and a
+/// ratio: `over ×3.0` means the planner expected 3× more than survived.
+fn selectivity_error(est: u64, actual: u64) -> String {
+    if est == actual {
+        return "err=exact".to_string();
+    }
+    let (hi, lo, dir) = if est > actual {
+        (est, actual, "over")
+    } else {
+        (actual, est, "under")
+    };
+    format!("err={dir} ×{:.1}", hi as f64 / lo.max(1) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +442,74 @@ mod tests {
             text.contains("row-quota pushdown: none (no branch is eligible"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals_per_tp_and_jvar() {
+        let g = Graph::from_triples(vec![
+            Triple::new(
+                Term::iri("Jerry"),
+                Term::iri("hasFriend"),
+                Term::iri("Julia"),
+            ),
+            Triple::new(
+                Term::iri("Jerry"),
+                Term::iri("hasFriend"),
+                Term::iri("George"),
+            ),
+            Triple::new(
+                Term::iri("Julia"),
+                Term::iri("actedIn"),
+                Term::iri("Seinfeld"),
+            ),
+            Triple::new(
+                Term::iri("Seinfeld"),
+                Term::iri("location"),
+                Term::iri("NYC"),
+            ),
+        ])
+        .encode();
+        let store = BitMatStore::build(&g);
+        let q = parse_query(
+            "PREFIX : <> SELECT * WHERE { :Jerry :hasFriend ?friend .
+               OPTIONAL { ?friend :actedIn ?sitcom . ?sitcom :location :NYC . } }",
+        )
+        .unwrap();
+        let engine = crate::engine::LbrEngine::new(&store, &g.dict).with_threads(2);
+        let text = engine.explain_analyze(&q).unwrap();
+        // Planned tree still present…
+        assert!(text.contains("GoSN: (SN0 ⟕ SN1)"), "{text}");
+        // …annotated with executed actuals.
+        assert!(text.contains("══ ANALYZE (executed) ══"), "{text}");
+        assert!(text.contains("rows 2"), "{text}");
+        assert!(text.contains("── branch 0 actuals ──"), "{text}");
+        assert!(text.contains("init: "), "{text}");
+        assert!(text.contains("prune: "), "{text}");
+        assert!(text.contains("pass 1 (bottom-up)"), "{text}");
+        assert!(text.contains("pass 2 (top-down)"), "{text}");
+        assert!(
+            text.contains("TP cardinality, estimated vs actual:"),
+            "{text}"
+        );
+        assert!(text.contains("tp0  est≈"), "{text}");
+        assert!(
+            text.contains("jvar cardinality, estimated vs actual candidates:"),
+            "{text}"
+        );
+        assert!(text.contains("?friend  est≈"), "{text}");
+        assert!(text.contains("?sitcom  est≈"), "{text}");
+        assert!(text.contains("join: "), "{text}");
+        assert!(text.contains("seeds="), "{text}");
+        // The forced trace is drained: nothing left active on the thread.
+        assert!(!lbr_obs::trace_active());
+    }
+
+    #[test]
+    fn selectivity_error_formats_direction_and_ratio() {
+        assert_eq!(selectivity_error(6, 2), "err=over ×3.0");
+        assert_eq!(selectivity_error(2, 6), "err=under ×3.0");
+        assert_eq!(selectivity_error(4, 4), "err=exact");
+        assert_eq!(selectivity_error(3, 0), "err=over ×3.0");
     }
 
     #[test]

@@ -171,16 +171,57 @@ pub fn prune_triples(
     dims: &CubeDims,
     scratch: &mut PruneScratch,
 ) -> PruneOutcome {
-    for pass in [&order.bottom_up, &order.top_down] {
+    for (pass_id, pass) in [&order.bottom_up, &order.top_down].into_iter().enumerate() {
+        let t_pass = std::time::Instant::now();
         for &var in pass.iter() {
             if prune_one_jvar(tps, gosn, goj, vt, var, dims, scratch)
                 == PruneOutcome::EmptyAbsoluteMaster
             {
                 return PruneOutcome::EmptyAbsoluteMaster;
             }
+            if lbr_obs::trace_active() {
+                record_jvar_cardinality(tps, var, pass_id, dims, scratch);
+            }
         }
+        lbr_obs::span_since(
+            "prune_pass",
+            t_pass,
+            &[("pass", pass_id as u64), ("jvars", pass.len() as u64)],
+        );
     }
     PruneOutcome::Done
+}
+
+/// Stamps a zero-duration `jvar` span carrying `?var`'s surviving
+/// candidate cardinality (popcount of the first holder TP's fold) after
+/// its prune step of pass `pass_id`. Only called while a trace is
+/// collecting, so the steady-state serving path never folds for it.
+fn record_jvar_cardinality(
+    tps: &[TpState],
+    var: usize,
+    pass_id: usize,
+    dims: &CubeDims,
+    scratch: &mut PruneScratch,
+) {
+    for tp in tps {
+        let Some(dim) = tp.dim_of(var) else {
+            continue;
+        };
+        let space_len = op_space_len(dims, [dim]);
+        if tp.fold_var_into(var, space_len, &mut scratch.fold) {
+            lbr_obs::span_at(
+                "jvar",
+                std::time::Instant::now(),
+                std::time::Duration::ZERO,
+                &[
+                    ("var", var as u64),
+                    ("cand", u64::from(scratch.fold.count_ones())),
+                    ("pass", pass_id as u64),
+                ],
+            );
+            return;
+        }
+    }
 }
 
 /// One jvar step: master→slave semi-joins then per-peer-group

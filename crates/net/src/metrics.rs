@@ -32,6 +32,8 @@ pub struct LatencyHistogram {
     /// Exact maximum observed, in microseconds (`fetch_max`).
     max_micros: AtomicU64,
     total: AtomicU64,
+    /// Sum of all observed samples, in microseconds (for `_sum`).
+    sum_micros: AtomicU64,
 }
 
 /// A point-in-time percentile summary, microseconds.
@@ -55,6 +57,23 @@ impl LatencyHistogram {
         self.counts[bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Exports the histogram in Prometheus shape: ascending
+    /// `(upper_bound_us, cumulative_count)` pairs for the finite buckets
+    /// (the last bucket is the `+Inf` catch-all and is omitted — its
+    /// cumulative value is the returned total count), plus the total
+    /// count and sum of samples in microseconds.
+    pub fn cumulative_buckets(&self) -> (Vec<(u64, u64)>, u64, u64) {
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::with_capacity(BUCKET_COUNT - 1);
+        for i in 0..BUCKET_COUNT - 1 {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            buckets.push((bucket_upper_micros(i), cumulative));
+        }
+        let count = cumulative + self.counts[BUCKET_COUNT - 1].load(Ordering::Relaxed);
+        (buckets, count, self.sum_micros.load(Ordering::Relaxed))
     }
 
     /// Computes p50/p95/p99/max. Percentiles are reported as the upper
@@ -109,6 +128,10 @@ pub struct NetCounters {
     pub requests_malformed: AtomicU64,
     /// Requests answered 504 because their deadline passed.
     pub deadlines_exceeded: AtomicU64,
+    /// Requests currently sitting in the admission queue or being
+    /// executed by a worker (gauge: incremented on dispatch, decremented
+    /// when the handler returns).
+    pub queue_depth: AtomicU64,
 }
 
 impl NetCounters {
@@ -122,6 +145,10 @@ impl NetCounters {
 
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
+    }
+
+    pub fn drop_one(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -173,6 +200,59 @@ mod tests {
         assert_eq!(s.max_micros, 300);
         assert_eq!(s.p50_micros, 300, "percentile clamped to exact max");
         assert_eq!(s.p99_micros, 300);
+    }
+
+    #[test]
+    fn cumulative_export_matches_recorded_samples() {
+        let h = LatencyHistogram::new();
+        for micros in [1u64, 2, 3, 1000, 5_000_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let (buckets, count, sum) = h.cumulative_buckets();
+        assert_eq!(count, 5);
+        assert_eq!(sum, 1 + 2 + 3 + 1000 + 5_000_000);
+        assert_eq!(buckets.len(), BUCKET_COUNT - 1);
+        // Bounds ascend and cumulative counts are monotone non-decreasing.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // 1µs lands in bucket ≤1; 2µs and 3µs by bucket ≤4.
+        assert_eq!(buckets[0], (1, 1));
+        assert_eq!(buckets[2], (4, 3));
+        // Everything is inside the finite range, so the last finite
+        // bucket holds the full count.
+        assert_eq!(buckets.last().unwrap().1, 5);
+    }
+
+    #[test]
+    fn zero_observation_export_is_all_zero() {
+        let (buckets, count, sum) = LatencyHistogram::new().cumulative_buckets();
+        assert_eq!((count, sum), (0, 0));
+        assert!(buckets.iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn concurrent_recording_under_thread_scope() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        h.record(Duration::from_micros(t * 500 + i + 1));
+                    }
+                });
+            }
+        });
+        let s = h.summary();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.max_micros, 4000);
+        let (buckets, count, sum) = h.cumulative_buckets();
+        assert_eq!(count, 4000);
+        // Sum of 1..=4000.
+        assert_eq!(sum, 4000 * 4001 / 2);
+        assert_eq!(buckets.last().unwrap().1, 4000);
     }
 
     #[test]

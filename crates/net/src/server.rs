@@ -67,6 +67,11 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Value of the `Retry-After` header on shed (`503`) responses.
     pub retry_after_secs: u32,
+    /// Per-query tracing: when set, workers open a trace around each
+    /// request (the handler's spans attach to it), record `read` /
+    /// `queue_wait` retroactively, and the loop appends the response
+    /// `write` span to published traces. `None` disables tracing.
+    pub tracing: Option<Arc<lbr_obs::Tracing>>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +85,7 @@ impl Default for ServerConfig {
             header_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
             retry_after_secs: 1,
+            tracing: None,
         }
     }
 }
@@ -105,6 +111,11 @@ struct Job {
     gen: u64,
     request: Box<Request>,
     deadline: Option<Instant>,
+    /// When the loop pushed this job (for the `queue_wait` span).
+    enqueued: Instant,
+    /// Wire time spent reading this request, microseconds (the `read`
+    /// span), measured by the loop from first byte to complete parse.
+    read_us: u64,
 }
 
 /// A worker's finished response, routed back to the loop.
@@ -113,13 +124,16 @@ struct Completion {
     gen: u64,
     keep_alive: bool,
     response: Response,
+    /// Published trace to append the response `write` span to.
+    trace_id: Option<u64>,
 }
 
 /// One entry in a connection's pipelining backlog: either a parsed
-/// request, or the parse error that ends the stream — kept *in order*
-/// so a malformed tail never jumps ahead of valid requests' responses.
+/// request (with its wire read time in microseconds), or the parse
+/// error that ends the stream — kept *in order* so a malformed tail
+/// never jumps ahead of valid requests' responses.
 enum Pending {
-    Request(Box<Request>),
+    Request(Box<Request>, u64),
     Reject(HttpError),
 }
 
@@ -135,6 +149,9 @@ struct Conn {
     /// Whether a worker currently owns a request from this connection.
     in_flight: bool,
     last_activity: Instant,
+    /// When the first byte of the currently-incomplete request arrived
+    /// (drives the `read` span).
+    read_start: Option<Instant>,
     /// Peer sent FIN (or read hit EOF): no more input, flush then close.
     saw_hangup: bool,
     /// Fatal protocol state: answer what is buffered, then close.
@@ -231,9 +248,19 @@ impl<H: Handler> NetServer<H> {
                 let waker = Arc::clone(&self.waker);
                 let handler = Arc::clone(&self.handler);
                 let counters = Arc::clone(&self.counters);
+                let tracing = self.config.tracing.clone();
                 std::thread::Builder::new()
                     .name(format!("lbr-net-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &completions, &waker, &*handler, &counters))
+                    .spawn(move || {
+                        worker_loop(
+                            &queue,
+                            &completions,
+                            &waker,
+                            &*handler,
+                            &counters,
+                            tracing.as_deref(),
+                        )
+                    })
             })
             .collect::<io::Result<Vec<_>>>()?;
 
@@ -305,9 +332,19 @@ impl<H: Handler> NetServer<H> {
                     continue; // token reused by a newer connection
                 }
                 conn.in_flight = false;
+                let write_start = Instant::now();
+                let bytes_before = conn.buf_out.len();
                 let alive = completion
                     .response
                     .encode_into(completion.keep_alive, &mut conn.buf_out);
+                if let (Some(id), Some(t)) = (completion.trace_id, self.config.tracing.as_deref()) {
+                    t.append_span(
+                        id,
+                        "write",
+                        write_start.elapsed(),
+                        &[("bytes", (conn.buf_out.len() - bytes_before) as u64)],
+                    );
+                }
                 if !alive {
                     conn.close_after_flush = true;
                     conn.pending.clear();
@@ -377,6 +414,7 @@ impl<H: Handler> NetServer<H> {
                 pending: VecDeque::new(),
                 in_flight: false,
                 last_activity: Instant::now(),
+                read_start: None,
                 saw_hangup: false,
                 close_after_flush: false,
                 registered: Interest::READ,
@@ -423,6 +461,9 @@ impl<H: Handler> NetServer<H> {
                 Ok(n) => {
                     conn.buf_in.extend_from_slice(&chunk[..n]);
                     conn.last_activity = Instant::now();
+                    if conn.read_start.is_none() {
+                        conn.read_start = Some(conn.last_activity);
+                    }
                     if n < chunk.len() {
                         break; // short read: socket drained
                     }
@@ -441,7 +482,17 @@ impl<H: Handler> NetServer<H> {
             match conn.parser.parse(&conn.buf_in) {
                 Ok(Parse::Complete(request, consumed)) => {
                     conn.buf_in.drain(..consumed);
-                    conn.pending.push_back(Pending::Request(request));
+                    let read_us = conn
+                        .read_start
+                        .take()
+                        .map(|t0| t0.elapsed().as_micros() as u64)
+                        .unwrap_or(0);
+                    // Leftover bytes are the head of the next pipelined
+                    // request, which therefore started "now".
+                    if !conn.buf_in.is_empty() {
+                        conn.read_start = Some(Instant::now());
+                    }
+                    conn.pending.push_back(Pending::Request(request, read_us));
                 }
                 Ok(Parse::Partial) => break,
                 Err(err) => {
@@ -473,18 +524,23 @@ impl<H: Handler> NetServer<H> {
                     conn.pending.clear();
                     return;
                 }
-                Some(Pending::Request(request)) => request,
+                Some(Pending::Request(request, read_us)) => (request, read_us),
             };
+            let (request, read_us) = request;
             let keep_alive = request.keep_alive;
+            let now = Instant::now();
             let job = Job {
                 token,
                 gen: conn.gen,
                 request,
-                deadline: self.config.request_deadline.map(|d| Instant::now() + d),
+                deadline: self.config.request_deadline.map(|d| now + d),
+                enqueued: now,
+                read_us,
             };
             match queue.try_push(job) {
                 Ok(()) => {
                     NetCounters::bump(&self.counters.requests_admitted);
+                    NetCounters::bump(&self.counters.queue_depth);
                     conn.in_flight = true;
                 }
                 Err(PushError::Full(_)) => {
@@ -554,15 +610,23 @@ fn close_conn(poller: &Poller, conns: &mut [Option<Conn>], free: &mut Vec<usize>
 }
 
 /// Worker thread body: pop, execute (or synthesize `504`/`500`), report.
+/// When tracing is on, the worker owns the trace lifecycle: it begins
+/// collection before calling the handler (so engine/store spans attach),
+/// records the wire `read` and `queue_wait` spans retroactively, and
+/// decides publication from the handler's wall time.
 fn worker_loop(
     queue: &AdmissionQueue<Job>,
     completions: &Mutex<Vec<Completion>>,
     waker: &Waker,
     handler: &dyn HandlerDyn,
     counters: &NetCounters,
+    tracing: Option<&lbr_obs::Tracing>,
 ) {
+    use std::fmt::Write as _;
     while let Some(job) = queue.pop() {
+        NetCounters::drop_one(&counters.queue_depth);
         let keep_alive = job.request.keep_alive;
+        let mut trace_id = None;
         let response = if job.deadline.is_some_and(|d| Instant::now() >= d) {
             // Spent its whole budget queued: don't start executing.
             NetCounters::bump(&counters.deadlines_exceeded);
@@ -570,12 +634,42 @@ fn worker_loop(
         } else {
             let req = job.request;
             let deadline = job.deadline;
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tracing = tracing.filter(|t| t.begin().is_some());
+            let started = Instant::now();
+            if tracing.is_some() {
+                lbr_obs::set_label(|s| {
+                    let _ = write!(s, "{} {}", req.method, req.path);
+                });
+                // Both precede the trace start, so their offsets clamp
+                // to 0; the durations are what matters.
+                lbr_obs::span_at(
+                    "read",
+                    job.enqueued,
+                    Duration::from_micros(job.read_us),
+                    &[],
+                );
+                lbr_obs::span_since("queue_wait", job.enqueued, &[]);
+            }
+            let mut response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 handler.call(*req, deadline)
             })) {
                 Ok(response) => response,
-                Err(_) => Response::text(500, "internal error\n"),
+                Err(_) => {
+                    lbr_obs::trace_abort();
+                    Response::text(500, "internal error\n")
+                }
+            };
+            if let Some(t) = tracing {
+                trace_id = t.finish(started.elapsed());
+                // A published trace is advertised to the client so a slow
+                // request can be looked up in `/debug/traces` by id.
+                if let Some(id) = trace_id {
+                    response
+                        .headers
+                        .push(("X-Lbr-Trace-Id".to_string(), format!("{id:016x}")));
+                }
             }
+            response
         };
         completions
             .lock()
@@ -585,6 +679,7 @@ fn worker_loop(
                 gen: job.gen,
                 keep_alive,
                 response,
+                trace_id,
             });
         waker.wake();
     }

@@ -1,0 +1,54 @@
+//! `lbr-obs --lint-exposition [FILE]` — validate a Prometheus text
+//! exposition (from FILE or stdin). Exits 0 with a one-line summary when
+//! clean, 1 with every violation on stderr otherwise. CI pipes a live
+//! `/metrics` scrape through this.
+
+#![forbid(unsafe_code)]
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--lint-exposition") => {
+            let input = match args.get(1) {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("lbr-obs: cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    let mut s = String::new();
+                    if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                        eprintln!("lbr-obs: cannot read stdin: {e}");
+                        return ExitCode::from(2);
+                    }
+                    s
+                }
+            };
+            match lbr_obs::lint_exposition(&input) {
+                Ok(report) => {
+                    println!(
+                        "exposition OK: {} families, {} samples",
+                        report.families, report.samples
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(errors) => {
+                    for e in &errors {
+                        eprintln!("exposition error: {e}");
+                    }
+                    eprintln!("lbr-obs: {} violation(s)", errors.len());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: lbr-obs --lint-exposition [FILE]   (reads stdin without FILE)");
+            ExitCode::from(2)
+        }
+    }
+}

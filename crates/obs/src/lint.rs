@@ -1,0 +1,589 @@
+//! A hand-rolled Prometheus text-exposition linter — the validator behind
+//! `lbr-obs --lint-exposition`, used by CI to check a live `/metrics`
+//! scrape without reaching for an external toolchain.
+//!
+//! Checks: metric/label name grammar, quoted label values with legal
+//! escapes, parseable sample values (including `+Inf`/`-Inf`/`NaN`),
+//! `# TYPE` lines that use known types and precede their family's
+//! samples (at most one per family), histogram families carrying an
+//! `le="+Inf"` bucket whose value equals `_count`, non-decreasing
+//! cumulative buckets per labelset, no duplicate name+labelset, and a
+//! trailing newline.
+
+use std::collections::{HashMap, HashSet};
+
+/// Summary of a clean exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintReport {
+    /// Families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines parsed.
+    pub samples: usize,
+}
+
+#[derive(Default)]
+struct HistState {
+    /// Per non-`le` labelset: last bucket bound and cumulative value.
+    last_bucket: HashMap<String, (f64, f64)>,
+    inf: HashMap<String, f64>,
+    count: HashMap<String, f64>,
+}
+
+/// Lints a Prometheus text exposition, returning a summary or every
+/// violation found.
+pub fn lint_exposition(text: &str) -> Result<LintReport, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    if text.is_empty() {
+        errors.push("exposition is empty".to_string());
+        return Err(errors);
+    }
+    if !text.ends_with('\n') {
+        errors.push("exposition must end with a newline".to_string());
+    }
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut sampled_families: HashSet<String> = HashSet::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    let mut hists: HashMap<String, HistState> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix("TYPE ") {
+                let mut it = r.trim().splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let ty = it.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {n}: invalid metric name in TYPE: {name:?}"));
+                    continue;
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    errors.push(format!("line {n}: unknown metric type {ty:?} for {name}"));
+                }
+                if sampled_families.contains(name) {
+                    errors.push(format!(
+                        "line {n}: TYPE for {name} appears after its samples"
+                    ));
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    errors.push(format!("line {n}: duplicate TYPE for family {name}"));
+                }
+            } else if let Some(r) = rest.strip_prefix("HELP ") {
+                let name = r.trim().split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    errors.push(format!("line {n}: invalid metric name in HELP: {name:?}"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        match parse_sample(line) {
+            Err(e) => errors.push(format!("line {n}: {e}")),
+            Ok((name, labels, value)) => {
+                samples += 1;
+                let family = family_of(&name, &types);
+                match family {
+                    None => errors.push(format!(
+                        "line {n}: sample {name} has no preceding # TYPE declaration"
+                    )),
+                    Some(family) => {
+                        sampled_families.insert(family.clone());
+                        let is_hist = types.get(&family).map(String::as_str) == Some("histogram");
+                        if is_hist {
+                            check_histogram_sample(
+                                &mut hists,
+                                &mut errors,
+                                n,
+                                &family,
+                                &name,
+                                &labels,
+                                value,
+                            );
+                        }
+                    }
+                }
+                let series = format!("{name}{}", normalize_labels(&labels, None));
+                if !seen_series.insert(series) {
+                    errors.push(format!(
+                        "line {n}: duplicate sample for {name} with identical labels"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Histogram families must close with a +Inf bucket matching _count.
+    for (family, h) in &hists {
+        for (labelset, inf) in &h.inf {
+            match h.count.get(labelset) {
+                None => errors.push(format!(
+                    "histogram {family}{labelset} has buckets but no _count sample"
+                )),
+                Some(count) if count != inf => errors.push(format!(
+                    "histogram {family}{labelset}: _count {count} != le=\"+Inf\" bucket {inf}"
+                )),
+                Some(_) => {}
+            }
+        }
+        for labelset in h.count.keys() {
+            if !h.inf.contains_key(labelset) {
+                errors.push(format!(
+                    "histogram {family}{labelset} is missing an le=\"+Inf\" bucket"
+                ));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(LintReport {
+            families: types.len(),
+            samples,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_histogram_sample(
+    hists: &mut HashMap<String, HistState>,
+    errors: &mut Vec<String>,
+    n: usize,
+    family: &str,
+    name: &str,
+    labels: &[(String, String)],
+    value: f64,
+) {
+    let h = hists.entry(family.to_string()).or_default();
+    if let Some(stripped) = name.strip_suffix("_bucket") {
+        debug_assert_eq!(stripped, family);
+        let le = labels.iter().find(|(k, _)| k == "le");
+        let key = normalize_labels(labels, Some("le"));
+        match le {
+            None => errors.push(format!("line {n}: {name} sample without an le label")),
+            Some((_, le)) if le == "+Inf" => {
+                h.inf.insert(key, value);
+            }
+            Some((_, le)) => match le.parse::<f64>() {
+                Err(_) => errors.push(format!("line {n}: unparseable le bound {le:?}")),
+                Ok(bound) => {
+                    if let Some(&(prev_bound, prev_cum)) = h.last_bucket.get(&key) {
+                        if bound <= prev_bound {
+                            errors.push(format!(
+                                "line {n}: {family} bucket bounds not increasing ({prev_bound} then {bound})"
+                            ));
+                        }
+                        if value < prev_cum {
+                            errors.push(format!(
+                                "line {n}: {family} cumulative counts decreased ({prev_cum} then {value})"
+                            ));
+                        }
+                    }
+                    h.last_bucket.insert(key, (bound, value));
+                }
+            },
+        }
+    } else if name.ends_with("_count") {
+        h.count.insert(normalize_labels(labels, None), value);
+    }
+    // _sum needs no cross-sample bookkeeping.
+}
+
+/// Maps a sample name to its declared family: exact match, or the
+/// histogram/summary base when the name carries a component suffix.
+fn family_of(name: &str, types: &HashMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(ty) = types.get(base) {
+                let legal = match suffix {
+                    "_bucket" => ty == "histogram",
+                    _ => ty == "histogram" || ty == "summary",
+                };
+                if legal {
+                    return Some(base.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Canonical `{k="v",…}` rendering of a labelset, sorted by key,
+/// optionally excluding one label (used to group histogram buckets).
+fn normalize_labels(labels: &[(String, String)], exclude: Option<&str>) -> String {
+    let mut pairs: Vec<&(String, String)> = labels
+        .iter()
+        .filter(|(k, _)| Some(k.as_str()) != exclude)
+        .collect();
+    pairs.sort();
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed sample: metric name, label pairs, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses one sample line: `name[{labels}] value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+    {
+        i += 1;
+    }
+    let name = &line[..i];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name at start of sample: {line:?}"));
+    }
+    let mut labels = Vec::new();
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            while i < bytes.len() && bytes[i] == b' ' {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'=' && bytes[i] != b'}' {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'=' {
+                return Err("label without '=' in labelset".to_string());
+            }
+            let lname = line[start..i].trim();
+            if !valid_label_name(lname) {
+                return Err(format!("invalid label name {lname:?}"));
+            }
+            i += 1;
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return Err(format!("label {lname} value is not quoted"));
+            }
+            i += 1;
+            let mut value = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(format!("unterminated label value for {lname}"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        match bytes.get(i) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            other => {
+                                return Err(format!(
+                                    "illegal escape {:?} in label value for {lname}",
+                                    other.map(|&b| b as char)
+                                ))
+                            }
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        // Multi-byte UTF-8 is legal inside label values.
+                        let rest = &line[i..];
+                        let c = rest.chars().next().expect("in-bounds char");
+                        value.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((lname.to_string(), value));
+            while i < bytes.len() && bytes[i] == b' ' {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b',' {
+                i += 1;
+                continue;
+            }
+        }
+    }
+    let rest = line[i..].trim();
+    if rest.is_empty() {
+        return Err(format!("sample {name} has no value"));
+    }
+    let mut parts = rest.split_whitespace();
+    let vtok = parts.next().expect("non-empty rest");
+    let value = parse_value(vtok).ok_or_else(|| format!("unparseable sample value {vtok:?}"))?;
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("trailing garbage after sample {name}"));
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+fn parse_value(tok: &str) -> Option<f64> {
+    match tok {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => tok.parse::<f64>().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(text: &str) -> LintReport {
+        match lint_exposition(text) {
+            Ok(r) => r,
+            Err(e) => panic!("expected clean exposition, got {e:?}"),
+        }
+    }
+
+    fn errs(text: &str) -> Vec<String> {
+        lint_exposition(text).expect_err("expected lint errors")
+    }
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# HELP lbr_cache_hits_total Cache hits.
+# TYPE lbr_cache_hits_total counter
+lbr_cache_hits_total{cache=\"plan\"} 3
+lbr_cache_hits_total{cache=\"result\"} 9
+# HELP lbr_request_duration_us Latency.
+# TYPE lbr_request_duration_us histogram
+lbr_request_duration_us_bucket{endpoint=\"sparql\",le=\"1\"} 0
+lbr_request_duration_us_bucket{endpoint=\"sparql\",le=\"2\"} 2
+lbr_request_duration_us_bucket{endpoint=\"sparql\",le=\"+Inf\"} 4
+lbr_request_duration_us_sum{endpoint=\"sparql\"} 11
+lbr_request_duration_us_count{endpoint=\"sparql\"} 4
+# HELP lbr_build_info Build identity.
+# TYPE lbr_build_info gauge
+lbr_build_info{version=\"0.1.0\",git_hash=\"unknown\"} 1
+";
+        let r = ok(text);
+        assert_eq!(r.families, 3);
+        assert_eq!(r.samples, 8);
+    }
+
+    #[test]
+    fn accepts_escaped_label_values_and_special_floats() {
+        let text = "\
+# TYPE lbr_x gauge
+lbr_x{v=\"a\\\\b\\\"c\\nd\"} +Inf
+lbr_x{v=\"other\"} NaN
+";
+        assert_eq!(ok(text).samples, 2);
+    }
+
+    #[test]
+    fn rejects_missing_final_newline() {
+        let e = errs("# TYPE lbr_x gauge\nlbr_x 1");
+        assert!(e.iter().any(|m| m.contains("end with a newline")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        let e = errs("lbr_x 1\n");
+        assert!(e.iter().any(|m| m.contains("no preceding # TYPE")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_type_after_samples_and_duplicate_type() {
+        let e = errs("# TYPE lbr_x gauge\nlbr_x 1\n# TYPE lbr_x gauge\n");
+        assert!(e.iter().any(|m| m.contains("after its samples")), "{e:?}");
+        assert!(e.iter().any(|m| m.contains("duplicate TYPE")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_bad_names() {
+        let e = errs("# TYPE lbr_x widget\n");
+        assert!(e.iter().any(|m| m.contains("unknown metric type")), "{e:?}");
+        let e = errs("# TYPE 9bad gauge\n");
+        assert!(e.iter().any(|m| m.contains("invalid metric name")), "{e:?}");
+        let e = errs("# TYPE lbr_x gauge\nlbr_x{9bad=\"v\"} 1\n");
+        assert!(e.iter().any(|m| m.contains("invalid label name")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_duplicate_series_and_bad_values() {
+        let e = errs("# TYPE lbr_x gauge\nlbr_x 1\nlbr_x 2\n");
+        assert!(e.iter().any(|m| m.contains("duplicate sample")), "{e:?}");
+        let e = errs("# TYPE lbr_x gauge\nlbr_x pony\n");
+        assert!(
+            e.iter().any(|m| m.contains("unparseable sample value")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_illegal_label_escape() {
+        let e = errs("# TYPE lbr_x gauge\nlbr_x{v=\"a\\tb\"} 1\n");
+        assert!(e.iter().any(|m| m.contains("illegal escape")), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_histogram_count_mismatch_and_missing_inf() {
+        let text = "\
+# TYPE lbr_h histogram
+lbr_h_bucket{le=\"1\"} 1
+lbr_h_bucket{le=\"+Inf\"} 4
+lbr_h_sum 9
+lbr_h_count 5
+";
+        let e = errs(text);
+        assert!(
+            e.iter()
+                .any(|m| m.contains("_count 5 != le=\"+Inf\" bucket 4")),
+            "{e:?}"
+        );
+        let text = "\
+# TYPE lbr_h histogram
+lbr_h_bucket{le=\"1\"} 1
+lbr_h_sum 9
+lbr_h_count 1
+";
+        let e = errs(text);
+        assert!(
+            e.iter().any(|m| m.contains("missing an le=\"+Inf\"")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_non_monotone_histograms() {
+        let text = "\
+# TYPE lbr_h histogram
+lbr_h_bucket{le=\"2\"} 3
+lbr_h_bucket{le=\"1\"} 3
+lbr_h_bucket{le=\"+Inf\"} 3
+lbr_h_sum 1
+lbr_h_count 3
+";
+        let e = errs(text);
+        assert!(
+            e.iter().any(|m| m.contains("bounds not increasing")),
+            "{e:?}"
+        );
+        let text = "\
+# TYPE lbr_h histogram
+lbr_h_bucket{le=\"1\"} 3
+lbr_h_bucket{le=\"2\"} 2
+lbr_h_bucket{le=\"+Inf\"} 3
+lbr_h_sum 1
+lbr_h_count 3
+";
+        let e = errs(text);
+        assert!(
+            e.iter().any(|m| m.contains("cumulative counts decreased")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn histograms_track_labelsets_independently() {
+        // Interleaved endpoints must not trip the monotonicity check.
+        let text = "\
+# TYPE lbr_h histogram
+lbr_h_bucket{endpoint=\"a\",le=\"1\"} 5
+lbr_h_bucket{endpoint=\"b\",le=\"1\"} 0
+lbr_h_bucket{endpoint=\"a\",le=\"2\"} 6
+lbr_h_bucket{endpoint=\"b\",le=\"2\"} 0
+lbr_h_bucket{endpoint=\"a\",le=\"+Inf\"} 6
+lbr_h_bucket{endpoint=\"b\",le=\"+Inf\"} 0
+lbr_h_sum{endpoint=\"a\"} 9
+lbr_h_count{endpoint=\"a\"} 6
+lbr_h_sum{endpoint=\"b\"} 0
+lbr_h_count{endpoint=\"b\"} 0
+";
+        assert_eq!(ok(text).samples, 10);
+    }
+
+    #[test]
+    fn own_renderer_passes_the_linter() {
+        use crate::expo::{Exposition, HistogramData};
+        let mut e = Exposition::new();
+        e.counter("lbr_queries_ok_total", "queries.ok", "Queries served.", 7);
+        e.counter_l(
+            "lbr_cache_hits_total",
+            vec![("cache", "plan".to_string())],
+            "cache.hits",
+            "Cache hits.",
+            1,
+        );
+        e.counter_l(
+            "lbr_cache_hits_total",
+            vec![("cache", "result".to_string())],
+            "result_cache.hits",
+            "Cache hits.",
+            2,
+        );
+        e.histogram(
+            "lbr_request_duration_us",
+            vec![("endpoint", "sparql".to_string())],
+            "Latency (µs).",
+            HistogramData {
+                buckets: vec![(1, 0), (2, 1)],
+                count: 3,
+                sum: 12,
+            },
+        );
+        e.info(
+            "lbr_build_info",
+            "Build identity.",
+            vec![
+                ("version", "0.1.0".to_string()),
+                ("hash", "x\"y\\z".to_string()),
+            ],
+        );
+        let prom = e.render_prometheus();
+        let r = ok(&prom);
+        assert_eq!(r.families, 4);
+    }
+}

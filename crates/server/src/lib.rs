@@ -89,6 +89,17 @@ pub struct ServerConfig {
     pub header_timeout: Duration,
     /// How long an idle keep-alive connection is retained.
     pub idle_timeout: Duration,
+    /// Requests at least this slow always publish an execution trace to
+    /// `/debug/traces` and the slow-query log. `Duration::ZERO` disables
+    /// slow capture (traces then come only from sampling).
+    pub slow_query: Duration,
+    /// Finished-trace ring capacity (must be ≥ 1; [`Server::bind`]
+    /// rejects 0 with a clear error instead of panicking later).
+    pub trace_ring: usize,
+    /// Probabilistic trace sampling: requests per 1024 that publish a
+    /// trace even when fast. 0 (the default) keeps the steady-state hot
+    /// path allocation-free and effectively zero-cost.
+    pub trace_sample_per_1024: u32,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +113,9 @@ impl Default for ServerConfig {
             request_timeout: Some(Duration::from_secs(30)),
             header_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
+            slow_query: Duration::from_millis(250),
+            trace_ring: 256,
+            trace_sample_per_1024: 0,
         }
     }
 }
@@ -120,6 +134,11 @@ struct Service {
     /// Triples actually inserted / deleted across all updates.
     update_inserted: AtomicU64,
     update_deleted: AtomicU64,
+    /// Per-query execution tracing: slow-query capture + sampling,
+    /// bounded ring of finished traces (`/debug/traces`).
+    tracing: Arc<lbr_obs::Tracing>,
+    /// Process start, for `uptime_secs` in `/healthz` and `/stats`.
+    started: Instant,
 }
 
 /// A bound (but not yet serving) SPARQL endpoint.
@@ -138,6 +157,17 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let counters = Arc::new(NetCounters::new());
+        // A 0-capacity ring is a configuration error, surfaced at bind
+        // time with a clear message instead of a panic mid-serve.
+        let tracing = Arc::new(
+            lbr_obs::Tracing::new(
+                config.trace_ring,
+                config.slow_query,
+                config.trace_sample_per_1024,
+            )
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?
+            .with_slow_log(true),
+        );
         let service = Arc::new(Service {
             db,
             cache: PlanCache::new(config.cache_capacity),
@@ -149,6 +179,8 @@ impl Server {
             updates: AtomicU64::new(0),
             update_inserted: AtomicU64::new(0),
             update_deleted: AtomicU64::new(0),
+            tracing: Arc::clone(&tracing),
+            started: Instant::now(),
         });
         let workers = config.workers.max(1);
         let net_config = lbr_net::ServerConfig {
@@ -158,6 +190,7 @@ impl Server {
             header_timeout: config.header_timeout,
             idle_timeout: config.idle_timeout,
             retry_after_secs: 1,
+            tracing: Some(tracing),
         };
         let net = NetServer::bind(addr, Arc::clone(&service), net_config)?.with_counters(counters);
         Ok(Server {
@@ -234,6 +267,11 @@ impl ServerHandle {
     pub fn net_counters(&self) -> Arc<NetCounters> {
         Arc::clone(&self.service.counters)
     }
+
+    /// The per-server trace store (slow-query capture + sampling).
+    pub fn tracing(&self) -> Arc<lbr_obs::Tracing> {
+        Arc::clone(&self.service.tracing)
+    }
 }
 
 impl Drop for ServerHandle {
@@ -264,7 +302,11 @@ impl Service {
     /// Routes one request to a complete, framed response.
     fn respond(&self, request: &Request, deadline: Option<Instant>) -> Result<Response, HttpError> {
         match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => Ok(Response::text(200, "ok\n")),
+            ("GET", "/healthz") => Ok(Response::new(
+                200,
+                "application/json",
+                self.healthz_json().into_bytes(),
+            )),
             (_, "/healthz") => Err(HttpError::method_not_allowed("GET")),
             ("GET", "/stats") => Ok(Response::new(
                 200,
@@ -272,12 +314,30 @@ impl Service {
                 self.stats_json().into_bytes(),
             )),
             (_, "/stats") => Err(HttpError::method_not_allowed("GET")),
+            ("GET", "/metrics") => Ok(Response::new(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.exposition().render_prometheus().into_bytes(),
+            )),
+            (_, "/metrics") => Err(HttpError::method_not_allowed("GET")),
+            ("GET", "/debug/traces") => Ok(Response::new(
+                200,
+                "application/json",
+                lbr_obs::render_traces_json(&self.tracing.snapshot()).into_bytes(),
+            )),
+            (_, "/debug/traces") => Err(HttpError::method_not_allowed("GET")),
             ("GET", "/sparql") => {
-                let query = query_from_get(request)?;
+                let (query, analyze) = query_from_get(request)?;
+                if analyze {
+                    return self.explain_analyze(&query);
+                }
                 self.execute(&query, request, deadline)
             }
             ("POST", "/sparql") => {
-                let query = query_from_post(request)?;
+                let (query, analyze) = query_from_post(request)?;
+                if analyze {
+                    return self.explain_analyze(&query);
+                }
                 self.execute(&query, request, deadline)
             }
             (_, "/sparql") => Err(HttpError::method_not_allowed("GET, POST")),
@@ -290,11 +350,22 @@ impl Service {
                 404,
                 format!(
                     "no such resource {}; the endpoints are /sparql and /update \
-                     (plus /healthz, /stats)",
+                     (plus /healthz, /stats, /metrics, /debug/traces)",
                     request.path
                 ),
             )),
         }
+    }
+
+    /// `EXPLAIN ANALYZE` over HTTP (`explain=analyze`): executes the
+    /// query and answers the annotated plan as plain text. Bypasses both
+    /// caches on purpose — the whole point is a fresh, traced execution.
+    fn explain_analyze(&self, query_text: &str) -> Result<Response, HttpError> {
+        let rendered = self
+            .db
+            .explain_analyze(query_text)
+            .map_err(|e| self.query_error(e))?;
+        Ok(Response::text(200, rendered))
     }
 
     /// Executes a SPARQL query through the shared caches.
@@ -331,11 +402,14 @@ impl Service {
             .lock()
             .expect("stats poisoned")
             .record(&output.stats);
-        let body = Arc::new(
-            format
-                .render(cached.query(), &output, view.dict())
-                .into_bytes(),
+        let t_serialize = Instant::now();
+        let rendered = format.render(cached.query(), &output, view.dict());
+        lbr_obs::span_since(
+            "serialize",
+            t_serialize,
+            &[("bytes", rendered.len() as u64)],
         );
+        let body = Arc::new(rendered.into_bytes());
         self.results
             .insert(key, media, view.epoch(), Arc::clone(&body));
         Ok(Response::new(200, media, body.as_ref().clone()))
@@ -372,112 +446,454 @@ impl Service {
         }
     }
 
-    /// `/stats` as hand-rolled JSON (no serde in the build environment).
-    fn stats_json(&self) -> String {
+    /// `/healthz`: liveness plus build identity and uptime, as JSON.
+    fn healthz_json(&self) -> String {
+        let info = lbr_obs::build_info();
+        format!(
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"git_hash\":\"{}\",\
+             \"profile\":\"{}\",\"uptime_secs\":{}}}\n",
+            info.version,
+            info.git_hash,
+            info.profile,
+            self.started.elapsed().as_secs()
+        )
+    }
+
+    /// The unified metric registry: **one** enumeration of every counter,
+    /// gauge and histogram, rendered as the `/stats` JSON document (field
+    /// insertion order is the document shape) and as the `/metrics`
+    /// Prometheus text exposition (family grouping and escaping handled
+    /// by [`lbr_obs::Exposition`]). Durations are integer microseconds on
+    /// both surfaces (`_us`); `queries.t_total_ms` stays as the one
+    /// legacy millisecond alias.
+    fn exposition(&self) -> lbr_obs::Exposition {
         let cache = self.cache.stats();
         let results = self.results.stats();
         let agg = self.agg.lock().expect("stats poisoned").clone();
         let net = &self.counters;
-        let lat_s = self.lat_sparql.summary();
-        let lat_u = self.lat_update.summary();
-        let latency = |s: &lbr_net::LatencySummary| {
-            format!(
-                "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}",
-                s.count, s.p50_micros, s.p95_micros, s.p99_micros, s.max_micros
-            )
-        };
-        format!(
-            concat!(
-                "{{\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
-                "\"epoch_evictions\":{},\"len\":{},\"capacity\":{}}},",
-                "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
-                "\"epoch_evictions\":{},\"len\":{},\"capacity\":{},",
-                "\"bytes\":{},\"max_bytes\":{}}},",
-                "\"net\":{{\"connections\":{},\"admitted\":{},\"dropped_requests\":{},",
-                "\"timed_out\":{},\"malformed\":{},\"queue_504s\":{}}},",
-                "\"latency\":{{\"sparql\":{},\"update\":{}}},",
-                "\"queries\":{{\"ok\":{},\"errors\":{},\"rows\":{},",
-                "\"rows_with_nulls\":{},\"nb_required\":{},\"join_seeds\":{},",
-                "\"prune_intersections\":{},\"scratch_reuses\":{},",
-                "\"t_total_ms\":{:.3},\"avg_ms\":{:.3}}},",
-                "\"updates\":{{\"requests\":{},\"inserted\":{},\"deleted\":{}}},",
-                "\"database\":{{\"engine\":\"{}\",\"triples\":{},\"threads\":{},",
-                "\"epoch\":{},\"updatable\":{}}}}}\n"
-            ),
+        let mut x = lbr_obs::Exposition::new();
+        let plan = || vec![("cache", "plan".to_string())];
+        let result = || vec![("cache", "result".to_string())];
+
+        x.counter_l(
+            "lbr_cache_hits_total",
+            plan(),
+            "cache.hits",
+            "Cache lookups answered from the cache.",
             cache.hits,
+        );
+        x.counter_l(
+            "lbr_cache_misses_total",
+            plan(),
+            "cache.misses",
+            "Cache lookups that had to do the work.",
             cache.misses,
+        );
+        x.counter_l(
+            "lbr_cache_evictions_total",
+            plan(),
+            "cache.evictions",
+            "Entries evicted to stay within capacity.",
             cache.evictions,
+        );
+        x.counter_l(
+            "lbr_cache_epoch_evictions_total",
+            plan(),
+            "cache.epoch_evictions",
+            "Entries dropped because an update moved the epoch.",
             cache.epoch_evictions,
-            cache.len,
-            cache.capacity,
+        );
+        x.gauge_l(
+            "lbr_cache_entries",
+            plan(),
+            "cache.len",
+            "Entries currently cached.",
+            cache.len as u64,
+        );
+        x.gauge_l(
+            "lbr_cache_capacity",
+            plan(),
+            "cache.capacity",
+            "Maximum cache entries.",
+            cache.capacity as u64,
+        );
+
+        x.counter_l(
+            "lbr_cache_hits_total",
+            result(),
+            "result_cache.hits",
+            "",
             results.hits,
+        );
+        x.counter_l(
+            "lbr_cache_misses_total",
+            result(),
+            "result_cache.misses",
+            "",
             results.misses,
+        );
+        x.counter_l(
+            "lbr_cache_evictions_total",
+            result(),
+            "result_cache.evictions",
+            "",
             results.evictions,
+        );
+        x.counter_l(
+            "lbr_cache_epoch_evictions_total",
+            result(),
+            "result_cache.epoch_evictions",
+            "",
             results.epoch_evictions,
-            results.len,
-            results.capacity,
+        );
+        x.gauge_l(
+            "lbr_cache_entries",
+            result(),
+            "result_cache.len",
+            "",
+            results.len as u64,
+        );
+        x.gauge_l(
+            "lbr_cache_capacity",
+            result(),
+            "result_cache.capacity",
+            "",
+            results.capacity as u64,
+        );
+        x.gauge(
+            "lbr_result_cache_bytes",
+            "result_cache.bytes",
+            "Serialized bytes currently cached.",
             results.bytes,
+        );
+        x.gauge(
+            "lbr_result_cache_max_bytes",
+            "result_cache.max_bytes",
+            "Result-cache byte budget.",
             results.max_bytes,
+        );
+
+        x.counter(
+            "lbr_net_connections_total",
+            "net.connections",
+            "TCP connections accepted.",
             NetCounters::get(&net.connections_accepted),
+        );
+        x.counter(
+            "lbr_net_requests_admitted_total",
+            "net.admitted",
+            "Requests admitted to the worker queue.",
             NetCounters::get(&net.requests_admitted),
+        );
+        x.counter(
+            "lbr_net_requests_dropped_total",
+            "net.dropped_requests",
+            "Requests shed with 503 (queue full).",
             NetCounters::get(&net.requests_dropped),
+        );
+        x.counter(
+            "lbr_net_requests_timed_out_total",
+            "net.timed_out",
+            "Connections timed out reading a request.",
             NetCounters::get(&net.requests_timed_out),
+        );
+        x.counter(
+            "lbr_net_requests_malformed_total",
+            "net.malformed",
+            "Malformed requests answered 400.",
             NetCounters::get(&net.requests_malformed),
+        );
+        x.counter(
+            "lbr_net_deadline_504s_total",
+            "net.queue_504s",
+            "Requests answered 504 (deadline exceeded).",
             NetCounters::get(&net.deadlines_exceeded),
-            latency(&lat_s),
-            latency(&lat_u),
+        );
+        x.gauge(
+            "lbr_net_queue_depth",
+            "net.queue_depth",
+            "Requests waiting in the admission queue right now.",
+            NetCounters::get(&net.queue_depth),
+        );
+
+        for (endpoint, hist) in [("sparql", &self.lat_sparql), ("update", &self.lat_update)] {
+            let s = hist.summary();
+            let (buckets, count, sum) = hist.cumulative_buckets();
+            x.histogram(
+                "lbr_request_duration_us",
+                vec![("endpoint", endpoint.to_string())],
+                "End-to-end request latency, microseconds.",
+                lbr_obs::HistogramData {
+                    buckets,
+                    count,
+                    sum,
+                },
+            );
+            // JSON keeps the percentile summary shape (micros).
+            let (c, p50, p95, p99, max) = match endpoint {
+                "sparql" => (
+                    "latency.sparql.count",
+                    "latency.sparql.p50_us",
+                    "latency.sparql.p95_us",
+                    "latency.sparql.p99_us",
+                    "latency.sparql.max_us",
+                ),
+                _ => (
+                    "latency.update.count",
+                    "latency.update.p50_us",
+                    "latency.update.p95_us",
+                    "latency.update.p99_us",
+                    "latency.update.max_us",
+                ),
+            };
+            x.json_u64(c, s.count);
+            x.json_u64(p50, s.p50_micros);
+            x.json_u64(p95, s.p95_micros);
+            x.json_u64(p99, s.p99_micros);
+            x.json_u64(max, s.max_micros);
+        }
+
+        x.counter(
+            "lbr_queries_ok_total",
+            "queries.ok",
+            "Queries executed successfully.",
             agg.queries,
+        );
+        x.counter(
+            "lbr_queries_errors_total",
+            "queries.errors",
+            "Queries that failed.",
             agg.errors,
+        );
+        x.counter(
+            "lbr_query_rows_total",
+            "queries.rows",
+            "Result rows produced.",
             agg.rows,
+        );
+        x.counter(
+            "lbr_query_rows_with_nulls_total",
+            "queries.rows_with_nulls",
+            "Result rows containing NULL bindings.",
             agg.rows_with_nulls,
+        );
+        x.counter(
+            "lbr_queries_nb_required_total",
+            "queries.nb_required",
+            "Queries that needed nullification/best-match.",
             agg.nb_required_queries,
+        );
+        x.counter(
+            "lbr_join_seeds_total",
+            "queries.join_seeds",
+            "Multi-way join seed rows.",
             agg.join_seeds,
+        );
+        x.counter(
+            "lbr_prune_intersections_total",
+            "queries.prune_intersections",
+            "Compressed-set intersections during pruning.",
             agg.prune_intersections,
+        );
+        x.counter(
+            "lbr_scratch_reuses_total",
+            "queries.scratch_reuses",
+            "Scratch-pool reuses (allocation-free executions).",
             agg.scratch_reuses,
-            agg.t_total.as_secs_f64() * 1e3,
-            agg.avg_total().as_secs_f64() * 1e3,
+        );
+        let t_total_us = agg.t_total.as_micros() as u64;
+        let avg_us = agg.avg_total().as_micros() as u64;
+        x.counter(
+            "lbr_query_duration_us_total",
+            "queries.t_total_us",
+            "Total query execution time, microseconds.",
+            t_total_us,
+        );
+        x.json_u64("queries.avg_us", avg_us);
+        // Legacy millisecond alias (documented; everything else is µs).
+        x.json_f64("queries.t_total_ms", agg.t_total.as_secs_f64() * 1e3, 3);
+
+        x.counter(
+            "lbr_updates_requests_total",
+            "updates.requests",
+            "Update requests committed (no-ops included).",
             self.updates.load(Ordering::Relaxed),
+        );
+        x.counter(
+            "lbr_updates_inserted_total",
+            "updates.inserted",
+            "Triples inserted across all updates.",
             self.update_inserted.load(Ordering::Relaxed),
+        );
+        x.counter(
+            "lbr_updates_deleted_total",
+            "updates.deleted",
+            "Triples deleted across all updates.",
             self.update_deleted.load(Ordering::Relaxed),
-            self.db.engine_kind(),
-            self.db.len(),
-            self.db.threads(),
+        );
+
+        x.json_text("database.engine", self.db.engine_kind().to_string());
+        x.gauge(
+            "lbr_store_triples",
+            "database.triples",
+            "Triples in the current snapshot.",
+            self.db.len() as u64,
+        );
+        x.gauge(
+            "lbr_worker_threads",
+            "database.threads",
+            "Engine worker threads.",
+            self.db.threads() as u64,
+        );
+        x.gauge(
+            "lbr_store_epoch",
+            "database.epoch",
+            "Storage epoch (0 = as loaded, +1 per commit).",
             self.db.epoch(),
+        );
+        x.bool_field(
+            "lbr_database_updatable",
+            "database.updatable",
+            "Whether the database accepts updates.",
             self.db.mutable_store().is_some(),
-        )
+        );
+
+        if let Some(store) = self.db.mutable_store() {
+            let obs = store.obs();
+            x.counter(
+                "lbr_store_wal_appends_total",
+                "store.wal_appends",
+                "WAL records appended.",
+                obs.wal_appends,
+            );
+            x.counter(
+                "lbr_store_compactions_total",
+                "store.compactions",
+                "Delta folds into fresh segments.",
+                obs.compactions,
+            );
+            x.counter(
+                "lbr_store_checkpoints_total",
+                "store.checkpoints",
+                "Checkpoint images written.",
+                obs.checkpoints,
+            );
+        }
+
+        x.counter(
+            "lbr_traces_finished_total",
+            "traces.finished",
+            "Request traces finished (published or not).",
+            self.tracing.finished(),
+        );
+        x.counter(
+            "lbr_traces_published_total",
+            "traces.published",
+            "Request traces published to the ring.",
+            self.tracing.published(),
+        );
+        x.gauge(
+            "lbr_traces_retained",
+            "traces.len",
+            "Finished traces currently retained.",
+            self.tracing.len() as u64,
+        );
+        x.gauge(
+            "lbr_traces_capacity",
+            "traces.capacity",
+            "Finished-trace ring capacity.",
+            self.tracing.capacity() as u64,
+        );
+
+        let info = lbr_obs::build_info();
+        x.info(
+            "lbr_build_info",
+            "Build identity (constant 1; labels carry the identity).",
+            vec![
+                ("version", info.version.to_string()),
+                ("git_hash", info.git_hash.to_string()),
+                ("profile", info.profile.to_string()),
+            ],
+        );
+        x.json_text("build_info.version", info.version.to_string());
+        x.json_text("build_info.git_hash", info.git_hash.to_string());
+        x.json_text("build_info.profile", info.profile.to_string());
+        x.gauge(
+            "lbr_uptime_seconds",
+            "uptime_secs",
+            "Seconds since the server started.",
+            self.started.elapsed().as_secs(),
+        );
+        x
+    }
+
+    /// `/stats` as hand-rolled JSON, rendered from the same registry as
+    /// `/metrics` (no serde in the build environment).
+    fn stats_json(&self) -> String {
+        let mut out = self.exposition().render_json();
+        out.push('\n');
+        out
     }
 }
 
-/// Extracts the query from a GET request's query string (`?query=…`,
-/// percent-decoded with `+` as space).
-fn query_from_get(request: &Request) -> Result<String, HttpError> {
+/// Reads the optional `explain` parameter from decoded form pairs: only
+/// `explain=analyze` is defined (the EXPLAIN ANALYZE surface); any other
+/// value is a 400 rather than being silently ignored.
+fn explain_param(pairs: &[(String, String)]) -> Result<bool, HttpError> {
+    match pairs
+        .iter()
+        .find(|(k, _)| k == "explain")
+        .map(|(_, v)| v.as_str())
+    {
+        None => Ok(false),
+        Some("analyze") => Ok(true),
+        Some(other) => Err(HttpError::new(
+            400,
+            format!("unknown explain mode '{other}' (only 'analyze' is supported)"),
+        )),
+    }
+}
+
+/// Extracts the query (plus the `explain=analyze` flag) from a GET
+/// request's query string (`?query=…`, percent-decoded with `+` as
+/// space).
+fn query_from_get(request: &Request) -> Result<(String, bool), HttpError> {
     let qs = request
         .query_string
         .as_deref()
         .ok_or_else(|| HttpError::new(400, "missing query string (?query=…)"))?;
     let pairs = parse_form(qs)?;
+    let analyze = explain_param(&pairs)?;
     pairs
         .into_iter()
         .find(|(k, _)| k == "query")
-        .map(|(_, v)| v)
+        .map(|(_, v)| (v, analyze))
         .ok_or_else(|| HttpError::new(400, "missing 'query' parameter"))
 }
 
-/// Extracts the query from a POST body per its `Content-Type`: the two
-/// SPARQL Protocol flavors are urlencoded forms and raw
-/// `application/sparql-query`; anything else is 415.
-fn query_from_post(request: &Request) -> Result<String, HttpError> {
+/// Extracts the query (plus the `explain=analyze` flag, accepted as a
+/// form field or a query-string parameter) from a POST body per its
+/// `Content-Type`: the two SPARQL Protocol flavors are urlencoded forms
+/// and raw `application/sparql-query`; anything else is 415.
+fn query_from_post(request: &Request) -> Result<(String, bool), HttpError> {
+    let qs_analyze = match request.query_string.as_deref() {
+        Some(qs) => explain_param(&parse_form(qs)?)?,
+        None => false,
+    };
     match request.content_type().as_deref() {
         Some("application/x-www-form-urlencoded") => {
             let body = std::str::from_utf8(&request.body)
                 .map_err(|_| HttpError::new(400, "form body is not UTF-8"))?;
-            parse_form(body)?
+            let pairs = parse_form(body)?;
+            let analyze = qs_analyze || explain_param(&pairs)?;
+            pairs
                 .into_iter()
                 .find(|(k, _)| k == "query")
-                .map(|(_, v)| v)
+                .map(|(_, v)| (v, analyze))
                 .ok_or_else(|| HttpError::new(400, "missing 'query' form field"))
         }
         Some("application/sparql-query") => String::from_utf8(request.body.clone())
+            .map(|q| (q, qs_analyze))
             .map_err(|_| HttpError::new(400, "query body is not UTF-8")),
         Some(other) => Err(HttpError::new(
             415,
@@ -751,7 +1167,7 @@ mod tests {
         assert_eq!((s1, s2, s3), (200, 200, 200));
         assert_eq!(b1, expected(OutputFormat::Json));
         assert_eq!(b2, "{\"head\":{},\"boolean\":true}\n");
-        assert_eq!(b3, "ok\n");
+        assert!(b3.contains("\"status\":\"ok\""), "{b3}");
     }
 
     #[test]
@@ -863,7 +1279,8 @@ mod tests {
         )
         .unwrap();
         let (s1, _, b1) = read_framed(&mut stream, &mut carry);
-        assert_eq!((s1, b1.as_str()), (200, "ok\n"));
+        assert_eq!(s1, 200);
+        assert!(b1.contains("\"status\":\"ok\""), "{b1}");
         let (s2, head, _) = read_framed(&mut stream, &mut carry);
         assert_eq!(s2, 400);
         assert!(head.contains("Connection: close"), "{head}");
@@ -881,7 +1298,12 @@ mod tests {
         let server = serve();
         let addr = server.addr();
         let (status, _, body) = get(addr, "/healthz", None);
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200);
+        // Liveness plus build identity and uptime (satellite surface).
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"version\":\""), "{body}");
+        assert!(body.contains("\"git_hash\":\""), "{body}");
+        assert!(body.contains("\"uptime_secs\":"), "{body}");
 
         // Two identical queries: the first executes (plan-cache miss),
         // the second is answered from the result cache without touching
@@ -1206,6 +1628,145 @@ mod tests {
         // /stats carries the drop.
         let (_, _, stats) = get(addr, "/stats", None);
         assert!(stats.contains("\"dropped_requests\":1"), "{stats}");
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_prometheus_and_covers_every_layer() {
+        let server = serve();
+        let addr = server.addr();
+        // Exercise engine + caches so counters are non-zero.
+        let target = format!("/sparql?query={QUERY_ENC}");
+        assert_eq!(get(addr, &target, None).0, 200);
+        assert_eq!(get(addr, &target, None).0, 200);
+
+        let (status, head, body) = get(addr, "/metrics", None);
+        assert_eq!(status, 200);
+        assert!(head.contains("Content-Type: text/plain"), "{head}");
+        // The server's own linter accepts its own exposition.
+        let report = lbr_obs::lint_exposition(&body)
+            .unwrap_or_else(|errs| panic!("invalid exposition: {errs:?}\n{body}"));
+        assert!(report.families >= 20, "{report:?}");
+        // One family per layer: engine, caches, net, latency histogram,
+        // traces, identity.
+        // The repeat request was answered by the result cache (and so
+        // never reached the plan cache); both appear as one family.
+        assert!(
+            body.contains("lbr_cache_hits_total{cache=\"plan\"} 0"),
+            "{body}"
+        );
+        assert!(
+            body.contains("lbr_cache_hits_total{cache=\"result\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("lbr_net_connections_total"), "{body}");
+        assert!(
+            body.contains("lbr_request_duration_us_bucket{endpoint=\"sparql\",le=\"+Inf\"}"),
+            "{body}"
+        );
+        assert!(body.contains("lbr_queries_ok_total 1"), "{body}");
+        assert!(body.contains("lbr_store_epoch 0"), "{body}");
+        assert!(body.contains("lbr_build_info{version=\""), "{body}");
+        assert!(body.contains("lbr_uptime_seconds"), "{body}");
+        // Zero-observation histogram still renders a complete family.
+        assert!(
+            body.contains("lbr_request_duration_us_count{endpoint=\"update\"} 0"),
+            "{body}"
+        );
+        // /metrics itself is not a query endpoint.
+        assert_eq!(get(addr, "/metrics", None).0, 200);
+        let (status, _, _) = roundtrip(
+            addr,
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn slow_queries_publish_traces_with_response_header() {
+        let db = Arc::new(Database::from_ntriples(DATA).unwrap());
+        let config = ServerConfig {
+            workers: 2,
+            // Everything is "slow" at a 1µs threshold: every request
+            // publishes a trace and advertises its id.
+            slow_query: Duration::from_micros(1),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", db, config)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let addr = server.addr();
+        let (status, head, _) = get(addr, &format!("/sparql?query={QUERY_ENC}"), None);
+        assert_eq!(status, 200);
+        assert!(head.contains("X-Lbr-Trace-Id: "), "{head}");
+
+        let (status, _, body) = get(addr, "/debug/traces", None);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"label\":\"GET /sparql\""), "{body}");
+        assert!(body.contains("\"slow\":true"), "{body}");
+        // The trace carries wire + engine + serialization spans.
+        for span in ["queue_wait", "parse", "plan", "join", "serialize"] {
+            assert!(
+                body.contains(&format!("\"name\":\"{span}\"")),
+                "missing {span}: {body}"
+            );
+        }
+        assert!(server.tracing().published() >= 1);
+
+        // /stats carries the trace counters from the same registry.
+        let (_, _, stats) = get(addr, "/stats", None);
+        assert!(stats.contains("\"traces\":{"), "{stats}");
+        assert!(stats.contains("\"published\":"), "{stats}");
+    }
+
+    #[test]
+    fn fast_requests_with_default_config_carry_no_trace_header() {
+        let server = serve();
+        let (status, head, _) = get(server.addr(), &format!("/sparql?query={QUERY_ENC}"), None);
+        assert_eq!(status, 200);
+        // Default: 250ms slow threshold, sampling off — a microsecond
+        // query publishes nothing and pays (almost) nothing.
+        assert!(!head.contains("X-Lbr-Trace-Id"), "{head}");
+        assert_eq!(server.tracing().published(), 0);
+    }
+
+    #[test]
+    fn explain_analyze_over_http() {
+        let server = serve();
+        let addr = server.addr();
+        let (status, head, body) = get(
+            addr,
+            &format!("/sparql?query={QUERY_ENC}&explain=analyze"),
+            None,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Content-Type: text/plain"), "{head}");
+        assert!(body.contains("══ ANALYZE (executed) ══"), "{body}");
+        assert!(body.contains("est≈"), "{body}");
+        assert!(body.contains("err="), "{body}");
+        // Unknown explain modes are a client error, not silently ignored.
+        let (status, _, body) = get(
+            addr,
+            &format!("/sparql?query={QUERY_ENC}&explain=verbose"),
+            None,
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("unknown explain mode"), "{body}");
+    }
+
+    #[test]
+    fn zero_capacity_trace_ring_is_rejected_at_bind() {
+        let db = Arc::new(Database::from_ntriples(DATA).unwrap());
+        let config = ServerConfig {
+            trace_ring: 0,
+            ..ServerConfig::default()
+        };
+        let err = match Server::bind("127.0.0.1:0", db, config) {
+            Ok(_) => panic!("bind accepted a zero-capacity trace ring"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("trace ring capacity"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //! lbr|pairwise|query-order|reordered|reference`, `--threads N`
 //! (intra-query join workers), `--index path.lbr`, `--wal-dir dir`
 //! (accept SPARQL 1.1 Update on `POST /update`, journal committed
-//! updates to a write-ahead log in `dir` and replay them on restart).
+//! updates to a write-ahead log in `dir` and replay them on restart),
+//! `--slow-query-ms MS` (requests at least this slow always publish an
+//! execution trace to `/debug/traces` and the slow-query log; `0`
+//! disables slow capture; default 250), `--trace-ring N` (finished-trace
+//! ring capacity, ≥ 1), `--trace-sample PER1024` (publish a trace for
+//! this many requests per 1024 even when fast; default 0, which keeps
+//! the hot path allocation-free).
 //!
 //! On startup the server prints exactly one line to stdout —
 //! `listening on http://ADDR` — so scripts (and CI) can discover an
@@ -98,6 +104,30 @@ fn parse_args() -> Result<Options, String> {
                 let n = args.next().ok_or("--threads needs a value")?;
                 o.threads = Some(parse_nonzero(&n, "--threads")?);
             }
+            "--slow-query-ms" => {
+                let n = args.next().ok_or("--slow-query-ms needs a value")?;
+                let ms: u64 = n
+                    .parse()
+                    .map_err(|_| format!("bad --slow-query-ms value '{n}'"))?;
+                // 0 disables slow capture (sampling may still publish).
+                o.config.slow_query = std::time::Duration::from_millis(ms);
+            }
+            "--trace-ring" => {
+                let n = args.next().ok_or("--trace-ring needs a value")?;
+                // Capacity 0 is rejected again at bind with a clear
+                // error; catching it here gives the flag-shaped message.
+                o.config.trace_ring = parse_nonzero(&n, "--trace-ring")?;
+            }
+            "--trace-sample" => {
+                let n = args.next().ok_or("--trace-sample needs a value")?;
+                let per: u32 = n
+                    .parse()
+                    .map_err(|_| format!("bad --trace-sample value '{n}'"))?;
+                if per > 1024 {
+                    return Err("--trace-sample is per 1024 (0..=1024)".into());
+                }
+                o.config.trace_sample_per_1024 = per;
+            }
             "--index" => o.index = Some(args.next().ok_or("--index needs a value")?),
             "--wal-dir" => o.wal_dir = Some(args.next().ok_or("--wal-dir needs a value")?),
             "--help" | "-h" => return Err("help".into()),
@@ -121,7 +151,8 @@ fn usage() {
         "usage: lbr-server <data.nt> [--addr HOST:PORT] [--workers N] [--cache N] \
          [--result-cache N] [--queue N] [--request-timeout-ms MS] [--header-timeout-ms MS] \
          [--engine lbr|pairwise|query-order|reordered|reference] [--threads N] \
-         [--index path.lbr] [--wal-dir dir]"
+         [--index path.lbr] [--wal-dir dir] \
+         [--slow-query-ms MS] [--trace-ring N] [--trace-sample PER1024]"
     );
 }
 

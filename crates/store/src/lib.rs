@@ -40,5 +40,5 @@ pub mod wal;
 
 pub use delta::{Delta, TripleSet};
 pub use overlay::OverlayCatalog;
-pub use store::{CommitInfo, Snapshot, Store, StoreError, UpdateBatch};
+pub use store::{CommitInfo, Snapshot, Store, StoreError, StoreObs, UpdateBatch};
 pub use wal::{Wal, WalOp, WalOpKind, WalRecovery};

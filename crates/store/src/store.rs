@@ -54,6 +54,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Delta size (inserts + tombstones) at which a commit folds the delta
 /// into fresh segments.
@@ -241,6 +242,20 @@ pub struct CommitInfo {
     pub checkpointed: bool,
 }
 
+/// Monotone storage-activity counters, snapshotted for `/metrics` and
+/// `/stats`. Durations live in the per-query trace spans (`wal_append`,
+/// `compact`, `checkpoint`); these count occurrences across the store's
+/// lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreObs {
+    /// WAL records appended (one per effective logged commit).
+    pub wal_appends: u64,
+    /// Delta folds into fresh segments (explicit or threshold-triggered).
+    pub compactions: u64,
+    /// Checkpoint images written with the log truncated.
+    pub checkpoints: u64,
+}
+
 /// Everything that can go wrong committing an update.
 #[derive(Debug)]
 pub enum StoreError {
@@ -285,6 +300,9 @@ pub struct Store {
     /// serving paths (result-cache staleness probes, `/stats`) read the
     /// epoch without contending on the snapshot `RwLock`.
     epoch: AtomicU64,
+    wal_appends: AtomicU64,
+    compactions: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 impl Store {
@@ -311,6 +329,9 @@ impl Store {
             writer: Mutex::new(None),
             compact_threshold: AtomicUsize::new(DEFAULT_COMPACT_THRESHOLD),
             epoch: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
         };
         if let Some(dir) = wal_dir {
             let (wal, recovery) = Wal::open(dir)?;
@@ -375,6 +396,15 @@ impl Store {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Snapshots the monotone storage-activity counters (lock-free).
+    pub fn obs(&self) -> StoreObs {
+        StoreObs {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+        }
+    }
+
     /// Sets the delta size at which commits auto-compact.
     pub fn set_compact_threshold(&self, threshold: usize) {
         self.compact_threshold
@@ -406,9 +436,16 @@ impl Store {
                 ..CommitInfo::default()
             });
         }
+        let t_compact = Instant::now();
         let next = Arc::new(fold(&snap, snap.epoch() + 1));
         let epoch = next.epoch();
         self.publish(Arc::clone(&next));
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        lbr_obs::span_since(
+            "compact",
+            t_compact,
+            &[("triples", next.triples().len() as u64)],
+        );
         let checkpointed = self.checkpoint_with(&mut writer, &next);
         Ok(CommitInfo {
             epoch,
@@ -440,12 +477,19 @@ impl Store {
         let Some(dir) = wal.path().parent().map(Path::to_path_buf) else {
             return false;
         };
+        let t_checkpoint = Instant::now();
         if wal::write_checkpoint(&dir, &snap.triples(), wal.is_sync()).is_err() {
             return false;
         }
         // A failed truncation is safe: replaying the stale log over the
         // fresh checkpoint is idempotent (absolute term-level ops).
         let _ = wal.reset();
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        lbr_obs::span_since(
+            "checkpoint",
+            t_checkpoint,
+            &[("triples", snap.triples().len() as u64)],
+        );
         true
     }
 
@@ -566,7 +610,10 @@ impl Store {
         // published and the store keeps serving the old epoch.
         if log {
             if let Some(wal) = writer.as_mut() {
+                let t_append = Instant::now();
                 wal.append(&effective)?;
+                self.wal_appends.fetch_add(1, Ordering::Relaxed);
+                lbr_obs::span_since("wal_append", t_append, &[("ops", effective.len() as u64)]);
             }
         }
 
@@ -579,6 +626,9 @@ impl Store {
             checkpointed: false,
         };
         self.publish(Arc::clone(&next));
+        if compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
         // Compaction points bound the log: checkpoint the folded view and
         // truncate. Skipped during replay (`log == false`, and the writer
         // is not installed yet anyway) so a partially replayed log is
@@ -749,6 +799,54 @@ mod tests {
         // Old snapshot still serves its own epoch untouched.
         assert_eq!(before.triples(), view);
         assert!(!before.delta().is_empty());
+    }
+
+    #[test]
+    fn obs_counters_track_wal_compaction_and_checkpoint_activity() {
+        // In-memory store: no WAL, so only compactions count.
+        let store = Store::in_memory(base());
+        store.set_compact_threshold(1_000_000);
+        assert_eq!(store.obs(), StoreObs::default());
+        store
+            .apply(UpdateBatch::insert(vec![t("a", "p", "c")]))
+            .unwrap();
+        let obs = store.obs();
+        assert_eq!(
+            (obs.wal_appends, obs.compactions, obs.checkpoints),
+            (0, 0, 0),
+            "plain in-memory commit touches no counter"
+        );
+        store.compact().unwrap();
+        let obs = store.obs();
+        assert_eq!(
+            (obs.wal_appends, obs.compactions, obs.checkpoints),
+            (0, 1, 0),
+            "explicit compaction counts; no WAL, no checkpoint"
+        );
+        store.compact().unwrap();
+        assert_eq!(store.obs().compactions, 1, "empty-delta compact is a no-op");
+
+        // WAL-backed store: appends and checkpoints count too.
+        let dir = std::env::temp_dir().join(format!("lbr-store-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = Store::open(base(), Some(&dir)).unwrap();
+        store.set_compact_threshold(2);
+        store
+            .apply(UpdateBatch::insert(vec![t("a", "p", "c")]))
+            .unwrap();
+        let obs = store.obs();
+        assert_eq!((obs.wal_appends, obs.compactions), (1, 0));
+        let info = store
+            .apply(UpdateBatch::insert(vec![t("c", "p", "a")]))
+            .unwrap();
+        assert!(info.compacted && info.checkpointed);
+        let obs = store.obs();
+        assert_eq!(
+            (obs.wal_appends, obs.compactions, obs.checkpoints),
+            (2, 1, 1),
+            "threshold commit logs, folds and checkpoints"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! path, results identical either way), `--format table|json|tsv`
 //! (default table; `json` is W3C SPARQL 1.1 Query Results JSON, `tsv` the
 //! W3C TSV format — both consumable by standard tooling), `--explain`
-//! (print the plan instead of executing), `--stats`, `--repeat N` (re-run
+//! (print the plan instead of executing), `--analyze` (EXPLAIN ANALYZE:
+//! execute the query and print the plan annotated with actual per-stage
+//! timings and estimated-vs-actual cardinalities; implies `--explain`),
+//! `--stats`, `--repeat N` (re-run
 //! the query N times through the shared plan cache — planning runs once,
 //! repeats hit the cache — and report the average plus the cache's
 //! hit/miss/eviction counters), `--file <query.rq>`,
@@ -60,6 +63,7 @@ struct Options {
     threads: Option<usize>,
     format: OutputFormat,
     explain: bool,
+    analyze: bool,
     stats: bool,
     repeat: u32,
 }
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Options, String> {
         threads: None,
         format: OutputFormat::Table,
         explain: false,
+        analyze: false,
         stats: false,
         repeat: 1,
     };
@@ -118,6 +123,11 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--explain" => o.explain = true,
+            "--analyze" => {
+                // EXPLAIN ANALYZE: implies --explain, executes the query.
+                o.explain = true;
+                o.analyze = true;
+            }
             "--stats" => o.stats = true,
             "--help" | "-h" => return Err("help".into()),
             "update" if !o.update_mode && o.data.is_none() && o.query.is_none() => {
@@ -135,7 +145,7 @@ fn usage() {
     let engines: Vec<&str> = EngineKind::all().iter().map(|k| k.name()).collect();
     eprintln!(
         "usage: lbr-cli <data.nt> [QUERY] [--file query.rq] [--engine {}] \
-         [--threads N] [--format table|json|tsv] [--explain] [--stats] \
+         [--threads N] [--format table|json|tsv] [--explain] [--analyze] [--stats] \
          [--repeat N] [--save-index path] [--index path.lbr] [--wal-dir dir]\n\
          \x20      lbr-cli update <data.nt> --wal-dir dir [UPDATE] [--update-file changes.ru]",
         engines.join("|")
@@ -242,7 +252,14 @@ fn run() -> Result<ExitCode, String> {
     };
 
     if opts.explain {
-        println!("{}", db.explain(&text).map_err(|e| e.to_string())?);
+        let rendered = if opts.analyze {
+            // EXPLAIN ANALYZE executes the query under a forced trace and
+            // annotates the plan with actual timings and cardinalities.
+            db.explain_analyze(&text)
+        } else {
+            db.explain(&text)
+        };
+        println!("{}", rendered.map_err(|e| e.to_string())?);
         return Ok(ExitCode::SUCCESS);
     }
 

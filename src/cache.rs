@@ -174,10 +174,16 @@ impl PlanCache {
         }
 
         // Miss: run the planning pipeline outside the lock, on the view
-        // pinned above.
+        // pinned above. Parse and plan each get a trace span so EXPLAIN
+        // ANALYZE / `/debug/traces` show where a cold query's time went
+        // (a hit skips both, which is the point of the cache).
+        let t_parse = std::time::Instant::now();
         let query = crate::parse_query(text)?;
+        lbr_obs::span_since("parse", t_parse, &[("bytes", text.len() as u64)]);
         let engine = view.engine();
+        let t_plan = std::time::Instant::now();
         let plan = engine.plan_query(&query)?;
+        lbr_obs::span_since("plan", t_plan, &[]);
         let cached = Arc::new(CachedPlan {
             query,
             kind: db.engine_kind(),

@@ -120,6 +120,7 @@ pub use lbr_baseline as baseline;
 pub use lbr_bitmat as bitmat;
 pub use lbr_core as core;
 pub use lbr_datagen as datagen;
+pub use lbr_obs as obs;
 pub use lbr_rdf as rdf;
 pub use lbr_sparql as sparql;
 pub use lbr_store as storage;
@@ -604,6 +605,16 @@ impl Database {
         self.engine().explain(&query)
     }
 
+    /// EXPLAIN ANALYZE: executes the query on the default engine under a
+    /// forced trace and renders the plan annotated with actual per-stage
+    /// wall time and estimated-vs-actual cardinalities per TP and per
+    /// jvar. Only the LBR engine supports this; other engines return a
+    /// clear `Unsupported` error.
+    pub fn explain_analyze(&self, query_text: &str) -> Result<String, core::LbrError> {
+        let query = parse_query(query_text)?;
+        self.engine().explain_analyze(&query)
+    }
+
     /// The dictionary (for decoding results).
     ///
     /// On an updatable database: the current snapshot's dictionary. It
@@ -1081,6 +1092,8 @@ const _: () = {
     assert_send_sync::<ReadView<'static>>();
     assert_send_sync::<cache::PlanCache>();
     assert_send_sync::<core::StatsAggregate>();
+    assert_send_sync::<obs::Tracing>();
+    assert_send_sync::<obs::FinishedTrace>();
     // `Engine: Send + Sync` is a supertrait bound, so every engine the
     // `EngineKind` seam can build satisfies it; assert the trait-object
     // types the facade actually hands out.
@@ -1097,6 +1110,12 @@ impl PreparedQuery<'_> {
     /// Executes the prepared query, streaming the solutions.
     pub fn solutions(&self) -> Result<Solutions<'_>, core::LbrError> {
         Ok(self.execute()?.into_solutions(self.engine.dict()))
+    }
+
+    /// EXPLAIN ANALYZE for the prepared query: re-executes it under a
+    /// forced trace and renders actual timings and cardinalities.
+    pub fn explain_analyze(&self) -> Result<String, core::LbrError> {
+        self.engine.explain_analyze(&self.query)
     }
 
     /// Renders the plan this query will run with.
