@@ -5,9 +5,10 @@
 //!
 //! 1. **no-alloc** — allocating idioms denied inside `// lbr-lint:
 //!    no_alloc` regions of the kernels.
-//! 2. **unsafe-comment / forbid-unsafe** — every `unsafe` needs an
-//!    adjacent `// SAFETY:`; crates with zero unsafe must declare
-//!    `#![forbid(unsafe_code)]`.
+//! 2. **unsafe-comment / forbid-unsafe / unsafe-confinement** — every
+//!    `unsafe` needs an adjacent `// SAFETY:`; crates with zero unsafe
+//!    must declare `#![forbid(unsafe_code)]`; crates that allow unsafe
+//!    (only `lbr-bitmat`) confine it to a named module (`mmap.rs`).
 //! 3. **panic-path** — `unwrap`/`expect`/`panic!`/`todo!` denied in
 //!    non-test serving and commit/recovery code.
 //! 4. **lock-order** — nested lock acquisitions in `store.rs` checked
@@ -82,6 +83,7 @@ pub fn analyze_file(path: &str, text: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     lints::lint_no_alloc(path, text, &sc, &mut out);
     lints::lint_unsafe(path, &sc, &mut out);
+    lints::lint_unsafe_confinement(path, &sc, &lints::BITMAT_CONFINEMENT, &mut out);
     lints::lint_panic_path(path, text, &sc, &mut out);
     lints::lint_lock_order(path, &sc, &lints::STORE_LOCK_POLICY, &mut out);
     lints::lint_wal_durability(path, &sc, &mut out);

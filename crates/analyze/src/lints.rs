@@ -15,6 +15,7 @@ pub const FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const PANIC_PATH: &str = "panic-path";
 pub const LOCK_ORDER: &str = "lock-order";
 pub const WAL_DURABILITY: &str = "wal-durability";
+pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
 
 /// Method calls that allocate (matched as `.name(` or `.name::<`).
 const ALLOC_METHODS: &[&str] = &[
@@ -357,6 +358,54 @@ fn has_adjacent_safety(sc: &Scrub, line: usize) -> bool {
     false
 }
 
+/// ---------------------------------------------------------------------
+/// Lint 2b: unsafe confinement.
+///
+/// Crates that dropped `#![forbid(unsafe_code)]` did so for a single,
+/// named module; unsafe anywhere else in the crate is a policy violation
+/// even when SAFETY-commented. Today the only such crate is `lbr-bitmat`,
+/// whose unsafe is confined to the mmap FFI boundary in `mmap.rs` —
+/// everything above the `Mmap` handle must stay safe code over slices.
+/// ---------------------------------------------------------------------
+pub struct ConfinementPolicy {
+    /// Crate source prefix this policy governs, e.g. `crates/bitmat/src/`.
+    pub crate_prefix: &'static str,
+    /// File suffixes (relative to the prefix) where unsafe is allowed.
+    pub allowed: &'static [&'static str],
+}
+
+/// `lbr-bitmat`: unsafe only in the mmap module.
+pub const BITMAT_CONFINEMENT: ConfinementPolicy = ConfinementPolicy {
+    crate_prefix: "crates/bitmat/src/",
+    allowed: &["mmap.rs"],
+};
+
+pub fn lint_unsafe_confinement(
+    path: &str,
+    sc: &Scrub,
+    policy: &ConfinementPolicy,
+    out: &mut Vec<Finding>,
+) {
+    let Some(rel) = path.strip_prefix(policy.crate_prefix) else {
+        return;
+    };
+    if policy.allowed.contains(&rel) {
+        return;
+    }
+    for site in unsafe_sites(sc) {
+        out.push(Finding::new(
+            path,
+            site,
+            UNSAFE_CONFINEMENT,
+            "unsafe",
+            format!(
+                "unsafe outside the allowed module(s) {:?} of `{}`",
+                policy.allowed, policy.crate_prefix
+            ),
+        ));
+    }
+}
+
 /// True when the file's non-test code has no `unsafe` at all — input to
 /// the crate-level `#![forbid(unsafe_code)]` check in lib.rs.
 pub fn file_is_unsafe_free(sc: &Scrub) -> bool {
@@ -638,6 +687,41 @@ mod tests {
         let sc = scrub(src);
         let mut out = Vec::new();
         lint_panic_path("crates/server/src/lib.rs", src, &sc, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unsafe_confined_to_mmap_module() {
+        let src = "pub fn g(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        let sc = scrub(src);
+        // In mmap.rs: allowed.
+        let mut out = Vec::new();
+        lint_unsafe_confinement(
+            "crates/bitmat/src/mmap.rs",
+            &sc,
+            &BITMAT_CONFINEMENT,
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // Anywhere else in the crate: flagged even with a SAFETY comment.
+        let mut out = Vec::new();
+        lint_unsafe_confinement(
+            "crates/bitmat/src/disk.rs",
+            &sc,
+            &BITMAT_CONFINEMENT,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, UNSAFE_CONFINEMENT);
+        assert_eq!(out[0].line, 3);
+        // Other crates: out of scope.
+        let mut out = Vec::new();
+        lint_unsafe_confinement(
+            "crates/store/src/wal.rs",
+            &sc,
+            &BITMAT_CONFINEMENT,
+            &mut out,
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 

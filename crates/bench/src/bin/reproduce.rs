@@ -106,7 +106,25 @@ fn table61(datasets: &[Dataset]) {
 fn table_queries(datasets: &[Dataset], idx: usize, label: &str, json: bool) {
     let p = prepare(datasets[idx].clone());
     println!("\n== Table {label}: query processing times ==");
-    let report = run_dataset(&p);
+    let mut report = run_dataset(&p);
+    if report.name == "LUBM" {
+        // The ≥100× scale tier rides on the LUBM report. `LBR_SCALE_TIER`
+        // overrides the university count; 0 skips the tier.
+        let universities: usize = std::env::var("LBR_SCALE_TIER")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1024);
+        if universities > 0 {
+            let seed: u64 = std::env::var("LBR_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42);
+            eprintln!("# scale tier: LUBM at {universities} universities …");
+            let t = Instant::now();
+            report.scale = Some(lbr_bench::run_scale(universities, seed));
+            eprintln!("# scale tier measured in {:.2?}", t.elapsed());
+        }
+    }
     let path = format!("BENCH_{}.json", report.name);
     let prev = std::fs::read_to_string(&path)
         .map(|old| parse_prev_allocs(&old))

@@ -1,0 +1,90 @@
+//! CI scale smoke: generate a ~1M-triple LUBM tier, bulk-load it through
+//! both the serial and the parallel path (asserting the deterministic
+//! dictionary merge), persist the store as a v2 segment, and byte-compare
+//! every Appendix E query over the mmap'd segments against the heap
+//! store at several thread counts.
+//!
+//! ```sh
+//! cargo run --release -p lbr-bench --bin scale_smoke
+//! LBR_SMOKE_UNIS=20 cargo run --release -p lbr-bench --bin scale_smoke
+//! ```
+//!
+//! Exits non-zero (panics) on any divergence; prints one `scale-smoke:`
+//! line per milestone so CI logs show what was covered.
+
+use lbr_bench::{bench_threads, fmt_secs, run_load_with_segment};
+use lbr_bitmat::{BitMatStore, DiskCatalog};
+use lbr_core::LbrEngine;
+use lbr_datagen::lubm;
+use lbr_sparql::parse_query;
+use std::time::Instant;
+
+fn main() {
+    // ~5.2K triples per university ⇒ 200 universities ≈ 1.04M triples.
+    let universities: usize = std::env::var("LBR_SMOKE_UNIS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let seed: u64 = std::env::var("LBR_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let threads = bench_threads();
+
+    let t = Instant::now();
+    let cfg = lubm::LubmConfig {
+        universities,
+        departments: 10,
+        seed,
+    };
+    let graph = lbr_rdf::Graph::from_triples(lubm::generate(&cfg));
+    println!(
+        "scale-smoke: generated LUBM x{universities} = {} triples in {:.2?}",
+        graph.len(),
+        t.elapsed()
+    );
+
+    let seg_path = std::env::temp_dir().join(format!("lbr-scale-smoke-{}.seg", std::process::id()));
+    let (load, encoded) = run_load_with_segment(&graph, threads, &seg_path);
+    println!(
+        "scale-smoke: load serial {} ({:.0} triples/s), parallel x{threads} {} \
+         ({:.0} triples/s, {:.2}x); segment {} MiB, peak RSS {} MiB",
+        fmt_secs(load.serial_secs),
+        load.serial_tps(),
+        fmt_secs(load.parallel_secs),
+        load.parallel_tps(),
+        load.speedup(),
+        load.segment_bytes.div_ceil(1024 * 1024),
+        load.peak_rss_bytes / (1024 * 1024),
+    );
+
+    let heap = BitMatStore::build_with_threads(&encoded, threads);
+    let mapped = DiskCatalog::open(&seg_path).expect("segment reopens");
+    let mut compared = 0usize;
+    for q in lubm::queries() {
+        let query = parse_query(&q.text).expect("Appendix E query parses");
+        for n in [1usize, threads] {
+            let mem = LbrEngine::new(&heap, &encoded.dict)
+                .with_threads(n)
+                .execute(&query)
+                .unwrap_or_else(|e| panic!("heap {} (threads={n}): {e}", q.id));
+            let dsk = LbrEngine::new(&mapped, &encoded.dict)
+                .with_threads(n)
+                .execute(&query)
+                .unwrap_or_else(|e| panic!("mmap {} (threads={n}): {e}", q.id));
+            let mut a = mem.rows;
+            let mut b = dsk.rows;
+            a.sort();
+            b.sort();
+            assert_eq!(
+                a, b,
+                "{} diverges between heap and mmap at {n} threads",
+                q.id
+            );
+            compared += 1;
+        }
+        println!("scale-smoke: {} byte-equal over mmap", q.id);
+    }
+    let _ = std::fs::remove_file(&seg_path);
+    println!("scale-smoke: OK ({compared} query runs byte-equal, heap vs mmap)");
+}

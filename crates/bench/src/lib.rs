@@ -135,6 +135,12 @@ pub struct DatasetReport {
     /// Updatable-store overhead: query latency with 0%/1%/10% of the
     /// triples resident in the delta memtable, and after compaction.
     pub delta: DeltaReport,
+    /// Bulk-load measurement over this dataset's triples (serial vs
+    /// parallel throughput, peak RSS, on-disk segment size).
+    pub load: LoadReport,
+    /// The ≥100× scale tier (LUBM only; attached by the reproduce
+    /// binary, absent on the small tiers).
+    pub scale: Option<ScaleReport>,
 }
 
 /// A prepared (indexed) dataset.
@@ -722,6 +728,177 @@ fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
 }
 
 /// Benchmarks every query of a prepared dataset.
+/// Bulk-load measurement over one N-Triples document: the serial path
+/// (`parse_ntriples` → `Graph::encode` → `BitMatStore::build`, all on
+/// one thread) against the parallel path (`load_ntriples_parallel` →
+/// `build_with_threads`), plus the footprint of the result. Both paths
+/// produce bit-identical stores (the parallel dictionary merge is
+/// deterministic), which [`run_load`] asserts.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Triples in the loaded document.
+    pub n_triples: u64,
+    /// Worker threads of the parallel path.
+    pub threads: usize,
+    /// End-to-end seconds of the serial load (parse + encode + build).
+    pub serial_secs: f64,
+    /// End-to-end seconds of the parallel load at `threads` workers.
+    pub parallel_secs: f64,
+    /// `VmHWM` of the process after both loads, in bytes (0 where
+    /// `/proc` is unavailable) — the resident-set cost of the tier.
+    pub peak_rss_bytes: u64,
+    /// Size of the v2 on-disk segment file holding the built store.
+    pub segment_bytes: u64,
+}
+
+impl LoadReport {
+    /// Serial load throughput, triples per second.
+    pub fn serial_tps(&self) -> f64 {
+        self.n_triples as f64 / self.serial_secs.max(1e-9)
+    }
+
+    /// Parallel load throughput, triples per second.
+    pub fn parallel_tps(&self) -> f64 {
+        self.n_triples as f64 / self.parallel_secs.max(1e-9)
+    }
+
+    /// Serial-over-parallel load speedup.
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-9)
+    }
+}
+
+/// The scale tier: a LUBM generation ≥100× the Table 6.1 sample, loaded
+/// through both bulk paths, persisted as a v2 segment and queried over
+/// `mmap` — cold (first run after open, BitMat loads included) vs warm
+/// (averaged steady state) per Appendix E query.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// LUBM universities generated for the tier.
+    pub universities: usize,
+    /// The bulk-load measurement over the tier.
+    pub load: LoadReport,
+    /// Geomean seconds of the first post-open run of each query against
+    /// the mmap'd segments.
+    pub cold_geomean_secs: f64,
+    /// Geomean seconds of the averaged warm runs against the same
+    /// catalog.
+    pub warm_geomean_secs: f64,
+}
+
+/// `VmHWM` (peak resident set) of this process in bytes; 0 where
+/// `/proc/self/status` does not exist or does not carry the field.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Times the serial and parallel bulk-load paths over `graph`'s triples,
+/// leaving the built store persisted as a v2 segment at `seg_path`.
+/// Returns the report and the (parallel-built) encoded graph so callers
+/// can query the segment with the right dictionary.
+pub fn run_load_with_segment(
+    graph: &lbr_rdf::Graph,
+    threads: usize,
+    seg_path: &std::path::Path,
+) -> (LoadReport, EncodedGraph) {
+    let nt = lbr_rdf::write_ntriples(graph.triples());
+
+    let t0 = Instant::now();
+    let serial_graph =
+        lbr_rdf::Graph::from_triples(lbr_rdf::parse_ntriples(&nt).expect("serial parse")).encode();
+    let serial_store = BitMatStore::build(&serial_graph);
+    let serial_secs = secs(t0.elapsed());
+
+    let t0 = Instant::now();
+    let par_graph = lbr_rdf::load_ntriples_parallel(&nt, threads).expect("parallel parse");
+    let par_store = BitMatStore::build_with_threads(&par_graph, threads);
+    let parallel_secs = secs(t0.elapsed());
+
+    // The parallel dictionary merge is deterministic: both paths must
+    // land on the identical ID space and matrices.
+    assert_eq!(
+        par_graph.dict.to_bytes(),
+        serial_graph.dict.to_bytes(),
+        "parallel dict diverged"
+    );
+    assert_eq!(par_store.dims(), serial_store.dims());
+
+    let segment_bytes = lbr_bitmat::disk::save_store(&par_store, seg_path).expect("segment write");
+    let report = LoadReport {
+        n_triples: par_store.dims().n_triples,
+        threads,
+        serial_secs,
+        parallel_secs,
+        peak_rss_bytes: peak_rss_bytes(),
+        segment_bytes,
+    };
+    (report, par_graph)
+}
+
+/// [`run_load_with_segment`] against a throwaway segment file.
+pub fn run_load(graph: &lbr_rdf::Graph, threads: usize) -> LoadReport {
+    let path = std::env::temp_dir().join(format!("lbr-bench-load-{}.seg", std::process::id()));
+    let (report, _) = run_load_with_segment(graph, threads, &path);
+    let _ = std::fs::remove_file(&path);
+    report
+}
+
+/// Generates the LUBM scale tier at `universities`, measures both bulk
+/// loads, and runs the Appendix E queries over the mmap'd segment: one
+/// cold pass (fresh [`lbr_bitmat::DiskCatalog`], first touch of every
+/// mapped page) and [`RUNS`] warm passes.
+pub fn run_scale(universities: usize, seed: u64) -> ScaleReport {
+    let cfg = lbr_datagen::lubm::LubmConfig {
+        universities,
+        departments: 10,
+        seed,
+    };
+    let graph = lbr_rdf::Graph::from_triples(lbr_datagen::lubm::generate(&cfg));
+    let threads = bench_threads();
+    let seg_path = std::env::temp_dir().join(format!("lbr-bench-scale-{}.seg", std::process::id()));
+    let (load, encoded) = run_load_with_segment(&graph, threads, &seg_path);
+
+    let catalog = lbr_bitmat::DiskCatalog::open(&seg_path).expect("segment reopens");
+    let engine = LbrEngine::new(&catalog, &encoded.dict).with_threads(1);
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for q in lbr_datagen::lubm::queries() {
+        let query = parse_query(&q.text).expect("scale query parses");
+        let t0 = Instant::now();
+        let expect = engine.execute(&query).expect("cold run");
+        cold.push(secs(t0.elapsed()));
+        let mut total = 0.0;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let out = engine.execute(&query).expect("warm run");
+            total += secs(t0.elapsed());
+            assert_eq!(out.len(), expect.len(), "{} unstable over mmap", q.id);
+        }
+        warm.push(total / f64::from(RUNS));
+    }
+    drop(catalog);
+    let _ = std::fs::remove_file(&seg_path);
+    ScaleReport {
+        universities,
+        load,
+        cold_geomean_secs: geomean(cold.into_iter()),
+        warm_geomean_secs: geomean(warm.into_iter()),
+    }
+}
+
 pub fn run_dataset(p: &Prepared) -> DatasetReport {
     let dims = p.store.dims();
     let mut rows = Vec::new();
@@ -781,6 +958,8 @@ pub fn run_dataset(p: &Prepared) -> DatasetReport {
         serve: run_serve(p, SERVE_CLIENTS, SERVE_ROUNDS),
         obs: run_obs_overhead(p, SERVE_CLIENTS, SERVE_ROUNDS),
         delta: run_delta(p),
+        load: run_load(&p.dataset.graph, mt_threads),
+        scale: None,
     }
 }
 
@@ -924,7 +1103,37 @@ pub fn render_table_with_prev(r: &DatasetReport, prev_allocs: &[(String, u64)]) 
         fmt_secs(r.delta.compacted_geomean_secs),
         fmt_secs(r.delta.compact_secs),
     );
+    let _ = writeln!(s, "load: {}", render_load(&r.load));
+    if let Some(scale) = &r.scale {
+        let _ = writeln!(
+            s,
+            "scale tier ({} universities, {} triples): load {}; mmap'd \
+             query geomeans cold {} / warm {}",
+            scale.universities,
+            scale.load.n_triples,
+            render_load(&scale.load),
+            fmt_secs(scale.cold_geomean_secs),
+            fmt_secs(scale.warm_geomean_secs),
+        );
+    }
     s
+}
+
+/// One human-readable line of a [`LoadReport`], shared by the dataset
+/// and scale-tier rows of the table.
+fn render_load(l: &LoadReport) -> String {
+    format!(
+        "serial {:.0} triples/s ({}), parallel×{} {:.0} triples/s ({}, {:.2}x); \
+         peak RSS {} MiB, segment {} MiB",
+        l.serial_tps(),
+        fmt_secs(l.serial_secs),
+        l.threads,
+        l.parallel_tps(),
+        fmt_secs(l.parallel_secs),
+        l.speedup(),
+        l.peak_rss_bytes / (1024 * 1024),
+        l.segment_bytes.div_ceil(1024 * 1024),
+    )
 }
 
 /// Extracts `(query id, allocs_per_query)` pairs from a previously
@@ -1118,8 +1327,42 @@ impl DatasetReport {
         out.push_str(",\"compact_secs\":");
         json_f64(&mut out, self.delta.compact_secs);
         out.push('}');
+        out.push_str(",\"load\":");
+        self.load.write_json(&mut out);
+        if let Some(scale) = &self.scale {
+            let _ = write!(out, ",\"scale\":{{\"universities\":{}", scale.universities);
+            out.push_str(",\"load\":");
+            scale.load.write_json(&mut out);
+            out.push_str(",\"cold_geomean_secs\":");
+            json_f64(&mut out, scale.cold_geomean_secs);
+            out.push_str(",\"warm_geomean_secs\":");
+            json_f64(&mut out, scale.warm_geomean_secs);
+            out.push('}');
+        }
         out.push('}');
         out
+    }
+}
+
+impl LoadReport {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"n_triples\":{},\"threads\":{},\"serial_secs\":",
+            self.n_triples, self.threads
+        );
+        json_f64(out, self.serial_secs);
+        out.push_str(",\"parallel_secs\":");
+        json_f64(out, self.parallel_secs);
+        out.push_str(",\"serial_tps\":");
+        json_f64(out, self.serial_tps());
+        out.push_str(",\"parallel_tps\":");
+        json_f64(out, self.parallel_tps());
+        let _ = write!(
+            out,
+            ",\"peak_rss_bytes\":{},\"segment_bytes\":{}}}",
+            self.peak_rss_bytes, self.segment_bytes
+        );
     }
 }
 
@@ -1223,6 +1466,45 @@ mod tests {
         assert!(json.contains("\"cache_hits\""), "{json}");
         assert!(json.contains("\"p99_us\""), "{json}");
         assert!(table.contains("serving:"), "{table}");
+        // The bulk-load block: both paths loaded the same tier, the
+        // segment round-tripped, and the JSON/table carry the numbers.
+        let load = &report.load;
+        assert_eq!(load.n_triples, report.n_triples);
+        assert!(load.serial_secs > 0.0 && load.parallel_secs > 0.0);
+        assert!(load.serial_tps() > 0.0 && load.parallel_tps() > 0.0);
+        assert!(load.threads >= 4);
+        assert!(load.segment_bytes > 0, "segment was written and measured");
+        assert!(json.contains("\"load\":{\"n_triples\""), "{json}");
+        assert!(json.contains("\"parallel_tps\""), "{json}");
+        assert!(json.contains("\"segment_bytes\""), "{json}");
+        assert!(table.contains("load: serial"), "{table}");
+        assert!(report.scale.is_none(), "scale tier only via run_scale");
+    }
+
+    /// The scale path end to end at a miniature size: generation, both
+    /// bulk loads, segment persistence, and cold/warm query passes over
+    /// the mmap'd catalog — plus its JSON/table rendering.
+    #[test]
+    fn scale_tier_runs_and_renders() {
+        let scale = run_scale(1, 7);
+        assert!(scale.load.n_triples > 0);
+        assert!(scale.cold_geomean_secs > 0.0);
+        assert!(scale.warm_geomean_secs > 0.0);
+
+        let ds = lubm::dataset(&lubm::LubmConfig {
+            universities: 1,
+            departments: 2,
+            seed: 3,
+        });
+        let p = prepare(ds);
+        let mut report = run_dataset(&p);
+        report.scale = Some(scale);
+        let json = report.to_json();
+        assert!(json.contains("\"scale\":{\"universities\":1"), "{json}");
+        assert!(json.contains("\"cold_geomean_secs\""), "{json}");
+        let table = render_table(&report);
+        assert!(table.contains("scale tier (1 universities"), "{table}");
+        assert!(table.contains("cold"), "{table}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct CubeDims {
 /// parallel multi-way join, `lbr-server`'s worker pool) shares one catalog
 /// across threads, so loads must be safe to issue concurrently.
 /// [`crate::BitMatStore`] is immutable after build; [`crate::DiskCatalog`]
-/// serializes file access behind a `Mutex` internally.
+/// reads an immutable `mmap` region, so both are lock-free.
 pub trait Catalog: Sync {
     /// Bitcube dimensions.
     fn dims(&self) -> CubeDims;

@@ -384,6 +384,14 @@ enum CursorRepr<'a> {
         i: usize,
         pos: u32,
     },
+    /// Runs over a flat word slice (`[s0, e0, s1, e1, …]`) — the zero-copy
+    /// form used when cursoring directly over an mmap'd segment page,
+    /// where `(u32, u32)` tuple layout cannot be assumed.
+    MappedRuns {
+        words: &'a [u32],
+        i: usize,
+        pos: u32,
+    },
 }
 
 impl<'a> RowCursor<'a> {
@@ -401,11 +409,37 @@ impl<'a> RowCursor<'a> {
         }
     }
 
+    /// A cursor over ascending set-bit positions borrowed from a mapped
+    /// segment (the v2 sparse row payload, sans tag/len header).
+    pub fn from_mapped_sparse(ps: &'a [u32]) -> RowCursor<'a> {
+        RowCursor {
+            repr: CursorRepr::Sparse { ps, i: 0 },
+        }
+    }
+
+    /// A cursor over flattened `[start, end)` run pairs borrowed from a
+    /// mapped segment (the v2 runs row payload, sans tag/len header).
+    /// `words.len()` must be even.
+    pub fn from_mapped_runs(words: &'a [u32]) -> RowCursor<'a> {
+        debug_assert!(
+            words.len().is_multiple_of(2),
+            "flattened runs come in pairs"
+        );
+        RowCursor {
+            repr: CursorRepr::MappedRuns {
+                words,
+                i: 0,
+                pos: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+
     /// The position the cursor currently points at (`None` = exhausted).
     pub fn peek(&self) -> Option<u32> {
         match &self.repr {
             CursorRepr::Sparse { ps, i } => ps.get(*i).copied(),
             CursorRepr::Runs { rs, i, pos } => (*i < rs.len()).then_some(*pos),
+            CursorRepr::MappedRuns { words, i, pos } => (2 * *i < words.len()).then_some(*pos),
         }
     }
 
@@ -422,6 +456,19 @@ impl<'a> RowCursor<'a> {
                     *i += 1;
                     if *i < rs.len() {
                         *pos = rs[*i].0;
+                    }
+                }
+            }
+            CursorRepr::MappedRuns { words, i, pos } => {
+                let n = words.len() / 2;
+                if *i >= n {
+                    return;
+                }
+                *pos += 1;
+                if *pos >= words[2 * *i + 1] {
+                    *i += 1;
+                    if *i < n {
+                        *pos = words[2 * *i];
                     }
                 }
             }
@@ -447,6 +494,30 @@ impl<'a> RowCursor<'a> {
                 *pos = bound.max(rs[*i].0);
                 Some(*pos)
             }
+            CursorRepr::MappedRuns { words, i, pos } => {
+                let n = words.len() / 2;
+                if *i < n && *pos >= bound {
+                    return Some(*pos);
+                }
+                // First run whose end is past the bound, over pair k's end
+                // word at index 2k+1 (ends ascend).
+                let mut lo = *i;
+                let mut hi = n;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if words[2 * mid + 1] <= bound {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                *i = lo;
+                if *i >= n {
+                    return None;
+                }
+                *pos = bound.max(words[2 * *i]);
+                Some(*pos)
+            }
         }
     }
 }
@@ -468,6 +539,19 @@ pub fn intersect_into(rows: &[&BitRow], out: &mut Vec<u32>) {
         return;
     }
     let mut cursors: Vec<RowCursor> = rows.iter().map(|r| RowCursor::new(r)).collect();
+    intersect_cursors_into(&mut cursors, out);
+}
+
+/// The leapfrog core of [`intersect_into`], over caller-built cursors —
+/// including zero-copy cursors over mmap'd segment pages
+/// ([`RowCursor::from_mapped_sparse`] / [`RowCursor::from_mapped_runs`]),
+/// so a join can intersect mapped rows without ever materializing them on
+/// the heap. Cursors must share one universe. `out` is cleared first.
+pub fn intersect_cursors_into(cursors: &mut [RowCursor], out: &mut Vec<u32>) {
+    out.clear();
+    if cursors.is_empty() {
+        return;
+    }
     let Some(mut candidate) = cursors[0].peek() else {
         return;
     };

@@ -44,7 +44,15 @@
 //! heap allocation**: buffers grow to a high-water mark on the first use
 //! and circulate between scratch and destination rows afterwards.
 
-#![forbid(unsafe_code)]
+//! ## Unsafe policy
+//!
+//! The mmap'd segment path ([`mmap`], used by [`DiskCatalog`]) requires
+//! real `unsafe` (the `mmap(2)` FFI and `&[u8]` → `&[u32]` reinterpretation),
+//! so this crate no longer carries `#![forbid(unsafe_code)]`. Instead,
+//! `lbr-analyze` statically enforces that **all** unsafe in this crate is
+//! confined to `mmap.rs` and that every site carries a `// SAFETY:`
+//! comment; everything above the [`mmap::Mmap`] handle is safe code over
+//! ordinary slices.
 
 pub mod bitvec;
 pub mod catalog;
@@ -52,14 +60,16 @@ pub mod disk;
 pub mod error;
 pub mod kernel;
 pub mod matrix;
+pub mod mmap;
 pub mod row;
 pub mod store;
 
 pub use bitvec::BitVec;
 pub use catalog::{Catalog, CubeDims};
-pub use disk::DiskCatalog;
+pub use disk::{DiskCatalog, MappedMatrix};
 pub use error::BitMatError;
 pub use kernel::{RowCursor, SetScratch};
 pub use matrix::{BitMat, RetainDim};
+pub use mmap::Mmap;
 pub use row::BitRow;
-pub use store::{BitMatStore, SizeReport};
+pub use store::{compute_shard_ranges, BitMatStore, SizeReport, DEFAULT_SHARDS};

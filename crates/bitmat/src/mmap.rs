@@ -1,0 +1,200 @@
+//! Read-only memory mapping for on-disk segments.
+//!
+//! The workspace is dependency-free, so `mmap(2)` / `munmap(2)` are
+//! declared by hand instead of through the `libc` crate. This module is
+//! the **only** place in `lbr-bitmat` allowed to contain `unsafe`
+//! (enforced by `lbr-analyze`'s unsafe-confinement lint): it exposes a
+//! safe [`Mmap`] handle whose lifetime owns the mapping, and everything
+//! above it works on ordinary `&[u8]` / `&[u32]` slices.
+
+use crate::error::BitMatError;
+use std::ffi::c_void;
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+
+// Values from the Linux / POSIX ABI (asm-generic/mman-common.h); stable
+// across architectures this crate targets (x86_64, aarch64).
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    // POSIX: void *mmap(void *addr, size_t len, int prot, int flags,
+    //                   int fd, off_t offset);
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    // POSIX: int munmap(void *addr, size_t len);
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+}
+
+/// A read-only, private, whole-file memory mapping.
+///
+/// The mapped bytes are immutable for the mapping's lifetime (PROT_READ +
+/// MAP_PRIVATE: writes by other processes to the underlying file may or
+/// may not be visible, but the segment files written by
+/// [`crate::disk::save_store`] are immutable once renamed into place, so
+/// the contents are stable in practice).
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (PROT_READ) and owned exclusively by
+// this handle; `&[u8]` views handed out borrow `self`, so aliasing rules
+// are upheld and concurrent reads from any thread are safe.
+unsafe impl Send for Mmap {}
+// SAFETY: as above — shared read-only memory with no interior mutability.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the entire file read-only. An empty file maps to an empty
+    /// slice without calling `mmap` (POSIX rejects zero-length mappings).
+    pub fn map(file: &File) -> Result<Mmap, BitMatError> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(BitMatError::Corrupt("file too large to map".into()));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        // SAFETY: FFI call with a valid open fd; NULL addr lets the kernel
+        // choose placement; `len` is the exact file size so the mapping
+        // never extends past EOF pages we intend to read. The result is
+        // checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(BitMatError::Io(std::io::Error::last_os_error()));
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes
+        // (established in `map`, released only in `drop`); the returned
+        // slice borrows `self`, so it cannot outlive the mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` describe the exact mapping returned by
+            // `mmap` in `map`; it is unmapped exactly once (drop runs once
+            // and no other code calls munmap).
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// Reinterprets a 4-byte-aligned byte slice as little-endian `u32` words.
+///
+/// Returns `None` when the slice is misaligned or its length is not a
+/// multiple of four — callers treat that as a corrupt segment, never UB.
+/// (Segment files are laid out so every integer array is 4-byte aligned
+/// relative to the page-aligned mapping base; see `disk.rs`.)
+pub fn words_of(bytes: &[u8]) -> Option<&[u32]> {
+    if !bytes.len().is_multiple_of(4) || bytes.as_ptr().align_offset(4) != 0 {
+        return None;
+    }
+    if cfg!(target_endian = "big") {
+        // The format is little-endian on disk; a zero-copy view would
+        // read scrambled values on BE hosts. No such target is supported,
+        // but fail safe instead of corrupting silently.
+        return None;
+    }
+    // SAFETY: alignment and length were checked above; u32 has no
+    // invalid bit patterns; the lifetime is inherited from `bytes`, and
+    // the underlying mapping is read-only so no mutation can race.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join("lbr_mmap_test_contents.bin");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello bitmat").unwrap();
+        f.sync_all().unwrap();
+        let m = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(m.as_slice(), b"hello bitmat");
+        assert_eq!(m.len(), 12);
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = std::env::temp_dir().join("lbr_mmap_test_empty.bin");
+        File::create(&path).unwrap();
+        let m = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn words_of_checks_alignment_and_length() {
+        let buf: Vec<u8> = vec![1, 0, 0, 0, 2, 0, 0, 0];
+        // Vec<u8> allocations are sufficiently aligned in practice, but be
+        // defensive: only assert on the aligned case.
+        if buf.as_ptr().align_offset(4) == 0 {
+            assert_eq!(words_of(&buf), Some(&[1u32, 2][..]));
+            assert_eq!(words_of(&buf[..7]), None, "length not multiple of 4");
+            assert_eq!(words_of(&buf[1..5]), None, "misaligned");
+        }
+    }
+
+    #[test]
+    fn mapping_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}

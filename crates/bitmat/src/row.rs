@@ -301,6 +301,84 @@ impl BitRow {
         }
     }
 
+    /// Serializes the row as little-endian `u32` words (the v2 segment
+    /// layout): `[tag][n][n or 2n integers]`. Unlike [`BitRow::write_to`],
+    /// every field is a full word, so a 4-byte-aligned payload can be
+    /// reinterpreted as `&[u32]` and cursored zero-copy.
+    pub fn write_words_to(&self, buf: &mut Vec<u8>) {
+        match &self.repr {
+            Repr::Sparse(ps) => {
+                buf.extend_from_slice(&0u32.to_le_bytes());
+                buf.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+                for &p in ps {
+                    buf.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+            Repr::Runs(rs) => {
+                buf.extend_from_slice(&1u32.to_le_bytes());
+                buf.extend_from_slice(&(rs.len() as u32).to_le_bytes());
+                for &(s, e) in rs {
+                    buf.extend_from_slice(&s.to_le_bytes());
+                    buf.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Deserializes a row written by [`BitRow::write_words_to`] from a word
+    /// slice; returns the row and the number of **words** consumed. All
+    /// invariants (tag validity, lengths, ascending positions, well-formed
+    /// runs, universe bounds) are validated — corrupt input yields `None`,
+    /// never a malformed row.
+    pub fn read_from_words(words: &[u32], universe: u32) -> Option<(BitRow, usize)> {
+        let tag = *words.first()?;
+        let n = *words.get(1)? as usize;
+        match tag {
+            0 => {
+                let ps = words.get(2..2 + n)?;
+                if !ps.windows(2).all(|w| w[0] < w[1]) {
+                    return None;
+                }
+                if ps.last().is_some_and(|&p| p >= universe) {
+                    return None;
+                }
+                Some((
+                    BitRow {
+                        universe,
+                        count: n as u32,
+                        repr: Repr::Sparse(ps.to_vec()),
+                    },
+                    2 + n,
+                ))
+            }
+            1 => {
+                let flat = words.get(2..2 + 2 * n)?;
+                let mut rs = Vec::with_capacity(n);
+                let mut count = 0u32;
+                let mut prev_end = 0u32;
+                for pair in flat.chunks_exact(2) {
+                    let (s, e) = (pair[0], pair[1]);
+                    // Runs must ascend, be disjoint and non-adjacent.
+                    if s >= e || e > universe || (!rs.is_empty() && s <= prev_end) {
+                        return None;
+                    }
+                    count = count.checked_add(e - s)?;
+                    prev_end = e;
+                    rs.push((s, e));
+                }
+                Some((
+                    BitRow {
+                        universe,
+                        count,
+                        repr: Repr::Runs(rs),
+                    },
+                    2 + 2 * n,
+                ))
+            }
+            _ => None,
+        }
+    }
+
     /// Size in bytes if the row were forced into run-length encoding —
     /// the ablation baseline for the paper's "40 % smaller" hybrid claim.
     pub fn rle_only_bytes(&self) -> usize {

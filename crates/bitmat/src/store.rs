@@ -18,15 +18,35 @@ pub struct BitMatStore {
     os: Vec<BitMat>,
     po: Vec<BitMat>,
     ps: Vec<BitMat>,
+    /// Predicate-family shards: contiguous predicate-ID ranges `[lo, hi)`
+    /// balanced by triple mass. Purely a partitioning of the predicate
+    /// space — matrices stay densely indexed, and queries are unaffected.
+    shards: Vec<(u32, u32)>,
 }
 
+/// Default shard count for the predicate-family partitioning.
+pub const DEFAULT_SHARDS: usize = 8;
+
 impl BitMatStore {
-    /// Builds all four families from an encoded graph.
-    ///
-    /// The four sort-and-slice passes are independent, so they run on
-    /// separate threads (std::thread::scope) — index construction is the one
-    /// truly parallel phase of the system.
+    /// Builds all four families from an encoded graph with the default
+    /// parallelism (`available_parallelism`, at least the 4 family
+    /// threads of the original design).
     pub fn build(graph: &EncodedGraph) -> Self {
+        Self::build_with_threads(graph, default_build_threads())
+    }
+
+    /// Builds all four families on up to `threads` workers.
+    ///
+    /// The four sort-and-slice family passes are independent, so they run
+    /// on separate threads (std::thread::scope); with `threads > 4`, each
+    /// family additionally partitions its *keys* (predicates for S-O/O-S,
+    /// subjects for P-O, objects for P-S) into contiguous ranges balanced
+    /// by triple mass and builds each range on its own worker. Per-key
+    /// matrices are independent and ranges are concatenated in key order,
+    /// so the result is identical at any thread count. `threads <= 1`
+    /// builds everything serially on the calling thread (the honest
+    /// baseline for load benchmarks).
+    pub fn build_with_threads(graph: &EncodedGraph, threads: usize) -> Self {
         let dims = CubeDims {
             n_subjects: graph.dict.n_subjects(),
             n_predicates: graph.dict.n_predicates(),
@@ -39,55 +59,121 @@ impl BitMatStore {
         let mut os = Vec::new();
         let mut po = Vec::new();
         let mut ps = Vec::new();
-        std::thread::scope(|scope| {
-            let h_so = scope.spawn(|| {
-                family(
-                    t,
-                    dims.n_predicates,
-                    |x| (x.p, x.s, x.o),
-                    dims.n_subjects,
-                    dims.n_objects,
-                )
+        if threads <= 1 {
+            so = family(
+                t,
+                dims.n_predicates,
+                |x| (x.p, x.s, x.o),
+                dims.n_subjects,
+                dims.n_objects,
+                1,
+            );
+            os = family(
+                t,
+                dims.n_predicates,
+                |x| (x.p, x.o, x.s),
+                dims.n_objects,
+                dims.n_subjects,
+                1,
+            );
+            po = family(
+                t,
+                dims.n_subjects,
+                |x| (x.s, x.p, x.o),
+                dims.n_predicates,
+                dims.n_objects,
+                1,
+            );
+            ps = family(
+                t,
+                dims.n_objects,
+                |x| (x.o, x.p, x.s),
+                dims.n_predicates,
+                dims.n_subjects,
+                1,
+            );
+        } else {
+            let inner = threads.div_ceil(4);
+            std::thread::scope(|scope| {
+                let h_so = scope.spawn(|| {
+                    family(
+                        t,
+                        dims.n_predicates,
+                        |x| (x.p, x.s, x.o),
+                        dims.n_subjects,
+                        dims.n_objects,
+                        inner,
+                    )
+                });
+                let h_os = scope.spawn(|| {
+                    family(
+                        t,
+                        dims.n_predicates,
+                        |x| (x.p, x.o, x.s),
+                        dims.n_objects,
+                        dims.n_subjects,
+                        inner,
+                    )
+                });
+                let h_po = scope.spawn(|| {
+                    family(
+                        t,
+                        dims.n_subjects,
+                        |x| (x.s, x.p, x.o),
+                        dims.n_predicates,
+                        dims.n_objects,
+                        inner,
+                    )
+                });
+                let h_ps = scope.spawn(|| {
+                    family(
+                        t,
+                        dims.n_objects,
+                        |x| (x.o, x.p, x.s),
+                        dims.n_predicates,
+                        dims.n_subjects,
+                        inner,
+                    )
+                });
+                so = h_so.join().expect("S-O build panicked");
+                os = h_os.join().expect("O-S build panicked");
+                po = h_po.join().expect("P-O build panicked");
+                ps = h_ps.join().expect("P-S build panicked");
             });
-            let h_os = scope.spawn(|| {
-                family(
-                    t,
-                    dims.n_predicates,
-                    |x| (x.p, x.o, x.s),
-                    dims.n_objects,
-                    dims.n_subjects,
-                )
-            });
-            let h_po = scope.spawn(|| {
-                family(
-                    t,
-                    dims.n_subjects,
-                    |x| (x.s, x.p, x.o),
-                    dims.n_predicates,
-                    dims.n_objects,
-                )
-            });
-            let h_ps = scope.spawn(|| {
-                family(
-                    t,
-                    dims.n_objects,
-                    |x| (x.o, x.p, x.s),
-                    dims.n_predicates,
-                    dims.n_subjects,
-                )
-            });
-            so = h_so.join().expect("S-O build panicked");
-            os = h_os.join().expect("O-S build panicked");
-            po = h_po.join().expect("P-O build panicked");
-            ps = h_ps.join().expect("P-S build panicked");
-        });
+        }
+        let shards = compute_shards(&so, DEFAULT_SHARDS);
         BitMatStore {
             dims,
             so,
             os,
             po,
             ps,
+            shards,
         }
+    }
+
+    /// Number of predicate-family shards (≥ 1 whenever predicates exist).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The contiguous predicate-ID ranges `[lo, hi)` of every shard.
+    pub fn shard_ranges(&self) -> &[(u32, u32)] {
+        &self.shards
+    }
+
+    /// The shard a predicate belongs to (`None` if `p` is out of range).
+    pub fn shard_of(&self, p: u32) -> Option<usize> {
+        if p >= self.dims.n_predicates {
+            return None;
+        }
+        Some(self.shards.partition_point(|&(_, hi)| hi <= p))
+    }
+
+    /// Iterates one shard's per-predicate matrices: `(p, so, os)`.
+    pub fn iter_shard(&self, shard: usize) -> impl Iterator<Item = (u32, &BitMat, &BitMat)> {
+        let (lo, hi) = self.shards.get(shard).copied().unwrap_or((0, 0));
+        (lo..hi).map(move |p| (p, &self.so[p as usize], &self.os[p as usize]))
     }
 
     /// Direct read access to an S-O matrix (bench/inspection use).
@@ -157,22 +243,74 @@ impl SizeReport {
 }
 
 /// Builds one family: group triples by `key`, emit a `(row, col)` BitMat
-/// per key. `extract` maps a triple to `(key, row, col)`.
+/// per key. `extract` maps a triple to `(key, row, col)`. With
+/// `threads > 1`, keys are split into contiguous ranges balanced by tuple
+/// mass and built on scoped workers — per-key matrices are independent and
+/// ranges concatenate in key order, so output is thread-count invariant.
 fn family(
     triples: &[EncodedTriple],
     n_keys: u32,
     extract: impl Fn(&EncodedTriple) -> (u32, u32, u32),
     n_rows: u32,
     n_cols: u32,
+    threads: usize,
 ) -> Vec<BitMat> {
     let mut tuples: Vec<(u32, u32, u32)> = triples.iter().map(&extract).collect();
     tuples.sort_unstable();
-    let mut mats: Vec<BitMat> = Vec::with_capacity(n_keys as usize);
+    let threads = threads.max(1);
+    if threads == 1 || n_keys < 2 || tuples.len() < 1 << 12 {
+        return family_keys(&tuples, 0, n_keys, n_rows, n_cols);
+    }
+    // Key-range boundaries snapped from equal tuple-mass split points.
+    let mut bounds: Vec<u32> = vec![0];
+    for k in 1..threads {
+        let target = tuples.len() * k / threads;
+        let key = if target >= tuples.len() {
+            n_keys
+        } else {
+            tuples[target].0
+        };
+        if key > *bounds.last().expect("bounds is never empty") {
+            bounds.push(key);
+        }
+    }
+    if *bounds.last().expect("bounds is never empty") < n_keys {
+        bounds.push(n_keys);
+    }
+    std::thread::scope(|scope| {
+        let tuples = &tuples;
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .map(|w| {
+                let (k0, k1) = (w[0], w[1]);
+                let lo = tuples.partition_point(|t| t.0 < k0);
+                let hi = tuples.partition_point(|t| t.0 < k1);
+                let slice = &tuples[lo..hi];
+                scope.spawn(move || family_keys(slice, k0, k1, n_rows, n_cols))
+            })
+            .collect();
+        let mut mats = Vec::with_capacity(n_keys as usize);
+        for h in handles {
+            mats.append(&mut h.join().expect("family worker panicked"));
+        }
+        mats
+    })
+}
+
+/// Builds the matrices of keys `[k0, k1)` from that range's sorted tuples.
+fn family_keys(
+    tuples: &[(u32, u32, u32)],
+    k0: u32,
+    k1: u32,
+    n_rows: u32,
+    n_cols: u32,
+) -> Vec<BitMat> {
+    let mut mats: Vec<BitMat> = Vec::with_capacity((k1 - k0) as usize);
     let mut i = 0;
-    // One pair buffer reused across every key of the family (its
+    // One pair buffer reused across every key of the range (its
     // high-water mark is the largest slice, not the sum).
     let mut pairs: Vec<(u32, u32)> = Vec::new();
-    for key in 0..n_keys {
+    for key in k0..k1 {
         let start = i;
         while i < tuples.len() && tuples[i].0 == key {
             i += 1;
@@ -183,6 +321,56 @@ fn family(
     }
     debug_assert_eq!(i, tuples.len(), "triple key out of range");
     mats
+}
+
+/// Picks the number of build workers: everything the host offers, but at
+/// least the 4 family threads of the original design.
+pub(crate) fn default_build_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4)
+}
+
+/// Partitions predicates into up to `target` contiguous shards balanced by
+/// per-predicate triple mass (greedy accumulation toward the mean).
+fn compute_shards(so: &[BitMat], target: usize) -> Vec<(u32, u32)> {
+    let counts: Vec<u64> = so.iter().map(|m| m.triple_count()).collect();
+    compute_shard_ranges(&counts, target)
+}
+
+/// Partitions a per-predicate triple-count histogram into up to `target`
+/// contiguous shards balanced by triple mass — the same ranges
+/// [`BitMatStore::shard_ranges`] carries, computable from any
+/// [`Catalog`]'s `count_so` histogram (how `lbr-store` shards a mapped
+/// on-disk catalog without rebuilding the heap store).
+pub fn compute_shard_ranges(counts: &[u64], target: usize) -> Vec<(u32, u32)> {
+    let n_preds = counts.len() as u32;
+    if n_preds == 0 {
+        return Vec::new();
+    }
+    let total: u64 = counts.iter().sum();
+    let target = target.clamp(1, n_preds as usize);
+    let per_shard = (total / target as u64).max(1);
+    let mut shards: Vec<(u32, u32)> = Vec::with_capacity(target);
+    let mut lo = 0u32;
+    let mut acc = 0u64;
+    for p in 0..n_preds {
+        acc += counts[p as usize];
+        // Close the shard once it carries its share, keeping the final
+        // shard open so it absorbs the tail.
+        if acc >= per_shard && shards.len() + 1 < target {
+            shards.push((lo, p + 1));
+            lo = p + 1;
+            acc = 0;
+        }
+    }
+    if lo < n_preds {
+        shards.push((lo, n_preds));
+    }
+    debug_assert_eq!(shards.first().map(|s| s.0), Some(0));
+    debug_assert_eq!(shards.last().map(|s| s.1), Some(n_preds));
+    shards
 }
 
 impl Catalog for BitMatStore {
@@ -339,6 +527,70 @@ mod tests {
         m.unfold(&crate::BitVec::zeros(m.n_cols()), crate::RetainDim::Col);
         assert!(m.is_empty());
         assert_eq!(store.count_so(0), before, "store must be unaffected");
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        // Big enough to clear the serial-fallback threshold in `family`.
+        let mut triples = Vec::new();
+        for i in 0..3000u32 {
+            triples.push(t(
+                &format!("s{}", i % 403),
+                &format!("p{}", i % 17),
+                &format!("o{}", (i * 7) % 811),
+            ));
+            triples.push(t(
+                &format!("o{}", i % 811),
+                "link",
+                &format!("s{}", (i + 1) % 403),
+            ));
+        }
+        let g = Graph::from_triples(triples).encode();
+        let serial = BitMatStore::build_with_threads(&g, 1);
+        for threads in [2, 5, 8, 32] {
+            let par = BitMatStore::build_with_threads(&g, threads);
+            assert_eq!(par.dims(), serial.dims());
+            for p in 0..serial.dims().n_predicates {
+                assert_eq!(par.so(p), serial.so(p), "so({p}) at {threads} threads");
+                assert_eq!(par.os(p), serial.os(p), "os({p}) at {threads} threads");
+            }
+            for s in 0..serial.dims().n_subjects {
+                assert_eq!(par.po(s), serial.po(s), "po({s}) at {threads} threads");
+            }
+            for o in 0..serial.dims().n_objects {
+                assert_eq!(par.ps(o), serial.ps(o), "ps({o}) at {threads} threads");
+            }
+            assert_eq!(par.shard_ranges(), serial.shard_ranges());
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_predicate_space() {
+        let g = figure_3_2_graph();
+        let store = BitMatStore::build(&g);
+        let dims = store.dims();
+        assert!(store.n_shards() >= 1);
+        // Ranges are contiguous, ordered, and cover 0..n_predicates.
+        let mut next = 0u32;
+        for &(lo, hi) in store.shard_ranges() {
+            assert_eq!(lo, next);
+            assert!(hi > lo);
+            next = hi;
+        }
+        assert_eq!(next, dims.n_predicates);
+        // Every predicate maps to the shard whose range holds it, and
+        // shard iteration yields exactly that range's matrices.
+        let mut total = 0u64;
+        for shard in 0..store.n_shards() {
+            let (lo, hi) = store.shard_ranges()[shard];
+            for (p, so, _os) in store.iter_shard(shard) {
+                assert!((lo..hi).contains(&p));
+                assert_eq!(store.shard_of(p), Some(shard));
+                total += so.triple_count();
+            }
+        }
+        assert_eq!(total, dims.n_triples);
+        assert_eq!(store.shard_of(dims.n_predicates), None);
     }
 
     #[test]

@@ -97,6 +97,16 @@ impl DictionaryBuilder {
         }
     }
 
+    // Interns a term with a pre-merged role bit-set (S=1, P=2, O=4). Used
+    // by the parallel loader, whose slot-ordered merge already knows each
+    // term's full role set when it replays first-seen order.
+    pub(crate) fn intern_roles(&mut self, t: &Term, roles: u8) {
+        debug_assert!(!self.index.contains_key(t), "merged terms are distinct");
+        let i = self.terms.len() as u32;
+        self.index.insert(t.clone(), i);
+        self.terms.push((t.clone(), Roles(roles)));
+    }
+
     /// Performs the Appendix-D assignment and freezes the dictionary.
     ///
     /// ID layout per dimension (0-based):
@@ -287,6 +297,195 @@ impl Dictionary {
             .enumerate()
             .map(move |(id, &ti)| (id as Id, &self.terms[ti as usize]))
     }
+
+    /// Serializes the frozen dictionary to a flat byte image:
+    /// `[n_terms][tagged terms][term_of_s][term_of_o][term_of_p][n_so]`,
+    /// all integers little-endian `u32`, strings length-prefixed. The
+    /// inverse maps and hash index are rebuilt on load — they are fully
+    /// determined by the stored vectors.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_ids(out: &mut Vec<u8>, ids: &[u32]) {
+            out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for &id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.terms.len() as u32).to_le_bytes());
+        for t in &self.terms {
+            match t {
+                Term::Iri(v) => {
+                    out.push(0);
+                    put_str(&mut out, v);
+                }
+                Term::BlankNode(v) => {
+                    out.push(1);
+                    put_str(&mut out, v);
+                }
+                Term::Literal {
+                    lexical,
+                    datatype,
+                    lang,
+                } => {
+                    out.push(2);
+                    put_str(&mut out, lexical);
+                    let flags = datatype.is_some() as u8 | ((lang.is_some() as u8) << 1);
+                    out.push(flags);
+                    if let Some(dt) = datatype {
+                        put_str(&mut out, dt);
+                    }
+                    if let Some(l) = lang {
+                        put_str(&mut out, l);
+                    }
+                }
+            }
+        }
+        put_ids(&mut out, &self.term_of_s);
+        put_ids(&mut out, &self.term_of_o);
+        put_ids(&mut out, &self.term_of_p);
+        out.extend_from_slice(&self.n_so.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Dictionary::to_bytes`]. Every length and index is
+    /// bounds-checked; malformed input yields [`RdfError::Corrupt`], never
+    /// a panic or out-of-bounds access.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Dictionary, RdfError> {
+        struct R<'a> {
+            b: &'a [u8],
+            pos: usize,
+        }
+        fn corrupt(message: &str) -> RdfError {
+            RdfError::Corrupt {
+                message: message.to_string(),
+            }
+        }
+        impl<'a> R<'a> {
+            fn u8(&mut self) -> Result<u8, RdfError> {
+                let v = *self.b.get(self.pos).ok_or_else(|| corrupt("truncated"))?;
+                self.pos += 1;
+                Ok(v)
+            }
+            fn u32(&mut self) -> Result<u32, RdfError> {
+                let end = self.pos.checked_add(4).ok_or_else(|| corrupt("overflow"))?;
+                let s = self
+                    .b
+                    .get(self.pos..end)
+                    .ok_or_else(|| corrupt("truncated"))?;
+                self.pos = end;
+                Ok(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+            }
+            fn string(&mut self) -> Result<String, RdfError> {
+                let len = self.u32()? as usize;
+                let end = self
+                    .pos
+                    .checked_add(len)
+                    .ok_or_else(|| corrupt("overflow"))?;
+                let s = self
+                    .b
+                    .get(self.pos..end)
+                    .ok_or_else(|| corrupt("truncated string"))?;
+                self.pos = end;
+                String::from_utf8(s.to_vec()).map_err(|_| corrupt("invalid UTF-8"))
+            }
+            fn ids(&mut self, max: u32) -> Result<Vec<u32>, RdfError> {
+                let n = self.u32()? as usize;
+                // Cheap pre-check so a corrupt length cannot trigger a huge
+                // allocation: each ID takes 4 bytes of remaining input.
+                if n > (self.b.len() - self.pos) / 4 {
+                    return Err(corrupt("ID vector longer than input"));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = self.u32()?;
+                    if id >= max {
+                        return Err(corrupt("term index out of range"));
+                    }
+                    v.push(id);
+                }
+                Ok(v)
+            }
+        }
+        let mut r = R { b: bytes, pos: 0 };
+        let n_terms = r.u32()? as usize;
+        let mut terms = Vec::new();
+        for _ in 0..n_terms {
+            let term = match r.u8()? {
+                0 => Term::Iri(r.string()?),
+                1 => Term::BlankNode(r.string()?),
+                2 => {
+                    let lexical = r.string()?;
+                    let flags = r.u8()?;
+                    if flags & !3 != 0 || flags == 3 {
+                        return Err(corrupt("invalid literal flags"));
+                    }
+                    let datatype = if flags & 1 != 0 {
+                        Some(r.string()?)
+                    } else {
+                        None
+                    };
+                    let lang = if flags & 2 != 0 {
+                        Some(r.string()?)
+                    } else {
+                        None
+                    };
+                    Term::Literal {
+                        lexical,
+                        datatype,
+                        lang,
+                    }
+                }
+                _ => return Err(corrupt("unknown term tag")),
+            };
+            terms.push(term);
+        }
+        let term_of_s = r.ids(n_terms as u32)?;
+        let term_of_o = r.ids(n_terms as u32)?;
+        let term_of_p = r.ids(n_terms as u32)?;
+        let n_so = r.u32()?;
+        if r.pos != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        if n_so as usize > term_of_s.len() || n_so as usize > term_of_o.len() {
+            return Err(corrupt("shared prefix exceeds dimension size"));
+        }
+        if term_of_s[..n_so as usize] != term_of_o[..n_so as usize] {
+            return Err(corrupt("shared prefix mismatch between S and O"));
+        }
+        let mut index = HashMap::with_capacity(terms.len());
+        for (i, t) in terms.iter().enumerate() {
+            if index.insert(t.clone(), i as u32).is_some() {
+                return Err(corrupt("duplicate term"));
+            }
+        }
+        let mut s_of_term = vec![u32::MAX; terms.len()];
+        let mut o_of_term = vec![u32::MAX; terms.len()];
+        let mut p_of_term = vec![u32::MAX; terms.len()];
+        for (id, &ti) in term_of_s.iter().enumerate() {
+            s_of_term[ti as usize] = id as u32;
+        }
+        for (id, &ti) in term_of_o.iter().enumerate() {
+            o_of_term[ti as usize] = id as u32;
+        }
+        for (id, &ti) in term_of_p.iter().enumerate() {
+            p_of_term[ti as usize] = id as u32;
+        }
+        Ok(Dictionary {
+            index,
+            terms,
+            term_of_s,
+            term_of_o,
+            term_of_p,
+            s_of_term,
+            o_of_term,
+            p_of_term,
+            n_so,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +583,55 @@ mod tests {
         );
         // ...and an unrelated predicate coordinate.
         assert_eq!(d.id(&term, Dimension::Predicate), Some(0));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut triples = sample();
+        triples.push(Triple::new(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::typed_literal("42", "http://www.w3.org/2001/XMLSchema#integer"),
+        ));
+        triples.push(Triple::new(
+            Term::blank("b0"),
+            Term::iri("p"),
+            Term::lang_literal("hi", "en"),
+        ));
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&triples);
+        let d = b.build();
+        let bytes = d.to_bytes();
+        let d2 = Dictionary::from_bytes(&bytes).unwrap();
+        assert_eq!(d2.n_shared(), d.n_shared());
+        for dim in [Dimension::Subject, Dimension::Predicate, Dimension::Object] {
+            let a: Vec<_> = d.terms_of(dim).collect();
+            let b: Vec<_> = d2.terms_of(dim).collect();
+            assert_eq!(a, b);
+        }
+        for tr in &triples {
+            assert_eq!(d2.encode(tr), d.encode(tr));
+        }
+        // And the re-serialization is byte-identical.
+        assert_eq!(d2.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_bytes_error_not_panic() {
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&sample());
+        let bytes = b.build().to_bytes();
+        // Truncations at every prefix length must error cleanly.
+        for n in 0..bytes.len() {
+            assert!(Dictionary::from_bytes(&bytes[..n]).is_err(), "prefix {n}");
+        }
+        // Flipped bytes either error or produce *some* dictionary — never
+        // panic. (Most flips break a length or an index bound.)
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let _ = Dictionary::from_bytes(&bad);
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum RdfError {
         /// The dimension that was queried.
         dimension: &'static str,
     },
+    /// A serialized dictionary (segment checkpoint) failed validation.
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
 }
 
 impl fmt::Display for RdfError {
@@ -40,6 +45,9 @@ impl fmt::Display for RdfError {
             }
             RdfError::UnknownId { id, dimension } => {
                 write!(f, "ID {id} is out of range for the {dimension} dimension")
+            }
+            RdfError::Corrupt { message } => {
+                write!(f, "corrupt serialized dictionary: {message}")
             }
         }
     }

@@ -239,7 +239,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn parse_line(line: &str, lineno: usize) -> Result<Triple, RdfError> {
+pub(crate) fn parse_line(line: &str, lineno: usize) -> Result<Triple, RdfError> {
     let mut c = Cursor {
         bytes: line.as_bytes(),
         pos: 0,

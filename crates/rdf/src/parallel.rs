@@ -1,0 +1,332 @@
+//! Parallel bulk-load primitives: chunked N-Triples parsing and parallel
+//! dictionary-encoding on `std::thread::scope` workers.
+//!
+//! Everything here is **deterministic**: for any thread count the results
+//! are byte-identical to the serial paths ([`crate::parse_ntriples`],
+//! [`crate::Graph::encode`]). The dictionary is the interesting case — the
+//! Appendix-D assignment depends on *first-seen order*, which a naive
+//! sharded intern would scramble. The trick is that first-seen order over
+//! a fixed triple list is a total order computable independently per
+//! chunk: occurrence *slot* `3·i + j` for triple index `i` and position
+//! `j` (0 = subject, 1 = predicate, 2 = object). Each worker builds a
+//! per-chunk `term → (min slot, role set)` map; the merge keeps the
+//! global minimum slot and ORs the roles; sorting the merged entries by
+//! slot reproduces the serial intern order exactly, so the IDs the
+//! frozen [`Dictionary`] hands out are reproducible at any parallelism.
+
+use crate::dictionary::{Dictionary, DictionaryBuilder};
+use crate::error::RdfError;
+use crate::graph::EncodedGraph;
+use crate::ntriples::parse_line;
+use crate::triple::{EncodedTriple, Triple};
+
+/// Splits `0..len` into at most `parts` non-empty contiguous ranges of
+/// near-equal size (fewer when `len < parts`).
+pub(crate) fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for k in 0..parts {
+        let end = len * (k + 1) / parts;
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    if out.is_empty() {
+        out.push(0..0);
+    }
+    out
+}
+
+/// Parses an N-Triples document on `threads` workers, each taking a
+/// contiguous run of whole lines. Identical output (and identical
+/// first-error reporting, with absolute line numbers) to
+/// [`crate::parse_ntriples`].
+pub fn parse_ntriples_parallel(input: &str, threads: usize) -> Result<Vec<Triple>, RdfError> {
+    let threads = threads.max(1);
+    // Small inputs: chunking overhead dominates; one worker is exact.
+    if threads == 1 || input.len() < 1 << 16 {
+        return crate::ntriples::parse_ntriples(input);
+    }
+    let bytes = input.as_bytes();
+    // Chunk starts snapped forward to line starts so no line is split.
+    let mut starts = vec![0usize];
+    for k in 1..threads {
+        let mut pos = input.len() * k / threads;
+        while pos < bytes.len() && bytes[pos] != b'\n' {
+            pos += 1;
+        }
+        if pos < bytes.len() {
+            pos += 1;
+        }
+        if pos > *starts.last().expect("starts is never empty") {
+            starts.push(pos);
+        }
+    }
+    starts.push(input.len());
+
+    // Each worker parses its chunk with chunk-relative line numbers; an
+    // error is fixed up to the absolute line number afterwards (the error
+    // path may count newlines — it aborts the whole load anyway).
+    let results: Vec<Result<Vec<Triple>, RdfError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = starts
+            .windows(2)
+            .map(|w| {
+                let chunk = &input[w[0]..w[1]];
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (lineno, line) in chunk.lines().enumerate() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        out.push(parse_line(line, lineno + 1)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parser worker panicked"))
+            .collect()
+    });
+
+    let mut out = Vec::new();
+    for (chunk_idx, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(mut triples) => out.append(&mut triples),
+            Err(RdfError::Syntax { line, message }) => {
+                let base = input[..starts[chunk_idx]]
+                    .bytes()
+                    .filter(|&b| b == b'\n')
+                    .count();
+                return Err(RdfError::Syntax {
+                    line: base + line,
+                    message,
+                });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the Appendix-D dictionary from a **sorted, deduplicated** triple
+/// list on `threads` workers — ID-for-ID identical to feeding the same
+/// list through [`DictionaryBuilder::add_all`] (see the module docs for
+/// why the slot-ordered merge reproduces first-seen order).
+pub fn build_dictionary_parallel(triples: &[Triple], threads: usize) -> Dictionary {
+    let threads = threads.max(1);
+    if threads == 1 || triples.len() < 1 << 12 {
+        let mut b = DictionaryBuilder::new();
+        b.add_all(triples);
+        return b.build();
+    }
+    // Per-chunk term → (min slot, roles) maps, merged smallest-slot-wins.
+    use std::collections::HashMap;
+    let merged: Vec<(&crate::term::Term, (u64, u8))> = {
+        let maps: Vec<HashMap<&crate::term::Term, (u64, u8)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_ranges(triples.len(), threads)
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut map: HashMap<&crate::term::Term, (u64, u8)> = HashMap::new();
+                        for (i, t) in triples[range.clone()].iter().enumerate() {
+                            let idx = (range.start + i) as u64;
+                            for (j, (term, role)) in [(&t.s, 1u8), (&t.p, 2u8), (&t.o, 4u8)]
+                                .into_iter()
+                                .enumerate()
+                            {
+                                let slot = idx * 3 + j as u64;
+                                map.entry(term)
+                                    .and_modify(|e| e.1 |= role)
+                                    .or_insert((slot, role));
+                            }
+                        }
+                        map
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dictionary worker panicked"))
+                .collect()
+        });
+        // Chunks are processed in ascending slot ranges, so the first map
+        // that knows a term already holds its global minimum slot — later
+        // chunks only contribute role bits.
+        let mut merged: HashMap<&crate::term::Term, (u64, u8)> = HashMap::new();
+        for map in maps {
+            for (term, (slot, roles)) in map {
+                merged
+                    .entry(term)
+                    .and_modify(|e| {
+                        e.0 = e.0.min(slot);
+                        e.1 |= roles;
+                    })
+                    .or_insert((slot, roles));
+            }
+        }
+        let mut v: Vec<_> = merged.into_iter().collect();
+        v.sort_unstable_by_key(|&(_, (slot, _))| slot);
+        v
+    };
+    let mut b = DictionaryBuilder::new();
+    for (term, (_, roles)) in merged {
+        b.intern_roles(term, roles);
+    }
+    b.build()
+}
+
+/// Dictionary-encodes a sorted, deduplicated triple list on `threads`
+/// workers under an already-built dictionary. Panics (like the serial
+/// path's `expect`) if a triple carries a term the dictionary lacks.
+pub fn encode_triples_parallel(
+    dict: &Dictionary,
+    triples: &[Triple],
+    threads: usize,
+) -> Vec<EncodedTriple> {
+    let threads = threads.max(1);
+    if threads == 1 || triples.len() < 1 << 12 {
+        return triples
+            .iter()
+            .map(|t| dict.encode(t).expect("all terms were added to the builder"))
+            .collect();
+    }
+    let chunks: Vec<Vec<EncodedTriple>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(triples.len(), threads)
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    triples[range]
+                        .iter()
+                        .map(|t| dict.encode(t).expect("all terms were added to the builder"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("encode worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(triples.len());
+    for mut c in chunks {
+        out.append(&mut c);
+    }
+    out
+}
+
+/// Parses and encodes an N-Triples document end-to-end on `threads`
+/// workers: chunked parse → sort/dedup → slot-merged parallel dictionary
+/// → parallel encode. Byte-identical to
+/// `Graph::from_triples(parse_ntriples(input)?).encode()`.
+pub fn load_ntriples_parallel(input: &str, threads: usize) -> Result<EncodedGraph, RdfError> {
+    let triples = parse_ntriples_parallel(input, threads)?;
+    Ok(crate::graph::Graph::from_triples(triples).encode_with_threads(threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::term::Term;
+    use crate::write_ntriples;
+
+    fn synth(n: usize) -> Vec<Triple> {
+        // Terms recur across roles so the shared Vso prefix is non-trivial,
+        // and literals exercise the object-only path.
+        (0..n)
+            .map(|i| {
+                let s = Term::iri(format!("e{}", i % 97));
+                let p = Term::iri(format!("p{}", i % 7));
+                let o = if i % 3 == 0 {
+                    Term::literal(format!("v{i}"))
+                } else {
+                    Term::iri(format!("e{}", (i * 31) % 97))
+                };
+                Triple::new(s, p, o)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_parse_matches_serial() {
+        let triples = synth(9000);
+        let doc = write_ntriples(&triples);
+        let serial = crate::parse_ntriples(&doc).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = parse_ntriples_parallel(&doc, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_parse_reports_absolute_line() {
+        // Force the parallel path with a large document and an error near
+        // the end.
+        let mut doc = write_ntriples(&synth(9000));
+        let good_lines = doc.lines().count();
+        doc.push_str("bogus line here\n");
+        match parse_ntriples_parallel(&doc, 4) {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, good_lines + 1),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_dictionary_is_id_identical() {
+        let mut g = Graph::from_triples(synth(20_000));
+        g.finish();
+        let triples = g.triples().to_vec();
+        let mut b = DictionaryBuilder::new();
+        b.add_all(&triples);
+        let serial = b.build();
+        for threads in [2, 3, 8] {
+            let par = build_dictionary_parallel(&triples, threads);
+            assert_eq!(par.n_subjects(), serial.n_subjects());
+            assert_eq!(par.n_objects(), serial.n_objects());
+            assert_eq!(par.n_predicates(), serial.n_predicates());
+            assert_eq!(par.n_shared(), serial.n_shared());
+            for t in &triples {
+                assert_eq!(par.encode(t), serial.encode(t), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_encode_graph_matches_serial() {
+        let triples = synth(20_000);
+        let serial = Graph::from_triples(triples.clone()).encode();
+        for threads in [1, 2, 8] {
+            let par = Graph::from_triples(triples.clone()).encode_with_threads(threads);
+            assert_eq!(par.triples, serial.triples, "threads={threads}");
+            assert_eq!(par.dict.n_subjects(), serial.dict.n_subjects());
+        }
+    }
+
+    #[test]
+    fn end_to_end_load_matches_serial() {
+        let triples = synth(9000);
+        let doc = write_ntriples(&triples);
+        let serial = Graph::from_triples(crate::parse_ntriples(&doc).unwrap()).encode();
+        let par = load_ntriples_parallel(&doc, 4).unwrap();
+        assert_eq!(par.triples, serial.triples);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, parts) in [(0, 4), (1, 4), (7, 3), (100, 8), (8, 100)] {
+            let ranges = chunk_ranges(len, parts);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(next, len);
+        }
+    }
+}

@@ -39,6 +39,6 @@ pub mod store;
 pub mod wal;
 
 pub use delta::{Delta, TripleSet};
-pub use overlay::OverlayCatalog;
+pub use overlay::{OverlayCatalog, SegmentSource};
 pub use store::{CommitInfo, Snapshot, Store, StoreError, StoreObs, UpdateBatch};
 pub use wal::{Wal, WalOp, WalOpKind, WalRecovery};

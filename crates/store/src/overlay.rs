@@ -15,45 +15,165 @@
 //! per load.
 
 use crate::delta::Delta;
-use lbr_bitmat::{BitMat, BitMatError, BitMatStore, BitRow, Catalog, CubeDims};
+use lbr_bitmat::{
+    compute_shard_ranges, BitMat, BitMatError, BitMatStore, BitRow, Catalog, CubeDims, DiskCatalog,
+    DEFAULT_SHARDS,
+};
+use lbr_rdf::EncodedTriple;
 use std::sync::Arc;
 
 /// Sorted `(row, col)` delta pairs of one per-predicate family.
 type PairList = Vec<(u32, u32)>;
 
+/// One shard's merged matrices: `(p, S-O, O-S)` per predicate, as
+/// returned by [`OverlayCatalog::shard_matrices`].
+pub type ShardMatrices = Vec<(u32, Option<BitMat>, Option<BitMat>)>;
+
+/// Where the immutable base segments live: built on the heap, or mmap'd
+/// from an on-disk segment file written by `lbr_bitmat::disk::save_store`.
+///
+/// The overlay treats both uniformly through the [`Catalog`] trait, so
+/// the delta/WAL layers above are agnostic to the segment medium — an
+/// updatable store can reopen straight onto a mapped checkpoint segment
+/// and skip the BitMat rebuild entirely.
+#[derive(Debug, Clone)]
+pub enum SegmentSource {
+    /// Segments built in memory by [`BitMatStore::build`].
+    Heap(Arc<BitMatStore>),
+    /// Segments read zero-copy from an mmap'd segment file.
+    Disk(Arc<DiskCatalog>),
+}
+
+impl SegmentSource {
+    /// The segments as a [`Catalog`].
+    pub fn catalog(&self) -> &dyn Catalog {
+        match self {
+            SegmentSource::Heap(s) => s.as_ref(),
+            SegmentSource::Disk(d) => d.as_ref(),
+        }
+    }
+
+    /// The cube dimensions of the base segments.
+    pub fn dims(&self) -> CubeDims {
+        self.catalog().dims()
+    }
+
+    /// True when the segments are mmap'd from disk.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, SegmentSource::Disk(_))
+    }
+
+    /// The heap store, when the segments live in memory.
+    pub fn as_heap(&self) -> Option<&Arc<BitMatStore>> {
+        match self {
+            SegmentSource::Heap(s) => Some(s),
+            SegmentSource::Disk(_) => None,
+        }
+    }
+
+    /// True when the base segments contain the encoded triple.
+    pub fn contains(&self, e: EncodedTriple) -> bool {
+        match self {
+            SegmentSource::Heap(s) => s.po(e.s).is_some_and(|m| m.get(e.p, e.o)),
+            // Mapped path: one row materialization; a read error on a
+            // validated mapping cannot happen, so it degrades to absent.
+            SegmentSource::Disk(d) => d
+                .load_po_row(e.s, e.p)
+                .ok()
+                .flatten()
+                .is_some_and(|row| row.contains(e.o)),
+        }
+    }
+
+    /// The predicate-family shard ranges of the base segments: the heap
+    /// store's precomputed ranges, or (for a mapped catalog) the same
+    /// mass-balanced partition recomputed from the per-predicate counts
+    /// in the segment TOC.
+    pub fn shard_ranges(&self) -> Vec<(u32, u32)> {
+        match self {
+            SegmentSource::Heap(s) => s.shard_ranges().to_vec(),
+            SegmentSource::Disk(d) => {
+                let n = d.dims().n_predicates;
+                let counts: Vec<u64> = (0..n).map(|p| d.count_so(p)).collect();
+                compute_shard_ranges(&counts, DEFAULT_SHARDS)
+            }
+        }
+    }
+}
+
 /// A [`Catalog`] over immutable segments plus a delta memtable.
 ///
-/// Cheap to clone (two `Arc`s); a clone is pinned to the segment/delta
+/// Cheap to clone (a few `Arc`s); a clone is pinned to the segment/delta
 /// pair it was created with, which is how [`crate::Snapshot`] provides
 /// isolation.
 #[derive(Debug, Clone)]
 pub struct OverlayCatalog {
-    segments: Arc<BitMatStore>,
+    segments: SegmentSource,
     delta: Arc<Delta>,
     dims: CubeDims,
+    /// Predicate-family shard ranges of the base segments, shared across
+    /// snapshot clones.
+    shards: Arc<Vec<(u32, u32)>>,
 }
 
 impl OverlayCatalog {
-    /// Wraps segments and a delta. The delta must be in the segments' ID
-    /// space and satisfy the [`Delta`] invariants.
+    /// Wraps heap segments and a delta. The delta must be in the
+    /// segments' ID space and satisfy the [`Delta`] invariants.
     pub fn new(segments: Arc<BitMatStore>, delta: Arc<Delta>) -> Self {
+        Self::with_source(SegmentSource::Heap(segments), delta)
+    }
+
+    /// Wraps any segment source (heap or mmap'd) and a delta.
+    pub fn with_source(segments: SegmentSource, delta: Arc<Delta>) -> Self {
         let mut dims = segments.dims();
         dims.n_triples = (dims.n_triples as i64 + delta.net()) as u64;
+        let shards = Arc::new(segments.shard_ranges());
         OverlayCatalog {
             segments,
             delta,
             dims,
+            shards,
         }
     }
 
     /// The immutable base segments.
-    pub fn segments(&self) -> &Arc<BitMatStore> {
+    pub fn segments(&self) -> &SegmentSource {
         &self.segments
     }
 
     /// The delta memtable.
     pub fn delta(&self) -> &Arc<Delta> {
         &self.delta
+    }
+
+    /// Number of predicate-family shards (0 only with no predicates).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The contiguous predicate-ID ranges `[lo, hi)` of every shard.
+    pub fn shard_ranges(&self) -> &[(u32, u32)] {
+        &self.shards
+    }
+
+    /// The shard a predicate belongs to (`None` if `p` is out of range).
+    pub fn shard_of(&self, p: u32) -> Option<usize> {
+        if p >= self.dims.n_predicates {
+            return None;
+        }
+        Some(self.shards.partition_point(|&(_, hi)| hi <= p))
+    }
+
+    /// Materializes one shard's per-predicate matrices **with the delta
+    /// merged in**: `(p, S-O, O-S)` for every predicate of the shard.
+    /// This is the unit of work for shard-parallel consumers (bulk
+    /// exports, shard-local statistics); rows are bit-for-bit what
+    /// [`Catalog::load_so`]/[`Catalog::load_os`] return.
+    pub fn shard_matrices(&self, shard: usize) -> Result<ShardMatrices, BitMatError> {
+        let (lo, hi) = self.shards.get(shard).copied().unwrap_or((0, 0));
+        (lo..hi)
+            .map(|p| Ok((p, self.load_so(p)?, self.load_os(p)?)))
+            .collect()
     }
 
     /// Merges per-key delta changes into a base matrix.
@@ -176,12 +296,20 @@ impl Catalog for OverlayCatalog {
 
     fn load_so(&self, p: u32) -> Result<Option<BitMat>, BitMatError> {
         if self.delta.is_empty() {
-            return self.segments.load_so(p);
+            return self.segments.catalog().load_so(p);
         }
         let (ins, tomb) = self.p_changes(p, false);
         let d = self.dims;
+        let owned;
+        let base: Option<&BitMat> = match &self.segments {
+            SegmentSource::Heap(s) => s.so(p),
+            SegmentSource::Disk(dk) => {
+                owned = dk.load_so(p)?;
+                owned.as_ref()
+            }
+        };
         Ok(Self::merge_matrix(
-            self.segments.so(p),
+            base,
             d.n_subjects,
             d.n_objects,
             &ins,
@@ -191,12 +319,20 @@ impl Catalog for OverlayCatalog {
 
     fn load_os(&self, p: u32) -> Result<Option<BitMat>, BitMatError> {
         if self.delta.is_empty() {
-            return self.segments.load_os(p);
+            return self.segments.catalog().load_os(p);
         }
         let (ins, tomb) = self.p_changes(p, true);
         let d = self.dims;
+        let owned;
+        let base: Option<&BitMat> = match &self.segments {
+            SegmentSource::Heap(s) => s.os(p),
+            SegmentSource::Disk(dk) => {
+                owned = dk.load_os(p)?;
+                owned.as_ref()
+            }
+        };
         Ok(Self::merge_matrix(
-            self.segments.os(p),
+            base,
             d.n_objects,
             d.n_subjects,
             &ins,
@@ -206,13 +342,21 @@ impl Catalog for OverlayCatalog {
 
     fn load_po(&self, s: u32) -> Result<Option<BitMat>, BitMatError> {
         if self.delta.is_empty() {
-            return self.segments.load_po(s);
+            return self.segments.catalog().load_po(s);
         }
         let ins: Vec<(u32, u32)> = self.delta.inserts.pairs_of_s(s).collect();
         let tomb: Vec<(u32, u32)> = self.delta.tombstones.pairs_of_s(s).collect();
         let d = self.dims;
+        let owned;
+        let base: Option<&BitMat> = match &self.segments {
+            SegmentSource::Heap(st) => st.po(s),
+            SegmentSource::Disk(dk) => {
+                owned = dk.load_po(s)?;
+                owned.as_ref()
+            }
+        };
         Ok(Self::merge_matrix(
-            self.segments.po(s),
+            base,
             d.n_predicates,
             d.n_objects,
             &ins,
@@ -222,13 +366,21 @@ impl Catalog for OverlayCatalog {
 
     fn load_ps(&self, o: u32) -> Result<Option<BitMat>, BitMatError> {
         if self.delta.is_empty() {
-            return self.segments.load_ps(o);
+            return self.segments.catalog().load_ps(o);
         }
         let ins: Vec<(u32, u32)> = self.delta.inserts.pairs_of_o(o).collect();
         let tomb: Vec<(u32, u32)> = self.delta.tombstones.pairs_of_o(o).collect();
         let d = self.dims;
+        let owned;
+        let base: Option<&BitMat> = match &self.segments {
+            SegmentSource::Heap(st) => st.ps(o),
+            SegmentSource::Disk(dk) => {
+                owned = dk.load_ps(o)?;
+                owned.as_ref()
+            }
+        };
         Ok(Self::merge_matrix(
-            self.segments.ps(o),
+            base,
             d.n_predicates,
             d.n_subjects,
             &ins,
@@ -238,9 +390,16 @@ impl Catalog for OverlayCatalog {
 
     fn load_po_row(&self, s: u32, p: u32) -> Result<Option<BitRow>, BitMatError> {
         if self.delta.is_empty() {
-            return self.segments.load_po_row(s, p);
+            return self.segments.catalog().load_po_row(s, p);
         }
-        let base = self.segments.po(s).and_then(|m| m.row(p));
+        let owned;
+        let base: Option<&BitRow> = match &self.segments {
+            SegmentSource::Heap(st) => st.po(s).and_then(|m| m.row(p)),
+            SegmentSource::Disk(dk) => {
+                owned = dk.load_po_row(s, p)?;
+                owned.as_ref()
+            }
+        };
         let mut ins = self.delta.inserts.objects_of_sp(s, p).peekable();
         if base.is_none() && ins.peek().is_none() {
             return Ok(None);
@@ -251,9 +410,16 @@ impl Catalog for OverlayCatalog {
 
     fn load_ps_row(&self, o: u32, p: u32) -> Result<Option<BitRow>, BitMatError> {
         if self.delta.is_empty() {
-            return self.segments.load_ps_row(o, p);
+            return self.segments.catalog().load_ps_row(o, p);
         }
-        let base = self.segments.ps(o).and_then(|m| m.row(p));
+        let owned;
+        let base: Option<&BitRow> = match &self.segments {
+            SegmentSource::Heap(st) => st.ps(o).and_then(|m| m.row(p)),
+            SegmentSource::Disk(dk) => {
+                owned = dk.load_ps_row(o, p)?;
+                owned.as_ref()
+            }
+        };
         let mut ins = self.delta.inserts.subjects_of_po(p, o).peekable();
         if base.is_none() && ins.peek().is_none() {
             return Ok(None);
@@ -263,24 +429,27 @@ impl Catalog for OverlayCatalog {
     }
 
     fn count_so(&self, p: u32) -> u64 {
-        self.segments.count_so(p) + self.delta.inserts.count_p(p) - self.delta.tombstones.count_p(p)
+        self.segments.catalog().count_so(p) + self.delta.inserts.count_p(p)
+            - self.delta.tombstones.count_p(p)
     }
 
     fn count_po(&self, s: u32) -> u64 {
-        self.segments.count_po(s) + self.delta.inserts.count_s(s) - self.delta.tombstones.count_s(s)
+        self.segments.catalog().count_po(s) + self.delta.inserts.count_s(s)
+            - self.delta.tombstones.count_s(s)
     }
 
     fn count_ps(&self, o: u32) -> u64 {
-        self.segments.count_ps(o) + self.delta.inserts.count_o(o) - self.delta.tombstones.count_o(o)
+        self.segments.catalog().count_ps(o) + self.delta.inserts.count_o(o)
+            - self.delta.tombstones.count_o(o)
     }
 
     fn count_po_row(&self, s: u32, p: u32) -> u64 {
-        self.segments.count_po_row(s, p) + self.delta.inserts.count_sp(s, p)
+        self.segments.catalog().count_po_row(s, p) + self.delta.inserts.count_sp(s, p)
             - self.delta.tombstones.count_sp(s, p)
     }
 
     fn count_ps_row(&self, o: u32, p: u32) -> u64 {
-        self.segments.count_ps_row(o, p) + self.delta.inserts.count_po(p, o)
+        self.segments.catalog().count_ps_row(o, p) + self.delta.inserts.count_po(p, o)
             - self.delta.tombstones.count_po(p, o)
     }
 }
@@ -475,5 +644,54 @@ mod tests {
         let overlay = OverlayCatalog::new(segments, Arc::new(delta));
         assert_eq!(overlay.load_so(p).unwrap(), None);
         assert_eq!(overlay.count_so(p), 0);
+    }
+
+    /// Heap- and disk-backed overlays agree shard for shard: same ranges
+    /// (the mass-balanced partition is recomputed from the disk TOC's
+    /// per-predicate counts) and same merged matrices under a live delta.
+    #[test]
+    fn shard_iteration_agrees_across_heap_and_disk_sources() {
+        let graph = Graph::from_triples(sitcom_base()).encode();
+        let segments = Arc::new(BitMatStore::build(&graph));
+
+        let path =
+            std::env::temp_dir().join(format!("lbr-overlay-shard-{}.seg", std::process::id()));
+        lbr_bitmat::disk::save_store(&segments, &path).unwrap();
+        let catalog = Arc::new(lbr_bitmat::DiskCatalog::open(&path).unwrap());
+
+        let mut delta = Delta::new();
+        delta.inserts.insert(
+            graph
+                .dict
+                .encode(&t("Jerry", "hasFriend", "Seinfeld"))
+                .unwrap(),
+        );
+        delta.tombstones.insert(
+            graph
+                .dict
+                .encode(&t("Jerry", "actedIn", "Seinfeld"))
+                .unwrap(),
+        );
+        let delta = Arc::new(delta);
+
+        let heap = OverlayCatalog::new(segments, Arc::clone(&delta));
+        let disk = OverlayCatalog::with_source(SegmentSource::Disk(catalog), delta);
+
+        assert_eq!(heap.dims(), disk.dims());
+        assert_eq!(heap.shard_ranges(), disk.shard_ranges());
+        assert!(heap.n_shards() >= 1);
+        for shard in 0..heap.n_shards() {
+            let h = heap.shard_matrices(shard).unwrap();
+            let d = disk.shard_matrices(shard).unwrap();
+            assert_eq!(h, d, "shard {shard} differs between heap and disk");
+        }
+        // Every predicate maps into exactly one shard.
+        for p in 0..heap.dims().n_predicates {
+            let s = heap.shard_of(p).expect("in-range predicate has a shard");
+            let (lo, hi) = heap.shard_ranges()[s];
+            assert!(lo <= p && p < hi);
+        }
+        assert_eq!(heap.shard_of(heap.dims().n_predicates), None);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -45,9 +45,9 @@
 //! ops (per-triple last-writer-wins).
 
 use crate::delta::Delta;
-use crate::overlay::OverlayCatalog;
+use crate::overlay::{OverlayCatalog, SegmentSource};
 use crate::wal::{self, Wal, WalOp, WalOpKind};
-use lbr_bitmat::{BitMatStore, Catalog};
+use lbr_bitmat::{BitMatStore, Catalog, CubeDims, DiskCatalog};
 use lbr_rdf::{Dictionary, EncodedGraph, EncodedTriple, Graph, Triple};
 use std::collections::HashSet;
 use std::fmt;
@@ -72,10 +72,10 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    fn new(epoch: u64, graph: Arc<EncodedGraph>, segments: Arc<BitMatStore>, delta: Delta) -> Self {
+    fn new(epoch: u64, graph: Arc<EncodedGraph>, segments: SegmentSource, delta: Delta) -> Self {
         Snapshot {
             epoch,
-            catalog: OverlayCatalog::new(segments, Arc::new(delta)),
+            catalog: OverlayCatalog::with_source(segments, Arc::new(delta)),
             graph,
         }
     }
@@ -101,8 +101,9 @@ impl Snapshot {
         &self.catalog
     }
 
-    /// The immutable base segments (without the delta).
-    pub fn segments(&self) -> &BitMatStore {
+    /// The immutable base segments (without the delta) — heap-built or
+    /// mmap'd from an on-disk checkpoint segment.
+    pub fn segments(&self) -> &SegmentSource {
         self.catalog.segments()
     }
 
@@ -126,8 +127,7 @@ impl Snapshot {
 
     fn contains_encoded(&self, e: EncodedTriple) -> bool {
         let delta = self.catalog.delta();
-        delta.inserts.contains(e)
-            || (segment_contains(self.segments(), e) && !delta.tombstones.contains(e))
+        delta.inserts.contains(e) || (self.segments().contains(e) && !delta.tombstones.contains(e))
     }
 
     /// Materializes the merged view as term-level triples (sorted) — the
@@ -170,7 +170,7 @@ impl Snapshot {
                     }
                 }
                 Some(e) => {
-                    if segment_contains(self.segments(), e) {
+                    if self.segments().contains(e) {
                         if *present {
                             delta.tombstones.remove(e);
                         } else {
@@ -185,15 +185,11 @@ impl Snapshot {
                 }
             }
         }
-        Some(OverlayCatalog::new(
-            Arc::clone(self.catalog.segments()),
+        Some(OverlayCatalog::with_source(
+            self.catalog.segments().clone(),
             Arc::new(delta),
         ))
     }
-}
-
-fn segment_contains(segments: &BitMatStore, e: EncodedTriple) -> bool {
-    segments.po(e.s).is_some_and(|m| m.get(e.p, e.o))
 }
 
 /// A set of concrete triples to apply atomically. Deletes are applied
@@ -311,18 +307,42 @@ impl Store {
     /// replayed) and every future commit is logged there. When the
     /// directory holds a checkpoint, it replaces `base`: the checkpoint
     /// is the merged view as of the last compaction, and the (truncated)
-    /// log holds only the updates since.
+    /// log holds only the updates since. A v2 checkpoint ships with a
+    /// compacted on-disk segment file (`lbr.seg`), which reopen `mmap`s
+    /// directly — the BitMat rebuild is skipped entirely.
     pub fn open(base: EncodedGraph, wal_dir: Option<&Path>) -> Result<Store, StoreError> {
-        let base = match wal_dir {
-            Some(dir) => match wal::read_checkpoint(dir)? {
-                Some(triples) => Graph::from_triples(triples).encode(),
-                None => base,
+        Self::open_with_segments(base, None, wal_dir)
+    }
+
+    /// [`Store::open`] with pre-opened immutable segments for `base`
+    /// (e.g. an mmap'd disk index built by `lbr_bitmat::disk::save_store`
+    /// over the same data). The segments are used only when their
+    /// dimensions match the graph that actually boots the store — a
+    /// checkpoint in `wal_dir` supersedes `base`, and then the
+    /// checkpoint's own segment file is preferred. On any mismatch the
+    /// store falls back to building heap segments, which is always
+    /// correct, just slower.
+    pub fn open_with_segments(
+        base: EncodedGraph,
+        segments: Option<SegmentSource>,
+        wal_dir: Option<&Path>,
+    ) -> Result<Store, StoreError> {
+        let (graph, source) = match wal_dir {
+            Some(dir) => match wal::read_checkpoint_image(dir)? {
+                Some(image) => {
+                    let source = open_checkpoint_segments(dir, &image);
+                    (image.graph, source)
+                }
+                None => (base, segments),
             },
-            None => base,
+            None => (base, segments),
         };
-        let graph = Arc::new(base);
-        let segments = Arc::new(BitMatStore::build(&graph));
-        let snapshot = Arc::new(Snapshot::new(0, graph, segments, Delta::new()));
+        let graph = Arc::new(graph);
+        let source = match source {
+            Some(s) if s.dims() == graph_dims(&graph) => s,
+            _ => SegmentSource::Heap(Arc::new(BitMatStore::build(&graph))),
+        };
+        let snapshot = Arc::new(Snapshot::new(0, graph, source, Delta::new()));
         let store = Store {
             current: RwLock::new(snapshot),
             retained: Mutex::new(Vec::new()),
@@ -467,9 +487,11 @@ impl Store {
         self.epoch.store(epoch, Ordering::Release);
     }
 
-    /// Writes the checkpoint image for `snap` and truncates the log.
-    /// Best-effort: any failure leaves the previous checkpoint + log
-    /// intact, which still replay to the same state.
+    /// Writes the checkpoint image for `snap` — the dictionary + encoded
+    /// triples plus a compacted on-disk segment file (`lbr.seg`) that the
+    /// next open `mmap`s instead of rebuilding BitMats — and truncates
+    /// the log. Best-effort: any failure leaves the previous checkpoint
+    /// + log intact, which still replay to the same state.
     fn checkpoint_with(&self, writer: &mut Option<Wal>, snap: &Snapshot) -> bool {
         let Some(wal) = writer.as_mut() else {
             return false;
@@ -477,8 +499,14 @@ impl Store {
         let Some(dir) = wal.path().parent().map(Path::to_path_buf) else {
             return false;
         };
+        // Checkpoints happen right after a fold/rebuild, so the snapshot
+        // always carries freshly built heap segments; a disk-sourced
+        // snapshot has an empty delta and nothing to checkpoint.
+        let Some(segments) = snap.segments().as_heap() else {
+            return false;
+        };
         let t_checkpoint = Instant::now();
-        if wal::write_checkpoint(&dir, &snap.triples(), wal.is_sync()).is_err() {
+        if wal::write_checkpoint_v2(&dir, &snap.graph, segments, wal.is_sync()).is_err() {
             return false;
         }
         // A failed truncation is safe: replaying the stale log over the
@@ -509,7 +537,7 @@ impl Store {
                 continue; // unknown term in that role ⇒ cannot be present
             };
             let present = working.inserts.contains(e)
-                || (segment_contains(snap.segments(), e) && !working.tombstones.contains(e));
+                || (snap.segments().contains(e) && !working.tombstones.contains(e));
             if !present {
                 continue;
             }
@@ -527,7 +555,7 @@ impl Store {
                 break;
             };
             let present = working.inserts.contains(e)
-                || (segment_contains(snap.segments(), e) && !working.tombstones.contains(e));
+                || (snap.segments().contains(e) && !working.tombstones.contains(e));
             if present {
                 continue;
             }
@@ -572,7 +600,7 @@ impl Store {
             }
             compacted = true;
             let graph = Arc::new(Graph::from_triples(view.into_iter().collect()).encode());
-            let segments = Arc::new(BitMatStore::build(&graph));
+            let segments = SegmentSource::Heap(Arc::new(BitMatStore::build(&graph)));
             Arc::new(Snapshot::new(
                 snap.epoch() + 1,
                 graph,
@@ -589,7 +617,7 @@ impl Store {
             let staged = Snapshot::new(
                 snap.epoch() + 1,
                 Arc::clone(&snap.graph),
-                Arc::clone(snap.catalog().segments()),
+                snap.catalog().segments().clone(),
                 working,
             );
             if staged.delta().len() >= self.compact_threshold.load(Ordering::Relaxed) {
@@ -657,8 +685,41 @@ fn fold(snap: &Snapshot, epoch: u64) -> Snapshot {
         dict: snap.graph.dict.clone(),
         triples,
     });
-    let segments = Arc::new(BitMatStore::build(&graph));
+    let segments = SegmentSource::Heap(Arc::new(BitMatStore::build(&graph)));
     Snapshot::new(epoch, graph, segments, Delta::new())
+}
+
+/// The cube dimensions a segment source must have to serve `graph`.
+fn graph_dims(graph: &EncodedGraph) -> CubeDims {
+    let dict = &graph.dict;
+    CubeDims {
+        n_subjects: dict.n_subjects(),
+        n_predicates: dict.n_predicates(),
+        n_objects: dict.n_objects(),
+        n_shared: dict.n_shared(),
+        n_triples: graph.triples.len() as u64,
+    }
+}
+
+/// Tries to `mmap` the segment file a v2 checkpoint ships with. `None`
+/// whenever anything disagrees with the checkpoint image (missing file,
+/// stale length or header checksum, dimension mismatch, corrupt format):
+/// the caller then rebuilds heap segments from the checkpoint graph,
+/// which is always correct — the segment file is purely an opener
+/// fast-path, never the source of truth.
+fn open_checkpoint_segments(dir: &Path, image: &wal::CheckpointImage) -> Option<SegmentSource> {
+    let seg = image.segments.as_ref()?;
+    let path = dir.join(wal::SEGMENTS_FILE);
+    let meta = std::fs::metadata(&path).ok()?;
+    if meta.len() != seg.len {
+        return None;
+    }
+    let head = wal::read_segment_head(&path).ok()?;
+    if wal::crc32(&head) != seg.head_crc {
+        return None;
+    }
+    let catalog = DiskCatalog::open(&path).ok()?;
+    (catalog.dims() == graph_dims(&image.graph)).then(|| SegmentSource::Disk(Arc::new(catalog)))
 }
 
 // The facade shares one `Store` across `lbr-server`'s worker pool.
@@ -962,6 +1023,65 @@ mod tests {
         let reopened = Store::open(base(), Some(&dir)).unwrap();
         assert_eq!(reopened.snapshot().triples(), view);
         assert_eq!(reopened.epoch(), 1, "only the tail record replays");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_uses_checkpoint_segments() {
+        let dir = std::env::temp_dir().join(format!("lbr-store-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let view = {
+            let store = Store::open(base(), Some(&dir)).unwrap();
+            let info = store
+                .apply(UpdateBatch::insert(vec![t("fresh", "p", "a")]))
+                .unwrap();
+            assert!(info.checkpointed, "rebuild writes a v2 checkpoint");
+            store.snapshot().triples()
+        };
+        assert!(
+            dir.join(wal::SEGMENTS_FILE).is_file(),
+            "checkpoint persisted a compacted segment file"
+        );
+        // Reopen: the checkpointed segments are mmap'd instead of rebuilt,
+        // and the merged view is identical.
+        let reopened = Store::open(base(), Some(&dir)).unwrap();
+        assert!(
+            reopened.snapshot().segments().is_disk(),
+            "reopen serves the checkpointed segments zero-copy"
+        );
+        assert_eq!(reopened.snapshot().triples(), view);
+        // Further fast-path commits work against disk segments.
+        reopened
+            .apply(UpdateBatch::delete(vec![t("a", "q", "c")]))
+            .unwrap();
+        assert!(!reopened.snapshot().contains(&t("a", "q", "c")));
+        assert!(reopened.snapshot().contains(&t("fresh", "p", "a")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_file_falls_back_to_heap_rebuild() {
+        let dir = std::env::temp_dir().join(format!("lbr-store-segcor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let view = {
+            let store = Store::open(base(), Some(&dir)).unwrap();
+            store
+                .apply(UpdateBatch::insert(vec![t("fresh", "p", "a")]))
+                .unwrap();
+            store.snapshot().triples()
+        };
+        // Simulate a crash between the two checkpoint renames: the segment
+        // file no longer matches the pin (length + head CRC) in the ckpt.
+        let seg = dir.join(wal::SEGMENTS_FILE);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        let reopened = Store::open(base(), Some(&dir)).unwrap();
+        assert!(
+            !reopened.snapshot().segments().is_disk(),
+            "mismatched segment pin falls back to a heap rebuild"
+        );
+        assert_eq!(reopened.snapshot().triples(), view);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -34,7 +34,8 @@
 //! checkpoint is a hard error, because the atomic write protocol never
 //! leaves a torn image behind (unlike the WAL's expected torn tail).
 
-use lbr_rdf::{parse_ntriples, Triple};
+use lbr_bitmat::{disk, BitMatError, BitMatStore};
+use lbr_rdf::{parse_ntriples, Dictionary, EncodedGraph, EncodedTriple, Graph, Triple};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -44,6 +45,17 @@ pub const WAL_FILE: &str = "lbr.wal";
 
 /// The checkpoint file name inside a `wal_dir`.
 pub const CHECKPOINT_FILE: &str = "lbr.ckpt";
+
+/// The compacted segment file a v2 checkpoint ships with: the BitMat
+/// store of the checkpoint graph in `lbr_bitmat::disk` format, ready to
+/// be `mmap`ed on reopen instead of rebuilt.
+pub const SEGMENTS_FILE: &str = "lbr.seg";
+
+/// Magic prefix of a v2 checkpoint frame. A v1 frame starts with its
+/// payload length instead — `"LBRC"` as a little-endian length would be
+/// a ~1.1 GB payload, and the CRC would reject it regardless, so the
+/// two formats cannot be confused.
+const CKPT_MAGIC_V2: &[u8; 8] = b"LBRCKPT2";
 
 /// Fsyncs a directory, pinning entry creations and renames inside it to
 /// disk — syncing a file's *data* alone does not make its *name*
@@ -222,6 +234,11 @@ fn le_u32(bytes: &[u8], at: usize) -> u32 {
     u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
 }
 
+/// Reads the little-endian u64 at `at`; caller length-checked.
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    (le_u32(bytes, at) as u64) | ((le_u32(bytes, at + 4) as u64) << 32)
+}
+
 fn decode_payload(payload: &[u8]) -> Option<Vec<WalOp>> {
     let count = u32::from_le_bytes(payload.get(0..4)?.try_into().ok()?) as usize;
     let mut pos = 4usize;
@@ -283,38 +300,214 @@ pub fn write_checkpoint(dir: &Path, triples: &[Triple], sync: bool) -> std::io::
     Ok(())
 }
 
-/// Reads `dir`'s checkpoint image. `Ok(None)` when no checkpoint exists.
-/// A present-but-corrupt checkpoint is a hard error: the atomic write
-/// protocol never leaves a torn image behind, so corruption is real
-/// damage — silently falling back to the boot-time source would undo
-/// every checkpointed update.
+/// How a v2 checkpoint pins the segment file it was written with: the
+/// exact byte length plus a CRC of the header page. A crash between the
+/// two renames of [`write_checkpoint_v2`] leaves image and segment file
+/// from different checkpoints — the mismatch is detected here and the
+/// opener falls back to rebuilding from the (always-authoritative)
+/// checkpoint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRef {
+    /// Byte length of `lbr.seg`.
+    pub len: u64,
+    /// CRC-32 of the segment file's first page (`min(4096, len)` bytes).
+    pub head_crc: u32,
+}
+
+/// A decoded checkpoint: the graph it restores, and (v2 only) the
+/// reference to the compacted segment file written alongside.
+#[derive(Debug)]
+pub struct CheckpointImage {
+    /// Dictionary + encoded triples of the checkpointed merged view. A
+    /// v1 checkpoint stores N-Triples text, so its graph is re-encoded
+    /// here; a v2 checkpoint restores the exact dictionary the segments
+    /// were built in.
+    pub graph: EncodedGraph,
+    /// The segment-file reference (v2 checkpoints only).
+    pub segments: Option<SegmentRef>,
+}
+
+fn ckpt_corrupt(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt checkpoint: {what}"),
+    )
+}
+
+/// Reads `dir`'s checkpoint as term-level triples. `Ok(None)` when no
+/// checkpoint exists. A present-but-corrupt checkpoint is a hard error:
+/// the atomic write protocol never leaves a torn image behind, so
+/// corruption is real damage — silently falling back to the boot-time
+/// source would undo every checkpointed update.
 pub fn read_checkpoint(dir: &Path) -> std::io::Result<Option<Vec<Triple>>> {
+    let Some(image) = read_checkpoint_image(dir)? else {
+        return Ok(None);
+    };
+    let mut out = Vec::with_capacity(image.graph.triples.len());
+    for e in &image.graph.triples {
+        out.push(
+            image
+                .graph
+                .dict
+                .decode(e)
+                .ok_or_else(|| ckpt_corrupt("triple ID outside the dictionary"))?,
+        );
+    }
+    Ok(Some(out))
+}
+
+/// Reads `dir`'s checkpoint in full — graph plus the v2 segment-file
+/// reference. Same error contract as [`read_checkpoint`].
+pub fn read_checkpoint_image(dir: &Path) -> std::io::Result<Option<CheckpointImage>> {
     let bytes = match std::fs::read(dir.join(CHECKPOINT_FILE)) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
-    let corrupt = |what: &str| {
-        std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("corrupt checkpoint: {what}"),
-        )
-    };
-    let header = bytes.get(0..8).ok_or_else(|| corrupt("short header"))?;
+    let v2 = bytes.starts_with(CKPT_MAGIC_V2);
+    let base = if v2 { CKPT_MAGIC_V2.len() } else { 0 };
+    let header = bytes
+        .get(base..base + 8)
+        .ok_or_else(|| ckpt_corrupt("short header"))?;
     let len = le_u32(header, 0) as usize;
     let crc = le_u32(header, 4);
     let payload = bytes
-        .get(8..8 + len)
-        .ok_or_else(|| corrupt("short payload"))?;
-    if bytes.len() != 8 + len {
-        return Err(corrupt("trailing bytes"));
+        .get(base + 8..base + 8 + len)
+        .ok_or_else(|| ckpt_corrupt("short payload"))?;
+    if bytes.len() != base + 8 + len {
+        return Err(ckpt_corrupt("trailing bytes"));
     }
     if crc32(payload) != crc {
-        return Err(corrupt("CRC mismatch"));
+        return Err(ckpt_corrupt("CRC mismatch"));
     }
-    let text = std::str::from_utf8(payload).map_err(|_| corrupt("payload is not UTF-8"))?;
-    let triples = parse_ntriples(text).map_err(|_| corrupt("payload is not N-Triples"))?;
-    Ok(Some(triples))
+    if v2 {
+        decode_v2_payload(payload).map(Some)
+    } else {
+        let text =
+            std::str::from_utf8(payload).map_err(|_| ckpt_corrupt("payload is not UTF-8"))?;
+        let triples = parse_ntriples(text).map_err(|_| ckpt_corrupt("payload is not N-Triples"))?;
+        Ok(Some(CheckpointImage {
+            graph: Graph::from_triples(triples).encode(),
+            segments: None,
+        }))
+    }
+}
+
+/// Decodes a v2 payload: `[seg_len u64][seg_head_crc u32]
+/// [dict_len u64][dict bytes][n_triples u64][(s p o) u32×3 …]`.
+fn decode_v2_payload(payload: &[u8]) -> std::io::Result<CheckpointImage> {
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> std::io::Result<&[u8]> {
+        let b = payload
+            .get(pos..pos + n)
+            .ok_or_else(|| ckpt_corrupt("short v2 payload"))?;
+        pos += n;
+        Ok(b)
+    };
+    let seg_len = le_u64(take(8)?, 0);
+    let head_crc = le_u32(take(4)?, 0);
+    let dict_len = le_u64(take(8)?, 0) as usize;
+    let dict_bytes = take(dict_len)?;
+    let dict = Dictionary::from_bytes(dict_bytes)
+        .map_err(|e| ckpt_corrupt(&format!("dictionary: {e}")))?;
+    let n_triples = le_u64(take(8)?, 0) as usize;
+    if n_triples > payload.len() / 12 {
+        return Err(ckpt_corrupt("triple count exceeds payload"));
+    }
+    let mut triples = Vec::with_capacity(n_triples);
+    for _ in 0..n_triples {
+        let b = take(12)?;
+        let e = EncodedTriple {
+            s: le_u32(b, 0),
+            p: le_u32(b, 4),
+            o: le_u32(b, 8),
+        };
+        if e.s >= dict.n_subjects() || e.p >= dict.n_predicates() || e.o >= dict.n_objects() {
+            return Err(ckpt_corrupt("triple ID outside the dictionary"));
+        }
+        triples.push(e);
+    }
+    if pos != payload.len() {
+        return Err(ckpt_corrupt("trailing v2 payload bytes"));
+    }
+    Ok(CheckpointImage {
+        graph: EncodedGraph { dict, triples },
+        segments: Some(SegmentRef {
+            len: seg_len,
+            head_crc,
+        }),
+    })
+}
+
+/// The segment file's header page: its first `min(4096, len)` bytes —
+/// what [`SegmentRef::head_crc`] covers.
+pub fn read_segment_head(path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut file = File::open(path)?;
+    let len = file.metadata()?.len().min(4096) as usize;
+    let mut head = vec![0u8; len];
+    file.read_exact(&mut head)?;
+    Ok(head)
+}
+
+fn io_of_bitmat(e: BitMatError) -> std::io::Error {
+    match e {
+        BitMatError::Io(io) => io,
+        other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+    }
+}
+
+/// Writes a **v2** checkpoint: the compacted segment file first
+/// (`lbr.seg`, via [`disk::save_store`], temp → fsync → rename), then
+/// the checkpoint frame carrying the dictionary, the encoded triples and
+/// the [`SegmentRef`] pinning the segment file (temp → fsync → rename →
+/// directory fsync). Each rename is atomic; a crash between the two
+/// leaves a segment/image pair whose `SegmentRef` does not match, which
+/// the opener detects and survives by rebuilding from the image.
+pub fn write_checkpoint_v2(
+    dir: &Path,
+    graph: &EncodedGraph,
+    segments: &BitMatStore,
+    sync: bool,
+) -> std::io::Result<()> {
+    // 1. The segment file.
+    let tmp_seg = dir.join(format!("{SEGMENTS_FILE}.tmp"));
+    let seg_len = disk::save_store(segments, &tmp_seg).map_err(io_of_bitmat)?;
+    let head_crc = crc32(&read_segment_head(&tmp_seg)?);
+    if sync {
+        File::open(&tmp_seg)?.sync_all()?;
+    }
+    std::fs::rename(&tmp_seg, dir.join(SEGMENTS_FILE))?;
+
+    // 2. The checkpoint frame referencing it.
+    let dict_bytes = graph.dict.to_bytes();
+    let mut payload = Vec::with_capacity(28 + dict_bytes.len() + 12 * graph.triples.len());
+    payload.extend_from_slice(&seg_len.to_le_bytes());
+    payload.extend_from_slice(&head_crc.to_le_bytes());
+    payload.extend_from_slice(&(dict_bytes.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&dict_bytes);
+    payload.extend_from_slice(&(graph.triples.len() as u64).to_le_bytes());
+    for e in &graph.triples {
+        payload.extend_from_slice(&e.s.to_le_bytes());
+        payload.extend_from_slice(&e.p.to_le_bytes());
+        payload.extend_from_slice(&e.o.to_le_bytes());
+    }
+    let mut frame = Vec::with_capacity(16 + payload.len());
+    frame.extend_from_slice(CKPT_MAGIC_V2);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    let mut file = File::create(&tmp)?;
+    file.write_all(&frame)?;
+    if sync {
+        file.sync_all()?;
+    }
+    drop(file);
+    std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+    if sync {
+        sync_dir(dir)?;
+    }
+    Ok(())
 }
 
 /// CRC-32 (IEEE 802.3, reflected) — implemented here because the build

@@ -136,7 +136,7 @@ pub use lbr_core::{Engine, LbrEngine, QueryOutput, QueryStats, Row, Solutions, S
 pub use lbr_rdf::{Dictionary, EncodedGraph, Graph, Term, Triple};
 pub use lbr_sparql::{parse_query, Dedup, Modifiers, OrderKey, Query, QueryForm};
 pub use lbr_sparql::{parse_update, Update, UpdateOp};
-pub use lbr_store::{CommitInfo, Snapshot, Store, StoreError, UpdateBatch};
+pub use lbr_store::{CommitInfo, SegmentSource, Snapshot, Store, StoreError, UpdateBatch};
 
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
@@ -196,10 +196,6 @@ pub enum DatabaseError {
     },
     /// Opening or replaying the write-ahead log failed.
     Wal(StoreError),
-    /// [`DatabaseBuilder::wal_dir`] / [`DatabaseBuilder::updatable`]
-    /// combined with [`DatabaseBuilder::disk_index`]: the updatable
-    /// store layers its delta over in-memory segments only.
-    UpdatableDiskIndex,
 }
 
 impl fmt::Display for DatabaseError {
@@ -226,10 +222,6 @@ impl fmt::Display for DatabaseError {
                 data.n_triples,
             ),
             DatabaseError::Wal(e) => write!(f, "{e}"),
-            DatabaseError::UpdatableDiskIndex => f.write_str(
-                "wal_dir()/updatable() cannot be combined with disk_index(): \
-                 the updatable store needs in-memory segments",
-            ),
         }
     }
 }
@@ -309,8 +301,10 @@ impl DatabaseBuilder {
     /// reopens to exactly the committed updates — even after a crash
     /// mid-write (a torn tail is truncated to the last whole record).
     ///
-    /// Implies [`DatabaseBuilder::updatable`]; incompatible with
-    /// [`DatabaseBuilder::disk_index`].
+    /// Implies [`DatabaseBuilder::updatable`]. Combines with
+    /// [`DatabaseBuilder::disk_index`]: the delta memtable then layers
+    /// over the mmap'd segments, and after the first compaction the
+    /// checkpoint's own segment file takes over.
     pub fn wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.wal_dir = Some(dir.into());
         self
@@ -356,30 +350,38 @@ impl DatabaseBuilder {
                 Graph::from_triples(rdf::parse_ntriples(&text)?).encode()
             }
         };
-        let backend = if self.updatable || self.wal_dir.is_some() {
-            if self.index.is_some() {
-                return Err(DatabaseError::UpdatableDiskIndex);
+        // An on-disk index must describe exactly the triple source's
+        // dictionary — querying a mismatched index would silently return
+        // wrong results.
+        let catalog = match &self.index {
+            Some(path) => {
+                let catalog = DiskCatalog::open(Path::new(path))?;
+                let index = catalog.dims();
+                let dict = &graph.dict;
+                let data = bitmat::CubeDims {
+                    n_subjects: dict.n_subjects(),
+                    n_predicates: dict.n_predicates(),
+                    n_objects: dict.n_objects(),
+                    n_shared: dict.n_shared(),
+                    n_triples: graph.triples.len() as u64,
+                };
+                if index != data {
+                    return Err(DatabaseError::IndexMismatch { index, data });
+                }
+                Some(catalog)
             }
-            let store = Store::open(graph, self.wal_dir.as_deref()).map_err(DatabaseError::Wal)?;
+            None => None,
+        };
+        let backend = if self.updatable || self.wal_dir.is_some() {
+            // The updatable store layers its delta over either segment
+            // medium; mmap'd segments from disk_index() skip the build.
+            let segments = catalog.map(|c| SegmentSource::Disk(Arc::new(c)));
+            let store = Store::open_with_segments(graph, segments, self.wal_dir.as_deref())
+                .map_err(DatabaseError::Wal)?;
             Backend::Mutable(store)
         } else {
-            match self.index {
-                Some(path) => {
-                    let catalog = DiskCatalog::open(Path::new(&path))?;
-                    let index = catalog.dims();
-                    let dict = &graph.dict;
-                    let data = bitmat::CubeDims {
-                        n_subjects: dict.n_subjects(),
-                        n_predicates: dict.n_predicates(),
-                        n_objects: dict.n_objects(),
-                        n_shared: dict.n_shared(),
-                        n_triples: graph.triples.len() as u64,
-                    };
-                    if index != data {
-                        return Err(DatabaseError::IndexMismatch { index, data });
-                    }
-                    Backend::Disk { graph, catalog }
-                }
+            match catalog {
+                Some(catalog) => Backend::Disk { graph, catalog },
                 None => {
                     let store = BitMatStore::build(&graph);
                     Backend::Memory { graph, store }
@@ -641,8 +643,9 @@ impl Database {
     /// # Panics
     ///
     /// Panics when the database was built with
-    /// [`DatabaseBuilder::disk_index`] — there is no in-memory store then;
-    /// use [`Database::engine_of`] which works over either backend.
+    /// [`DatabaseBuilder::disk_index`] (updatable or not) — the segments
+    /// are mmap'd, there is no in-memory store; use
+    /// [`Database::engine_of`] which works over either medium.
     pub fn store(&self) -> &BitMatStore {
         match &self.backend {
             Backend::Memory { store, .. } => store,
@@ -650,7 +653,14 @@ impl Database {
                 "Database::store(): this database reads a disk index and has no \
                  in-memory BitMat store; go through Database::engine_of instead"
             ),
-            Backend::Mutable(store) => store.current_ref().segments(),
+            Backend::Mutable(store) => match store.current_ref().segments().as_heap() {
+                Some(segments) => segments,
+                None => panic!(
+                    "Database::store(): this updatable database serves mmap'd \
+                     segments and has no in-memory BitMat store; go through \
+                     Database::engine_of instead"
+                ),
+            },
         }
     }
 

@@ -1,0 +1,196 @@
+//! Property-based checks of the v2 on-disk segment format:
+//!
+//! * **round-trip exactness** — `save_store` → `DiskCatalog::open` must
+//!   reproduce every matrix, row and count of the in-memory
+//!   [`lbr::BitMatStore`] bit for bit, across random graphs whose rows
+//!   land in both compression classes (dense Runs rows from clique-like
+//!   subgraphs, Sparse rows from scattered triples) and whose widths
+//!   straddle 32-bit word boundaries;
+//! * **corruption safety** — opening a truncated or bit-flipped segment
+//!   file either fails cleanly (`BitMatError`) or yields a catalog whose
+//!   every load returns a clean `Result`. Never a panic, never UB: the
+//!   mmap'd bytes are untrusted input and every offset is bounds-checked
+//!   before it is dereferenced.
+
+use lbr::bitmat::disk::save_store;
+use lbr::{BitMatStore, Catalog, DiskCatalog, Graph, Term, Triple};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Entity universe sized so bit-rows span one to three 32-bit words and
+/// IDs hit the 31/32/63/64 boundaries.
+const N_ENTITIES: usize = 70;
+const N_PREDICATES: usize = 6;
+
+fn ent(i: usize) -> Term {
+    Term::iri(format!("e{i:03}"))
+}
+
+fn pred(i: usize) -> Term {
+    Term::iri(format!("p{i}"))
+}
+
+/// Scattered triples: mostly Sparse-compressed rows.
+fn arb_sparse() -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec(
+        (0usize..N_ENTITIES, 0usize..N_PREDICATES, 0usize..N_ENTITIES),
+        1..120,
+    )
+    .prop_map(|ts| {
+        ts.into_iter()
+            .map(|(s, p, o)| Triple::new(ent(s), pred(p), ent(o)))
+            .collect()
+    })
+}
+
+/// A clique block: every (s, o) pair over a contiguous ID range under
+/// one predicate — long runs of set bits, so the hybrid encoder picks
+/// Runs. `lo` is drawn near word boundaries to cover rows whose first
+/// set bit sits at bit 31/32/63 of the row.
+fn arb_dense_block() -> impl Strategy<Value = Vec<Triple>> {
+    const BOUNDARY_LOS: [usize; 9] = [0, 1, 30, 31, 32, 33, 62, 63, 64];
+    (0usize..BOUNDARY_LOS.len(), 2usize..8, 0usize..N_PREDICATES).prop_map(|(lo_ix, width, p)| {
+        let lo = BOUNDARY_LOS[lo_ix];
+        let hi = (lo + width).min(N_ENTITIES);
+        let mut out = Vec::new();
+        for s in lo..hi {
+            for o in lo..hi {
+                out.push(Triple::new(ent(s), pred(p), ent(o)));
+            }
+        }
+        out
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = Vec<Triple>> {
+    (arb_sparse(), prop::collection::vec(arb_dense_block(), 0..3)).prop_map(
+        |(mut sparse, blocks)| {
+            for b in blocks {
+                sparse.extend(b);
+            }
+            sparse
+        },
+    )
+}
+
+struct TempSeg(PathBuf);
+
+impl TempSeg {
+    fn new(tag: u64) -> TempSeg {
+        TempSeg(std::env::temp_dir().join(format!("lbr-prop-seg-{}-{tag}.lbr", std::process::id())))
+    }
+}
+
+impl Drop for TempSeg {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Exercises every load and count of a catalog, comparing nothing —
+/// the property is that none of them panics on hostile bytes.
+fn drain_catalog(cat: &DiskCatalog) {
+    let dims = cat.dims();
+    for p in 0..dims.n_predicates {
+        let _ = cat.load_so(p);
+        let _ = cat.load_os(p);
+        let _ = cat.count_so(p);
+    }
+    for s in 0..dims.n_subjects.min(128) {
+        let _ = cat.load_po(s);
+        let _ = cat.count_po(s);
+        for p in 0..dims.n_predicates {
+            let _ = cat.load_po_row(s, p);
+            let _ = cat.count_po_row(s, p);
+        }
+    }
+    for o in 0..dims.n_objects.min(128) {
+        let _ = cat.load_ps(o);
+        let _ = cat.count_ps(o);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn roundtrip_reproduces_every_matrix(triples in arb_graph(), tag in any::<u64>()) {
+        let graph = Graph::from_triples(triples).encode();
+        let store = BitMatStore::build(&graph);
+        let seg = TempSeg::new(tag);
+        save_store(&store, &seg.0).unwrap();
+        let cat = DiskCatalog::open(&seg.0).unwrap();
+
+        prop_assert_eq!(cat.dims(), store.dims());
+        let dims = store.dims();
+        for p in 0..dims.n_predicates {
+            prop_assert_eq!(&cat.load_so(p).unwrap(), &store.so(p).cloned());
+            prop_assert_eq!(&cat.load_os(p).unwrap(), &store.os(p).cloned());
+            prop_assert_eq!(cat.count_so(p), store.count_so(p));
+        }
+        for s in 0..dims.n_subjects {
+            prop_assert_eq!(&cat.load_po(s).unwrap(), &store.po(s).cloned());
+            prop_assert_eq!(cat.count_po(s), store.count_po(s));
+            for p in 0..dims.n_predicates {
+                prop_assert_eq!(
+                    &cat.load_po_row(s, p).unwrap(),
+                    &store.po(s).and_then(|m| m.row(p)).cloned()
+                );
+                prop_assert_eq!(cat.count_po_row(s, p), store.count_po_row(s, p));
+            }
+        }
+        for o in 0..dims.n_objects {
+            prop_assert_eq!(&cat.load_ps(o).unwrap(), &store.ps(o).cloned());
+            prop_assert_eq!(cat.count_ps(o), store.count_ps(o));
+        }
+    }
+
+    #[test]
+    fn truncated_segments_fail_cleanly(triples in arb_graph(), cut_ppm in 0u64..1_000_000) {
+        let graph = Graph::from_triples(triples).encode();
+        let store = BitMatStore::build(&graph);
+        let seg = TempSeg::new(cut_ppm);
+        let full = save_store(&store, &seg.0).unwrap();
+        let cut = full * cut_ppm / 1_000_000;
+        let bytes = std::fs::read(&seg.0).unwrap();
+        std::fs::write(&seg.0, &bytes[..cut as usize]).unwrap();
+        // Either the open is rejected or every subsequent read returns a
+        // clean Result — bounds checks make truncation an error, not UB.
+        if let Ok(cat) = DiskCatalog::open(&seg.0) {
+            drain_catalog(&cat);
+        }
+    }
+
+    #[test]
+    fn bitflipped_segments_fail_cleanly(triples in arb_graph(), at_ppm in 0u64..1_000_000, bit in 0u8..8) {
+        let graph = Graph::from_triples(triples).encode();
+        let store = BitMatStore::build(&graph);
+        let seg = TempSeg::new(at_ppm ^ u64::from(bit));
+        let full = save_store(&store, &seg.0).unwrap();
+        let mut bytes = std::fs::read(&seg.0).unwrap();
+        let at = ((full - 1) * at_ppm / 1_000_000) as usize;
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&seg.0, &bytes).unwrap();
+        if let Ok(cat) = DiskCatalog::open(&seg.0) {
+            drain_catalog(&cat);
+        }
+    }
+}
+
+/// A v1 header (or any foreign magic) is refused up front with a clear
+/// error — not misparsed as v2.
+#[test]
+fn foreign_magic_is_rejected() {
+    let seg = TempSeg::new(u64::MAX);
+    let graph = Graph::from_triples(vec![Triple::new(ent(0), pred(0), ent(1))]).encode();
+    let store = BitMatStore::build(&graph);
+    save_store(&store, &seg.0).unwrap();
+    let mut bytes = std::fs::read(&seg.0).unwrap();
+    bytes[..8].copy_from_slice(b"LBRBM001");
+    std::fs::write(&seg.0, &bytes).unwrap();
+    let err = DiskCatalog::open(&seg.0).unwrap_err();
+    assert!(err.to_string().contains("v1"), "{err}");
+}
